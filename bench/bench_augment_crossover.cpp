@@ -1,0 +1,107 @@
+/// Ablation for the paper's **§IV-B analysis**: level-parallel (Algorithm 3)
+/// versus path-parallel (Algorithm 4) augmentation cost as a function of the
+/// number of augmenting paths k, for several process counts p. The paper
+/// derives that path-parallel wins exactly when k < 2p^2 by equating the two
+/// kernels' latency terms; this bench measures both kernels on synthetic
+/// path sets and reports the empirical crossover next to the analytic one.
+///
+/// Usage: bench_augment_crossover [--quick]
+
+#include "bench_common.hpp"
+
+#include "core/augment.hpp"
+#include "dist/dist_vec.hpp"
+
+namespace {
+
+using namespace mcm;
+
+/// Builds k vertex-disjoint augmenting paths of `pairs` matched pairs each:
+/// path i occupies rows/cols [i*pairs, (i+1)*pairs): root column i*pairs,
+/// endpoint row (i+1)*pairs - 1, with (r_j, c_{j+1}) matched along the way.
+struct PathSet {
+  DistDenseVec<Index> path_c;
+  DistDenseVec<Index> pi_r;
+  DistDenseVec<Index> mate_r;
+  DistDenseVec<Index> mate_c;
+
+  PathSet(SimContext& ctx, Index k, Index pairs)
+      : path_c(ctx, VSpace::Col, k * pairs, kNull),
+        pi_r(ctx, VSpace::Row, k * pairs, kNull),
+        mate_r(ctx, VSpace::Row, k * pairs, kNull),
+        mate_c(ctx, VSpace::Col, k * pairs, kNull) {
+    for (Index path = 0; path < k; ++path) {
+      const Index base = path * pairs;
+      path_c.set(base, base + pairs - 1);  // root -> endpoint row
+      for (Index j = 0; j < pairs; ++j) {
+        pi_r.set(base + j, base + j);  // row j discovered by column j
+        if (j + 1 < pairs) {
+          // matched edge (r_j, c_{j+1}) to be flipped.
+          mate_r.set(base + j, base + j + 1);
+          mate_c.set(base + j + 1, base + j);
+        }
+      }
+    }
+  }
+};
+
+double measure(int processes, Index k, Index pairs, AugmentMode mode) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  PathSet paths(ctx, k, pairs);
+  (void)dist_augment(ctx, mode, paths.path_c, paths.pi_r, paths.mate_r,
+                     paths.mate_c);
+  return ctx.ledger().time_us(Cost::Augment);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 1.0);
+  const Index pairs = 8;  // path length: 8 matched pairs
+  const std::vector<int> process_counts =
+      args.quick ? std::vector<int>{16} : std::vector<int>{4, 16, 64};
+
+  Table table("Augmentation kernel crossover (simulated us per augmentation)");
+  table.set_header({"p", "k paths", "level-parallel", "path-parallel",
+                    "winner", "analytic rule"});
+  AsciiChart chart("path/level time ratio vs k (p=16)", "k", "ratio");
+  std::vector<std::pair<double, double>> ratio_points;
+
+  for (const int p : process_counts) {
+    Index empirical_crossover = kNull;
+    for (Index k = 1; k <= 8192; k *= 2) {
+      const double level = measure(p, k, pairs, AugmentMode::LevelParallel);
+      const double path = measure(p, k, pairs, AugmentMode::PathParallel);
+      const bool path_wins = path < level;
+      const bool rule_says_path = path_parallel_wins(k, p);
+      table.add_row({Table::num(static_cast<std::int64_t>(p)),
+                     Table::num(k), Table::num(level, 1),
+                     Table::num(path, 1), path_wins ? "path" : "level",
+                     rule_says_path ? "path" : "level"});
+      if (!path_wins && empirical_crossover == kNull) {
+        empirical_crossover = k;
+      }
+      if (p == 16) ratio_points.push_back({static_cast<double>(k), path / level});
+    }
+    if (empirical_crossover == kNull) {
+      std::printf("p=%d: path-parallel still winning at k = 8192 "
+                  "(analytic crossover 2p^2 = %d lies at/beyond the sweep)\n",
+                  p, 2 * p * p);
+    } else {
+      std::printf("p=%d: empirical crossover at k ~ %lld, analytic 2p^2 = %d\n",
+                  p, static_cast<long long>(empirical_crossover), 2 * p * p);
+    }
+  }
+  table.print();
+  chart.add_series("path/level", ratio_points);
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.print();
+  std::puts("\nPaper shape check: path-parallel wins for small k, level-"
+            "\nparallel for large k, with the crossover tracking 2p^2.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#pragma once
+/// Shared plumbing for the figure/table regeneration benches. Every bench
+/// binary in this directory regenerates one table or figure of the paper
+/// (see DESIGN.md §4) and follows the same conventions:
+///
+///   --scale S     multiplies every stand-in instance size (default per
+///                 bench, chosen so the full suite finishes in minutes on a
+///                 laptop core);
+///   --quick       shrinks the sweep for smoke-testing;
+///   stdout        a Table with the raw numbers, then an AsciiChart with the
+///                 same series the paper plots.
+///
+/// Simulated times come from the gridsim CostLedger; wall-clock host time is
+/// irrelevant to the figures and never reported as a result.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "gen/suite.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace mcm::bench {
+
+/// Core counts used for the real-matrix strong-scaling sweeps: every entry
+/// admits the paper's hybrid setup (12 threads/process, square grid), except
+/// 24 which uses the paper's own 2x2 x 6-thread fallback.
+inline std::vector<int> real_core_sweep(bool quick) {
+  if (quick) return {24, 192, 768};
+  return {24, 48, 192, 432, 768, 1200, 1728, 2352};
+}
+
+/// Core counts for the synthetic sweep (paper Fig. 6 goes to 12,288).
+inline std::vector<int> synth_core_sweep(bool quick) {
+  if (quick) return {192, 1728};
+  return {192, 432, 768, 1728, 3072, 5292, 12288};
+}
+
+struct BenchArgs {
+  double scale = 0.25;
+  bool quick = false;
+  std::uint64_t seed = 1;
+  double alpha_div = 256.0;
+
+  static BenchArgs parse(int argc, char** argv, double default_scale) {
+    const Options options = Options::parse(argc, argv);
+    BenchArgs args;
+    args.scale = options.get_double("scale", default_scale);
+    args.quick = options.get_bool("quick", false);
+    args.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+    args.alpha_div = options.get_double("alpha-div", 256.0);
+    return args;
+  }
+
+  /// Scaled-down-simulation calibration: the stand-in instances carry
+  /// roughly two orders of magnitude fewer nonzeros than the paper's
+  /// matrices (laptop RAM and a single host core), so the effective network
+  /// latency is divided by a matching factor (--alpha-div, default 256).
+  /// Per-message latency is the one cost that does *not* shrink with the
+  /// data (bandwidth and compute terms do), so without this the scaled-down
+  /// runs would be latency-bound at core counts where the paper's full-size
+  /// runs are still compute-bound, and every scaling curve would saturate
+  /// ~100x too early. Pass --alpha-div 1 to see the uncalibrated behaviour;
+  /// the calibration is recorded per experiment in EXPERIMENTS.md.
+  [[nodiscard]] MachineModel machine() const {
+    MachineModel m = MachineModel::edison();
+    m.alpha_us /= alpha_div;
+    return m;
+  }
+};
+
+/// Runs the full pipeline on `coo` at `cores` and returns the result;
+/// prints a progress line to stderr so long sweeps are watchable.
+inline PipelineResult timed_pipeline(const CooMatrix& coo, int cores,
+                                     const BenchArgs& args,
+                                     int preferred_threads = 12,
+                                     const PipelineOptions& options = {}) {
+  const SimConfig config =
+      SimConfig::auto_config(cores, preferred_threads, args.machine());
+  Timer wall;
+  PipelineResult result = run_pipeline(config, coo, options);
+  std::fprintf(stderr, "  [cores=%5d t=%2d] simulated %.3f s (host %.2f s)\n",
+               cores, config.threads_per_process, result.total_seconds(),
+               wall.seconds());
+  return result;
+}
+
+inline std::string fmt_seconds(double seconds) {
+  return Table::num(seconds * 1e3, 2) + " ms";
+}
+
+}  // namespace mcm::bench

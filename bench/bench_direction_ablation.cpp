@@ -1,0 +1,54 @@
+/// Ablation for the paper's **future work** (§VII): bottom-up BFS in
+/// distributed memory, here integrated into MCM-DIST as a per-iteration
+/// direction choice. Compares top-down (Algorithm 2 as published), pure
+/// bottom-up, and the Beamer-style optimizer on representative matrices.
+///
+/// Expected shape: dense early frontiers (cold starts, skewed graphs)
+/// favour bottom-up; sparse late frontiers favour top-down; the optimizer
+/// tracks the better of the two. All three produce the identical matching
+/// (tested in tests/core/test_direction.cpp).
+///
+/// Usage: bench_direction_ablation [--scale S] [--quick] [--cores N]
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 0.5);
+  const Options options = Options::parse(argc, argv);
+  const int cores = static_cast<int>(options.get_int("cores", 768));
+
+  Table table("Direction ablation for MCM-DIST (" + std::to_string(cores)
+              + " cores, cold start)");
+  table.set_header({"matrix", "direction", "MCM time", "bottom-up iters",
+                    "total iters", "|M*|"});
+
+  const struct {
+    Direction direction;
+    const char* name;
+  } directions[] = {{Direction::TopDown, "top-down"},
+                    {Direction::BottomUp, "bottom-up"},
+                    {Direction::Optimizing, "optimizing"}};
+
+  for (const SuiteMatrix& entry : representative_suite(args.scale)) {
+    Rng rng(args.seed);
+    const CooMatrix coo = entry.build(rng);
+    for (const auto& dir : directions) {
+      PipelineOptions pipeline;
+      pipeline.initializer = MaximalKind::None;  // cold start: dense frontiers
+      pipeline.mcm.direction = dir.direction;
+      const PipelineResult result =
+          bench::timed_pipeline(coo, cores, args, 12, pipeline);
+      table.add_row({entry.name, dir.name,
+                     bench::fmt_seconds(result.mcm_seconds),
+                     Table::num(result.mcm_stats.bottom_up_iterations),
+                     Table::num(result.mcm_stats.iterations),
+                     Table::num(result.mcm_stats.final_cardinality)});
+    }
+  }
+  table.print();
+  std::puts("\nShape check: the optimizer explores the dense early frontiers"
+            "\nbottom-up and the sparse tails top-down, matching or beating"
+            "\nthe better pure strategy; all directions yield the same |M*|.");
+  return 0;
+}

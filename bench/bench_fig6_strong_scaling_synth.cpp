@@ -1,0 +1,74 @@
+/// Reproduces **Fig. 6**: strong scaling of MCM-DIST on synthetic RMAT
+/// matrices — ER, G500 and SSCA families at two scales each — up to 12,288
+/// cores (modeled). The paper runs scales 26-30 on Edison; the stand-ins
+/// default to scales 12/14 so the sweep finishes on a laptop core, with
+/// --big raising them (the machine model is scale-free, so the *shape*
+/// comparison is unaffected).
+///
+/// Paper shape: runtime drops roughly as sqrt(t) when cores grow by t;
+/// the smaller scale stops scaling earlier than the larger one.
+///
+/// Usage: bench_fig6_strong_scaling_synth [--quick] [--big]
+
+#include "bench_common.hpp"
+
+#include "gen/rmat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 1.0);
+  const Options options = Options::parse(argc, argv);
+  const bool big = options.get_bool("big", false);
+  const std::vector<int> scales =
+      big ? std::vector<int>{16, 18} : std::vector<int>{12, 14};
+  const std::vector<int> cores = bench::synth_core_sweep(args.quick);
+
+  struct Family {
+    const char* name;
+    RmatParams (*params)(int);
+  };
+  const Family families[] = {{"ER", RmatParams::er},
+                             {"G500", RmatParams::g500},
+                             {"SSCA", RmatParams::ssca}};
+
+  Table table("Fig. 6: strong scaling on synthetic matrices (simulated ms)");
+  std::vector<std::string> header{"matrix"};
+  for (const int c : cores) header.push_back(std::to_string(c));
+  table.set_header(header);
+
+  AsciiChart chart("Fig. 6: runtime vs cores (log-log)", "cores",
+                   "simulated s");
+  for (const Family& family : families) {
+    for (const int scale : scales) {
+      Rng rng(args.seed);
+      RmatParams params = family.params(scale);
+      // Tame the edge factor at reduced scale so densities stay graph-like.
+      params.edge_factor = std::min(params.edge_factor, 16.0);
+      const CooMatrix coo = rmat(params, rng);
+      const std::string name =
+          std::string(family.name) + "-" + std::to_string(scale);
+      std::fprintf(stderr, "%s (%lld nnz):\n", name.c_str(),
+                   static_cast<long long>(coo.nnz()));
+      std::vector<std::string> row{name};
+      std::vector<std::pair<double, double>> points;
+      for (const int c : cores) {
+        const PipelineResult result = bench::timed_pipeline(coo, c, args);
+        row.push_back(Table::num(result.total_seconds() * 1e3, 2));
+        points.push_back({static_cast<double>(c), result.total_seconds()});
+      }
+      table.add_row(row);
+      chart.add_series(name, points);
+    }
+  }
+  table.print();
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.set_size(72, 24);
+  chart.print();
+  std::puts("\nPaper shape check: each family's larger scale keeps scaling to"
+            "\nhigher core counts than its smaller scale; the paper reports"
+            "\nruntime dropping ~sqrt(t) for a t-fold core increase, with"
+            "\nscale-26 inputs flattening by 4096 cores while scale-30 ones"
+            "\nstill gain at 12,288.");
+  return 0;
+}

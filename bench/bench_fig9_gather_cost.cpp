@@ -1,0 +1,105 @@
+/// Reproduces **Fig. 9**: the cost of centralizing a distributed graph to
+/// run a shared-memory matcher — gathering all edges onto one rank plus
+/// scattering the mate vectors back — as a function of edge count, on a
+/// 2048-core configuration. Small instances are gathered for real through
+/// the simulator (validating the model); large ones use the closed-form
+/// model, exactly how the paper extrapolates.
+///
+/// Paper shape: the cost grows linearly with edges and reaches ~20 s around
+/// 900M nonzeros (nlpkkt200) — about twice the time MCM-DIST needs to just
+/// compute the matching in place.
+///
+/// Usage: bench_fig9_gather_cost [--quick]
+
+#include "bench_common.hpp"
+
+#include "dist/gather.hpp"
+#include "gen/er.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 1.0);
+
+  // 2048 cores, 2 threads/process -> 1024 = 32^2 processes.
+  SimContext ctx(SimConfig::auto_config(2048, 2));
+
+  Table table("Fig. 9: gather + scatter cost of centralizing a distributed graph");
+  table.set_header({"edges", "gather+scatter (model s)", "source"});
+  AsciiChart chart("Fig. 9: centralization cost vs edges", "edges", "seconds");
+  std::vector<std::pair<double, double>> points;
+
+  // Validated region: materialize, distribute, gather for real.
+  const std::vector<Index> real_sizes =
+      args.quick ? std::vector<Index>{100'000}
+                 : std::vector<Index>{100'000, 400'000, 1'600'000};
+  for (const Index edges : real_sizes) {
+    Rng rng(args.seed);
+    const Index n = std::max<Index>(1024, edges / 16);
+    const CooMatrix coo = er_bipartite_m(n, n, edges, rng);
+    SimContext run_ctx(SimConfig::auto_config(2048, 2));
+    const DistMatrix dist = DistMatrix::distribute(run_ctx, coo);
+    const CooMatrix gathered = gather_matrix_to_root(run_ctx, dist);
+    std::vector<Index> mates_r(static_cast<std::size_t>(n), kNull);
+    std::vector<Index> mates_c(static_cast<std::size_t>(n), kNull);
+    (void)scatter_mates_from_root(run_ctx, mates_r, mates_c);
+    const double seconds =
+        run_ctx.ledger().time_us(Cost::GatherScatter) * 1e-6;
+    table.add_row({Table::num(gathered.nnz()), Table::num(seconds, 4),
+                   "measured (simulator)"});
+    points.push_back({static_cast<double>(edges), seconds});
+  }
+
+  // Extrapolated region: the paper's 1M-1B edge sweep via the cost model.
+  for (std::uint64_t edges = 10'000'000; edges <= 1'000'000'000; edges *= 4) {
+    const double seconds =
+        gather_scatter_model_seconds(ctx, edges, edges / 8);
+    table.add_row({Table::num(static_cast<std::int64_t>(edges)),
+                   Table::num(seconds, 3), "model"});
+    points.push_back({static_cast<double>(edges), seconds});
+  }
+  table.print();
+  chart.add_series("gather+scatter", points);
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.print();
+
+  const double at_900m = gather_scatter_model_seconds(ctx, 900'000'000,
+                                                      3'200'000);
+  std::printf("\nAt nlpkkt200's ~900M nonzeros the model gives %.1f s —\n"
+              "the paper reads ~20 s off Fig. 9 and notes that is about twice\n"
+              "the cost of simply computing the MCM in place with MCM-DIST.\n",
+              at_900m);
+
+  // §VI-E head-to-head: centralizing the distributed graph (to run a
+  // shared-memory matcher) vs computing the MCM in place with MCM-DIST,
+  // same machine model for both. Centralization is pure bandwidth (linear
+  // in nnz) while MCM-DIST amortizes its latency floors, so the ratio grows
+  // with instance size toward the paper's ~2x at 900M nonzeros; measuring
+  // at two stand-in scales exposes the trend.
+  std::puts("\ncentralize vs solve-in-place (nlpkkt200 stand-in, 2048 cores):");
+  const std::vector<double> scales =
+      args.quick ? std::vector<double>{0.25} : std::vector<double>{0.25, 1.0};
+  for (const double scale : scales) {
+    Rng rng(args.seed);
+    const SuiteMatrix entry = suite_matrix("nlpkkt200", scale);
+    const CooMatrix coo = entry.build(rng);
+    const SimConfig config = SimConfig::auto_config(2048, 2, args.machine());
+    SimContext gather_ctx(config);
+    const DistMatrix dist = DistMatrix::distribute(gather_ctx, coo);
+    (void)gather_matrix_to_root(gather_ctx, dist);
+    std::vector<Index> empty_r(static_cast<std::size_t>(coo.n_rows), kNull);
+    std::vector<Index> empty_c(static_cast<std::size_t>(coo.n_cols), kNull);
+    (void)scatter_mates_from_root(gather_ctx, empty_r, empty_c);
+    const double centralize_s =
+        gather_ctx.ledger().time_us(Cost::GatherScatter) * 1e-6;
+    const PipelineResult in_place = bench::timed_pipeline(coo, 2048, args, 2);
+    std::printf("  %9lld nnz: centralize %.4f s, in-place solve %.4f s "
+                "(ratio %.2fx)\n",
+                static_cast<long long>(coo.nnz()), centralize_s,
+                in_place.total_seconds(),
+                centralize_s / in_place.total_seconds());
+  }
+  std::puts("  (ratio grows with nnz; the closed-form model above reaches the"
+            "\n   paper's ~2x regime at the namesake's ~900M nonzeros)");
+  return 0;
+}

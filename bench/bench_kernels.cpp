@@ -1,0 +1,183 @@
+/// Google-benchmark microbenchmarks of the sequential kernels the library is
+/// built from: the Table I primitives, SpMV over the BFS semiring, the
+/// maximal matching initializers and the maximum matching solvers. These
+/// measure real wall-clock throughput on the host (unlike the fig*
+/// benches, which report simulated distributed time).
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/primitives.hpp"
+#include "algebra/semiring.hpp"
+#include "algebra/spmv.hpp"
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matching/msbfs_seq.hpp"
+#include "matching/pothen_fan.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/dcsc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+CooMatrix bench_graph(int scale) {
+  Rng rng(7);
+  RmatParams params = RmatParams::g500(scale);
+  params.edge_factor = 8.0;
+  return rmat(params, rng);
+}
+
+SpVec<Vertex> half_frontier(Index n) {
+  SpVec<Vertex> f(n);
+  for (Index j = 0; j < n; j += 2) f.push_back(j, Vertex(j, j));
+  return f;
+}
+
+void BM_SpmvCsc(benchmark::State& state) {
+  const CooMatrix coo = bench_graph(static_cast<int>(state.range(0)));
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const SpVec<Vertex> f = half_frontier(a.n_cols());
+  std::uint64_t flops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv(a, f, Select2ndMinParent{}, &flops));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flops));
+}
+BENCHMARK(BM_SpmvCsc)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_SpmvDcscHypersparse(benchmark::State& state) {
+  const CooMatrix coo = bench_graph(static_cast<int>(state.range(0)));
+  const DcscMatrix a = DcscMatrix::from_coo(coo);
+  const SpVec<Vertex> f = half_frontier(a.n_cols());
+  Spa<Vertex> spa(a.n_rows());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv_dcsc(a, f, spa, Select2ndMinParent{}));
+  }
+}
+BENCHMARK(BM_SpmvDcscHypersparse)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_Invert(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(3);
+  SpVec<Index> x(n);
+  for (Index i = 0; i < n; ++i) {
+    x.push_back(i, static_cast<Index>(
+                       rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invert<Index>(
+        x, n, [](Index, Index v) { return v; },
+        [](Index i, Index) { return i; }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Invert)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SelectAndSet(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(4);
+  SpVec<Index> x(n);
+  std::vector<Index> y(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.5)) x.push_back(i, i);
+    y[static_cast<std::size_t>(i)] = rng.next_bool(0.5) ? kNull : i;
+  }
+  for (auto _ : state) {
+    SpVec<Index> z = select(x, y, [](Index v) { return v == kNull; });
+    set_dense(y, z, [](Index v) { return v; });
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_SelectAndSet)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Prune(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(5);
+  SpVec<Index> x(n);
+  std::vector<Index> roots;
+  for (Index i = 0; i < n; ++i) {
+    x.push_back(i, static_cast<Index>(rng.next_below(1000)));
+    if (rng.next_bool(0.01)) roots.push_back(static_cast<Index>(i % 1000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prune(x, roots, [](Index v) { return v; }));
+  }
+}
+BENCHMARK(BM_Prune)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GreedyMaximal(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_maximal(a));
+  }
+}
+BENCHMARK(BM_GreedyMaximal)->Arg(14)->Arg(16);
+
+void BM_KarpSipser(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  const CscMatrix at = a.transposed();
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(karp_sipser(a, at, rng));
+  }
+}
+BENCHMARK(BM_KarpSipser)->Arg(14)->Arg(16);
+
+void BM_DynamicMindegree(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  const CscMatrix at = a.transposed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dynamic_mindegree(a, at));
+  }
+}
+BENCHMARK(BM_DynamicMindegree)->Arg(14)->Arg(16);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(a));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(12)->Arg(14);
+
+void BM_PothenFan(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pothen_fan(a));
+  }
+}
+BENCHMARK(BM_PothenFan)->Arg(12)->Arg(14);
+
+void BM_MsBfsSeq(benchmark::State& state) {
+  const CscMatrix a =
+      CscMatrix::from_coo(bench_graph(static_cast<int>(state.range(0))));
+  const CscMatrix at = a.transposed();
+  for (auto _ : state) {
+    Matching init = dynamic_mindegree(a, at);
+    benchmark::DoNotOptimize(msbfs_maximum(a, std::move(init)));
+  }
+}
+BENCHMARK(BM_MsBfsSeq)->Arg(12)->Arg(14);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(9);
+    RmatParams params = RmatParams::g500(static_cast<int>(state.range(0)));
+    params.edge_factor = 8.0;
+    benchmark::DoNotOptimize(rmat(params, rng));
+  }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(12)->Arg(16);
+
+}  // namespace
+}  // namespace mcm
+
+BENCHMARK_MAIN();

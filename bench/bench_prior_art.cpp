@@ -1,0 +1,79 @@
+/// Reproduces the comparison behind the paper's **§II-B / §I motivation**:
+/// the only prior distributed-memory MCM algorithm — push-relabel (Langguth
+/// et al. [19]) — "did not scale beyond 64 processors", which is what makes
+/// MCM-DIST's scaling to thousands of cores the headline contribution.
+///
+/// Runs both algorithms on the same inputs across process counts and prints
+/// the two speedup curves. Expected shape: push-relabel's bulk-synchronous
+/// rounds pay full all-to-all latency on an ever-shrinking active set, so
+/// its curve flattens at tens of processes while MCM-DIST keeps climbing.
+///
+/// Usage: bench_prior_art [--scale S] [--quick]
+
+#include "bench_common.hpp"
+
+#include "core/dist_push_relabel.hpp"
+#include "matrix/csc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 0.5);
+  const std::vector<int> cores = args.quick
+                                     ? std::vector<int>{24, 192, 768}
+                                     : std::vector<int>{24, 48, 192, 432, 768,
+                                                        1200, 2352};
+
+  Table table("MCM-DIST vs distributed push-relabel (speedup vs 24 cores)");
+  std::vector<std::string> header{"matrix", "algorithm"};
+  for (const int c : cores) header.push_back(std::to_string(c));
+  table.set_header(header);
+  AsciiChart chart("speedup vs cores (log-log)", "cores", "speedup");
+
+  for (const char* name : {"amazon-2008", "wikipedia-20070206"}) {
+    const SuiteMatrix entry = suite_matrix(name, args.scale);
+    Rng rng(args.seed);
+    const CooMatrix coo = entry.build(rng);
+    const CscMatrix a = CscMatrix::from_coo(coo);
+    std::fprintf(stderr, "%s (%lld nnz):\n", name,
+                 static_cast<long long>(coo.nnz()));
+
+    std::vector<std::string> mcm_row{name, "MCM-DIST"};
+    std::vector<std::string> pr_row{name, "push-relabel"};
+    std::vector<std::pair<double, double>> mcm_points, pr_points;
+    double mcm_base = 0, pr_base = 0;
+    for (const int c : cores) {
+      const PipelineResult mcm = bench::timed_pipeline(coo, c, args);
+      const SimConfig config = SimConfig::auto_config(c, 12, args.machine());
+      SimContext pr_ctx(config);
+      DistPrStats pr_stats;
+      const Matching pr = dist_push_relabel(pr_ctx, a, &pr_stats);
+      if (pr.cardinality() != mcm.matching.cardinality()) {
+        std::fprintf(stderr, "CARDINALITY MISMATCH on %s\n", name);
+        return 1;
+      }
+      const double pr_seconds = pr_ctx.ledger().total_us() * 1e-6;
+      std::fprintf(stderr, "  [cores=%5d] push-relabel %.3f s (%lld rounds)\n",
+                   c, pr_seconds, static_cast<long long>(pr_stats.rounds));
+      if (c == cores.front()) {
+        mcm_base = mcm.total_seconds();
+        pr_base = pr_seconds;
+      }
+      mcm_row.push_back(Table::num(mcm_base / mcm.total_seconds(), 2));
+      pr_row.push_back(Table::num(pr_base / pr_seconds, 2));
+      mcm_points.push_back({static_cast<double>(c),
+                            mcm_base / mcm.total_seconds()});
+      pr_points.push_back({static_cast<double>(c), pr_base / pr_seconds});
+    }
+    table.add_row(mcm_row);
+    table.add_row(pr_row);
+    chart.add_series(std::string(name) + " MCM-DIST", mcm_points);
+    chart.add_series(std::string(name) + " push-relabel", pr_points);
+  }
+  table.print();
+  chart.set_log_x(true);
+  chart.print();
+  std::puts("\nPaper shape check: push-relabel's speedup saturates at small"
+            "\nprocess counts (Langguth et al. stopped at 64 processors);"
+            "\nMCM-DIST keeps scaling an order of magnitude further.");
+  return 0;
+}

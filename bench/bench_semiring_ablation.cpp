@@ -1,0 +1,56 @@
+/// Ablation for the paper's **§III-B remark** on semiring choice: the
+/// (select2nd, minParent) default versus the randomized randParent /
+/// randRoot variants, which "randomly distribute vertices among alternating
+/// trees, ensuring better balance of tree sizes". Runs MCM-DIST on the
+/// skewed G500 stand-in (where a few hub columns would otherwise claim most
+/// contested rows) and a mesh, reporting phases, BFS iterations and
+/// simulated time per semiring.
+///
+/// Usage: bench_semiring_ablation [--scale S] [--quick] [--cores N]
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 0.5);
+  const Options options = Options::parse(argc, argv);
+  const int cores = static_cast<int>(options.get_int("cores", 768));
+
+  Table table("Semiring ablation for MCM-DIST (" + std::to_string(cores)
+              + " cores)");
+  table.set_header({"matrix", "semiring", "phases", "iterations",
+                    "MCM time", "|M*|"});
+
+  const struct {
+    SemiringKind kind;
+    const char* name;
+  } semirings[] = {{SemiringKind::MinParent, "minParent"},
+                   {SemiringKind::MaxParent, "maxParent"},
+                   {SemiringKind::RandParent, "randParent"},
+                   {SemiringKind::RandRoot, "randRoot"}};
+
+  for (const char* matrix : {"wikipedia-20070206", "road_usa"}) {
+    const SuiteMatrix entry = suite_matrix(matrix, args.scale);
+    Rng rng(args.seed);
+    const CooMatrix coo = entry.build(rng);
+    for (const auto& semiring : semirings) {
+      PipelineOptions pipeline;
+      pipeline.mcm.semiring = semiring.kind;
+      pipeline.mcm.seed = 12345;
+      const PipelineResult result =
+          bench::timed_pipeline(coo, cores, args, 12, pipeline);
+      table.add_row({matrix, semiring.name,
+                     Table::num(result.mcm_stats.phases),
+                     Table::num(result.mcm_stats.iterations),
+                     bench::fmt_seconds(result.mcm_seconds),
+                     Table::num(result.mcm_stats.final_cardinality)});
+    }
+  }
+  table.print();
+  std::puts("\nShape check: every semiring reaches the same maximum"
+            "\ncardinality (the choice only affects which augmenting paths a"
+            "\nphase discovers); the randomized variants trade deterministic"
+            "\ntie-breaks for balanced alternating trees, changing phase and"
+            "\niteration counts.");
+  return 0;
+}

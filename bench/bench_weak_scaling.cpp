@@ -1,0 +1,61 @@
+/// Weak-scaling companion experiment (not a paper figure; the paper only
+/// reports strong scaling): grow the problem with the machine at a fixed
+/// ~8K columns and ~128K nonzeros per process and watch the per-phase cost
+/// components. Ideal weak scaling would hold the runtime flat; the paper's
+/// complexity analysis (§IV-B) predicts the SpMV bandwidth term grows as
+/// n/sqrt(p) per process and INVERT latency as alpha*p, so runtime must
+/// creep upward — this bench quantifies that creep under the same machine
+/// model the fig* benches use.
+///
+/// Usage: bench_weak_scaling [--quick]
+
+#include "bench_common.hpp"
+
+#include "gen/rmat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, 1.0);
+  // (processes, RMAT scale): scale+1 doubles vertices/edges; 4x processes
+  // per two steps keeps per-process work roughly constant.
+  const std::vector<std::pair<int, int>> steps =
+      args.quick ? std::vector<std::pair<int, int>>{{12, 12}, {48, 14}}
+                 : std::vector<std::pair<int, int>>{
+                       {12, 12}, {48, 14}, {192, 16}, {768, 18}};
+
+  Table table("Weak scaling of MCM-DIST (ER, ~constant nnz per process)");
+  table.set_header({"cores", "procs", "scale", "nnz", "nnz/proc",
+                    "init ms", "MCM ms", "total ms"});
+  AsciiChart chart("weak scaling: runtime vs cores", "cores", "simulated ms");
+  std::vector<std::pair<double, double>> points;
+
+  for (const auto& [cores, scale] : steps) {
+    Rng rng(args.seed);
+    RmatParams params = RmatParams::er(scale);
+    params.edge_factor = 16.0;
+    const CooMatrix coo = rmat(params, rng);
+    const SimConfig config = SimConfig::auto_config(cores, 12, args.machine());
+    const PipelineResult result = run_pipeline(config, coo);
+    std::fprintf(stderr, "  [cores=%4d scale=%d] simulated %.3f s\n", cores,
+                 scale, result.total_seconds());
+    table.add_row({Table::num(static_cast<std::int64_t>(cores)),
+                   Table::num(static_cast<std::int64_t>(config.processes())),
+                   Table::num(static_cast<std::int64_t>(scale)),
+                   Table::num(coo.nnz()),
+                   Table::num(coo.nnz() / config.processes()),
+                   Table::num(result.init_seconds * 1e3, 2),
+                   Table::num(result.mcm_seconds * 1e3, 2),
+                   Table::num(result.total_seconds() * 1e3, 2)});
+    points.push_back({static_cast<double>(cores),
+                      result.total_seconds() * 1e3});
+  }
+  table.print();
+  chart.add_series("ER weak scaling", points);
+  chart.set_log_x(true);
+  chart.print();
+  std::puts("\nShape check: runtime creeps upward with machine size — the"
+            "\nn/sqrt(p) expand bandwidth and alpha*p INVERT latency terms of"
+            "\nthe paper's analysis are not weak-scalable, which is why the"
+            "\npaper pursues communication-avoiding variants as future work.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Quickstart: build a small bipartite graph, compute a maximum cardinality
+/// matching with the distributed algorithm on a simulated 2x2 process grid,
+/// verify it with the König certificate, and print the result.
+///
+///   $ ./quickstart
+///
+/// This walks the same API a real application would use:
+///   CooMatrix -> SimContext -> DistMatrix -> initializer -> mcm_dist.
+
+#include <cstdio>
+
+#include "core/dist_maximal.hpp"
+#include "core/mcm_dist.hpp"
+#include "matching/verify.hpp"
+#include "matrix/csc.hpp"
+
+int main() {
+  using namespace mcm;
+
+  // The bipartite graph from the paper's running example: 5 row vertices,
+  // 5 column vertices, edges as a 5x5 binary sparse matrix.
+  CooMatrix graph(5, 5);
+  graph.add_edge(0, 0);
+  graph.add_edge(1, 0);
+  graph.add_edge(1, 1);
+  graph.add_edge(2, 1);
+  graph.add_edge(2, 4);
+  graph.add_edge(3, 2);
+  graph.add_edge(4, 3);
+  graph.add_edge(4, 4);
+
+  // A simulated machine: 4 cores, 1 thread per process -> a 2x2 grid.
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+
+  // Distribute the matrix over the grid (2D block decomposition, DCSC
+  // blocks) and compute a maximal matching to warm-start MCM.
+  const DistMatrix dist = DistMatrix::distribute(ctx, graph);
+  const Matching initial =
+      dist_maximal_matching(ctx, dist, MaximalKind::DynMindegree);
+  std::printf("maximal matching (dynamic mindegree): %lld edges\n",
+              static_cast<long long>(initial.cardinality()));
+
+  // Run MCM-DIST (multi-source BFS + augmentation) to optimality.
+  McmDistStats stats;
+  const Matching matching = mcm_dist(ctx, dist, initial, {}, &stats);
+  std::printf("maximum matching: %lld edges (%lld BFS phases, %lld paths "
+              "augmented)\n",
+              static_cast<long long>(matching.cardinality()),
+              static_cast<long long>(stats.phases),
+              static_cast<long long>(stats.augmentations));
+
+  for (Index j = 0; j < matching.n_cols(); ++j) {
+    const Index i = matching.mate_c[static_cast<std::size_t>(j)];
+    if (i != kNull) {
+      std::printf("  column c%lld  <->  row r%lld\n",
+                  static_cast<long long>(j), static_cast<long long>(i));
+    }
+  }
+
+  // Certify optimality via König's theorem (no oracle needed).
+  const CscMatrix a = CscMatrix::from_coo(graph);
+  const VerifyResult verdict = verify_maximum(a, matching);
+  std::printf("certified maximum: %s\n", verdict ? "yes" : verdict.reason.c_str());
+
+  // Simulated distributed cost breakdown.
+  std::printf("\nsimulated cost breakdown:\n%s", ctx.ledger().report().c_str());
+  return verdict ? 0 : 1;
+}

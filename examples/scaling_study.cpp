@@ -1,0 +1,83 @@
+/// Scaling study: run MCM-DIST on one graph across a sweep of simulated
+/// machine sizes and print the strong-scaling curve plus the cost breakdown
+/// at each point — a small self-serve version of the paper's Figs. 4 & 5 for
+/// a workload of your choice.
+///
+///   $ ./scaling_study --family g500 --graph-scale 13
+///   $ ./scaling_study --family road --graph-scale 14 --threads 1
+///   $ ./scaling_study path/to/matrix.mtx
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matrix/mmio.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const Options options = Options::parse(argc, argv);
+  const std::string family = options.get("family", "g500");
+  const int graph_scale = static_cast<int>(options.get_int("graph-scale", 13));
+  const int threads = static_cast<int>(options.get_int("threads", 12));
+
+  Rng rng(static_cast<std::uint64_t>(options.get_int("seed", 1)));
+  CooMatrix graph;
+  std::string name;
+  if (!options.positional().empty()) {
+    name = options.positional().front();
+    graph = read_matrix_market_file(name);
+  } else if (family == "g500" || family == "er" || family == "ssca") {
+    RmatParams params = family == "g500"  ? RmatParams::g500(graph_scale)
+                        : family == "er"  ? RmatParams::er(graph_scale)
+                                          : RmatParams::ssca(graph_scale);
+    params.edge_factor = 16.0;
+    graph = rmat(params, rng);
+    name = family + "-" + std::to_string(graph_scale);
+  } else if (family == "road") {
+    const Index side = Index{1} << (graph_scale / 2 + 2);
+    graph = grid_mesh(side, side, 0.05, 0.08, rng);
+    name = "road-" + std::to_string(side) + "x" + std::to_string(side);
+  } else {
+    std::fprintf(stderr, "unknown --family %s (g500|er|ssca|road)\n",
+                 family.c_str());
+    return 1;
+  }
+  std::printf("graph %s: %lld x %lld, %lld edges\n", name.c_str(),
+              static_cast<long long>(graph.n_rows),
+              static_cast<long long>(graph.n_cols),
+              static_cast<long long>(graph.nnz()));
+
+  const std::vector<int> core_sweep{24, 48, 192, 432, 768, 1728};
+  Table table("strong scaling of MCM-DIST on " + name);
+  table.set_header({"cores", "procs", "threads", "init ms", "MCM ms",
+                    "total ms", "speedup", "|M*|"});
+
+  AsciiChart chart("speedup vs cores", "cores", "speedup");
+  std::vector<std::pair<double, double>> points;
+  double base = 0;
+  for (const int cores : core_sweep) {
+    const SimConfig config = SimConfig::auto_config(cores, threads);
+    const PipelineResult result = run_pipeline(config, graph);
+    if (base == 0) base = result.total_seconds();
+    const double speedup = base / result.total_seconds();
+    table.add_row({Table::num(static_cast<std::int64_t>(cores)),
+                   Table::num(static_cast<std::int64_t>(config.processes())),
+                   Table::num(static_cast<std::int64_t>(config.threads_per_process)),
+                   Table::num(result.init_seconds * 1e3, 2),
+                   Table::num(result.mcm_seconds * 1e3, 2),
+                   Table::num(result.total_seconds() * 1e3, 2),
+                   Table::num(speedup, 2),
+                   Table::num(result.matching.cardinality())});
+    points.push_back({static_cast<double>(cores), speedup});
+  }
+  table.print();
+  chart.add_series(name, points);
+  chart.set_log_x(true);
+  chart.print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// The paper's motivating application (§I): preprocessing a sparse linear
+/// system for a distributed solver. A perfect (column-complete) matching of
+/// the matrix's bipartite structure yields a row permutation that puts a
+/// structural nonzero on every diagonal position — the "zero-free diagonal"
+/// static pivoting step solvers like SuperLU_DIST run before factorization.
+/// The paper's point is that this step should run *in place* on the
+/// distributed matrix rather than gathering it to one node.
+///
+///   $ ./sparse_solver_preprocess [--n N] [--cores C] [file.mtx]
+///
+/// With a MatrixMarket file argument the real matrix is used; otherwise a
+/// synthetic KKT-like system is generated.
+
+#include <cstdio>
+#include <string>
+
+#include "core/driver.hpp"
+#include "gen/structured.hpp"
+#include "matching/verify.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/mmio.hpp"
+#include "matrix/permute.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const Options options = Options::parse(argc, argv);
+  const Index n = options.get_int("n", 2000);
+  const int cores = static_cast<int>(options.get_int("cores", 48));
+
+  CooMatrix system;
+  if (!options.positional().empty()) {
+    system = read_matrix_market_file(options.positional().front());
+    std::printf("loaded %s: %lld x %lld, %lld nonzeros\n",
+                options.positional().front().c_str(),
+                static_cast<long long>(system.n_rows),
+                static_cast<long long>(system.n_cols),
+                static_cast<long long>(system.nnz()));
+  } else {
+    Rng rng(42);
+    system = kkt_block(n, n / 4, 2, 0.002, rng);
+    std::printf("generated KKT-like system: %lld x %lld, %lld nonzeros\n",
+                static_cast<long long>(system.n_rows),
+                static_cast<long long>(system.n_cols),
+                static_cast<long long>(system.nnz()));
+  }
+  if (system.n_rows != system.n_cols) {
+    std::printf("matrix is rectangular; zero-free diagonal needs square\n");
+    return 1;
+  }
+
+  // Count structural zeros currently on the diagonal.
+  const CscMatrix a = CscMatrix::from_coo(system);
+  Index zero_diagonal = 0;
+  for (Index i = 0; i < a.n_rows(); ++i) {
+    if (!a.has_entry(i, i)) ++zero_diagonal;
+  }
+  std::printf("structural zeros on the diagonal before permutation: %lld\n",
+              static_cast<long long>(zero_diagonal));
+
+  // Maximum matching on the simulated distributed machine.
+  const PipelineResult result =
+      run_pipeline(SimConfig::auto_config(cores, 12), system);
+  const Index matched = result.matching.cardinality();
+  std::printf("maximum matching: %lld of %lld columns (simulated %0.3f s on "
+              "%d cores)\n",
+              static_cast<long long>(matched),
+              static_cast<long long>(system.n_cols), result.total_seconds(),
+              cores);
+
+  if (matched < system.n_cols) {
+    std::printf("matrix is structurally singular: %lld columns cannot be "
+                "covered (structural rank deficiency)\n",
+                static_cast<long long>(system.n_cols - matched));
+    return 0;
+  }
+
+  // Row permutation: row mate_c[j] moves to position j.
+  Permutation row_perm;
+  row_perm.map.assign(static_cast<std::size_t>(system.n_rows), kNull);
+  for (Index j = 0; j < system.n_cols; ++j) {
+    row_perm.map[static_cast<std::size_t>(
+        result.matching.mate_c[static_cast<std::size_t>(j)])] = j;
+  }
+  row_perm.validate();
+  const CooMatrix permuted =
+      permute(system, row_perm, Permutation::identity(system.n_cols));
+  const CscMatrix pa = CscMatrix::from_coo(permuted);
+  Index still_zero = 0;
+  for (Index i = 0; i < pa.n_rows(); ++i) {
+    if (!pa.has_entry(i, i)) ++still_zero;
+  }
+  std::printf("structural zeros on the diagonal after permutation: %lld\n",
+              static_cast<long long>(still_zero));
+  return still_zero == 0 ? 0 : 1;
+}

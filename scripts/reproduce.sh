@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, run the full test suite, regenerate every
+# paper table/figure, and leave the transcripts at the repository root
+# (test_output.txt, bench_output.txt).
+#
+# Usage: scripts/reproduce.sh [--quick]
+#   --quick   pass --quick to every bench (smoke run, ~1 minute)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK_FLAG="--quick"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== ${b} ====="
+    "${b}" ${QUICK_FLAG}
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

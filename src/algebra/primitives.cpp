@@ -1,0 +1,13 @@
+#include "algebra/primitives.hpp"
+
+#include <algorithm>
+
+namespace mcm {
+
+std::vector<Index> sorted_unique(std::vector<Index> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace mcm

@@ -1,0 +1,189 @@
+#pragma once
+/// \file primitives.hpp
+/// Sequential reference implementations of the paper's Table I primitives:
+/// IND, SELECT, SET (both scatter and gather forms), INVERT, PRUNE, and the
+/// sparse accumulator used by SpMV. The distributed versions in `dist/` call
+/// these on per-rank local pieces and add the communication steps.
+///
+/// Conventions shared with the paper:
+///  - sparse vectors iterate in increasing index order;
+///  - dense vectors use kNull (-1) for missing values;
+///  - INVERT keeps the *first* (smallest input index) entry when several
+///    nonzeros share the same value ("we keep the first index", Table I).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "algebra/spvec.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// IND(x): local indices of the nonzero entries of x. O(nnz(x)).
+template <typename T>
+[[nodiscard]] std::vector<Index> ind(const SpVec<T>& x) {
+  return x.indices();
+}
+
+/// SELECT(x, y, expr): entries of x at indices i where expr(y[i]) holds.
+/// x and y must be aligned (len(x) == size(y)). O(nnz(x)).
+template <typename T, typename U, typename Pred>
+[[nodiscard]] SpVec<T> select(const SpVec<T>& x, const std::vector<U>& y,
+                              Pred expr) {
+  if (static_cast<std::size_t>(x.len()) != y.size()) {
+    throw std::invalid_argument("select: sparse/dense length mismatch");
+  }
+  SpVec<T> z(x.len());
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index i = x.index_at(k);
+    if (expr(y[static_cast<std::size_t>(i)])) z.push_back(i, x.value_at(k));
+  }
+  return z;
+}
+
+/// SELECT variant whose predicate sees both the dense element and the sparse
+/// value (needed when the filter depends on the frontier payload).
+template <typename T, typename U, typename Pred>
+[[nodiscard]] SpVec<T> select2(const SpVec<T>& x, const std::vector<U>& y,
+                               Pred expr) {
+  if (static_cast<std::size_t>(x.len()) != y.size()) {
+    throw std::invalid_argument("select2: sparse/dense length mismatch");
+  }
+  SpVec<T> z(x.len());
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index i = x.index_at(k);
+    if (expr(y[static_cast<std::size_t>(i)], x.value_at(k))) {
+      z.push_back(i, x.value_at(k));
+    }
+  }
+  return z;
+}
+
+/// SET (scatter form): y[i] <- value_of(x[i]) for every nonzero index i of x.
+/// Other positions of y are untouched. O(nnz(x)).
+template <typename T, typename U, typename ValueF>
+void set_dense(std::vector<U>& y, const SpVec<T>& x, ValueF value_of) {
+  if (static_cast<std::size_t>(x.len()) != y.size()) {
+    throw std::invalid_argument("set_dense: sparse/dense length mismatch");
+  }
+  for (Index k = 0; k < x.nnz(); ++k) {
+    y[static_cast<std::size_t>(x.index_at(k))] = value_of(x.value_at(k));
+  }
+}
+
+/// SET (gather form): x[i] <- update(x[i], y[i]) for every nonzero index i of
+/// x; used e.g. to overwrite frontier parents with mates (Algorithm 2 step 7).
+/// O(nnz(x)).
+template <typename T, typename U, typename UpdateF>
+void set_sparse(SpVec<T>& x, const std::vector<U>& y, UpdateF update) {
+  if (static_cast<std::size_t>(x.len()) != y.size()) {
+    throw std::invalid_argument("set_sparse: sparse/dense length mismatch");
+  }
+  for (Index k = 0; k < x.nnz(); ++k) {
+    update(x.value_at(k), y[static_cast<std::size_t>(x.index_at(k))]);
+  }
+}
+
+/// INVERT(x): swaps indices and values. Entry (i, v) of x produces entry
+/// (key_of(i, v), payload_of(i, v)) of the result, whose logical length is
+/// out_len. Keys outside [0, out_len) throw. When keys collide, the entry
+/// with the smallest input index wins. O(nnz(x) log nnz(x)).
+template <typename Out, typename T, typename KeyF, typename PayloadF>
+[[nodiscard]] SpVec<Out> invert(const SpVec<T>& x, Index out_len, KeyF key_of,
+                                PayloadF payload_of) {
+  struct Entry {
+    Index key;
+    Out payload;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(x.nnz()));
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index i = x.index_at(k);
+    const Index key = key_of(i, x.value_at(k));
+    if (key < 0 || key >= out_len) {
+      throw std::out_of_range("invert: value " + std::to_string(key)
+                              + " outside output length "
+                              + std::to_string(out_len));
+    }
+    entries.push_back({key, payload_of(i, x.value_at(k))});
+  }
+  // Stable sort keeps input (index) order among equal keys, so keep-first
+  // dedup below implements the paper's "keep the first index" rule.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  SpVec<Out> z(out_len);
+  z.reserve(entries.size());
+  Index prev_key = kNull;
+  for (const Entry& e : entries) {
+    if (e.key == prev_key) continue;
+    z.push_back(e.key, e.payload);
+    prev_key = e.key;
+  }
+  return z;
+}
+
+/// Sorts and deduplicates a list of indices in place, returning it.
+/// (Compiled helper shared by prune and the distributed runtime.)
+std::vector<Index> sorted_unique(std::vector<Index> values);
+
+/// PRUNE(x, roots): removes entries of x whose root_of(value) appears in
+/// `roots`. Complexity matches the paper: sort the smaller side, binary
+/// search the other — here `roots` is sorted (it is the gathered, typically
+/// small, set of augmenting-path roots) and each of the nnz(x) entries does a
+/// log-time lookup.
+template <typename T, typename RootF>
+[[nodiscard]] SpVec<T> prune(const SpVec<T>& x, const std::vector<Index>& roots,
+                             RootF root_of) {
+  const std::vector<Index> sorted = sorted_unique(roots);
+  SpVec<T> z(x.len());
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index root = root_of(x.value_at(k));
+    if (!std::binary_search(sorted.begin(), sorted.end(), root)) {
+      z.push_back(x.index_at(k), x.value_at(k));
+    }
+  }
+  return z;
+}
+
+/// Sparse accumulator (SPA) with epoch-stamped slots: clearing between SpMV
+/// calls is O(1), so the per-iteration cost stays proportional to the
+/// frontier, not to n.
+template <typename T>
+class Spa {
+ public:
+  explicit Spa(Index n)
+      : epoch_(static_cast<std::size_t>(n), 0), value_(static_cast<std::size_t>(n)) {}
+
+  /// Invalidate all slots in O(1).
+  void reset() { ++current_; }
+
+  [[nodiscard]] bool occupied(Index i) const {
+    return epoch_[static_cast<std::size_t>(i)] == current_;
+  }
+
+  [[nodiscard]] const T& get(Index i) const { return value_[static_cast<std::size_t>(i)]; }
+
+  /// Accumulates `v` into slot i with the semiring add; returns true when the
+  /// slot was previously empty (caller records the touched index).
+  template <typename SR>
+  bool accumulate(Index i, const T& v, const SR& sr) {
+    const auto s = static_cast<std::size_t>(i);
+    if (epoch_[s] == current_) {
+      value_[s] = sr.add(value_[s], v);
+      return false;
+    }
+    epoch_[s] = current_;
+    value_[s] = v;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> epoch_;
+  std::vector<T> value_;
+  std::uint32_t current_ = 1;
+};
+
+}  // namespace mcm

@@ -1,0 +1,135 @@
+#pragma once
+/// \file semiring.hpp
+/// BFS semirings (paper §III-B). A semiring here is, in the paper's
+/// "heterogeneous algebra" sense, a pair of operations:
+///
+///   multiply(j, x): combines a (binary) matrix entry in column/row j with a
+///     frontier value x. For BFS this is `select2nd` *with parent rewrite*:
+///     the result is the frontier value whose parent becomes j — the vertex
+///     we arrived from.
+///   add(a, b): combines two candidate values landing on the same output
+///     vertex. Must be associative and commutative so the distributed fold
+///     may merge partial results in any order; all variants below satisfy
+///     this (min/max over a total order, or min over a hashed priority for
+///     the "random" variants, which makes randomness order-independent and
+///     reproducible).
+///
+/// Variants mirror the paper: (select2nd, minParent) is the default;
+/// (select2nd, randParent) / (select2nd, randRoot) randomize which
+/// alternating tree claims a contested vertex, balancing tree sizes.
+
+#include <cstdint>
+
+#include "algebra/vertex.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// SplitMix64-style finalizer used as the deterministic "random" priority.
+[[nodiscard]] constexpr std::uint64_t hash_priority(std::uint64_t x,
+                                                    std::uint64_t seed) noexcept {
+  x += 0x9e3779b97f4a7c15ULL + seed;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// (select2nd, minParent): deterministic default of the paper's examples.
+/// Ties on the parent break on the root, making add a min over a *total*
+/// order — the property commutativity/associativity (and hence fold-order
+/// independence) rests on.
+struct Select2ndMinParent {
+  static constexpr Vertex multiply(Index j, const Vertex& x) noexcept {
+    return Vertex(j, x.root);
+  }
+  static constexpr Vertex add(const Vertex& a, const Vertex& b) noexcept {
+    if (a.parent != b.parent) return a.parent < b.parent ? a : b;
+    return a.root <= b.root ? a : b;
+  }
+};
+
+/// (select2nd, maxParent): the opposite tie-break; exists to show results are
+/// tie-break independent in tests.
+struct Select2ndMaxParent {
+  static constexpr Vertex multiply(Index j, const Vertex& x) noexcept {
+    return Vertex(j, x.root);
+  }
+  static constexpr Vertex add(const Vertex& a, const Vertex& b) noexcept {
+    if (a.parent != b.parent) return a.parent > b.parent ? a : b;
+    return a.root >= b.root ? a : b;
+  }
+};
+
+/// (select2nd, randParent): contested vertices go to the parent with the
+/// smaller hashed priority.
+struct Select2ndRandParent {
+  std::uint64_t seed = 0;
+  constexpr Vertex multiply(Index j, const Vertex& x) const noexcept {
+    return Vertex(j, x.root);
+  }
+  constexpr Vertex add(const Vertex& a, const Vertex& b) const noexcept {
+    const auto ha = hash_priority(static_cast<std::uint64_t>(a.parent), seed);
+    const auto hb = hash_priority(static_cast<std::uint64_t>(b.parent), seed);
+    if (ha != hb) return ha < hb ? a : b;
+    if (a.parent != b.parent) return a.parent < b.parent ? a : b;
+    return a.root <= b.root ? a : b;  // total-order fallback
+  }
+};
+
+/// (select2nd, randRoot): contested vertices go to the *tree* with the
+/// smaller hashed priority — the paper notes this balances alternating-tree
+/// sizes when unmatched vertices are clustered.
+struct Select2ndRandRoot {
+  std::uint64_t seed = 0;
+  constexpr Vertex multiply(Index j, const Vertex& x) const noexcept {
+    return Vertex(j, x.root);
+  }
+  constexpr Vertex add(const Vertex& a, const Vertex& b) const noexcept {
+    const auto ha = hash_priority(static_cast<std::uint64_t>(a.root), seed);
+    const auto hb = hash_priority(static_cast<std::uint64_t>(b.root), seed);
+    if (ha != hb) return ha < hb ? a : b;
+    if (a.root != b.root) return a.root < b.root ? a : b;
+    return a.parent <= b.parent ? a : b;
+  }
+};
+
+/// (select2nd, min) over plain indices; used by the distributed maximal
+/// matching initializers where frontier values are proposing vertex ids.
+struct Select2ndMinIndex {
+  static constexpr Index multiply(Index j, Index /*x*/) noexcept { return j; }
+  static constexpr Index add(Index a, Index b) noexcept { return a <= b ? a : b; }
+};
+
+/// (+, 1): counts contributing edges per output vertex — computes dynamic
+/// degrees w.r.t. an indicator frontier (Karp-Sipser / mindegree
+/// initializers maintain "number of unmatched neighbors" this way).
+struct PlusCount {
+  static constexpr Index multiply(Index /*j*/, Index x) noexcept { return x; }
+  static constexpr Index add(Index a, Index b) noexcept { return a + b; }
+};
+
+/// Proposal carrying a sort key (e.g. current degree) and the proposer id;
+/// add keeps the lexicographically smallest (key, id). Used by the dynamic
+/// mindegree initializer.
+struct KeyedProposal {
+  Index key = 0;
+  Index id = kNull;
+  friend constexpr bool operator==(const KeyedProposal&,
+                                   const KeyedProposal&) = default;
+};
+
+struct MinKeyedProposal {
+  /// multiply: the proposal travels unchanged (the key was computed at the
+  /// source); j is unused because the proposer already stamped its id.
+  static constexpr KeyedProposal multiply(Index /*j*/,
+                                          const KeyedProposal& x) noexcept {
+    return x;
+  }
+  static constexpr KeyedProposal add(const KeyedProposal& a,
+                                     const KeyedProposal& b) noexcept {
+    if (a.key != b.key) return a.key < b.key ? a : b;
+    return a.id <= b.id ? a : b;
+  }
+};
+
+}  // namespace mcm

@@ -1,0 +1,108 @@
+#pragma once
+/// \file spmv.hpp
+/// Sparse matrix - sparse vector multiplication over a semiring, the
+/// neighborhood-exploration kernel (paper §III-B step 1, Fig. 2). Two
+/// flavors:
+///
+///  - spmv(CscMatrix, x): sequential, used by the reference algorithms and
+///    to cross-check the distributed version;
+///  - spmv_dcsc(DcscMatrix, x, spa, flops): local kernel for one 2D block in
+///    the distributed algorithm. The input segment and the block's non-empty
+///    columns are both sorted, so a merge join visits exactly the columns
+///    present on both sides — O(nnz(x) + nzc + work) with no O(n) term,
+///    preserving hypersparse work efficiency.
+///
+/// Complexity (both): sum over frontier columns k of nnz(A(:, k)), as in
+/// Table I. The `flops` out-parameter reports that count so the simulated
+/// runtime can charge compute time for it.
+
+#include <vector>
+
+#include "algebra/primitives.hpp"
+#include "algebra/spvec.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/dcsc.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// y = A (+).(x) over semiring SR: y_i = add over {multiply(j, x_j) : A(i,j)
+/// nonzero, x_j nonzero}. Output length = A.n_rows(). Entries are produced in
+/// increasing row order.
+template <typename T, typename SR>
+[[nodiscard]] SpVec<T> spmv(const CscMatrix& a, const SpVec<T>& x, const SR& sr,
+                            std::uint64_t* flops = nullptr) {
+  if (x.len() != a.n_cols()) {
+    throw std::invalid_argument("spmv: vector length != matrix columns");
+  }
+  Spa<T> spa(a.n_rows());
+  std::vector<Index> touched;
+  std::uint64_t work = 0;
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index j = x.index_at(k);
+    for (Index pos = a.col_begin(j); pos < a.col_end(j); ++pos) {
+      const Index i = a.row_at(pos);
+      if (spa.accumulate(i, sr.multiply(j, x.value_at(k)), sr)) {
+        touched.push_back(i);
+      }
+      ++work;
+    }
+  }
+  if (flops != nullptr) *flops += work;
+  std::sort(touched.begin(), touched.end());
+  SpVec<T> y(a.n_rows());
+  y.reserve(touched.size());
+  for (const Index i : touched) y.push_back(i, spa.get(i));
+  return y;
+}
+
+/// Local block kernel: same semantics as spmv() but over a DCSC block and
+/// with a caller-provided SPA (reset internally), so repeated calls reuse the
+/// accumulator. Column indices of `x` are block-local, as are output row
+/// indices; `col_offset` is added when passing the column index to the
+/// semiring multiply, so parent ids recorded in frontiers stay *global* even
+/// though the block only knows local ids.
+template <typename T, typename SR>
+[[nodiscard]] SpVec<T> spmv_dcsc(const DcscMatrix& a, const SpVec<T>& x,
+                                 Spa<T>& spa, const SR& sr,
+                                 std::uint64_t* flops = nullptr,
+                                 Index col_offset = 0) {
+  if (x.len() != a.n_cols()) {
+    throw std::invalid_argument("spmv_dcsc: vector length != block columns");
+  }
+  spa.reset();
+  std::vector<Index> touched;
+  std::uint64_t work = 0;
+  // Merge join of x's indices with the block's non-empty columns.
+  Index k = 0;
+  Index c = 0;
+  const Index x_nnz = x.nnz();
+  const Index nzc = a.nzc();
+  while (k < x_nnz && c < nzc) {
+    const Index xj = x.index_at(k);
+    const Index aj = a.nonempty_col(c);
+    if (xj < aj) {
+      ++k;
+    } else if (aj < xj) {
+      ++c;
+    } else {
+      for (Index pos = a.cp_begin(c); pos < a.cp_end(c); ++pos) {
+        const Index i = a.row_at(pos);
+        if (spa.accumulate(i, sr.multiply(col_offset + xj, x.value_at(k)), sr)) {
+          touched.push_back(i);
+        }
+        ++work;
+      }
+      ++k;
+      ++c;
+    }
+  }
+  if (flops != nullptr) *flops += work;
+  std::sort(touched.begin(), touched.end());
+  SpVec<T> y(a.n_rows());
+  y.reserve(touched.size());
+  for (const Index i : touched) y.push_back(i, spa.get(i));
+  return y;
+}
+
+}  // namespace mcm

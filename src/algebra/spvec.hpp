@@ -1,0 +1,64 @@
+#pragma once
+/// \file spvec.hpp
+/// Sparse vector: the frontier representation of the paper. A sparse vector
+/// of logical length `len` stores only its nonzero entries as parallel
+/// (index, value) arrays with indices strictly increasing. Work efficiency of
+/// the whole MS-BFS formulation rests on every per-iteration primitive
+/// touching O(nnz(frontier)) data, never O(n) — hence sorted sparse storage.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mcm {
+
+template <typename T>
+class SpVec {
+ public:
+  SpVec() = default;
+  explicit SpVec(Index len) : len_(len) {}
+
+  [[nodiscard]] Index len() const { return len_; }
+  [[nodiscard]] Index nnz() const { return static_cast<Index>(idx_.size()); }
+  [[nodiscard]] bool empty() const { return idx_.empty(); }
+
+  /// Appends a nonzero; indices must arrive in strictly increasing order
+  /// (checked in debug builds).
+  void push_back(Index i, const T& value) {
+    assert(i >= 0 && i < len_);
+    assert(idx_.empty() || idx_.back() < i);
+    idx_.push_back(i);
+    val_.push_back(value);
+  }
+
+  void reserve(std::size_t n) {
+    idx_.reserve(n);
+    val_.reserve(n);
+  }
+
+  void clear() {
+    idx_.clear();
+    val_.clear();
+  }
+
+  /// k-th nonzero (0 <= k < nnz()), by position not by logical index.
+  [[nodiscard]] Index index_at(Index k) const { return idx_[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] const T& value_at(Index k) const { return val_[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] T& value_at(Index k) { return val_[static_cast<std::size_t>(k)]; }
+
+  [[nodiscard]] const std::vector<Index>& indices() const { return idx_; }
+  [[nodiscard]] const std::vector<T>& values() const { return val_; }
+
+  friend bool operator==(const SpVec& a, const SpVec& b) {
+    return a.len_ == b.len_ && a.idx_ == b.idx_ && a.val_ == b.val_;
+  }
+
+ private:
+  Index len_ = 0;
+  std::vector<Index> idx_;
+  std::vector<T> val_;
+};
+
+}  // namespace mcm

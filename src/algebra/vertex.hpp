@@ -1,0 +1,23 @@
+#pragma once
+/// \file vertex.hpp
+/// The VERTEX data structure of the paper (§III-B): every element of a BFS
+/// frontier carries a (parent, root) pair. The parent is updated at every
+/// BFS level; the root is inherited from the parent, so each frontier entry
+/// always knows which alternating tree (= which unmatched column vertex) it
+/// belongs to.
+
+#include "util/types.hpp"
+
+namespace mcm {
+
+struct Vertex {
+  Index parent = kNull;
+  Index root = kNull;
+
+  constexpr Vertex() = default;
+  constexpr Vertex(Index parent_, Index root_) : parent(parent_), root(root_) {}
+
+  friend constexpr bool operator==(const Vertex&, const Vertex&) = default;
+};
+
+}  // namespace mcm

@@ -1,0 +1,151 @@
+#include "core/augment.hpp"
+
+#include <algorithm>
+
+#include "dist/dist_primitives.hpp"
+#include "dist/rma.hpp"
+
+namespace mcm {
+namespace {
+
+/// Algorithm 3: lockstep augmentation. Maintains v_r, the sparse row-space
+/// vector of each live path's current row; every step matches one (row,
+/// column) pair per path and climbs to the previous mate.
+AugmentResult augment_level_parallel(SimContext& ctx,
+                                     DistDenseVec<Index>& path_c,
+                                     const DistDenseVec<Index>& pi_r,
+                                     DistDenseVec<Index>& mate_r,
+                                     DistDenseVec<Index>& mate_c,
+                                     Index paths) {
+  AugmentResult result;
+  result.paths = paths;
+  result.used_path_parallel = false;
+
+  const Index n_rows = mate_r.length();
+  const Index n_cols = mate_c.length();
+
+  // v_c <- sparse(path_c): index = root column, value = endpoint row.
+  DistSpVec<Index> v_c = dist_from_dense<Index>(
+      ctx, Cost::Augment, path_c, [](Index v) { return v != kNull; },
+      [](Index, Index v) { return v; });
+  // v_r <- INVERT(v_c): index = endpoint row. Endpoint rows are distinct
+  // (paths are vertex-disjoint) so no collisions.
+  DistSpVec<Index> v_r = dist_invert<Index>(
+      ctx, Cost::Augment, v_c, VSpace::Row, n_rows,
+      [](Index, Index v) { return v; }, [](Index g, Index) { return g; });
+
+  while (dist_nnz(ctx, Cost::Augment, v_r) > 0) {
+    ++result.steps;
+    // c <- pi_r[r]: the column that discovered each current row.
+    dist_set_sparse(ctx, Cost::Augment, v_r, pi_r,
+                    [](Index& value, Index parent) { value = parent; });
+    // mate_r[r] <- c.
+    dist_set_dense(ctx, Cost::Augment, mate_r, v_r,
+                   [](Index c) { return c; });
+    // Hop to column space: index = c, value = r.
+    v_c = dist_invert<Index>(
+        ctx, Cost::Augment, v_r, VSpace::Col, n_cols,
+        [](Index, Index value) { return value; },
+        [](Index g, Index) { return g; });
+    // Swap in the new mate, remembering the previous one: the previous mate
+    // is the next row up the alternating path (kNull exactly at the root).
+    for (int r = 0; r < ctx.processes(); ++r) {
+      SpVec<Index>& piece = v_c.piece(r);
+      auto& mates = mate_c.piece(r);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        std::swap(mates[static_cast<std::size_t>(piece.index_at(k))],
+                  piece.value_at(k));
+      }
+    }
+    ctx.charge_elem_ops(
+        Cost::Augment, static_cast<std::uint64_t>(v_c.max_piece_nnz()));
+    // Paths whose column was the unmatched root are finished.
+    v_c = dist_filter(ctx, Cost::Augment, v_c,
+                      [](Index previous) { return previous != kNull; });
+    // Back to row space for the next step: index = previous mate row.
+    v_r = dist_invert<Index>(
+        ctx, Cost::Augment, v_c, VSpace::Row, n_rows,
+        [](Index, Index value) { return value; },
+        [](Index g, Index) { return g; });
+  }
+  return result;
+}
+
+/// Algorithm 4: every rank walks the paths whose root column it owns,
+/// asynchronously, with 3 one-sided ops per matched pair.
+AugmentResult augment_path_parallel(SimContext& ctx,
+                                    DistDenseVec<Index>& path_c,
+                                    DistDenseVec<Index>& pi_r,
+                                    DistDenseVec<Index>& mate_r,
+                                    DistDenseVec<Index>& mate_c, Index paths) {
+  AugmentResult result;
+  result.paths = paths;
+  result.used_path_parallel = true;
+
+  RmaWindow<Index> win_pi(ctx, pi_r);
+  RmaWindow<Index> win_mate_r(ctx, mate_r);
+  RmaWindow<Index> win_mate_c(ctx, mate_c);
+
+  Index longest = 0;
+  for (int origin = 0; origin < ctx.processes(); ++origin) {
+    const auto& piece = path_c.piece(origin);
+    for (std::size_t k = 0; k < piece.size(); ++k) {
+      Index row = piece[k];
+      if (row == kNull) continue;
+      Index steps = 0;
+      for (;;) {
+        ++steps;
+        const Index col = win_pi.get(origin, row);             // MPI_GET
+        const Index previous =
+            win_mate_c.fetch_and_replace(origin, col, row);    // FETCH_AND_OP
+        win_mate_r.put(origin, row, col);                      // MPI_PUT
+        if (previous == kNull) break;  // col was the unmatched root
+        row = previous;
+      }
+      longest = std::max(longest, steps);
+    }
+  }
+  result.steps = longest;
+  win_pi.flush(Cost::Augment);
+  win_mate_r.flush(Cost::Augment);
+  win_mate_c.flush(Cost::Augment);
+  return result;
+}
+
+}  // namespace
+
+bool path_parallel_wins(Index k, int processes) {
+  return k < 2 * static_cast<Index>(processes) * static_cast<Index>(processes);
+}
+
+AugmentResult dist_augment(SimContext& ctx, AugmentMode mode,
+                           DistDenseVec<Index>& path_c,
+                           DistDenseVec<Index>& pi_r,
+                           DistDenseVec<Index>& mate_r,
+                           DistDenseVec<Index>& mate_c) {
+  // k is known from an allreduce over per-rank path counts.
+  Index paths = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    for (const Index v : path_c.piece(r)) {
+      if (v != kNull) ++paths;
+    }
+  }
+  ctx.charge_allreduce(Cost::Augment, ctx.processes());
+
+  const bool use_path =
+      mode == AugmentMode::PathParallel
+      || (mode == AugmentMode::Auto && path_parallel_wins(paths, ctx.processes()));
+
+  AugmentResult result;
+  if (paths > 0) {
+    if (use_path) {
+      result = augment_path_parallel(ctx, path_c, pi_r, mate_r, mate_c, paths);
+    } else {
+      result = augment_level_parallel(ctx, path_c, pi_r, mate_r, mate_c, paths);
+    }
+  }
+  dist_fill(ctx, Cost::Augment, path_c, kNull);
+  return result;
+}
+
+}  // namespace mcm

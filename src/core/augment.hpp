@@ -1,0 +1,53 @@
+#pragma once
+/// \file augment.hpp
+/// Distributed augmentation of a matching by a set of vertex-disjoint
+/// augmenting paths — the paper's two kernels and the automatic switch
+/// between them (§IV-B):
+///
+///   Level-parallel (Algorithm 3): all paths advance in lockstep, one
+///     matched pair per path per step, built from two INVERT all-to-alls per
+///     step. Per-step communication is h(6 alpha p + ...) — latency-bound
+///     when few paths remain.
+///   Path-parallel (Algorithm 4): each rank walks its own k/p paths
+///     asynchronously with one-sided RMA, three ops per step
+///     (GET parent, FETCH_AND_OP mate_c, PUT mate_r), costing
+///     k/p * 3h (alpha + beta) per rank.
+///
+/// Equating the latency terms gives the paper's switch rule: path-parallel
+/// wins when k < 2 p^2.
+
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+enum class AugmentMode {
+  Auto,           ///< paper's rule: path-parallel iff k < 2 p^2
+  LevelParallel,  ///< force Algorithm 3
+  PathParallel,   ///< force Algorithm 4
+};
+
+struct AugmentResult {
+  Index paths = 0;              ///< k, number of augmenting paths applied
+  Index steps = 0;              ///< level steps (level-parallel) or longest walk
+  bool used_path_parallel = false;
+};
+
+/// Applies every augmenting path recorded in `path_c` (path_c[root] =
+/// endpoint row, kNull elsewhere), flipping matched/unmatched edges along
+/// parent pointers `pi_r`. All vectors are updated in place; `path_c` is
+/// consumed (reset to kNull) so the caller can reuse it next phase. `pi_r`
+/// is taken mutably because the path-parallel kernel opens an RMA window on
+/// it; its contents are only read.
+AugmentResult dist_augment(SimContext& ctx, AugmentMode mode,
+                           DistDenseVec<Index>& path_c,
+                           DistDenseVec<Index>& pi_r,
+                           DistDenseVec<Index>& mate_r,
+                           DistDenseVec<Index>& mate_c);
+
+/// The switch criterion, exposed for the crossover bench: true when
+/// path-parallel is predicted faster for k paths on p processes.
+[[nodiscard]] bool path_parallel_wins(Index k, int processes);
+
+}  // namespace mcm

@@ -1,0 +1,165 @@
+#include "core/dist_maximal.hpp"
+
+#include <stdexcept>
+
+#include "algebra/semiring.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+
+namespace mcm {
+namespace {
+
+struct MaximalState {
+  DistDenseVec<Index> mate_r;
+  DistDenseVec<Index> mate_c;
+
+  MaximalState(SimContext& ctx, const DistMatrix& a)
+      : mate_r(ctx, VSpace::Row, a.n_rows(), kNull),
+        mate_c(ctx, VSpace::Col, a.n_cols(), kNull) {}
+};
+
+/// Shared tail of every round: rows in `y_r` each accepted the column stored
+/// in their entry (as a plain column id). Columns receiving several
+/// acceptances keep the smallest row; the surviving (row, column) pairs are
+/// recorded in both mate vectors. Returns the number of new matches.
+Index commit_acceptances(SimContext& ctx, const DistMatrix& a,
+                         MaximalState& state, const DistSpVec<Index>& y_r) {
+  // Resolve per-column conflicts: (r -> c) inverted to (c -> r), keep-first.
+  DistSpVec<Index> t_c = dist_invert<Index>(
+      ctx, Cost::MaximalInit, y_r, VSpace::Col, a.n_cols(),
+      [](Index, Index col) { return col; }, [](Index g, Index) { return g; });
+  dist_set_dense(ctx, Cost::MaximalInit, state.mate_c, t_c,
+                 [](Index row) { return row; });
+  // Mirror into row space: (c -> r) inverted to (r -> c).
+  DistSpVec<Index> v_r = dist_invert<Index>(
+      ctx, Cost::MaximalInit, t_c, VSpace::Row, a.n_rows(),
+      [](Index, Index row) { return row; }, [](Index g, Index) { return g; });
+  dist_set_dense(ctx, Cost::MaximalInit, state.mate_r, v_r,
+                 [](Index col) { return col; });
+  return dist_nnz(ctx, Cost::MaximalInit, t_c);
+}
+
+/// Proposals from every unmatched column; rows accept the smallest id.
+Index greedy_rounds(SimContext& ctx, const DistMatrix& a, MaximalState& state) {
+  Index rounds = 0;
+  for (;;) {
+    ++rounds;
+    DistSpVec<Index> x_c = dist_from_dense<Index>(
+        ctx, Cost::MaximalInit, state.mate_c,
+        [](Index mate) { return mate == kNull; },
+        [](Index g, Index) { return g; });
+    DistSpVec<Index> y_r = dist_spmv_col_to_row(ctx, Cost::MaximalInit, a, x_c,
+                                                Select2ndMinIndex{});
+    y_r = dist_select(ctx, Cost::MaximalInit, y_r, state.mate_r,
+                      [](Index mate) { return mate == kNull; });
+    if (dist_nnz(ctx, Cost::MaximalInit, y_r) == 0) break;  // maximal
+    commit_acceptances(ctx, a, state, y_r);
+  }
+  return rounds;
+}
+
+/// Dynamic column degrees w.r.t. the unmatched rows: one SpMV with the
+/// counting semiring — the per-round maintenance cost of KS / mindegree.
+DistSpVec<Index> unmatched_candidates(SimContext& ctx, const DistMatrix& a,
+                                      const MaximalState& state) {
+  DistSpVec<Index> x_r = dist_from_dense<Index>(
+      ctx, Cost::MaximalInit, state.mate_r,
+      [](Index mate) { return mate == kNull; },
+      [](Index, Index) { return Index{1}; });
+  DistSpVec<Index> deg_c =
+      dist_spmv_row_to_col(ctx, Cost::MaximalInit, a, x_r, PlusCount{});
+  return dist_select(ctx, Cost::MaximalInit, deg_c, state.mate_c,
+                     [](Index mate) { return mate == kNull; });
+}
+
+Index karp_sipser_rounds(SimContext& ctx, const DistMatrix& a,
+                         MaximalState& state) {
+  Index rounds = 0;
+  for (;;) {
+    ++rounds;
+    DistSpVec<Index> candidates = unmatched_candidates(ctx, a, state);
+    if (dist_nnz(ctx, Cost::MaximalInit, candidates) == 0) break;  // maximal
+    // Degree-1 columns are safe moves; propose only them when any exist.
+    DistSpVec<Index> degree_one = dist_filter(
+        ctx, Cost::MaximalInit, candidates,
+        [](Index degree) { return degree == 1; });
+    const bool have_degree_one =
+        dist_nnz(ctx, Cost::MaximalInit, degree_one) > 0;
+    const DistSpVec<Index>& proposers =
+        have_degree_one ? degree_one : candidates;
+
+    DistSpVec<Index> x_c = dist_transform<Index>(
+        ctx, Cost::MaximalInit, proposers,
+        [](Index g, Index) { return g; });
+    DistSpVec<Index> y_r = dist_spmv_col_to_row(ctx, Cost::MaximalInit, a, x_c,
+                                                Select2ndMinIndex{});
+    y_r = dist_select(ctx, Cost::MaximalInit, y_r, state.mate_r,
+                      [](Index mate) { return mate == kNull; });
+    commit_acceptances(ctx, a, state, y_r);
+  }
+  return rounds;
+}
+
+Index mindegree_rounds(SimContext& ctx, const DistMatrix& a,
+                       MaximalState& state) {
+  Index rounds = 0;
+  for (;;) {
+    ++rounds;
+    DistSpVec<Index> candidates = unmatched_candidates(ctx, a, state);
+    if (dist_nnz(ctx, Cost::MaximalInit, candidates) == 0) break;  // maximal
+    // Proposals carry (dynamic degree, id); rows take the smallest.
+    DistSpVec<KeyedProposal> x_c = dist_transform<KeyedProposal>(
+        ctx, Cost::MaximalInit, candidates,
+        [](Index g, Index degree) { return KeyedProposal{degree, g}; });
+    DistSpVec<KeyedProposal> y_r = dist_spmv_col_to_row(
+        ctx, Cost::MaximalInit, a, x_c, MinKeyedProposal{});
+    y_r = dist_select(ctx, Cost::MaximalInit, y_r, state.mate_r,
+                      [](Index mate) { return mate == kNull; });
+    DistSpVec<Index> accepted = dist_transform<Index>(
+        ctx, Cost::MaximalInit, y_r,
+        [](Index, const KeyedProposal& proposal) { return proposal.id; });
+    commit_acceptances(ctx, a, state, accepted);
+  }
+  return rounds;
+}
+
+}  // namespace
+
+const char* maximal_kind_name(MaximalKind kind) noexcept {
+  switch (kind) {
+    case MaximalKind::None: return "none";
+    case MaximalKind::Greedy: return "greedy";
+    case MaximalKind::KarpSipser: return "karp-sipser";
+    case MaximalKind::DynMindegree: return "dyn-mindegree";
+  }
+  return "?";
+}
+
+Matching dist_maximal_matching(SimContext& ctx, const DistMatrix& a,
+                               MaximalKind kind, DistMaximalStats* stats) {
+  MaximalState state(ctx, a);
+  Index rounds = 0;
+  switch (kind) {
+    case MaximalKind::None:
+      break;
+    case MaximalKind::Greedy:
+      rounds = greedy_rounds(ctx, a, state);
+      break;
+    case MaximalKind::KarpSipser:
+      rounds = karp_sipser_rounds(ctx, a, state);
+      break;
+    case MaximalKind::DynMindegree:
+      rounds = mindegree_rounds(ctx, a, state);
+      break;
+  }
+  Matching result(a.n_rows(), a.n_cols());
+  result.mate_r = state.mate_r.to_std();
+  result.mate_c = state.mate_c.to_std();
+  if (stats != nullptr) {
+    stats->rounds = rounds;
+    stats->cardinality = result.cardinality();
+  }
+  return result;
+}
+
+}  // namespace mcm

@@ -1,0 +1,51 @@
+#pragma once
+/// \file dist_maximal.hpp
+/// Distributed maximal-matching initializers (paper §VI-A, Fig. 3; the
+/// authors' prior work [21]). All three are round-based and built from the
+/// same primitives as MCM-DIST; they differ in which unmatched columns
+/// propose each round and how rows choose among proposals:
+///
+///   Greedy      : every unmatched column proposes; rows take the smallest
+///                 proposer id. Cheapest per round.
+///   Karp-Sipser : columns whose *dynamic* degree (unmatched neighbors) is 1
+///                 propose first — those matches are provably safe; when no
+///                 degree-1 column exists, one greedy round runs. Degree
+///                 maintenance costs an extra SpMV per round, which is
+///                 exactly why the paper finds KS slow on distributed memory.
+///   Mindegree   : proposals carry the proposer's dynamic degree; rows take
+///                 the (degree, id)-smallest — a relaxation of KS with the
+///                 same degree-maintenance SpMV but fewer rounds.
+///
+/// All charges go to Cost::MaximalInit.
+
+#include <cstdint>
+
+#include "dist/dist_mat.hpp"
+#include "gridsim/context.hpp"
+#include "matching/matching.hpp"
+
+namespace mcm {
+
+enum class MaximalKind {
+  None,         ///< start MCM from the empty matching
+  Greedy,
+  KarpSipser,
+  DynMindegree,
+};
+
+[[nodiscard]] const char* maximal_kind_name(MaximalKind kind) noexcept;
+
+struct DistMaximalStats {
+  Index rounds = 0;
+  Index cardinality = 0;
+};
+
+/// Computes a maximal matching of `a` on the simulated grid. The result is
+/// guaranteed maximal (every remaining edge has a matched endpoint), which
+/// tests verify with verify_maximal().
+[[nodiscard]] Matching dist_maximal_matching(SimContext& ctx,
+                                             const DistMatrix& a,
+                                             MaximalKind kind,
+                                             DistMaximalStats* stats = nullptr);
+
+}  // namespace mcm

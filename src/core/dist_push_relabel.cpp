@@ -1,0 +1,232 @@
+#include "core/dist_push_relabel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+struct Proposal {
+  Index row;
+  Index col;
+  Index seen_label;  ///< kNull for a push onto a free row
+};
+
+/// Exact labels by multi-source BFS from the free rows (the global
+/// relabeling heuristic; see matching/push_relabel.cpp). Distributed
+/// realizations implement this as a handful of BFS rounds; we charge it as
+/// one allgather of the label vector plus the linear scan work.
+void global_relabel(const CscMatrix& a, const CscMatrix& a_t,
+                    const Matching& m, std::vector<Index>& psi,
+                    Index label_bound) {
+  std::fill(psi.begin(), psi.end(), label_bound);
+  std::vector<Index> queue;
+  for (Index r = 0; r < a.n_rows(); ++r) {
+    if (m.mate_r[static_cast<std::size_t>(r)] != kNull) continue;
+    for (Index k = a_t.col_begin(r); k < a_t.col_end(r); ++k) {
+      const Index c = a_t.row_at(k);
+      if (psi[static_cast<std::size_t>(c)] == label_bound) {
+        psi[static_cast<std::size_t>(c)] = 0;
+        queue.push_back(c);
+      }
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Index c = queue[head];
+    const Index level = psi[static_cast<std::size_t>(c)];
+    const Index r = m.mate_c[static_cast<std::size_t>(c)];
+    if (r == kNull) continue;
+    for (Index k = a_t.col_begin(r); k < a_t.col_end(r); ++k) {
+      const Index c_next = a_t.row_at(k);
+      if (psi[static_cast<std::size_t>(c_next)] == label_bound) {
+        psi[static_cast<std::size_t>(c_next)] = level + 1;
+        queue.push_back(c_next);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matching dist_push_relabel(SimContext& ctx, const CscMatrix& a,
+                           DistPrStats* stats) {
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  const int p = ctx.processes();
+  const BlockDist col_owner(n_cols, p);
+  const BlockDist row_owner(n_rows, p);
+
+  const CscMatrix a_t = a.transposed();
+  Matching m(n_rows, n_cols);
+  const Index label_bound = n_rows + n_cols + 1;
+  std::vector<Index> psi(static_cast<std::size_t>(n_cols), 0);
+
+  auto run_global_relabel = [&] {
+    global_relabel(a, a_t, m, psi, label_bound);
+    ctx.charge_allgatherv(Cost::Other, p, 1,
+                          static_cast<std::uint64_t>(n_cols));
+    ctx.charge_elem_ops(
+        Cost::Other,
+        static_cast<std::uint64_t>((a.nnz() + n_cols) / std::max(1, p)));
+  };
+  run_global_relabel();
+  const std::uint64_t relabel_period = static_cast<std::uint64_t>(n_cols) + 1;
+  std::uint64_t relabels_since_refresh = 0;
+
+  // Per-rank active queues (columns are processed by their owners).
+  std::vector<std::deque<Index>> active(static_cast<std::size_t>(p));
+  for (Index j = 0; j < n_cols; ++j) {
+    if (a.col_degree(j) > 0) {
+      active[static_cast<std::size_t>(col_owner.owner(j))].push_back(j);
+    }
+  }
+
+  auto any_active = [&] {
+    for (const auto& queue : active) {
+      if (!queue.empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<Proposal> proposals;
+  while (any_active()) {
+    if (stats != nullptr) ++stats->rounds;
+    proposals.clear();
+    if (relabels_since_refresh >= relabel_period) {
+      run_global_relabel();
+      relabels_since_refresh = 0;
+    }
+
+    // --- local scan phase: each rank drains its queue once, producing at
+    // most one proposal per active column. Charged as one aggregated remote
+    // fetch per column (2 alpha round-trip) plus a word per adjacency entry
+    // examined (the mate/label lookups live on other ranks).
+    std::uint64_t max_rank_scan_words = 0;
+    std::uint64_t max_rank_cols = 0;
+    for (int r = 0; r < p; ++r) {
+      auto& queue = active[static_cast<std::size_t>(r)];
+      std::uint64_t scan_words = 0;
+      std::uint64_t cols_processed = 0;
+      const std::size_t budget = queue.size();  // one pass, no rescans
+      for (std::size_t q = 0; q < budget; ++q) {
+        const Index u = queue.front();
+        queue.pop_front();
+        if (m.mate_c[static_cast<std::size_t>(u)] != kNull) continue;
+        if (psi[static_cast<std::size_t>(u)] >= label_bound) {
+          if (stats != nullptr) ++stats->discarded;
+          continue;
+        }
+        ++cols_processed;
+        Index best_row = kNull;
+        Index best_label = label_bound + 1;
+        for (Index k = a.col_begin(u); k < a.col_end(u); ++k) {
+          ++scan_words;
+          if (stats != nullptr) ++stats->scans;
+          const Index row = a.row_at(k);
+          const Index mate = m.mate_r[static_cast<std::size_t>(row)];
+          if (mate == kNull) {
+            best_row = row;
+            best_label = kNull;
+            break;
+          }
+          if (psi[static_cast<std::size_t>(mate)] < best_label) {
+            best_row = row;
+            best_label = psi[static_cast<std::size_t>(mate)];
+          }
+        }
+        if (best_row != kNull) {
+          proposals.push_back({best_row, u, best_label});
+        } else if (stats != nullptr) {
+          ++stats->discarded;  // all neighbor mates at the bound: unmatchable
+        }
+      }
+      max_rank_scan_words = std::max(max_rank_scan_words, scan_words);
+      max_rank_cols = std::max(max_rank_cols, cols_processed);
+    }
+    ctx.charge_rma(Cost::Other, 2 * max_rank_cols, 1);  // fetch round-trips
+    ctx.charge_elem_ops(Cost::Other, max_rank_scan_words);
+    ctx.ledger().charge_time(Cost::Other, static_cast<double>(max_rank_scan_words)
+                                              * ctx.beta_word());
+
+    // --- arbitration: proposals travel to the row owners; one winner per
+    // row (smallest column id, deterministic). Personalized all-to-all.
+    std::sort(proposals.begin(), proposals.end(),
+              [](const Proposal& x, const Proposal& y) {
+                if (x.row != y.row) return x.row < y.row;
+                return x.col < y.col;
+              });
+    std::vector<std::uint64_t> sent(static_cast<std::size_t>(p), 0);
+    for (const Proposal& proposal : proposals) {
+      const int src = col_owner.owner(proposal.col);
+      if (row_owner.owner(proposal.row) != src) {
+        sent[static_cast<std::size_t>(src)] += 3;  // row, col, label words
+      }
+    }
+    ctx.charge_alltoallv(Cost::Other, p, 1,
+                         *std::max_element(sent.begin(), sent.end()));
+
+    // --- apply winners; route victims back to their owners.
+    std::vector<std::uint64_t> victim_words(static_cast<std::size_t>(p), 0);
+    std::size_t k = 0;
+    while (k < proposals.size()) {
+      const Proposal winner = proposals[k];
+      std::size_t contenders = 1;
+      while (k + contenders < proposals.size()
+             && proposals[k + contenders].row == winner.row) {
+        ++contenders;
+      }
+      if (stats != nullptr) stats->conflicts += contenders - 1;
+      // Losers silently retry: re-enqueue on their owners.
+      for (std::size_t c = 1; c < contenders; ++c) {
+        const Index loser = proposals[k + c].col;
+        active[static_cast<std::size_t>(col_owner.owner(loser))].push_back(loser);
+      }
+      k += contenders;
+
+      const Index u = winner.col;
+      const Index row = winner.row;
+      // The round's state may have moved on (another winner already stole
+      // u's target in a previous arbitration group? rows are unique per
+      // group, but u could have been... u proposed once; safe).
+      const Index previous = m.mate_r[static_cast<std::size_t>(row)];
+      if (winner.seen_label == kNull && previous != kNull) {
+        // The free row was taken by an earlier round? Within a round rows
+        // are uniquely assigned; a stale "free" observation cannot happen
+        // because scans precede all applies. Treat defensively as conflict.
+        active[static_cast<std::size_t>(col_owner.owner(u))].push_back(u);
+        if (stats != nullptr) ++stats->conflicts;
+        continue;
+      }
+      if (previous == kNull) {
+        m.match(row, u);
+        if (stats != nullptr) ++stats->pushes;
+        continue;
+      }
+      // Relabel (never downward) and steal.
+      if (winner.seen_label + 1 > psi[static_cast<std::size_t>(u)]) {
+        psi[static_cast<std::size_t>(u)] = winner.seen_label + 1;
+        ++relabels_since_refresh;
+        if (stats != nullptr) ++stats->relabels;
+      }
+      m.mate_r[static_cast<std::size_t>(row)] = u;
+      m.mate_c[static_cast<std::size_t>(u)] = row;
+      m.mate_c[static_cast<std::size_t>(previous)] = kNull;
+      if (stats != nullptr) ++stats->pushes;
+      const int victim_owner = col_owner.owner(previous);
+      active[static_cast<std::size_t>(victim_owner)].push_back(previous);
+      if (victim_owner != row_owner.owner(row)) {
+        victim_words[static_cast<std::size_t>(row_owner.owner(row))] += 1;
+      }
+    }
+    ctx.charge_alltoallv(
+        Cost::Other, p, 1,
+        *std::max_element(victim_words.begin(), victim_words.end()));
+
+    // --- termination check.
+    ctx.charge_allreduce(Cost::Other, p);
+  }
+  return m;
+}
+
+}  // namespace mcm

@@ -1,0 +1,52 @@
+#pragma once
+/// \file dist_push_relabel.hpp
+/// Distributed push-relabel matching — a reproduction of the paper's §II-B
+/// *prior art* (Langguth et al. [19]): the only previously published
+/// distributed-memory MCM algorithm, which "did not scale beyond 64
+/// processors because of the difficulty in parallelizing push and relabel
+/// operations". Implementing the baseline lets the comparison behind the
+/// paper's motivation be regenerated (bench_prior_art).
+///
+/// Structure (bulk-synchronous rounds over a 1D column/row partition, the
+/// style of the original):
+///   1. every rank scans its active (unmatched) columns against possibly
+///      one-round-stale mate/label information, choosing the neighbor row
+///      with the minimum-label mate (free rows win outright);
+///   2. steal/push proposals are routed to the row owners (all-to-all);
+///      conflicting proposals for one row keep the smallest column;
+///   3. winners push or relabel-and-steal exactly like the sequential
+///      algorithm; victims are routed back to their owners and re-activated;
+///      losers retry next round.
+/// Stale labels only ever under-estimate (labels are monotone), so the
+/// push-relabel validity invariant survives and the result is a maximum
+/// matching (tested against the Hopcroft-Karp oracle).
+///
+/// The scaling pathology the paper describes emerges structurally: the work
+/// per round shrinks with the active set while every round still pays the
+/// full all-to-all latency, so speedup saturates at small process counts.
+
+#include "dist/dist_mat.hpp"
+#include "gridsim/context.hpp"
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+struct DistPrStats {
+  Index rounds = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t relabels = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t conflicts = 0;  ///< proposals rejected by row arbitration
+  Index discarded = 0;
+};
+
+/// Computes a maximum matching of `a` on the simulated machine of `ctx`,
+/// charging all compute/communication to Cost::Other in the ledger.
+/// `a` is passed sequentially (the 1D baseline does not use the 2D
+/// DistMatrix); ownership is modeled with 1D block partitions of rows and
+/// columns over all p ranks.
+[[nodiscard]] Matching dist_push_relabel(SimContext& ctx, const CscMatrix& a,
+                                         DistPrStats* stats = nullptr);
+
+}  // namespace mcm

@@ -1,0 +1,48 @@
+#include "core/driver.hpp"
+
+#include "dist/dist_mat.hpp"
+#include "matrix/permute.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+
+PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
+                            const PipelineOptions& options) {
+  SimContext ctx(config);
+
+  Permutation perm_r = Permutation::identity(a.n_rows);
+  Permutation perm_c = Permutation::identity(a.n_cols);
+  CooMatrix working = a;
+  if (options.random_permute) {
+    Rng rng(options.permute_seed);
+    perm_r = Permutation::random(a.n_rows, rng);
+    perm_c = Permutation::random(a.n_cols, rng);
+    working = permute(a, perm_r, perm_c);
+  }
+  const DistMatrix dist = DistMatrix::distribute(ctx, working);
+
+  PipelineResult result;
+  const double before_init = ctx.ledger().total_us();
+  const Matching initial = dist_maximal_matching(
+      ctx, dist, options.initializer, &result.init_stats);
+  const double after_init = ctx.ledger().total_us();
+
+  Matching matched =
+      mcm_dist(ctx, dist, initial, options.mcm, &result.mcm_stats);
+  const double after_mcm = ctx.ledger().total_us();
+
+  result.init_seconds = (after_init - before_init) * 1e-6;
+  result.mcm_seconds = (after_mcm - after_init) * 1e-6;
+  result.ledger = ctx.ledger();
+
+  if (options.random_permute) {
+    result.matching = Matching(a.n_rows, a.n_cols);
+    result.matching.mate_r = unpermute_mates(matched.mate_r, perm_r, perm_c);
+    result.matching.mate_c = unpermute_mates(matched.mate_c, perm_c, perm_r);
+  } else {
+    result.matching = std::move(matched);
+  }
+  return result;
+}
+
+}  // namespace mcm

@@ -1,0 +1,44 @@
+#pragma once
+/// \file driver.hpp
+/// End-to-end pipeline around MCM-DIST, the way the paper's experiments run
+/// it (§V, §VI): randomly permute the input for load balance, distribute
+/// onto the process grid, compute a maximal matching with the chosen
+/// initializer, then run MCM-DIST to optimality. Reports the matching (in
+/// the *original* vertex labels) together with simulated time split into
+/// initialization and MCM, plus the full per-category ledger for breakdown
+/// plots.
+
+#include <cstdint>
+
+#include "core/dist_maximal.hpp"
+#include "core/mcm_dist.hpp"
+#include "gridsim/context.hpp"
+#include "matrix/coo.hpp"
+
+namespace mcm {
+
+struct PipelineOptions {
+  MaximalKind initializer = MaximalKind::DynMindegree;  ///< the paper's default
+  McmDistOptions mcm;
+  bool random_permute = true;  ///< paper §IV-A load balancing
+  std::uint64_t permute_seed = 7;
+};
+
+struct PipelineResult {
+  Matching matching;          ///< in original (unpermuted) labels
+  DistMaximalStats init_stats;
+  McmDistStats mcm_stats;
+  CostLedger ledger;          ///< full per-category simulated charges
+  double init_seconds = 0;    ///< simulated time of the initializer
+  double mcm_seconds = 0;     ///< simulated time of MCM-DIST proper
+  [[nodiscard]] double total_seconds() const {
+    return init_seconds + mcm_seconds;
+  }
+};
+
+/// Runs the full pipeline on a fresh SimContext built from `config`.
+[[nodiscard]] PipelineResult run_pipeline(const SimConfig& config,
+                                          const CooMatrix& a,
+                                          const PipelineOptions& options = {});
+
+}  // namespace mcm

@@ -1,0 +1,162 @@
+#include "core/mcm_dist.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <type_traits>
+
+#include "algebra/semiring.hpp"
+#include "dist/dist_bottomup.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+
+namespace mcm {
+namespace {
+
+template <typename SR>
+Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
+                      const Matching& initial, const SR& sr,
+                      const McmDistOptions& options, McmDistStats* stats) {
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+
+  // Distributed state: mate, parent and path vectors (paper §III-B).
+  DistDenseVec<Index> mate_r(ctx, VSpace::Row, n_rows, kNull);
+  DistDenseVec<Index> mate_c(ctx, VSpace::Col, n_cols, kNull);
+  mate_r.from_std(initial.mate_r);
+  mate_c.from_std(initial.mate_c);
+  DistDenseVec<Index> pi_r(ctx, VSpace::Row, n_rows, kNull);
+  DistDenseVec<Index> path_c(ctx, VSpace::Col, n_cols, kNull);
+
+  if (stats != nullptr) stats->initial_cardinality = initial.cardinality();
+
+  for (;;) {  // a phase of the algorithm
+    dist_fill(ctx, Cost::Other, pi_r, kNull);
+
+    // Initial column frontier: unmatched columns, parent = root = self.
+    DistSpVec<Vertex> f_c = dist_from_dense<Vertex>(
+        ctx, Cost::Other, mate_c, [](Index mate) { return mate == kNull; },
+        [](Index g, Index) { return Vertex(g, g); });
+
+    bool found_path = false;
+    for (;;) {
+      const Index frontier_nnz = dist_nnz(ctx, Cost::Other, f_c);
+      if (frontier_nnz == 0) break;
+      if (stats != nullptr) ++stats->iterations;
+
+      // Step 1: explore neighbors of the column frontier — top-down semiring
+      // SpMV, or the bottom-up scan when enabled and profitable (only the
+      // minParent semiring admits the early-exit equivalence).
+      bool bottom_up = false;
+      if constexpr (std::is_same_v<SR, Select2ndMinParent>) {
+        bottom_up = options.direction == Direction::BottomUp
+                    || (options.direction == Direction::Optimizing
+                        && bottom_up_beneficial(frontier_nnz, n_cols));
+      }
+      DistSpVec<Vertex> f_r =
+          bottom_up ? dist_bottom_up_step(ctx, Cost::SpMV, a, f_c, pi_r)
+                    : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr);
+      if (bottom_up && stats != nullptr) ++stats->bottom_up_iterations;
+
+      // Step 2: keep unvisited rows.
+      f_r = dist_select(ctx, Cost::Other, f_r, pi_r,
+                        [](Index parent) { return parent == kNull; });
+
+      // Step 3: record parents of newly visited rows.
+      dist_set_dense(ctx, Cost::Other, pi_r, f_r,
+                     [](const Vertex& v) { return v.parent; });
+
+      // Step 4: split unmatched (path endpoints) from matched rows.
+      DistSpVec<Vertex> uf_r = dist_select(
+          ctx, Cost::Other, f_r, mate_r,
+          [](Index mate) { return mate == kNull; });
+      f_r = dist_select(ctx, Cost::Other, f_r, mate_r,
+                        [](Index mate) { return mate != kNull; });
+
+      if (dist_nnz(ctx, Cost::Other, uf_r) > 0) {
+        found_path = true;
+        // Step 5: record one endpoint per tree, keyed by root (keep-first).
+        DistSpVec<Index> t_c = dist_invert<Index>(
+            ctx, Cost::Invert, uf_r, VSpace::Col, n_cols,
+            [](Index, const Vertex& v) { return v.root; },
+            [](Index g, const Vertex&) { return g; });
+        dist_set_dense(ctx, Cost::Other, path_c, t_c,
+                       [](Index endpoint) { return endpoint; });
+
+        // Step 6: prune trees that just yielded an augmenting path.
+        if (options.enable_prune) {
+          std::vector<std::vector<Index>> roots_by_rank(
+              static_cast<std::size_t>(ctx.processes()));
+          for (int r = 0; r < ctx.processes(); ++r) {
+            const SpVec<Vertex>& piece = uf_r.piece(r);
+            auto& roots = roots_by_rank[static_cast<std::size_t>(r)];
+            roots.reserve(static_cast<std::size_t>(piece.nnz()));
+            for (Index k = 0; k < piece.nnz(); ++k) {
+              roots.push_back(piece.value_at(k).root);
+            }
+          }
+          f_r = dist_prune(ctx, Cost::Prune, f_r, roots_by_rank,
+                           [](const Vertex& v) { return v.root; });
+        }
+      }
+
+      // Step 7: next column frontier from the mates of the matched rows.
+      dist_set_sparse(ctx, Cost::Other, f_r, mate_r,
+                      [](Vertex& v, Index mate) { v.parent = mate; });
+      f_c = dist_invert<Vertex>(
+          ctx, Cost::Invert, f_r, VSpace::Col, n_cols,
+          [](Index, const Vertex& v) { return v.parent; },
+          [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+    }
+
+    if (!found_path) break;  // no augmenting path anywhere: maximum reached
+    const AugmentResult augmented =
+        dist_augment(ctx, options.augment, path_c, pi_r, mate_r, mate_c);
+    if (stats != nullptr) {
+      ++stats->phases;
+      stats->augmentations += augmented.paths;
+      if (augmented.used_path_parallel) {
+        ++stats->path_parallel_phases;
+      } else {
+        ++stats->level_parallel_phases;
+      }
+    }
+  }
+
+  Matching result(n_rows, n_cols);
+  result.mate_r = mate_r.to_std();
+  result.mate_c = mate_c.to_std();
+  if (stats != nullptr) stats->final_cardinality = result.cardinality();
+  return result;
+}
+
+}  // namespace
+
+Matching mcm_dist(SimContext& ctx, const DistMatrix& a, const Matching& initial,
+                  const McmDistOptions& options, McmDistStats* stats) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("mcm_dist: initial matching size mismatch");
+  }
+  if (options.direction == Direction::BottomUp
+      && options.semiring != SemiringKind::MinParent) {
+    throw std::invalid_argument(
+        "mcm_dist: bottom-up exploration requires the minParent semiring "
+        "(its early exit realizes exactly that add); use Direction::Optimizing "
+        "to fall back to top-down for other semirings");
+  }
+  switch (options.semiring) {
+    case SemiringKind::MinParent:
+      return mcm_dist_run(ctx, a, initial, Select2ndMinParent{}, options, stats);
+    case SemiringKind::MaxParent:
+      return mcm_dist_run(ctx, a, initial, Select2ndMaxParent{}, options, stats);
+    case SemiringKind::RandParent:
+      return mcm_dist_run(ctx, a, initial, Select2ndRandParent{options.seed},
+                          options, stats);
+    case SemiringKind::RandRoot:
+      return mcm_dist_run(ctx, a, initial, Select2ndRandRoot{options.seed},
+                          options, stats);
+  }
+  throw std::invalid_argument("mcm_dist: unknown semiring");
+}
+
+}  // namespace mcm

@@ -1,0 +1,64 @@
+#pragma once
+/// \file mcm_dist.hpp
+/// MCM-DIST (paper Algorithm 2): the distributed-memory maximum cardinality
+/// matching algorithm — the paper's primary contribution. Multi-source BFS
+/// phases discover vertex-disjoint augmenting paths from all unmatched
+/// column vertices simultaneously; each BFS level is one semiring SpMV plus
+/// SELECT / SET / INVERT / PRUNE; phases end by augmenting along every path
+/// found (level- or path-parallel, auto-switched at k = 2p^2). Terminates
+/// with a maximum matching when a phase finds no augmenting path.
+///
+/// Runs on the simulated 2D process grid of a SimContext; all compute and
+/// communication is charged to the context's ledger under the Fig. 5
+/// breakdown categories.
+
+#include <cstdint>
+
+#include "core/augment.hpp"
+#include "dist/dist_mat.hpp"
+#include "gridsim/context.hpp"
+#include "matching/matching.hpp"
+#include "matching/msbfs_seq.hpp"  // SemiringKind
+
+namespace mcm {
+
+/// BFS direction for the neighborhood-exploration step (paper future work,
+/// implemented in dist/dist_bottomup.hpp). Bottom-up reproduces the
+/// (select2nd, minParent) semiring exactly and is only available with it:
+/// BottomUp with another semiring throws; Optimizing silently stays
+/// top-down for other semirings.
+enum class Direction {
+  TopDown,     ///< Algorithm 2 as published: semiring SpMV from the frontier
+  BottomUp,    ///< unvisited rows scan for frontier neighbors (early exit)
+  Optimizing,  ///< per-iteration switch on frontier density (Beamer-style)
+};
+
+struct McmDistOptions {
+  SemiringKind semiring = SemiringKind::MinParent;
+  bool enable_prune = true;           ///< Algorithm 2 step 6 (Fig. 8 ablation)
+  AugmentMode augment = AugmentMode::Auto;
+  Direction direction = Direction::TopDown;
+  std::uint64_t seed = 1;             ///< priority seed for random semirings
+};
+
+struct McmDistStats {
+  Index phases = 0;
+  Index iterations = 0;        ///< total BFS levels across phases
+  Index bottom_up_iterations = 0;  ///< levels explored bottom-up
+  Index augmentations = 0;     ///< augmenting paths applied in total
+  Index path_parallel_phases = 0;   ///< phases augmented with Algorithm 4
+  Index level_parallel_phases = 0;  ///< phases augmented with Algorithm 3
+  Index initial_cardinality = 0;
+  Index final_cardinality = 0;
+};
+
+/// Computes a maximum matching of the distributed matrix `a`, starting from
+/// `initial` (typically a maximal matching from dist_maximal_matching();
+/// an empty matching also works). The returned matching is gathered to a
+/// plain Matching for the caller; simulated time is in ctx.ledger().
+[[nodiscard]] Matching mcm_dist(SimContext& ctx, const DistMatrix& a,
+                                const Matching& initial,
+                                const McmDistOptions& options = {},
+                                McmDistStats* stats = nullptr);
+
+}  // namespace mcm

@@ -1,0 +1,208 @@
+#include "core/mcm_graft.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "algebra/primitives.hpp"
+#include "algebra/semiring.hpp"
+#include "dist/dist_bottomup.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+
+namespace mcm {
+
+Matching mcm_graft_dist(SimContext& ctx, const DistMatrix& a,
+                        const Matching& initial,
+                        const McmGraftOptions& options, McmGraftStats* stats) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("mcm_graft_dist: initial matching size mismatch");
+  }
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  const Select2ndMinParent sr{};
+
+  DistDenseVec<Index> mate_r(ctx, VSpace::Row, n_rows, kNull);
+  DistDenseVec<Index> mate_c(ctx, VSpace::Col, n_cols, kNull);
+  mate_r.from_std(initial.mate_r);
+  mate_c.from_std(initial.mate_c);
+  DistDenseVec<Index> pi_r(ctx, VSpace::Row, n_rows, kNull);
+  DistDenseVec<Index> root_r(ctx, VSpace::Row, n_rows, kNull);
+  DistDenseVec<Index> root_c(ctx, VSpace::Col, n_cols, kNull);
+  DistDenseVec<Index> path_c(ctx, VSpace::Col, n_cols, kNull);
+
+  if (stats != nullptr) stats->initial_cardinality = initial.cardinality();
+
+  // Fresh forest: every unmatched column roots its own tree.
+  auto fresh_frontier = [&]() -> DistSpVec<Vertex> {
+    DistSpVec<Vertex> f = dist_from_dense<Vertex>(
+        ctx, Cost::Other, mate_c, [](Index mate) { return mate == kNull; },
+        [](Index g, Index) { return Vertex(g, g); });
+    dist_set_dense(ctx, Cost::Other, root_c, f,
+                   [](const Vertex& v) { return v.root; });
+    return f;
+  };
+  DistSpVec<Vertex> f_c = fresh_frontier();
+
+  for (;;) {  // a phase
+    // --- BFS from the current frontier, pruning trees that find a path
+    // (pruning is structural here: a dead tree must stop growing so only
+    // its recorded path flips at augmentation).
+    while (dist_nnz(ctx, Cost::Other, f_c) > 0) {
+      if (stats != nullptr) ++stats->iterations;
+      DistSpVec<Vertex> f_r = dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr);
+      f_r = dist_select(ctx, Cost::Other, f_r, pi_r,
+                        [](Index parent) { return parent == kNull; });
+      dist_set_dense(ctx, Cost::Other, pi_r, f_r,
+                     [](const Vertex& v) { return v.parent; });
+      dist_set_dense(ctx, Cost::Other, root_r, f_r,
+                     [](const Vertex& v) { return v.root; });
+      DistSpVec<Vertex> uf_r = dist_select(
+          ctx, Cost::Other, f_r, mate_r,
+          [](Index mate) { return mate == kNull; });
+      f_r = dist_select(ctx, Cost::Other, f_r, mate_r,
+                        [](Index mate) { return mate != kNull; });
+      if (dist_nnz(ctx, Cost::Other, uf_r) > 0) {
+        DistSpVec<Index> t_c = dist_invert<Index>(
+            ctx, Cost::Invert, uf_r, VSpace::Col, n_cols,
+            [](Index, const Vertex& v) { return v.root; },
+            [](Index g, const Vertex&) { return g; });
+        dist_set_dense(ctx, Cost::Other, path_c, t_c,
+                       [](Index endpoint) { return endpoint; });
+        std::vector<std::vector<Index>> roots_by_rank(
+            static_cast<std::size_t>(ctx.processes()));
+        for (int r = 0; r < ctx.processes(); ++r) {
+          const SpVec<Vertex>& piece = uf_r.piece(r);
+          for (Index k = 0; k < piece.nnz(); ++k) {
+            roots_by_rank[static_cast<std::size_t>(r)].push_back(
+                piece.value_at(k).root);
+          }
+        }
+        f_r = dist_prune(ctx, Cost::Prune, f_r, roots_by_rank,
+                         [](const Vertex& v) { return v.root; });
+      }
+      dist_set_sparse(ctx, Cost::Other, f_r, mate_r,
+                      [](Vertex& v, Index mate) { v.parent = mate; });
+      f_c = dist_invert<Vertex>(
+          ctx, Cost::Invert, f_r, VSpace::Col, n_cols,
+          [](Index, const Vertex& v) { return v.parent; },
+          [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+      dist_set_dense(ctx, Cost::Other, root_c, f_c,
+                     [](const Vertex& v) { return v.root; });
+    }
+
+    // --- dead roots = trees that recorded an augmenting path (this phase's
+    // BFS plus any recorded by the previous graft sweep).
+    std::vector<Index> dead_roots;
+    std::uint64_t max_scan = 0;
+    for (int r = 0; r < ctx.processes(); ++r) {
+      const auto& piece = path_c.piece(r);
+      const Index offset = path_c.layout().piece_offset(r);
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        if (piece[k] != kNull) {
+          dead_roots.push_back(offset + static_cast<Index>(k));
+        }
+      }
+      max_scan = std::max(max_scan, static_cast<std::uint64_t>(piece.size()));
+    }
+    ctx.charge_elem_ops(Cost::Other, max_scan);
+    if (dead_roots.empty()) break;  // Hungarian forest: maximum reached
+    if (stats != nullptr) ++stats->phases;
+
+    const AugmentResult augmented =
+        dist_augment(ctx, options.augment, path_c, pi_r, mate_r, mate_c);
+    if (stats != nullptr) stats->augmentations += augmented.paths;
+
+    // --- dismantle dead trees: allgather the dead-root set, then every rank
+    // scans its root pieces. Counts feed the rebuild-vs-graft switch.
+    ctx.charge_allgatherv(Cost::Other, ctx.processes(), 1,
+                          static_cast<std::uint64_t>(dead_roots.size()));
+    const std::vector<Index> dead_sorted = sorted_unique(std::move(dead_roots));
+    auto is_dead = [&](Index root) {
+      return std::binary_search(dead_sorted.begin(), dead_sorted.end(), root);
+    };
+    Index freed_total = 0;
+    Index forest_rows_total = 0;
+    std::uint64_t max_piece = 0;
+    for (int r = 0; r < ctx.processes(); ++r) {
+      auto& roots = root_r.piece(r);
+      auto& parents = pi_r.piece(r);
+      for (std::size_t k = 0; k < roots.size(); ++k) {
+        if (roots[k] == kNull) continue;
+        if (is_dead(roots[k])) {
+          roots[k] = kNull;
+          parents[k] = kNull;
+          ++freed_total;
+        } else {
+          ++forest_rows_total;
+        }
+      }
+      max_piece = std::max(max_piece, static_cast<std::uint64_t>(roots.size()));
+      auto& col_roots = root_c.piece(r);
+      for (auto& root : col_roots) {
+        if (root != kNull && is_dead(root)) root = kNull;
+      }
+      max_piece = std::max(max_piece,
+                           static_cast<std::uint64_t>(col_roots.size()));
+    }
+    ctx.charge_elem_ops(Cost::Other, max_piece);
+    ctx.charge_allreduce(Cost::Other, ctx.processes(), 2);
+    if (stats != nullptr) stats->freed_rows += freed_total;
+
+    // --- rebuild-vs-graft switch (as in shared-memory MS-BFS-Graft).
+    if (freed_total > forest_rows_total) {
+      if (stats != nullptr) ++stats->rebuilds;
+      dist_fill(ctx, Cost::Other, pi_r, kNull);
+      dist_fill(ctx, Cost::Other, root_r, kNull);
+      dist_fill(ctx, Cost::Other, root_c, kNull);
+      f_c = fresh_frontier();
+      continue;
+    }
+
+    // --- graft sweep: a bottom-up pass attaches every renewable row
+    // adjacent to the surviving forest; the grafting work replaces the
+    // rebuild's exploration, so it is charged as SpMV.
+    DistSpVec<Vertex> grafted = dist_graft_step(ctx, Cost::SpMV, a, root_c, pi_r);
+    if (stats != nullptr) {
+      stats->grafted_rows += dist_nnz(ctx, Cost::Other, grafted);
+    }
+    dist_set_dense(ctx, Cost::Other, pi_r, grafted,
+                   [](const Vertex& v) { return v.parent; });
+    dist_set_dense(ctx, Cost::Other, root_r, grafted,
+                   [](const Vertex& v) { return v.root; });
+    // Defensive completeness: a grafted row that is unmatched is a fresh
+    // augmenting-path endpoint (cannot arise when the closure invariant
+    // holds — renewable rows are matched — but recording it keeps the
+    // algorithm correct unconditionally).
+    DistSpVec<Vertex> uf_g = dist_select(
+        ctx, Cost::Other, grafted, mate_r,
+        [](Index mate) { return mate == kNull; });
+    if (dist_nnz(ctx, Cost::Other, uf_g) > 0) {
+      DistSpVec<Index> t_c = dist_invert<Index>(
+          ctx, Cost::Invert, uf_g, VSpace::Col, n_cols,
+          [](Index, const Vertex& v) { return v.root; },
+          [](Index g, const Vertex&) { return g; });
+      dist_set_dense(ctx, Cost::Other, path_c, t_c,
+                     [](Index endpoint) { return endpoint; });
+    }
+    // Next phase's frontier: mates of the matched grafted rows.
+    DistSpVec<Vertex> f_g = dist_select(
+        ctx, Cost::Other, grafted, mate_r,
+        [](Index mate) { return mate != kNull; });
+    dist_set_sparse(ctx, Cost::Other, f_g, mate_r,
+                    [](Vertex& v, Index mate) { v.parent = mate; });
+    f_c = dist_invert<Vertex>(
+        ctx, Cost::Invert, f_g, VSpace::Col, n_cols,
+        [](Index, const Vertex& v) { return v.parent; },
+        [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+    dist_set_dense(ctx, Cost::Other, root_c, f_c,
+                   [](const Vertex& v) { return v.root; });
+  }
+
+  Matching result(n_rows, n_cols);
+  result.mate_r = mate_r.to_std();
+  result.mate_c = mate_c.to_std();
+  if (stats != nullptr) stats->final_cardinality = result.cardinality();
+  return result;
+}
+
+}  // namespace mcm

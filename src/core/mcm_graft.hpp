@@ -1,0 +1,61 @@
+#pragma once
+/// \file mcm_graft.hpp
+/// MCM-GRAFT-DIST: *distributed tree grafting* — the paper's primary stated
+/// future work ("Future work includes implementing the tree grafting
+/// technique together with the bottom-up BFS in distributed memory", §VII),
+/// built from the pieces this library already has:
+///
+///  - the BFS phases of MCM-DIST (Algorithm 2) with pruning always on, now
+///    also maintaining dense root vectors for rows and columns so the
+///    alternating forest persists across phases;
+///  - after augmentation, only the *dead* (augmented) trees are dismantled
+///    (a local scan of the root vectors against the allgathered dead-root
+///    set); their rows become renewable;
+///  - a *grafting* step re-attaches renewable rows to the surviving forest:
+///    a single dist_graft_step — a bottom-up sweep against all alive-forest
+///    columns, which by construction touches exactly the unvisited rows
+///    adjacent to the forest, i.e. the renewable ones. Grafted rows' mates
+///    seed the next phase's frontier;
+///  - the rebuild-vs-graft switch of the shared-memory MS-BFS-Graft: when
+///    the dead trees held the majority of the forest, everything is
+///    dismantled and the next phase restarts from all unmatched columns.
+///
+/// A phase that finds no augmenting path leaves a closed (Hungarian) forest
+/// containing every unmatched column as a root, so the matching is maximum —
+/// certified in tests via the König cover. Restricted to the minParent
+/// semiring (the bottom-up equivalence).
+
+#include <cstdint>
+
+#include "core/augment.hpp"
+#include "dist/dist_mat.hpp"
+#include "gridsim/context.hpp"
+#include "matching/matching.hpp"
+
+namespace mcm {
+
+struct McmGraftOptions {
+  AugmentMode augment = AugmentMode::Auto;
+};
+
+struct McmGraftStats {
+  Index phases = 0;
+  Index iterations = 0;       ///< BFS levels across phases
+  Index augmentations = 0;
+  Index grafted_rows = 0;     ///< renewable rows re-attached by graft sweeps
+  Index freed_rows = 0;       ///< rows released by dismantled trees
+  Index rebuilds = 0;         ///< phases restarted from scratch
+  Index initial_cardinality = 0;
+  Index final_cardinality = 0;
+};
+
+/// Computes a maximum matching of `a` starting from `initial`, keeping the
+/// alternating forest across phases (tree grafting). Costs are charged to
+/// the usual categories; grafting sweeps charge Cost::SpMV (they replace
+/// the rebuild's exploration work).
+[[nodiscard]] Matching mcm_graft_dist(SimContext& ctx, const DistMatrix& a,
+                                      const Matching& initial,
+                                      const McmGraftOptions& options = {},
+                                      McmGraftStats* stats = nullptr);
+
+}  // namespace mcm

@@ -1,0 +1,181 @@
+#include "dist/dist_bottomup.hpp"
+
+#include <algorithm>
+
+#include "algebra/semiring.hpp"
+#include "dist/dist_spmv.hpp"
+
+namespace mcm {
+
+bool bottom_up_beneficial(Index frontier_nnz, Index n_cols) {
+  // Beamer-style switch: the dense expands cost O(n) words regardless of the
+  // frontier, so bottom-up needs the frontier to cover a sizable fraction of
+  // the columns before the early-exit scan wins. 1/8 works well across the
+  // suite (see bench_direction_ablation).
+  return frontier_nnz * 8 >= n_cols;
+}
+
+namespace {
+
+/// Shared tail of the bottom-up kernels: given dense per-column-segment
+/// root arrays (kNull = column not searchable), gather the visited bitmaps,
+/// scan each block's unvisited rows with early exit, and fold with the
+/// minParent add.
+DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
+                                  const DistMatrix& a,
+                                  const std::vector<std::vector<Index>>& seg_root,
+                                  const DistDenseVec<Index>& pi_r);
+
+}  // namespace
+
+DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
+                                      const DistMatrix& a,
+                                      const DistSpVec<Vertex>& f_c,
+                                      const DistDenseVec<Index>& pi_r) {
+  if (f_c.layout().space() != VSpace::Col || f_c.length() != a.n_cols()) {
+    throw std::invalid_argument("dist_bottom_up_step: frontier not aligned");
+  }
+  if (pi_r.layout().space() != VSpace::Row || pi_r.length() != a.n_rows()) {
+    throw std::invalid_argument("dist_bottom_up_step: pi_r not aligned");
+  }
+  const ProcGrid& grid = ctx.grid();
+  const int pr = grid.pr();
+  const int pc = grid.pc();
+
+  // --- expand 1: dense per-column-segment root arrays, assembled from the
+  // sparse frontier pieces of each grid column (allgather, dense payload).
+  std::vector<std::vector<Index>> seg_root(static_cast<std::size_t>(pc));
+  std::uint64_t max_col_words = 0;
+  for (int j = 0; j < pc; ++j) {
+    auto& roots = seg_root[static_cast<std::size_t>(j)];
+    roots.assign(static_cast<std::size_t>(a.col_dist().size(j)), kNull);
+    const auto& within = f_c.layout().dist().within[static_cast<std::size_t>(j)];
+    for (int part = 0; part < pr; ++part) {
+      const SpVec<Vertex>& piece = f_c.piece(f_c.layout().rank_of(j, part));
+      const Index offset = within.offset(part);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        roots[static_cast<std::size_t>(offset + piece.index_at(k))] =
+            piece.value_at(k).root;
+      }
+    }
+    max_col_words =
+        std::max(max_col_words, static_cast<std::uint64_t>(roots.size()));
+  }
+  ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
+}
+
+DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
+                                  const DistMatrix& a,
+                                  const DistDenseVec<Index>& root_c,
+                                  const DistDenseVec<Index>& pi_r) {
+  if (root_c.layout().space() != VSpace::Col || root_c.length() != a.n_cols()) {
+    throw std::invalid_argument("dist_graft_step: root_c not aligned");
+  }
+  if (pi_r.layout().space() != VSpace::Row || pi_r.length() != a.n_rows()) {
+    throw std::invalid_argument("dist_graft_step: pi_r not aligned");
+  }
+  const ProcGrid& grid = ctx.grid();
+  const int pr = grid.pr();
+  const int pc = grid.pc();
+
+  // Dense per-column-segment root arrays straight from the dense root_c
+  // pieces (allgather within each grid column).
+  std::vector<std::vector<Index>> seg_root(static_cast<std::size_t>(pc));
+  std::uint64_t max_col_words = 0;
+  for (int j = 0; j < pc; ++j) {
+    auto& roots = seg_root[static_cast<std::size_t>(j)];
+    roots.resize(static_cast<std::size_t>(a.col_dist().size(j)));
+    const auto& within =
+        root_c.layout().dist().within[static_cast<std::size_t>(j)];
+    for (int part = 0; part < pr; ++part) {
+      const auto& piece = root_c.piece(root_c.layout().rank_of(j, part));
+      const Index offset = within.offset(part);
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        roots[static_cast<std::size_t>(offset) + k] = piece[k];
+      }
+    }
+    max_col_words =
+        std::max(max_col_words, static_cast<std::uint64_t>(roots.size()));
+  }
+  ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
+}
+
+namespace {
+
+DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
+                                  const DistMatrix& a,
+                                  const std::vector<std::vector<Index>>& seg_root,
+                                  const DistDenseVec<Index>& pi_r) {
+  const ProcGrid& grid = ctx.grid();
+  const int pr = grid.pr();
+  const int pc = grid.pc();
+
+  // --- expand 2: dense per-row-segment visited bitmaps from pi_r pieces
+  // (allgather of packed flags: 1/8 word per row charged as words/8).
+  std::vector<std::vector<bool>> seg_visited(static_cast<std::size_t>(pr));
+  std::uint64_t max_row_words = 0;
+  for (int i = 0; i < pr; ++i) {
+    auto& visited = seg_visited[static_cast<std::size_t>(i)];
+    visited.assign(static_cast<std::size_t>(a.row_dist().size(i)), false);
+    const auto& within = pi_r.layout().dist().within[static_cast<std::size_t>(i)];
+    for (int part = 0; part < pc; ++part) {
+      const auto& piece = pi_r.piece(pi_r.layout().rank_of(i, part));
+      const Index offset = within.offset(part);
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        if (piece[k] != kNull) {
+          visited[static_cast<std::size_t>(offset) + k] = true;
+        }
+      }
+    }
+    max_row_words = std::max(
+        max_row_words, static_cast<std::uint64_t>(visited.size() / 64 + 1));
+  }
+  ctx.charge_allgatherv(category, pc, pr, max_row_words);
+
+  // --- local scan: each rank walks the unvisited rows present in its block
+  // (the transposed block's non-empty columns are exactly those rows, in
+  // ascending order) and grabs the first frontier neighbor = min parent.
+  std::vector<std::vector<SpVec<Vertex>>> partials(static_cast<std::size_t>(pr));
+  for (int i = 0; i < pr; ++i) {
+    partials[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(pc));
+  }
+  std::uint64_t max_scanned = 0;
+  for (int i = 0; i < pr; ++i) {
+    const auto& visited = seg_visited[static_cast<std::size_t>(i)];
+    for (int j = 0; j < pc; ++j) {
+      const DcscMatrix& rows_of_block = a.block_t(i, j);
+      const auto& roots = seg_root[static_cast<std::size_t>(j)];
+      const Index col_offset = a.col_dist().offset(j);
+      SpVec<Vertex> found(a.row_dist().size(i));
+      std::uint64_t scanned = 0;
+      for (Index k = 0; k < rows_of_block.nzc(); ++k) {
+        const Index row = rows_of_block.nonempty_col(k);
+        if (visited[static_cast<std::size_t>(row)]) continue;
+        for (Index pos = rows_of_block.cp_begin(k);
+             pos < rows_of_block.cp_end(k); ++pos) {
+          ++scanned;
+          const Index col = rows_of_block.row_at(pos);  // block-local column
+          const Index root = roots[static_cast<std::size_t>(col)];
+          if (root != kNull) {
+            found.push_back(row, Vertex(col_offset + col, root));
+            break;  // ascending columns: first hit is the minimum parent
+          }
+        }
+      }
+      partials[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::move(found);
+      max_scanned = std::max(max_scanned, scanned);
+    }
+  }
+  ctx.charge_edge_ops(category, max_scanned);
+
+  // --- fold within grid rows with the minParent add.
+  return detail::fold_partials(ctx, category, partials, VSpace::Row,
+                               a.n_rows(), Select2ndMinParent{});
+}
+
+}  // namespace
+
+}  // namespace mcm

@@ -1,0 +1,64 @@
+#pragma once
+/// \file dist_bottomup.hpp
+/// Bottom-up BFS step for MCM-DIST — the paper's stated future work
+/// ("implementing ... the bottom-up BFS in distributed memory", §VII),
+/// implemented here as an optional replacement for the top-down SpMV of
+/// Algorithm 2 step 1.
+///
+/// Direction duality (Beamer et al.): when the frontier holds a large
+/// fraction of the columns, pushing from every frontier column touches
+/// almost every edge, while each *unvisited row* could instead scan its own
+/// adjacency and stop at the first frontier neighbor. Because row
+/// adjacencies are stored in ascending column order, "first frontier
+/// neighbor" is exactly the *minimum-parent* frontier neighbor, so the
+/// bottom-up step reproduces the (select2nd, minParent) semiring bit for
+/// bit — verified by tests against the top-down kernel.
+///
+/// Distributed realization on the 2D grid:
+///   1. expand the frontier as a *dense* per-column-segment root array
+///      (allgather within grid columns, ~n2/sqrt(p) words);
+///   2. expand the visited flags pi_r as a dense per-row-segment bitmap
+///      (allgather within grid rows, ~n1/(8 sqrt p) words);
+///   3. every rank scans the unvisited rows of its block through the
+///      transposed block (rows in ascending column order, early exit);
+///   4. fold partial discoveries within grid rows with the minParent add
+///      (a row adjacent to frontier columns in several blocks gets the
+///      global minimum parent).
+///
+/// Compute cost is the number of scanned edges — bounded by the edges of
+/// unvisited rows, with early exit — instead of the frontier's edges.
+
+#include "algebra/vertex.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+
+namespace mcm {
+
+/// One bottom-up BFS level: returns the newly discovered rows (unvisited
+/// rows adjacent to the frontier) with (parent, root) values identical to
+/// dist_spmv_col_to_row over Select2ndMinParent followed by the
+/// keep-unvisited SELECT. `pi_r` marks visited rows (kNull = unvisited).
+[[nodiscard]] DistSpVec<Vertex> dist_bottom_up_step(
+    SimContext& ctx, Cost category, const DistMatrix& a,
+    const DistSpVec<Vertex>& f_c, const DistDenseVec<Index>& pi_r);
+
+/// Direction-optimization heuristic: bottom-up pays off when the frontier
+/// covers a large fraction of the columns (the dense expands then cost less
+/// than pushing the frontier's edges). `frontier_nnz` is the global frontier
+/// size from the per-iteration emptiness allreduce.
+[[nodiscard]] bool bottom_up_beneficial(Index frontier_nnz, Index n_cols);
+
+/// Grafting step for distributed tree grafting (paper §VII future work,
+/// realized in core/mcm_graft.hpp): a bottom-up sweep against the *entire
+/// alive forest* rather than a frontier. `root_c` holds, for every column,
+/// the root of its alive tree (kNull for columns outside the forest);
+/// every unvisited row adjacent to a forest column — exactly the renewable
+/// rows released by dismantled trees — is attached to its minimum-parent
+/// forest neighbor. Costs one dense allgather per grid dimension plus the
+/// early-exit scan, like dist_bottom_up_step.
+[[nodiscard]] DistSpVec<Vertex> dist_graft_step(
+    SimContext& ctx, Cost category, const DistMatrix& a,
+    const DistDenseVec<Index>& root_c, const DistDenseVec<Index>& pi_r);
+
+}  // namespace mcm

@@ -1,0 +1,49 @@
+#include "dist/dist_mat.hpp"
+
+#include <algorithm>
+
+namespace mcm {
+
+DistMatrix DistMatrix::distribute(const SimContext& ctx, const CooMatrix& a) {
+  a.validate();
+  DistMatrix m;
+  m.grid_ = ctx.grid();
+  m.row_dist_ = BlockDist(a.n_rows, m.grid_.pr());
+  m.col_dist_ = BlockDist(a.n_cols, m.grid_.pc());
+
+  const int p = m.grid_.size();
+  std::vector<CooMatrix> local(static_cast<std::size_t>(p));
+  for (int i = 0; i < m.grid_.pr(); ++i) {
+    for (int j = 0; j < m.grid_.pc(); ++j) {
+      auto& blk = local[static_cast<std::size_t>(m.grid_.rank_of(i, j))];
+      blk.n_rows = m.row_dist_.size(i);
+      blk.n_cols = m.col_dist_.size(j);
+    }
+  }
+  for (std::size_t k = 0; k < a.rows.size(); ++k) {
+    const Index r = a.rows[k];
+    const Index c = a.cols[k];
+    const int i = m.row_dist_.owner(r);
+    const int j = m.col_dist_.owner(c);
+    local[static_cast<std::size_t>(m.grid_.rank_of(i, j))].add_edge(
+        r - m.row_dist_.offset(i), c - m.col_dist_.offset(j));
+  }
+
+  m.blocks_.reserve(static_cast<std::size_t>(p));
+  m.blocks_t_.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& blk = local[static_cast<std::size_t>(r)];
+    m.blocks_.push_back(DcscMatrix::from_coo(blk));
+    m.blocks_t_.push_back(DcscMatrix::from_coo(blk.transposed()));
+    m.nnz_ += m.blocks_.back().nnz();
+  }
+  return m;
+}
+
+Index DistMatrix::max_block_nnz() const {
+  Index best = 0;
+  for (const auto& blk : blocks_) best = std::max(best, blk.nnz());
+  return best;
+}
+
+}  // namespace mcm

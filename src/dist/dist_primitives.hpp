@@ -1,0 +1,261 @@
+#pragma once
+/// \file dist_primitives.hpp
+/// Distributed versions of the Table I primitives. Each function performs
+/// the same computation as its sequential counterpart in
+/// algebra/primitives.hpp, but on per-rank pieces, moving data between
+/// pieces only where the real algorithm communicates, and charging the
+/// paper's communication costs (§IV-B):
+///
+///   SELECT / SET : aligned local operations — no communication;
+///   INVERT       : personalized all-to-all over all p ranks; three latency
+///                  rounds (counts, indices, values);
+///   PRUNE        : allgather of the (small) root set to every rank;
+///   nnz test     : an allreduce (the emptiness check every iteration of
+///                  Algorithm 2 performs on the frontier).
+///
+/// The `category` parameter routes charges to the Fig. 5 breakdown buckets;
+/// the maximal-matching initializers pass Cost::MaximalInit for everything.
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/primitives.hpp"
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// Frontier emptiness / size check: allreduce of per-piece nnz.
+template <typename T>
+[[nodiscard]] Index dist_nnz(SimContext& ctx, Cost category,
+                             const DistSpVec<T>& x) {
+  ctx.charge_allreduce(category, ctx.processes());
+  return x.nnz_unaccounted();
+}
+
+/// SELECT on aligned sparse/dense vectors (same VSpace): purely local.
+template <typename T, typename U, typename Pred>
+[[nodiscard]] DistSpVec<T> dist_select(SimContext& ctx, Cost category,
+                                       const DistSpVec<T>& x,
+                                       const DistDenseVec<U>& y, Pred expr) {
+  if (x.layout().space() != y.layout().space() || x.length() != y.length()) {
+    throw std::invalid_argument("dist_select: operands not aligned");
+  }
+  DistSpVec<T> z(ctx, x.layout().space(), x.length());
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    z.piece(r) = select(x.piece(r), y.piece(r), expr);
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+  return z;
+}
+
+/// SET (scatter form) on aligned vectors: purely local.
+template <typename T, typename U, typename ValueF>
+void dist_set_dense(SimContext& ctx, Cost category, DistDenseVec<U>& y,
+                    const DistSpVec<T>& x, ValueF value_of) {
+  if (x.layout().space() != y.layout().space() || x.length() != y.length()) {
+    throw std::invalid_argument("dist_set_dense: operands not aligned");
+  }
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    set_dense(y.piece(r), x.piece(r), value_of);
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+}
+
+/// SET (gather form) on aligned vectors: purely local.
+template <typename T, typename U, typename UpdateF>
+void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
+                     const DistDenseVec<U>& y, UpdateF update) {
+  if (x.layout().space() != y.layout().space() || x.length() != y.length()) {
+    throw std::invalid_argument("dist_set_sparse: operands not aligned");
+  }
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    set_sparse(x.piece(r), y.piece(r), update);
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+}
+
+/// Fills a dense distributed vector with a constant: local, charged per piece.
+template <typename U>
+void dist_fill(SimContext& ctx, Cost category, DistDenseVec<U>& y,
+               const U& value) {
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    auto& piece = y.piece(r);
+    std::fill(piece.begin(), piece.end(), value);
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.size()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+}
+
+/// INVERT: entry (g, v) of x becomes entry (key_of(g, v), payload_of(g, v))
+/// of the result, which lives in `out_space` with logical length `out_len`.
+/// Keys route to their owner rank via one personalized all-to-all (charged
+/// with three latency rounds: counts + indices + values, §IV-B). Key
+/// collisions keep the entry with the smallest source global index, matching
+/// the sequential keep-first rule.
+template <typename Out, typename T, typename KeyF, typename PayloadF>
+[[nodiscard]] DistSpVec<Out> dist_invert(SimContext& ctx, Cost category,
+                                         const DistSpVec<T>& x,
+                                         VSpace out_space, Index out_len,
+                                         KeyF key_of, PayloadF payload_of) {
+  DistSpVec<Out> z(ctx, out_space, out_len);
+  const VecLayout& in = x.layout();
+  const VecLayout& out = z.layout();
+  const int p = ctx.processes();
+
+  struct Routed {
+    Index key;
+    Index source;  ///< source global index, for keep-first tie-breaks
+    Out payload;
+  };
+  std::vector<std::vector<Routed>> inbox(static_cast<std::size_t>(p));
+  std::uint64_t max_send_words = 0;
+  std::uint64_t max_rank_nnz = 0;
+  for (int r = 0; r < p; ++r) {
+    const SpVec<T>& piece = x.piece(r);
+    std::uint64_t send_words = 0;
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const Index g = in.to_global(r, piece.index_at(k));
+      const Index key = key_of(g, piece.value_at(k));
+      if (key < 0 || key >= out_len) {
+        throw std::out_of_range("dist_invert: key " + std::to_string(key)
+                                + " outside output length "
+                                + std::to_string(out_len));
+      }
+      const int dst = out.owner_rank(key);
+      inbox[static_cast<std::size_t>(dst)].push_back(
+          {key, g, payload_of(g, piece.value_at(k))});
+      if (dst != r) send_words += 1 + words_per<Out>();
+    }
+    max_send_words = std::max(max_send_words, send_words);
+    max_rank_nnz = std::max(max_rank_nnz,
+                            static_cast<std::uint64_t>(piece.nnz()));
+  }
+  ctx.charge_alltoallv(category, p, 1, max_send_words, /*latency_rounds=*/3);
+
+  std::uint64_t max_recv = 0;
+  for (int r = 0; r < p; ++r) {
+    auto& received = inbox[static_cast<std::size_t>(r)];
+    max_recv = std::max(max_recv, static_cast<std::uint64_t>(received.size()));
+    std::sort(received.begin(), received.end(),
+              [](const Routed& a, const Routed& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.source < b.source;
+              });
+    const Index offset = out.piece_offset(r);
+    SpVec<Out>& piece = z.piece(r);
+    piece.reserve(received.size());
+    Index prev_key = kNull;
+    for (const Routed& e : received) {
+      if (e.key == prev_key) continue;
+      piece.push_back(e.key - offset, e.payload);
+      prev_key = e.key;
+    }
+  }
+  ctx.charge_elem_ops(category, max_rank_nnz + max_recv);
+  return z;
+}
+
+/// Local filter by value: keeps entries whose value satisfies `pred`.
+template <typename T, typename Pred>
+[[nodiscard]] DistSpVec<T> dist_filter(SimContext& ctx, Cost category,
+                                       const DistSpVec<T>& x, Pred pred) {
+  DistSpVec<T> z(ctx, x.layout().space(), x.length());
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    const SpVec<T>& piece = x.piece(r);
+    SpVec<T>& out = z.piece(r);
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      if (pred(piece.value_at(k))) {
+        out.push_back(piece.index_at(k), piece.value_at(k));
+      }
+    }
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+  return z;
+}
+
+/// Local value transform: z[i] = f(global_index, x[i]) at every nonzero of x.
+template <typename Out, typename T, typename F>
+[[nodiscard]] DistSpVec<Out> dist_transform(SimContext& ctx, Cost category,
+                                            const DistSpVec<T>& x, F f) {
+  DistSpVec<Out> z(ctx, x.layout().space(), x.length());
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    const SpVec<T>& piece = x.piece(r);
+    SpVec<Out>& out = z.piece(r);
+    out.reserve(static_cast<std::size_t>(piece.nnz()));
+    const Index offset = x.layout().piece_offset(r);
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      out.push_back(piece.index_at(k),
+                    f(offset + piece.index_at(k), piece.value_at(k)));
+    }
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+  return z;
+}
+
+/// Builds a sparse vector from a dense one: entry at every global index g
+/// with pred(y[g]), valued make(g, y[g]). Used for the per-phase initial
+/// frontier ("unmatched column vertices", Algorithm 2 lines 6-8) and the
+/// initializers' proposal vectors. Scans the whole dense piece: charged at
+/// n/p element ops per rank.
+template <typename Out, typename U, typename Pred, typename MakeF>
+[[nodiscard]] DistSpVec<Out> dist_from_dense(SimContext& ctx, Cost category,
+                                             const DistDenseVec<U>& y,
+                                             Pred pred, MakeF make) {
+  DistSpVec<Out> z(ctx, y.layout().space(), y.length());
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    const auto& piece = y.piece(r);
+    SpVec<Out>& out = z.piece(r);
+    const Index offset = y.layout().piece_offset(r);
+    for (std::size_t k = 0; k < piece.size(); ++k) {
+      if (pred(piece[k])) {
+        out.push_back(static_cast<Index>(k),
+                      make(offset + static_cast<Index>(k), piece[k]));
+      }
+    }
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.size()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+  return z;
+}
+
+/// PRUNE: `roots_by_rank[r]` is the root list rank r contributes (extracted
+/// from its piece of the unmatched frontier); the union is allgathered to
+/// every rank (ring cost alpha*p + beta*mu, as in the paper) and x is
+/// filtered locally.
+template <typename T, typename RootF>
+[[nodiscard]] DistSpVec<T> dist_prune(
+    SimContext& ctx, Cost category, const DistSpVec<T>& x,
+    const std::vector<std::vector<Index>>& roots_by_rank, RootF root_of) {
+  std::vector<Index> all_roots;
+  for (const auto& part : roots_by_rank) {
+    all_roots.insert(all_roots.end(), part.begin(), part.end());
+  }
+  ctx.charge_allgatherv(category, ctx.processes(), 1,
+                        static_cast<std::uint64_t>(all_roots.size()));
+  const std::vector<Index> sorted = sorted_unique(std::move(all_roots));
+
+  DistSpVec<T> z(ctx, x.layout().space(), x.length());
+  std::uint64_t max_ops = 0;
+  for (int r = 0; r < ctx.processes(); ++r) {
+    z.piece(r) = prune(x.piece(r), sorted, root_of);
+    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
+  }
+  ctx.charge_elem_ops(category, max_ops);
+  return z;
+}
+
+}  // namespace mcm

@@ -1,0 +1,201 @@
+#pragma once
+/// \file dist_spmv.hpp
+/// Distributed sparse matrix - sparse vector product over a semiring,
+/// following the 2D CombBLAS algorithm the paper builds on (§IV-B):
+///
+///   expand: every rank needs the full input segment matching its block's
+///     input dimension — an allgatherv within each grid column (for
+///     column->row products) or grid row (for row->column);
+///   local multiply: DCSC block kernel (algebra/spmv.hpp), merge join over
+///     the block's non-empty columns;
+///   fold: partial outputs are combined with the semiring add and routed to
+///     the output vector's owners — a personalized all-to-all within each
+///     grid row (resp. column).
+///
+/// Both directions are provided because the maximal-matching initializers
+/// explore row->column as well; MCM's BFS step only needs column->row.
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/spmv.hpp"
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+
+namespace mcm {
+
+namespace detail {
+
+/// Fold phase shared by the top-down and bottom-up kernels: partial outputs
+/// (indexed segment-locally) from every member of each output group are
+/// routed to the output vector's owner pieces and merged with the semiring
+/// add. `partials[segment][member]` holds member `member`'s partial result
+/// for output segment `segment`. Charges one grouped all-to-all plus the
+/// merge element ops.
+template <typename T, typename SR>
+DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
+                           std::vector<std::vector<SpVec<T>>>& partials,
+                           VSpace out_space, Index out_len, const SR& sr) {
+  DistSpVec<T> y(ctx, out_space, out_len);
+  const int out_segments = static_cast<int>(partials.size());
+  const int out_group =
+      out_segments > 0 ? static_cast<int>(partials[0].size()) : 0;
+  struct Entry {
+    Index local;  ///< piece-local output index
+    T value;
+  };
+  std::uint64_t max_send_words = 0;
+  std::uint64_t max_merge = 0;
+  for (int os = 0; os < out_segments; ++os) {
+    const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
+    std::vector<std::vector<Entry>> inbox(static_cast<std::size_t>(out_group));
+    for (int member = 0; member < out_group; ++member) {
+      const SpVec<T>& part =
+          partials[static_cast<std::size_t>(os)][static_cast<std::size_t>(member)];
+      std::uint64_t send_words = 0;
+      for (Index k = 0; k < part.nnz(); ++k) {
+        const Index seg_local = part.index_at(k);
+        const int dst_part = within.owner(seg_local);
+        inbox[static_cast<std::size_t>(dst_part)].push_back(
+            {seg_local - within.offset(dst_part), part.value_at(k)});
+        if (dst_part != member) send_words += 1 + words_per<T>();
+      }
+      max_send_words = std::max(max_send_words, send_words);
+    }
+    for (int part = 0; part < out_group; ++part) {
+      auto& received = inbox[static_cast<std::size_t>(part)];
+      max_merge = std::max(max_merge,
+                           static_cast<std::uint64_t>(received.size()));
+      std::sort(received.begin(), received.end(),
+                [](const Entry& a_, const Entry& b_) { return a_.local < b_.local; });
+      SpVec<T>& piece = y.piece(y.layout().rank_of(os, part));
+      piece.reserve(received.size());
+      for (std::size_t k = 0; k < received.size();) {
+        Index local = received[k].local;
+        T value = received[k].value;
+        ++k;
+        while (k < received.size() && received[k].local == local) {
+          value = sr.add(value, received[k].value);
+          ++k;
+        }
+        piece.push_back(local, value);
+      }
+    }
+  }
+  ctx.charge_alltoallv(category, out_group, out_segments, max_send_words);
+  ctx.charge_elem_ops(category, max_merge);
+  return y;
+}
+
+/// Shared implementation: `along_cols` = true gives y_row = A (x) x_col
+/// (expand within grid columns, fold within grid rows); false gives
+/// y_col = A^T (x) x_row.
+template <typename T, typename SR>
+DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
+                            const DistSpVec<T>& x, const SR& sr,
+                            bool along_cols) {
+  const ProcGrid& grid = ctx.grid();
+  const int pr = grid.pr();
+  const int pc = grid.pc();
+  const VSpace in_space = along_cols ? VSpace::Col : VSpace::Row;
+  const VSpace out_space = along_cols ? VSpace::Row : VSpace::Col;
+  const Index in_len = along_cols ? a.n_cols() : a.n_rows();
+  const Index out_len = along_cols ? a.n_rows() : a.n_cols();
+  if (x.layout().space() != in_space || x.length() != in_len) {
+    throw std::invalid_argument("dist_spmv: input vector not aligned with matrix");
+  }
+  const int n_segments = along_cols ? pc : pr;   // input segments
+  const int group = along_cols ? pr : pc;        // ranks per input segment
+  const BlockDist& in_dist = along_cols ? a.col_dist() : a.row_dist();
+
+  // --- expand: assemble each input segment from its group's pieces. Pieces
+  // are stored in increasing part order whose offsets increase, so plain
+  // concatenation yields sorted segment-local indices.
+  std::vector<SpVec<T>> segment(static_cast<std::size_t>(n_segments));
+  std::uint64_t max_group_words = 0;
+  for (int s = 0; s < n_segments; ++s) {
+    SpVec<T> seg(in_dist.size(s));
+    const auto& within = x.layout().dist().within[static_cast<std::size_t>(s)];
+    for (int part = 0; part < group; ++part) {
+      const int rank = x.layout().rank_of(s, part);
+      const SpVec<T>& piece = x.piece(rank);
+      const Index offset = within.offset(part);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        seg.push_back(offset + piece.index_at(k), piece.value_at(k));
+      }
+    }
+    max_group_words = std::max(
+        max_group_words, static_cast<std::uint64_t>(seg.nnz())
+                             * (1 + words_per<T>()));
+    segment[static_cast<std::size_t>(s)] = std::move(seg);
+  }
+  ctx.charge_allgatherv(category, group, n_segments, max_group_words);
+
+  // --- local multiply: every rank applies its DCSC block to its segment.
+  // Partial outputs are indexed by output-segment-local ids.
+  const int out_segments = along_cols ? pr : pc;
+  const int out_group = along_cols ? pc : pr;
+  std::uint64_t max_flops = 0;
+  // partials[out_segment][member]: member enumerates the ranks of that
+  // output segment's grid row/column.
+  std::vector<std::vector<SpVec<T>>> partials(
+      static_cast<std::size_t>(out_segments));
+  for (int os = 0; os < out_segments; ++os) {
+    partials[static_cast<std::size_t>(os)].resize(
+        static_cast<std::size_t>(out_group));
+  }
+  // The per-block multiplies are independent (each writes its own partials
+  // slot), so the simulator itself can run them thread-parallel when built
+  // with -DMCM_OPENMP=ON. This parallelizes the *host* execution of the
+  // simulation; the modeled time is unaffected.
+#if defined(MCM_HAVE_OPENMP)
+#pragma omp parallel for collapse(2) reduction(max : max_flops) \
+    schedule(dynamic)
+#endif
+  for (int i = 0; i < pr; ++i) {
+    for (int j = 0; j < pc; ++j) {
+      const DcscMatrix& blk = along_cols ? a.block(i, j) : a.block_t(i, j);
+      const int in_seg = along_cols ? j : i;
+      const int out_seg = along_cols ? i : j;
+      const int member = along_cols ? j : i;
+      Spa<T> spa(blk.n_rows());
+      std::uint64_t flops = 0;
+      // The semiring multiply must see *global* input-vertex ids (it stamps
+      // them into frontier parents), so pass the segment's global offset.
+      partials[static_cast<std::size_t>(out_seg)][static_cast<std::size_t>(member)] =
+          spmv_dcsc(blk, segment[static_cast<std::size_t>(in_seg)], spa, sr,
+                    &flops, in_dist.offset(in_seg));
+      max_flops = std::max(max_flops, flops);
+    }
+  }
+  ctx.charge_edge_ops(category, max_flops);
+
+  // --- fold: route each partial entry to the owner piece of the output
+  // vector, merging duplicates with the semiring add.
+  return fold_partials(ctx, category, partials, out_space, out_len, sr);
+}
+
+}  // namespace detail
+
+/// y (row space) = A (x) x (column space): one BFS step from the column
+/// frontier to row vertices, Algorithm 2 step 1.
+template <typename T, typename SR>
+[[nodiscard]] DistSpVec<T> dist_spmv_col_to_row(SimContext& ctx, Cost category,
+                                                const DistMatrix& a,
+                                                const DistSpVec<T>& x,
+                                                const SR& sr) {
+  return detail::dist_spmv_impl(ctx, category, a, x, sr, /*along_cols=*/true);
+}
+
+/// y (column space) = A^T (x) x (row space): reverse exploration, used by
+/// the maximal matching initializers.
+template <typename T, typename SR>
+[[nodiscard]] DistSpVec<T> dist_spmv_row_to_col(SimContext& ctx, Cost category,
+                                                const DistMatrix& a,
+                                                const DistSpVec<T>& x,
+                                                const SR& sr) {
+  return detail::dist_spmv_impl(ctx, category, a, x, sr, /*along_cols=*/false);
+}
+
+}  // namespace mcm

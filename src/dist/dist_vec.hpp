@@ -1,0 +1,236 @@
+#pragma once
+/// \file dist_vec.hpp
+/// Distributed vectors on the 2D process grid, following CombBLAS (paper
+/// §IV-A): a vector is distributed across *all* p processes. A length-n2
+/// "column-space" vector (indexed by column vertices) is split into pc
+/// segments, one per grid column, and each segment is subdivided among the
+/// pr ranks of that grid column; row-space vectors are the transpose
+/// arrangement. This makes the SpMV "expand" an allgather within a grid
+/// column and the "fold" an all-to-all within a grid row.
+///
+/// Each rank's piece is a separate container; distributed primitives may
+/// only touch piece r when simulating rank r, and move data between pieces
+/// through the charged communication helpers. Global accessors exist for
+/// setup and verification only (they model no communication).
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "algebra/spvec.hpp"
+#include "gridsim/context.hpp"
+#include "gridsim/proc_grid.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// Which vertex set a vector is indexed by.
+enum class VSpace {
+  Row,  ///< length n1, segmented across grid rows
+  Col,  ///< length n2, segmented across grid columns
+};
+
+/// Maps global vector indices to (rank, local) and back for one vector
+/// layout. Shared by dense and sparse distributed vectors.
+class VecLayout {
+ public:
+  VecLayout() = default;
+  VecLayout(const ProcGrid& grid, VSpace space, Index n)
+      : grid_(grid),
+        space_(space),
+        dist_(n, space == VSpace::Col ? grid.pc() : grid.pr(),
+              space == VSpace::Col ? grid.pr() : grid.pc()) {}
+
+  [[nodiscard]] VSpace space() const { return space_; }
+  [[nodiscard]] Index length() const { return dist_.segments.total(); }
+  [[nodiscard]] const ProcGrid& grid() const { return grid_; }
+  [[nodiscard]] const VectorDist& dist() const { return dist_; }
+
+  /// Rank holding (segment, part).
+  [[nodiscard]] int rank_of(int segment, int part) const {
+    return space_ == VSpace::Col ? grid_.rank_of(part, segment)
+                                 : grid_.rank_of(segment, part);
+  }
+  /// Segment (grid row or column) a rank serves in this space.
+  [[nodiscard]] int segment_of(int rank) const {
+    return space_ == VSpace::Col ? grid_.col_of(rank) : grid_.row_of(rank);
+  }
+  [[nodiscard]] int part_of(int rank) const {
+    return space_ == VSpace::Col ? grid_.row_of(rank) : grid_.col_of(rank);
+  }
+
+  [[nodiscard]] Index piece_size(int rank) const {
+    return dist_.piece_size(segment_of(rank), part_of(rank));
+  }
+  /// First global index of a rank's piece.
+  [[nodiscard]] Index piece_offset(int rank) const {
+    const int seg = segment_of(rank);
+    return dist_.segments.offset(seg)
+           + dist_.within[static_cast<std::size_t>(seg)].offset(part_of(rank));
+  }
+
+  [[nodiscard]] int owner_rank(Index global) const {
+    const VectorDist::Owner o = dist_.owner(global);
+    return rank_of(o.segment, o.part);
+  }
+  [[nodiscard]] Index to_local(Index global) const {
+    return global - piece_offset(owner_rank(global));
+  }
+  [[nodiscard]] Index to_global(int rank, Index local) const {
+    return piece_offset(rank) + local;
+  }
+
+ private:
+  ProcGrid grid_;
+  VSpace space_ = VSpace::Col;
+  VectorDist dist_;
+};
+
+/// Dense distributed vector (mate, parent, path vectors of the paper).
+template <typename T>
+class DistDenseVec {
+ public:
+  DistDenseVec() = default;
+  DistDenseVec(const SimContext& ctx, VSpace space, Index n, const T& fill)
+      : layout_(ctx.grid(), space, n) {
+    pieces_.resize(static_cast<std::size_t>(ctx.processes()));
+    for (int r = 0; r < ctx.processes(); ++r) {
+      pieces_[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(layout_.piece_size(r)), fill);
+    }
+  }
+
+  [[nodiscard]] const VecLayout& layout() const { return layout_; }
+  [[nodiscard]] Index length() const { return layout_.length(); }
+
+  [[nodiscard]] std::vector<T>& piece(int rank) {
+    return pieces_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const std::vector<T>& piece(int rank) const {
+    return pieces_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Setup/verification accessors (model no communication).
+  [[nodiscard]] const T& at(Index global) const {
+    const int rank = layout_.owner_rank(global);
+    return pieces_[static_cast<std::size_t>(rank)]
+                  [static_cast<std::size_t>(layout_.to_local(global))];
+  }
+  void set(Index global, const T& value) {
+    const int rank = layout_.owner_rank(global);
+    pieces_[static_cast<std::size_t>(rank)]
+           [static_cast<std::size_t>(layout_.to_local(global))] = value;
+  }
+
+  /// Concatenates all pieces into a plain std::vector in global index order
+  /// (verification only).
+  [[nodiscard]] std::vector<T> to_std() const {
+    std::vector<T> out(static_cast<std::size_t>(length()));
+    for (int r = 0; r < static_cast<int>(pieces_.size()); ++r) {
+      const Index offset = layout_.piece_offset(r);
+      const auto& piece = pieces_[static_cast<std::size_t>(r)];
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        out[static_cast<std::size_t>(offset) + k] = piece[k];
+      }
+    }
+    return out;
+  }
+
+  /// Fills every piece from a global vector (setup only).
+  void from_std(const std::vector<T>& values) {
+    if (values.size() != static_cast<std::size_t>(length())) {
+      throw std::invalid_argument("DistDenseVec::from_std: length mismatch");
+    }
+    for (int r = 0; r < static_cast<int>(pieces_.size()); ++r) {
+      const Index offset = layout_.piece_offset(r);
+      auto& piece = pieces_[static_cast<std::size_t>(r)];
+      for (std::size_t k = 0; k < piece.size(); ++k) {
+        piece[k] = values[static_cast<std::size_t>(offset) + k];
+      }
+    }
+  }
+
+ private:
+  VecLayout layout_;
+  std::vector<std::vector<T>> pieces_;
+};
+
+/// Sparse distributed vector (frontiers). Piece indices are piece-local.
+template <typename T>
+class DistSpVec {
+ public:
+  DistSpVec() = default;
+  DistSpVec(const SimContext& ctx, VSpace space, Index n)
+      : layout_(ctx.grid(), space, n) {
+    pieces_.reserve(static_cast<std::size_t>(ctx.processes()));
+    for (int r = 0; r < ctx.processes(); ++r) {
+      pieces_.emplace_back(layout_.piece_size(r));
+    }
+  }
+
+  [[nodiscard]] const VecLayout& layout() const { return layout_; }
+  [[nodiscard]] Index length() const { return layout_.length(); }
+
+  [[nodiscard]] SpVec<T>& piece(int rank) {
+    return pieces_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const SpVec<T>& piece(int rank) const {
+    return pieces_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Total nonzeros across pieces. NOTE: a real run learns this through an
+  /// allreduce; callers inside simulated sections must charge that (see
+  /// dist_nnz() in dist_primitives.hpp).
+  [[nodiscard]] Index nnz_unaccounted() const {
+    Index total = 0;
+    for (const auto& piece : pieces_) total += piece.nnz();
+    return total;
+  }
+  [[nodiscard]] Index max_piece_nnz() const {
+    Index best = 0;
+    for (const auto& piece : pieces_) best = std::max(best, piece.nnz());
+    return best;
+  }
+
+  /// Rebuilds from a global sparse vector (setup/tests only).
+  void from_global(const SpVec<T>& global) {
+    if (global.len() != length()) {
+      throw std::invalid_argument("DistSpVec::from_global: length mismatch");
+    }
+    for (auto& piece : pieces_) piece.clear();
+    for (Index k = 0; k < global.nnz(); ++k) {
+      const Index g = global.index_at(k);
+      const int rank = layout_.owner_rank(g);
+      pieces_[static_cast<std::size_t>(rank)].push_back(
+          g - layout_.piece_offset(rank), global.value_at(k));
+    }
+  }
+
+  /// Assembles the global sparse vector (verification only).
+  [[nodiscard]] SpVec<T> to_global() const {
+    struct Entry {
+      Index global;
+      T value;
+    };
+    std::vector<Entry> entries;
+    for (int r = 0; r < static_cast<int>(pieces_.size()); ++r) {
+      const auto& piece = pieces_[static_cast<std::size_t>(r)];
+      const Index offset = layout_.piece_offset(r);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        entries.push_back({offset + piece.index_at(k), piece.value_at(k)});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.global < b.global; });
+    SpVec<T> out(length());
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.global, e.value);
+    return out;
+  }
+
+ private:
+  VecLayout layout_;
+  std::vector<SpVec<T>> pieces_;
+};
+
+}  // namespace mcm

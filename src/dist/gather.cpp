@@ -1,0 +1,50 @@
+#include "dist/gather.hpp"
+
+namespace mcm {
+
+CooMatrix gather_matrix_to_root(SimContext& ctx, const DistMatrix& a) {
+  CooMatrix out(a.n_rows(), a.n_cols());
+  out.reserve(static_cast<std::size_t>(a.nnz()));
+  const ProcGrid& grid = a.grid();
+  for (int i = 0; i < grid.pr(); ++i) {
+    for (int j = 0; j < grid.pc(); ++j) {
+      const CooMatrix blk = a.block(i, j).to_coo();
+      const Index row_off = a.row_dist().offset(i);
+      const Index col_off = a.col_dist().offset(j);
+      for (std::size_t k = 0; k < blk.rows.size(); ++k) {
+        out.add_edge(blk.rows[k] + row_off, blk.cols[k] + col_off);
+      }
+    }
+  }
+  ctx.charge_gatherv_root(Cost::GatherScatter, ctx.processes(),
+                          2 * static_cast<std::uint64_t>(a.nnz()));
+  return out;
+}
+
+ScatteredMates scatter_mates_from_root(SimContext& ctx,
+                                       const std::vector<Index>& mate_r,
+                                       const std::vector<Index>& mate_c) {
+  ScatteredMates out{
+      DistDenseVec<Index>(ctx, VSpace::Row,
+                          static_cast<Index>(mate_r.size()), kNull),
+      DistDenseVec<Index>(ctx, VSpace::Col,
+                          static_cast<Index>(mate_c.size()), kNull)};
+  out.mate_r.from_std(mate_r);
+  out.mate_c.from_std(mate_c);
+  ctx.charge_scatterv_root(
+      Cost::GatherScatter, ctx.processes(),
+      static_cast<std::uint64_t>(mate_r.size() + mate_c.size()));
+  return out;
+}
+
+double gather_scatter_model_seconds(const SimContext& ctx, std::uint64_t edges,
+                                    std::uint64_t n_total) {
+  const double p = ctx.processes();
+  const double gather_us = (p - 1) * ctx.alpha()
+                           + 2.0 * static_cast<double>(edges) * ctx.beta_word();
+  const double scatter_us = (p - 1) * ctx.alpha()
+                            + static_cast<double>(n_total) * ctx.beta_word();
+  return (gather_us + scatter_us) * 1e-6;
+}
+
+}  // namespace mcm

@@ -1,0 +1,44 @@
+#pragma once
+/// \file gather.hpp
+/// Centralization of a distributed graph onto one rank and redistribution of
+/// the result — the strawman the paper's Fig. 9 prices to argue *against*:
+/// running a shared-memory matcher on a distributed graph requires gathering
+/// every edge on one node and scattering the mate vectors back, which costs
+/// more than matching in place. These helpers perform that gather/scatter on
+/// the simulator (charging Cost::GatherScatter) so the bench can reproduce
+/// the figure, and are also generally useful for extracting results.
+
+#include <vector>
+
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+#include "matrix/coo.hpp"
+
+namespace mcm {
+
+/// Gathers all blocks of `a` to a single root rank as triplets, charging the
+/// gatherv cost for 2 words per edge (row, col). Returns the assembled
+/// matrix (what rank 0 would hold).
+[[nodiscard]] CooMatrix gather_matrix_to_root(SimContext& ctx,
+                                              const DistMatrix& a);
+
+/// Scatters mate vectors (length n1 + n2 words) from the root back to their
+/// owner ranks, charging the scatterv cost, and returns the distributed
+/// copies.
+struct ScatteredMates {
+  DistDenseVec<Index> mate_r;
+  DistDenseVec<Index> mate_c;
+};
+[[nodiscard]] ScatteredMates scatter_mates_from_root(
+    SimContext& ctx, const std::vector<Index>& mate_r,
+    const std::vector<Index>& mate_c);
+
+/// Pure cost query used by the Fig. 9 sweep at edge counts too large to
+/// materialize: simulated seconds to gather `edges` edges and scatter mate
+/// vectors of combined length `n_total` on `processes` ranks.
+[[nodiscard]] double gather_scatter_model_seconds(const SimContext& ctx,
+                                                  std::uint64_t edges,
+                                                  std::uint64_t n_total);
+
+}  // namespace mcm

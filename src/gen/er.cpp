@@ -1,0 +1,80 @@
+#include "gen/er.hpp"
+
+#include "matrix/permute.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mcm {
+
+CooMatrix er_bipartite_m(Index n_rows, Index n_cols, Index edges, Rng& rng) {
+  if (n_rows < 0 || n_cols < 0) {
+    throw std::invalid_argument("er_bipartite_m: negative dimension");
+  }
+  const auto capacity = static_cast<std::uint64_t>(n_rows)
+                        * static_cast<std::uint64_t>(n_cols);
+  if (static_cast<std::uint64_t>(edges) > capacity) {
+    throw std::invalid_argument("er_bipartite_m: more edges than cells");
+  }
+  CooMatrix m(n_rows, n_cols);
+  m.reserve(static_cast<std::size_t>(edges));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(edges) * 2);
+  while (static_cast<Index>(seen.size()) < edges) {
+    const Index r = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n_rows)));
+    const Index c = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n_cols)));
+    const std::uint64_t key = static_cast<std::uint64_t>(r)
+                              * static_cast<std::uint64_t>(n_cols)
+                              + static_cast<std::uint64_t>(c);
+    if (seen.insert(key).second) m.add_edge(r, c);
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix er_bipartite_p(Index n_rows, Index n_cols, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("er_bipartite_p: p outside [0, 1]");
+  }
+  CooMatrix m(n_rows, n_cols);
+  if (p == 0.0 || n_rows == 0 || n_cols == 0) return m;
+  const auto cells = static_cast<std::uint64_t>(n_rows)
+                     * static_cast<std::uint64_t>(n_cols);
+  if (p == 1.0) {
+    for (Index r = 0; r < n_rows; ++r) {
+      for (Index c = 0; c < n_cols; ++c) m.add_edge(r, c);
+    }
+    return m;
+  }
+  // Geometric skipping over the linearized cell index: the gap to the next
+  // present edge is Geometric(p), so total work is O(expected edges).
+  const double log1mp = std::log1p(-p);
+  double position = -1.0;
+  for (;;) {
+    const double u = rng.next_double();
+    const double skip = std::floor(std::log1p(-u) / log1mp);
+    position += 1.0 + skip;
+    if (position >= static_cast<double>(cells)) break;
+    const auto cell = static_cast<std::uint64_t>(position);
+    m.add_edge(static_cast<Index>(cell / static_cast<std::uint64_t>(n_cols)),
+               static_cast<Index>(cell % static_cast<std::uint64_t>(n_cols)));
+  }
+  return m;
+}
+
+CooMatrix planted_perfect(Index n, Index extra_edges, Rng& rng) {
+  if (n < 0) throw std::invalid_argument("planted_perfect: negative size");
+  CooMatrix m(n, n);
+  m.reserve(static_cast<std::size_t>(n + extra_edges));
+  Permutation perm = Permutation::random(n, rng);
+  for (Index i = 0; i < n; ++i) m.add_edge(i, perm(i));
+  for (Index e = 0; e < extra_edges; ++e) {
+    m.add_edge(static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n))),
+               static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  m.sort_dedup();
+  return m;
+}
+
+}  // namespace mcm

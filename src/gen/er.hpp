@@ -1,0 +1,31 @@
+#pragma once
+/// \file er.hpp
+/// Erdős-Rényi bipartite generators. Two forms: G(n1, n2, m) with exactly m
+/// distinct edges (used by tests that need precise sizes) and G(n1, n2, p)
+/// with each edge present independently (used by property sweeps). Also a
+/// generator of bipartite graphs with a known planted perfect matching, for
+/// tests that must know the optimum cardinality without running an oracle.
+
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// Exactly `edges` distinct uniformly random edges (rejection sampling).
+/// Throws std::invalid_argument if edges exceeds n1 * n2.
+[[nodiscard]] CooMatrix er_bipartite_m(Index n_rows, Index n_cols, Index edges,
+                                       Rng& rng);
+
+/// Each of the n1*n2 possible edges present independently with probability p.
+/// Intended for small/medium instances (cost O(n1 * n2) draws are avoided by
+/// geometric skipping, so actual cost is O(m)).
+[[nodiscard]] CooMatrix er_bipartite_p(Index n_rows, Index n_cols, double p,
+                                       Rng& rng);
+
+/// Random bipartite graph on n x n vertices that *contains* a planted
+/// perfect matching (a random permutation's edges) plus `extra_edges` random
+/// edges, so the maximum matching cardinality is exactly n by construction.
+[[nodiscard]] CooMatrix planted_perfect(Index n, Index extra_edges, Rng& rng);
+
+}  // namespace mcm

@@ -1,0 +1,100 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcm {
+
+void RmatParams::validate() const {
+  const double sum = a + b + c + d;
+  if (a < 0 || b < 0 || c < 0 || d < 0 || std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("RmatParams: probabilities must be >= 0 and sum to 1");
+  }
+  if (scale < 1 || scale > 30) {
+    throw std::invalid_argument("RmatParams: scale must be in [1, 30]");
+  }
+  if (edge_factor <= 0) {
+    throw std::invalid_argument("RmatParams: edge_factor must be positive");
+  }
+}
+
+RmatParams RmatParams::g500(int scale) {
+  RmatParams p;
+  p.a = 0.57;
+  p.b = 0.19;
+  p.c = 0.19;
+  p.d = 0.05;
+  p.scale = scale;
+  p.edge_factor = 32.0;
+  return p;
+}
+
+RmatParams RmatParams::ssca(int scale) {
+  RmatParams p;
+  p.a = 0.6;
+  p.b = 0.4 / 3.0;
+  p.c = 0.4 / 3.0;
+  p.d = 0.4 / 3.0;
+  p.scale = scale;
+  p.edge_factor = 16.0;
+  return p;
+}
+
+RmatParams RmatParams::er(int scale) {
+  RmatParams p;
+  p.a = 0.25;
+  p.b = 0.25;
+  p.c = 0.25;
+  p.d = 0.25;
+  p.scale = scale;
+  p.edge_factor = 32.0;
+  return p;
+}
+
+CooMatrix rmat(const RmatParams& params, Rng& rng) {
+  params.validate();
+  const Index n = Index{1} << params.scale;
+  const auto edges = static_cast<std::uint64_t>(
+      params.edge_factor * static_cast<double>(n));
+  CooMatrix m(n, n);
+  m.reserve(edges);
+
+  // Graph500-style id scrambling: a fixed bijective hash of [0, 2^scale)
+  // destroys the generator's quadrant locality so that low ids are not all
+  // high-degree. Multiplication by an odd constant modulo 2^scale is a
+  // bijection; the xorshift mixes high bits into low ones.
+  const std::uint64_t mask = static_cast<std::uint64_t>(n) - 1;
+  auto scramble = [&](Index v) -> Index {
+    if (!params.scramble_ids) return v;
+    std::uint64_t x = static_cast<std::uint64_t>(v);
+    x = (x * 0x9e3779b97f4a7c15ULL) & mask;
+    x ^= x >> (params.scale / 2 + 1);
+    x = (x * 0xbf58476d1ce4e5b9ULL) & mask;
+    return static_cast<Index>(x);
+  };
+
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    Index row = 0;
+    Index col = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double u = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (u < params.a) {
+        // top-left quadrant
+      } else if (u < params.a + params.b) {
+        col |= 1;  // top-right
+      } else if (u < params.a + params.b + params.c) {
+        row |= 1;  // bottom-left
+      } else {
+        row |= 1;  // bottom-right
+        col |= 1;
+      }
+    }
+    m.add_edge(scramble(row), scramble(col));
+  }
+  m.sort_dedup();
+  return m;
+}
+
+}  // namespace mcm

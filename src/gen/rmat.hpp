@@ -1,0 +1,43 @@
+#pragma once
+/// \file rmat.hpp
+/// Recursive MATrix (R-MAT) generator (Chakrabarti, Zhan & Faloutsos), the
+/// generator behind all three synthetic matrix families in the paper (§V-B):
+///
+///   G500 : a=0.57, b=c=0.19, d=0.05  (Graph500, heavily skewed degrees)
+///   SSCA : a=0.60, b=c=d=0.40/3      (HPCS SSCA#2)
+///   ER   : a=b=c=d=0.25              (Erdős-Rényi-like, uniform)
+///
+/// A scale-n matrix is 2^n x 2^n; G500/ER use 32 nonzeros per row on
+/// average, SSCA uses 16, matching the paper's setup.
+
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  int scale = 16;                 ///< matrix is 2^scale x 2^scale
+  double edge_factor = 32.0;      ///< average nonzeros per row/column
+  bool scramble_ids = true;       ///< hash vertex ids to break locality,
+                                  ///  as Graph500 specifies
+
+  /// Validates 0 <= probabilities summing to ~1 and scale within [1, 30].
+  void validate() const;
+
+  static RmatParams g500(int scale);
+  static RmatParams ssca(int scale);
+  static RmatParams er(int scale);
+};
+
+/// Generates edge_factor * 2^scale edges by recursive quadrant descent.
+/// Duplicate edges may appear (as in Graph500) and are removed, so the final
+/// nnz is slightly below the nominal count — same behaviour as the paper's
+/// inputs. Deterministic for a given (params, rng state).
+[[nodiscard]] CooMatrix rmat(const RmatParams& params, Rng& rng);
+
+}  // namespace mcm

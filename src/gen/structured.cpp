@@ -1,0 +1,143 @@
+#include "gen/structured.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcm {
+
+CooMatrix grid_mesh(Index grid_rows, Index grid_cols, double diagonal_fraction,
+                    double drop_fraction, Rng& rng) {
+  if (grid_rows < 1 || grid_cols < 1) {
+    throw std::invalid_argument("grid_mesh: empty grid");
+  }
+  const Index n = grid_rows * grid_cols;
+  CooMatrix m(n, n);
+  auto id = [&](Index r, Index c) { return r * grid_cols + c; };
+  auto keep = [&] { return !rng.next_bool(drop_fraction); };
+
+  for (Index r = 0; r < grid_rows; ++r) {
+    for (Index c = 0; c < grid_cols; ++c) {
+      const Index v = id(r, c);
+      // Self loop in the biadjacency sense: vertex v on the row side is
+      // connected to v on the column side (grid cell with its own unknown),
+      // plus 4-neighbourhood, plus optional diagonal braces.
+      if (keep()) m.add_edge(v, v);
+      if (c + 1 < grid_cols && keep()) {
+        m.add_edge(v, id(r, c + 1));
+        m.add_edge(id(r, c + 1), v);
+      }
+      if (r + 1 < grid_rows && keep()) {
+        m.add_edge(v, id(r + 1, c));
+        m.add_edge(id(r + 1, c), v);
+      }
+      if (r + 1 < grid_rows && c + 1 < grid_cols
+          && rng.next_bool(diagonal_fraction)) {
+        m.add_edge(v, id(r + 1, c + 1));
+        m.add_edge(id(r + 1, c + 1), v);
+      }
+    }
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix banded(Index n, Index band, double fill, Rng& rng) {
+  if (n < 1) throw std::invalid_argument("banded: n < 1");
+  if (band < 0) throw std::invalid_argument("banded: negative band");
+  CooMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    const Index lo = std::max<Index>(0, i - band);
+    const Index hi = std::min<Index>(n - 1, i + band);
+    for (Index j = lo; j <= hi; ++j) {
+      if (rng.next_bool(fill)) m.add_edge(i, j);
+    }
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix kkt_block(Index primal, Index dual, Index stencil_halfwidth,
+                    double constraint_density, Rng& rng) {
+  if (primal < 1 || dual < 0) {
+    throw std::invalid_argument("kkt_block: bad block sizes");
+  }
+  const Index n = primal + dual;
+  CooMatrix m(n, n);
+  // H block: diagonal + short stencil couplings among primal variables.
+  for (Index i = 0; i < primal; ++i) {
+    m.add_edge(i, i);
+    for (Index off = 1; off <= stencil_halfwidth; ++off) {
+      if (i + off < primal) {
+        m.add_edge(i, i + off);
+        m.add_edge(i + off, i);
+      }
+    }
+  }
+  // B and B^T blocks: each dual row couples to a few random primal columns.
+  const auto couplings = std::max<Index>(
+      1, static_cast<Index>(constraint_density * static_cast<double>(primal)));
+  for (Index k = 0; k < dual; ++k) {
+    const Index i = primal + k;
+    for (Index c = 0; c < couplings; ++c) {
+      const Index j = static_cast<Index>(
+          rng.next_below(static_cast<std::uint64_t>(primal)));
+      m.add_edge(i, j);   // B
+      m.add_edge(j, i);   // B^T
+    }
+    // (2,2) block stays structurally zero: dual-dual entries are absent,
+    // which is what starves maximal matchings on these systems.
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix tall_rectangular(Index n_rows, Index n_cols, double avg_degree,
+                           double empty_row_fraction, Rng& rng) {
+  if (n_rows < 1 || n_cols < 1) {
+    throw std::invalid_argument("tall_rectangular: empty matrix");
+  }
+  CooMatrix m(n_rows, n_cols);
+  const auto edges = static_cast<std::uint64_t>(
+      avg_degree * static_cast<double>(n_cols));
+  const auto live_rows = std::max<Index>(
+      1, n_rows - static_cast<Index>(empty_row_fraction
+                                     * static_cast<double>(n_rows)));
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    // Square the uniform draw to skew degree mass toward low column indices.
+    const double u = rng.next_double();
+    const Index j = static_cast<Index>(u * u * static_cast<double>(n_cols));
+    const Index i = static_cast<Index>(
+        rng.next_below(static_cast<std::uint64_t>(live_rows)));
+    m.add_edge(i, std::min(j, n_cols - 1));
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix preferential(Index n, Index degree, Rng& rng) {
+  if (n < 1) throw std::invalid_argument("preferential: n < 1");
+  if (degree < 1) throw std::invalid_argument("preferential: degree < 1");
+  CooMatrix m(n, n);
+  m.reserve(static_cast<std::size_t>(n * degree));
+  // Repeated-endpoint list: drawing uniformly from past endpoints implements
+  // degree-proportional attachment in O(1) per edge.
+  std::vector<Index> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n * degree));
+  for (Index j = 0; j < n; ++j) {
+    for (Index d = 0; d < degree; ++d) {
+      Index i;
+      if (!endpoints.empty() && rng.next_bool(0.5)) {
+        i = endpoints[static_cast<std::size_t>(
+            rng.next_below(endpoints.size()))];
+      } else {
+        i = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(n)));
+      }
+      m.add_edge(i, j);
+      endpoints.push_back(i);
+    }
+  }
+  m.sort_dedup();
+  return m;
+}
+
+}  // namespace mcm

@@ -1,0 +1,54 @@
+#pragma once
+/// \file structured.hpp
+/// Structured generators approximating the *classes* of the paper's real
+/// matrices (Table II): high-diameter planar-like meshes (road networks,
+/// Delaunay triangulations), banded matrices (DNA electrophoresis "cage"),
+/// KKT-style saddle-point block systems (nlpkkt*, kkt_power) and tall
+/// rectangular combinatorial matrices (GL7d19, relat9, wheel). Each
+/// generator documents which namesake it stands in for; see gen/suite.hpp
+/// for the full Table II mapping.
+
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// 2D grid graph with optional random diagonal braces, as a stand-in for
+/// road networks / Delaunay meshes: n = rows*cols vertices per side, square
+/// biadjacency, ~4-6 nonzeros per row, very high diameter. `drop_fraction`
+/// randomly deletes edges (and strands some vertices) so the maximal
+/// matching leaves a deficiency for MCM to close — the paper selected
+/// matrices with "several thousands of unmatched vertices" for the same
+/// reason.
+[[nodiscard]] CooMatrix grid_mesh(Index grid_rows, Index grid_cols,
+                                  double diagonal_fraction,
+                                  double drop_fraction, Rng& rng);
+
+/// Banded matrix with `band` nonzeros around the diagonal, some randomly
+/// dropped: stand-in for the "cage" DNA matrices (narrow band, near-regular
+/// degrees).
+[[nodiscard]] CooMatrix banded(Index n, Index band, double fill, Rng& rng);
+
+/// KKT-style 2x2 block structure [H B^T; B 0] where H is (sparse) diagonal
+/// plus a stencil and B is a sparse constraint block: stand-in for
+/// nlpkkt160/200/240 and kkt_power. The zero (2,2) block creates structural
+/// deficiency typical of saddle-point systems.
+[[nodiscard]] CooMatrix kkt_block(Index primal, Index dual,
+                                  Index stencil_halfwidth,
+                                  double constraint_density, Rng& rng);
+
+/// Tall rectangular random matrix (n_rows >> n_cols or vice versa) with
+/// skewed column degrees: stand-in for the combinatorial matrices GL7d19 /
+/// relat9 / wheel_601. Guarantees max matching < min(n1, n2) structurally by
+/// leaving a fraction of rows empty.
+[[nodiscard]] CooMatrix tall_rectangular(Index n_rows, Index n_cols,
+                                         double avg_degree,
+                                         double empty_row_fraction, Rng& rng);
+
+/// Preferential-attachment-flavoured bipartite graph: each new column
+/// attaches `degree` edges, half uniformly, half proportional to current row
+/// degree. Stand-in for web/social matrices (wikipedia, wb-edu, amazon).
+[[nodiscard]] CooMatrix preferential(Index n, Index degree, Rng& rng);
+
+}  // namespace mcm

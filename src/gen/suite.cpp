@@ -1,0 +1,144 @@
+#include "gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+
+namespace mcm {
+namespace {
+
+Index scaled(double scale_factor, Index base) {
+  return std::max<Index>(8, static_cast<Index>(std::llround(
+                                scale_factor * static_cast<double>(base))));
+}
+
+/// RMAT scale responding to the suite's linear scale factor: the number of
+/// vertices (2^scale) grows proportionally to scale_factor, clamped to a
+/// sane range.
+int rmat_scale(double scale_factor, int base) {
+  const double bump = std::log2(std::max(1e-3, scale_factor));
+  const int scale = base + static_cast<int>(std::lround(bump));
+  return std::min(24, std::max(8, scale));
+}
+
+}  // namespace
+
+std::vector<SuiteMatrix> real_suite(double scale_factor) {
+  if (scale_factor <= 0) {
+    throw std::invalid_argument("real_suite: scale_factor must be positive");
+  }
+  const double s = scale_factor;
+  std::vector<SuiteMatrix> suite;
+
+  suite.push_back({"GL7d19", "combinatorial",
+                   "tall rectangular, skewed column degrees, structurally "
+                   "deficient (differential of a simplicial complex)",
+                   [s](Rng& rng) {
+                     return tall_rectangular(scaled(s, 60000), scaled(s, 40000),
+                                             3.0, 0.12, rng);
+                   }});
+  suite.push_back({"relat9", "combinatorial",
+                   "very tall rectangular relation matrix, near-constant row "
+                   "degree, many redundant rows",
+                   [s](Rng& rng) {
+                     return tall_rectangular(scaled(s, 90000), scaled(s, 20000),
+                                             4.0, 0.20, rng);
+                   }});
+  suite.push_back({"wheel_601", "combinatorial",
+                   "wide rectangular wheel-like matrix with light skew",
+                   [s](Rng& rng) {
+                     return tall_rectangular(scaled(s, 50000), scaled(s, 35000),
+                                             2.5, 0.08, rng);
+                   }});
+  suite.push_back({"cage15", "dna",
+                   "narrow banded near-regular matrix (DNA electrophoresis "
+                   "cage model); low diameter per column, sparse band fill "
+                   "leaving structural deficiency",
+                   [s](Rng& rng) {
+                     return banded(scaled(s, 80000), 24, 0.07, rng);
+                   }});
+  suite.push_back({"kkt_power", "kkt",
+                   "saddle-point KKT system of a power-grid optimization; "
+                   "zero (2,2) block starves maximal matchings",
+                   [s](Rng& rng) {
+                     return kkt_block(scaled(s, 50000), scaled(s, 18000), 2,
+                                      0.00018, rng);
+                   }});
+  suite.push_back({"nlpkkt200", "kkt",
+                   "large nonlinear-programming KKT matrix; stencil H block "
+                   "plus sparse constraints",
+                   [s](Rng& rng) {
+                     return kkt_block(scaled(s, 80000), scaled(s, 26000), 3,
+                                      0.00012, rng);
+                   }});
+  suite.push_back({"amazon-2008", "web",
+                   "co-purchase network: preferential attachment, moderate "
+                   "skew, small average degree",
+                   [s](Rng& rng) {
+                     return preferential(scaled(s, 70000), 7, rng);
+                   }});
+  suite.push_back({"wikipedia-20070206", "web",
+                   "hyperlink graph: heavy-tailed RMAT (G500 parameters), "
+                   "low diameter",
+                   [s](Rng& rng) {
+                     RmatParams p = RmatParams::g500(rmat_scale(s, 16));
+                     p.edge_factor = 14.0;
+                     return rmat(p, rng);
+                   }});
+  suite.push_back({"wb-edu", "web",
+                   "crawl of .edu web: skewed RMAT with SSCA parameters",
+                   [s](Rng& rng) {
+                     RmatParams p = RmatParams::ssca(rmat_scale(s, 16));
+                     p.edge_factor = 12.0;
+                     return rmat(p, rng);
+                   }});
+  suite.push_back({"coPapersDBLP", "social",
+                   "co-authorship graph: clustered hubs approximated by "
+                   "preferential attachment",
+                   [s](Rng& rng) {
+                     return preferential(scaled(s, 50000), 5, rng);
+                   }});
+  suite.push_back({"delaunay_n24", "mesh",
+                   "Delaunay triangulation: planar, ~6 nonzeros/row, high "
+                   "diameter (grid mesh with diagonal braces); edge drops "
+                   "leave a deficiency for MCM to close",
+                   [s](Rng& rng) {
+                     const Index side = scaled(s, 620);
+                     return grid_mesh(side, side, 0.5, 0.20, rng);
+                   }});
+  suite.push_back({"hugetrace-00020", "mesh",
+                   "huge 2D trace mesh: planar, very high diameter",
+                   [s](Rng& rng) {
+                     const Index side = scaled(s, 660);
+                     return grid_mesh(side, side, 0.15, 0.22, rng);
+                   }});
+  suite.push_back({"road_usa", "road",
+                   "USA road network: near-planar, degree <= 4, extreme "
+                   "diameter — the hardest class for BFS-based matching",
+                   [s](Rng& rng) {
+                     const Index side = scaled(s, 720);
+                     return grid_mesh(side, side, 0.05, 0.30, rng);
+                   }});
+  return suite;
+}
+
+std::vector<SuiteMatrix> representative_suite(double scale_factor) {
+  std::vector<SuiteMatrix> reps;
+  for (const char* name :
+       {"coPapersDBLP", "wikipedia-20070206", "cage15", "road_usa"}) {
+    reps.push_back(suite_matrix(name, scale_factor));
+  }
+  return reps;
+}
+
+SuiteMatrix suite_matrix(const std::string& name, double scale_factor) {
+  for (auto& entry : real_suite(scale_factor)) {
+    if (entry.name == name) return entry;
+  }
+  throw std::invalid_argument("suite_matrix: unknown matrix '" + name + "'");
+}
+
+}  // namespace mcm

@@ -1,0 +1,38 @@
+#pragma once
+/// \file suite.hpp
+/// The Table II stand-in suite: 13 synthetic matrices, one per real matrix
+/// in the paper's evaluation, each generated to match its namesake's
+/// structural class (degree distribution, diameter regime, rectangularity,
+/// deficiency after a maximal matching). Scales are laptop-sized; pass
+/// `scale_factor` > 1 to grow every instance proportionally. Users with the
+/// genuine SuiteSparse files can bypass this via matrix/mmio.hpp.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+
+struct SuiteMatrix {
+  std::string name;         ///< the paper's matrix name this stands in for
+  std::string family;       ///< structural class (road, web, kkt, ...)
+  std::string description;  ///< what the generator builds and why it matches
+  std::function<CooMatrix(Rng&)> build;
+};
+
+/// All 13 stand-ins, in the order the paper's Table II lists them.
+[[nodiscard]] std::vector<SuiteMatrix> real_suite(double scale_factor = 1.0);
+
+/// The four "representative" matrices used for Fig. 3 / Fig. 5 breakdowns:
+/// coPapersDBLP, wikipedia, cage15 and road_usa stand-ins.
+[[nodiscard]] std::vector<SuiteMatrix> representative_suite(
+    double scale_factor = 1.0);
+
+/// Finds a suite entry by name; throws std::invalid_argument if absent.
+[[nodiscard]] SuiteMatrix suite_matrix(const std::string& name,
+                                       double scale_factor = 1.0);
+
+}  // namespace mcm

@@ -1,0 +1,128 @@
+#include "gridsim/context.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+namespace {
+
+bool is_perfect_square(int n) {
+  if (n < 1) return false;
+  const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  return side * side == n;
+}
+
+}  // namespace
+
+SimConfig SimConfig::auto_config(int cores, int preferred_threads,
+                                 MachineModel machine) {
+  if (cores < 1) throw std::invalid_argument("auto_config: cores < 1");
+  if (preferred_threads < 1) {
+    throw std::invalid_argument("auto_config: preferred_threads < 1");
+  }
+  for (int t = preferred_threads; t >= 1; --t) {
+    if (cores % t == 0 && is_perfect_square(cores / t)) {
+      SimConfig config;
+      config.machine = machine;
+      config.cores = cores;
+      config.threads_per_process = t;
+      return config;
+    }
+  }
+  throw std::invalid_argument("auto_config: no thread count t <= "
+                              + std::to_string(preferred_threads)
+                              + " gives a square process grid for "
+                              + std::to_string(cores) + " cores");
+}
+
+SimContext::SimContext(const SimConfig& config)
+    : config_(config),
+      grid_(ProcGrid::square(config.processes())),
+      edge_time_us_(config.machine.edge_op_us
+                    / config.machine.thread_speedup(config.threads_per_process)),
+      elem_time_us_(config.machine.elem_op_us
+                    / config.machine.thread_speedup(config.threads_per_process)) {
+  if (config.cores % config.threads_per_process != 0) {
+    throw std::invalid_argument("SimContext: threads_per_process must divide cores");
+  }
+}
+
+void SimContext::charge_edge_ops(Cost category, std::uint64_t max_rank_ops) {
+  ledger_.charge_time(category, static_cast<double>(max_rank_ops) * edge_time_us_);
+}
+
+void SimContext::charge_elem_ops(Cost category, std::uint64_t max_rank_ops) {
+  ledger_.charge_time(category, static_cast<double>(max_rank_ops) * elem_time_us_);
+}
+
+void SimContext::charge_allgatherv(Cost category, int group_size, int n_groups,
+                                   std::uint64_t max_group_words) {
+  if (group_size <= 1) return;  // intra-rank: free
+  const double g = group_size;
+  const double time = (g - 1) * alpha()
+                      + ((g - 1) / g) * static_cast<double>(max_group_words)
+                            * beta_word();
+  ledger_.charge_time(category, time);
+  ledger_.count_comm(category,
+                     static_cast<std::uint64_t>(group_size - 1)
+                         * static_cast<std::uint64_t>(n_groups),
+                     max_group_words * static_cast<std::uint64_t>(n_groups));
+}
+
+void SimContext::charge_alltoallv(Cost category, int group_size, int n_groups,
+                                  std::uint64_t max_rank_words,
+                                  int latency_rounds) {
+  if (group_size <= 1) return;
+  const double g = group_size;
+  const double time = latency_rounds * (g - 1) * alpha()
+                      + static_cast<double>(max_rank_words) * beta_word();
+  ledger_.charge_time(category, time);
+  ledger_.count_comm(category,
+                     static_cast<std::uint64_t>(latency_rounds)
+                         * static_cast<std::uint64_t>(group_size - 1)
+                         * static_cast<std::uint64_t>(group_size)
+                         * static_cast<std::uint64_t>(n_groups),
+                     max_rank_words * static_cast<std::uint64_t>(group_size)
+                         * static_cast<std::uint64_t>(n_groups));
+}
+
+void SimContext::charge_allreduce(Cost category, int group_size,
+                                  std::uint64_t words) {
+  if (group_size <= 1) return;
+  const double rounds = std::ceil(std::log2(static_cast<double>(group_size)));
+  const double time =
+      2.0 * rounds * (alpha() + static_cast<double>(words) * beta_word());
+  ledger_.charge_time(category, time);
+  ledger_.count_comm(category,
+                     static_cast<std::uint64_t>(2.0 * rounds)
+                         * static_cast<std::uint64_t>(group_size),
+                     2 * words * static_cast<std::uint64_t>(group_size));
+}
+
+void SimContext::charge_gatherv_root(Cost category, int processes,
+                                     std::uint64_t total_words) {
+  if (processes <= 1) return;
+  const double time = (processes - 1) * alpha()
+                      + static_cast<double>(total_words) * beta_word();
+  ledger_.charge_time(category, time);
+  ledger_.count_comm(category, static_cast<std::uint64_t>(processes - 1),
+                     total_words);
+}
+
+void SimContext::charge_scatterv_root(Cost category, int processes,
+                                      std::uint64_t total_words) {
+  charge_gatherv_root(category, processes, total_words);
+}
+
+void SimContext::charge_rma(Cost category, std::uint64_t ops,
+                            std::uint64_t words_each) {
+  if (processes() <= 1) return;  // window is local: free
+  const double time =
+      static_cast<double>(ops)
+      * (alpha() + static_cast<double>(words_each) * beta_word());
+  ledger_.charge_time(category, time);
+  ledger_.count_comm(category, ops, ops * words_each);
+}
+
+}  // namespace mcm

@@ -1,0 +1,102 @@
+#pragma once
+/// \file context.hpp
+/// SimContext bundles everything one simulated parallel execution needs:
+/// the machine model, the execution configuration (total cores, threads per
+/// process, the resulting square process grid) and the cost ledger charges
+/// accumulate into.
+///
+/// Cost-charging API: distributed primitives in `dist/` perform their data
+/// movement between per-rank blocks directly (the simulator shares one
+/// address space), then call the charge_* functions below, which price the
+/// movement with the standard collective cost formulas in the alpha-beta
+/// model — the same formulas the paper's own analysis (§IV-B) uses:
+///
+///   ring allgatherv, g ranks, W total words:   (g-1) a + ((g-1)/g) W b
+///   pairwise alltoallv, g ranks:               (g-1) a + W_maxrank b
+///   allreduce (recursive doubling), g ranks:   2 ceil(lg g) (a + w b)
+///   gatherv/scatterv to/from a root, p ranks:  (p-1) a + W_total b
+///   one-sided RMA op of w words:               a + w b
+///
+/// Compute charges take the *maximum* per-rank operation count (the ranks
+/// run bulk-synchronously, so the slowest rank sets the pace) divided by the
+/// per-process thread speedup.
+
+#include <cstdint>
+
+#include "gridsim/cost_ledger.hpp"
+#include "gridsim/machine.hpp"
+#include "gridsim/proc_grid.hpp"
+
+namespace mcm {
+
+struct SimConfig {
+  MachineModel machine = MachineModel::edison();
+  int cores = 24;
+  int threads_per_process = 12;
+
+  [[nodiscard]] int processes() const { return cores / threads_per_process; }
+
+  /// Largest t <= preferred_threads such that t divides `cores` and cores/t
+  /// is a perfect square. Mirrors the paper's setup ("12 threads per process
+  /// ... except on 24 cores where each process on a 2x2 grid employs 6
+  /// threads"). Throws if no such t exists.
+  static SimConfig auto_config(int cores, int preferred_threads = 12,
+                               MachineModel machine = MachineModel::edison());
+};
+
+class SimContext {
+ public:
+  explicit SimContext(const SimConfig& config);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const ProcGrid& grid() const { return grid_; }
+  [[nodiscard]] int processes() const { return grid_.size(); }
+  [[nodiscard]] int threads() const { return config_.threads_per_process; }
+
+  [[nodiscard]] CostLedger& ledger() { return ledger_; }
+  [[nodiscard]] const CostLedger& ledger() const { return ledger_; }
+
+  [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }
+  [[nodiscard]] double beta_word() const { return config_.machine.beta_us_per_word; }
+
+  /// Per-process time for one SpMV edge traversal / one vector element op,
+  /// with intra-process threading folded in.
+  [[nodiscard]] double edge_time_us() const { return edge_time_us_; }
+  [[nodiscard]] double elem_time_us() const { return elem_time_us_; }
+
+  // --- compute charges (bulk-synchronous: pass the max over ranks) ---
+  void charge_edge_ops(Cost category, std::uint64_t max_rank_ops);
+  void charge_elem_ops(Cost category, std::uint64_t max_rank_ops);
+
+  // --- communication charges (formulas in the file comment) ---
+  /// `n_groups` groups of `group_size` ranks allgather concurrently;
+  /// `max_group_words` is the largest per-group total payload.
+  void charge_allgatherv(Cost category, int group_size, int n_groups,
+                         std::uint64_t max_group_words);
+  /// Personalized all-to-all within groups; `max_rank_words` is the largest
+  /// per-rank send volume; `latency_rounds` multiplies the latency term
+  /// (e.g. INVERT pays extra rounds for the counts exchange, §IV-B).
+  void charge_alltoallv(Cost category, int group_size, int n_groups,
+                        std::uint64_t max_rank_words, int latency_rounds = 1);
+  void charge_allreduce(Cost category, int group_size, std::uint64_t words = 1);
+  void charge_gatherv_root(Cost category, int processes, std::uint64_t total_words);
+  void charge_scatterv_root(Cost category, int processes, std::uint64_t total_words);
+  /// `ops` one-sided operations of `words_each`, issued concurrently by
+  /// independent ranks: pass the max per-rank count in `ops`.
+  void charge_rma(Cost category, std::uint64_t ops, std::uint64_t words_each);
+
+ private:
+  SimConfig config_;
+  ProcGrid grid_;
+  CostLedger ledger_;
+  double edge_time_us_;
+  double elem_time_us_;
+};
+
+/// Words (8-byte units) occupied by a T when serialized on the wire.
+template <typename T>
+[[nodiscard]] constexpr std::uint64_t words_per() {
+  return (sizeof(T) + 7) / 8;
+}
+
+}  // namespace mcm

@@ -1,0 +1,86 @@
+#include "gridsim/cost_ledger.hpp"
+
+#include <sstream>
+
+namespace mcm {
+
+const char* cost_name(Cost category) noexcept {
+  switch (category) {
+    case Cost::SpMV: return "SpMV";
+    case Cost::Invert: return "INVERT";
+    case Cost::Prune: return "PRUNE";
+    case Cost::Augment: return "AUGMENT";
+    case Cost::MaximalInit: return "MaximalInit";
+    case Cost::GatherScatter: return "Gather/Scatter";
+    case Cost::Other: return "Other";
+    case Cost::kCount: break;
+  }
+  return "?";
+}
+
+void CostLedger::charge_time(Cost category, double us) noexcept {
+  time_us_[static_cast<int>(category)] += us;
+}
+
+void CostLedger::count_comm(Cost category, std::uint64_t messages,
+                            std::uint64_t words) noexcept {
+  messages_[static_cast<int>(category)] += messages;
+  words_[static_cast<int>(category)] += words;
+}
+
+double CostLedger::time_us(Cost category) const noexcept {
+  return time_us_[static_cast<int>(category)];
+}
+
+double CostLedger::total_us() const noexcept {
+  double total = 0;
+  for (const double t : time_us_) total += t;
+  return total;
+}
+
+std::uint64_t CostLedger::messages(Cost category) const noexcept {
+  return messages_[static_cast<int>(category)];
+}
+
+std::uint64_t CostLedger::words(Cost category) const noexcept {
+  return words_[static_cast<int>(category)];
+}
+
+std::uint64_t CostLedger::total_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto m : messages_) total += m;
+  return total;
+}
+
+std::uint64_t CostLedger::total_words() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto w : words_) total += w;
+  return total;
+}
+
+void CostLedger::reset() noexcept {
+  time_us_.fill(0.0);
+  messages_.fill(0);
+  words_.fill(0);
+}
+
+std::string CostLedger::report() const {
+  std::ostringstream out;
+  for (int c = 0; c < kCategories; ++c) {
+    if (time_us_[c] == 0 && messages_[c] == 0) continue;
+    out << cost_name(static_cast<Cost>(c)) << ": " << time_us_[c] / 1e3
+        << " ms, " << messages_[c] << " msgs, " << words_[c] << " words\n";
+  }
+  out << "total: " << total_us() / 1e3 << " ms\n";
+  return out.str();
+}
+
+void CostLedger::merge(const CostLedger& other) noexcept {
+  for (int c = 0; c < kCategories; ++c) {
+    time_us_[c] += other.time_us_[c];
+    messages_[c] += other.messages_[c];
+    words_[c] += other.words_[c];
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,63 @@
+#pragma once
+/// \file cost_ledger.hpp
+/// Accounting of simulated time. Every distributed primitive charges its
+/// modeled compute and communication cost here, broken down by the same
+/// categories the paper's Fig. 5 runtime breakdown uses (SpMV, INVERT,
+/// PRUNE, AUGMENT, plus maximal-matching initialization and everything
+/// else). Totals are in microseconds of *simulated* parallel time; word and
+/// message counters are also kept so benches can report communication volume
+/// directly.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mcm {
+
+enum class Cost : int {
+  SpMV = 0,
+  Invert,
+  Prune,
+  Augment,
+  MaximalInit,
+  GatherScatter,  ///< Fig. 9 centralization experiment
+  Other,
+  kCount
+};
+
+[[nodiscard]] const char* cost_name(Cost category) noexcept;
+
+class CostLedger {
+ public:
+  /// Adds `us` microseconds of simulated time to a category.
+  void charge_time(Cost category, double us) noexcept;
+
+  /// Records communication volume (the time for it is charged separately by
+  /// the collective's cost formula via charge_time).
+  void count_comm(Cost category, std::uint64_t messages,
+                  std::uint64_t words) noexcept;
+
+  [[nodiscard]] double time_us(Cost category) const noexcept;
+  [[nodiscard]] double total_us() const noexcept;
+  [[nodiscard]] std::uint64_t messages(Cost category) const noexcept;
+  [[nodiscard]] std::uint64_t words(Cost category) const noexcept;
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+  [[nodiscard]] std::uint64_t total_words() const noexcept;
+
+  void reset() noexcept;
+
+  /// Multi-line per-category report (used by benches' breakdown output).
+  [[nodiscard]] std::string report() const;
+
+  /// Merges another ledger's charges into this one (sequential composition
+  /// of two simulated program sections).
+  void merge(const CostLedger& other) noexcept;
+
+ private:
+  static constexpr int kCategories = static_cast<int>(Cost::kCount);
+  std::array<double, kCategories> time_us_{};
+  std::array<std::uint64_t, kCategories> messages_{};
+  std::array<std::uint64_t, kCategories> words_{};
+};
+
+}  // namespace mcm

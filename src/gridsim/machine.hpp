@@ -1,0 +1,50 @@
+#pragma once
+/// \file machine.hpp
+/// The machine cost model of the simulated distributed-memory runtime.
+///
+/// The paper analyzes its algorithms in the standard alpha-beta model
+/// (§IV-B): an algorithm that performs F arithmetic operations, sends S
+/// messages and moves W words takes T = F + alpha*S + beta*W, with alpha the
+/// per-message latency and beta the inverse bandwidth. This struct supplies
+/// those constants (in microseconds), plus compute rates for the two kinds
+/// of local work the matching kernels do:
+///
+///  - edge operations: traversing one nonzero during SpMV (cache-unfriendly,
+///    ~tens of ns each);
+///  - element operations: touching one vector entry in SELECT / SET / INVERT
+///    local phases (streaming, cheaper).
+///
+/// Hybrid MPI+OpenMP execution enters the model exactly as it affects the
+/// paper's Fig. 7: running t threads per process divides the process count by
+/// t (shrinking every latency term, which scales with process-group size)
+/// and multiplies the per-process compute rate by t * efficiency(t).
+///
+/// The edison() preset approximates a Cray XC30 node (Aries network,
+/// 12-core Ivy Bridge sockets). Absolute times are not the reproduction
+/// target — scaling *shapes* are — but the constants are chosen to be
+/// physically plausible so crossovers land in realistic regimes.
+
+namespace mcm {
+
+struct MachineModel {
+  double alpha_us = 3.0;         ///< per-message latency, microseconds
+  double beta_us_per_word = 0.004;  ///< per 8-byte word transfer, microseconds
+  double edge_op_us = 0.03;      ///< one SpMV nonzero traversal per core
+  double elem_op_us = 0.004;     ///< one vector-element op per core
+  int cores_per_node = 24;
+  int cores_per_socket = 12;
+
+  /// Parallel efficiency of t threads within a process (memory-bandwidth
+  /// contention on a socket); 1.0 at t = 1, mildly decaying.
+  [[nodiscard]] double thread_efficiency(int threads) const;
+
+  /// Effective per-process speedup of local kernels with t threads.
+  [[nodiscard]] double thread_speedup(int threads) const {
+    return threads * thread_efficiency(threads);
+  }
+
+  /// Cray XC30 ("Edison")-like preset used by all paper-reproduction benches.
+  static MachineModel edison();
+};
+
+}  // namespace mcm

@@ -1,0 +1,19 @@
+#include "gridsim/proc_grid.hpp"
+
+#include <cmath>
+
+namespace mcm {
+
+ProcGrid ProcGrid::square(int processes) {
+  if (processes < 1) throw std::invalid_argument("ProcGrid: processes < 1");
+  const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(processes))));
+  if (side * side != processes) {
+    throw std::invalid_argument(
+        "ProcGrid: " + std::to_string(processes)
+        + " processes is not a perfect square; the paper (and CombBLAS) "
+          "support square grids only");
+  }
+  return ProcGrid(side, side);
+}
+
+}  // namespace mcm

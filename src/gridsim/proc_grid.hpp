@@ -1,0 +1,141 @@
+#pragma once
+/// \file proc_grid.hpp
+/// The 2D process grid (paper §IV-A) and the 1D block distribution helper
+/// used to split matrix dimensions and vectors across it. The paper (and
+/// CombBLAS at the time) supports square grids only; we enforce the same.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// A pr x pc grid of ranks; rank r sits at (row_of(r), col_of(r)) in
+/// row-major order. Grid rows and columns are the communicator groups for
+/// the SpMV fold and expand phases.
+class ProcGrid {
+ public:
+  ProcGrid() : ProcGrid(1, 1) {}
+  ProcGrid(int pr, int pc) : pr_(pr), pc_(pc) {
+    if (pr < 1 || pc < 1) throw std::invalid_argument("ProcGrid: empty grid");
+  }
+
+  /// Builds the unique square grid with `processes` ranks. Throws unless
+  /// `processes` is a perfect square (the paper's constraint).
+  static ProcGrid square(int processes);
+
+  [[nodiscard]] int pr() const { return pr_; }
+  [[nodiscard]] int pc() const { return pc_; }
+  [[nodiscard]] int size() const { return pr_ * pc_; }
+
+  [[nodiscard]] int rank_of(int i, int j) const { return i * pc_ + j; }
+  [[nodiscard]] int row_of(int rank) const { return rank / pc_; }
+  [[nodiscard]] int col_of(int rank) const { return rank % pc_; }
+
+ private:
+  int pr_;
+  int pc_;
+};
+
+/// Balanced 1D block distribution of n items over `parts` parts: the first
+/// n % parts parts get ceil(n/parts) items, the rest floor(n/parts).
+class BlockDist {
+ public:
+  BlockDist() = default;
+  BlockDist(Index n, int parts) : n_(n), parts_(parts) {
+    if (parts < 1) throw std::invalid_argument("BlockDist: parts < 1");
+    if (n < 0) throw std::invalid_argument("BlockDist: negative length");
+  }
+
+  [[nodiscard]] Index total() const { return n_; }
+  [[nodiscard]] int parts() const { return parts_; }
+
+  [[nodiscard]] Index size(int part) const {
+    check_part(part);
+    const Index base = n_ / parts_;
+    return base + (part < static_cast<int>(n_ % parts_) ? 1 : 0);
+  }
+
+  [[nodiscard]] Index offset(int part) const {
+    check_part(part);
+    const Index base = n_ / parts_;
+    const Index extra = n_ % parts_;
+    const Index p = part;
+    return p * base + (p < extra ? p : extra);
+  }
+
+  /// Part owning global index g.
+  [[nodiscard]] int owner(Index g) const {
+    if (g < 0 || g >= n_) {
+      throw std::out_of_range("BlockDist::owner: index " + std::to_string(g)
+                              + " outside [0, " + std::to_string(n_) + ")");
+    }
+    const Index base = n_ / parts_;
+    const Index extra = n_ % parts_;
+    const Index pivot = extra * (base + 1);
+    if (g < pivot) return static_cast<int>(g / (base + 1));
+    return static_cast<int>(extra + (g - pivot) / base);
+  }
+
+  [[nodiscard]] Index to_local(Index g) const { return g - offset(owner(g)); }
+  [[nodiscard]] Index to_global(int part, Index local) const {
+    return offset(part) + local;
+  }
+
+ private:
+  void check_part(int part) const {
+    if (part < 0 || part >= parts_) {
+      throw std::out_of_range("BlockDist: part " + std::to_string(part)
+                              + " outside [0, " + std::to_string(parts_) + ")");
+    }
+  }
+
+  Index n_ = 0;
+  int parts_ = 1;
+};
+
+/// Two-level distribution of a length-n vector over the whole grid, matching
+/// CombBLAS: the vector is first split into pc (column vectors) or pr (row
+/// vectors) *segments*, one per grid column/row; each segment is then
+/// subdivided among the ranks of that grid column/row. See dist/dist_vec.hpp
+/// for the containers built on this map.
+struct VectorDist {
+  BlockDist segments;      ///< n split over grid dimension (pc or pr)
+  std::vector<BlockDist> within;  ///< each segment split over the other dimension
+
+  VectorDist() = default;
+  VectorDist(Index n, int n_segments, int parts_within) : segments(n, n_segments) {
+    within.reserve(static_cast<std::size_t>(n_segments));
+    for (int s = 0; s < n_segments; ++s) {
+      within.emplace_back(segments.size(s), parts_within);
+    }
+  }
+
+  /// (segment, part-within-segment) of a global index.
+  struct Owner {
+    int segment;
+    int part;
+    Index local;  ///< index within the (segment, part) piece
+  };
+  [[nodiscard]] Owner owner(Index g) const {
+    const int seg = segments.owner(g);
+    const Index in_seg = g - segments.offset(seg);
+    const auto& sub = within[static_cast<std::size_t>(seg)];
+    const int part = sub.owner(in_seg);
+    return {seg, part, in_seg - sub.offset(part)};
+  }
+
+  [[nodiscard]] Index to_global(int segment, int part, Index local) const {
+    return segments.offset(segment)
+           + within[static_cast<std::size_t>(segment)].to_global(part, local);
+  }
+
+  /// Length of the piece owned by (segment, part).
+  [[nodiscard]] Index piece_size(int segment, int part) const {
+    return within[static_cast<std::size_t>(segment)].size(part);
+  }
+};
+
+}  // namespace mcm

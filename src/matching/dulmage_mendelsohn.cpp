@@ -1,0 +1,161 @@
+#include "matching/dulmage_mendelsohn.hpp"
+
+#include <stdexcept>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace mcm {
+namespace {
+
+/// Marks all vertices reachable by alternating paths from the given side's
+/// unmatched vertices. `from_columns` selects the direction convention:
+/// from columns: column -> row along any edge, row -> column along the
+/// matched edge; from rows the roles are swapped (using the transpose).
+void alternating_reach(const CscMatrix& a, const CscMatrix& a_t,
+                       const Matching& m, bool from_columns,
+                       std::vector<bool>& row_mark,
+                       std::vector<bool>& col_mark) {
+  std::vector<Index> queue;
+  if (from_columns) {
+    for (Index j = 0; j < a.n_cols(); ++j) {
+      if (m.mate_c[static_cast<std::size_t>(j)] == kNull) {
+        col_mark[static_cast<std::size_t>(j)] = true;
+        queue.push_back(j);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index j = queue[head];
+      for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+        const Index i = a.row_at(k);
+        if (row_mark[static_cast<std::size_t>(i)]) continue;
+        row_mark[static_cast<std::size_t>(i)] = true;
+        const Index jn = m.mate_r[static_cast<std::size_t>(i)];
+        if (jn != kNull && !col_mark[static_cast<std::size_t>(jn)]) {
+          col_mark[static_cast<std::size_t>(jn)] = true;
+          queue.push_back(jn);
+        }
+      }
+    }
+  } else {
+    for (Index i = 0; i < a.n_rows(); ++i) {
+      if (m.mate_r[static_cast<std::size_t>(i)] == kNull) {
+        row_mark[static_cast<std::size_t>(i)] = true;
+        queue.push_back(i);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index i = queue[head];
+      for (Index k = a_t.col_begin(i); k < a_t.col_end(i); ++k) {
+        const Index j = a_t.row_at(k);
+        if (col_mark[static_cast<std::size_t>(j)]) continue;
+        col_mark[static_cast<std::size_t>(j)] = true;
+        const Index in = m.mate_c[static_cast<std::size_t>(j)];
+        if (in != kNull && !row_mark[static_cast<std::size_t>(in)]) {
+          row_mark[static_cast<std::size_t>(in)] = true;
+          queue.push_back(in);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Index structural_rank(const CscMatrix& a) {
+  return maximum_matching_size(a);
+}
+
+Permutation zero_free_diagonal_rows(const CscMatrix& a, const Matching& m) {
+  if (a.n_rows() != a.n_cols()) {
+    throw std::invalid_argument("zero_free_diagonal_rows: matrix not square");
+  }
+  if (m.n_rows() != a.n_rows() || m.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("zero_free_diagonal_rows: matching size mismatch");
+  }
+  Permutation perm;
+  perm.map.assign(static_cast<std::size_t>(a.n_rows()), kNull);
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    const Index i = m.mate_c[static_cast<std::size_t>(j)];
+    if (i == kNull) {
+      throw std::invalid_argument(
+          "zero_free_diagonal_rows: column " + std::to_string(j)
+          + " unmatched (matrix structurally singular)");
+    }
+    perm.map[static_cast<std::size_t>(i)] = j;
+  }
+  perm.validate();
+  return perm;
+}
+
+std::vector<Index> hall_violator(const CscMatrix& a, const Matching& m) {
+  const DmDecomposition dm = dulmage_mendelsohn(a, m);
+  std::vector<Index> violator;
+  if (unmatched_cols(m) == 0) return violator;  // perfect on columns: no S
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    if (dm.col_part[static_cast<std::size_t>(j)] == DmPart::Horizontal) {
+      violator.push_back(j);
+    }
+  }
+  return violator;
+}
+
+Index DmDecomposition::count_rows(DmPart part) const {
+  Index count = 0;
+  for (const DmPart p : row_part) {
+    if (p == part) ++count;
+  }
+  return count;
+}
+
+Index DmDecomposition::count_cols(DmPart part) const {
+  Index count = 0;
+  for (const DmPart p : col_part) {
+    if (p == part) ++count;
+  }
+  return count;
+}
+
+DmDecomposition dulmage_mendelsohn(const CscMatrix& a, const Matching& m) {
+  if (m.n_rows() != a.n_rows() || m.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("dulmage_mendelsohn: matching size mismatch");
+  }
+  const CscMatrix a_t = a.transposed();
+  std::vector<bool> h_rows(static_cast<std::size_t>(a.n_rows()), false);
+  std::vector<bool> h_cols(static_cast<std::size_t>(a.n_cols()), false);
+  std::vector<bool> v_rows(static_cast<std::size_t>(a.n_rows()), false);
+  std::vector<bool> v_cols(static_cast<std::size_t>(a.n_cols()), false);
+  alternating_reach(a, a_t, m, /*from_columns=*/true, h_rows, h_cols);
+  alternating_reach(a, a_t, m, /*from_columns=*/false, v_rows, v_cols);
+
+  // A vertex in both reaches witnesses an augmenting path between an
+  // unmatched column and an unmatched row: the matching was not maximum.
+  for (std::size_t i = 0; i < h_rows.size(); ++i) {
+    if (h_rows[i] && v_rows[i]) {
+      throw std::invalid_argument(
+          "dulmage_mendelsohn: matching is not maximum (augmenting path "
+          "through row " + std::to_string(i) + ")");
+    }
+  }
+  for (std::size_t j = 0; j < h_cols.size(); ++j) {
+    if (h_cols[j] && v_cols[j]) {
+      throw std::invalid_argument(
+          "dulmage_mendelsohn: matching is not maximum (augmenting path "
+          "through column " + std::to_string(j) + ")");
+    }
+  }
+
+  DmDecomposition dm;
+  dm.row_part.resize(static_cast<std::size_t>(a.n_rows()), DmPart::Square);
+  dm.col_part.resize(static_cast<std::size_t>(a.n_cols()), DmPart::Square);
+  for (std::size_t i = 0; i < h_rows.size(); ++i) {
+    if (h_rows[i]) dm.row_part[i] = DmPart::Horizontal;
+    if (v_rows[i]) dm.row_part[i] = DmPart::Vertical;
+  }
+  for (std::size_t j = 0; j < h_cols.size(); ++j) {
+    if (h_cols[j]) dm.col_part[j] = DmPart::Horizontal;
+    if (v_cols[j]) dm.col_part[j] = DmPart::Vertical;
+  }
+  return dm;
+}
+
+}  // namespace mcm

@@ -1,0 +1,76 @@
+#pragma once
+/// \file dulmage_mendelsohn.hpp
+/// Applications of a maximum matching in sparse linear algebra — the context
+/// the paper motivates MCM with (§I: preprocessing for distributed sparse
+/// solvers):
+///
+///  - structural rank (sprank): the maximum matching cardinality, an upper
+///    bound on numerical rank computable from the pattern alone;
+///  - zero-free diagonal row permutation: for a structurally nonsingular
+///    square matrix, the row permutation that puts a structural nonzero on
+///    every diagonal entry (static pivoting, cf. SuperLU_DIST);
+///  - the coarse Dulmage-Mendelsohn decomposition: the canonical partition
+///    of rows and columns into the horizontal (underdetermined), square
+///    (well-determined) and vertical (overdetermined) parts, from which
+///    solvers derive block-triangular forms and irreducible blocks.
+
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/permute.hpp"
+
+namespace mcm {
+
+/// Maximum matching cardinality of `a` (computed internally via the
+/// sequential reference solver). For the distributed path compute a matching
+/// with mcm_dist and take its cardinality.
+[[nodiscard]] Index structural_rank(const CscMatrix& a);
+
+/// Row permutation P such that P*A has a structural nonzero on every
+/// diagonal position, built from a column-perfect matching `m` of the square
+/// matrix `a` (mate_c[j] becomes row j). Throws std::invalid_argument if `a`
+/// is not square or `m` leaves a column unmatched (structurally singular).
+[[nodiscard]] Permutation zero_free_diagonal_rows(const CscMatrix& a,
+                                                  const Matching& m);
+
+/// Coarse Dulmage-Mendelsohn part of a vertex.
+enum class DmPart {
+  Horizontal,  ///< reachable by alternating paths from unmatched columns
+  Square,      ///< perfectly matched core
+  Vertical,    ///< reachable by alternating paths from unmatched rows
+};
+
+struct DmDecomposition {
+  std::vector<DmPart> row_part;  ///< length n_rows
+  std::vector<DmPart> col_part;  ///< length n_cols
+
+  [[nodiscard]] Index count_rows(DmPart part) const;
+  [[nodiscard]] Index count_cols(DmPart part) const;
+};
+
+/// Deficiency certificate: a Hall violator. For a bipartite graph whose
+/// maximum matching leaves columns unmatched, Hall's theorem guarantees a
+/// set S of columns with |N(S)| < |S|; the horizontal part of the DM
+/// decomposition is exactly such a set (its row neighborhood is the
+/// horizontal rows, all matched into S). Returns the violating columns, or
+/// an empty vector when every column is matched (no violator exists).
+/// The witness satisfies |S| - |N(S)| == deficiency (tested).
+[[nodiscard]] std::vector<Index> hall_violator(const CscMatrix& a,
+                                               const Matching& m);
+
+/// Computes the coarse decomposition from a *maximum* matching `m` of `a`.
+/// With a non-maximum matching the horizontal and vertical parts would
+/// intersect (an augmenting path joins an unmatched column to an unmatched
+/// row); that is reported via std::invalid_argument.
+///
+/// Guaranteed invariants (tested):
+///  - every unmatched column is Horizontal, every unmatched row Vertical;
+///  - matched pairs share a part;
+///  - neighbors of a Horizontal column are Horizontal rows; neighbors of a
+///    Vertical row are Vertical columns (the zero blocks of the BTF);
+///  - the Square part is perfectly matched within itself.
+[[nodiscard]] DmDecomposition dulmage_mendelsohn(const CscMatrix& a,
+                                                 const Matching& m);
+
+}  // namespace mcm

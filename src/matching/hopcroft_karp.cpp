@@ -1,0 +1,137 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+constexpr Index kInf = std::numeric_limits<Index>::max();
+
+/// Phase state for Hopcroft-Karp over the bipartite graph given column-wise.
+/// Columns are the "left" side searches start from.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(const CscMatrix& a, Matching m)
+      : a_(a),
+        m_(std::move(m)),
+        dist_(static_cast<std::size_t>(a.n_cols()) + 1, kInf) {
+    if (m_.n_rows() != a.n_rows() || m_.n_cols() != a.n_cols()) {
+      throw std::invalid_argument("hopcroft_karp: initial matching size mismatch");
+    }
+  }
+
+  Matching run() {
+    while (bfs()) {
+      for (Index j = 0; j < a_.n_cols(); ++j) {
+        if (m_.mate_c[static_cast<std::size_t>(j)] == kNull) dfs(j);
+      }
+    }
+    return std::move(m_);
+  }
+
+ private:
+  /// Layered BFS from all unmatched columns; returns true if some unmatched
+  /// row is reachable (dist of the sentinel "nil column" becomes finite).
+  bool bfs() {
+    std::vector<Index> queue;
+    queue.reserve(static_cast<std::size_t>(a_.n_cols()));
+    for (Index j = 0; j < a_.n_cols(); ++j) {
+      if (m_.mate_c[static_cast<std::size_t>(j)] == kNull) {
+        dist_[static_cast<std::size_t>(j)] = 0;
+        queue.push_back(j);
+      } else {
+        dist_[static_cast<std::size_t>(j)] = kInf;
+      }
+    }
+    Index nil_dist = kInf;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Index j = queue[head];
+      if (dist_[static_cast<std::size_t>(j)] >= nil_dist) continue;
+      for (Index k = a_.col_begin(j); k < a_.col_end(j); ++k) {
+        const Index i = a_.row_at(k);
+        const Index jn = m_.mate_r[static_cast<std::size_t>(i)];
+        if (jn == kNull) {
+          // An augmenting path of this length exists.
+          nil_dist = dist_[static_cast<std::size_t>(j)] + 1;
+        } else if (dist_[static_cast<std::size_t>(jn)] == kInf) {
+          dist_[static_cast<std::size_t>(jn)] = dist_[static_cast<std::size_t>(j)] + 1;
+          queue.push_back(jn);
+        }
+      }
+    }
+    nil_dist_ = nil_dist;
+    return nil_dist != kInf;
+  }
+
+  /// DFS restricted to the BFS layering; augments along a shortest path.
+  /// Iterative with an explicit stack: augmenting paths on high-diameter
+  /// inputs (road networks, meshes) can be tens of thousands of edges long,
+  /// far past safe recursion depth.
+  bool dfs(Index start) {
+    struct Frame {
+      Index col;     ///< column being expanded
+      Index cursor;  ///< next adjacency position to try
+      Index via_row; ///< row through which the parent frame reached `col`
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start, a_.col_begin(start), kNull});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const Index j = top.col;
+      bool descended = false;
+      while (top.cursor < a_.col_end(j)) {
+        const Index k = top.cursor++;
+        const Index i = a_.row_at(k);
+        const Index jn = m_.mate_r[static_cast<std::size_t>(i)];
+        if (jn == kNull) {
+          if (dist_[static_cast<std::size_t>(j)] + 1 != nil_dist_) continue;
+          // Found a shortest augmenting path; flip it along the stack.
+          m_.mate_r[static_cast<std::size_t>(i)] = j;
+          m_.mate_c[static_cast<std::size_t>(j)] = i;
+          for (std::size_t f = stack.size(); f-- > 1;) {
+            const Index via = stack[f].via_row;
+            const Index parent_col = stack[f - 1].col;
+            m_.mate_r[static_cast<std::size_t>(via)] = parent_col;
+            m_.mate_c[static_cast<std::size_t>(parent_col)] = via;
+          }
+          return true;
+        }
+        if (dist_[static_cast<std::size_t>(jn)]
+            == dist_[static_cast<std::size_t>(j)] + 1) {
+          stack.push_back({jn, a_.col_begin(jn), i});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && !stack.empty() && stack.back().col == j
+          && stack.back().cursor >= a_.col_end(j)) {
+        dist_[static_cast<std::size_t>(j)] = kInf;  // dead end this phase
+        stack.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const CscMatrix& a_;
+  Matching m_;
+  std::vector<Index> dist_;
+  Index nil_dist_ = kInf;
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const CscMatrix& a) {
+  return hopcroft_karp(a, Matching(a.n_rows(), a.n_cols()));
+}
+
+Matching hopcroft_karp(const CscMatrix& a, Matching initial) {
+  return HopcroftKarp(a, std::move(initial)).run();
+}
+
+Index maximum_matching_size(const CscMatrix& a) {
+  return hopcroft_karp(a).cardinality();
+}
+
+}  // namespace mcm

@@ -1,0 +1,21 @@
+#pragma once
+/// \file hopcroft_karp.hpp
+/// Hopcroft-Karp maximum matching, O(m sqrt(n)) — the best known asymptotic
+/// bound (paper §II-A). In this library it is the *optimality oracle*: every
+/// other MCM implementation (sequential MS-BFS, Pothen-Fan, and the
+/// distributed MCM-DIST) is tested to produce the same cardinality.
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+/// Computes a maximum matching, optionally warm-started from `initial`
+/// (which must be a valid matching of `a`).
+[[nodiscard]] Matching hopcroft_karp(const CscMatrix& a);
+[[nodiscard]] Matching hopcroft_karp(const CscMatrix& a, Matching initial);
+
+/// Maximum matching cardinality (convenience wrapper).
+[[nodiscard]] Index maximum_matching_size(const CscMatrix& a);
+
+}  // namespace mcm

@@ -1,0 +1,61 @@
+#include "matching/koenig.hpp"
+
+#include <vector>
+
+namespace mcm {
+
+VertexCover koenig_cover(const CscMatrix& a, const Matching& m) {
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+
+  // Alternating BFS from unmatched columns: column -> row along *any* edge,
+  // row -> column along the *matched* edge only. Z = the visited set.
+  std::vector<bool> col_visited(static_cast<std::size_t>(n_cols), false);
+  std::vector<bool> row_visited(static_cast<std::size_t>(n_rows), false);
+  std::vector<Index> queue;
+  for (Index j = 0; j < n_cols; ++j) {
+    if (m.mate_c[static_cast<std::size_t>(j)] == kNull) {
+      col_visited[static_cast<std::size_t>(j)] = true;
+      queue.push_back(j);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Index j = queue[head];
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (row_visited[static_cast<std::size_t>(i)]) continue;
+      row_visited[static_cast<std::size_t>(i)] = true;
+      const Index jn = m.mate_r[static_cast<std::size_t>(i)];
+      if (jn != kNull && !col_visited[static_cast<std::size_t>(jn)]) {
+        col_visited[static_cast<std::size_t>(jn)] = true;
+        queue.push_back(jn);
+      }
+    }
+  }
+
+  // König: cover = (columns NOT in Z) ∪ (rows in Z).
+  VertexCover cover;
+  for (Index j = 0; j < n_cols; ++j) {
+    if (!col_visited[static_cast<std::size_t>(j)]) cover.cols.push_back(j);
+  }
+  for (Index i = 0; i < n_rows; ++i) {
+    if (row_visited[static_cast<std::size_t>(i)]) cover.rows.push_back(i);
+  }
+  return cover;
+}
+
+bool cover_is_valid(const CscMatrix& a, const VertexCover& cover) {
+  std::vector<bool> col_in(static_cast<std::size_t>(a.n_cols()), false);
+  std::vector<bool> row_in(static_cast<std::size_t>(a.n_rows()), false);
+  for (const Index j : cover.cols) col_in[static_cast<std::size_t>(j)] = true;
+  for (const Index i : cover.rows) row_in[static_cast<std::size_t>(i)] = true;
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    if (col_in[static_cast<std::size_t>(j)]) continue;
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      if (!row_in[static_cast<std::size_t>(a.row_at(k))]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcm

@@ -1,0 +1,34 @@
+#pragma once
+/// \file koenig.hpp
+/// König's theorem: in a bipartite graph, minimum vertex cover size equals
+/// maximum matching size, and a minimum cover is constructible from a
+/// maximum matching by one alternating BFS. Included both as an application
+/// of the library (sparse-solver pivoting and structural-rank analyses use
+/// covers) and as the optimality certificate behind verify_maximum().
+
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+struct VertexCover {
+  std::vector<Index> rows;  ///< row vertices in the cover
+  std::vector<Index> cols;  ///< column vertices in the cover
+
+  [[nodiscard]] Index size() const {
+    return static_cast<Index>(rows.size() + cols.size());
+  }
+};
+
+/// Builds a vertex cover from a *maximum* matching `m` of `a` via alternating
+/// BFS from unmatched columns. If `m` is maximum the cover has size exactly
+/// |m| (König); if `m` is not maximum the construction can miss edges — use
+/// cover_is_valid() to check.
+[[nodiscard]] VertexCover koenig_cover(const CscMatrix& a, const Matching& m);
+
+/// True when every edge of `a` has an endpoint in the cover. O(n + m).
+[[nodiscard]] bool cover_is_valid(const CscMatrix& a, const VertexCover& cover);
+
+}  // namespace mcm

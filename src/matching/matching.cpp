@@ -1,0 +1,50 @@
+#include "matching/matching.hpp"
+
+#include <cassert>
+
+namespace mcm {
+
+Index Matching::cardinality() const {
+  Index count = 0;
+  for (const Index mate : mate_c) {
+    if (mate != kNull) ++count;
+  }
+  return count;
+}
+
+void Matching::match(Index i, Index j) {
+  assert(mate_r[static_cast<std::size_t>(i)] == kNull);
+  assert(mate_c[static_cast<std::size_t>(j)] == kNull);
+  mate_r[static_cast<std::size_t>(i)] = j;
+  mate_c[static_cast<std::size_t>(j)] = i;
+}
+
+bool Matching::consistent() const {
+  for (std::size_t i = 0; i < mate_r.size(); ++i) {
+    const Index j = mate_r[i];
+    if (j == kNull) continue;
+    if (j < 0 || j >= n_cols()) return false;
+    if (mate_c[static_cast<std::size_t>(j)] != static_cast<Index>(i)) return false;
+  }
+  for (std::size_t j = 0; j < mate_c.size(); ++j) {
+    const Index i = mate_c[j];
+    if (i == kNull) continue;
+    if (i < 0 || i >= n_rows()) return false;
+    if (mate_r[static_cast<std::size_t>(i)] != static_cast<Index>(j)) return false;
+  }
+  return true;
+}
+
+Index unmatched_cols(const Matching& m) {
+  return m.n_cols() - m.cardinality();
+}
+
+Index unmatched_rows(const Matching& m) {
+  Index count = 0;
+  for (const Index mate : m.mate_r) {
+    if (mate == kNull) ++count;
+  }
+  return count;
+}
+
+}  // namespace mcm

@@ -1,0 +1,46 @@
+#pragma once
+/// \file matching.hpp
+/// The matching representation shared by every algorithm in the library: two
+/// dense mate vectors, exactly as the paper stores them (§III-B). If row i is
+/// matched to column j then mate_r[i] == j and mate_c[j] == i; kNull (-1)
+/// marks unmatched vertices.
+
+#include <vector>
+
+#include "matrix/csc.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+struct Matching {
+  std::vector<Index> mate_r;  ///< length n_rows; mate_r[i] = matched column or kNull
+  std::vector<Index> mate_c;  ///< length n_cols; mate_c[j] = matched row or kNull
+
+  Matching() = default;
+  Matching(Index n_rows, Index n_cols)
+      : mate_r(static_cast<std::size_t>(n_rows), kNull),
+        mate_c(static_cast<std::size_t>(n_cols), kNull) {}
+
+  [[nodiscard]] Index n_rows() const { return static_cast<Index>(mate_r.size()); }
+  [[nodiscard]] Index n_cols() const { return static_cast<Index>(mate_c.size()); }
+
+  /// Number of matched edges. O(n_cols).
+  [[nodiscard]] Index cardinality() const;
+
+  /// Records edge (i, j) as matched; overwrites nothing (asserts both free
+  /// in debug builds).
+  void match(Index i, Index j);
+
+  /// True when both mate arrays are mutually consistent (mate_r[i]=j iff
+  /// mate_c[j]=i). O(n).
+  [[nodiscard]] bool consistent() const;
+
+  friend bool operator==(const Matching&, const Matching&) = default;
+};
+
+/// Number of unmatched column vertices (the deficiency reported per matrix in
+/// the paper's Table II is n_cols - |M*| for the maximum matching M*).
+[[nodiscard]] Index unmatched_cols(const Matching& m);
+[[nodiscard]] Index unmatched_rows(const Matching& m);
+
+}  // namespace mcm

@@ -1,0 +1,213 @@
+#include "matching/maximal.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+void check_transpose(const CscMatrix& a, const CscMatrix& a_t) {
+  if (a_t.n_rows() != a.n_cols() || a_t.n_cols() != a.n_rows()
+      || a_t.nnz() != a.nnz()) {
+    throw std::invalid_argument("maximal matching: a_t is not the transpose of a");
+  }
+}
+
+}  // namespace
+
+Matching greedy_maximal(const CscMatrix& a) {
+  Matching m(a.n_rows(), a.n_cols());
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (m.mate_r[static_cast<std::size_t>(i)] == kNull) {
+        m.match(i, j);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+Matching karp_sipser(const CscMatrix& a, const CscMatrix& a_t, Rng& rng) {
+  check_transpose(a, a_t);
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  Matching m(n_rows, n_cols);
+
+  // deg_c[j] / deg_r[i]: number of *unmatched* neighbors remaining.
+  std::vector<Index> deg_c(static_cast<std::size_t>(n_cols));
+  std::vector<Index> deg_r(static_cast<std::size_t>(n_rows));
+  for (Index j = 0; j < n_cols; ++j) deg_c[static_cast<std::size_t>(j)] = a.col_degree(j);
+  for (Index i = 0; i < n_rows; ++i) deg_r[static_cast<std::size_t>(i)] = a_t.col_degree(i);
+
+  // Degree-1 work queue holds (is_column, vertex); entries are lazy — a
+  // popped vertex is re-checked against its current degree and match status.
+  std::deque<std::pair<bool, Index>> deg1;
+  for (Index j = 0; j < n_cols; ++j) {
+    if (deg_c[static_cast<std::size_t>(j)] == 1) deg1.emplace_back(true, j);
+  }
+  for (Index i = 0; i < n_rows; ++i) {
+    if (deg_r[static_cast<std::size_t>(i)] == 1) deg1.emplace_back(false, i);
+  }
+
+  auto row_unmatched = [&](Index i) { return m.mate_r[static_cast<std::size_t>(i)] == kNull; };
+  auto col_unmatched = [&](Index j) { return m.mate_c[static_cast<std::size_t>(j)] == kNull; };
+
+  // Removing a matched pair decrements the live degree of every still-
+  // unmatched neighbor; neighbors dropping to 1 join the queue.
+  auto remove_pair = [&](Index i, Index j) {
+    for (Index k = a_t.col_begin(i); k < a_t.col_end(i); ++k) {
+      const Index jn = a_t.row_at(k);
+      if (col_unmatched(jn) && --deg_c[static_cast<std::size_t>(jn)] == 1) {
+        deg1.emplace_back(true, jn);
+      }
+    }
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index in = a.row_at(k);
+      if (row_unmatched(in) && --deg_r[static_cast<std::size_t>(in)] == 1) {
+        deg1.emplace_back(false, in);
+      }
+    }
+  };
+
+  auto match_col_to_any = [&](Index j) -> bool {
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (row_unmatched(i)) {
+        m.match(i, j);
+        remove_pair(i, j);
+        return true;
+      }
+    }
+    return false;
+  };
+  auto match_row_to_any = [&](Index i) -> bool {
+    for (Index k = a_t.col_begin(i); k < a_t.col_end(i); ++k) {
+      const Index j = a_t.row_at(k);
+      if (col_unmatched(j)) {
+        m.match(i, j);
+        remove_pair(i, j);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Random-phase candidates: active unmatched columns, swap-removed lazily.
+  std::vector<Index> active;
+  active.reserve(static_cast<std::size_t>(n_cols));
+  for (Index j = 0; j < n_cols; ++j) active.push_back(j);
+
+  for (;;) {
+    // Phase 1: exhaust degree-1 vertices (these matches are optimal moves).
+    while (!deg1.empty()) {
+      const auto [is_col, v] = deg1.front();
+      deg1.pop_front();
+      if (is_col) {
+        if (col_unmatched(v) && deg_c[static_cast<std::size_t>(v)] == 1) {
+          match_col_to_any(v);
+        }
+      } else {
+        if (row_unmatched(v) && deg_r[static_cast<std::size_t>(v)] == 1) {
+          match_row_to_any(v);
+        }
+      }
+    }
+    // Phase 2: one random match, then back to degree-1 processing.
+    bool matched_one = false;
+    while (!active.empty() && !matched_one) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(active.size())));
+      const Index j = active[pick];
+      if (!col_unmatched(j) || deg_c[static_cast<std::size_t>(j)] == 0) {
+        active[pick] = active.back();
+        active.pop_back();
+        continue;
+      }
+      matched_one = match_col_to_any(j);
+      if (!matched_one) {
+        // Degree bookkeeping says j had neighbors but all turned out matched;
+        // treat as exhausted.
+        deg_c[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+    if (!matched_one && deg1.empty()) break;
+  }
+  return m;
+}
+
+Matching dynamic_mindegree(const CscMatrix& a, const CscMatrix& a_t) {
+  check_transpose(a, a_t);
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  Matching m(n_rows, n_cols);
+
+  std::vector<Index> deg_c(static_cast<std::size_t>(n_cols));
+  std::vector<Index> deg_r(static_cast<std::size_t>(n_rows));
+  Index max_deg = 0;
+  for (Index j = 0; j < n_cols; ++j) {
+    deg_c[static_cast<std::size_t>(j)] = a.col_degree(j);
+    max_deg = std::max(max_deg, deg_c[static_cast<std::size_t>(j)]);
+  }
+  for (Index i = 0; i < n_rows; ++i) deg_r[static_cast<std::size_t>(i)] = a_t.col_degree(i);
+
+  // Bucket queue over current column degree; entries are lazy (stale degree
+  // or already-matched columns are skipped on pop). Each degree decrement
+  // pushes at most one new entry, so total queue traffic is O(m).
+  std::vector<std::vector<Index>> bucket(static_cast<std::size_t>(max_deg) + 1);
+  for (Index j = 0; j < n_cols; ++j) {
+    const Index d = deg_c[static_cast<std::size_t>(j)];
+    if (d > 0) bucket[static_cast<std::size_t>(d)].push_back(j);
+  }
+
+  auto row_unmatched = [&](Index i) { return m.mate_r[static_cast<std::size_t>(i)] == kNull; };
+  auto col_unmatched = [&](Index j) { return m.mate_c[static_cast<std::size_t>(j)] == kNull; };
+
+  for (Index d = 1; d <= max_deg; ++d) {
+    auto& level = bucket[static_cast<std::size_t>(d)];
+    while (!level.empty()) {
+      const Index j = level.back();
+      level.pop_back();
+      if (!col_unmatched(j) || deg_c[static_cast<std::size_t>(j)] != d) continue;
+
+      // Match j to its minimum-degree unmatched row neighbor.
+      Index best_row = kNull;
+      Index best_deg = 0;
+      for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+        const Index i = a.row_at(k);
+        if (!row_unmatched(i)) continue;
+        if (best_row == kNull || deg_r[static_cast<std::size_t>(i)] < best_deg) {
+          best_row = i;
+          best_deg = deg_r[static_cast<std::size_t>(i)];
+        }
+      }
+      if (best_row == kNull) {
+        deg_c[static_cast<std::size_t>(j)] = 0;
+        continue;
+      }
+      m.match(best_row, j);
+      // The matched pair leaves the graph; update neighbor degrees and
+      // reinsert columns whose degree dropped (possibly below d — restart
+      // scanning from that level).
+      for (Index k = a_t.col_begin(best_row); k < a_t.col_end(best_row); ++k) {
+        const Index jn = a_t.row_at(k);
+        if (!col_unmatched(jn)) continue;
+        const Index nd = --deg_c[static_cast<std::size_t>(jn)];
+        if (nd > 0) bucket[static_cast<std::size_t>(nd)].push_back(jn);
+      }
+      for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+        const Index in = a.row_at(k);
+        if (row_unmatched(in)) --deg_r[static_cast<std::size_t>(in)];
+      }
+      if (d > 1) {
+        d = 0;  // incremented to 1 by the loop; lowest bucket may have refilled
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace mcm

@@ -1,0 +1,36 @@
+#pragma once
+/// \file maximal.hpp
+/// Sequential maximal-matching algorithms (paper §II-A): greedy, Karp-Sipser,
+/// and dynamic mindegree. All run in O(m) (mindegree O(m + n) with bucket
+/// queues) and differ only in the order unmatched vertices are processed,
+/// which determines the approximation ratio. They serve three purposes here:
+/// initializing the sequential MCM codes, acting as ground truth for the
+/// distributed initializers, and reproducing the quality comparison behind
+/// the paper's Fig. 3.
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+
+/// Greedy: scans columns in index order, matching each to its first
+/// unmatched neighbor. Guaranteed >= 1/2 approximation (any maximal matching).
+[[nodiscard]] Matching greedy_maximal(const CscMatrix& a);
+
+/// Karp-Sipser: repeatedly matches degree-1 vertices to their unique
+/// neighbor (such matches are provably contained in some MCM); when none
+/// remain, matches a random edge and continues. Requires the transpose for
+/// row-side degree tracking. Near-optimal on most sparse graphs.
+[[nodiscard]] Matching karp_sipser(const CscMatrix& a, const CscMatrix& a_t,
+                                   Rng& rng);
+
+/// Dynamic mindegree: always processes the currently-minimum-degree
+/// unmatched column, matching it to its minimum-degree unmatched row; degrees
+/// are updated as vertices leave the graph. Quality is between greedy and
+/// Karp-Sipser; cheaper to parallelize than Karp-Sipser (the paper's choice
+/// for its distributed runs).
+[[nodiscard]] Matching dynamic_mindegree(const CscMatrix& a,
+                                         const CscMatrix& a_t);
+
+}  // namespace mcm

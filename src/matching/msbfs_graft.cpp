@@ -1,0 +1,189 @@
+#include "matching/msbfs_graft.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "matching/msbfs_seq.hpp"  // augment_paths
+
+namespace mcm {
+namespace {
+
+/// Forest bookkeeping. Trees are identified by their root column. A tree is
+/// alive until it discovers an augmenting path; then it is dismantled after
+/// augmentation and its rows become renewable.
+struct Forest {
+  std::vector<Index> pi_r;    ///< row -> parent column (kNull = not in forest)
+  std::vector<Index> root_r;  ///< row -> tree root
+  std::vector<Index> root_c;  ///< column -> tree root (kNull = not in forest)
+  std::vector<std::vector<Index>> tree_rows;  ///< per-root member rows
+  std::vector<std::vector<Index>> tree_cols;  ///< per-root member columns
+  std::vector<bool> dead;  ///< root -> found a path this phase (pruned)
+
+  explicit Forest(Index n_rows, Index n_cols)
+      : pi_r(static_cast<std::size_t>(n_rows), kNull),
+        root_r(static_cast<std::size_t>(n_rows), kNull),
+        root_c(static_cast<std::size_t>(n_cols), kNull),
+        tree_rows(static_cast<std::size_t>(n_cols)),
+        tree_cols(static_cast<std::size_t>(n_cols)),
+        dead(static_cast<std::size_t>(n_cols), false) {}
+
+  void add_root(Index c) {
+    root_c[static_cast<std::size_t>(c)] = c;
+    tree_cols[static_cast<std::size_t>(c)].push_back(c);
+  }
+
+  void attach_row(Index y, Index parent, Index root) {
+    pi_r[static_cast<std::size_t>(y)] = parent;
+    root_r[static_cast<std::size_t>(y)] = root;
+    tree_rows[static_cast<std::size_t>(root)].push_back(y);
+  }
+
+  void attach_col(Index c, Index root) {
+    root_c[static_cast<std::size_t>(c)] = root;
+    tree_cols[static_cast<std::size_t>(root)].push_back(c);
+  }
+};
+
+}  // namespace
+
+Matching msbfs_graft_maximum(const CscMatrix& a, const CscMatrix& a_t,
+                             Matching initial, GraftStats* stats) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("msbfs_graft: initial matching size mismatch");
+  }
+  if (a_t.n_rows() != a.n_cols() || a_t.n_cols() != a.n_rows()
+      || a_t.nnz() != a.nnz()) {
+    throw std::invalid_argument("msbfs_graft: a_t is not the transpose of a");
+  }
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  Matching m = std::move(initial);
+
+  Forest forest(n_rows, n_cols);
+  std::vector<Index> path_c(static_cast<std::size_t>(n_cols), kNull);
+  std::vector<Index> dead_roots;
+
+  // Initial frontier: every unmatched column roots its own tree. Unlike
+  // plain MS-BFS this happens once — alive trees persist across phases.
+  std::vector<Index> frontier;
+  for (Index c = 0; c < n_cols; ++c) {
+    if (m.mate_c[static_cast<std::size_t>(c)] == kNull) {
+      forest.add_root(c);
+      frontier.push_back(c);
+    }
+  }
+
+  std::uint64_t traversed = 0;
+  Index rows_in_forest = 0;
+  for (;;) {  // a phase
+    dead_roots.clear();
+
+    // --- BFS until the frontier dies out, pruning trees on first discovery.
+    std::vector<Index> next;
+    while (!frontier.empty()) {
+      next.clear();
+      for (const Index c : frontier) {
+        const Index root = forest.root_c[static_cast<std::size_t>(c)];
+        if (root == kNull || forest.dead[static_cast<std::size_t>(root)]) {
+          continue;  // tree died earlier this phase (prune)
+        }
+        for (Index k = a.col_begin(c); k < a.col_end(c); ++k) {
+          ++traversed;
+          const Index y = a.row_at(k);
+          if (forest.pi_r[static_cast<std::size_t>(y)] != kNull) continue;
+          forest.attach_row(y, c, root);
+          ++rows_in_forest;
+          const Index mate = m.mate_r[static_cast<std::size_t>(y)];
+          if (mate == kNull) {
+            // Augmenting path found: record endpoint, prune the tree.
+            path_c[static_cast<std::size_t>(root)] = y;
+            forest.dead[static_cast<std::size_t>(root)] = true;
+            dead_roots.push_back(root);
+            break;
+          }
+          forest.attach_col(mate, root);
+          next.push_back(mate);
+        }
+      }
+      frontier.swap(next);
+    }
+
+    if (dead_roots.empty()) break;  // Hungarian forest: matching is maximum
+    if (stats != nullptr) {
+      ++stats->phases;
+      stats->augmentations += static_cast<Index>(dead_roots.size());
+    }
+    augment_paths(path_c, forest.pi_r, m);
+
+    // --- dismantle augmented trees; their rows become renewable.
+    std::vector<Index> renewable;
+    for (const Index root : dead_roots) {
+      path_c[static_cast<std::size_t>(root)] = kNull;
+      for (const Index y : forest.tree_rows[static_cast<std::size_t>(root)]) {
+        forest.pi_r[static_cast<std::size_t>(y)] = kNull;
+        forest.root_r[static_cast<std::size_t>(y)] = kNull;
+        renewable.push_back(y);
+      }
+      for (const Index c : forest.tree_cols[static_cast<std::size_t>(root)]) {
+        forest.root_c[static_cast<std::size_t>(c)] = kNull;
+      }
+      forest.tree_rows[static_cast<std::size_t>(root)].clear();
+      forest.tree_cols[static_cast<std::size_t>(root)].clear();
+      forest.dead[static_cast<std::size_t>(root)] = false;
+    }
+    if (stats != nullptr) {
+      stats->freed_rows += static_cast<std::uint64_t>(renewable.size());
+    }
+    rows_in_forest -= static_cast<Index>(renewable.size());
+
+    // --- rebuild-vs-graft switch (as in the MS-BFS-Graft paper): when the
+    // dead trees held most of the forest, scanning every renewable row costs
+    // more than rebuilding the forest from scratch, so dismantle everything
+    // and restart the next phase from all unmatched columns.
+    if (static_cast<Index>(renewable.size()) > rows_in_forest) {
+      if (stats != nullptr) ++stats->rebuilds;
+      std::fill(forest.pi_r.begin(), forest.pi_r.end(), kNull);
+      std::fill(forest.root_r.begin(), forest.root_r.end(), kNull);
+      std::fill(forest.root_c.begin(), forest.root_c.end(), kNull);
+      for (auto& rows : forest.tree_rows) rows.clear();
+      for (auto& cols : forest.tree_cols) cols.clear();
+      rows_in_forest = 0;
+      frontier.clear();
+      for (Index c = 0; c < n_cols; ++c) {
+        if (m.mate_c[static_cast<std::size_t>(c)] == kNull) {
+          forest.add_root(c);
+          frontier.push_back(c);
+        }
+      }
+      continue;
+    }
+
+    // --- graft: renewable rows adjacent to an alive tree re-attach
+    // (bottom-up scan of the row's adjacency); their mates seed the next
+    // phase's frontier. Rows with no alive neighbor stay unvisited and can
+    // be claimed by normal BFS later.
+    frontier.clear();
+    for (const Index y : renewable) {
+      for (Index k = a_t.col_begin(y); k < a_t.col_end(y); ++k) {
+        ++traversed;
+        const Index c = a_t.row_at(k);
+        const Index root = forest.root_c[static_cast<std::size_t>(c)];
+        if (root == kNull) continue;
+        forest.attach_row(y, c, root);
+        // Every renewable row is matched (augmentation matched the old
+        // endpoints), so it always extends the tree through its mate.
+        const Index mate = m.mate_r[static_cast<std::size_t>(y)];
+        forest.attach_col(mate, root);
+        frontier.push_back(mate);
+        ++rows_in_forest;
+        if (stats != nullptr) ++stats->grafted_rows;
+        break;
+      }
+    }
+  }
+
+  if (stats != nullptr) stats->traversed_edges += traversed;
+  return m;
+}
+
+}  // namespace mcm

@@ -1,0 +1,46 @@
+#pragma once
+/// \file msbfs_graft.hpp
+/// MS-BFS-Graft: multi-source BFS matching with *tree grafting* (Azad,
+/// Buluç & Pothen — the paper's reference [7], cited as "one of the best
+/// performers on modern multicore systems", and the core of its future-work
+/// plan "implementing the tree grafting technique ... in distributed
+/// memory"). Implemented here as a sequential/shared-memory baseline.
+///
+/// Plain MS-BFS rebuilds its alternating forest from scratch every phase,
+/// re-traversing edges of trees that found no augmenting path. Tree grafting
+/// keeps those *alive* trees across phases: only the trees that augmented
+/// are dismantled, their vertices become "renewable", and renewable rows
+/// adjacent to an alive tree are re-attached (grafted) bottom-up; the
+/// grafted rows' mates seed the next phase's frontier. A phase that finds no
+/// augmenting path proves the alive forest Hungarian (it is closed and
+/// contains every unmatched column as a root), so the matching is maximum.
+///
+/// Eliminating the per-phase rebuild removes most redundant edge traversals
+/// on inputs needing many phases; compare `traversed_edges` in the stats
+/// against MsBfsStats::spmv_flops (bench_graft_ablation).
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+struct GraftStats {
+  Index phases = 0;
+  Index augmentations = 0;
+  std::uint64_t traversed_edges = 0;  ///< BFS + grafting scans combined
+  std::uint64_t grafted_rows = 0;     ///< renewable rows re-attached
+  std::uint64_t freed_rows = 0;       ///< rows released by dying trees
+  Index rebuilds = 0;  ///< phases restarted from scratch because most of the
+                       ///  forest died (grafting would cost more — the
+                       ///  rebuild-vs-graft switch of the original paper)
+};
+
+/// Computes a maximum matching, warm-started from `initial` (a valid
+/// matching of `a`; the empty matching works). `a_t` must be the transpose
+/// of `a` (grafting scans row adjacencies).
+[[nodiscard]] Matching msbfs_graft_maximum(const CscMatrix& a,
+                                           const CscMatrix& a_t,
+                                           Matching initial,
+                                           GraftStats* stats = nullptr);
+
+}  // namespace mcm

@@ -1,0 +1,146 @@
+#include "matching/msbfs_seq.hpp"
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+/// One phase + iteration body of Algorithm 2, parameterized on the semiring.
+template <typename SR>
+Matching msbfs_run(const CscMatrix& a, Matching m, const SR& sr,
+                   const MsBfsOptions& options, MsBfsStats* stats) {
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  std::vector<Index>& mate_r = m.mate_r;
+  std::vector<Index>& mate_c = m.mate_c;
+
+  std::vector<Index> pi_r(static_cast<std::size_t>(n_rows), kNull);
+  std::vector<Index> path_c(static_cast<std::size_t>(n_cols), kNull);
+
+  for (;;) {  // a phase of the algorithm
+    std::fill(pi_r.begin(), pi_r.end(), kNull);
+    std::fill(path_c.begin(), path_c.end(), kNull);
+
+    // Initial column frontier: unmatched columns, parent = root = self.
+    SpVec<Vertex> f_c(n_cols);
+    for (Index j = 0; j < n_cols; ++j) {
+      if (mate_c[static_cast<std::size_t>(j)] == kNull) {
+        f_c.push_back(j, Vertex(j, j));
+      }
+    }
+    bool found_path = false;
+
+    while (!f_c.empty()) {  // an iteration (one BFS level) in this phase
+      if (stats != nullptr) ++stats->iterations;
+
+      // Step 1: explore neighbors of the column frontier.
+      std::uint64_t flops = 0;
+      SpVec<Vertex> f_r = spmv(a, f_c, sr, &flops);
+      if (stats != nullptr) stats->spmv_flops += flops;
+
+      // Step 2: keep unvisited rows only.
+      f_r = select(f_r, pi_r, [](Index p) { return p == kNull; });
+
+      // Step 3: record parents of the newly visited rows.
+      set_dense(pi_r, f_r, [](const Vertex& v) { return v.parent; });
+
+      // Step 4: split into unmatched (path endpoints) and matched rows.
+      SpVec<Vertex> uf_r =
+          select(f_r, mate_r, [](Index mate) { return mate == kNull; });
+      f_r = select(f_r, mate_r, [](Index mate) { return mate != kNull; });
+
+      if (!uf_r.empty()) {
+        found_path = true;
+        // Step 5: store endpoints of newly found augmenting paths, keyed by
+        // their root; keep-first when one tree reaches several endpoints.
+        SpVec<Index> t_c = invert<Index>(
+            uf_r, n_cols, [](Index, const Vertex& v) { return v.root; },
+            [](Index i, const Vertex&) { return i; });
+        set_dense(path_c, t_c, [](Index endpoint) { return endpoint; });
+
+        // Step 6: prune vertices of trees that just yielded a path.
+        if (options.enable_prune) {
+          std::vector<Index> roots;
+          roots.reserve(static_cast<std::size_t>(uf_r.nnz()));
+          for (Index k = 0; k < uf_r.nnz(); ++k) {
+            roots.push_back(uf_r.value_at(k).root);
+          }
+          f_r = prune(f_r, roots, [](const Vertex& v) { return v.root; });
+        }
+      }
+
+      // Step 7: next column frontier from the mates of the matched rows.
+      set_sparse(f_r, mate_r,
+                 [](Vertex& v, Index mate) { v.parent = mate; });
+      f_c = invert<Vertex>(
+          f_r, n_cols, [](Index, const Vertex& v) { return v.parent; },
+          [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+    }
+
+    if (!found_path) break;  // no augmenting path: matching is maximum
+    if (stats != nullptr) ++stats->phases;
+    Index longest = 0;
+    const Index augmented = augment_paths(path_c, pi_r, m, &longest);
+    if (stats != nullptr) {
+      stats->augmentations += augmented;
+      stats->longest_path = std::max(stats->longest_path, longest);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Index augment_paths(const std::vector<Index>& path_c,
+                    const std::vector<Index>& pi_r, Matching& m,
+                    Index* longest_path) {
+  Index augmented = 0;
+  Index longest = 0;
+  for (std::size_t root = 0; root < path_c.size(); ++root) {
+    Index r = path_c[root];
+    if (r == kNull) continue;
+    ++augmented;
+    Index edges = 0;
+    // Walk from the endpoint row toward the root, flipping matched/unmatched
+    // edges. pi_r[r] is the column that discovered r; its previous mate is
+    // the next row up the path (kNull exactly at the unmatched root).
+    for (;;) {
+      const Index c = pi_r[static_cast<std::size_t>(r)];
+      if (c == kNull) {
+        throw std::logic_error("augment_paths: broken parent chain");
+      }
+      const Index r_up = m.mate_c[static_cast<std::size_t>(c)];
+      m.mate_c[static_cast<std::size_t>(c)] = r;
+      m.mate_r[static_cast<std::size_t>(r)] = c;
+      ++edges;
+      if (r_up == kNull) break;  // c was the unmatched root column
+      r = r_up;
+      ++edges;  // the formerly matched edge (c, r_up) we just unflipped
+    }
+    longest = std::max(longest, edges);
+  }
+  if (longest_path != nullptr) *longest_path = longest;
+  return augmented;
+}
+
+Matching msbfs_maximum(const CscMatrix& a, Matching initial,
+                       const MsBfsOptions& options, MsBfsStats* stats) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("msbfs_maximum: initial matching size mismatch");
+  }
+  switch (options.semiring) {
+    case SemiringKind::MinParent:
+      return msbfs_run(a, std::move(initial), Select2ndMinParent{}, options, stats);
+    case SemiringKind::MaxParent:
+      return msbfs_run(a, std::move(initial), Select2ndMaxParent{}, options, stats);
+    case SemiringKind::RandParent:
+      return msbfs_run(a, std::move(initial), Select2ndRandParent{options.seed},
+                       options, stats);
+    case SemiringKind::RandRoot:
+      return msbfs_run(a, std::move(initial), Select2ndRandRoot{options.seed},
+                       options, stats);
+  }
+  throw std::invalid_argument("msbfs_maximum: unknown semiring");
+}
+
+}  // namespace mcm

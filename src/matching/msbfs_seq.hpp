@@ -1,0 +1,58 @@
+#pragma once
+/// \file msbfs_seq.hpp
+/// Sequential MS-BFS maximum matching, expressed *exactly* in the paper's
+/// matrix-algebraic vocabulary (Algorithm 2 + Algorithm 3): SpMV over a BFS
+/// semiring, SELECT, SET, INVERT, PRUNE. This is the single-process
+/// reference for the distributed MCM-DIST in `core/` — the two share the
+/// same step structure, so any divergence in tests localizes a bug to the
+/// communication layer.
+
+#include <cstdint>
+
+#include "algebra/primitives.hpp"
+#include "algebra/semiring.hpp"
+#include "algebra/spmv.hpp"
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+/// Which BFS semiring resolves contested vertices (paper §III-B).
+enum class SemiringKind {
+  MinParent,   ///< deterministic; the paper's running example
+  MaxParent,   ///< deterministic opposite tie-break (tests)
+  RandParent,  ///< hashed-priority random parent
+  RandRoot,    ///< hashed-priority random tree; balances tree sizes
+};
+
+struct MsBfsOptions {
+  SemiringKind semiring = SemiringKind::MinParent;
+  bool enable_prune = true;  ///< paper Algorithm 2 step 6 / Fig. 8 ablation
+  std::uint64_t seed = 1;    ///< priority seed for the random semirings
+};
+
+struct MsBfsStats {
+  Index phases = 0;           ///< repeat-until rounds (each augments >= 1 path,
+                              ///  except the final empty one)
+  Index iterations = 0;       ///< total BFS level steps across phases
+  Index augmentations = 0;    ///< total augmenting paths applied
+  std::uint64_t spmv_flops = 0;  ///< total edges traversed by SpMV
+  Index longest_path = 0;     ///< edges in the longest augmenting path seen
+};
+
+/// Runs MS-BFS to a maximum matching starting from `initial` (commonly a
+/// maximal matching; an empty Matching(n_rows, n_cols) also works).
+/// `initial` must be a valid matching of `a`.
+[[nodiscard]] Matching msbfs_maximum(const CscMatrix& a, Matching initial,
+                                     const MsBfsOptions& options = {},
+                                     MsBfsStats* stats = nullptr);
+
+/// Applies the vertex-disjoint augmenting paths recorded in `path_c`
+/// (path_c[root column] = endpoint row, kNull elsewhere), walking parent
+/// pointers `pi_r`. Exposed for unit testing and reused by the sequential
+/// driver. Returns the number of paths augmented.
+Index augment_paths(const std::vector<Index>& path_c,
+                    const std::vector<Index>& pi_r, Matching& m,
+                    Index* longest_path = nullptr);
+
+}  // namespace mcm

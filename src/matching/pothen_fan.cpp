@@ -1,0 +1,100 @@
+#include "matching/pothen_fan.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+/// One DFS from unmatched column `start`, restricted to rows unvisited in
+/// this phase. Lookahead: before descending, each column first scans for a
+/// directly-reachable unmatched row — the optimization that makes Pothen-Fan
+/// competitive in practice. Iterative (explicit stack) for deep paths.
+bool dfs_augment(const CscMatrix& a, Matching& m, std::vector<bool>& visited,
+                 std::vector<Index>& lookahead, Index start) {
+  struct Frame {
+    Index col;
+    Index cursor;   ///< adjacency scan position for the descend pass
+    Index via_row;  ///< row connecting the parent frame to this column
+  };
+  std::vector<Frame> stack;
+  stack.push_back({start, a.col_begin(start), kNull});
+
+  auto augment_along_stack = [&](Index end_row) {
+    // Top column matches end_row; every deeper column re-matches to the row
+    // it was entered through.
+    m.mate_r[static_cast<std::size_t>(end_row)] = stack.back().col;
+    m.mate_c[static_cast<std::size_t>(stack.back().col)] = end_row;
+    for (std::size_t f = stack.size(); f-- > 1;) {
+      const Index via = stack[f].via_row;
+      const Index parent_col = stack[f - 1].col;
+      m.mate_r[static_cast<std::size_t>(via)] = parent_col;
+      m.mate_c[static_cast<std::size_t>(parent_col)] = via;
+    }
+  };
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const Index j = top.col;
+
+    // Lookahead pass: advance a per-column persistent cursor over the
+    // adjacency, looking for an unmatched row. The cursor never rewinds
+    // within a phase set, keeping total lookahead work O(m) per phase.
+    Index& la = lookahead[static_cast<std::size_t>(j)];
+    bool found = false;
+    while (la < a.col_end(j)) {
+      const Index i = a.row_at(la++);
+      if (m.mate_r[static_cast<std::size_t>(i)] == kNull
+          && !visited[static_cast<std::size_t>(i)]) {
+        visited[static_cast<std::size_t>(i)] = true;
+        augment_along_stack(i);
+        return true;
+      }
+    }
+
+    // Descend pass: step to the mate of an unvisited matched row.
+    while (top.cursor < a.col_end(j)) {
+      const Index i = a.row_at(top.cursor++);
+      if (visited[static_cast<std::size_t>(i)]) continue;
+      const Index jn = m.mate_r[static_cast<std::size_t>(i)];
+      if (jn == kNull) continue;  // lookahead already handles unmatched rows
+      visited[static_cast<std::size_t>(i)] = true;
+      stack.push_back({jn, a.col_begin(jn), i});
+      found = true;
+      break;
+    }
+    if (!found) stack.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+Matching pothen_fan(const CscMatrix& a) {
+  return pothen_fan(a, Matching(a.n_rows(), a.n_cols()));
+}
+
+Matching pothen_fan(const CscMatrix& a, Matching initial) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("pothen_fan: initial matching size mismatch");
+  }
+  Matching m = std::move(initial);
+  std::vector<bool> visited(static_cast<std::size_t>(a.n_rows()), false);
+  std::vector<Index> lookahead(static_cast<std::size_t>(a.n_cols()), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    visited.assign(visited.size(), false);
+    for (Index j = 0; j < a.n_cols(); ++j) {
+      lookahead[static_cast<std::size_t>(j)] = a.col_begin(j);
+    }
+    for (Index j = 0; j < a.n_cols(); ++j) {
+      if (m.mate_c[static_cast<std::size_t>(j)] == kNull) {
+        progress |= dfs_augment(a, m, visited, lookahead, j);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace mcm

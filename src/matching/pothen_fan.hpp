@@ -1,0 +1,19 @@
+#pragma once
+/// \file pothen_fan.hpp
+/// Pothen-Fan maximum matching: phase-synchronized multi-source DFS with
+/// lookahead (paper ref [12]). One of the two practical algorithms the paper
+/// cites as typically beating Hopcroft-Karp on real graphs; implemented here
+/// as a sequential baseline to compare against MS-BFS in benches and to
+/// cross-validate cardinalities in tests.
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+/// Computes a maximum matching via repeated DFS phases, optionally
+/// warm-started from `initial` (must be a valid matching of `a`).
+[[nodiscard]] Matching pothen_fan(const CscMatrix& a);
+[[nodiscard]] Matching pothen_fan(const CscMatrix& a, Matching initial);
+
+}  // namespace mcm

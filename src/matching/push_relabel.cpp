@@ -1,0 +1,146 @@
+#include "matching/push_relabel.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+/// Global relabeling: exact labels by multi-source BFS from the free rows.
+/// psi*(c) = 0 when c has a free neighbor row, else 1 + min over neighbor
+/// rows r of psi*(mate(r)); unreachable columns get `label_bound` (they can
+/// be discarded outright). O(n + m).
+void global_relabel(const CscMatrix& a, const CscMatrix& a_t,
+                    const Matching& m, std::vector<Index>& psi,
+                    Index label_bound) {
+  std::fill(psi.begin(), psi.end(), label_bound);
+  std::vector<Index> queue;
+  for (Index r = 0; r < a.n_rows(); ++r) {
+    if (m.mate_r[static_cast<std::size_t>(r)] != kNull) continue;
+    for (Index k = a_t.col_begin(r); k < a_t.col_end(r); ++k) {
+      const Index c = a_t.row_at(k);
+      if (psi[static_cast<std::size_t>(c)] == label_bound) {
+        psi[static_cast<std::size_t>(c)] = 0;
+        queue.push_back(c);
+      }
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Index c = queue[head];
+    const Index level = psi[static_cast<std::size_t>(c)];
+    const Index r = m.mate_c[static_cast<std::size_t>(c)];
+    if (r == kNull) continue;  // free column: nothing alternates through it
+    for (Index k = a_t.col_begin(r); k < a_t.col_end(r); ++k) {
+      const Index c_next = a_t.row_at(k);
+      if (psi[static_cast<std::size_t>(c_next)] == label_bound) {
+        psi[static_cast<std::size_t>(c_next)] = level + 1;
+        queue.push_back(c_next);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matching push_relabel_maximum(const CscMatrix& a, const CscMatrix& a_t,
+                              Matching initial, PushRelabelStats* stats) {
+  if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
+    throw std::invalid_argument("push_relabel: initial matching size mismatch");
+  }
+  if (a_t.n_rows() != a.n_cols() || a_t.n_cols() != a.n_rows()
+      || a_t.nnz() != a.nnz()) {
+    throw std::invalid_argument("push_relabel: a_t is not the transpose of a");
+  }
+  const Index n_cols = a.n_cols();
+  Matching m = std::move(initial);
+
+  // psi: column labels — lower bounds on the alternating distance to a free
+  // row; a column at the bound is unmatchable.
+  const Index label_bound = a.n_rows() + a.n_cols() + 1;
+  std::vector<Index> psi(static_cast<std::size_t>(n_cols), 0);
+  global_relabel(a, a_t, m, psi, label_bound);
+  if (stats != nullptr) ++stats->global_relabels;
+  // Refresh exact labels every ~n relabel operations (the standard trigger).
+  const std::uint64_t relabel_period =
+      static_cast<std::uint64_t>(n_cols) + 1;
+  std::uint64_t relabels_since_refresh = 0;
+
+  std::deque<Index> active;  // FIFO of unmatched columns
+  for (Index j = 0; j < n_cols; ++j) {
+    if (m.mate_c[static_cast<std::size_t>(j)] == kNull && a.col_degree(j) > 0) {
+      active.push_back(j);
+    }
+  }
+
+  while (!active.empty()) {
+    const Index u = active.front();
+    active.pop_front();
+    if (m.mate_c[static_cast<std::size_t>(u)] != kNull) continue;  // stale
+    if (psi[static_cast<std::size_t>(u)] >= label_bound) {
+      if (stats != nullptr) ++stats->discarded;
+      continue;
+    }
+    if (relabels_since_refresh >= relabel_period) {
+      global_relabel(a, a_t, m, psi, label_bound);
+      relabels_since_refresh = 0;
+      if (stats != nullptr) ++stats->global_relabels;
+      if (psi[static_cast<std::size_t>(u)] >= label_bound) {
+        if (stats != nullptr) ++stats->discarded;
+        continue;
+      }
+    }
+
+    // Find the neighbor row whose mate has the minimum label; an unmatched
+    // row wins immediately.
+    Index best_row = kNull;
+    Index best_label = label_bound;
+    for (Index k = a.col_begin(u); k < a.col_end(u); ++k) {
+      if (stats != nullptr) ++stats->scans;
+      const Index r = a.row_at(k);
+      const Index mate = m.mate_r[static_cast<std::size_t>(r)];
+      if (mate == kNull) {
+        best_row = r;
+        best_label = kNull;  // sentinel: free row
+        break;
+      }
+      if (psi[static_cast<std::size_t>(mate)] < best_label) {
+        best_row = r;
+        best_label = psi[static_cast<std::size_t>(mate)];
+      }
+    }
+    if (best_row == kNull) {
+      // Every neighbor's mate already sits at the label bound: no alternating
+      // path to a free row can exist through them, so u is unmatchable.
+      if (stats != nullptr) ++stats->discarded;
+      continue;
+    }
+
+    if (best_label == kNull) {
+      // Push onto a free row.
+      m.match(best_row, u);
+      if (stats != nullptr) ++stats->pushes;
+      continue;
+    }
+    // Relabel above the best mate (labels never decrease — the push-relabel
+    // validity invariant), then steal that row (double push).
+    if (best_label + 1 > psi[static_cast<std::size_t>(u)]) {
+      psi[static_cast<std::size_t>(u)] = best_label + 1;
+      ++relabels_since_refresh;
+      if (stats != nullptr) ++stats->relabels;
+    }
+    const Index previous = m.mate_r[static_cast<std::size_t>(best_row)];
+    m.mate_r[static_cast<std::size_t>(best_row)] = u;
+    m.mate_c[static_cast<std::size_t>(u)] = best_row;
+    m.mate_c[static_cast<std::size_t>(previous)] = kNull;
+    if (stats != nullptr) ++stats->pushes;
+    if (psi[static_cast<std::size_t>(previous)] < label_bound) {
+      active.push_back(previous);
+    } else if (stats != nullptr) {
+      ++stats->discarded;
+    }
+  }
+  return m;
+}
+
+}  // namespace mcm

@@ -1,0 +1,47 @@
+#pragma once
+/// \file push_relabel.hpp
+/// Push-relabel maximum bipartite matching (maximum transversal), the
+/// algorithm family behind the paper's §II-A "(b)" category and its
+/// §II-B distributed-memory prior art (Langguth et al. [19], which "did not
+/// scale beyond 64 processors"). Implemented as a sequential baseline here
+/// and as a round-based distributed baseline in core/dist_push_relabel.hpp
+/// so the paper's comparison against this prior art can be reproduced.
+///
+/// The algorithm (Kaya, Langguth, Manne & Uçar's formulation): every column
+/// carries a label psi >= 0; an unmatched ("active") column u repeatedly
+///   - scans its adjacency for the row r whose mate has the smallest label
+///     (an unmatched row counts as smaller than everything);
+///   - if r is unmatched: match (u, r) — a *push*;
+///   - else: *relabel* psi(u) = psi(mate(r)) + 1 and *steal* r (double
+///     push): match (u, r) and re-activate r's previous mate.
+/// A column whose label reaches the bound n1 + n2 + 1 can reach no free row
+/// and is discarded; when no active column remains the matching is maximum
+/// (verified in tests against the Hopcroft-Karp oracle and the König
+/// certificate).
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+struct PushRelabelStats {
+  std::uint64_t pushes = 0;      ///< matches made (incl. steals)
+  std::uint64_t relabels = 0;    ///< label raises
+  std::uint64_t scans = 0;       ///< adjacency entries examined
+  Index discarded = 0;           ///< columns abandoned at the label bound
+  Index global_relabels = 0;     ///< exact-label BFS recomputations
+};
+
+/// Computes a maximum matching, warm-started from `initial` (must be a valid
+/// matching of `a`; the empty matching works). `a_t` (the transpose) drives
+/// the *global relabeling* heuristic — the periodic exact-distance BFS from
+/// the free rows without which push-relabel degenerates on deficient inputs
+/// (every unmatchable column would climb to the label bound one relabel at
+/// a time); all practical implementations, including Langguth et al.'s,
+/// rely on it.
+[[nodiscard]] Matching push_relabel_maximum(const CscMatrix& a,
+                                            const CscMatrix& a_t,
+                                            Matching initial,
+                                            PushRelabelStats* stats = nullptr);
+
+}  // namespace mcm

@@ -1,0 +1,67 @@
+#include "matching/verify.hpp"
+
+#include <sstream>
+
+#include "matching/koenig.hpp"
+
+namespace mcm {
+namespace {
+
+VerifyResult failure(const std::string& reason) { return {false, reason}; }
+
+}  // namespace
+
+VerifyResult verify_valid(const CscMatrix& a, const Matching& m) {
+  if (m.n_rows() != a.n_rows() || m.n_cols() != a.n_cols()) {
+    return failure("matching dimensions do not match the matrix");
+  }
+  if (!m.consistent()) {
+    return failure("mate_r and mate_c are not mutually consistent");
+  }
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    const Index i = m.mate_c[static_cast<std::size_t>(j)];
+    if (i == kNull) continue;
+    if (!a.has_entry(i, j)) {
+      std::ostringstream out;
+      out << "matched pair (" << i << ", " << j << ") is not an edge";
+      return failure(out.str());
+    }
+  }
+  return {};
+}
+
+VerifyResult verify_maximal(const CscMatrix& a, const Matching& m) {
+  if (VerifyResult valid = verify_valid(a, m); !valid) return valid;
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    if (m.mate_c[static_cast<std::size_t>(j)] != kNull) continue;
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (m.mate_r[static_cast<std::size_t>(i)] == kNull) {
+        std::ostringstream out;
+        out << "edge (" << i << ", " << j
+            << ") joins two unmatched vertices (matching not maximal)";
+        return failure(out.str());
+      }
+    }
+  }
+  return {};
+}
+
+VerifyResult verify_maximum(const CscMatrix& a, const Matching& m) {
+  if (VerifyResult valid = verify_valid(a, m); !valid) return valid;
+  // König certificate: a vertex cover of size |M| proves optimality, because
+  // every matching needs one distinct cover vertex per matched edge.
+  const VertexCover cover = koenig_cover(a, m);
+  if (!cover_is_valid(a, cover)) {
+    return failure("König construction did not yield a cover: matching is not maximum");
+  }
+  if (cover.size() != m.cardinality()) {
+    std::ostringstream out;
+    out << "cover size " << cover.size() << " != matching cardinality "
+        << m.cardinality() << " (matching is not maximum)";
+    return failure(out.str());
+  }
+  return {};
+}
+
+}  // namespace mcm

@@ -1,0 +1,36 @@
+#pragma once
+/// \file verify.hpp
+/// Independent certificates for matchings. Tests and examples use these to
+/// validate every algorithm's output instead of trusting the algorithm's own
+/// bookkeeping.
+
+#include <string>
+
+#include "matching/matching.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+
+/// Result of a verification; `ok` with an empty reason, or a human-readable
+/// description of the first violation found.
+struct VerifyResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Valid matching: mate vectors mutually consistent, all matched edges are
+/// actual edges of `a`. O(n + |M| log d).
+[[nodiscard]] VerifyResult verify_valid(const CscMatrix& a, const Matching& m);
+
+/// Maximal: valid + no edge joins two unmatched vertices. O(n + m).
+[[nodiscard]] VerifyResult verify_maximal(const CscMatrix& a, const Matching& m);
+
+/// Maximum: valid + no augmenting path exists. Certified constructively by
+/// extracting a vertex cover of size |M| (König's theorem): if such a cover
+/// exists, no matching can be larger, so |M| is optimal — no comparison
+/// against another solver needed. O(n + m).
+[[nodiscard]] VerifyResult verify_maximum(const CscMatrix& a, const Matching& m);
+
+}  // namespace mcm

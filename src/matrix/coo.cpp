@@ -1,0 +1,57 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+
+void CooMatrix::validate() const {
+  if (rows.size() != cols.size()) {
+    throw std::out_of_range("CooMatrix: rows/cols arrays differ in length");
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    if (rows[k] < 0 || rows[k] >= n_rows || cols[k] < 0 || cols[k] >= n_cols) {
+      throw std::out_of_range("CooMatrix: entry " + std::to_string(k)
+                              + " = (" + std::to_string(rows[k]) + ", "
+                              + std::to_string(cols[k]) + ") out of bounds for "
+                              + std::to_string(n_rows) + " x "
+                              + std::to_string(n_cols));
+    }
+  }
+}
+
+Index CooMatrix::sort_dedup() {
+  const std::size_t n = rows.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cols[a] != cols[b]) return cols[a] < cols[b];
+    return rows[a] < rows[b];
+  });
+  std::vector<Index> new_rows, new_cols;
+  new_rows.reserve(n);
+  new_cols.reserve(n);
+  for (const std::size_t k : order) {
+    if (!new_rows.empty() && new_cols.back() == cols[k]
+        && new_rows.back() == rows[k]) {
+      continue;  // duplicate edge
+    }
+    new_rows.push_back(rows[k]);
+    new_cols.push_back(cols[k]);
+  }
+  const Index removed = static_cast<Index>(n - new_rows.size());
+  rows = std::move(new_rows);
+  cols = std::move(new_cols);
+  return removed;
+}
+
+CooMatrix CooMatrix::transposed() const {
+  CooMatrix t(n_cols, n_rows);
+  t.rows = cols;
+  t.cols = rows;
+  return t;
+}
+
+}  // namespace mcm

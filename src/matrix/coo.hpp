@@ -1,0 +1,53 @@
+#pragma once
+/// \file coo.hpp
+/// Triplet (coordinate) representation of a binary sparse matrix / bipartite
+/// graph. This is the interchange format: generators produce COO, I/O reads
+/// and writes COO, and CSC/DCSC are built from it.
+///
+/// The matrix is the bipartite graph's biadjacency matrix A (paper §II):
+/// rows are the R ("row vertices") side, columns the C side, and a stored
+/// entry (i, j) is the edge (r_i, c_j). The matrix is *binary*: no numerical
+/// values are stored, matching the paper's formulation where the semiring
+/// multiply ignores the matrix value (select2nd).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mcm {
+
+struct CooMatrix {
+  Index n_rows = 0;  ///< |R|, number of row vertices (n1 in the paper)
+  Index n_cols = 0;  ///< |C|, number of column vertices (n2 in the paper)
+  std::vector<Index> rows;  ///< row index of each edge
+  std::vector<Index> cols;  ///< column index of each edge (parallel array)
+
+  CooMatrix() = default;
+  CooMatrix(Index n_rows_, Index n_cols_) : n_rows(n_rows_), n_cols(n_cols_) {}
+
+  [[nodiscard]] Index nnz() const { return static_cast<Index>(rows.size()); }
+
+  /// Appends edge (r, c); no bounds or duplicate checking (see validate()).
+  void add_edge(Index r, Index c) {
+    rows.push_back(r);
+    cols.push_back(c);
+  }
+
+  void reserve(std::size_t edges) {
+    rows.reserve(edges);
+    cols.reserve(edges);
+  }
+
+  /// Checks bounds of all entries. Throws std::out_of_range on violation.
+  void validate() const;
+
+  /// Sorts entries column-major (by (col, row)) and removes duplicates.
+  /// Returns the number of duplicates removed.
+  Index sort_dedup();
+
+  /// Returns the transpose (rows and columns swapped).
+  [[nodiscard]] CooMatrix transposed() const;
+};
+
+}  // namespace mcm

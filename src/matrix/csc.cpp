@@ -1,0 +1,75 @@
+#include "matrix/csc.hpp"
+
+#include <algorithm>
+
+namespace mcm {
+
+CscMatrix CscMatrix::from_coo(const CooMatrix& coo) {
+  coo.validate();
+  CscMatrix m;
+  m.n_rows_ = coo.n_rows;
+  m.n_cols_ = coo.n_cols;
+  const std::size_t nnz_in = coo.rows.size();
+  m.col_ptr_.assign(static_cast<std::size_t>(coo.n_cols) + 1, 0);
+
+  // Counting sort by column.
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    ++m.col_ptr_[static_cast<std::size_t>(coo.cols[k]) + 1];
+  }
+  for (std::size_t j = 1; j < m.col_ptr_.size(); ++j) {
+    m.col_ptr_[j] += m.col_ptr_[j - 1];
+  }
+  m.row_idx_.resize(nnz_in);
+  std::vector<Index> cursor(m.col_ptr_.begin(), m.col_ptr_.end() - 1);
+  for (std::size_t k = 0; k < nnz_in; ++k) {
+    m.row_idx_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(coo.cols[k])]++)] = coo.rows[k];
+  }
+
+  // Sort rows within each column and drop duplicates.
+  std::vector<Index> dedup_row;
+  dedup_row.reserve(nnz_in);
+  std::vector<Index> new_ptr(m.col_ptr_.size(), 0);
+  for (Index j = 0; j < m.n_cols_; ++j) {
+    const auto begin = m.row_idx_.begin() + m.col_ptr_[static_cast<std::size_t>(j)];
+    const auto end = m.row_idx_.begin() + m.col_ptr_[static_cast<std::size_t>(j) + 1];
+    std::sort(begin, end);
+    const auto last = std::unique(begin, end);
+    for (auto it = begin; it != last; ++it) dedup_row.push_back(*it);
+    new_ptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(dedup_row.size());
+  }
+  m.row_idx_ = std::move(dedup_row);
+  m.col_ptr_ = std::move(new_ptr);
+  return m;
+}
+
+CscMatrix CscMatrix::transposed() const {
+  CooMatrix coo(n_cols_, n_rows_);
+  coo.reserve(static_cast<std::size_t>(nnz()));
+  for (Index j = 0; j < n_cols_; ++j) {
+    for (Index k = col_begin(j); k < col_end(j); ++k) {
+      coo.add_edge(j, row_at(k));
+    }
+  }
+  return CscMatrix::from_coo(coo);
+}
+
+CooMatrix CscMatrix::to_coo() const {
+  CooMatrix coo(n_rows_, n_cols_);
+  coo.reserve(static_cast<std::size_t>(nnz()));
+  for (Index j = 0; j < n_cols_; ++j) {
+    for (Index k = col_begin(j); k < col_end(j); ++k) {
+      coo.add_edge(row_at(k), j);
+    }
+  }
+  return coo;
+}
+
+bool CscMatrix::has_entry(Index i, Index j) const {
+  if (i < 0 || i >= n_rows_ || j < 0 || j >= n_cols_) return false;
+  const auto begin = row_idx_.begin() + col_begin(j);
+  const auto end = row_idx_.begin() + col_end(j);
+  return std::binary_search(begin, end, i);
+}
+
+}  // namespace mcm

@@ -1,0 +1,58 @@
+#pragma once
+/// \file csc.hpp
+/// Compressed sparse column storage of a binary matrix, the workhorse format
+/// for the sequential algorithms and for local blocks whose column dimension
+/// is dense enough that DCSC buys nothing (see dcsc.hpp).
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// Binary CSC: column pointers + row indices. No value array (matrix entries
+/// are all 1; the BFS semiring's multiply is select2nd and never reads them).
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Builds from triplets. Duplicate entries are collapsed.
+  /// Triplets may be in any order.
+  static CscMatrix from_coo(const CooMatrix& coo);
+
+  [[nodiscard]] Index n_rows() const { return n_rows_; }
+  [[nodiscard]] Index n_cols() const { return n_cols_; }
+  [[nodiscard]] Index nnz() const {
+    return col_ptr_.empty() ? 0 : col_ptr_.back();
+  }
+
+  /// Half-open range [begin, end) of positions of column j's entries in
+  /// row_idx(). Degree of column j is col_end(j) - col_begin(j).
+  [[nodiscard]] Index col_begin(Index j) const { return col_ptr_[static_cast<std::size_t>(j)]; }
+  [[nodiscard]] Index col_end(Index j) const { return col_ptr_[static_cast<std::size_t>(j) + 1]; }
+  [[nodiscard]] Index col_degree(Index j) const { return col_end(j) - col_begin(j); }
+
+  /// Row index stored at position k (k in some column's [begin,end) range).
+  [[nodiscard]] Index row_at(Index k) const { return row_idx_[static_cast<std::size_t>(k)]; }
+
+  [[nodiscard]] const std::vector<Index>& col_ptr() const { return col_ptr_; }
+  [[nodiscard]] const std::vector<Index>& row_idx() const { return row_idx_; }
+
+  /// The explicit transpose: CSC of A^T, i.e. a row-major (CSR) view of A.
+  [[nodiscard]] CscMatrix transposed() const;
+
+  /// Converts back to triplets (column-major order).
+  [[nodiscard]] CooMatrix to_coo() const;
+
+  /// True if entry (i, j) is stored (binary search within column j).
+  [[nodiscard]] bool has_entry(Index i, Index j) const;
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<Index> col_ptr_;  ///< length n_cols_ + 1
+  std::vector<Index> row_idx_;  ///< length nnz, sorted within each column
+};
+
+}  // namespace mcm

@@ -1,0 +1,64 @@
+#include "matrix/dcsc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mcm {
+
+DcscMatrix DcscMatrix::from_coo(const CooMatrix& coo) {
+  coo.validate();
+  DcscMatrix m;
+  m.n_rows_ = coo.n_rows;
+  m.n_cols_ = coo.n_cols;
+  const std::size_t n = coo.rows.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (coo.cols[a] != coo.cols[b]) return coo.cols[a] < coo.cols[b];
+    return coo.rows[a] < coo.rows[b];
+  });
+
+  Index prev_col = kNull;
+  Index prev_row = kNull;
+  for (const std::size_t k : order) {
+    const Index c = coo.cols[k];
+    const Index r = coo.rows[k];
+    if (c == prev_col && r == prev_row) continue;  // duplicate
+    if (c != prev_col) {
+      m.jc_.push_back(c);
+      m.cp_.push_back(static_cast<Index>(m.ir_.size()));
+    }
+    m.ir_.push_back(r);
+    prev_col = c;
+    prev_row = r;
+  }
+  m.cp_.push_back(static_cast<Index>(m.ir_.size()));
+  if (m.jc_.empty()) m.cp_.assign(1, 0);
+  return m;
+}
+
+Index DcscMatrix::find_col(Index j) const {
+  const auto it = std::lower_bound(jc_.begin(), jc_.end(), j);
+  if (it == jc_.end() || *it != j) return kNull;
+  return static_cast<Index>(it - jc_.begin());
+}
+
+Index DcscMatrix::col_degree(Index j) const {
+  const Index k = find_col(j);
+  return k == kNull ? 0 : cp_end(k) - cp_begin(k);
+}
+
+CooMatrix DcscMatrix::to_coo() const {
+  CooMatrix coo(n_rows_, n_cols_);
+  coo.reserve(ir_.size());
+  for (Index k = 0; k < nzc(); ++k) {
+    const Index j = nonempty_col(k);
+    for (Index pos = cp_begin(k); pos < cp_end(k); ++pos) {
+      coo.add_edge(row_at(pos), j);
+    }
+  }
+  return coo;
+}
+
+}  // namespace mcm

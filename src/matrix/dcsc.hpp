@@ -1,0 +1,70 @@
+#pragma once
+/// \file dcsc.hpp
+/// Doubly Compressed Sparse Columns (Buluç & Gilbert), the format CombBLAS
+/// uses for the per-process blocks of a 2D-distributed sparse matrix
+/// (paper §IV-A). After 2D partitioning onto a √p x √p grid, each local block
+/// has n/√p columns but only ~m/p nonzeros, so most columns are empty
+/// ("hypersparse"); CSC's O(n_cols) column-pointer array would dominate
+/// memory and defeat scaling. DCSC stores pointers only for the non-empty
+/// columns:
+///
+///   jc  : sorted indices of non-empty columns        (length nzc)
+///   cp  : start of each non-empty column's entries   (length nzc + 1)
+///   ir  : row indices                                (length nnz)
+///
+/// so storage is O(nnz + nzc) independent of the nominal column dimension.
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+class DcscMatrix {
+ public:
+  DcscMatrix() = default;
+
+  /// Builds from triplets (any order; duplicates collapsed).
+  static DcscMatrix from_coo(const CooMatrix& coo);
+
+  [[nodiscard]] Index n_rows() const { return n_rows_; }
+  [[nodiscard]] Index n_cols() const { return n_cols_; }
+  [[nodiscard]] Index nnz() const { return static_cast<Index>(ir_.size()); }
+
+  /// Number of non-empty columns.
+  [[nodiscard]] Index nzc() const { return static_cast<Index>(jc_.size()); }
+
+  /// Global (uncompressed) index of the k-th non-empty column, 0 <= k < nzc().
+  [[nodiscard]] Index nonempty_col(Index k) const { return jc_[static_cast<std::size_t>(k)]; }
+
+  /// Half-open range of positions of the k-th non-empty column's entries.
+  [[nodiscard]] Index cp_begin(Index k) const { return cp_[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] Index cp_end(Index k) const { return cp_[static_cast<std::size_t>(k) + 1]; }
+
+  [[nodiscard]] Index row_at(Index pos) const { return ir_[static_cast<std::size_t>(pos)]; }
+
+  /// Finds the compressed position of (uncompressed) column j, or -1 if the
+  /// column is empty. O(log nzc) binary search over jc.
+  [[nodiscard]] Index find_col(Index j) const;
+
+  /// Degree of (uncompressed) column j; 0 if empty.
+  [[nodiscard]] Index col_degree(Index j) const;
+
+  /// Converts back to triplets (column-major order).
+  [[nodiscard]] CooMatrix to_coo() const;
+
+  /// Bytes of heap storage used; exposes the hypersparsity advantage in tests.
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return (jc_.size() + cp_.size() + ir_.size()) * sizeof(Index);
+  }
+
+ private:
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::vector<Index> jc_;  ///< non-empty column indices, sorted
+  std::vector<Index> cp_;  ///< column pointers into ir_, length jc_.size()+1
+  std::vector<Index> ir_;  ///< row indices, sorted within each column
+};
+
+}  // namespace mcm

@@ -1,0 +1,114 @@
+#include "matrix/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("MatrixMarket parse error at line "
+                           + std::to_string(line_no) + ": " + what);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty stream");
+  ++line_no;
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket") fail(line_no, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail(line_no, "object must be 'matrix'");
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format != "coordinate") {
+    fail(line_no, "only 'coordinate' format is supported, got '" + format + "'");
+  }
+  if (field == "complex") fail(line_no, "complex field is not supported");
+  const bool has_value = (field == "real" || field == "integer");
+  const bool mirror = (symmetry == "symmetric" || symmetry == "skew-symmetric"
+                       || symmetry == "hermitian");
+
+  // Skip comments and blank lines up to the size line.
+  Index n_rows = 0, n_cols = 0;
+  long long declared_nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) fail(line_no + 1, "missing size line");
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream size_line(line);
+    if (!(size_line >> n_rows >> n_cols >> declared_nnz)) {
+      fail(line_no, "malformed size line '" + line + "'");
+    }
+    break;
+  }
+  if (n_rows < 0 || n_cols < 0 || declared_nnz < 0) {
+    fail(line_no, "negative dimension or entry count");
+  }
+
+  CooMatrix m(n_rows, n_cols);
+  m.reserve(static_cast<std::size_t>(declared_nnz) * (mirror ? 2 : 1));
+  long long seen = 0;
+  while (seen < declared_nnz) {
+    if (!std::getline(in, line)) {
+      fail(line_no + 1, "expected " + std::to_string(declared_nnz)
+                            + " entries, got " + std::to_string(seen));
+    }
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    Index i = 0, j = 0;
+    if (!(entry >> i >> j)) fail(line_no, "malformed entry '" + line + "'");
+    if (has_value) {
+      double value = 0;
+      if (!(entry >> value)) fail(line_no, "entry missing value '" + line + "'");
+    }
+    if (i < 1 || i > n_rows || j < 1 || j > n_cols) {
+      fail(line_no, "index (" + std::to_string(i) + ", " + std::to_string(j)
+                        + ") out of declared bounds");
+    }
+    m.add_edge(i - 1, j - 1);
+    if (mirror && i != j) m.add_edge(j - 1, i - 1);
+    ++seen;
+  }
+  m.sort_dedup();
+  return m;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << m.n_rows << " " << m.n_cols << " " << m.nnz() << "\n";
+  for (std::size_t k = 0; k < m.rows.size(); ++k) {
+    out << (m.rows[k] + 1) << " " << (m.cols[k] + 1) << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace mcm

@@ -1,0 +1,32 @@
+#pragma once
+/// \file mmio.hpp
+/// MatrixMarket coordinate I/O. The paper evaluates on matrices from the
+/// University of Florida (SuiteSparse) collection, which ships MatrixMarket
+/// files; this reader lets users run the genuine inputs. Only the pattern is
+/// kept (values, if present, are parsed and discarded — the matching
+/// algorithms are structural). `symmetric`/`skew-symmetric` matrices are
+/// expanded to both triangles, mirroring how a general (non-bipartite
+/// sourced) square matrix is treated as a bipartite row/column graph.
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+
+namespace mcm {
+
+/// Parses a MatrixMarket `matrix coordinate` stream.
+/// Throws std::runtime_error with a line-numbered message on malformed input
+/// (bad banner, wrong entry count, out-of-range indices, non-coordinate
+/// format, complex field).
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+
+/// Convenience: opens `path` and parses it. Throws std::runtime_error if the
+/// file cannot be opened.
+[[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `pattern general` coordinate format (1-based indices).
+void write_matrix_market(std::ostream& out, const CooMatrix& m);
+void write_matrix_market_file(const std::string& path, const CooMatrix& m);
+
+}  // namespace mcm

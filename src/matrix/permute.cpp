@@ -1,0 +1,68 @@
+#include "matrix/permute.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mcm {
+
+Permutation Permutation::inverse() const {
+  Permutation inv;
+  inv.map.assign(map.size(), kNull);
+  for (std::size_t old_index = 0; old_index < map.size(); ++old_index) {
+    inv.map[static_cast<std::size_t>(map[old_index])] =
+        static_cast<Index>(old_index);
+  }
+  return inv;
+}
+
+Permutation Permutation::identity(Index n) {
+  Permutation p;
+  p.map.resize(static_cast<std::size_t>(n));
+  std::iota(p.map.begin(), p.map.end(), Index{0});
+  return p;
+}
+
+Permutation Permutation::random(Index n, Rng& rng) {
+  Permutation p = identity(n);
+  shuffle(p.map.begin(), p.map.end(), rng);
+  return p;
+}
+
+void Permutation::validate() const {
+  std::vector<bool> seen(map.size(), false);
+  for (const Index v : map) {
+    if (v < 0 || v >= size() || seen[static_cast<std::size_t>(v)]) {
+      throw std::invalid_argument("Permutation: map is not a bijection");
+    }
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+CooMatrix permute(const CooMatrix& a, const Permutation& row_perm,
+                  const Permutation& col_perm) {
+  if (row_perm.size() != a.n_rows || col_perm.size() != a.n_cols) {
+    throw std::invalid_argument("permute: permutation sizes do not match matrix");
+  }
+  CooMatrix out(a.n_rows, a.n_cols);
+  out.reserve(a.rows.size());
+  for (std::size_t k = 0; k < a.rows.size(); ++k) {
+    out.add_edge(row_perm(a.rows[k]), col_perm(a.cols[k]));
+  }
+  return out;
+}
+
+std::vector<Index> unpermute_mates(const std::vector<Index>& mate_new,
+                                   const Permutation& index_perm,
+                                   const Permutation& value_perm) {
+  const Permutation value_inv = value_perm.inverse();
+  std::vector<Index> mate_old(mate_new.size(), kNull);
+  for (Index old_index = 0; old_index < index_perm.size(); ++old_index) {
+    const Index new_index = index_perm(old_index);
+    const Index new_value = mate_new[static_cast<std::size_t>(new_index)];
+    mate_old[static_cast<std::size_t>(old_index)] =
+        (new_value == kNull) ? kNull : value_inv(new_value);
+  }
+  return mate_old;
+}
+
+}  // namespace mcm

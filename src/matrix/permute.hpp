@@ -1,0 +1,53 @@
+#pragma once
+/// \file permute.hpp
+/// Random row/column permutations. The paper (§IV-A) randomly permutes the
+/// input matrix before running the matching algorithms so nonzeros — and
+/// therefore both memory and work — are balanced across the process grid.
+/// Permuting rows/columns of the biadjacency matrix relabels vertices and
+/// changes neither the matching cardinality nor the graph structure; helpers
+/// here also translate a matching computed on the permuted matrix back to the
+/// original labels.
+
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// A permutation p maps old index i to new index p[i].
+struct Permutation {
+  std::vector<Index> map;  ///< map[old] = new
+
+  [[nodiscard]] Index size() const { return static_cast<Index>(map.size()); }
+  [[nodiscard]] Index operator()(Index old_index) const {
+    return map[static_cast<std::size_t>(old_index)];
+  }
+
+  /// Inverse permutation: result.map[new] = old.
+  [[nodiscard]] Permutation inverse() const;
+
+  /// Identity permutation of length n.
+  static Permutation identity(Index n);
+
+  /// Uniformly random permutation of length n.
+  static Permutation random(Index n, Rng& rng);
+
+  /// Validates that `map` is a bijection on [0, n); throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Applies row and column permutations to a matrix:
+/// result(row_perm(i), col_perm(j)) = a(i, j).
+[[nodiscard]] CooMatrix permute(const CooMatrix& a, const Permutation& row_perm,
+                                const Permutation& col_perm);
+
+/// Translates a mate vector computed on a permuted matrix back to original
+/// labels. `mate_new` is indexed by new row (resp. column) indices and holds
+/// new column (resp. row) indices; the result is indexed/valued in old labels.
+[[nodiscard]] std::vector<Index> unpermute_mates(
+    const std::vector<Index>& mate_new, const Permutation& index_perm,
+    const Permutation& value_perm);
+
+}  // namespace mcm

@@ -1,0 +1,58 @@
+#include "matrix/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mcm {
+
+GraphStats compute_stats(const CscMatrix& a) {
+  GraphStats s;
+  s.n_rows = a.n_rows();
+  s.n_cols = a.n_cols();
+  s.nnz = a.nnz();
+
+  std::vector<Index> row_degree(static_cast<std::size_t>(a.n_rows()), 0);
+  std::vector<Index> col_degree(static_cast<std::size_t>(a.n_cols()), 0);
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    col_degree[static_cast<std::size_t>(j)] = a.col_degree(j);
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      ++row_degree[static_cast<std::size_t>(a.row_at(k))];
+    }
+  }
+  for (const Index d : row_degree) {
+    if (d == 0) ++s.empty_rows;
+    s.max_row_degree = std::max(s.max_row_degree, d);
+  }
+  for (const Index d : col_degree) {
+    if (d == 0) ++s.empty_cols;
+    s.max_col_degree = std::max(s.max_col_degree, d);
+  }
+  s.avg_row_degree = s.n_rows ? static_cast<double>(s.nnz) / static_cast<double>(s.n_rows) : 0.0;
+  s.avg_col_degree = s.n_cols ? static_cast<double>(s.nnz) / static_cast<double>(s.n_cols) : 0.0;
+
+  // Gini coefficient of the column degree distribution.
+  if (s.nnz > 0 && s.n_cols > 1) {
+    std::sort(col_degree.begin(), col_degree.end());
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < col_degree.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(col_degree[i]);
+    }
+    const double n = static_cast<double>(s.n_cols);
+    const double total = static_cast<double>(s.nnz);
+    s.col_degree_skew = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+std::string to_string(const GraphStats& s) {
+  std::ostringstream out;
+  out << s.n_rows << " x " << s.n_cols << ", nnz=" << s.nnz
+      << ", avg deg (r/c)=" << s.avg_row_degree << "/" << s.avg_col_degree
+      << ", max deg (r/c)=" << s.max_row_degree << "/" << s.max_col_degree
+      << ", empty (r/c)=" << s.empty_rows << "/" << s.empty_cols
+      << ", col skew=" << s.col_degree_skew;
+  return out.str();
+}
+
+}  // namespace mcm

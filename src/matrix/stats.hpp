@@ -1,0 +1,33 @@
+#pragma once
+/// \file stats.hpp
+/// Structural statistics of a bipartite graph / sparse matrix, used by the
+/// Table II reproduction and by the generators' self-checks.
+
+#include <string>
+
+#include "matrix/csc.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+struct GraphStats {
+  Index n_rows = 0;
+  Index n_cols = 0;
+  Index nnz = 0;
+  Index empty_rows = 0;     ///< isolated row vertices (can never be matched)
+  Index empty_cols = 0;     ///< isolated column vertices
+  Index max_row_degree = 0;
+  Index max_col_degree = 0;
+  double avg_row_degree = 0.0;
+  double avg_col_degree = 0.0;
+  /// Gini-like skew in [0,1): 0 for perfectly uniform column degrees, ->1 for
+  /// extreme skew. Distinguishes ER-like from G500-like inputs in tests.
+  double col_degree_skew = 0.0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const CscMatrix& a);
+
+/// One-line human-readable summary.
+[[nodiscard]] std::string to_string(const GraphStats& s);
+
+}  // namespace mcm

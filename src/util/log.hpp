@@ -1,0 +1,49 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging to stderr. The library is quiet by default
+/// (level = Warn); benches and examples raise it for progress reporting.
+
+#include <sstream>
+#include <string>
+
+namespace mcm {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line "[level] message" to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot logger: `Logger(LogLevel::Info) << "x=" << x;`
+/// flushes on destruction.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::Logger log_debug() { return detail::Logger(LogLevel::Debug); }
+inline detail::Logger log_info() { return detail::Logger(LogLevel::Info); }
+inline detail::Logger log_warn() { return detail::Logger(LogLevel::Warn); }
+inline detail::Logger log_error() { return detail::Logger(LogLevel::Error); }
+
+}  // namespace mcm

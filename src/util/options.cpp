@@ -1,0 +1,102 @@
+#include "util/options.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+bool parse_bool_text(const std::string& text, bool& out) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  if (argc > 0) opts.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      opts.positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    if (body.empty() || body[0] == '=') {
+      throw std::invalid_argument("malformed option: " + token);
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      opts.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.values_[body] = argv[++i];
+    } else {
+      opts.values_[body] = "true";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t value = 0;
+  const auto& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("option --" + key + " expects an integer, got '"
+                                + text + "'");
+  }
+  return value;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing text");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '"
+                                + it->second + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  bool value = false;
+  if (!parse_bool_text(it->second, value)) {
+    throw std::invalid_argument("option --" + key + " expects a boolean, got '"
+                                + it->second + "'");
+  }
+  return value;
+}
+
+}  // namespace mcm

@@ -1,0 +1,46 @@
+#pragma once
+/// \file options.hpp
+/// Tiny command-line option parser used by the examples and benches.
+/// Supports `--key value`, `--key=value`, and boolean `--flag` forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv. Unrecognized positional arguments are collected in order.
+  /// Throws std::invalid_argument on a malformed token (e.g. `--=x`).
+  static Options parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw std::invalid_argument when the stored
+  /// text does not parse as the requested type.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the executable (argv[0]), if parse() saw one.
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,81 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// Every stochastic component of the library (graph generators, random
+/// permutations, randomized semirings, tie-breaking) draws from an Xoshiro256**
+/// stream seeded through SplitMix64. Determinism matters here: the simulated
+/// distributed runtime derives one independent stream per rank from a master
+/// seed, so results are reproducible for any process-grid size.
+
+#include <cstdint>
+#include <limits>
+
+namespace mcm {
+
+/// SplitMix64: used to expand a user seed into Xoshiro state.
+/// Passes BigCrush when used as a generator itself; here it is the seeder.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator concept so it can also drive
+/// standard-library distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derives an independent-looking child stream; used to give each simulated
+  /// rank its own generator from a master seed.
+  Rng spawn() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle of [first, last) using our deterministic Rng.
+template <typename It>
+void shuffle(It first, It last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    auto tmp = first[i - 1];
+    first[i - 1] = first[j];
+    first[j] = tmp;
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,131 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcm {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table row arity " + std::to_string(row.size())
+                                + " != header arity "
+                                + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::num(std::int64_t value) { return std::to_string(value); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << row[i] << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << " |\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 1;
+    for (const std::size_t w : width) total += w + 3;
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+void AsciiChart::add_series(const std::string& name,
+                            std::vector<std::pair<double, double>> points) {
+  series_.push_back({name, std::move(points)});
+}
+
+void AsciiChart::set_size(int width, int height) {
+  width_ = std::max(16, width);
+  height_ = std::max(4, height);
+}
+
+std::string AsciiChart::render() const {
+  std::ostringstream out;
+  out << "-- " << title_ << " --\n";
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!(xmin <= xmax)) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  auto tx = [&](double v) { return log_x_ ? std::log2(std::max(v, 1e-300)) : v; };
+  auto ty = [&](double v) { return log_y_ ? std::log2(std::max(v, 1e-300)) : v; };
+  const double txmin = tx(xmin), txmax = tx(xmax);
+  const double tymin = ty(ymin), tymax = ty(ymax);
+  const double xspan = (txmax > txmin) ? txmax - txmin : 1.0;
+  const double yspan = (tymax > tymin) ? tymax - tymin : 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+  const char* glyphs = "*o+x#@%&";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = glyphs[si % 8];
+    for (const auto& [x, y] : series_[si].points) {
+      const int col = static_cast<int>(
+          std::lround((tx(x) - txmin) / xspan * (width_ - 1)));
+      const int row = static_cast<int>(
+          std::lround((ty(y) - tymin) / yspan * (height_ - 1)));
+      const int r = height_ - 1 - row;
+      if (r >= 0 && r < height_ && col >= 0 && col < width_) {
+        canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] = glyph;
+      }
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", ymax);
+  out << y_label_ << " (max " << buf << ")\n";
+  for (const auto& line : canvas) out << "  |" << line << "\n";
+  out << "  +" << std::string(static_cast<std::size_t>(width_), '-') << "> "
+      << x_label_;
+  std::snprintf(buf, sizeof(buf), "  [%.3g .. %.3g]", xmin, xmax);
+  out << buf << (log_x_ ? " (log x)" : "") << (log_y_ ? " (log y)" : "") << "\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << glyphs[si % 8] << " = " << series_[si].name << "\n";
+  }
+  return out.str();
+}
+
+void AsciiChart::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace mcm

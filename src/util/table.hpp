@@ -1,0 +1,78 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table and chart rendering for the benchmark harness. Every
+/// bench regenerating a paper table prints a Table, and every bench
+/// regenerating a figure prints one or more AsciiChart series so the scaling
+/// shape can be eyeballed directly in the terminal (and diffed in CI).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Column-aligned text table with a title row and a header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` significant decimals.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::int64_t value);
+
+  /// Renders the full table, `|`-separated with a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A log-log/linear ASCII chart of one or more (x, y) series, used to render
+/// the paper's scaling figures in the terminal.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  /// Adds a named series. Points need not be sorted; they are plotted as is.
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points);
+
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_size(int width, int height);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  int width_ = 72;
+  int height_ = 20;
+};
+
+}  // namespace mcm

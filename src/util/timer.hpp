@@ -1,0 +1,30 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock stopwatch for host-side measurement. Note that *simulated*
+/// distributed time is accounted by gridsim::CostLedger, not by this class;
+/// Timer measures the real time the simulator itself takes to run.
+
+#include <chrono>
+
+namespace mcm {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcm

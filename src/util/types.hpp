@@ -1,0 +1,18 @@
+#pragma once
+/// \file types.hpp
+/// Library-wide scalar types. Vertex/edge indices are 64-bit signed so that
+/// (a) graphs above 2^31 vertices are representable (the paper runs scale-30
+/// RMAT inputs) and (b) -1 can serve as the "missing" sentinel the paper's
+/// dense vectors use for unmatched/unvisited vertices.
+
+#include <cstdint>
+
+namespace mcm {
+
+/// Vertex or edge index. Signed: -1 (kNull) means unmatched / unvisited.
+using Index = std::int64_t;
+
+/// Sentinel for "no value" in dense vectors (mate, parent, path endpoints).
+inline constexpr Index kNull = -1;
+
+}  // namespace mcm

@@ -1,0 +1,197 @@
+#include "algebra/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "algebra/vertex.hpp"
+
+namespace mcm {
+namespace {
+
+/// The sparse vector of the paper's Table I examples: x = [3, -, 2, 2, -]
+/// (nonzeros at positions 0, 2, 3).
+SpVec<Index> table1_x() {
+  SpVec<Index> x(5);
+  x.push_back(0, 3);
+  x.push_back(2, 2);
+  x.push_back(3, 2);
+  return x;
+}
+
+TEST(Ind, TableOneExample) {
+  const std::vector<Index> expected{0, 2, 3};
+  EXPECT_EQ(ind(table1_x()), expected);
+}
+
+TEST(Ind, EmptyVector) {
+  SpVec<Index> x(4);
+  EXPECT_TRUE(ind(x).empty());
+}
+
+TEST(Select, TableOneExample) {
+  // y = [1, -1, -1, 2, 1]; keep x where y == -1 -> only position 2 survives.
+  const std::vector<Index> y{1, -1, -1, 2, 1};
+  const SpVec<Index> z =
+      select(table1_x(), y, [](Index v) { return v == -1; });
+  ASSERT_EQ(z.nnz(), 1);
+  EXPECT_EQ(z.index_at(0), 2);
+  EXPECT_EQ(z.value_at(0), 2);
+}
+
+TEST(Select, KeepsAllWhenPredicateTrue) {
+  const std::vector<Index> y{0, 0, 0, 0, 0};
+  const SpVec<Index> z = select(table1_x(), y, [](Index) { return true; });
+  EXPECT_EQ(z.nnz(), 3);
+}
+
+TEST(Select, LengthMismatchThrows) {
+  const std::vector<Index> y{0, 0};
+  EXPECT_THROW(select(table1_x(), y, [](Index) { return true; }),
+               std::invalid_argument);
+}
+
+TEST(Select2, SeesSparseValue) {
+  const std::vector<Index> y{9, 9, 9, 9, 9};
+  const SpVec<Index> z = select2(
+      table1_x(), y, [](Index dense, Index sparse) {
+        return dense == 9 && sparse == 3;
+      });
+  ASSERT_EQ(z.nnz(), 1);
+  EXPECT_EQ(z.index_at(0), 0);
+}
+
+TEST(SetDense, TableOneExample) {
+  // SET(y, x) with y all -1 -> [3, -1, 2, 2, -1].
+  std::vector<Index> y(5, kNull);
+  set_dense(y, table1_x(), [](Index v) { return v; });
+  const std::vector<Index> expected{3, kNull, 2, 2, kNull};
+  EXPECT_EQ(y, expected);
+}
+
+TEST(SetDense, LeavesOtherPositionsUntouched) {
+  std::vector<Index> y{10, 11, 12, 13, 14};
+  set_dense(y, table1_x(), [](Index v) { return v * 100; });
+  EXPECT_EQ(y[0], 300);
+  EXPECT_EQ(y[1], 11);
+  EXPECT_EQ(y[4], 14);
+}
+
+TEST(SetSparse, GathersDenseIntoSparse) {
+  SpVec<Index> x = table1_x();
+  const std::vector<Index> y{7, 0, 8, 9, 0};
+  set_sparse(x, y, [](Index& value, Index dense) { value = dense; });
+  EXPECT_EQ(x.value_at(0), 7);
+  EXPECT_EQ(x.value_at(1), 8);
+  EXPECT_EQ(x.value_at(2), 9);
+}
+
+TEST(Invert, SwapsIndicesAndValues) {
+  // Entries (0 -> 3), (2 -> 2), (3 -> 2). Keys 3 and 2; key 2 collides
+  // between inputs 2 and 3: keep-first keeps input index 2.
+  const SpVec<Index> z = invert<Index>(
+      table1_x(), 5, [](Index, Index v) { return v; },
+      [](Index i, Index) { return i; });
+  ASSERT_EQ(z.nnz(), 2);
+  EXPECT_EQ(z.index_at(0), 2);
+  EXPECT_EQ(z.value_at(0), 2);  // from input position 2, not 3
+  EXPECT_EQ(z.index_at(1), 3);
+  EXPECT_EQ(z.value_at(1), 0);
+}
+
+TEST(Invert, OutOfRangeKeyThrows) {
+  SpVec<Index> x(3);
+  x.push_back(0, 10);
+  EXPECT_THROW((invert<Index>(
+                   x, 5, [](Index, Index v) { return v; },
+                   [](Index i, Index) { return i; })),
+               std::out_of_range);
+}
+
+TEST(Invert, NegativeKeyThrows) {
+  SpVec<Index> x(3);
+  x.push_back(1, -2);
+  EXPECT_THROW((invert<Index>(
+                   x, 5, [](Index, Index v) { return v; },
+                   [](Index i, Index) { return i; })),
+               std::out_of_range);
+}
+
+TEST(Invert, InvolutionWhenNoCollisions) {
+  SpVec<Index> x(6);
+  x.push_back(1, 4);
+  x.push_back(2, 0);
+  x.push_back(5, 3);
+  const auto inverted = invert<Index>(
+      x, 6, [](Index, Index v) { return v; }, [](Index i, Index) { return i; });
+  const auto back = invert<Index>(
+      inverted, 6, [](Index, Index v) { return v; },
+      [](Index i, Index) { return i; });
+  EXPECT_EQ(back, x);
+}
+
+TEST(Invert, VertexPayloads) {
+  SpVec<Vertex> x(4);
+  x.push_back(0, Vertex(2, 3));
+  x.push_back(1, Vertex(0, 3));
+  // Key by root: both share root 3 -> keep-first keeps input index 0.
+  const auto z = invert<Index>(
+      x, 4, [](Index, const Vertex& v) { return v.root; },
+      [](Index i, const Vertex&) { return i; });
+  ASSERT_EQ(z.nnz(), 1);
+  EXPECT_EQ(z.index_at(0), 3);
+  EXPECT_EQ(z.value_at(0), 0);
+}
+
+TEST(Prune, TableOneExample) {
+  // x = [-, -, 5, -, 2], q values {2, 4, 1}: entry with value 2 is pruned.
+  SpVec<Index> x(5);
+  x.push_back(2, 5);
+  x.push_back(4, 2);
+  const std::vector<Index> roots{2, 4, 1};
+  const SpVec<Index> z = prune(x, roots, [](Index v) { return v; });
+  ASSERT_EQ(z.nnz(), 1);
+  EXPECT_EQ(z.index_at(0), 2);
+  EXPECT_EQ(z.value_at(0), 5);
+}
+
+TEST(Prune, EmptyRootsKeepsEverything) {
+  const SpVec<Index> z =
+      prune(table1_x(), {}, [](Index v) { return v; });
+  EXPECT_EQ(z.nnz(), 3);
+}
+
+TEST(Prune, DuplicateRootsHandled) {
+  SpVec<Index> x(3);
+  x.push_back(0, 7);
+  const SpVec<Index> z =
+      prune(x, {7, 7, 7}, [](Index v) { return v; });
+  EXPECT_EQ(z.nnz(), 0);
+}
+
+TEST(SortedUnique, SortsAndDedups) {
+  const std::vector<Index> out = sorted_unique({5, 1, 5, 3, 1});
+  const std::vector<Index> expected{1, 3, 5};
+  EXPECT_EQ(out, expected);
+}
+
+struct Select2ndMinIndexLike {
+  static Index add(Index a, Index b) { return a < b ? a : b; }
+};
+
+TEST(Spa, AccumulateAndReset) {
+  Spa<Index> spa(10);
+  Select2ndMinIndexLike sr;
+  EXPECT_TRUE(spa.accumulate(3, 7, sr));
+  EXPECT_FALSE(spa.accumulate(3, 5, sr));
+  EXPECT_EQ(spa.get(3), 5);
+  EXPECT_TRUE(spa.occupied(3));
+  EXPECT_FALSE(spa.occupied(4));
+  spa.reset();
+  EXPECT_FALSE(spa.occupied(3));
+  EXPECT_TRUE(spa.accumulate(3, 9, sr));
+  EXPECT_EQ(spa.get(3), 9);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,148 @@
+#include "algebra/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/semiring.hpp"
+#include "gen/er.hpp"
+#include "matrix/dcsc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+/// Paper Fig. 2-style example: 5x5 bipartite graph, frontier of unmatched
+/// columns c0, c1, c4 with parent = root = self.
+CooMatrix example_graph() {
+  CooMatrix m(5, 5);
+  m.add_edge(0, 0);
+  m.add_edge(1, 0);
+  m.add_edge(1, 1);
+  m.add_edge(2, 1);
+  m.add_edge(2, 4);
+  m.add_edge(3, 2);
+  m.add_edge(4, 3);
+  m.add_edge(4, 4);
+  return m;
+}
+
+SpVec<Vertex> example_frontier() {
+  SpVec<Vertex> f(5);
+  f.push_back(0, Vertex(0, 0));
+  f.push_back(1, Vertex(1, 1));
+  f.push_back(4, Vertex(4, 4));
+  return f;
+}
+
+TEST(Spmv, ExploresNeighborsWithMinParent) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  std::uint64_t flops = 0;
+  const SpVec<Vertex> y =
+      spmv(a, example_frontier(), Select2ndMinParent{}, &flops);
+  // Rows reached: 0 (from c0), 1 (from c0 or c1 -> min parent 0),
+  // 2 (from c1 or c4 -> min parent 1), 4 (from c4). Row 3 only neighbors c2.
+  ASSERT_EQ(y.nnz(), 4);
+  EXPECT_EQ(y.index_at(0), 0);
+  EXPECT_EQ(y.value_at(0), Vertex(0, 0));
+  EXPECT_EQ(y.value_at(1), Vertex(0, 0));  // row 1: parent 0 beats 1
+  EXPECT_EQ(y.value_at(2), Vertex(1, 1));  // row 2: parent 1 beats 4
+  EXPECT_EQ(y.index_at(3), 4);
+  EXPECT_EQ(y.value_at(3), Vertex(4, 4));
+  // Work = sum of frontier column degrees = 2 + 2 + 2 = 6.
+  EXPECT_EQ(flops, 6u);
+}
+
+TEST(Spmv, MaxParentFlipsContestedRows) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  const SpVec<Vertex> y =
+      spmv(a, example_frontier(), Select2ndMaxParent{});
+  EXPECT_EQ(y.value_at(1), Vertex(1, 1));  // row 1: parent 1 beats 0
+  EXPECT_EQ(y.value_at(2), Vertex(4, 4));  // row 2: parent 4 beats 1
+}
+
+TEST(Spmv, EmptyFrontierGivesEmptyResult) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  const SpVec<Vertex> y = spmv(a, SpVec<Vertex>(5), Select2ndMinParent{});
+  EXPECT_TRUE(y.empty());
+}
+
+TEST(Spmv, LengthMismatchThrows) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  EXPECT_THROW(spmv(a, SpVec<Vertex>(4), Select2ndMinParent{}),
+               std::invalid_argument);
+}
+
+TEST(Spmv, RootsPropagateUnchanged) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  SpVec<Vertex> f(5);
+  f.push_back(2, Vertex(2, 77));  // root 77 from some earlier iteration
+  const SpVec<Vertex> y = spmv(a, f, Select2ndMinParent{});
+  ASSERT_EQ(y.nnz(), 1);
+  EXPECT_EQ(y.index_at(0), 3);
+  EXPECT_EQ(y.value_at(0), Vertex(2, 77));
+}
+
+TEST(SpmvDcsc, MatchesCscKernel) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CooMatrix coo = er_bipartite_m(40, 30, 150, rng);
+    const CscMatrix csc = CscMatrix::from_coo(coo);
+    const DcscMatrix dcsc = DcscMatrix::from_coo(coo);
+    SpVec<Vertex> x(30);
+    for (Index j = 0; j < 30; ++j) {
+      if (rng.next_bool(0.3)) x.push_back(j, Vertex(j, j));
+    }
+    std::uint64_t flops_csc = 0, flops_dcsc = 0;
+    const auto expected = spmv(csc, x, Select2ndMinParent{}, &flops_csc);
+    Spa<Vertex> spa(40);
+    const auto got =
+        spmv_dcsc(dcsc, x, spa, Select2ndMinParent{}, &flops_dcsc);
+    EXPECT_EQ(got, expected) << "trial " << trial;
+    EXPECT_EQ(flops_csc, flops_dcsc);
+  }
+}
+
+TEST(SpmvDcsc, ColOffsetShiftsParents) {
+  CooMatrix coo(3, 2);
+  coo.add_edge(1, 0);
+  const DcscMatrix d = DcscMatrix::from_coo(coo);
+  SpVec<Vertex> x(2);
+  x.push_back(0, Vertex(0, 5));
+  Spa<Vertex> spa(3);
+  const auto y = spmv_dcsc(d, x, spa, Select2ndMinParent{}, nullptr, 100);
+  ASSERT_EQ(y.nnz(), 1);
+  EXPECT_EQ(y.value_at(0).parent, 100);  // block-local 0 + offset 100
+  EXPECT_EQ(y.value_at(0).root, 5);
+}
+
+TEST(SpmvDcsc, SpaReuseAcrossCalls) {
+  CooMatrix coo(4, 4);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 1);
+  const DcscMatrix d = DcscMatrix::from_coo(coo);
+  Spa<Vertex> spa(4);
+  SpVec<Vertex> x1(4);
+  x1.push_back(0, Vertex(0, 0));
+  const auto y1 = spmv_dcsc(d, x1, spa, Select2ndMinParent{});
+  ASSERT_EQ(y1.nnz(), 1);
+  SpVec<Vertex> x2(4);
+  x2.push_back(1, Vertex(1, 1));
+  const auto y2 = spmv_dcsc(d, x2, spa, Select2ndMinParent{});
+  ASSERT_EQ(y2.nnz(), 1);
+  EXPECT_EQ(y2.index_at(0), 1);  // no leakage from the first call
+}
+
+TEST(Spmv, CountingSemiringComputesDegrees) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  const CscMatrix at = a.transposed();
+  // Indicator over all rows -> column degrees.
+  SpVec<Index> ones(5);
+  for (Index i = 0; i < 5; ++i) ones.push_back(i, 1);
+  const SpVec<Index> deg = spmv(at, ones, PlusCount{});
+  ASSERT_EQ(deg.nnz(), 5);
+  EXPECT_EQ(deg.value_at(0), 2);  // column 0 has rows {0, 1}
+  EXPECT_EQ(deg.value_at(2), 1);  // column 2 has row {3}
+  EXPECT_EQ(deg.value_at(4), 2);  // column 4 has rows {2, 4}
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,77 @@
+#include "algebra/spvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/vertex.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(SpVec, DefaultIsEmptyZeroLength) {
+  SpVec<Index> x;
+  EXPECT_EQ(x.len(), 0);
+  EXPECT_EQ(x.nnz(), 0);
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(SpVec, PushBackMaintainsOrder) {
+  SpVec<Index> x(10);
+  x.push_back(1, 100);
+  x.push_back(4, 400);
+  x.push_back(9, 900);
+  EXPECT_EQ(x.nnz(), 3);
+  EXPECT_FALSE(x.empty());
+  EXPECT_EQ(x.index_at(0), 1);
+  EXPECT_EQ(x.value_at(1), 400);
+  EXPECT_EQ(x.index_at(2), 9);
+}
+
+TEST(SpVec, ClearKeepsLength) {
+  SpVec<Index> x(5);
+  x.push_back(0, 1);
+  x.clear();
+  EXPECT_EQ(x.len(), 5);
+  EXPECT_EQ(x.nnz(), 0);
+}
+
+TEST(SpVec, MutableValueAccess) {
+  SpVec<Vertex> x(3);
+  x.push_back(2, Vertex(1, 1));
+  x.value_at(0).parent = 7;
+  EXPECT_EQ(x.value_at(0), Vertex(7, 1));
+}
+
+TEST(SpVec, EqualityComparesLengthIndicesValues) {
+  SpVec<Index> a(4), b(4), c(5);
+  a.push_back(1, 10);
+  b.push_back(1, 10);
+  EXPECT_EQ(a, b);
+  b.value_at(0) = 11;
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SpVec, IndicesAndValuesViews) {
+  SpVec<Index> x(6);
+  x.push_back(0, 5);
+  x.push_back(3, 8);
+  EXPECT_EQ(x.indices(), (std::vector<Index>{0, 3}));
+  EXPECT_EQ(x.values(), (std::vector<Index>{5, 8}));
+}
+
+TEST(SpVec, ReserveDoesNotChangeContent) {
+  SpVec<Index> x(4);
+  x.reserve(100);
+  EXPECT_EQ(x.nnz(), 0);
+  x.push_back(2, 3);
+  EXPECT_EQ(x.nnz(), 1);
+}
+
+TEST(SpVec, FullDensityVector) {
+  SpVec<Index> x(3);
+  for (Index i = 0; i < 3; ++i) x.push_back(i, i * i);
+  EXPECT_EQ(x.nnz(), x.len());
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,155 @@
+#include "core/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/dist_primitives.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+/// Builds the distributed state for two disjoint augmenting paths on an
+/// 8x8 instance:
+///   path A (length 1): root c0 -> endpoint r0          (pi_r[0] = 0)
+///   path B (length 3): root c1 - r1 - c2 - r2          (pi_r[1]=1, pi_r[2]=2)
+/// with (r1, c2) initially matched.
+struct Fixture {
+  DistDenseVec<Index> path_c;
+  DistDenseVec<Index> pi_r;
+  DistDenseVec<Index> mate_r;
+  DistDenseVec<Index> mate_c;
+
+  explicit Fixture(SimContext& ctx)
+      : path_c(ctx, VSpace::Col, 8, kNull),
+        pi_r(ctx, VSpace::Row, 8, kNull),
+        mate_r(ctx, VSpace::Row, 8, kNull),
+        mate_c(ctx, VSpace::Col, 8, kNull) {
+    path_c.set(0, 0);  // path A: root c0, endpoint r0
+    path_c.set(1, 2);  // path B: root c1, endpoint r2
+    pi_r.set(0, 0);
+    pi_r.set(1, 1);
+    pi_r.set(2, 2);
+    mate_r.set(1, 2);  // (r1, c2) matched before augmentation
+    mate_c.set(2, 1);
+  }
+
+  void check_result(SimContext& /*ctx*/) const {
+    EXPECT_EQ(mate_r.at(0), 0);
+    EXPECT_EQ(mate_c.at(0), 0);
+    EXPECT_EQ(mate_r.at(2), 2);
+    EXPECT_EQ(mate_c.at(2), 2);
+    EXPECT_EQ(mate_r.at(1), 1);
+    EXPECT_EQ(mate_c.at(1), 1);
+    // path_c consumed.
+    for (Index j = 0; j < 8; ++j) EXPECT_EQ(path_c.at(j), kNull);
+  }
+};
+
+class AugmentGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(AugmentGrids, LevelParallelAugmentsBothPaths) {
+  SimContext ctx = make_ctx(GetParam());
+  Fixture f(ctx);
+  const AugmentResult r = dist_augment(ctx, AugmentMode::LevelParallel,
+                                       f.path_c, f.pi_r, f.mate_r, f.mate_c);
+  EXPECT_EQ(r.paths, 2);
+  EXPECT_FALSE(r.used_path_parallel);
+  EXPECT_EQ(r.steps, 2);  // longest path climbs two column levels
+  f.check_result(ctx);
+}
+
+TEST_P(AugmentGrids, PathParallelAugmentsBothPaths) {
+  SimContext ctx = make_ctx(GetParam());
+  Fixture f(ctx);
+  const AugmentResult r = dist_augment(ctx, AugmentMode::PathParallel,
+                                       f.path_c, f.pi_r, f.mate_r, f.mate_c);
+  EXPECT_EQ(r.paths, 2);
+  EXPECT_TRUE(r.used_path_parallel);
+  f.check_result(ctx);
+}
+
+TEST_P(AugmentGrids, BothKernelsProduceIdenticalMates) {
+  SimContext ctx1 = make_ctx(GetParam());
+  SimContext ctx2 = make_ctx(GetParam());
+  Fixture level(ctx1);
+  Fixture path(ctx2);
+  dist_augment(ctx1, AugmentMode::LevelParallel, level.path_c, level.pi_r,
+               level.mate_r, level.mate_c);
+  dist_augment(ctx2, AugmentMode::PathParallel, path.path_c, path.pi_r,
+               path.mate_r, path.mate_c);
+  EXPECT_EQ(level.mate_r.to_std(), path.mate_r.to_std());
+  EXPECT_EQ(level.mate_c.to_std(), path.mate_c.to_std());
+}
+
+TEST_P(AugmentGrids, EmptyPathSetIsNoOp) {
+  SimContext ctx = make_ctx(GetParam());
+  DistDenseVec<Index> path_c(ctx, VSpace::Col, 4, kNull);
+  DistDenseVec<Index> pi_r(ctx, VSpace::Row, 4, kNull);
+  DistDenseVec<Index> mate_r(ctx, VSpace::Row, 4, kNull);
+  DistDenseVec<Index> mate_c(ctx, VSpace::Col, 4, kNull);
+  const AugmentResult r =
+      dist_augment(ctx, AugmentMode::Auto, path_c, pi_r, mate_r, mate_c);
+  EXPECT_EQ(r.paths, 0);
+  EXPECT_EQ(mate_r.to_std(), std::vector<Index>(4, kNull));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, AugmentGrids, ::testing::Values(1, 4, 9),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Augment, SwitchRuleMatchesPaper) {
+  // Path-parallel iff k < 2 p^2 (paper §IV-B).
+  EXPECT_TRUE(path_parallel_wins(1, 4));
+  EXPECT_TRUE(path_parallel_wins(31, 4));
+  EXPECT_FALSE(path_parallel_wins(32, 4));  // 2 * 4^2 = 32
+  EXPECT_FALSE(path_parallel_wins(1000, 4));
+  EXPECT_TRUE(path_parallel_wins(1000, 32));  // 2 * 32^2 = 2048
+}
+
+TEST(Augment, AutoSelectsPathParallelForFewPaths) {
+  SimContext ctx = make_ctx(9);
+  Fixture f(ctx);
+  const AugmentResult r = dist_augment(ctx, AugmentMode::Auto, f.path_c,
+                                       f.pi_r, f.mate_r, f.mate_c);
+  EXPECT_TRUE(r.used_path_parallel);  // k = 2 < 2 * 81
+}
+
+TEST(Augment, ChargesAugmentCategory) {
+  SimContext ctx = make_ctx(4);
+  Fixture f(ctx);
+  dist_augment(ctx, AugmentMode::LevelParallel, f.path_c, f.pi_r, f.mate_r,
+               f.mate_c);
+  EXPECT_GT(ctx.ledger().time_us(Cost::Augment), 0);
+}
+
+TEST(Augment, PathParallelCostsThreeRmaOpsPerStep) {
+  SimContext baseline_ctx = make_ctx(4);
+  // Baseline: the k-counting allreduce alone (empty path set).
+  {
+    DistDenseVec<Index> path_c(baseline_ctx, VSpace::Col, 8, kNull);
+    DistDenseVec<Index> pi_r(baseline_ctx, VSpace::Row, 8, kNull);
+    DistDenseVec<Index> mate_r(baseline_ctx, VSpace::Row, 8, kNull);
+    DistDenseVec<Index> mate_c(baseline_ctx, VSpace::Col, 8, kNull);
+    dist_augment(baseline_ctx, AugmentMode::PathParallel, path_c, pi_r, mate_r,
+                 mate_c);
+  }
+  SimContext ctx = make_ctx(4);
+  Fixture f(ctx);
+  dist_augment(ctx, AugmentMode::PathParallel, f.path_c, f.pi_r, f.mate_r,
+               f.mate_c);
+  // Path A: 1 step, path B: 2 steps -> 3 matched pairs, 3 RMA ops each = 9
+  // one-sided messages beyond the fixed allreduce overhead.
+  EXPECT_EQ(ctx.ledger().messages(Cost::Augment)
+                - baseline_ctx.ledger().messages(Cost::Augment),
+            9u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,95 @@
+/// Differential ("army") test: every maximum-matching implementation in the
+/// library — sequential and distributed — must agree on the cardinality of
+/// random instances, and the winner must carry a König certificate. This is
+/// the broadest single consistency check in the suite and the first place a
+/// cross-algorithm regression shows up.
+
+#include <gtest/gtest.h>
+
+#include "core/dist_maximal.hpp"
+#include "core/dist_push_relabel.hpp"
+#include "core/driver.hpp"
+#include "core/mcm_dist.hpp"
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/msbfs_graft.hpp"
+#include "matching/msbfs_seq.hpp"
+#include "matching/pothen_fan.hpp"
+#include "matching/push_relabel.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+class DifferentialRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialRandom, AllSolversAgreeOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Random shape and density per trial, including rectangular extremes.
+  const Index n_rows = 10 + static_cast<Index>(rng.next_below(120));
+  const Index n_cols = 10 + static_cast<Index>(rng.next_below(120));
+  const Index max_edges = n_rows * n_cols;
+  const Index edges =
+      1 + static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(
+              std::min<Index>(max_edges, 6 * (n_rows + n_cols)))));
+  const CooMatrix coo = er_bipartite_m(n_rows, n_cols, edges, rng);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const CscMatrix at = a.transposed();
+
+  const Matching reference = hopcroft_karp(a);
+  const Index optimum = reference.cardinality();
+  ASSERT_TRUE(verify_maximum(a, reference)) << "oracle failed";
+
+  const Matching empty(n_rows, n_cols);
+  EXPECT_EQ(pothen_fan(a).cardinality(), optimum) << "pothen-fan";
+  EXPECT_EQ(msbfs_maximum(a, empty).cardinality(), optimum) << "ms-bfs";
+  EXPECT_EQ(msbfs_graft_maximum(a, at, empty).cardinality(), optimum)
+      << "ms-bfs-graft";
+  EXPECT_EQ(push_relabel_maximum(a, at, empty).cardinality(), optimum)
+      << "push-relabel";
+
+  SimContext ctx_mcm = make_ctx(4);
+  const DistMatrix dist = DistMatrix::distribute(ctx_mcm, coo);
+  EXPECT_EQ(mcm_dist(ctx_mcm, dist, empty).cardinality(), optimum)
+      << "mcm-dist";
+
+  SimContext ctx_pr = make_ctx(4);
+  EXPECT_EQ(dist_push_relabel(ctx_pr, a).cardinality(), optimum)
+      << "dist push-relabel";
+}
+
+TEST_P(DifferentialRandom, AllSolversAgreeOnSkewedInstances) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  RmatParams params = RmatParams::g500(7);
+  params.edge_factor = 3.0 + rng.next_double() * 6.0;
+  const CooMatrix coo = rmat(params, rng);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const CscMatrix at = a.transposed();
+  const Index optimum = maximum_matching_size(a);
+
+  const Matching empty(a.n_rows(), a.n_cols());
+  EXPECT_EQ(pothen_fan(a).cardinality(), optimum);
+  EXPECT_EQ(msbfs_maximum(a, empty).cardinality(), optimum);
+  EXPECT_EQ(msbfs_graft_maximum(a, at, empty).cardinality(), optimum);
+  EXPECT_EQ(push_relabel_maximum(a, at, empty).cardinality(), optimum);
+  const PipelineResult pipeline = run_pipeline(
+      SimConfig::auto_config(16, 1), coo);
+  EXPECT_EQ(pipeline.matching.cardinality(), optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandom, ::testing::Range(1, 21),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mcm

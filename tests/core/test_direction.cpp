@@ -1,0 +1,106 @@
+#include "core/mcm_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/dist_maximal.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+class DirectionOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(DirectionOnCorpus, BottomUpProducesIdenticalMatching) {
+  // Bottom-up realizes exactly the minParent semiring, so the *matching*
+  // (not just its cardinality) must equal the top-down run's.
+  for (const int p : {1, 4, 9}) {
+    SimContext ctx_td = make_ctx(p);
+    SimContext ctx_bu = make_ctx(p);
+    const DistMatrix dist_td = DistMatrix::distribute(ctx_td, GetParam().coo);
+    const DistMatrix dist_bu = DistMatrix::distribute(ctx_bu, GetParam().coo);
+    const Matching empty(GetParam().coo.n_rows, GetParam().coo.n_cols);
+    McmDistOptions top_down;
+    top_down.direction = Direction::TopDown;
+    McmDistOptions bottom_up;
+    bottom_up.direction = Direction::BottomUp;
+    EXPECT_EQ(mcm_dist(ctx_bu, dist_bu, empty, bottom_up),
+              mcm_dist(ctx_td, dist_td, empty, top_down))
+        << GetParam().name << " p=" << p;
+  }
+}
+
+TEST_P(DirectionOnCorpus, OptimizingReachesOptimum) {
+  SimContext ctx = make_ctx(9);
+  const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  McmDistOptions options;
+  options.direction = Direction::Optimizing;
+  McmDistStats stats;
+  const Matching m =
+      mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), options, &stats);
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_LE(stats.bottom_up_iterations, stats.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DirectionOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(Direction, BottomUpWithOtherSemiringThrows) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  McmDistOptions options;
+  options.direction = Direction::BottomUp;
+  options.semiring = SemiringKind::RandRoot;
+  EXPECT_THROW((void)mcm_dist(ctx, dist, Matching(2, 2), options),
+               std::invalid_argument);
+}
+
+TEST(Direction, OptimizingFallsBackForOtherSemirings) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(3);
+  const CooMatrix coo = er_bipartite_m(40, 40, 200, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  McmDistOptions options;
+  options.direction = Direction::Optimizing;
+  options.semiring = SemiringKind::RandRoot;
+  McmDistStats stats;
+  const Matching m = mcm_dist(ctx, dist, Matching(40, 40), options, &stats);
+  EXPECT_EQ(stats.bottom_up_iterations, 0);  // silently top-down
+  EXPECT_EQ(m.cardinality(),
+            maximum_matching_size(CscMatrix::from_coo(coo)));
+}
+
+TEST(Direction, OptimizingUsesBottomUpOnDenseFrontiers) {
+  // A fully unmatched start makes the first frontier all of C, which the
+  // heuristic must route bottom-up.
+  SimContext ctx = make_ctx(4);
+  Rng rng(5);
+  const CooMatrix coo = er_bipartite_m(60, 60, 600, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  McmDistOptions options;
+  options.direction = Direction::Optimizing;
+  McmDistStats stats;
+  (void)mcm_dist(ctx, dist, Matching(60, 60), options, &stats);
+  EXPECT_GT(stats.bottom_up_iterations, 0);
+}
+
+}  // namespace
+}  // namespace mcm

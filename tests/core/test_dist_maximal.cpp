@@ -1,0 +1,127 @@
+#include "core/dist_maximal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+struct Case {
+  NamedGraph graph;
+  int processes;
+  MaximalKind kind;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& graph : small_corpus()) {
+    for (const int p : {1, 4, 9}) {
+      for (const MaximalKind kind :
+           {MaximalKind::Greedy, MaximalKind::KarpSipser,
+            MaximalKind::DynMindegree}) {
+        cases.push_back({graph, p, kind});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string kind = maximal_kind_name(info.param.kind);
+  for (char& c : kind) {
+    if (c == '-') c = '_';
+  }
+  return info.param.graph.name + "_p" + std::to_string(info.param.processes)
+         + "_" + kind;
+}
+
+class DistMaximalCases : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistMaximalCases, ProducesValidMaximalMatching) {
+  const Case& c = GetParam();
+  SimContext ctx = make_ctx(c.processes);
+  const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+  DistMaximalStats stats;
+  const Matching m = dist_maximal_matching(ctx, dist, c.kind, &stats);
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  const VerifyResult r = verify_maximal(a, m);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_EQ(stats.cardinality, m.cardinality());
+  EXPECT_GE(stats.rounds, 1);
+  // Half-approximation of any maximal matching.
+  EXPECT_GE(2 * m.cardinality(), maximum_matching_size(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistMaximalCases,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+TEST(DistMaximal, NoneReturnsEmptyMatching) {
+  SimContext ctx = make_ctx(4);
+  const auto graphs = small_corpus();
+  const DistMatrix dist = DistMatrix::distribute(ctx, graphs[3].coo);
+  DistMaximalStats stats;
+  const Matching m =
+      dist_maximal_matching(ctx, dist, MaximalKind::None, &stats);
+  EXPECT_EQ(m.cardinality(), 0);
+  EXPECT_EQ(stats.rounds, 0);
+}
+
+TEST(DistMaximal, ResultIndependentOfGridSize) {
+  // The algorithms are deterministic given the matrix, so every grid size
+  // must produce the identical matching (data distribution must not leak
+  // into the result).
+  const auto graphs = small_corpus();
+  for (const MaximalKind kind :
+       {MaximalKind::Greedy, MaximalKind::KarpSipser,
+        MaximalKind::DynMindegree}) {
+    SimContext ctx1 = make_ctx(1);
+    SimContext ctx2 = make_ctx(16);
+    const Matching m1 = dist_maximal_matching(
+        ctx1, DistMatrix::distribute(ctx1, graphs[4].coo), kind);
+    const Matching m2 = dist_maximal_matching(
+        ctx2, DistMatrix::distribute(ctx2, graphs[4].coo), kind);
+    EXPECT_EQ(m1, m2) << maximal_kind_name(kind);
+  }
+}
+
+TEST(DistMaximal, KarpSipserChargesMoreThanGreedy) {
+  // KS pays an extra degree-maintenance SpMV every round — the effect the
+  // paper's Fig. 3 builds on.
+  const auto graphs = small_corpus();
+  const CooMatrix& coo = graphs[8].coo;  // rmat instance
+  SimContext ctx_greedy = make_ctx(16);
+  SimContext ctx_ks = make_ctx(16);
+  (void)dist_maximal_matching(ctx_greedy,
+                              DistMatrix::distribute(ctx_greedy, coo),
+                              MaximalKind::Greedy);
+  (void)dist_maximal_matching(ctx_ks, DistMatrix::distribute(ctx_ks, coo),
+                        MaximalKind::KarpSipser);
+  EXPECT_GT(ctx_ks.ledger().time_us(Cost::MaximalInit),
+            ctx_greedy.ledger().time_us(Cost::MaximalInit));
+}
+
+TEST(DistMaximal, AllChargesLandInMaximalInit) {
+  SimContext ctx = make_ctx(9);
+  const auto graphs = small_corpus();
+  const DistMatrix dist = DistMatrix::distribute(ctx, graphs[3].coo);
+  (void)dist_maximal_matching(ctx, dist, MaximalKind::DynMindegree);
+  EXPECT_GT(ctx.ledger().time_us(Cost::MaximalInit), 0);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::SpMV), 0);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Invert), 0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,106 @@
+#include "core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimConfig config_for(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return config;
+}
+
+class DriverOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(DriverOnCorpus, PipelineProducesMaximumInOriginalLabels) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const PipelineResult result =
+      run_pipeline(config_for(9), GetParam().coo);
+  // Verified against the *unpermuted* matrix: proves the permutation was
+  // correctly undone.
+  const VerifyResult r = verify_maximum(a, result.matching);
+  EXPECT_TRUE(r) << r.reason;
+}
+
+TEST_P(DriverOnCorpus, PermutationDoesNotChangeCardinality) {
+  PipelineOptions with;
+  with.random_permute = true;
+  PipelineOptions without;
+  without.random_permute = false;
+  const auto r1 = run_pipeline(config_for(4), GetParam().coo, with);
+  const auto r2 = run_pipeline(config_for(4), GetParam().coo, without);
+  EXPECT_EQ(r1.matching.cardinality(), r2.matching.cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DriverOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(Driver, TimingsSplitInitAndMcm) {
+  const auto graphs = small_corpus();
+  const PipelineResult result = run_pipeline(config_for(16), graphs[3].coo);
+  EXPECT_GT(result.init_seconds, 0);
+  EXPECT_GT(result.mcm_seconds, 0);
+  EXPECT_NEAR(result.total_seconds(),
+              result.init_seconds + result.mcm_seconds, 1e-12);
+  EXPECT_GT(result.ledger.time_us(Cost::MaximalInit), 0);
+  EXPECT_GT(result.ledger.time_us(Cost::SpMV), 0);
+}
+
+TEST(Driver, InitializerNoneStartsCold) {
+  const auto graphs = small_corpus();
+  PipelineOptions options;
+  options.initializer = MaximalKind::None;
+  const PipelineResult result =
+      run_pipeline(config_for(4), graphs[3].coo, options);
+  EXPECT_EQ(result.init_stats.cardinality, 0);
+  const CscMatrix a = CscMatrix::from_coo(graphs[3].coo);
+  EXPECT_EQ(result.matching.cardinality(), maximum_matching_size(a));
+}
+
+TEST(Driver, MoreCoresReduceSimulatedTimeOnLargeInstance) {
+  // Strong-scaling sanity: the Fig. 4 shape at two points. The instance must
+  // be compute-bound for scaling to show (the paper observes the same:
+  // "smaller matrices do not scale"), so use ~1M edges.
+  Rng rng(5);
+  const CooMatrix big = er_bipartite_m(40000, 40000, 1'000'000, rng);
+  const auto slow = run_pipeline(SimConfig::auto_config(24, 12), big);
+  const auto fast = run_pipeline(SimConfig::auto_config(96, 12), big);
+  EXPECT_LT(fast.total_seconds(), slow.total_seconds());
+  EXPECT_EQ(fast.matching.cardinality(), slow.matching.cardinality());
+}
+
+TEST(Driver, TinyInstanceStopsScaling) {
+  // The complementary shape: on a small matrix, a very large grid is
+  // latency-bound and *slower* than a small one (paper §VI-B, "MCM-DIST
+  // stops scaling on relatively small core counts for smaller matrices").
+  Rng rng(6);
+  const CooMatrix tiny = er_bipartite_m(500, 500, 3000, rng);
+  const auto small_grid = run_pipeline(SimConfig::auto_config(24, 12), tiny);
+  const auto huge_grid = run_pipeline(SimConfig::auto_config(6144, 12), tiny);
+  EXPECT_GT(huge_grid.total_seconds(), small_grid.total_seconds());
+}
+
+TEST(Driver, SeedChangesPermutationNotResult) {
+  const auto graphs = small_corpus();
+  PipelineOptions a, b;
+  a.permute_seed = 1;
+  b.permute_seed = 2;
+  const auto r1 = run_pipeline(config_for(4), graphs[5].coo, a);
+  const auto r2 = run_pipeline(config_for(4), graphs[5].coo, b);
+  EXPECT_EQ(r1.matching.cardinality(), r2.matching.cardinality());
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,220 @@
+#include "core/mcm_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/dist_maximal.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/msbfs_seq.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+struct Case {
+  NamedGraph graph;
+  int processes;
+};
+
+std::vector<Case> grid_cases() {
+  std::vector<Case> cases;
+  for (const auto& graph : small_corpus()) {
+    for (const int p : {1, 4, 9, 16}) cases.push_back({graph, p});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.graph.name + "_p" + std::to_string(info.param.processes);
+}
+
+class McmDistCases : public ::testing::TestWithParam<Case> {};
+
+TEST_P(McmDistCases, ColdStartIsCertifiedMaximum) {
+  const Case& c = GetParam();
+  SimContext ctx = make_ctx(c.processes);
+  const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  McmDistStats stats;
+  const Matching m =
+      mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), {}, &stats);
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_EQ(stats.final_cardinality, m.cardinality());
+}
+
+TEST_P(McmDistCases, WarmStartFromEveryDistInitializer) {
+  const Case& c = GetParam();
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  const Index optimum = maximum_matching_size(a);
+  for (const MaximalKind kind :
+       {MaximalKind::Greedy, MaximalKind::KarpSipser,
+        MaximalKind::DynMindegree}) {
+    SimContext ctx = make_ctx(c.processes);
+    const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+    const Matching init = dist_maximal_matching(ctx, dist, kind);
+    const Matching m = mcm_dist(ctx, dist, init);
+    EXPECT_EQ(m.cardinality(), optimum)
+        << c.graph.name << " with " << maximal_kind_name(kind);
+    EXPECT_TRUE(verify_valid(a, m));
+  }
+}
+
+TEST_P(McmDistCases, MatchesSequentialMsBfsExactly) {
+  // Same semiring, same keep-first rules: the distributed run must produce
+  // the *identical* matching as the sequential reference, for every grid.
+  const Case& c = GetParam();
+  SimContext ctx = make_ctx(c.processes);
+  const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  McmDistOptions options;
+  options.augment = AugmentMode::LevelParallel;
+  const Matching distributed =
+      mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), options);
+  const Matching sequential =
+      msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()));
+  EXPECT_EQ(distributed, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, McmDistCases,
+                         ::testing::ValuesIn(grid_cases()), case_name);
+
+class McmDistOptionsSweep : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(McmDistOptionsSweep, AllSemiringsReachOptimum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Index optimum = maximum_matching_size(a);
+  for (const SemiringKind kind :
+       {SemiringKind::MinParent, SemiringKind::MaxParent,
+        SemiringKind::RandParent, SemiringKind::RandRoot}) {
+    SimContext ctx = make_ctx(9);
+    const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+    McmDistOptions options;
+    options.semiring = kind;
+    options.seed = 2024;
+    const Matching m =
+        mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), options);
+    EXPECT_EQ(m.cardinality(), optimum);
+  }
+}
+
+TEST_P(McmDistOptionsSweep, BothAugmentKernelsReachOptimum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Index optimum = maximum_matching_size(a);
+  for (const AugmentMode mode :
+       {AugmentMode::LevelParallel, AugmentMode::PathParallel,
+        AugmentMode::Auto}) {
+    SimContext ctx = make_ctx(4);
+    const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+    McmDistOptions options;
+    options.augment = mode;
+    const Matching m =
+        mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), options);
+    EXPECT_EQ(m.cardinality(), optimum);
+    EXPECT_TRUE(verify_valid(a, m));
+  }
+}
+
+TEST_P(McmDistOptionsSweep, PruneOnOffSameCardinality) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  Index cards[2];
+  double prune_time[2];
+  int i = 0;
+  for (const bool prune : {true, false}) {
+    SimContext ctx = make_ctx(9);
+    const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+    McmDistOptions options;
+    options.enable_prune = prune;
+    cards[i] = mcm_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), options)
+                   .cardinality();
+    prune_time[i] = ctx.ledger().time_us(Cost::Prune);
+    ++i;
+  }
+  EXPECT_EQ(cards[0], cards[1]);
+  EXPECT_DOUBLE_EQ(prune_time[1], 0.0);  // prune disabled charges nothing
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, McmDistOptionsSweep, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+class McmDistMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(McmDistMedium, FullPipelineOnMediumInstances) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  SimContext ctx = make_ctx(16);
+  const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+  const Matching init =
+      dist_maximal_matching(ctx, dist, MaximalKind::DynMindegree);
+  McmDistStats stats;
+  const Matching m = mcm_dist(ctx, dist, init, {}, &stats);
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_EQ(stats.initial_cardinality, init.cardinality());
+  EXPECT_EQ(stats.augmentations,
+            stats.final_cardinality - stats.initial_cardinality);
+  if (unmatched_cols(init) > 0) {
+    // At least one BFS phase ran, so SpMV time must have been charged. (When
+    // the initializer already matched every column, MCM exits before any
+    // SpMV — e.g. tall rectangular instances whose columns all match.)
+    EXPECT_GT(ctx.ledger().time_us(Cost::SpMV), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, McmDistMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(McmDist, MismatchedInitialThrows) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(3, 3);
+  coo.add_edge(0, 0);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  EXPECT_THROW(mcm_dist(ctx, dist, Matching(2, 2)), std::invalid_argument);
+}
+
+TEST(McmDist, AlreadyMaximumInputNeedsNoAugmentation) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 1);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  Matching perfect(2, 2);
+  perfect.match(0, 0);
+  perfect.match(1, 1);
+  McmDistStats stats;
+  const Matching m = mcm_dist(ctx, dist, perfect, {}, &stats);
+  EXPECT_EQ(m, perfect);
+  EXPECT_EQ(stats.phases, 0);
+  EXPECT_EQ(stats.augmentations, 0);
+}
+
+TEST(McmDist, StatsTrackAugmentKernelChoice) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(1);
+  const CooMatrix coo = er_bipartite_m(60, 60, 200, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  McmDistOptions options;
+  options.augment = AugmentMode::PathParallel;
+  McmDistStats stats;
+  (void)mcm_dist(ctx, dist, Matching(60, 60), options, &stats);
+  EXPECT_EQ(stats.level_parallel_phases, 0);
+  EXPECT_EQ(stats.path_parallel_phases, stats.phases);
+}
+
+}  // namespace
+}  // namespace mcm

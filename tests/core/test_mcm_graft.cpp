@@ -1,0 +1,147 @@
+#include "core/mcm_graft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "core/dist_maximal.hpp"
+#include "core/mcm_dist.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+struct Case {
+  NamedGraph graph;
+  int processes;
+};
+
+std::vector<Case> grid_cases() {
+  std::vector<Case> cases;
+  for (const auto& graph : small_corpus()) {
+    for (const int p : {1, 4, 9, 16}) cases.push_back({graph, p});
+  }
+  return cases;
+}
+
+class McmGraftCases : public ::testing::TestWithParam<Case> {};
+
+TEST_P(McmGraftCases, ColdStartIsCertifiedMaximum) {
+  const Case& c = GetParam();
+  SimContext ctx = make_ctx(c.processes);
+  const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  McmGraftStats stats;
+  const Matching m =
+      mcm_graft_dist(ctx, dist, Matching(a.n_rows(), a.n_cols()), {}, &stats);
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_EQ(stats.final_cardinality, m.cardinality());
+  EXPECT_EQ(stats.augmentations, m.cardinality());
+}
+
+TEST_P(McmGraftCases, WarmStartReachesOptimum) {
+  const Case& c = GetParam();
+  SimContext ctx = make_ctx(c.processes);
+  const DistMatrix dist = DistMatrix::distribute(ctx, c.graph.coo);
+  const CscMatrix a = CscMatrix::from_coo(c.graph.coo);
+  const Matching init =
+      dist_maximal_matching(ctx, dist, MaximalKind::DynMindegree);
+  const Matching m = mcm_graft_dist(ctx, dist, init);
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_TRUE(verify_valid(a, m));
+}
+
+TEST_P(McmGraftCases, AgreesWithMcmDistCardinality) {
+  const Case& c = GetParam();
+  SimContext ctx1 = make_ctx(c.processes);
+  SimContext ctx2 = make_ctx(c.processes);
+  const DistMatrix d1 = DistMatrix::distribute(ctx1, c.graph.coo);
+  const DistMatrix d2 = DistMatrix::distribute(ctx2, c.graph.coo);
+  const Matching empty(c.graph.coo.n_rows, c.graph.coo.n_cols);
+  EXPECT_EQ(mcm_graft_dist(ctx1, d1, empty).cardinality(),
+            mcm_dist(ctx2, d2, empty).cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, McmGraftCases,
+                         ::testing::ValuesIn(grid_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.graph.name + "_p"
+                                  + std::to_string(info.param.processes);
+                         });
+
+class McmGraftMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(McmGraftMedium, OptimalOnMediumInstances) {
+  SimContext ctx = make_ctx(16);
+  const DistMatrix dist = DistMatrix::distribute(ctx, GetParam().coo);
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching init =
+      dist_maximal_matching(ctx, dist, MaximalKind::DynMindegree);
+  McmGraftStats stats;
+  const Matching m = mcm_graft_dist(ctx, dist, init, {}, &stats);
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_EQ(stats.augmentations,
+            stats.final_cardinality - stats.initial_cardinality);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, McmGraftMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(McmGraft, GraftingEngagesOnWarmStartChain) {
+  // The warm-start chain from the sequential grafting test: few trees die
+  // per phase, so grafting (not rebuilding) must carry the forest across.
+  const Index n = 400;
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.add_edge(i, i);
+  for (Index i = 0; i + 1 < n; ++i) coo.add_edge(i, i + 1);
+  Matching init(n, n);
+  init.match(0, 0);
+  for (Index i = 4; i + 1 < n; ++i) init.match(i, i + 1);
+  SimContext ctx = make_ctx(4);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  McmGraftStats stats;
+  const Matching m = mcm_graft_dist(ctx, dist, init, {}, &stats);
+  EXPECT_EQ(m.cardinality(), n);
+  EXPECT_GE(stats.phases, 1);
+}
+
+TEST(McmGraft, MismatchedInitialThrows) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(3, 3);
+  coo.add_edge(0, 0);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  EXPECT_THROW((void)mcm_graft_dist(ctx, dist, Matching(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(McmGraft, AlreadyMaximumInputNoPhases) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 1);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  Matching perfect(2, 2);
+  perfect.match(0, 0);
+  perfect.match(1, 1);
+  McmGraftStats stats;
+  EXPECT_EQ(mcm_graft_dist(ctx, dist, perfect, {}, &stats), perfect);
+  EXPECT_EQ(stats.phases, 0);
+}
+
+}  // namespace
+}  // namespace mcm

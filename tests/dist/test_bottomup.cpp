@@ -1,0 +1,120 @@
+#include "dist/dist_bottomup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "algebra/semiring.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+#include "gen/er.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+/// Reference: top-down SpMV over minParent followed by the keep-unvisited
+/// SELECT — the exact pipeline position the bottom-up step replaces.
+DistSpVec<Vertex> top_down_reference(SimContext& ctx, const DistMatrix& a,
+                                     const DistSpVec<Vertex>& f_c,
+                                     const DistDenseVec<Index>& pi_r) {
+  DistSpVec<Vertex> f_r =
+      dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, Select2ndMinParent{});
+  return dist_select(ctx, Cost::Other, f_r, pi_r,
+                     [](Index parent) { return parent == kNull; });
+}
+
+class BottomUpGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(BottomUpGrids, MatchesTopDownExactly) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CooMatrix coo = er_bipartite_m(50, 42, 320, rng);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+
+    // Random frontier with (parent=self, random root) and random visited set.
+    SpVec<Vertex> frontier(42);
+    for (Index j = 0; j < 42; ++j) {
+      if (rng.next_bool(0.5)) {
+        frontier.push_back(j, Vertex(j, static_cast<Index>(rng.next_below(42))));
+      }
+    }
+    DistSpVec<Vertex> f_c(ctx, VSpace::Col, 42);
+    f_c.from_global(frontier);
+    DistDenseVec<Index> pi_r(ctx, VSpace::Row, 50, kNull);
+    for (Index i = 0; i < 50; ++i) {
+      if (rng.next_bool(0.3)) pi_r.set(i, i);  // arbitrary visited marks
+    }
+
+    const DistSpVec<Vertex> expected = top_down_reference(ctx, dist, f_c, pi_r);
+    const DistSpVec<Vertex> got =
+        dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, pi_r);
+    EXPECT_EQ(got.to_global(), expected.to_global()) << "trial " << trial;
+  }
+}
+
+TEST_P(BottomUpGrids, EmptyFrontierFindsNothing) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(9);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(20, 20, 80, rng));
+  DistSpVec<Vertex> f_c(ctx, VSpace::Col, 20);
+  DistDenseVec<Index> pi_r(ctx, VSpace::Row, 20, kNull);
+  EXPECT_EQ(dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, pi_r)
+                .nnz_unaccounted(),
+            0);
+}
+
+TEST_P(BottomUpGrids, AllVisitedFindsNothing) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(11);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(20, 20, 120, rng));
+  SpVec<Vertex> frontier(20);
+  for (Index j = 0; j < 20; ++j) frontier.push_back(j, Vertex(j, j));
+  DistSpVec<Vertex> f_c(ctx, VSpace::Col, 20);
+  f_c.from_global(frontier);
+  DistDenseVec<Index> pi_r(ctx, VSpace::Row, 20, Index{0});  // all visited
+  EXPECT_EQ(dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, pi_r)
+                .nnz_unaccounted(),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BottomUpGrids, ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(BottomUp, MisalignedOperandsThrow) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(13);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(10, 12, 40, rng));
+  DistSpVec<Vertex> wrong_space(ctx, VSpace::Row, 12);
+  DistDenseVec<Index> pi(ctx, VSpace::Row, 10, kNull);
+  EXPECT_THROW(
+      (void)dist_bottom_up_step(ctx, Cost::SpMV, dist, wrong_space, pi),
+      std::invalid_argument);
+  DistSpVec<Vertex> f_c(ctx, VSpace::Col, 12);
+  DistDenseVec<Index> wrong_pi(ctx, VSpace::Col, 12, kNull);
+  EXPECT_THROW(
+      (void)dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, wrong_pi),
+      std::invalid_argument);
+}
+
+TEST(BottomUp, HeuristicSwitchesOnDenseFrontiers) {
+  EXPECT_TRUE(bottom_up_beneficial(100, 100));
+  EXPECT_TRUE(bottom_up_beneficial(13, 100));
+  EXPECT_FALSE(bottom_up_beneficial(12, 100));
+  EXPECT_FALSE(bottom_up_beneficial(0, 100));
+}
+
+}  // namespace
+}  // namespace mcm

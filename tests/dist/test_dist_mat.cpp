@@ -1,0 +1,107 @@
+#include "dist/dist_mat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "gen/er.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+class DistMatGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistMatGrids, BlocksReassembleToOriginal) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(5);
+  CooMatrix original = er_bipartite_m(43, 37, 250, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, original);
+  EXPECT_EQ(dist.nnz(), original.nnz());
+  EXPECT_EQ(dist.n_rows(), 43);
+  EXPECT_EQ(dist.n_cols(), 37);
+
+  CooMatrix reassembled(43, 37);
+  for (int i = 0; i < ctx.grid().pr(); ++i) {
+    for (int j = 0; j < ctx.grid().pc(); ++j) {
+      const CooMatrix blk = dist.block(i, j).to_coo();
+      for (std::size_t k = 0; k < blk.rows.size(); ++k) {
+        reassembled.add_edge(blk.rows[k] + dist.row_dist().offset(i),
+                             blk.cols[k] + dist.col_dist().offset(j));
+      }
+    }
+  }
+  reassembled.sort_dedup();
+  original.sort_dedup();
+  EXPECT_EQ(reassembled.rows, original.rows);
+  EXPECT_EQ(reassembled.cols, original.cols);
+}
+
+TEST_P(DistMatGrids, TransposedBlocksMatchBlocks) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(6);
+  const CooMatrix original = er_bipartite_m(30, 50, 200, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, original);
+  for (int i = 0; i < ctx.grid().pr(); ++i) {
+    for (int j = 0; j < ctx.grid().pc(); ++j) {
+      CooMatrix blk = dist.block(i, j).to_coo();
+      CooMatrix blk_t = dist.block_t(i, j).to_coo().transposed();
+      blk.sort_dedup();
+      blk_t.sort_dedup();
+      EXPECT_EQ(blk.rows, blk_t.rows) << "block (" << i << "," << j << ")";
+      EXPECT_EQ(blk.cols, blk_t.cols);
+    }
+  }
+}
+
+TEST_P(DistMatGrids, BlockDimensionsMatchDistribution) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(7);
+  const CooMatrix original = er_bipartite_m(29, 31, 100, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, original);
+  for (int i = 0; i < ctx.grid().pr(); ++i) {
+    for (int j = 0; j < ctx.grid().pc(); ++j) {
+      EXPECT_EQ(dist.block(i, j).n_rows(), dist.row_dist().size(i));
+      EXPECT_EQ(dist.block(i, j).n_cols(), dist.col_dist().size(j));
+      EXPECT_EQ(dist.block_t(i, j).n_rows(), dist.col_dist().size(j));
+      EXPECT_EQ(dist.block_t(i, j).n_cols(), dist.row_dist().size(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistMatGrids, ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(DistMat, MaxBlockNnzBoundsTotal) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(8);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(40, 40, 400, rng));
+  EXPECT_GE(dist.max_block_nnz() * 4, dist.nnz());
+  EXPECT_LE(dist.max_block_nnz(), dist.nnz());
+}
+
+TEST(DistMat, InvalidMatrixRejected) {
+  SimContext ctx = make_ctx(1);
+  CooMatrix bad(2, 2);
+  bad.add_edge(5, 0);
+  EXPECT_THROW(DistMatrix::distribute(ctx, bad), std::out_of_range);
+}
+
+TEST(DistMat, EmptyMatrixDistributes) {
+  SimContext ctx = make_ctx(9);
+  const DistMatrix dist = DistMatrix::distribute(ctx, CooMatrix(5, 5));
+  EXPECT_EQ(dist.nnz(), 0);
+  EXPECT_EQ(dist.max_block_nnz(), 0);
+}
+
+}  // namespace
+}  // namespace mcm

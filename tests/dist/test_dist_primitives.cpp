@@ -1,0 +1,259 @@
+#include "dist/dist_primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/vertex.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+SpVec<Index> random_sparse(Index len, double density, Rng& rng) {
+  SpVec<Index> x(len);
+  for (Index i = 0; i < len; ++i) {
+    if (rng.next_bool(density)) {
+      x.push_back(i, static_cast<Index>(rng.next_below(
+                         static_cast<std::uint64_t>(len))));
+    }
+  }
+  return x;
+}
+
+std::vector<Index> random_dense(Index len, Rng& rng) {
+  std::vector<Index> y(static_cast<std::size_t>(len));
+  for (auto& v : y) {
+    v = rng.next_bool(0.5) ? kNull
+                           : static_cast<Index>(rng.next_below(100));
+  }
+  return y;
+}
+
+class DistPrimGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistPrimGrids, SelectMatchesSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(1);
+  const Index n = 57;
+  const SpVec<Index> x = random_sparse(n, 0.4, rng);
+  const std::vector<Index> y = random_dense(n, rng);
+
+  DistSpVec<Index> dx(ctx, VSpace::Row, n);
+  dx.from_global(x);
+  DistDenseVec<Index> dy(ctx, VSpace::Row, n, kNull);
+  dy.from_std(y);
+
+  const auto pred = [](Index v) { return v == kNull; };
+  const SpVec<Index> expected = select(x, y, pred);
+  const DistSpVec<Index> got =
+      dist_select(ctx, Cost::Other, dx, dy, pred);
+  EXPECT_EQ(got.to_global(), expected);
+}
+
+TEST_P(DistPrimGrids, SetDenseMatchesSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(2);
+  const Index n = 41;
+  const SpVec<Index> x = random_sparse(n, 0.3, rng);
+  std::vector<Index> y = random_dense(n, rng);
+
+  DistSpVec<Index> dx(ctx, VSpace::Col, n);
+  dx.from_global(x);
+  DistDenseVec<Index> dy(ctx, VSpace::Col, n, kNull);
+  dy.from_std(y);
+
+  dist_set_dense(ctx, Cost::Other, dy, dx, [](Index v) { return v + 1; });
+  set_dense(y, x, [](Index v) { return v + 1; });
+  EXPECT_EQ(dy.to_std(), y);
+}
+
+TEST_P(DistPrimGrids, SetSparseMatchesSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(3);
+  const Index n = 33;
+  SpVec<Index> x = random_sparse(n, 0.5, rng);
+  const std::vector<Index> y = random_dense(n, rng);
+
+  DistSpVec<Index> dx(ctx, VSpace::Row, n);
+  dx.from_global(x);
+  DistDenseVec<Index> dy(ctx, VSpace::Row, n, kNull);
+  dy.from_std(y);
+
+  const auto update = [](Index& value, Index dense) { value = dense - 1; };
+  dist_set_sparse(ctx, Cost::Other, dx, dy, update);
+  set_sparse(x, y, update);
+  EXPECT_EQ(dx.to_global(), x);
+}
+
+TEST_P(DistPrimGrids, InvertMatchesSequentialIncludingKeepFirst) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(4);
+  const Index n_in = 48;
+  const Index n_out = 52;
+  // Values deliberately collide to exercise the keep-first rule.
+  SpVec<Index> x(n_in);
+  for (Index i = 0; i < n_in; ++i) {
+    if (rng.next_bool(0.6)) {
+      x.push_back(i, static_cast<Index>(rng.next_below(20)));
+    }
+  }
+  DistSpVec<Index> dx(ctx, VSpace::Row, n_in);
+  dx.from_global(x);
+
+  const auto key = [](Index, Index v) { return v; };
+  const auto payload = [](Index g, Index) { return g; };
+  const SpVec<Index> expected = invert<Index>(x, n_out, key, payload);
+  const DistSpVec<Index> got =
+      dist_invert<Index>(ctx, Cost::Invert, dx, VSpace::Col, n_out, key, payload);
+  EXPECT_EQ(got.to_global(), expected);
+  if (ctx.processes() > 1) {
+    EXPECT_GT(ctx.ledger().messages(Cost::Invert), 0u);
+  }
+}
+
+TEST_P(DistPrimGrids, InvertVertexPayloads) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(5);
+  const Index n = 30;
+  SpVec<Vertex> x(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.5)) {
+      x.push_back(i, Vertex(static_cast<Index>(rng.next_below(30)),
+                            static_cast<Index>(rng.next_below(15))));
+    }
+  }
+  DistSpVec<Vertex> dx(ctx, VSpace::Row, n);
+  dx.from_global(x);
+  const auto key = [](Index, const Vertex& v) { return v.root; };
+  const auto payload = [](Index g, const Vertex&) { return g; };
+  EXPECT_EQ((dist_invert<Index>(ctx, Cost::Invert, dx, VSpace::Col, n, key,
+                                payload))
+                .to_global(),
+            (invert<Index>(x, n, key, payload)));
+}
+
+TEST_P(DistPrimGrids, PruneMatchesSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(6);
+  const Index n = 44;
+  const SpVec<Index> x = random_sparse(n, 0.5, rng);
+  DistSpVec<Index> dx(ctx, VSpace::Row, n);
+  dx.from_global(x);
+
+  // Roots contributed from arbitrary ranks.
+  std::vector<std::vector<Index>> roots_by_rank(
+      static_cast<std::size_t>(ctx.processes()));
+  std::vector<Index> all_roots;
+  for (int i = 0; i < 10; ++i) {
+    const Index root = static_cast<Index>(rng.next_below(44));
+    roots_by_rank[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(ctx.processes())))]
+        .push_back(root);
+    all_roots.push_back(root);
+  }
+  const auto root_of = [](Index v) { return v; };
+  const SpVec<Index> expected = prune(x, all_roots, root_of);
+  const DistSpVec<Index> got =
+      dist_prune(ctx, Cost::Prune, dx, roots_by_rank, root_of);
+  EXPECT_EQ(got.to_global(), expected);
+}
+
+TEST_P(DistPrimGrids, FilterAndTransform) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(7);
+  const Index n = 35;
+  const SpVec<Index> x = random_sparse(n, 0.6, rng);
+  DistSpVec<Index> dx(ctx, VSpace::Col, n);
+  dx.from_global(x);
+
+  const DistSpVec<Index> filtered = dist_filter(
+      ctx, Cost::Other, dx, [](Index v) { return v % 2 == 0; });
+  for (Index k = 0; k < filtered.to_global().nnz(); ++k) {
+    EXPECT_EQ(filtered.to_global().value_at(k) % 2, 0);
+  }
+
+  const DistSpVec<Index> doubled = dist_transform<Index>(
+      ctx, Cost::Other, dx, [](Index g, Index v) { return g + v; });
+  const SpVec<Index> global = doubled.to_global();
+  for (Index k = 0; k < global.nnz(); ++k) {
+    EXPECT_EQ(global.value_at(k),
+              global.index_at(k) + x.value_at(k));
+  }
+}
+
+TEST_P(DistPrimGrids, FromDenseBuildsFrontier) {
+  SimContext ctx = make_ctx(GetParam());
+  const Index n = 26;
+  DistDenseVec<Index> mate(ctx, VSpace::Col, n, kNull);
+  mate.set(3, 10);
+  mate.set(7, 11);
+  const DistSpVec<Vertex> frontier = dist_from_dense<Vertex>(
+      ctx, Cost::Other, mate, [](Index m) { return m == kNull; },
+      [](Index g, Index) { return Vertex(g, g); });
+  const SpVec<Vertex> global = frontier.to_global();
+  EXPECT_EQ(global.nnz(), n - 2);
+  for (Index k = 0; k < global.nnz(); ++k) {
+    EXPECT_EQ(global.value_at(k).parent, global.index_at(k));
+    EXPECT_EQ(global.value_at(k).root, global.index_at(k));
+    EXPECT_NE(global.index_at(k), 3);
+    EXPECT_NE(global.index_at(k), 7);
+  }
+}
+
+TEST_P(DistPrimGrids, NnzChargesAllreduce) {
+  SimContext ctx = make_ctx(GetParam());
+  DistSpVec<Index> x(ctx, VSpace::Row, 10);
+  SpVec<Index> g(10);
+  g.push_back(2, 5);
+  x.from_global(g);
+  EXPECT_EQ(dist_nnz(ctx, Cost::Other, x), 1);
+  if (ctx.processes() > 1) {
+    EXPECT_GT(ctx.ledger().time_us(Cost::Other), 0);
+  }
+}
+
+TEST_P(DistPrimGrids, FillResetsDense) {
+  SimContext ctx = make_ctx(GetParam());
+  DistDenseVec<Index> v(ctx, VSpace::Row, 19, Index{5});
+  dist_fill(ctx, Cost::Other, v, kNull);
+  EXPECT_EQ(v.to_std(), std::vector<Index>(19, kNull));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistPrimGrids, ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(DistPrimitives, MisalignedOperandsThrow) {
+  SimContext ctx = make_ctx(4);
+  DistSpVec<Index> x(ctx, VSpace::Row, 10);
+  DistDenseVec<Index> y_col(ctx, VSpace::Col, 10, kNull);
+  DistDenseVec<Index> y_short(ctx, VSpace::Row, 9, kNull);
+  const auto pred = [](Index) { return true; };
+  EXPECT_THROW(dist_select(ctx, Cost::Other, x, y_col, pred),
+               std::invalid_argument);
+  EXPECT_THROW(dist_select(ctx, Cost::Other, x, y_short, pred),
+               std::invalid_argument);
+}
+
+TEST(DistPrimitives, InvertKeyOutOfRangeThrows) {
+  SimContext ctx = make_ctx(4);
+  DistSpVec<Index> x(ctx, VSpace::Row, 10);
+  SpVec<Index> g(10);
+  g.push_back(0, 99);
+  x.from_global(g);
+  EXPECT_THROW((dist_invert<Index>(
+                   ctx, Cost::Invert, x, VSpace::Col, 10,
+                   [](Index, Index v) { return v; },
+                   [](Index i, Index) { return i; })),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,169 @@
+#include "dist/dist_spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "algebra/semiring.hpp"
+#include "gen/er.hpp"
+#include "matrix/csc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+SpVec<Vertex> random_frontier(Index len, double density, Rng& rng) {
+  SpVec<Vertex> x(len);
+  for (Index j = 0; j < len; ++j) {
+    if (rng.next_bool(density)) {
+      x.push_back(j, Vertex(j, static_cast<Index>(rng.next_below(
+                                   static_cast<std::uint64_t>(len)))));
+    }
+  }
+  return x;
+}
+
+class DistSpmvGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSpmvGrids, ColToRowMatchesSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    const CooMatrix coo = er_bipartite_m(45, 38, 300, rng);
+    const CscMatrix seq = CscMatrix::from_coo(coo);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    const SpVec<Vertex> x = random_frontier(38, 0.4, rng);
+    DistSpVec<Vertex> dx(ctx, VSpace::Col, 38);
+    dx.from_global(x);
+
+    const SpVec<Vertex> expected = spmv(seq, x, Select2ndMinParent{});
+    const DistSpVec<Vertex> got =
+        dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{});
+    EXPECT_EQ(got.to_global(), expected) << "trial " << trial;
+  }
+}
+
+TEST_P(DistSpmvGrids, RowToColMatchesSequentialTranspose) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(13);
+  const CooMatrix coo = er_bipartite_m(36, 44, 280, rng);
+  const CscMatrix seq_t = CscMatrix::from_coo(coo.transposed());
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  const SpVec<Vertex> x = random_frontier(36, 0.5, rng);
+  DistSpVec<Vertex> dx(ctx, VSpace::Row, 36);
+  dx.from_global(x);
+
+  const SpVec<Vertex> expected = spmv(seq_t, x, Select2ndMinParent{});
+  const DistSpVec<Vertex> got =
+      dist_spmv_row_to_col(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{});
+  EXPECT_EQ(got.to_global(), expected);
+}
+
+TEST_P(DistSpmvGrids, AllSemiringsAgreeWithSequential) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(17);
+  const CooMatrix coo = er_bipartite_m(30, 30, 200, rng);
+  const CscMatrix seq = CscMatrix::from_coo(coo);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  const SpVec<Vertex> x = random_frontier(30, 0.6, rng);
+  DistSpVec<Vertex> dx(ctx, VSpace::Col, 30);
+  dx.from_global(x);
+
+  const Select2ndRandRoot rand_root{5};
+  const Select2ndRandParent rand_parent{6};
+  EXPECT_EQ(
+      dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMaxParent{})
+          .to_global(),
+      spmv(seq, x, Select2ndMaxParent{}));
+  EXPECT_EQ(
+      dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, rand_root).to_global(),
+      spmv(seq, x, rand_root));
+  EXPECT_EQ(
+      dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, rand_parent).to_global(),
+      spmv(seq, x, rand_parent));
+}
+
+TEST_P(DistSpmvGrids, CountingSemiringComputesDegrees) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(19);
+  const CooMatrix coo = er_bipartite_m(25, 31, 180, rng);
+  const CscMatrix seq_t = CscMatrix::from_coo(coo.transposed());
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  SpVec<Index> ones(25);
+  for (Index i = 0; i < 25; ++i) ones.push_back(i, 1);
+  DistSpVec<Index> dx(ctx, VSpace::Row, 25);
+  dx.from_global(ones);
+  EXPECT_EQ(
+      dist_spmv_row_to_col(ctx, Cost::SpMV, dist, dx, PlusCount{}).to_global(),
+      spmv(seq_t, ones, PlusCount{}));
+}
+
+TEST_P(DistSpmvGrids, EmptyFrontierYieldsEmpty) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(23);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(20, 20, 60, rng));
+  DistSpVec<Vertex> dx(ctx, VSpace::Col, 20);
+  const auto y =
+      dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{});
+  EXPECT_EQ(y.nnz_unaccounted(), 0);
+}
+
+TEST_P(DistSpmvGrids, ChargesSpmvCategory) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(29);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(30, 30, 300, rng));
+  SpVec<Vertex> x(30);
+  for (Index j = 0; j < 30; ++j) x.push_back(j, Vertex(j, j));
+  DistSpVec<Vertex> dx(ctx, VSpace::Col, 30);
+  dx.from_global(x);
+  (void)dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{});
+  EXPECT_GT(ctx.ledger().time_us(Cost::SpMV), 0);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Invert), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistSpmvGrids, ::testing::Values(1, 4, 9, 16, 25),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(DistSpmv, MisalignedVectorThrows) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(31);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(10, 12, 30, rng));
+  DistSpVec<Vertex> wrong_space(ctx, VSpace::Row, 12);
+  EXPECT_THROW(dist_spmv_col_to_row(ctx, Cost::SpMV, dist, wrong_space,
+                                    Select2ndMinParent{}),
+               std::invalid_argument);
+  DistSpVec<Vertex> wrong_len(ctx, VSpace::Col, 11);
+  EXPECT_THROW(dist_spmv_col_to_row(ctx, Cost::SpMV, dist, wrong_len,
+                                    Select2ndMinParent{}),
+               std::invalid_argument);
+}
+
+TEST(DistSpmv, RectangularExtremes) {
+  // Tall and wide matrices where one dimension is smaller than the grid side.
+  SimContext ctx = make_ctx(16);
+  Rng rng(37);
+  const CooMatrix coo = er_bipartite_m(3, 70, 100, rng);
+  const CscMatrix seq = CscMatrix::from_coo(coo);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  const SpVec<Vertex> x = random_frontier(70, 0.5, rng);
+  DistSpVec<Vertex> dx(ctx, VSpace::Col, 70);
+  dx.from_global(x);
+  EXPECT_EQ(
+      dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{})
+          .to_global(),
+      spmv(seq, x, Select2ndMinParent{}));
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,122 @@
+#include "dist/dist_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/vertex.hpp"
+
+namespace mcm {
+namespace {
+
+class DistVecGrids : public ::testing::TestWithParam<int> {
+ protected:
+  SimContext make_ctx() const {
+    SimConfig config;
+    config.cores = GetParam();
+    config.threads_per_process = 1;
+    return SimContext(config);
+  }
+};
+
+TEST_P(DistVecGrids, LayoutCoversEveryIndexExactlyOnce) {
+  const SimContext ctx = make_ctx();
+  for (const VSpace space : {VSpace::Row, VSpace::Col}) {
+    for (const Index n : {Index{1}, Index{17}, Index{100}}) {
+      const VecLayout layout(ctx.grid(), space, n);
+      std::vector<int> owner_count(static_cast<std::size_t>(n), 0);
+      for (int r = 0; r < ctx.processes(); ++r) {
+        for (Index local = 0; local < layout.piece_size(r); ++local) {
+          const Index g = layout.to_global(r, local);
+          ASSERT_GE(g, 0);
+          ASSERT_LT(g, n);
+          ++owner_count[static_cast<std::size_t>(g)];
+          EXPECT_EQ(layout.owner_rank(g), r);
+          EXPECT_EQ(layout.to_local(g), local);
+        }
+      }
+      for (const int count : owner_count) EXPECT_EQ(count, 1);
+    }
+  }
+}
+
+TEST_P(DistVecGrids, DenseFromToStdRoundTrip) {
+  const SimContext ctx = make_ctx();
+  DistDenseVec<Index> v(ctx, VSpace::Row, 37, kNull);
+  std::vector<Index> values(37);
+  for (Index i = 0; i < 37; ++i) values[static_cast<std::size_t>(i)] = i * i;
+  v.from_std(values);
+  EXPECT_EQ(v.to_std(), values);
+  for (Index i = 0; i < 37; ++i) EXPECT_EQ(v.at(i), i * i);
+}
+
+TEST_P(DistVecGrids, DenseSetAndAt) {
+  const SimContext ctx = make_ctx();
+  DistDenseVec<Index> v(ctx, VSpace::Col, 23, kNull);
+  v.set(11, 99);
+  EXPECT_EQ(v.at(11), 99);
+  EXPECT_EQ(v.at(12), kNull);
+}
+
+TEST_P(DistVecGrids, SparseGlobalRoundTrip) {
+  const SimContext ctx = make_ctx();
+  SpVec<Vertex> global(29);
+  global.push_back(0, Vertex(1, 2));
+  global.push_back(13, Vertex(3, 4));
+  global.push_back(28, Vertex(5, 6));
+  DistSpVec<Vertex> v(ctx, VSpace::Col, 29);
+  v.from_global(global);
+  EXPECT_EQ(v.to_global(), global);
+  EXPECT_EQ(v.nnz_unaccounted(), 3);
+}
+
+TEST_P(DistVecGrids, SparsePieceIndicesAreLocal) {
+  const SimContext ctx = make_ctx();
+  SpVec<Index> global(40);
+  for (Index i = 0; i < 40; i += 3) global.push_back(i, i);
+  DistSpVec<Index> v(ctx, VSpace::Row, 40);
+  v.from_global(global);
+  for (int r = 0; r < ctx.processes(); ++r) {
+    const SpVec<Index>& piece = v.piece(r);
+    EXPECT_EQ(piece.len(), v.layout().piece_size(r));
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      EXPECT_LT(piece.index_at(k), piece.len());
+      // Values were global indices, so they recover the global position.
+      EXPECT_EQ(v.layout().to_global(r, piece.index_at(k)), piece.value_at(k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DistVecGrids, ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(DistVec, FromStdLengthMismatchThrows) {
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  EXPECT_THROW(v.from_std(std::vector<Index>(9)), std::invalid_argument);
+}
+
+TEST(DistVec, FromGlobalLengthMismatchThrows) {
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  DistSpVec<Index> v(ctx, VSpace::Row, 10);
+  EXPECT_THROW(v.from_global(SpVec<Index>(9)), std::invalid_argument);
+}
+
+TEST(DistVec, VectorShorterThanGridStillWorks) {
+  // 16 ranks, 3-element vector: most pieces are empty.
+  SimConfig config;
+  config.cores = 16;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  DistDenseVec<Index> v(ctx, VSpace::Col, 3, Index{7});
+  EXPECT_EQ(v.to_std(), std::vector<Index>(3, 7));
+}
+
+}  // namespace
+}  // namespace mcm

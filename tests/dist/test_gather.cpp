@@ -1,0 +1,61 @@
+#include "dist/gather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+TEST(Gather, MatrixRoundTripsThroughRoot) {
+  SimContext ctx = make_ctx(9);
+  Rng rng(3);
+  CooMatrix original = er_bipartite_m(33, 27, 200, rng);
+  const DistMatrix dist = DistMatrix::distribute(ctx, original);
+  CooMatrix gathered = gather_matrix_to_root(ctx, dist);
+  gathered.sort_dedup();
+  original.sort_dedup();
+  EXPECT_EQ(gathered.rows, original.rows);
+  EXPECT_EQ(gathered.cols, original.cols);
+  EXPECT_GT(ctx.ledger().time_us(Cost::GatherScatter), 0);
+  EXPECT_EQ(ctx.ledger().words(Cost::GatherScatter),
+            2 * static_cast<std::uint64_t>(original.nnz()));
+}
+
+TEST(Gather, ScatterMatesDistributesCorrectly) {
+  SimContext ctx = make_ctx(4);
+  std::vector<Index> mate_r{2, kNull, 0};
+  std::vector<Index> mate_c{2, kNull, 0, kNull};
+  const ScatteredMates out = scatter_mates_from_root(ctx, mate_r, mate_c);
+  EXPECT_EQ(out.mate_r.to_std(), mate_r);
+  EXPECT_EQ(out.mate_c.to_std(), mate_c);
+  EXPECT_GT(ctx.ledger().time_us(Cost::GatherScatter), 0);
+}
+
+TEST(Gather, ModelCostGrowsWithEdges) {
+  SimContext ctx = make_ctx(1024);
+  const double small = gather_scatter_model_seconds(ctx, 1'000'000, 2'000'000);
+  const double big = gather_scatter_model_seconds(ctx, 1'000'000'000, 2'000'000);
+  EXPECT_GT(big, small * 100);
+}
+
+TEST(Gather, ModelMatchesPaperScale) {
+  // Paper §VI-E: ~900M nonzeros (nlpkkt200) take ~20 seconds to gather and
+  // scatter on 2048 cores. The preset should land in the same decade.
+  SimContext ctx = make_ctx(1024);
+  const double seconds =
+      gather_scatter_model_seconds(ctx, 900'000'000, 3'200'000);
+  EXPECT_GT(seconds, 2.0);
+  EXPECT_LT(seconds, 200.0);
+}
+
+}  // namespace
+}  // namespace mcm

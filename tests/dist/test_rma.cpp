@@ -1,0 +1,87 @@
+#include "dist/rma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+TEST(Rma, GetReadsTargetValue) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, Index{3});
+  v.set(7, 42);
+  RmaWindow<Index> win(ctx, v);
+  EXPECT_EQ(win.get(0, 7), 42);
+  EXPECT_EQ(win.get(3, 8), 3);
+}
+
+TEST(Rma, PutWritesTargetValue) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Col, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.put(2, 13, 99);
+  EXPECT_EQ(v.at(13), 99);
+}
+
+TEST(Rma, FetchAndReplaceIsAtomicSwap) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, Index{5});
+  RmaWindow<Index> win(ctx, v);
+  EXPECT_EQ(win.fetch_and_replace(1, 4, 77), 5);
+  EXPECT_EQ(v.at(4), 77);
+  EXPECT_EQ(win.fetch_and_replace(1, 4, 88), 77);
+}
+
+TEST(Rma, OpsCountedPerOrigin) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  (void)win.get(0, 1);
+  (void)win.get(0, 2);
+  win.put(2, 3, 1);
+  EXPECT_EQ(win.ops_at(0), 2u);
+  EXPECT_EQ(win.ops_at(1), 0u);
+  EXPECT_EQ(win.ops_at(2), 1u);
+}
+
+TEST(Rma, FlushChargesMaxOverOrigins) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  for (int i = 0; i < 5; ++i) (void)win.get(0, 0);
+  (void)win.get(1, 1);
+  win.flush(Cost::Augment);
+  // 5 ops at alpha + beta each (the asynchronous max, not the sum of 6).
+  const double expected = 5 * (ctx.alpha() + ctx.beta_word());
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), expected, 1e-9);
+  // Message counter reflects every op issued.
+  EXPECT_EQ(ctx.ledger().messages(Cost::Augment), 6u);
+  // Counters reset after flush.
+  EXPECT_EQ(win.ops_at(0), 0u);
+}
+
+TEST(Rma, SingleProcessWindowIsFree) {
+  SimContext ctx = make_ctx(1);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  for (int i = 0; i < 100; ++i) win.put(0, i % 10, i);
+  win.flush(Cost::Augment);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Augment), 0.0);
+}
+
+TEST(Rma, BadOriginThrows) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  EXPECT_THROW((void)win.get(-1, 0), std::out_of_range);
+  EXPECT_THROW(win.put(4, 0, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcm

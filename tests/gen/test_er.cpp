@@ -1,0 +1,75 @@
+#include "gen/er.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matching/hopcroft_karp.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(ErM, ExactEdgeCount) {
+  Rng rng(1);
+  const CooMatrix m = er_bipartite_m(50, 60, 500, rng);
+  EXPECT_EQ(m.nnz(), 500);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ErM, FullMatrixPossible) {
+  Rng rng(2);
+  const CooMatrix m = er_bipartite_m(5, 4, 20, rng);
+  EXPECT_EQ(m.nnz(), 20);
+}
+
+TEST(ErM, TooManyEdgesThrows) {
+  Rng rng(3);
+  EXPECT_THROW(er_bipartite_m(3, 3, 10, rng), std::invalid_argument);
+}
+
+TEST(ErM, ZeroEdges) {
+  Rng rng(4);
+  EXPECT_EQ(er_bipartite_m(10, 10, 0, rng).nnz(), 0);
+}
+
+TEST(ErP, DensityRoughlyP) {
+  Rng rng(5);
+  const CooMatrix m = er_bipartite_p(200, 200, 0.05, rng);
+  const double density =
+      static_cast<double>(m.nnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(density, 0.05, 0.01);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ErP, ExtremeProbabilities) {
+  Rng rng(6);
+  EXPECT_EQ(er_bipartite_p(20, 20, 0.0, rng).nnz(), 0);
+  EXPECT_EQ(er_bipartite_p(20, 20, 1.0, rng).nnz(), 400);
+  EXPECT_THROW(er_bipartite_p(5, 5, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(er_bipartite_p(5, 5, -0.1, rng), std::invalid_argument);
+}
+
+TEST(ErP, EntriesSortedAndUnique) {
+  Rng rng(7);
+  CooMatrix m = er_bipartite_p(50, 50, 0.1, rng);
+  const Index before = m.nnz();
+  m.sort_dedup();
+  EXPECT_EQ(m.nnz(), before);  // geometric skipping never duplicates
+}
+
+TEST(PlantedPerfect, AlwaysHasPerfectMatching) {
+  Rng rng(8);
+  for (const Index n : {Index{1}, Index{10}, Index{64}}) {
+    const CooMatrix m = planted_perfect(n, 3 * n, rng);
+    EXPECT_EQ(maximum_matching_size(CscMatrix::from_coo(m)), n);
+  }
+}
+
+TEST(PlantedPerfect, ExtraEdgesBoundedByDedup) {
+  Rng rng(9);
+  const CooMatrix m = planted_perfect(20, 100, rng);
+  EXPECT_GE(m.nnz(), 20);
+  EXPECT_LE(m.nnz(), 120);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,95 @@
+#include "gen/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/csc.hpp"
+#include "matrix/stats.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Rmat, PresetsMatchPaperParameters) {
+  const RmatParams g500 = RmatParams::g500(10);
+  EXPECT_DOUBLE_EQ(g500.a, 0.57);
+  EXPECT_DOUBLE_EQ(g500.b, 0.19);
+  EXPECT_DOUBLE_EQ(g500.c, 0.19);
+  EXPECT_DOUBLE_EQ(g500.d, 0.05);
+  EXPECT_DOUBLE_EQ(g500.edge_factor, 32.0);
+
+  const RmatParams ssca = RmatParams::ssca(10);
+  EXPECT_DOUBLE_EQ(ssca.a, 0.6);
+  EXPECT_NEAR(ssca.b, 0.4 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(ssca.edge_factor, 16.0);
+
+  const RmatParams er = RmatParams::er(10);
+  EXPECT_DOUBLE_EQ(er.a, 0.25);
+  EXPECT_DOUBLE_EQ(er.edge_factor, 32.0);
+}
+
+TEST(Rmat, DimensionsArePowerOfScale) {
+  Rng rng(1);
+  RmatParams p = RmatParams::er(8);
+  p.edge_factor = 4;
+  const CooMatrix m = rmat(p, rng);
+  EXPECT_EQ(m.n_rows, 256);
+  EXPECT_EQ(m.n_cols, 256);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Rmat, EdgeCountNearNominal) {
+  Rng rng(2);
+  RmatParams p = RmatParams::er(10);
+  p.edge_factor = 8;
+  const CooMatrix m = rmat(p, rng);
+  const Index nominal = 8 * 1024;
+  EXPECT_LE(m.nnz(), nominal);          // duplicates removed
+  EXPECT_GT(m.nnz(), nominal * 8 / 10);  // but not many at this density
+}
+
+TEST(Rmat, DeterministicForSameSeed) {
+  Rng rng1(7), rng2(7);
+  const RmatParams p = RmatParams::g500(8);
+  const CooMatrix a = rmat(p, rng1);
+  const CooMatrix b = rmat(p, rng2);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+}
+
+TEST(Rmat, G500IsMoreSkewedThanEr) {
+  Rng rng1(3), rng2(4);
+  const auto g500 =
+      compute_stats(CscMatrix::from_coo(rmat(RmatParams::g500(11), rng1)));
+  const auto er =
+      compute_stats(CscMatrix::from_coo(rmat(RmatParams::er(11), rng2)));
+  EXPECT_GT(g500.max_col_degree, 2 * er.max_col_degree);
+}
+
+TEST(Rmat, ScrambleChangesLayoutNotSize) {
+  Rng rng1(5), rng2(5);
+  RmatParams scrambled = RmatParams::g500(8);
+  RmatParams raw = scrambled;
+  raw.scramble_ids = false;
+  const CooMatrix a = rmat(scrambled, rng1);
+  const CooMatrix b = rmat(raw, rng2);
+  EXPECT_EQ(a.n_rows, b.n_rows);
+  EXPECT_NE(a.rows, b.rows);  // same draws, different labels
+}
+
+TEST(Rmat, InvalidParamsRejected) {
+  Rng rng(1);
+  RmatParams bad = RmatParams::er(8);
+  bad.a = 0.9;  // sum > 1
+  EXPECT_THROW(rmat(bad, rng), std::invalid_argument);
+  RmatParams bad_scale = RmatParams::er(0);
+  EXPECT_THROW(rmat(bad_scale, rng), std::invalid_argument);
+  RmatParams bad_ef = RmatParams::er(8);
+  bad_ef.edge_factor = 0;
+  EXPECT_THROW(rmat(bad_ef, rng), std::invalid_argument);
+  RmatParams negative = RmatParams::er(8);
+  negative.a = -0.1;
+  negative.b = 0.6;
+  EXPECT_THROW(rmat(negative, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,121 @@
+#include "gen/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/csc.hpp"
+#include "matrix/stats.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(GridMesh, DimensionsAndDegreeBound) {
+  Rng rng(1);
+  const CooMatrix m = grid_mesh(10, 12, 0.0, 0.0, rng);
+  EXPECT_EQ(m.n_rows, 120);
+  EXPECT_EQ(m.n_cols, 120);
+  const GraphStats s = compute_stats(CscMatrix::from_coo(m));
+  // 4-neighbourhood + self: max degree 5 without diagonals.
+  EXPECT_LE(s.max_col_degree, 5);
+  EXPECT_EQ(s.empty_cols, 0);  // no drops -> everything connected
+}
+
+TEST(GridMesh, DropFractionCreatesDeficiency) {
+  Rng rng(2);
+  const CooMatrix intact = grid_mesh(20, 20, 0.0, 0.0, rng);
+  const CooMatrix dropped = grid_mesh(20, 20, 0.0, 0.4, rng);
+  EXPECT_LT(dropped.nnz(), intact.nnz());
+}
+
+TEST(GridMesh, DiagonalsIncreaseDegree) {
+  Rng rng(3);
+  const CooMatrix with = grid_mesh(15, 15, 1.0, 0.0, rng);
+  const CooMatrix without = grid_mesh(15, 15, 0.0, 0.0, rng);
+  EXPECT_GT(with.nnz(), without.nnz());
+}
+
+TEST(GridMesh, RejectsEmptyGrid) {
+  Rng rng(4);
+  EXPECT_THROW(grid_mesh(0, 5, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(Banded, EntriesStayInBand) {
+  Rng rng(5);
+  const CooMatrix m = banded(50, 3, 1.0, rng);
+  for (std::size_t k = 0; k < m.rows.size(); ++k) {
+    EXPECT_LE(std::abs(m.rows[k] - m.cols[k]), 3);
+  }
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Banded, FullFillGivesFullBand) {
+  Rng rng(6);
+  const CooMatrix m = banded(10, 1, 1.0, rng);
+  // Tridiagonal: 3n - 2 entries.
+  EXPECT_EQ(m.nnz(), 28);
+}
+
+TEST(Banded, RejectsBadArgs) {
+  Rng rng(7);
+  EXPECT_THROW(banded(0, 1, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(banded(5, -1, 0.5, rng), std::invalid_argument);
+}
+
+TEST(KktBlock, HasSaddlePointStructure) {
+  Rng rng(8);
+  const Index primal = 100, dual = 40;
+  const CooMatrix m = kkt_block(primal, dual, 2, 0.05, rng);
+  EXPECT_EQ(m.n_rows, 140);
+  EXPECT_EQ(m.n_cols, 140);
+  // (2,2) block must be structurally zero.
+  for (std::size_t k = 0; k < m.rows.size(); ++k) {
+    EXPECT_FALSE(m.rows[k] >= primal && m.cols[k] >= primal)
+        << "dual-dual entry (" << m.rows[k] << ", " << m.cols[k] << ")";
+  }
+}
+
+TEST(KktBlock, StructurallySymmetric) {
+  Rng rng(9);
+  const CooMatrix m = kkt_block(60, 20, 1, 0.1, rng);
+  const CscMatrix a = CscMatrix::from_coo(m);
+  const CscMatrix at = a.transposed();
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    EXPECT_EQ(a.col_degree(j), at.col_degree(j));
+  }
+}
+
+TEST(TallRectangular, ShapeAndEmptyRows) {
+  Rng rng(10);
+  const CooMatrix m = tall_rectangular(1000, 200, 5.0, 0.3, rng);
+  EXPECT_EQ(m.n_rows, 1000);
+  EXPECT_EQ(m.n_cols, 200);
+  const GraphStats s = compute_stats(CscMatrix::from_coo(m));
+  // At least the reserved 30% of rows stay empty.
+  EXPECT_GE(s.empty_rows, 300);
+}
+
+TEST(TallRectangular, SkewedTowardLowColumns) {
+  Rng rng(11);
+  const CooMatrix m = tall_rectangular(500, 100, 20.0, 0.0, rng);
+  const CscMatrix a = CscMatrix::from_coo(m);
+  Index low = 0, high = 0;
+  for (Index j = 0; j < 50; ++j) low += a.col_degree(j);
+  for (Index j = 50; j < 100; ++j) high += a.col_degree(j);
+  EXPECT_GT(low, high);
+}
+
+TEST(Preferential, SkewGrowsWithDegreeProportionalAttachment) {
+  Rng rng(12);
+  const CooMatrix m = preferential(2000, 8, rng);
+  const GraphStats s = compute_stats(CscMatrix::from_coo(m));
+  EXPECT_GT(s.max_row_degree, 40);  // hubs emerge
+  EXPECT_EQ(s.n_rows, 2000);
+}
+
+TEST(Preferential, RejectsBadArgs) {
+  Rng rng(13);
+  EXPECT_THROW(preferential(0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(preferential(5, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

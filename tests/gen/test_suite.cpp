@@ -1,0 +1,80 @@
+#include "gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Suite, HasThirteenDistinctNamedEntries) {
+  const auto suite = real_suite();
+  EXPECT_EQ(suite.size(), 13u);
+  std::set<std::string> names;
+  for (const auto& entry : suite) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_FALSE(entry.family.empty());
+    EXPECT_FALSE(entry.description.empty());
+    names.insert(entry.name);
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(Suite, RepresentativeSubsetMatchesFig3Selection) {
+  const auto reps = representative_suite();
+  ASSERT_EQ(reps.size(), 4u);
+  EXPECT_EQ(reps[0].name, "coPapersDBLP");
+  EXPECT_EQ(reps[1].name, "wikipedia-20070206");
+  EXPECT_EQ(reps[2].name, "cage15");
+  EXPECT_EQ(reps[3].name, "road_usa");
+}
+
+TEST(Suite, LookupByNameWorksAndUnknownThrows) {
+  EXPECT_EQ(suite_matrix("road_usa").name, "road_usa");
+  EXPECT_THROW(suite_matrix("not-a-matrix"), std::invalid_argument);
+  EXPECT_THROW(real_suite(0.0), std::invalid_argument);
+}
+
+TEST(Suite, EveryEntryBuildsAtTinyScale) {
+  // Tiny scale keeps this fast while checking all generators wire up.
+  for (const auto& entry : real_suite(0.02)) {
+    Rng rng(17);
+    const CooMatrix m = entry.build(rng);
+    EXPECT_NO_THROW(m.validate()) << entry.name;
+    EXPECT_GT(m.nnz(), 0) << entry.name;
+    EXPECT_GT(m.n_rows, 0) << entry.name;
+  }
+}
+
+TEST(Suite, MostEntriesHaveDeficiencyAfterMaximalMatching) {
+  // The paper selected matrices with "at least several thousands of
+  // unmatched vertices after computing a maximal matching" — the MCM phase
+  // must have work to do. At reduced scale we require a nonzero gap between
+  // the greedy maximal matching and the true optimum on a majority of the
+  // suite.
+  int with_gap = 0;
+  for (const auto& entry : real_suite(0.05)) {
+    Rng rng(23);
+    const CooMatrix coo = entry.build(rng);
+    const CscMatrix a = CscMatrix::from_coo(coo);
+    const Index greedy = greedy_maximal(a).cardinality();
+    const Index optimum = maximum_matching_size(a);
+    if (optimum > greedy) ++with_gap;
+  }
+  EXPECT_GE(with_gap, 7) << "too few suite entries exercise augmentation";
+}
+
+TEST(Suite, ScaleFactorGrowsInstances) {
+  Rng rng1(29), rng2(29);
+  const CooMatrix small = suite_matrix("cage15", 0.02).build(rng1);
+  const CooMatrix larger = suite_matrix("cage15", 0.08).build(rng2);
+  EXPECT_GT(larger.n_rows, small.n_rows);
+  EXPECT_GT(larger.nnz(), small.nnz());
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,98 @@
+/// Pins the exact charge formulas of the communication model (the same
+/// formulas the paper's §IV-B analysis uses). If a change to
+/// gridsim/context.cpp alters any of these, every number in EXPERIMENTS.md
+/// shifts — this suite makes that impossible to do silently.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algebra/vertex.hpp"
+#include "gridsim/context.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.machine = MachineModel::edison();
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+constexpr double kAlpha = 3.0;     // edison preset, microseconds
+constexpr double kBeta = 0.004;    // per word
+
+TEST(CostFormulas, RingAllgatherv) {
+  SimContext ctx = make_ctx(16);
+  // g ranks, W total words: (g-1) a + ((g-1)/g) W b.
+  ctx.charge_allgatherv(Cost::Prune, 4, 1, 1000);
+  const double expected = 3 * kAlpha + (3.0 / 4.0) * 1000 * kBeta;
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Prune), expected, 1e-9);
+}
+
+TEST(CostFormulas, PairwiseAlltoallv) {
+  SimContext ctx = make_ctx(16);
+  // rounds (g-1) a + W_maxrank b.
+  ctx.charge_alltoallv(Cost::Invert, 16, 1, 500, 3);
+  const double expected = 3 * 15 * kAlpha + 500 * kBeta;
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Invert), expected, 1e-9);
+}
+
+TEST(CostFormulas, RecursiveDoublingAllreduce) {
+  SimContext ctx = make_ctx(16);
+  // 2 ceil(lg g) (a + w b).
+  ctx.charge_allreduce(Cost::Other, 16, 2);
+  const double expected = 2 * 4 * (kAlpha + 2 * kBeta);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Other), expected, 1e-9);
+}
+
+TEST(CostFormulas, AllreduceNonPowerOfTwoRoundsUp) {
+  SimContext ctx = make_ctx(9);
+  ctx.charge_allreduce(Cost::Other, 9, 1);
+  const double expected = 2 * std::ceil(std::log2(9.0)) * (kAlpha + kBeta);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Other), expected, 1e-9);
+}
+
+TEST(CostFormulas, GathervToRoot) {
+  SimContext ctx = make_ctx(16);
+  // (p-1) a + W_total b, same for scatterv.
+  ctx.charge_gatherv_root(Cost::GatherScatter, 16, 10000);
+  const double expected = 15 * kAlpha + 10000 * kBeta;
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::GatherScatter), expected, 1e-9);
+  ctx.charge_scatterv_root(Cost::GatherScatter, 16, 10000);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::GatherScatter), 2 * expected, 1e-9);
+}
+
+TEST(CostFormulas, RmaPerOp) {
+  SimContext ctx = make_ctx(16);
+  // ops (a + w b).
+  ctx.charge_rma(Cost::Augment, 7, 2);
+  const double expected = 7 * (kAlpha + 2 * kBeta);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), expected, 1e-9);
+}
+
+TEST(CostFormulas, ComputeChargesUseThreadSpeedup) {
+  SimConfig config;
+  config.machine = MachineModel::edison();
+  config.cores = 48;
+  config.threads_per_process = 12;
+  SimContext ctx(config);
+  ctx.charge_edge_ops(Cost::SpMV, 1000);
+  const double speedup = config.machine.thread_speedup(12);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::SpMV),
+              1000 * config.machine.edge_op_us / speedup, 1e-9);
+  ctx.charge_elem_ops(Cost::Other, 1000);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Other),
+              1000 * config.machine.elem_op_us / speedup, 1e-9);
+}
+
+TEST(CostFormulas, WordsPerType) {
+  EXPECT_EQ(words_per<Index>(), 1u);
+  EXPECT_EQ(words_per<Vertex>(), 2u);
+  EXPECT_EQ(words_per<char>(), 1u);  // rounded up
+}
+
+}  // namespace
+}  // namespace mcm

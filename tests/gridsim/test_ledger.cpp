@@ -1,0 +1,77 @@
+#include "gridsim/cost_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcm {
+namespace {
+
+TEST(Ledger, StartsEmpty) {
+  const CostLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.total_us(), 0.0);
+  EXPECT_EQ(ledger.total_messages(), 0u);
+  EXPECT_EQ(ledger.total_words(), 0u);
+}
+
+TEST(Ledger, ChargesAccumulate) {
+  CostLedger ledger;
+  ledger.charge_time(Cost::SpMV, 5.0);
+  ledger.charge_time(Cost::SpMV, 7.0);
+  ledger.charge_time(Cost::Invert, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.time_us(Cost::SpMV), 12.0);
+  EXPECT_DOUBLE_EQ(ledger.time_us(Cost::Invert), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.total_us(), 13.0);
+}
+
+TEST(Ledger, CommCounters) {
+  CostLedger ledger;
+  ledger.count_comm(Cost::Prune, 3, 100);
+  ledger.count_comm(Cost::Prune, 2, 50);
+  EXPECT_EQ(ledger.messages(Cost::Prune), 5u);
+  EXPECT_EQ(ledger.words(Cost::Prune), 150u);
+  EXPECT_EQ(ledger.total_messages(), 5u);
+  EXPECT_EQ(ledger.total_words(), 150u);
+}
+
+TEST(Ledger, ResetClearsEverything) {
+  CostLedger ledger;
+  ledger.charge_time(Cost::Augment, 3.0);
+  ledger.count_comm(Cost::Augment, 1, 1);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_us(), 0.0);
+  EXPECT_EQ(ledger.total_messages(), 0u);
+}
+
+TEST(Ledger, MergeAddsCharges) {
+  CostLedger a, b;
+  a.charge_time(Cost::SpMV, 1.0);
+  b.charge_time(Cost::SpMV, 2.0);
+  b.count_comm(Cost::SpMV, 4, 9);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.time_us(Cost::SpMV), 3.0);
+  EXPECT_EQ(a.messages(Cost::SpMV), 4u);
+  EXPECT_EQ(a.words(Cost::SpMV), 9u);
+}
+
+TEST(Ledger, ReportListsNonZeroCategories) {
+  CostLedger ledger;
+  ledger.charge_time(Cost::SpMV, 1000.0);
+  const std::string report = ledger.report();
+  EXPECT_NE(report.find("SpMV"), std::string::npos);
+  EXPECT_EQ(report.find("PRUNE"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(Ledger, CategoryNames) {
+  EXPECT_STREQ(cost_name(Cost::SpMV), "SpMV");
+  EXPECT_STREQ(cost_name(Cost::Invert), "INVERT");
+  EXPECT_STREQ(cost_name(Cost::Prune), "PRUNE");
+  EXPECT_STREQ(cost_name(Cost::Augment), "AUGMENT");
+  EXPECT_STREQ(cost_name(Cost::MaximalInit), "MaximalInit");
+  EXPECT_STREQ(cost_name(Cost::GatherScatter), "Gather/Scatter");
+  EXPECT_STREQ(cost_name(Cost::Other), "Other");
+}
+
+}  // namespace
+}  // namespace mcm

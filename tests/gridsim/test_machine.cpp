@@ -1,0 +1,132 @@
+#include "gridsim/context.hpp"
+#include "gridsim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+TEST(Machine, EdisonPresetIsSane) {
+  const MachineModel m = MachineModel::edison();
+  EXPECT_GT(m.alpha_us, 0);
+  EXPECT_GT(m.beta_us_per_word, 0);
+  EXPECT_GT(m.edge_op_us, m.elem_op_us);  // traversals dearer than streaming
+  EXPECT_EQ(m.cores_per_node, 24);
+}
+
+TEST(Machine, ThreadEfficiencyDecreasesButStaysUseful) {
+  const MachineModel m = MachineModel::edison();
+  EXPECT_DOUBLE_EQ(m.thread_efficiency(1), 1.0);
+  EXPECT_LT(m.thread_efficiency(12), 1.0);
+  EXPECT_GT(m.thread_efficiency(12), 0.5);
+  // Speedup must still be monotone in t.
+  EXPECT_GT(m.thread_speedup(12), m.thread_speedup(6));
+  EXPECT_GT(m.thread_speedup(6), m.thread_speedup(1));
+}
+
+TEST(SimConfig, AutoConfigMatchesPaperSetups) {
+  // Paper: "12 threads ... except on 24 cores where each process on a 2x2
+  // grid employs 6 threads".
+  const SimConfig c24 = SimConfig::auto_config(24, 12);
+  EXPECT_EQ(c24.threads_per_process, 6);
+  EXPECT_EQ(c24.processes(), 4);
+
+  const SimConfig c48 = SimConfig::auto_config(48, 12);
+  EXPECT_EQ(c48.threads_per_process, 12);
+  EXPECT_EQ(c48.processes(), 4);
+
+  const SimConfig c972 = SimConfig::auto_config(972, 12);
+  EXPECT_EQ(c972.threads_per_process, 12);
+  EXPECT_EQ(c972.processes(), 81);
+
+  const SimConfig c12288 = SimConfig::auto_config(12288, 12);
+  EXPECT_EQ(c12288.threads_per_process, 12);
+  EXPECT_EQ(c12288.processes(), 1024);
+}
+
+TEST(SimConfig, FlatMpiConfig) {
+  const SimConfig flat = SimConfig::auto_config(1024, 1);
+  EXPECT_EQ(flat.threads_per_process, 1);
+  EXPECT_EQ(flat.processes(), 1024);
+}
+
+TEST(SimConfig, ImpossibleConfigThrows) {
+  // 7 cores: no t <= 2 gives a square process count.
+  EXPECT_THROW(SimConfig::auto_config(7, 2), std::invalid_argument);
+  EXPECT_THROW(SimConfig::auto_config(0, 12), std::invalid_argument);
+  EXPECT_THROW(SimConfig::auto_config(24, 0), std::invalid_argument);
+}
+
+TEST(SimContext, GridMatchesConfig) {
+  const SimContext ctx(SimConfig::auto_config(48, 12));
+  EXPECT_EQ(ctx.processes(), 4);
+  EXPECT_EQ(ctx.grid().pr(), 2);
+  EXPECT_EQ(ctx.threads(), 12);
+}
+
+TEST(SimContext, ThreadingAcceleratesLocalKernels) {
+  SimConfig flat = SimConfig::auto_config(16, 1);
+  SimConfig hybrid = SimConfig::auto_config(64, 4);  // same 16 processes
+  const SimContext ctx_flat(flat);
+  const SimContext ctx_hybrid(hybrid);
+  EXPECT_LT(ctx_hybrid.edge_time_us(), ctx_flat.edge_time_us());
+  EXPECT_LT(ctx_hybrid.elem_time_us(), ctx_flat.elem_time_us());
+}
+
+TEST(SimContext, ChargesAccumulatePerCategory) {
+  SimContext ctx(SimConfig::auto_config(16, 1));
+  ctx.charge_edge_ops(Cost::SpMV, 1000);
+  ctx.charge_elem_ops(Cost::Invert, 500);
+  EXPECT_GT(ctx.ledger().time_us(Cost::SpMV), 0);
+  EXPECT_GT(ctx.ledger().time_us(Cost::Invert), 0);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Prune), 0);
+  EXPECT_GT(ctx.ledger().time_us(Cost::SpMV),
+            ctx.ledger().time_us(Cost::Invert));
+}
+
+TEST(SimContext, CollectiveCostsScaleWithGroupSize) {
+  SimContext small(SimConfig::auto_config(4, 1));
+  SimContext large(SimConfig::auto_config(64, 1));
+  small.charge_allgatherv(Cost::Other, 2, 1, 1000);
+  large.charge_allgatherv(Cost::Other, 8, 1, 1000);
+  EXPECT_GT(large.ledger().time_us(Cost::Other),
+            small.ledger().time_us(Cost::Other));
+}
+
+TEST(SimContext, SingleRankCommunicationIsFree) {
+  SimContext ctx(SimConfig::auto_config(12, 12));  // 1 process
+  ctx.charge_allgatherv(Cost::Other, 1, 1, 1'000'000);
+  ctx.charge_alltoallv(Cost::Other, 1, 1, 1'000'000);
+  ctx.charge_allreduce(Cost::Other, 1);
+  ctx.charge_rma(Cost::Other, 1000, 1);
+  EXPECT_DOUBLE_EQ(ctx.ledger().total_us(), 0.0);
+}
+
+TEST(SimContext, AlltoallLatencyRoundsMultiply) {
+  SimContext a(SimConfig::auto_config(16, 1));
+  SimContext b(SimConfig::auto_config(16, 1));
+  a.charge_alltoallv(Cost::Invert, 16, 1, 0, 1);
+  b.charge_alltoallv(Cost::Invert, 16, 1, 0, 3);
+  EXPECT_NEAR(b.ledger().time_us(Cost::Invert),
+              3 * a.ledger().time_us(Cost::Invert), 1e-9);
+}
+
+TEST(SimContext, RmaCostLinearInOps) {
+  SimContext ctx(SimConfig::auto_config(16, 1));
+  ctx.charge_rma(Cost::Augment, 10, 1);
+  const double ten = ctx.ledger().time_us(Cost::Augment);
+  ctx.charge_rma(Cost::Augment, 30, 1);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), 4 * ten, 1e-9);
+}
+
+TEST(SimContext, NonDividingThreadsThrows) {
+  SimConfig bad;
+  bad.cores = 10;
+  bad.threads_per_process = 3;
+  EXPECT_THROW(SimContext ctx(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

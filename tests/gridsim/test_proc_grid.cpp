@@ -1,0 +1,108 @@
+#include "gridsim/proc_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+TEST(ProcGrid, SquareGrids) {
+  for (int p : {1, 4, 9, 16, 25, 144, 1024}) {
+    const ProcGrid g = ProcGrid::square(p);
+    EXPECT_EQ(g.size(), p);
+    EXPECT_EQ(g.pr(), g.pc());
+  }
+}
+
+TEST(ProcGrid, NonSquareRejected) {
+  EXPECT_THROW(ProcGrid::square(2), std::invalid_argument);
+  EXPECT_THROW(ProcGrid::square(8), std::invalid_argument);
+  EXPECT_THROW(ProcGrid::square(0), std::invalid_argument);
+}
+
+TEST(ProcGrid, RankRoundTrip) {
+  const ProcGrid g(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const int rank = g.rank_of(i, j);
+      EXPECT_EQ(g.row_of(rank), i);
+      EXPECT_EQ(g.col_of(rank), j);
+    }
+  }
+}
+
+class BlockDistCases
+    : public ::testing::TestWithParam<std::pair<Index, int>> {};
+
+TEST_P(BlockDistCases, PartitionIsExactAndBalanced) {
+  const auto [n, parts] = GetParam();
+  const BlockDist d(n, parts);
+  Index total = 0;
+  for (int part = 0; part < parts; ++part) {
+    EXPECT_EQ(d.offset(part), total);
+    total += d.size(part);
+    // Balanced: sizes differ by at most one.
+    EXPECT_LE(d.size(part), n / parts + 1);
+    EXPECT_GE(d.size(part), n / parts);
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(BlockDistCases, OwnerLocalGlobalRoundTrip) {
+  const auto [n, parts] = GetParam();
+  const BlockDist d(n, parts);
+  for (Index g = 0; g < n; ++g) {
+    const int owner = d.owner(g);
+    EXPECT_GE(g, d.offset(owner));
+    EXPECT_LT(g, d.offset(owner) + d.size(owner));
+    EXPECT_EQ(d.to_global(owner, d.to_local(g)), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockDistCases,
+    ::testing::Values(std::pair<Index, int>{10, 3},
+                      std::pair<Index, int>{10, 1},
+                      std::pair<Index, int>{7, 7},
+                      std::pair<Index, int>{3, 5},   // fewer items than parts
+                      std::pair<Index, int>{0, 4},   // empty
+                      std::pair<Index, int>{1000, 32}));
+
+TEST(BlockDist, OwnerOutOfRangeThrows) {
+  const BlockDist d(10, 2);
+  EXPECT_THROW((void)d.owner(10), std::out_of_range);
+  EXPECT_THROW((void)d.owner(-1), std::out_of_range);
+}
+
+TEST(BlockDist, BadPartThrows) {
+  const BlockDist d(10, 2);
+  EXPECT_THROW((void)d.size(2), std::out_of_range);
+  EXPECT_THROW((void)d.offset(-1), std::out_of_range);
+}
+
+TEST(VectorDist, OwnerRoundTrip) {
+  for (const auto& [n, segs, parts] :
+       {std::tuple<Index, int, int>{100, 4, 3},
+        std::tuple<Index, int, int>{17, 3, 5},
+        std::tuple<Index, int, int>{5, 5, 5}}) {
+    const VectorDist vd(n, segs, parts);
+    for (Index g = 0; g < n; ++g) {
+      const VectorDist::Owner o = vd.owner(g);
+      EXPECT_EQ(vd.to_global(o.segment, o.part, o.local), g);
+      EXPECT_LT(o.local, vd.piece_size(o.segment, o.part));
+    }
+  }
+}
+
+TEST(VectorDist, PieceSizesSumToTotal) {
+  const VectorDist vd(123, 4, 4);
+  Index total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (int p = 0; p < 4; ++p) total += vd.piece_size(s, p);
+  }
+  EXPECT_EQ(total, 123);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,180 @@
+#include "matching/dulmage_mendelsohn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+TEST(StructuralRank, MatchesKnownValues) {
+  CooMatrix identity(4, 4);
+  for (Index i = 0; i < 4; ++i) identity.add_edge(i, i);
+  EXPECT_EQ(structural_rank(CscMatrix::from_coo(identity)), 4);
+
+  CooMatrix star(5, 5);
+  for (Index i = 0; i < 5; ++i) star.add_edge(i, 0);
+  EXPECT_EQ(structural_rank(CscMatrix::from_coo(star)), 1);
+
+  EXPECT_EQ(structural_rank(CscMatrix::from_coo(CooMatrix(3, 7))), 0);
+}
+
+TEST(ZeroFreeDiagonal, PermutesNonzerosOntoDiagonal) {
+  // Anti-diagonal matrix: reversing rows fixes the diagonal.
+  CooMatrix anti(3, 3);
+  anti.add_edge(0, 2);
+  anti.add_edge(1, 1);
+  anti.add_edge(2, 0);
+  const CscMatrix a = CscMatrix::from_coo(anti);
+  const Matching m = hopcroft_karp(a);
+  const Permutation perm = zero_free_diagonal_rows(a, m);
+  const CooMatrix permuted = permute(anti, perm, Permutation::identity(3));
+  const CscMatrix pa = CscMatrix::from_coo(permuted);
+  for (Index i = 0; i < 3; ++i) EXPECT_TRUE(pa.has_entry(i, i));
+}
+
+TEST(ZeroFreeDiagonal, RejectsRectangular) {
+  CooMatrix rect(2, 3);
+  rect.add_edge(0, 0);
+  const CscMatrix a = CscMatrix::from_coo(rect);
+  EXPECT_THROW((void)zero_free_diagonal_rows(a, Matching(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(ZeroFreeDiagonal, RejectsStructurallySingular) {
+  CooMatrix singular(2, 2);
+  singular.add_edge(0, 0);
+  singular.add_edge(1, 0);  // column 1 empty
+  const CscMatrix a = CscMatrix::from_coo(singular);
+  const Matching m = hopcroft_karp(a);
+  EXPECT_THROW((void)zero_free_diagonal_rows(a, m), std::invalid_argument);
+}
+
+TEST(DulmageMendelsohn, KnownDecomposition) {
+  // rows r0,r1; cols c0..c2. Edges: r0-c0, r0-c1, r1-c1, r1-c2 plus an extra
+  // row r2 with no edges. MCM = 2; one column must stay unmatched.
+  CooMatrix coo(3, 3);
+  coo.add_edge(0, 0);
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 1);
+  coo.add_edge(1, 2);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const Matching m = hopcroft_karp(a);
+  const DmDecomposition dm = dulmage_mendelsohn(a, m);
+  // r2 is an unmatched empty row -> Vertical. One column is unmatched and
+  // drags its whole alternating component Horizontal.
+  EXPECT_EQ(dm.row_part[2], DmPart::Vertical);
+  EXPECT_EQ(dm.count_cols(DmPart::Horizontal), 3);
+  EXPECT_EQ(dm.count_rows(DmPart::Horizontal), 2);
+}
+
+TEST(DulmageMendelsohn, PerfectMatchingIsAllSquare) {
+  CooMatrix coo(3, 3);
+  for (Index i = 0; i < 3; ++i) coo.add_edge(i, i);
+  coo.add_edge(0, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const DmDecomposition dm = dulmage_mendelsohn(a, hopcroft_karp(a));
+  EXPECT_EQ(dm.count_rows(DmPart::Square), 3);
+  EXPECT_EQ(dm.count_cols(DmPart::Square), 3);
+}
+
+TEST(DulmageMendelsohn, RejectsNonMaximumMatching) {
+  // Empty matching on a graph with edges: augmenting path exists.
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_THROW((void)dulmage_mendelsohn(a, Matching(2, 2)),
+               std::invalid_argument);
+}
+
+class DmOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(DmOnCorpus, InvariantsHold) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = hopcroft_karp(a);
+  const DmDecomposition dm = dulmage_mendelsohn(a, m);
+
+  // Unmatched vertices land in their canonical parts.
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    if (m.mate_c[static_cast<std::size_t>(j)] == kNull) {
+      EXPECT_EQ(dm.col_part[static_cast<std::size_t>(j)], DmPart::Horizontal);
+    }
+  }
+  for (Index i = 0; i < a.n_rows(); ++i) {
+    if (m.mate_r[static_cast<std::size_t>(i)] == kNull) {
+      EXPECT_EQ(dm.row_part[static_cast<std::size_t>(i)], DmPart::Vertical);
+    }
+  }
+  // Matched pairs share a part.
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    const Index i = m.mate_c[static_cast<std::size_t>(j)];
+    if (i != kNull) {
+      EXPECT_EQ(dm.row_part[static_cast<std::size_t>(i)],
+                dm.col_part[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Block-triangular zero structure: a Horizontal column only neighbors
+  // Horizontal rows; a Square column never neighbors a ... (Square columns
+  // may neighbor Vertical rows? No: a Vertical row reaches all its columns,
+  // so any column adjacent to a Vertical row is Vertical.)
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (dm.col_part[static_cast<std::size_t>(j)] == DmPart::Horizontal) {
+        EXPECT_EQ(dm.row_part[static_cast<std::size_t>(i)], DmPart::Horizontal)
+            << "edge (" << i << "," << j << ")";
+      }
+      if (dm.row_part[static_cast<std::size_t>(i)] == DmPart::Vertical) {
+        EXPECT_EQ(dm.col_part[static_cast<std::size_t>(j)], DmPart::Vertical)
+            << "edge (" << i << "," << j << ")";
+      }
+    }
+  }
+  // Square part is perfectly matched within itself.
+  EXPECT_EQ(dm.count_rows(DmPart::Square), dm.count_cols(DmPart::Square));
+  // Cardinality decomposes: every Horizontal row, Square row/col pair and
+  // Vertical column is matched.
+  EXPECT_EQ(m.cardinality(), dm.count_rows(DmPart::Horizontal)
+                                 + dm.count_rows(DmPart::Square)
+                                 + dm.count_cols(DmPart::Vertical));
+}
+
+TEST_P(DmOnCorpus, HallViolatorWitnessesDeficiency) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = hopcroft_karp(a);
+  const Index deficiency = unmatched_cols(m);
+  const std::vector<Index> violator = hall_violator(a, m);
+  if (deficiency == 0) {
+    EXPECT_TRUE(violator.empty());
+    return;
+  }
+  ASSERT_FALSE(violator.empty());
+  // Compute N(S) and check |S| - |N(S)| equals the deficiency exactly
+  // (the horizontal part is the *maximum* violator).
+  std::vector<bool> neighbor(static_cast<std::size_t>(a.n_rows()), false);
+  Index neighbor_count = 0;
+  for (const Index j : violator) {
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const Index i = a.row_at(k);
+      if (!neighbor[static_cast<std::size_t>(i)]) {
+        neighbor[static_cast<std::size_t>(i)] = true;
+        ++neighbor_count;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(violator.size()) - neighbor_count, deficiency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DmOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mcm

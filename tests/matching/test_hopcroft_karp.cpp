@@ -1,0 +1,119 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "gen/er.hpp"
+#include "matching/maximal.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const CscMatrix a = CscMatrix::from_coo(CooMatrix(3, 4));
+  const Matching m = hopcroft_karp(a);
+  EXPECT_EQ(m.cardinality(), 0);
+}
+
+TEST(HopcroftKarp, SingleEdge) {
+  CooMatrix coo(1, 1);
+  coo.add_edge(0, 0);
+  const Matching m = hopcroft_karp(CscMatrix::from_coo(coo));
+  EXPECT_EQ(m.cardinality(), 1);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  CooMatrix coo(6, 6);
+  for (Index i = 0; i < 6; ++i) coo.add_edge(i, i);
+  EXPECT_EQ(hopcroft_karp(CscMatrix::from_coo(coo)).cardinality(), 6);
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  CooMatrix coo(5, 5);
+  for (Index i = 0; i < 5; ++i) coo.add_edge(i, 0);
+  EXPECT_EQ(hopcroft_karp(CscMatrix::from_coo(coo)).cardinality(), 1);
+}
+
+TEST(HopcroftKarp, NeedsAugmentation) {
+  // Greedy-adversarial instance: column order would trap a naive matcher.
+  // c0-{r0,r1}, c1-{r0}: optimum 2, greedy on c0 taking r0 needs an
+  // augmenting path.
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 0);
+  coo.add_edge(0, 1);
+  const Matching m = hopcroft_karp(CscMatrix::from_coo(coo));
+  EXPECT_EQ(m.cardinality(), 2);
+}
+
+TEST(HopcroftKarp, KnownDeficientGraph) {
+  // 3 columns all adjacent only to 2 rows: MCM = 2 (König).
+  CooMatrix coo(2, 3);
+  for (Index j = 0; j < 3; ++j) {
+    coo.add_edge(0, j);
+    coo.add_edge(1, j);
+  }
+  EXPECT_EQ(hopcroft_karp(CscMatrix::from_coo(coo)).cardinality(), 2);
+}
+
+TEST(HopcroftKarp, PlantedPerfectMatchingFound) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const CooMatrix coo = planted_perfect(60, 150, rng);
+    EXPECT_EQ(hopcroft_karp(CscMatrix::from_coo(coo)).cardinality(), 60);
+  }
+}
+
+class HopcroftKarpOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(HopcroftKarpOnCorpus, ProducesCertifiedMaximumMatching) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = hopcroft_karp(a);
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+}
+
+TEST_P(HopcroftKarpOnCorpus, WarmStartFromMaximalGivesSameCardinality) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Index cold = hopcroft_karp(a).cardinality();
+  const Matching warm_init = greedy_maximal(a);
+  const Matching warm = hopcroft_karp(a, warm_init);
+  EXPECT_EQ(warm.cardinality(), cold);
+  EXPECT_TRUE(verify_valid(a, warm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HopcroftKarpOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(HopcroftKarp, MismatchedInitialThrows) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  EXPECT_THROW(hopcroft_karp(CscMatrix::from_coo(coo), Matching(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(HopcroftKarp, DeepAugmentingPathsDoNotOverflow) {
+  // A long alternating chain: c_i - r_i and c_{i+1} - r_i force augmenting
+  // paths of length Theta(n) in the final phase. Guards the iterative DFS.
+  const Index n = 50000;
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.add_edge(i, i);
+  for (Index i = 0; i + 1 < n; ++i) coo.add_edge(i, i + 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  // Adversarial warm start: match c_{i+1} to r_i everywhere, leaving c_0
+  // and r_{n-1} free with a single augmenting path through every vertex.
+  Matching init(n, n);
+  for (Index i = 0; i + 1 < n; ++i) init.match(i, i + 1);
+  const Matching m = hopcroft_karp(a, init);
+  EXPECT_EQ(m.cardinality(), n);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,62 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Matching, EmptyMatchingIsConsistent) {
+  const Matching m(4, 5);
+  EXPECT_EQ(m.n_rows(), 4);
+  EXPECT_EQ(m.n_cols(), 5);
+  EXPECT_EQ(m.cardinality(), 0);
+  EXPECT_TRUE(m.consistent());
+  EXPECT_EQ(unmatched_cols(m), 5);
+  EXPECT_EQ(unmatched_rows(m), 4);
+}
+
+TEST(Matching, MatchRecordsBothSides) {
+  Matching m(3, 3);
+  m.match(1, 2);
+  EXPECT_EQ(m.mate_r[1], 2);
+  EXPECT_EQ(m.mate_c[2], 1);
+  EXPECT_EQ(m.cardinality(), 1);
+  EXPECT_TRUE(m.consistent());
+  EXPECT_EQ(unmatched_cols(m), 2);
+  EXPECT_EQ(unmatched_rows(m), 2);
+}
+
+TEST(Matching, InconsistentWhenOneSided) {
+  Matching m(2, 2);
+  m.mate_r[0] = 1;  // mate_c[1] left unset
+  EXPECT_FALSE(m.consistent());
+}
+
+TEST(Matching, InconsistentWhenCrossed) {
+  Matching m(2, 2);
+  m.mate_r[0] = 0;
+  m.mate_c[0] = 1;
+  EXPECT_FALSE(m.consistent());
+}
+
+TEST(Matching, InconsistentWhenOutOfRange) {
+  Matching m(2, 2);
+  m.mate_r[0] = 5;
+  EXPECT_FALSE(m.consistent());
+  Matching m2(2, 2);
+  m2.mate_c[1] = -3;  // any negative other than kNull handled as bogus row
+  m2.mate_c[1] = 7;
+  EXPECT_FALSE(m2.consistent());
+}
+
+TEST(Matching, EqualityComparesMates) {
+  Matching a(2, 2), b(2, 2);
+  EXPECT_EQ(a, b);
+  a.match(0, 1);
+  EXPECT_NE(a, b);
+  b.match(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mcm

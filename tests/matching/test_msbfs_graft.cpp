@@ -1,0 +1,162 @@
+#include "matching/msbfs_graft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matching/msbfs_seq.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+class GraftOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(GraftOnCorpus, ColdStartIsCertifiedMaximum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  const Matching m =
+      msbfs_graft_maximum(a, at, Matching(a.n_rows(), a.n_cols()));
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+}
+
+TEST_P(GraftOnCorpus, WarmStartFromEveryInitializer) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  const Index optimum = maximum_matching_size(a);
+  Rng rng(3);
+  for (Matching init : {greedy_maximal(a), karp_sipser(a, at, rng),
+                        dynamic_mindegree(a, at)}) {
+    const Matching m = msbfs_graft_maximum(a, at, std::move(init));
+    EXPECT_EQ(m.cardinality(), optimum);
+    EXPECT_TRUE(verify_valid(a, m));
+  }
+}
+
+TEST_P(GraftOnCorpus, StatsAreConsistent) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  GraftStats stats;
+  const Matching m =
+      msbfs_graft_maximum(a, at, Matching(a.n_rows(), a.n_cols()), &stats);
+  EXPECT_EQ(stats.augmentations, m.cardinality());
+  EXPECT_GE(stats.freed_rows, stats.grafted_rows);
+  if (m.cardinality() > 0) {
+    EXPECT_GE(stats.phases, 1);
+  }
+  // Every BFS/graft scan is an edge touch; bounded by phases * edges.
+  EXPECT_LE(stats.traversed_edges,
+            static_cast<std::uint64_t>(stats.phases + 1)
+                * 2 * static_cast<std::uint64_t>(a.nnz()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GraftOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+class GraftMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(GraftMedium, OptimalOnMediumInstances) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  const Matching init = dynamic_mindegree(a, at);
+  const Matching m = msbfs_graft_maximum(a, at, init);
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+}
+
+TEST_P(GraftMedium, TraversalsStayNearPlainMsBfs) {
+  // The rebuild-vs-graft switch bounds the overhead: even on cold starts,
+  // where nearly every tree augments and grafting would be wasteful, total
+  // traversals stay within a couple of full edge sweeps of plain MS-BFS.
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  MsBfsStats plain_stats;
+  (void)msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()), {}, &plain_stats);
+  GraftStats graft_stats;
+  (void)msbfs_graft_maximum(a, at, Matching(a.n_rows(), a.n_cols()),
+                            &graft_stats);
+  EXPECT_LE(graft_stats.traversed_edges,
+            plain_stats.spmv_flops + 3 * static_cast<std::uint64_t>(a.nnz()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, GraftMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(Graft, MismatchedArgumentsThrow) {
+  CooMatrix coo(3, 2);
+  coo.add_edge(0, 0);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const CscMatrix at = a.transposed();
+  EXPECT_THROW((void)msbfs_graft_maximum(a, a, Matching(3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)msbfs_graft_maximum(a, at, Matching(2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Graft, AlreadyMaximumMakesNoChanges) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  Matching perfect(2, 2);
+  perfect.match(0, 0);
+  perfect.match(1, 1);
+  GraftStats stats;
+  const Matching m =
+      msbfs_graft_maximum(a, a.transposed(), perfect, &stats);
+  EXPECT_EQ(m, perfect);
+  EXPECT_EQ(stats.phases, 0);
+}
+
+TEST(Graft, GraftingActuallyHappensOnAdversarialChain) {
+  // Long alternating chain plus a pendant: forces several phases in which
+  // trees die and their vertices must be re-attached to surviving trees.
+  const Index n = 200;
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.add_edge(i, i);
+  for (Index i = 0; i + 1 < n; ++i) coo.add_edge(i, i + 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  // Adversarial warm start leaving two far-apart unmatched columns.
+  Matching init(n, n);
+  for (Index i = 2; i + 1 < n; ++i) init.match(i, i + 1);
+  GraftStats stats;
+  const Matching m = msbfs_graft_maximum(a, a.transposed(), init, &stats);
+  EXPECT_EQ(m.cardinality(), n);
+  EXPECT_TRUE(verify_maximum(a, m));
+}
+
+TEST(Graft, BeatsPlainRebuildOnWarmStartWithFewDeathsPerPhase) {
+  // Warm start on a long chain: each phase augments one of the two
+  // surviving trees, so almost the whole forest stays alive — the grafting
+  // sweet spot. Plain MS-BFS rebuilds the massive forest each phase.
+  const Index n = 3000;
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.add_edge(i, i);
+  for (Index i = 0; i + 1 < n; ++i) coo.add_edge(i, i + 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  const CscMatrix at = a.transposed();
+  Matching init(n, n);
+  for (Index i = 4; i + 1 < n; ++i) init.match(i, i + 1);  // leaves c0..c4 area free
+  MsBfsStats plain_stats;
+  const Matching plain = msbfs_maximum(a, init, {}, &plain_stats);
+  GraftStats graft_stats;
+  const Matching graft = msbfs_graft_maximum(a, at, init, &graft_stats);
+  EXPECT_EQ(plain.cardinality(), graft.cardinality());
+  if (plain_stats.phases > 3) {
+    EXPECT_LT(graft_stats.traversed_edges, plain_stats.spmv_flops);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

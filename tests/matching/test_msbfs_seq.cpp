@@ -1,0 +1,170 @@
+#include "matching/msbfs_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+class MsBfsOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(MsBfsOnCorpus, ColdStartIsCertifiedMaximum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()));
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+}
+
+TEST_P(MsBfsOnCorpus, WarmStartFromEveryInitializer) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const CscMatrix at = a.transposed();
+  const Index optimum = maximum_matching_size(a);
+  Rng rng(3);
+  for (Matching init : {greedy_maximal(a), karp_sipser(a, at, rng),
+                        dynamic_mindegree(a, at)}) {
+    const Matching m = msbfs_maximum(a, std::move(init));
+    EXPECT_EQ(m.cardinality(), optimum);
+    EXPECT_TRUE(verify_valid(a, m));
+  }
+}
+
+TEST_P(MsBfsOnCorpus, AllSemiringsReachOptimum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Index optimum = maximum_matching_size(a);
+  for (const SemiringKind kind :
+       {SemiringKind::MinParent, SemiringKind::MaxParent,
+        SemiringKind::RandParent, SemiringKind::RandRoot}) {
+    MsBfsOptions options;
+    options.semiring = kind;
+    options.seed = 99;
+    const Matching m =
+        msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()), options);
+    EXPECT_EQ(m.cardinality(), optimum)
+        << "semiring " << static_cast<int>(kind);
+    EXPECT_TRUE(verify_valid(a, m));
+  }
+}
+
+TEST_P(MsBfsOnCorpus, PruningDoesNotChangeCardinality) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  MsBfsOptions with_prune;
+  with_prune.enable_prune = true;
+  MsBfsOptions without_prune;
+  without_prune.enable_prune = false;
+  const Matching m1 =
+      msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()), with_prune);
+  const Matching m2 =
+      msbfs_maximum(a, Matching(a.n_rows(), a.n_cols()), without_prune);
+  EXPECT_EQ(m1.cardinality(), m2.cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MsBfsOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+class MsBfsMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(MsBfsMedium, OptimalWithDefaultPipeline) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching init = dynamic_mindegree(a, a.transposed());
+  MsBfsStats stats;
+  const Matching m = msbfs_maximum(a, init, {}, &stats);
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_GE(stats.iterations, stats.phases);
+  EXPECT_EQ(stats.augmentations, m.cardinality() - init.cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, MsBfsMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(MsBfs, StatsCountPhasesAndFlops) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 0);
+  coo.add_edge(0, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  MsBfsStats stats;
+  const Matching m = msbfs_maximum(a, Matching(2, 2), {}, &stats);
+  EXPECT_EQ(m.cardinality(), 2);
+  EXPECT_GE(stats.phases, 1);
+  EXPECT_GT(stats.spmv_flops, 0u);
+  EXPECT_EQ(stats.augmentations, 2);
+}
+
+TEST(MsBfs, EmptyGraphTerminatesImmediately) {
+  const CscMatrix a = CscMatrix::from_coo(CooMatrix(4, 4));
+  MsBfsStats stats;
+  const Matching m = msbfs_maximum(a, Matching(4, 4), {}, &stats);
+  EXPECT_EQ(m.cardinality(), 0);
+  EXPECT_EQ(stats.phases, 0);
+}
+
+TEST(MsBfs, AlreadyMaximumInputMakesNoChange) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  Matching perfect(2, 2);
+  perfect.match(0, 0);
+  perfect.match(1, 1);
+  MsBfsStats stats;
+  const Matching m = msbfs_maximum(a, perfect, {}, &stats);
+  EXPECT_EQ(m, perfect);
+  EXPECT_EQ(stats.augmentations, 0);
+}
+
+TEST(MsBfs, MismatchedInitialThrows) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  EXPECT_THROW(msbfs_maximum(CscMatrix::from_coo(coo), Matching(1, 1)),
+               std::invalid_argument);
+}
+
+TEST(AugmentPaths, FlipsASinglePath) {
+  // Path: c0 (root, unmatched) - r0 - c1 - r1 (endpoint). Initially (r0, c1)
+  // matched; after augmenting, (r0, c0) and (r1, c1) are matched.
+  Matching m(2, 2);
+  m.match(0, 1);
+  std::vector<Index> path_c{1, kNull};  // wait: indexed by root column
+  // root is column 0; endpoint row is 1.
+  path_c = {1, kNull};
+  std::vector<Index> pi_r{0, 1};  // r0 discovered by c0, r1 by c1
+  const Index augmented = augment_paths(path_c, pi_r, m);
+  EXPECT_EQ(augmented, 1);
+  EXPECT_EQ(m.mate_r[0], 0);
+  EXPECT_EQ(m.mate_r[1], 1);
+  EXPECT_TRUE(m.consistent());
+}
+
+TEST(AugmentPaths, LengthOnePath) {
+  Matching m(1, 1);
+  const std::vector<Index> path_c{0};
+  const std::vector<Index> pi_r{0};
+  Index longest = 0;
+  EXPECT_EQ(augment_paths(path_c, pi_r, m, &longest), 1);
+  EXPECT_EQ(m.mate_r[0], 0);
+  EXPECT_EQ(longest, 1);
+}
+
+TEST(AugmentPaths, BrokenParentChainThrows) {
+  Matching m(1, 1);
+  const std::vector<Index> path_c{0};
+  const std::vector<Index> pi_r{kNull};
+  EXPECT_THROW(augment_paths(path_c, pi_r, m), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mcm

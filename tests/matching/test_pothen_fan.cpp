@@ -1,0 +1,72 @@
+#include "matching/pothen_fan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+class PothenFanOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PothenFanOnCorpus, MatchesHopcroftKarpCardinality) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = pothen_fan(a);
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+}
+
+TEST_P(PothenFanOnCorpus, WarmStartPreservesOptimality) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = pothen_fan(a, greedy_maximal(a));
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_TRUE(verify_valid(a, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PothenFanOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+class PothenFanMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PothenFanMedium, OptimalOnMediumInstances) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  EXPECT_EQ(pothen_fan(a).cardinality(), maximum_matching_size(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, PothenFanMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(PothenFan, MismatchedInitialThrows) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  EXPECT_THROW(pothen_fan(CscMatrix::from_coo(coo), Matching(9, 9)),
+               std::invalid_argument);
+}
+
+TEST(PothenFan, LookaheadFindsDirectEndpoints) {
+  // Column adjacent to one matched and one unmatched row: lookahead must
+  // grab the unmatched row without descending.
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_EQ(pothen_fan(a).cardinality(), 2);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,117 @@
+#include "matching/push_relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+#include "matching/verify.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::medium_corpus;
+using testing::small_corpus;
+
+class PushRelabelOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PushRelabelOnCorpus, ColdStartIsCertifiedMaximum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m =
+      push_relabel_maximum(a, a.transposed(), Matching(a.n_rows(), a.n_cols()));
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_TRUE(r) << r.reason;
+}
+
+TEST_P(PushRelabelOnCorpus, WarmStartReachesOptimum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = push_relabel_maximum(a, a.transposed(), greedy_maximal(a));
+  EXPECT_EQ(m.cardinality(), maximum_matching_size(a));
+  EXPECT_TRUE(verify_valid(a, m));
+}
+
+TEST_P(PushRelabelOnCorpus, StatsAreConsistent) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  PushRelabelStats stats;
+  const Matching m =
+      push_relabel_maximum(a, a.transposed(), Matching(a.n_rows(), a.n_cols()), &stats);
+  // Every matched edge required at least one push; steals add more.
+  EXPECT_GE(stats.pushes, static_cast<std::uint64_t>(m.cardinality()));
+  // A non-isolated column is only abandoned after label raises drove it (or
+  // its neighbors' mates) to the bound.
+  if (stats.discarded > 0) {
+    EXPECT_GT(stats.relabels, 0u);
+  }
+  // Deficiency = discarded + isolated columns.
+  Index isolated = 0;
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    if (a.col_degree(j) == 0) ++isolated;
+  }
+  EXPECT_EQ(a.n_cols() - m.cardinality(), stats.discarded + isolated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PushRelabelOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+class PushRelabelMedium : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PushRelabelMedium, OptimalOnMediumInstances) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  EXPECT_EQ(push_relabel_maximum(a, a.transposed(), Matching(a.n_rows(), a.n_cols()))
+                .cardinality(),
+            maximum_matching_size(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medium, PushRelabelMedium, ::testing::ValuesIn(medium_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(PushRelabel, StealsWhenNeeded) {
+  // c0-{r0}, c1-{r0, r1}: greedy order would match c1-r0 first; push-relabel
+  // must steal r0 back for c0.
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(0, 1);
+  coo.add_edge(1, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  PushRelabelStats stats;
+  const Matching m = push_relabel_maximum(a, a.transposed(), Matching(2, 2), &stats);
+  EXPECT_EQ(m.cardinality(), 2);
+  EXPECT_EQ(m.mate_c[0], 0);
+  EXPECT_EQ(m.mate_c[1], 1);
+}
+
+TEST(PushRelabel, DiscardsUnmatchableColumns) {
+  // 3 columns share 1 row: 2 columns must be discarded, not spun forever.
+  CooMatrix coo(1, 3);
+  for (Index j = 0; j < 3; ++j) coo.add_edge(0, j);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  PushRelabelStats stats;
+  const Matching m = push_relabel_maximum(a, a.transposed(), Matching(1, 3), &stats);
+  EXPECT_EQ(m.cardinality(), 1);
+  EXPECT_EQ(stats.discarded, 2);
+}
+
+TEST(PushRelabel, MismatchedArgumentsThrow) {
+  CooMatrix coo(3, 2);
+  coo.add_edge(0, 0);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_THROW((void)push_relabel_maximum(a, a.transposed(), Matching(3, 3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)push_relabel_maximum(a, a, Matching(3, 2)),
+               std::invalid_argument);
+}
+
+TEST(PushRelabel, EmptyGraph) {
+  const CscMatrix a = CscMatrix::from_coo(CooMatrix(4, 4));
+  EXPECT_EQ(push_relabel_maximum(a, a.transposed(), Matching(4, 4)).cardinality(), 0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,133 @@
+#include "matching/koenig.hpp"
+#include "matching/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/maximal.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+CooMatrix two_by_two() {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 0);
+  coo.add_edge(0, 1);
+  return coo;
+}
+
+TEST(VerifyValid, AcceptsEmptyMatching) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  EXPECT_TRUE(verify_valid(a, Matching(2, 2)));
+}
+
+TEST(VerifyValid, RejectsWrongDimensions) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  EXPECT_FALSE(verify_valid(a, Matching(3, 2)));
+}
+
+TEST(VerifyValid, RejectsNonEdgeMatch) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  Matching m(2, 2);
+  m.match(1, 1);  // (1,1) is not an edge
+  const VerifyResult r = verify_valid(a, m);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("not an edge"), std::string::npos);
+}
+
+TEST(VerifyValid, RejectsInconsistentMates) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  Matching m(2, 2);
+  m.mate_r[0] = 0;  // one-sided
+  EXPECT_FALSE(verify_valid(a, m));
+}
+
+TEST(VerifyMaximal, RejectsNonMaximal) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  const VerifyResult r = verify_maximal(a, Matching(2, 2));
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("unmatched"), std::string::npos);
+}
+
+TEST(VerifyMaximal, AcceptsMaximal) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  Matching m(2, 2);
+  m.match(0, 0);  // rows {1} and cols {1} remain but (1,1) is no edge
+  EXPECT_TRUE(verify_maximal(a, m));
+}
+
+TEST(VerifyMaximum, RejectsMaximalButNotMaximum) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  Matching m(2, 2);
+  m.match(0, 0);  // maximal, but optimum is 2 via augmenting path
+  const VerifyResult r = verify_maximum(a, m);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("not maximum"), std::string::npos);
+}
+
+TEST(VerifyMaximum, AcceptsTrueMaximum) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  Matching m(2, 2);
+  m.match(1, 0);
+  m.match(0, 1);
+  EXPECT_TRUE(verify_maximum(a, m));
+}
+
+class KoenigOnCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(KoenigOnCorpus, CoverFromMaximumMatchingIsMinimum) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching m = hopcroft_karp(a);
+  const VertexCover cover = koenig_cover(a, m);
+  EXPECT_TRUE(cover_is_valid(a, cover));
+  EXPECT_EQ(cover.size(), m.cardinality());  // König's theorem
+}
+
+TEST_P(KoenigOnCorpus, CoverFromMaximalMatchingIsLargerUnlessOptimal) {
+  const CscMatrix a = CscMatrix::from_coo(GetParam().coo);
+  const Matching maximal = greedy_maximal(a);
+  const Index optimum = maximum_matching_size(a);
+  const VertexCover cover = koenig_cover(a, maximal);
+  // The construction always covers; size exceeds |M| exactly when an
+  // augmenting path exists.
+  EXPECT_TRUE(cover_is_valid(a, cover));
+  if (maximal.cardinality() == optimum) {
+    EXPECT_EQ(cover.size(), maximal.cardinality());
+  } else {
+    EXPECT_GT(cover.size(), maximal.cardinality());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, KoenigOnCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(Koenig, EmptyGraphEmptyCover) {
+  const CscMatrix a = CscMatrix::from_coo(CooMatrix(3, 3));
+  const VertexCover cover = koenig_cover(a, Matching(3, 3));
+  EXPECT_EQ(cover.size(), 0);
+  EXPECT_TRUE(cover_is_valid(a, cover));
+}
+
+TEST(CoverIsValid, DetectsUncoveredEdge) {
+  const CscMatrix a = CscMatrix::from_coo(two_by_two());
+  VertexCover empty_cover;
+  EXPECT_FALSE(cover_is_valid(a, empty_cover));
+  VertexCover row_zero;
+  row_zero.rows = {0};
+  EXPECT_FALSE(cover_is_valid(a, row_zero));  // edge (1,0) uncovered
+  VertexCover good;
+  good.rows = {0};
+  good.cols = {0};
+  EXPECT_TRUE(cover_is_valid(a, good));
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,85 @@
+#include "matrix/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+TEST(Coo, EmptyMatrix) {
+  CooMatrix m(3, 4);
+  EXPECT_EQ(m.n_rows, 3);
+  EXPECT_EQ(m.n_cols, 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Coo, AddEdgeAndValidate) {
+  CooMatrix m(2, 2);
+  m.add_edge(0, 1);
+  m.add_edge(1, 0);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Coo, ValidateCatchesRowOutOfRange) {
+  CooMatrix m(2, 2);
+  m.add_edge(2, 0);
+  EXPECT_THROW(m.validate(), std::out_of_range);
+}
+
+TEST(Coo, ValidateCatchesColOutOfRange) {
+  CooMatrix m(2, 2);
+  m.add_edge(0, -1);
+  EXPECT_THROW(m.validate(), std::out_of_range);
+}
+
+TEST(Coo, SortDedupRemovesDuplicates) {
+  CooMatrix m(3, 3);
+  m.add_edge(1, 2);
+  m.add_edge(0, 0);
+  m.add_edge(1, 2);
+  m.add_edge(1, 2);
+  EXPECT_EQ(m.sort_dedup(), 2);
+  EXPECT_EQ(m.nnz(), 2);
+  // Column-major order after sorting.
+  EXPECT_EQ(m.cols[0], 0);
+  EXPECT_EQ(m.cols[1], 2);
+}
+
+TEST(Coo, SortDedupOrdersColumnMajor) {
+  CooMatrix m(3, 3);
+  m.add_edge(2, 1);
+  m.add_edge(0, 1);
+  m.add_edge(1, 0);
+  m.sort_dedup();
+  EXPECT_EQ(m.cols[0], 0);
+  EXPECT_EQ(m.rows[1], 0);
+  EXPECT_EQ(m.rows[2], 2);
+}
+
+TEST(Coo, TransposeSwapsDimensionsAndEntries) {
+  CooMatrix m(2, 3);
+  m.add_edge(1, 2);
+  const CooMatrix t = m.transposed();
+  EXPECT_EQ(t.n_rows, 3);
+  EXPECT_EQ(t.n_cols, 2);
+  ASSERT_EQ(t.nnz(), 1);
+  EXPECT_EQ(t.rows[0], 2);
+  EXPECT_EQ(t.cols[0], 1);
+}
+
+TEST(Coo, DoubleTransposeIsIdentity) {
+  CooMatrix m(4, 5);
+  m.add_edge(0, 4);
+  m.add_edge(3, 1);
+  CooMatrix tt = m.transposed().transposed();
+  m.sort_dedup();
+  tt.sort_dedup();
+  EXPECT_EQ(tt.rows, m.rows);
+  EXPECT_EQ(tt.cols, m.cols);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,103 @@
+#include "matrix/csc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+CooMatrix sample() {
+  // The paper's Fig. 2 bipartite graph shape: 5 rows x 5 cols.
+  CooMatrix m(5, 5);
+  m.add_edge(0, 0);
+  m.add_edge(1, 0);
+  m.add_edge(1, 1);
+  m.add_edge(2, 1);
+  m.add_edge(2, 2);
+  m.add_edge(3, 3);
+  m.add_edge(4, 3);
+  m.add_edge(4, 4);
+  return m;
+}
+
+TEST(Csc, BuildFromCoo) {
+  const CscMatrix a = CscMatrix::from_coo(sample());
+  EXPECT_EQ(a.n_rows(), 5);
+  EXPECT_EQ(a.n_cols(), 5);
+  EXPECT_EQ(a.nnz(), 8);
+  EXPECT_EQ(a.col_degree(0), 2);
+  EXPECT_EQ(a.col_degree(4), 1);
+}
+
+TEST(Csc, RowsSortedWithinColumns) {
+  CooMatrix coo(4, 2);
+  coo.add_edge(3, 0);
+  coo.add_edge(0, 0);
+  coo.add_edge(2, 0);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_EQ(a.row_at(a.col_begin(0)), 0);
+  EXPECT_EQ(a.row_at(a.col_begin(0) + 1), 2);
+  EXPECT_EQ(a.row_at(a.col_begin(0) + 2), 3);
+}
+
+TEST(Csc, DuplicatesCollapsed) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(0, 1);
+  coo.add_edge(0, 1);
+  coo.add_edge(0, 1);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_EQ(a.nnz(), 1);
+}
+
+TEST(Csc, HasEntry) {
+  const CscMatrix a = CscMatrix::from_coo(sample());
+  EXPECT_TRUE(a.has_entry(0, 0));
+  EXPECT_TRUE(a.has_entry(4, 4));
+  EXPECT_FALSE(a.has_entry(0, 4));
+  EXPECT_FALSE(a.has_entry(-1, 0));
+  EXPECT_FALSE(a.has_entry(0, 5));
+}
+
+TEST(Csc, TransposeFlipsEntries) {
+  const CscMatrix a = CscMatrix::from_coo(sample());
+  const CscMatrix t = a.transposed();
+  EXPECT_EQ(t.n_rows(), a.n_cols());
+  EXPECT_EQ(t.n_cols(), a.n_rows());
+  EXPECT_EQ(t.nnz(), a.nnz());
+  for (Index j = 0; j < a.n_cols(); ++j) {
+    for (Index k = a.col_begin(j); k < a.col_end(j); ++k) {
+      EXPECT_TRUE(t.has_entry(j, a.row_at(k)));
+    }
+  }
+}
+
+TEST(Csc, CooRoundTrip) {
+  Rng rng(99);
+  CooMatrix coo = er_bipartite_m(50, 40, 300, rng);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  CooMatrix back = a.to_coo();
+  back.sort_dedup();
+  coo.sort_dedup();
+  EXPECT_EQ(back.rows, coo.rows);
+  EXPECT_EQ(back.cols, coo.cols);
+}
+
+TEST(Csc, EmptyColumnsHaveZeroDegree) {
+  CooMatrix coo(3, 5);
+  coo.add_edge(0, 2);
+  const CscMatrix a = CscMatrix::from_coo(coo);
+  EXPECT_EQ(a.col_degree(0), 0);
+  EXPECT_EQ(a.col_degree(2), 1);
+  EXPECT_EQ(a.col_degree(4), 0);
+}
+
+TEST(Csc, ZeroByZeroMatrix) {
+  const CscMatrix a = CscMatrix::from_coo(CooMatrix(0, 0));
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.n_rows(), 0);
+}
+
+}  // namespace
+}  // namespace mcm

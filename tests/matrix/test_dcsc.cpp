@@ -1,0 +1,91 @@
+#include "matrix/dcsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "matrix/csc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Dcsc, StoresOnlyNonEmptyColumns) {
+  CooMatrix coo(10, 1000000);  // hypersparse: 3 entries, a million columns
+  coo.add_edge(0, 5);
+  coo.add_edge(3, 5);
+  coo.add_edge(7, 999999);
+  const DcscMatrix m = DcscMatrix::from_coo(coo);
+  EXPECT_EQ(m.nzc(), 2);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.nonempty_col(0), 5);
+  EXPECT_EQ(m.nonempty_col(1), 999999);
+  // Storage must be O(nnz + nzc), not O(n_cols).
+  EXPECT_LT(m.storage_bytes(), 1024u);
+}
+
+TEST(Dcsc, FindColAndDegree) {
+  CooMatrix coo(4, 8);
+  coo.add_edge(0, 2);
+  coo.add_edge(1, 2);
+  coo.add_edge(3, 6);
+  const DcscMatrix m = DcscMatrix::from_coo(coo);
+  EXPECT_EQ(m.find_col(2), 0);
+  EXPECT_EQ(m.find_col(6), 1);
+  EXPECT_EQ(m.find_col(0), kNull);
+  EXPECT_EQ(m.find_col(7), kNull);
+  EXPECT_EQ(m.col_degree(2), 2);
+  EXPECT_EQ(m.col_degree(6), 1);
+  EXPECT_EQ(m.col_degree(3), 0);
+}
+
+TEST(Dcsc, RowsSortedWithinColumns) {
+  CooMatrix coo(5, 3);
+  coo.add_edge(4, 1);
+  coo.add_edge(0, 1);
+  coo.add_edge(2, 1);
+  const DcscMatrix m = DcscMatrix::from_coo(coo);
+  const Index k = m.find_col(1);
+  ASSERT_NE(k, kNull);
+  EXPECT_EQ(m.row_at(m.cp_begin(k)), 0);
+  EXPECT_EQ(m.row_at(m.cp_begin(k) + 1), 2);
+  EXPECT_EQ(m.row_at(m.cp_begin(k) + 2), 4);
+}
+
+TEST(Dcsc, DuplicatesCollapsed) {
+  CooMatrix coo(2, 2);
+  coo.add_edge(1, 1);
+  coo.add_edge(1, 1);
+  const DcscMatrix m = DcscMatrix::from_coo(coo);
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(Dcsc, EmptyMatrix) {
+  const DcscMatrix m = DcscMatrix::from_coo(CooMatrix(5, 5));
+  EXPECT_EQ(m.nzc(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.find_col(2), kNull);
+}
+
+TEST(Dcsc, AgreesWithCscOnRandomMatrix) {
+  Rng rng(123);
+  const CooMatrix coo = er_bipartite_m(60, 80, 400, rng);
+  const DcscMatrix d = DcscMatrix::from_coo(coo);
+  const CscMatrix c = CscMatrix::from_coo(coo);
+  EXPECT_EQ(d.nnz(), c.nnz());
+  for (Index j = 0; j < 80; ++j) {
+    EXPECT_EQ(d.col_degree(j), c.col_degree(j)) << "column " << j;
+  }
+}
+
+TEST(Dcsc, CooRoundTrip) {
+  Rng rng(321);
+  CooMatrix coo = er_bipartite_m(30, 500, 100, rng);
+  CooMatrix back = DcscMatrix::from_coo(coo).to_coo();
+  back.sort_dedup();
+  coo.sort_dedup();
+  EXPECT_EQ(back.rows, coo.rows);
+  EXPECT_EQ(back.cols, coo.cols);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,148 @@
+#include "matrix/mmio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+CooMatrix parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+TEST(Mmio, ParsesPatternGeneral) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 2\n"
+      "1 1\n"
+      "3 4\n");
+  EXPECT_EQ(m.n_rows, 3);
+  EXPECT_EQ(m.n_cols, 4);
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.rows[0], 0);
+  EXPECT_EQ(m.cols[1], 3);
+}
+
+TEST(Mmio, ParsesRealValuesAndDiscardsThem) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.5\n"
+      "2 1 -1e-3\n");
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(Mmio, SymmetricExpandsBothTriangles) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  // (2,1) mirrors to (1,2); diagonal (3,3) does not duplicate.
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(Mmio, SkipsCommentsAndBlankLines) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "\n"
+      "2 2 1\n"
+      "% another\n"
+      "1 1\n");
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(Mmio, RejectsMissingBanner) {
+  EXPECT_THROW(parse("3 3 0\n"), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n2 2 4\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsComplexField) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 0 0\n"),
+      std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 3\n"
+                     "1 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 1\n"
+                     "3 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, RejectsMalformedSizeLine) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 two 1\n1 1\n"),
+               std::runtime_error);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  CooMatrix m(4, 6);
+  m.add_edge(0, 0);
+  m.add_edge(3, 5);
+  m.add_edge(1, 2);
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  CooMatrix back = parse(out.str());
+  m.sort_dedup();
+  back.sort_dedup();
+  EXPECT_EQ(back.n_rows, m.n_rows);
+  EXPECT_EQ(back.n_cols, m.n_cols);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+}
+
+TEST(Mmio, FileRoundTripOnDisk) {
+  CooMatrix m(5, 7);
+  m.add_edge(0, 6);
+  m.add_edge(4, 0);
+  m.add_edge(2, 3);
+  const std::string path = ::testing::TempDir() + "/mcm_mmio_roundtrip.mtx";
+  write_matrix_market_file(path, m);
+  CooMatrix back = read_matrix_market_file(path);
+  m.sort_dedup();
+  back.sort_dedup();
+  EXPECT_EQ(back.n_rows, m.n_rows);
+  EXPECT_EQ(back.n_cols, m.n_cols);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  std::remove(path.c_str());
+}
+
+TEST(Mmio, WriteToUnwritablePathThrows) {
+  CooMatrix m(1, 1);
+  EXPECT_THROW(write_matrix_market_file("/nonexistent_dir/x.mtx", m),
+               std::runtime_error);
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"),
+               std::runtime_error);
+}
+
+TEST(Mmio, CaseInsensitiveHeaderKeywords) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix COORDINATE Pattern General\n"
+      "1 1 1\n"
+      "1 1\n");
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+}  // namespace
+}  // namespace mcm

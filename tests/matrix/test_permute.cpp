@@ -1,0 +1,86 @@
+#include "matrix/permute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+TEST(Permutation, IdentityMapsToSelf) {
+  const Permutation p = Permutation::identity(5);
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(p(i), i);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Permutation, RandomIsBijection) {
+  Rng rng(1);
+  const Permutation p = Permutation::random(100, rng);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Rng rng(2);
+  const Permutation p = Permutation::random(50, rng);
+  const Permutation inv = p.inverse();
+  for (Index i = 0; i < 50; ++i) {
+    EXPECT_EQ(inv(p(i)), i);
+    EXPECT_EQ(p(inv(i)), i);
+  }
+}
+
+TEST(Permutation, ValidateRejectsDuplicates) {
+  Permutation p;
+  p.map = {0, 1, 1};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Permutation, ValidateRejectsOutOfRange) {
+  Permutation p;
+  p.map = {0, 3};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Permute, MovesEntries) {
+  CooMatrix m(2, 2);
+  m.add_edge(0, 1);
+  Permutation row_perm;
+  row_perm.map = {1, 0};
+  Permutation col_perm;
+  col_perm.map = {1, 0};
+  const CooMatrix out = permute(m, row_perm, col_perm);
+  ASSERT_EQ(out.nnz(), 1);
+  EXPECT_EQ(out.rows[0], 1);
+  EXPECT_EQ(out.cols[0], 0);
+}
+
+TEST(Permute, SizeMismatchThrows) {
+  CooMatrix m(2, 3);
+  const Permutation two = Permutation::identity(2);
+  EXPECT_THROW(permute(m, two, two), std::invalid_argument);
+}
+
+TEST(UnpermuteMates, RoundTripsMatching) {
+  // Matching on permuted labels maps back to original labels.
+  Rng rng(3);
+  const Permutation perm_r = Permutation::random(4, rng);
+  const Permutation perm_c = Permutation::random(4, rng);
+  // Original matching: row i matched to column i.
+  std::vector<Index> mate_new(4, kNull);
+  for (Index i = 0; i < 4; ++i) {
+    mate_new[static_cast<std::size_t>(perm_r(i))] = perm_c(i);
+  }
+  const std::vector<Index> mate_old = unpermute_mates(mate_new, perm_r, perm_c);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_EQ(mate_old[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(UnpermuteMates, PreservesNull) {
+  const Permutation id = Permutation::identity(3);
+  const std::vector<Index> mate{kNull, 2, kNull};
+  EXPECT_EQ(unpermute_mates(mate, id, id), mate);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,59 @@
+#include "matrix/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(Stats, CountsBasics) {
+  CooMatrix coo(4, 3);
+  coo.add_edge(0, 0);
+  coo.add_edge(1, 0);
+  coo.add_edge(1, 2);
+  const GraphStats s = compute_stats(CscMatrix::from_coo(coo));
+  EXPECT_EQ(s.n_rows, 4);
+  EXPECT_EQ(s.n_cols, 3);
+  EXPECT_EQ(s.nnz, 3);
+  EXPECT_EQ(s.empty_rows, 2);  // rows 2, 3
+  EXPECT_EQ(s.empty_cols, 1);  // column 1
+  EXPECT_EQ(s.max_row_degree, 2);
+  EXPECT_EQ(s.max_col_degree, 2);
+  EXPECT_DOUBLE_EQ(s.avg_col_degree, 1.0);
+}
+
+TEST(Stats, UniformDegreesHaveLowSkew) {
+  CooMatrix coo(100, 100);
+  for (Index i = 0; i < 100; ++i) coo.add_edge(i, i);
+  const GraphStats s = compute_stats(CscMatrix::from_coo(coo));
+  EXPECT_NEAR(s.col_degree_skew, 0.0, 0.02);
+}
+
+TEST(Stats, SkewedGraphHasHigherSkewThanEr) {
+  Rng rng1(5), rng2(6);
+  const auto er = compute_stats(
+      CscMatrix::from_coo(rmat(RmatParams::er(12), rng1)));
+  const auto g500 = compute_stats(
+      CscMatrix::from_coo(rmat(RmatParams::g500(12), rng2)));
+  EXPECT_GT(g500.col_degree_skew, er.col_degree_skew + 0.1);
+}
+
+TEST(Stats, ToStringMentionsDimensions) {
+  CooMatrix coo(2, 3);
+  coo.add_edge(0, 0);
+  const std::string text = to_string(compute_stats(CscMatrix::from_coo(coo)));
+  EXPECT_NE(text.find("2 x 3"), std::string::npos);
+  EXPECT_NE(text.find("nnz=1"), std::string::npos);
+}
+
+TEST(Stats, EmptyMatrix) {
+  const GraphStats s = compute_stats(CscMatrix::from_coo(CooMatrix(0, 0)));
+  EXPECT_EQ(s.nnz, 0);
+  EXPECT_DOUBLE_EQ(s.avg_row_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace mcm

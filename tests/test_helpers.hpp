@@ -1,0 +1,78 @@
+#pragma once
+/// Shared corpus of small test graphs used by the matching / dist / core
+/// property tests. Sizes are kept small enough that the Hopcroft-Karp oracle
+/// and per-grid-size distributed runs stay fast, while covering the
+/// structural classes that exercise different code paths: square/rectangular,
+/// dense/sparse, high-diameter meshes, skewed RMAT, planted perfect
+/// matchings, and degenerate shapes (empty graph, isolated vertices).
+
+#include <string>
+#include <vector>
+
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "gen/structured.hpp"
+#include "matrix/coo.hpp"
+#include "util/rng.hpp"
+
+namespace mcm::testing {
+
+struct NamedGraph {
+  std::string name;
+  CooMatrix coo;
+};
+
+inline std::vector<NamedGraph> small_corpus(std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"empty_5x7", CooMatrix(5, 7)});
+
+  {
+    CooMatrix path(4, 4);  // alternating path graph
+    path.add_edge(0, 0);
+    path.add_edge(1, 0);
+    path.add_edge(1, 1);
+    path.add_edge(2, 1);
+    path.add_edge(2, 2);
+    path.add_edge(3, 2);
+    path.add_edge(3, 3);
+    graphs.push_back({"path_4x4", path});
+  }
+  {
+    CooMatrix star(5, 5);  // one column adjacent to all rows, rest isolated
+    for (Index i = 0; i < 5; ++i) star.add_edge(i, 0);
+    graphs.push_back({"star_5x5", star});
+  }
+  graphs.push_back({"er_sparse_30x30", er_bipartite_m(30, 30, 60, rng)});
+  graphs.push_back({"er_dense_20x20", er_bipartite_m(20, 20, 200, rng)});
+  graphs.push_back({"rect_tall_40x15", er_bipartite_m(40, 15, 120, rng)});
+  graphs.push_back({"rect_wide_12x35", er_bipartite_m(12, 35, 100, rng)});
+  graphs.push_back({"planted_perfect_25", planted_perfect(25, 50, rng)});
+  graphs.push_back({"grid_mesh_8x8", grid_mesh(8, 8, 0.3, 0.15, rng)});
+  {
+    RmatParams p = RmatParams::g500(6);
+    p.edge_factor = 4.0;
+    graphs.push_back({"rmat_g500_64", rmat(p, rng)});
+  }
+  graphs.push_back({"banded_30", banded(30, 2, 0.6, rng)});
+  graphs.push_back({"kkt_small", kkt_block(30, 12, 1, 0.05, rng)});
+  return graphs;
+}
+
+/// Larger instances for the heavier integration tests (still < 1s each).
+inline std::vector<NamedGraph> medium_corpus(std::uint64_t seed = 43) {
+  Rng rng(seed);
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"er_300x300", er_bipartite_m(300, 300, 1500, rng)});
+  graphs.push_back({"grid_20x20", grid_mesh(20, 20, 0.2, 0.1, rng)});
+  {
+    RmatParams p = RmatParams::g500(9);
+    p.edge_factor = 6.0;
+    graphs.push_back({"rmat_g500_512", rmat(p, rng)});
+  }
+  graphs.push_back({"planted_200", planted_perfect(200, 600, rng)});
+  graphs.push_back({"tall_500x120", tall_rectangular(500, 120, 6.0, 0.1, rng)});
+  return graphs;
+}
+
+}  // namespace mcm::testing

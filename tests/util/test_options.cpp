@@ -1,0 +1,93 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, KeyValueSpaceForm) {
+  const Options o = parse({"--cores", "1024"});
+  EXPECT_EQ(o.get_int("cores", 0), 1024);
+}
+
+TEST(Options, KeyValueEqualsForm) {
+  const Options o = parse({"--cores=2048"});
+  EXPECT_EQ(o.get_int("cores", 0), 2048);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const Options o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(Options, FlagFollowedByOption) {
+  const Options o = parse({"--verbose", "--cores", "64"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get_int("cores", 0), 64);
+}
+
+TEST(Options, PositionalCollected) {
+  const Options o = parse({"input.mtx", "--cores", "4", "more"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.mtx");
+  EXPECT_EQ(o.positional()[1], "more");
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get("name", "fallback"), "fallback");
+  EXPECT_EQ(o.get_int("n", 17), 17);
+  EXPECT_DOUBLE_EQ(o.get_double("x", 2.5), 2.5);
+  EXPECT_TRUE(o.get_bool("b", true));
+  EXPECT_FALSE(o.has("n"));
+}
+
+TEST(Options, DoubleParsing) {
+  const Options o = parse({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(o.get_double("scale", 0), 0.25);
+}
+
+TEST(Options, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=on"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=off"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+}
+
+TEST(Options, MalformedIntegerThrows) {
+  const Options o = parse({"--n=abc"});
+  EXPECT_THROW((void)o.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Options, MalformedDoubleThrows) {
+  const Options o = parse({"--x=1.5zz"});
+  EXPECT_THROW((void)o.get_double("x", 0), std::invalid_argument);
+}
+
+TEST(Options, MalformedBoolThrows) {
+  const Options o = parse({"--b=maybe"});
+  EXPECT_THROW((void)o.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Options, EmptyOptionNameThrows) {
+  std::vector<const char*> argv{"prog", "--=x"};
+  EXPECT_THROW(Options::parse(2, argv.data()), std::invalid_argument);
+}
+
+TEST(Options, LastValueWins) {
+  const Options o = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(o.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundYieldsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SpawnProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.spawn();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace mcm

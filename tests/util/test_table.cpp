@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("align");
+  t.set_header({"a", "b"});
+  t.add_row({"xxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Both data rows must have their second column at the same offset.
+  const auto first = out.find("xxxxx");
+  const auto second = out.find("y", first);
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  const auto bar1 = out.find('|', first);
+  const auto bar2 = out.find('|', second);
+  EXPECT_EQ(bar1 - first, bar2 - second);
+}
+
+TEST(Table, WrongArityThrows) {
+  Table t("bad");
+  t.set_header({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(Table::num(0.5, 0), "0");  // rounds to even/below
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart chart("speedup", "cores", "x");
+  chart.add_series("road_usa", {{24, 1}, {96, 3}, {384, 8}});
+  chart.add_series("amazon", {{24, 1}, {96, 2}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  EXPECT_NE(out.find("road_usa"), std::string::npos);
+  EXPECT_NE(out.find("amazon"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartDoesNotCrash) {
+  AsciiChart chart("empty", "x", "y");
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChart, LogAxesAnnotated) {
+  AsciiChart chart("log", "p", "t");
+  chart.set_log_x(true);
+  chart.set_log_y(true);
+  chart.add_series("s", {{1, 1}, {1024, 100}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("log x"), std::string::npos);
+  EXPECT_NE(out.find("log y"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart chart("one", "x", "y");
+  chart.add_series("s", {{5, 5}});
+  EXPECT_FALSE(chart.render().empty());
+}
+
+}  // namespace
+}  // namespace mcm
