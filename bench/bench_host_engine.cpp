@@ -1,0 +1,388 @@
+/// Host-execution engine microbench: measures the *host wall-clock* effect
+/// of the gridsim performance layer (rank-level thread pool, pooled
+/// SPA/routing buffers, counting/radix fold+INVERT). Simulated ledger time
+/// is identical across all configurations by construction — this bench
+/// reports the only clock the engine is allowed to change.
+///
+/// Two experiments on an R-MAT (G500) instance distributed over a 4x4 grid:
+///
+///   1. single-thread engine vs legacy kernels: the pre-engine algorithms
+///      (fresh SPA per block, comparison-sort fold and INVERT) re-implemented
+///      here verbatim, both run at 1 host thread — isolates the allocation
+///      pooling + O(k) bucketing win;
+///   2. strong scaling over host threads {1, 2, 4, 8} for dist_spmv,
+///      dist_invert, the bottom-up step and the full MCM pipeline.
+///
+/// Results go to stdout as a table and to BENCH_host_engine.json
+/// (machine-readable; see --out). Note scaling numbers are meaningful only
+/// on hosts with as many physical cores as threads — the JSON records
+/// host_cpus so downstream readers can judge.
+///
+/// Usage: bench_host_engine [--rmat-scale N] [--quick] [--iters K]
+/// Output path is fixed: BENCH_host_engine.json in the working directory.
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "algebra/semiring.hpp"
+#include "algebra/vertex.hpp"
+#include "core/mcm_dist.hpp"
+#include "dist/dist_bottomup.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+#include "gen/rmat.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes, int host_threads) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.host_threads = host_threads;
+  return SimContext(config);
+}
+
+/// Pre-engine fold: route every partial entry to its destination with a
+/// per-entry owner lookup, then comparison-sort each destination's inbox.
+/// Kept verbatim (minus ledger charges, irrelevant to wall clock) as the
+/// single-thread baseline for the bucketed fold.
+template <typename T, typename SR>
+DistSpVec<T> legacy_fold(SimContext& ctx,
+                         std::vector<std::vector<SpVec<T>>>& partials,
+                         VSpace out_space, Index out_len, const SR& sr) {
+  DistSpVec<T> y(ctx, out_space, out_len);
+  const int out_segments = static_cast<int>(partials.size());
+  const int out_group =
+      out_segments > 0 ? static_cast<int>(partials[0].size()) : 0;
+  struct Entry {
+    Index local;
+    T value;
+  };
+  for (int os = 0; os < out_segments; ++os) {
+    const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
+    for (int dst = 0; dst < out_group; ++dst) {
+      const Index base = within.offset(dst);
+      const Index upper = base + within.size(dst);
+      std::vector<Entry> received;
+      for (int member = 0; member < out_group; ++member) {
+        const SpVec<T>& part = partials[static_cast<std::size_t>(os)]
+                                       [static_cast<std::size_t>(member)];
+        for (Index k = 0; k < part.nnz(); ++k) {
+          const Index idx = part.index_at(k);
+          if (idx >= base && idx < upper) {
+            received.push_back({idx - base, part.value_at(k)});
+          }
+        }
+      }
+      std::stable_sort(received.begin(), received.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.local < b.local;
+                       });
+      SpVec<T>& piece = y.piece(y.layout().rank_of(os, dst));
+      piece.reserve(received.size());
+      for (std::size_t k = 0; k < received.size();) {
+        const Index local = received[k].local;
+        T value = received[k].value;
+        ++k;
+        while (k < received.size() && received[k].local == local) {
+          value = sr.add(value, received[k].value);
+          ++k;
+        }
+        piece.push_back(local, value);
+      }
+    }
+  }
+  return y;
+}
+
+/// Pre-engine SpMV (col->row): serial over blocks, a freshly allocated SPA
+/// and touched vector per block, comparison-sort fold.
+template <typename SR>
+DistSpVec<Vertex> legacy_spmv(SimContext& ctx, const DistMatrix& a,
+                              const DistSpVec<Vertex>& x, const SR& sr) {
+  const ProcGrid& grid = ctx.grid();
+  const int pr = grid.pr();
+  const int pc = grid.pc();
+  const BlockDist& in_dist = a.col_dist();
+  std::vector<SpVec<Vertex>> segment(static_cast<std::size_t>(pc));
+  for (int s = 0; s < pc; ++s) {
+    SpVec<Vertex> seg(in_dist.size(s));
+    const auto& within = x.layout().dist().within[static_cast<std::size_t>(s)];
+    for (int part = 0; part < pr; ++part) {
+      const SpVec<Vertex>& piece = x.piece(x.layout().rank_of(s, part));
+      const Index offset = within.offset(part);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        seg.push_back(offset + piece.index_at(k), piece.value_at(k));
+      }
+    }
+    segment[static_cast<std::size_t>(s)] = std::move(seg);
+  }
+  std::vector<std::vector<SpVec<Vertex>>> partials(static_cast<std::size_t>(pr));
+  for (int i = 0; i < pr; ++i) {
+    partials[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(pc));
+  }
+  for (int i = 0; i < pr; ++i) {
+    for (int j = 0; j < pc; ++j) {
+      const DcscMatrix& blk = a.block(i, j);
+      Spa<Vertex> spa(blk.n_rows());  // fresh allocation every block
+      partials[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          spmv_dcsc(blk, segment[static_cast<std::size_t>(j)], spa, sr,
+                    nullptr, in_dist.offset(j));
+    }
+  }
+  return legacy_fold(ctx, partials, VSpace::Row, a.n_rows(), sr);
+}
+
+/// Pre-engine INVERT: per-entry inbox push, comparison sort by (key, source).
+template <typename Out, typename T, typename KeyF, typename PayloadF>
+DistSpVec<Out> legacy_invert(SimContext& ctx, const DistSpVec<T>& x,
+                             VSpace out_space, Index out_len, KeyF key_of,
+                             PayloadF payload_of) {
+  DistSpVec<Out> z(ctx, out_space, out_len);
+  const VecLayout& in = x.layout();
+  const VecLayout& out = z.layout();
+  const int p = ctx.processes();
+  struct Routed {
+    Index key;
+    Index source;
+    Out payload;
+  };
+  std::vector<std::vector<Routed>> inbox(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const SpVec<T>& piece = x.piece(r);
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const Index g = in.to_global(r, piece.index_at(k));
+      const Index key = key_of(g, piece.value_at(k));
+      const int dst = out.owner_rank(key);
+      inbox[static_cast<std::size_t>(dst)].push_back(
+          {key, g, payload_of(g, piece.value_at(k))});
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    auto& received = inbox[static_cast<std::size_t>(r)];
+    std::sort(received.begin(), received.end(),
+              [](const Routed& a, const Routed& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.source < b.source;
+              });
+    const Index offset = out.piece_offset(r);
+    SpVec<Out>& piece = z.piece(r);
+    piece.reserve(received.size());
+    Index prev_key = kNull;
+    for (const Routed& e : received) {
+      if (e.key == prev_key) continue;
+      piece.push_back(e.key - offset, e.payload);
+      prev_key = e.key;
+    }
+  }
+  return z;
+}
+
+struct KernelTiming {
+  std::string name;
+  int threads;
+  double wall_ms;
+};
+
+}  // namespace
+}  // namespace mcm
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const Options options = Options::parse(argc, argv);
+  const bool quick = options.get_bool("quick", false);
+  // Default scale 16 puts per-rank vector pieces above kRadixSortMinSize so
+  // the counting/radix fold+INVERT paths (not just the pooling) are exercised.
+  const int scale =
+      static_cast<int>(options.get_int("rmat-scale", quick ? 11 : 16));
+  const int iters = static_cast<int>(options.get_int("iters", quick ? 2 : 3));
+  const std::string out_path = "BENCH_host_engine.json";
+  const int sim_cores = 16;  // 4x4 grid: 16 block tasks per SpMV
+
+  Rng rng(7);
+  const CooMatrix coo = rmat(RmatParams::g500(scale), rng);
+  const Index n_rows = coo.n_rows;
+  const Index n_cols = coo.n_cols;
+  std::fprintf(stderr, "rmat scale %d: %lld x %lld, %lld nnz\n", scale,
+               static_cast<long long>(n_rows), static_cast<long long>(n_cols),
+               static_cast<long long>(coo.nnz()));
+
+  // Inputs shared by every configuration (values, not layouts).
+  SpVec<Vertex> frontier(n_cols);
+  for (Index j = 0; j < n_cols; ++j) frontier.push_back(j, Vertex(j, j));
+  SpVec<Index> to_invert(n_cols);
+  Rng vrng(11);
+  for (Index j = 0; j < n_cols; ++j) {
+    if (vrng.next_bool(0.75)) {
+      to_invert.push_back(j, static_cast<Index>(vrng.next_below(
+                                 static_cast<std::uint64_t>(n_rows))));
+    }
+  }
+  std::vector<Index> pi(static_cast<std::size_t>(n_rows));
+  for (auto& v : pi) {
+    v = vrng.next_bool(0.5) ? kNull
+                            : static_cast<Index>(vrng.next_below(
+                                  static_cast<std::uint64_t>(n_cols)));
+  }
+
+  // --- experiment 1: legacy kernels vs engine kernels, both at 1 thread.
+  double legacy_spmv_ms = 0;
+  double legacy_invert_ms = 0;
+  double engine_spmv_ms = 0;
+  double engine_invert_ms = 0;
+  {
+    SimContext ctx = make_ctx(sim_cores, 1);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    DistSpVec<Vertex> f(ctx, VSpace::Col, n_cols);
+    f.from_global(frontier);
+    DistSpVec<Index> inv_in(ctx, VSpace::Col, n_cols);
+    inv_in.from_global(to_invert);
+    const auto key_of = [](Index, Index value) { return value; };
+    const auto payload_of = [](Index g, Index) { return g; };
+
+    // One untimed warmup per kernel: the engine's pooled scratch allocates on
+    // first use and reuses afterwards; steady state is what we compare.
+    (void)legacy_spmv(ctx, dist, f, Select2ndMinParent{});
+    (void)dist_spmv_col_to_row(ctx, Cost::SpMV, dist, f, Select2ndMinParent{});
+    (void)legacy_invert<Index>(ctx, inv_in, VSpace::Row, n_rows, key_of,
+                               payload_of);
+    (void)dist_invert<Index>(ctx, Cost::Invert, inv_in, VSpace::Row, n_rows,
+                             key_of, payload_of);
+    // Best-of-3 repetitions of each timed loop: the bench often shares its
+    // host with other work, and minimum wall time is the robust statistic.
+    auto best_of = [&](auto&& body) {
+      double best = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        for (int it = 0; it < iters; ++it) body();
+        const double ms = t.milliseconds();
+        if (rep == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+    legacy_spmv_ms = best_of(
+        [&] { (void)legacy_spmv(ctx, dist, f, Select2ndMinParent{}); });
+    engine_spmv_ms = best_of([&] {
+      (void)dist_spmv_col_to_row(ctx, Cost::SpMV, dist, f,
+                                 Select2ndMinParent{});
+    });
+    legacy_invert_ms = best_of([&] {
+      (void)legacy_invert<Index>(ctx, inv_in, VSpace::Row, n_rows, key_of,
+                                 payload_of);
+    });
+    engine_invert_ms = best_of([&] {
+      (void)dist_invert<Index>(ctx, Cost::Invert, inv_in, VSpace::Row, n_rows,
+                               key_of, payload_of);
+    });
+  }
+
+  // --- experiment 2: host-thread strong scaling of the engine kernels.
+  std::vector<KernelTiming> timings;
+  for (const int threads : {1, 2, 4, 8}) {
+    SimContext ctx = make_ctx(sim_cores, threads);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    DistSpVec<Vertex> f(ctx, VSpace::Col, n_cols);
+    f.from_global(frontier);
+    DistSpVec<Index> inv_in(ctx, VSpace::Col, n_cols);
+    inv_in.from_global(to_invert);
+    DistDenseVec<Index> pi_r(ctx, VSpace::Row, n_rows, kNull);
+    pi_r.from_std(pi);
+
+    (void)dist_spmv_col_to_row(ctx, Cost::SpMV, dist, f, Select2ndMinParent{});
+    Timer t;
+    for (int it = 0; it < iters; ++it) {
+      (void)dist_spmv_col_to_row(ctx, Cost::SpMV, dist, f,
+                                 Select2ndMinParent{});
+    }
+    timings.push_back({"dist_spmv", threads, t.milliseconds()});
+    const auto key_of = [](Index, Index value) { return value; };
+    const auto payload_of = [](Index g, Index) { return g; };
+    (void)dist_invert<Index>(ctx, Cost::Invert, inv_in, VSpace::Row, n_rows,
+                             key_of, payload_of);
+    t.reset();
+    for (int it = 0; it < iters; ++it) {
+      (void)dist_invert<Index>(ctx, Cost::Invert, inv_in, VSpace::Row, n_rows,
+                               key_of, payload_of);
+    }
+    timings.push_back({"dist_invert", threads, t.milliseconds()});
+    (void)dist_bottom_up_step(ctx, Cost::SpMV, dist, f, pi_r);
+    t.reset();
+    for (int it = 0; it < iters; ++it) {
+      (void)dist_bottom_up_step(ctx, Cost::SpMV, dist, f, pi_r);
+    }
+    timings.push_back({"bottom_up_step", threads, t.milliseconds()});
+    t.reset();
+    (void)mcm_dist(ctx, dist, Matching(n_rows, n_cols), {});
+    timings.push_back({"mcm_pipeline", threads, t.milliseconds()});
+  }
+
+  // --- report.
+  const int host_cpus =
+      std::max(1u, std::thread::hardware_concurrency());
+  Table single("Host engine vs legacy kernels (1 host thread, "
+               + std::to_string(iters) + " iters)");
+  single.set_header({"kernel", "legacy", "engine", "speedup"});
+  single.add_row({"dist_spmv (fold)", bench::fmt_seconds(legacy_spmv_ms * 1e-3),
+                  bench::fmt_seconds(engine_spmv_ms * 1e-3),
+                  Table::num(legacy_spmv_ms / engine_spmv_ms, 2)});
+  single.add_row({"dist_invert", bench::fmt_seconds(legacy_invert_ms * 1e-3),
+                  bench::fmt_seconds(engine_invert_ms * 1e-3),
+                  Table::num(legacy_invert_ms / engine_invert_ms, 2)});
+  single.print();
+
+  Table scaling("Host-thread strong scaling (" + std::to_string(host_cpus)
+                + " host cpus; speedup vs 1 thread)");
+  scaling.set_header({"kernel", "threads", "wall", "speedup"});
+  auto wall_at_1 = [&](const std::string& name) {
+    for (const auto& k : timings) {
+      if (k.name == name && k.threads == 1) return k.wall_ms;
+    }
+    return 0.0;
+  };
+  for (const auto& k : timings) {
+    scaling.add_row({k.name, Table::num(static_cast<std::int64_t>(k.threads)),
+                     bench::fmt_seconds(k.wall_ms * 1e-3),
+                     Table::num(wall_at_1(k.name) / k.wall_ms, 2)});
+  }
+  scaling.print();
+
+  bench::JsonBuilder json;
+  json.begin_object()
+      .field("bench", "host_engine")
+      .field("host_cpus", host_cpus)
+      .field("rmat_scale", scale)
+      .field("nnz", static_cast<std::int64_t>(coo.nnz()))
+      .field("sim_cores", sim_cores)
+      .field("iters", iters);
+  json.begin_array("single_thread_vs_legacy");
+  json.begin_object()
+      .field("kernel", "dist_spmv")
+      .field("legacy_ms", legacy_spmv_ms)
+      .field("engine_ms", engine_spmv_ms)
+      .field("speedup", legacy_spmv_ms / engine_spmv_ms)
+      .end_object();
+  json.begin_object()
+      .field("kernel", "dist_invert")
+      .field("legacy_ms", legacy_invert_ms)
+      .field("engine_ms", engine_invert_ms)
+      .field("speedup", legacy_invert_ms / engine_invert_ms)
+      .end_object();
+  json.end_array();
+  json.begin_array("thread_scaling");
+  for (const auto& k : timings) {
+    json.begin_object()
+        .field("kernel", k.name)
+        .field("threads", k.threads)
+        .field("wall_ms", k.wall_ms)
+        .field("speedup_vs_1t", wall_at_1(k.name) / k.wall_ms)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  bench::write_text_file(out_path, json.str());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

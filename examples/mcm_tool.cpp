@@ -3,7 +3,7 @@
 /// instance) and runs the requested analysis:
 ///
 ///   mcm_tool match  A.mtx [--cores N] [--init greedy|ks|mindegree|none]
-///                         [--out matching.txt]
+///                         [--host-threads T] [--out matching.txt]
 ///       maximum matching via the simulated distributed pipeline; prints
 ///       cardinality, deficiency, simulated time and cost breakdown.
 ///   mcm_tool sprank A.mtx
@@ -40,8 +40,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: mcm_tool <match|sprank|dm|cover|stats> [A.mtx]\n"
                "       [--cores N] [--init greedy|ks|mindegree|none]\n"
-               "       [--out file] [--synthetic g500|er|ssca] "
-               "[--graph-scale S]\n");
+               "       [--host-threads T] [--out file]\n"
+               "       [--synthetic g500|er|ssca] [--graph-scale S]\n");
   return 2;
 }
 
@@ -73,8 +73,12 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
   const int cores = static_cast<int>(options.get_int("cores", 192));
   PipelineOptions pipeline;
   pipeline.initializer = parse_init(options.get("init", "mindegree"));
-  const PipelineResult result =
-      run_pipeline(SimConfig::auto_config(cores, 12), coo, pipeline);
+  SimConfig config = SimConfig::auto_config(cores, 12);
+  // Host threads speed up the wall clock only; simulated results and costs
+  // are identical at any setting (also settable via MCM_HOST_THREADS).
+  config.host_threads = static_cast<int>(
+      options.get_int("host-threads", config.host_threads));
+  const PipelineResult result = run_pipeline(config, coo, pipeline);
   const Index card = result.matching.cardinality();
   std::printf("maximum matching: %lld of %lld columns (%lld unmatched)\n",
               static_cast<long long>(card),

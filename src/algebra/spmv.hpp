@@ -16,6 +16,7 @@
 /// Table I. The `flops` out-parameter reports that count so the simulated
 /// runtime can charge compute time for it.
 
+#include <algorithm>
 #include <vector>
 
 #include "algebra/primitives.hpp"
@@ -36,7 +37,16 @@ template <typename T, typename SR>
     throw std::invalid_argument("spmv: vector length != matrix columns");
   }
   Spa<T> spa(a.n_rows());
+  // Bound the touched set by the traversed-edge count (column-pointer
+  // arithmetic only) so the hot accumulate loop never reallocates.
+  std::uint64_t bound = 0;
+  for (Index k = 0; k < x.nnz(); ++k) {
+    const Index j = x.index_at(k);
+    bound += static_cast<std::uint64_t>(a.col_end(j) - a.col_begin(j));
+  }
   std::vector<Index> touched;
+  touched.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bound, static_cast<std::uint64_t>(a.n_rows()))));
   std::uint64_t work = 0;
   for (Index k = 0; k < x.nnz(); ++k) {
     const Index j = x.index_at(k);
@@ -61,23 +71,48 @@ template <typename T, typename SR>
 /// accumulator. Column indices of `x` are block-local, as are output row
 /// indices; `col_offset` is added when passing the column index to the
 /// semiring multiply, so parent ids recorded in frontiers stay *global* even
-/// though the block only knows local ids.
+/// though the block only knows local ids. `touched_scratch`, when given, is
+/// the touched-row workspace (cleared here; capacity reused across calls) —
+/// the host engine passes a pooled per-lane buffer so steady-state SpMV
+/// iterations allocate nothing.
 template <typename T, typename SR>
 [[nodiscard]] SpVec<T> spmv_dcsc(const DcscMatrix& a, const SpVec<T>& x,
                                  Spa<T>& spa, const SR& sr,
                                  std::uint64_t* flops = nullptr,
-                                 Index col_offset = 0) {
+                                 Index col_offset = 0,
+                                 std::vector<Index>* touched_scratch = nullptr) {
   if (x.len() != a.n_cols()) {
     throw std::invalid_argument("spmv_dcsc: vector length != block columns");
   }
   spa.reset();
-  std::vector<Index> touched;
+  std::vector<Index> local_touched;
+  std::vector<Index>& touched =
+      touched_scratch != nullptr ? *touched_scratch : local_touched;
+  touched.clear();
+  const Index x_nnz = x.nnz();
+  const Index nzc = a.nzc();
+  // Prepass of the merge join over column pointers only: bounds the touched
+  // set so the accumulate loop below never reallocates.
+  std::uint64_t bound = 0;
+  for (Index k = 0, c = 0; k < x_nnz && c < nzc;) {
+    const Index xj = x.index_at(k);
+    const Index aj = a.nonempty_col(c);
+    if (xj < aj) {
+      ++k;
+    } else if (aj < xj) {
+      ++c;
+    } else {
+      bound += static_cast<std::uint64_t>(a.cp_end(c) - a.cp_begin(c));
+      ++k;
+      ++c;
+    }
+  }
+  touched.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(bound, static_cast<std::uint64_t>(a.n_rows()))));
   std::uint64_t work = 0;
   // Merge join of x's indices with the block's non-empty columns.
   Index k = 0;
   Index c = 0;
-  const Index x_nnz = x.nnz();
-  const Index nzc = a.nzc();
   while (k < x_nnz && c < nzc) {
     const Index xj = x.index_at(k);
     const Index aj = a.nonempty_col(c);

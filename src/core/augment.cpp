@@ -49,14 +49,17 @@ AugmentResult augment_level_parallel(SimContext& ctx,
         [](Index g, Index) { return g; });
     // Swap in the new mate, remembering the previous one: the previous mate
     // is the next row up the alternating path (kNull exactly at the root).
-    for (int r = 0; r < ctx.processes(); ++r) {
+    // Each rank touches only its own mate_c piece, so the per-rank loop runs
+    // concurrently on the host engine.
+    ctx.host().for_ranks(ctx.processes(), [&](std::int64_t rr, int) {
+      const int r = static_cast<int>(rr);
       SpVec<Index>& piece = v_c.piece(r);
       auto& mates = mate_c.piece(r);
       for (Index k = 0; k < piece.nnz(); ++k) {
         std::swap(mates[static_cast<std::size_t>(piece.index_at(k))],
                   piece.value_at(k));
       }
-    }
+    });
     ctx.charge_elem_ops(
         Cost::Augment, static_cast<std::uint64_t>(v_c.max_piece_nnz()));
     // Paths whose column was the unmatched root are finished.

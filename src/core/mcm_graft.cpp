@@ -120,29 +120,53 @@ Matching mcm_graft_dist(SimContext& ctx, const DistMatrix& a,
     auto is_dead = [&](Index root) {
       return std::binary_search(dead_sorted.begin(), dead_sorted.end(), root);
     };
-    Index freed_total = 0;
-    Index forest_rows_total = 0;
-    std::uint64_t max_piece = 0;
-    for (int r = 0; r < ctx.processes(); ++r) {
+    // Each rank dismantles only its own root/parent pieces; the per-rank
+    // counters are summed serially afterwards, so totals match the serial
+    // scan exactly.
+    HostEngine& host = ctx.host();
+    const int p = ctx.processes();
+    auto& freed_by_rank =
+        host.shared().buffer<Index>(scratch_tag("graft.freed"));
+    freed_by_rank.assign(static_cast<std::size_t>(p), 0);
+    auto& forest_by_rank =
+        host.shared().buffer<Index>(scratch_tag("graft.forest"));
+    forest_by_rank.assign(static_cast<std::size_t>(p), 0);
+    auto& piece_sizes =
+        host.shared().buffer<std::uint64_t>(scratch_tag("graft.piece"));
+    piece_sizes.assign(static_cast<std::size_t>(p), 0);
+    host.for_ranks(p, [&](std::int64_t rr, int) {
+      const int r = static_cast<int>(rr);
       auto& roots = root_r.piece(r);
       auto& parents = pi_r.piece(r);
+      Index freed = 0;
+      Index forest = 0;
       for (std::size_t k = 0; k < roots.size(); ++k) {
         if (roots[k] == kNull) continue;
         if (is_dead(roots[k])) {
           roots[k] = kNull;
           parents[k] = kNull;
-          ++freed_total;
+          ++freed;
         } else {
-          ++forest_rows_total;
+          ++forest;
         }
       }
-      max_piece = std::max(max_piece, static_cast<std::uint64_t>(roots.size()));
       auto& col_roots = root_c.piece(r);
       for (auto& root : col_roots) {
         if (root != kNull && is_dead(root)) root = kNull;
       }
-      max_piece = std::max(max_piece,
-                           static_cast<std::uint64_t>(col_roots.size()));
+      freed_by_rank[static_cast<std::size_t>(rr)] = freed;
+      forest_by_rank[static_cast<std::size_t>(rr)] = forest;
+      piece_sizes[static_cast<std::size_t>(rr)] =
+          std::max(static_cast<std::uint64_t>(roots.size()),
+                   static_cast<std::uint64_t>(col_roots.size()));
+    });
+    Index freed_total = 0;
+    Index forest_rows_total = 0;
+    std::uint64_t max_piece = 0;
+    for (int r = 0; r < p; ++r) {
+      freed_total += freed_by_rank[static_cast<std::size_t>(r)];
+      forest_rows_total += forest_by_rank[static_cast<std::size_t>(r)];
+      max_piece = std::max(max_piece, piece_sizes[static_cast<std::size_t>(r)]);
     }
     ctx.charge_elem_ops(Cost::Other, max_piece);
     ctx.charge_allreduce(Cost::Other, ctx.processes(), 2);

@@ -21,6 +21,12 @@ namespace {
 /// root arrays (kNull = column not searchable), gather the visited bitmaps,
 /// scan each block's unvisited rows with early exit, and fold with the
 /// minParent add.
+///
+/// All per-segment and per-block loops here and in the entry points run
+/// concurrently on the host engine; each task owns its output slot and the
+/// metric maxima are folded serially, so charges stay bit-identical to
+/// serial execution. The dense root/visited segment arrays live in the
+/// engine's shared scratch and keep their capacity across BFS iterations.
 DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
                                   const DistMatrix& a,
                                   const std::vector<std::vector<Index>>& seg_root,
@@ -41,12 +47,18 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
   const ProcGrid& grid = ctx.grid();
   const int pr = grid.pr();
   const int pc = grid.pc();
+  HostEngine& host = ctx.host();
 
   // --- expand 1: dense per-column-segment root arrays, assembled from the
   // sparse frontier pieces of each grid column (allgather, dense payload).
-  std::vector<std::vector<Index>> seg_root(static_cast<std::size_t>(pc));
-  std::uint64_t max_col_words = 0;
-  for (int j = 0; j < pc; ++j) {
+  auto& seg_root = host.shared().get<std::vector<std::vector<Index>>>(
+      scratch_tag("bu.seg_root"));
+  seg_root.resize(static_cast<std::size_t>(pc));
+  auto& col_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_words"));
+  col_words.assign(static_cast<std::size_t>(pc), 0);
+  host.for_ranks(pc, [&](std::int64_t jj, int) {
+    const int j = static_cast<int>(jj);
     auto& roots = seg_root[static_cast<std::size_t>(j)];
     roots.assign(static_cast<std::size_t>(a.col_dist().size(j)), kNull);
     const auto& within = f_c.layout().dist().within[static_cast<std::size_t>(j)];
@@ -58,8 +70,12 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
             piece.value_at(k).root;
       }
     }
-    max_col_words =
-        std::max(max_col_words, static_cast<std::uint64_t>(roots.size()));
+    col_words[static_cast<std::size_t>(jj)] =
+        static_cast<std::uint64_t>(roots.size());
+  });
+  std::uint64_t max_col_words = 0;
+  for (const std::uint64_t w : col_words) {
+    max_col_words = std::max(max_col_words, w);
   }
   ctx.charge_allgatherv(category, pr, pc, max_col_words);
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
@@ -78,12 +94,18 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
   const ProcGrid& grid = ctx.grid();
   const int pr = grid.pr();
   const int pc = grid.pc();
+  HostEngine& host = ctx.host();
 
   // Dense per-column-segment root arrays straight from the dense root_c
   // pieces (allgather within each grid column).
-  std::vector<std::vector<Index>> seg_root(static_cast<std::size_t>(pc));
-  std::uint64_t max_col_words = 0;
-  for (int j = 0; j < pc; ++j) {
+  auto& seg_root = host.shared().get<std::vector<std::vector<Index>>>(
+      scratch_tag("bu.seg_root"));
+  seg_root.resize(static_cast<std::size_t>(pc));
+  auto& col_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_words"));
+  col_words.assign(static_cast<std::size_t>(pc), 0);
+  host.for_ranks(pc, [&](std::int64_t jj, int) {
+    const int j = static_cast<int>(jj);
     auto& roots = seg_root[static_cast<std::size_t>(j)];
     roots.resize(static_cast<std::size_t>(a.col_dist().size(j)));
     const auto& within =
@@ -95,8 +117,12 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
         roots[static_cast<std::size_t>(offset) + k] = piece[k];
       }
     }
-    max_col_words =
-        std::max(max_col_words, static_cast<std::uint64_t>(roots.size()));
+    col_words[static_cast<std::size_t>(jj)] =
+        static_cast<std::uint64_t>(roots.size());
+  });
+  std::uint64_t max_col_words = 0;
+  for (const std::uint64_t w : col_words) {
+    max_col_words = std::max(max_col_words, w);
   }
   ctx.charge_allgatherv(category, pr, pc, max_col_words);
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
@@ -111,12 +137,18 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
   const ProcGrid& grid = ctx.grid();
   const int pr = grid.pr();
   const int pc = grid.pc();
+  HostEngine& host = ctx.host();
 
   // --- expand 2: dense per-row-segment visited bitmaps from pi_r pieces
   // (allgather of packed flags: 1/8 word per row charged as words/8).
-  std::vector<std::vector<bool>> seg_visited(static_cast<std::size_t>(pr));
-  std::uint64_t max_row_words = 0;
-  for (int i = 0; i < pr; ++i) {
+  auto& seg_visited = host.shared().get<std::vector<std::vector<bool>>>(
+      scratch_tag("bu.seg_visited"));
+  seg_visited.resize(static_cast<std::size_t>(pr));
+  auto& row_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.row_words"));
+  row_words.assign(static_cast<std::size_t>(pr), 0);
+  host.for_ranks(pr, [&](std::int64_t ii, int) {
+    const int i = static_cast<int>(ii);
     auto& visited = seg_visited[static_cast<std::size_t>(i)];
     visited.assign(static_cast<std::size_t>(a.row_dist().size(i)), false);
     const auto& within = pi_r.layout().dist().within[static_cast<std::size_t>(i)];
@@ -129,8 +161,12 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
         }
       }
     }
-    max_row_words = std::max(
-        max_row_words, static_cast<std::uint64_t>(visited.size() / 64 + 1));
+    row_words[static_cast<std::size_t>(ii)] =
+        static_cast<std::uint64_t>(visited.size() / 64 + 1);
+  });
+  std::uint64_t max_row_words = 0;
+  for (const std::uint64_t w : row_words) {
+    max_row_words = std::max(max_row_words, w);
   }
   ctx.charge_allgatherv(category, pc, pr, max_row_words);
 
@@ -141,33 +177,41 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
   for (int i = 0; i < pr; ++i) {
     partials[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(pc));
   }
-  std::uint64_t max_scanned = 0;
-  for (int i = 0; i < pr; ++i) {
+  auto& scan_counts =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.scan_counts"));
+  scan_counts.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
+                     0);
+  host.for_ranks(static_cast<std::int64_t>(pr) * pc,
+                 [&](std::int64_t t, int) {
+    const int i = static_cast<int>(t) / pc;
+    const int j = static_cast<int>(t) % pc;
     const auto& visited = seg_visited[static_cast<std::size_t>(i)];
-    for (int j = 0; j < pc; ++j) {
-      const DcscMatrix& rows_of_block = a.block_t(i, j);
-      const auto& roots = seg_root[static_cast<std::size_t>(j)];
-      const Index col_offset = a.col_dist().offset(j);
-      SpVec<Vertex> found(a.row_dist().size(i));
-      std::uint64_t scanned = 0;
-      for (Index k = 0; k < rows_of_block.nzc(); ++k) {
-        const Index row = rows_of_block.nonempty_col(k);
-        if (visited[static_cast<std::size_t>(row)]) continue;
-        for (Index pos = rows_of_block.cp_begin(k);
-             pos < rows_of_block.cp_end(k); ++pos) {
-          ++scanned;
-          const Index col = rows_of_block.row_at(pos);  // block-local column
-          const Index root = roots[static_cast<std::size_t>(col)];
-          if (root != kNull) {
-            found.push_back(row, Vertex(col_offset + col, root));
-            break;  // ascending columns: first hit is the minimum parent
-          }
+    const DcscMatrix& rows_of_block = a.block_t(i, j);
+    const auto& roots = seg_root[static_cast<std::size_t>(j)];
+    const Index col_offset = a.col_dist().offset(j);
+    SpVec<Vertex> found(a.row_dist().size(i));
+    std::uint64_t scanned = 0;
+    for (Index k = 0; k < rows_of_block.nzc(); ++k) {
+      const Index row = rows_of_block.nonempty_col(k);
+      if (visited[static_cast<std::size_t>(row)]) continue;
+      for (Index pos = rows_of_block.cp_begin(k);
+           pos < rows_of_block.cp_end(k); ++pos) {
+        ++scanned;
+        const Index col = rows_of_block.row_at(pos);  // block-local column
+        const Index root = roots[static_cast<std::size_t>(col)];
+        if (root != kNull) {
+          found.push_back(row, Vertex(col_offset + col, root));
+          break;  // ascending columns: first hit is the minimum parent
         }
       }
-      partials[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
-          std::move(found);
-      max_scanned = std::max(max_scanned, scanned);
     }
+    partials[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+        std::move(found);
+    scan_counts[static_cast<std::size_t>(t)] = scanned;
+  });
+  std::uint64_t max_scanned = 0;
+  for (const std::uint64_t s : scan_counts) {
+    max_scanned = std::max(max_scanned, s);
   }
   ctx.charge_edge_ops(category, max_scanned);
 

@@ -9,12 +9,21 @@
 ///   SELECT / SET : aligned local operations — no communication;
 ///   INVERT       : personalized all-to-all over all p ranks; three latency
 ///                  rounds (counts, indices, values);
-///   PRUNE        : allgather of the (small) root set to every rank;
+///   PRUNE        : allgather of the (small, locally deduplicated) root set
+///                  to every rank;
 ///   nnz test     : an allreduce (the emptiness check every iteration of
 ///                  Algorithm 2 performs on the frontier).
 ///
 /// The `category` parameter routes charges to the Fig. 5 breakdown buckets;
 /// the maximal-matching initializers pass Cost::MaximalInit for everything.
+///
+/// Host execution: per-rank loops run concurrently on the SimContext's
+/// HostEngine. Every task writes only its own piece / its own slot of a
+/// per-rank metrics array that is folded serially afterwards, so results and
+/// ledger charges are bit-identical to serial execution (see
+/// host_engine.hpp). INVERT routes entries with a stable per-source counting
+/// scatter plus a stable radix merge at each destination instead of a
+/// comparison sort — O(k) in the routed entries.
 
 #include <algorithm>
 #include <vector>
@@ -22,6 +31,7 @@
 #include "algebra/primitives.hpp"
 #include "dist/dist_vec.hpp"
 #include "gridsim/context.hpp"
+#include "util/radix.hpp"
 #include "util/types.hpp"
 
 namespace mcm {
@@ -43,11 +53,17 @@ template <typename T, typename U, typename Pred>
     throw std::invalid_argument("dist_select: operands not aligned");
   }
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    z.piece(static_cast<int>(r)) =
+        select(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)), expr);
+    ops[static_cast<std::size_t>(r)] =
+        static_cast<std::uint64_t>(x.piece(static_cast<int>(r)).nnz());
+  });
   std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    z.piece(r) = select(x.piece(r), y.piece(r), expr);
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
-  }
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
 }
@@ -59,11 +75,17 @@ void dist_set_dense(SimContext& ctx, Cost category, DistDenseVec<U>& y,
   if (x.layout().space() != y.layout().space() || x.length() != y.length()) {
     throw std::invalid_argument("dist_set_dense: operands not aligned");
   }
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    set_dense(y.piece(static_cast<int>(r)), x.piece(static_cast<int>(r)),
+              value_of);
+    ops[static_cast<std::size_t>(r)] =
+        static_cast<std::uint64_t>(x.piece(static_cast<int>(r)).nnz());
+  });
   std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    set_dense(y.piece(r), x.piece(r), value_of);
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
-  }
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
 }
 
@@ -74,11 +96,17 @@ void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
   if (x.layout().space() != y.layout().space() || x.length() != y.length()) {
     throw std::invalid_argument("dist_set_sparse: operands not aligned");
   }
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    set_sparse(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)),
+               update);
+    ops[static_cast<std::size_t>(r)] =
+        static_cast<std::uint64_t>(x.piece(static_cast<int>(r)).nnz());
+  });
   std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    set_sparse(x.piece(r), y.piece(r), update);
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
-  }
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
 }
 
@@ -86,14 +114,34 @@ void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
 template <typename U>
 void dist_fill(SimContext& ctx, Cost category, DistDenseVec<U>& y,
                const U& value) {
-  std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    auto& piece = y.piece(r);
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    auto& piece = y.piece(static_cast<int>(r));
     std::fill(piece.begin(), piece.end(), value);
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.size()));
-  }
+    ops[static_cast<std::size_t>(r)] =
+        static_cast<std::uint64_t>(piece.size());
+  });
+  std::uint64_t max_ops = 0;
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
 }
+
+namespace detail {
+
+/// Routed entry of the INVERT all-to-all. Named (not function-local) so
+/// per-lane scratch pools can key reusable buffers by its type. The source
+/// global index needs no explicit field: destinations append source slices
+/// in increasing global-offset order and sort stably, which reproduces the
+/// serial (key, source) order.
+template <typename Out>
+struct InvertRouted {
+  Index key;  ///< global output index
+  Out payload;
+};
+
+}  // namespace detail
 
 /// INVERT: entry (g, v) of x becomes entry (key_of(g, v), payload_of(g, v))
 /// of the result, which lives in `out_space` with logical length `out_len`.
@@ -101,6 +149,13 @@ void dist_fill(SimContext& ctx, Cost category, DistDenseVec<U>& y,
 /// with three latency rounds: counts + indices + values, §IV-B). Key
 /// collisions keep the entry with the smallest source global index, matching
 /// the sequential keep-first rule.
+///
+/// Host algorithm: each source rank buckets its entries by destination with
+/// a stable counting scatter (O(nnz + p), no comparison sort); each
+/// destination concatenates its incoming slices — sources visited in
+/// increasing global-offset order, so equal keys arrive in source order —
+/// and merges them with a stable counting/radix sort by piece-local key
+/// followed by keep-first dedup.
 template <typename Out, typename T, typename KeyF, typename PayloadF>
 [[nodiscard]] DistSpVec<Out> dist_invert(SimContext& ctx, Cost category,
                                          const DistSpVec<T>& x,
@@ -110,18 +165,35 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   const VecLayout& in = x.layout();
   const VecLayout& out = z.layout();
   const int p = ctx.processes();
+  HostEngine& host = ctx.host();
 
-  struct Routed {
-    Index key;
-    Index source;  ///< source global index, for keep-first tie-breaks
-    Out payload;
-  };
-  std::vector<std::vector<Routed>> inbox(static_cast<std::size_t>(p));
-  std::uint64_t max_send_words = 0;
-  std::uint64_t max_rank_nnz = 0;
-  for (int r = 0; r < p; ++r) {
+  // --- phase 1: every source rank buckets its entries by destination.
+  // routed[r] holds source r's entries grouped by destination (groups in
+  // rank order, original piece order within each group);
+  // route_bounds[r*(p+1) + d] .. [+ d + 1] delimits destination d's group.
+  using Routed = detail::InvertRouted<Out>;
+  auto& routed = host.shared().get<std::vector<std::vector<Routed>>>(
+      scratch_tag("invert.routed"));
+  routed.resize(static_cast<std::size_t>(p));
+  auto& route_bounds =
+      host.shared().buffer<Index>(scratch_tag("invert.route_bounds"));
+  route_bounds.resize(static_cast<std::size_t>(p)
+                      * static_cast<std::size_t>(p + 1));
+  auto& send_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("invert.send_words"));
+  send_words.assign(static_cast<std::size_t>(p), 0);
+  auto& rank_nnz =
+      host.shared().buffer<std::uint64_t>(scratch_tag("invert.rank_nnz"));
+  rank_nnz.assign(static_cast<std::size_t>(p), 0);
+  host.for_ranks(p, [&](std::int64_t rr, int lane) {
+    const int r = static_cast<int>(rr);
     const SpVec<T>& piece = x.piece(r);
-    std::uint64_t send_words = 0;
+    ScratchLane& scratch = host.scratch(lane);
+    auto& temp = scratch.buffer<Routed>(scratch_tag("invert.temp"));
+    temp.reserve(static_cast<std::size_t>(piece.nnz()));
+    auto& counts = scratch.buffer<Index>(scratch_tag("invert.counts"));
+    counts.assign(static_cast<std::size_t>(p), 0);
+    std::uint64_t words = 0;
     for (Index k = 0; k < piece.nnz(); ++k) {
       const Index g = in.to_global(r, piece.index_at(k));
       const Index key = key_of(g, piece.value_at(k));
@@ -131,35 +203,82 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
                                 + std::to_string(out_len));
       }
       const int dst = out.owner_rank(key);
-      inbox[static_cast<std::size_t>(dst)].push_back(
-          {key, g, payload_of(g, piece.value_at(k))});
-      if (dst != r) send_words += 1 + words_per<Out>();
+      ++counts[static_cast<std::size_t>(dst)];
+      if (dst != r) words += 1 + words_per<Out>();
+      temp.push_back({key, payload_of(g, piece.value_at(k))});
     }
-    max_send_words = std::max(max_send_words, send_words);
-    max_rank_nnz = std::max(max_rank_nnz,
-                            static_cast<std::uint64_t>(piece.nnz()));
+    Index* bounds = &route_bounds[static_cast<std::size_t>(r)
+                                  * static_cast<std::size_t>(p + 1)];
+    bounds[0] = 0;
+    for (int d = 0; d < p; ++d) {
+      bounds[d + 1] = bounds[d] + counts[static_cast<std::size_t>(d)];
+      counts[static_cast<std::size_t>(d)] = bounds[d];  // running cursor
+    }
+    auto& grouped = routed[static_cast<std::size_t>(r)];
+    grouped.clear();
+    grouped.resize(temp.size());
+    for (const Routed& e : temp) {
+      const int dst = out.owner_rank(e.key);
+      grouped[static_cast<std::size_t>(counts[static_cast<std::size_t>(dst)]++)] =
+          e;
+    }
+    send_words[static_cast<std::size_t>(rr)] = words;
+    rank_nnz[static_cast<std::size_t>(rr)] =
+        static_cast<std::uint64_t>(piece.nnz());
+  });
+  std::uint64_t max_send_words = 0;
+  for (const std::uint64_t w : send_words) {
+    max_send_words = std::max(max_send_words, w);
   }
   ctx.charge_alltoallv(category, p, 1, max_send_words, /*latency_rounds=*/3);
 
-  std::uint64_t max_recv = 0;
-  for (int r = 0; r < p; ++r) {
-    auto& received = inbox[static_cast<std::size_t>(r)];
-    max_recv = std::max(max_recv, static_cast<std::uint64_t>(received.size()));
-    std::sort(received.begin(), received.end(),
-              [](const Routed& a, const Routed& b) {
-                if (a.key != b.key) return a.key < b.key;
-                return a.source < b.source;
-              });
-    const Index offset = out.piece_offset(r);
-    SpVec<Out>& piece = z.piece(r);
-    piece.reserve(received.size());
+  // --- phase 2: every destination merges its incoming slices. Sources are
+  // visited segment-major through the input layout, i.e. in strictly
+  // increasing global-offset order, so the stable sort reproduces the serial
+  // (key, source global index) order and keep-first dedup matches.
+  const int in_segments = static_cast<int>(in.dist().within.size());
+  auto& recv_counts =
+      host.shared().buffer<std::uint64_t>(scratch_tag("invert.recv"));
+  recv_counts.assign(static_cast<std::size_t>(p), 0);
+  host.for_ranks(p, [&](std::int64_t dd, int lane) {
+    const int d = static_cast<int>(dd);
+    ScratchLane& scratch = host.scratch(lane);
+    auto& entries = scratch.buffer<Routed>(scratch_tag("invert.merge"));
+    for (int seg = 0; seg < in_segments; ++seg) {
+      const int group =
+          in.dist().within[static_cast<std::size_t>(seg)].parts();
+      for (int part = 0; part < group; ++part) {
+        const int src = in.rank_of(seg, part);
+        const auto& grouped = routed[static_cast<std::size_t>(src)];
+        const Index* bounds = &route_bounds[static_cast<std::size_t>(src)
+                                            * static_cast<std::size_t>(p + 1)];
+        entries.insert(entries.end(), grouped.begin() + bounds[d],
+                       grouped.begin() + bounds[d + 1]);
+      }
+    }
+    recv_counts[static_cast<std::size_t>(dd)] =
+        static_cast<std::uint64_t>(entries.size());
+    const Index offset = out.piece_offset(d);
+    auto& tmp = scratch.buffer<Routed>(scratch_tag("invert.sort_tmp"));
+    auto& counts =
+        scratch.buffer<std::uint32_t>(scratch_tag("invert.sort_counts"));
+    SpVec<Out>& piece = z.piece(d);
+    stable_sort_by_key(entries, tmp, counts, piece.len(),
+                       [offset](const Routed& e) { return e.key - offset; });
+    piece.reserve(entries.size());
     Index prev_key = kNull;
-    for (const Routed& e : received) {
+    for (const Routed& e : entries) {
       if (e.key == prev_key) continue;
       piece.push_back(e.key - offset, e.payload);
       prev_key = e.key;
     }
+  });
+  std::uint64_t max_rank_nnz = 0;
+  for (const std::uint64_t n : rank_nnz) {
+    max_rank_nnz = std::max(max_rank_nnz, n);
   }
+  std::uint64_t max_recv = 0;
+  for (const std::uint64_t n : recv_counts) max_recv = std::max(max_recv, n);
   ctx.charge_elem_ops(category, max_rank_nnz + max_recv);
   return z;
 }
@@ -169,17 +288,21 @@ template <typename T, typename Pred>
 [[nodiscard]] DistSpVec<T> dist_filter(SimContext& ctx, Cost category,
                                        const DistSpVec<T>& x, Pred pred) {
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
-  std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    const SpVec<T>& piece = x.piece(r);
-    SpVec<T>& out = z.piece(r);
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    const SpVec<T>& piece = x.piece(static_cast<int>(r));
+    SpVec<T>& out = z.piece(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {
       if (pred(piece.value_at(k))) {
         out.push_back(piece.index_at(k), piece.value_at(k));
       }
     }
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.nnz()));
-  }
+    ops[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(piece.nnz());
+  });
+  std::uint64_t max_ops = 0;
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
 }
@@ -189,18 +312,22 @@ template <typename Out, typename T, typename F>
 [[nodiscard]] DistSpVec<Out> dist_transform(SimContext& ctx, Cost category,
                                             const DistSpVec<T>& x, F f) {
   DistSpVec<Out> z(ctx, x.layout().space(), x.length());
-  std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    const SpVec<T>& piece = x.piece(r);
-    SpVec<Out>& out = z.piece(r);
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    const SpVec<T>& piece = x.piece(static_cast<int>(r));
+    SpVec<Out>& out = z.piece(static_cast<int>(r));
     out.reserve(static_cast<std::size_t>(piece.nnz()));
-    const Index offset = x.layout().piece_offset(r);
+    const Index offset = x.layout().piece_offset(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {
       out.push_back(piece.index_at(k),
                     f(offset + piece.index_at(k), piece.value_at(k)));
     }
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.nnz()));
-  }
+    ops[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(piece.nnz());
+  });
+  std::uint64_t max_ops = 0;
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
 }
@@ -215,19 +342,23 @@ template <typename Out, typename U, typename Pred, typename MakeF>
                                              const DistDenseVec<U>& y,
                                              Pred pred, MakeF make) {
   DistSpVec<Out> z(ctx, y.layout().space(), y.length());
-  std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    const auto& piece = y.piece(r);
-    SpVec<Out>& out = z.piece(r);
-    const Index offset = y.layout().piece_offset(r);
+  HostEngine& host = ctx.host();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    const auto& piece = y.piece(static_cast<int>(r));
+    SpVec<Out>& out = z.piece(static_cast<int>(r));
+    const Index offset = y.layout().piece_offset(static_cast<int>(r));
     for (std::size_t k = 0; k < piece.size(); ++k) {
       if (pred(piece[k])) {
         out.push_back(static_cast<Index>(k),
                       make(offset + static_cast<Index>(k), piece[k]));
       }
     }
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(piece.size()));
-  }
+    ops[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(piece.size());
+  });
+  std::uint64_t max_ops = 0;
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
 }
@@ -236,24 +367,49 @@ template <typename Out, typename U, typename Pred, typename MakeF>
 /// from its piece of the unmatched frontier); the union is allgathered to
 /// every rank (ring cost alpha*p + beta*mu, as in the paper) and x is
 /// filtered locally.
+///
+/// Each rank deduplicates its contribution *before* the allgather — several
+/// entries of the same dead tree yield the same root, and shipping the
+/// duplicates would overstate the paper's beta*mu payload term. The charge
+/// covers the summed deduplicated contributions.
 template <typename T, typename RootF>
 [[nodiscard]] DistSpVec<T> dist_prune(
     SimContext& ctx, Cost category, const DistSpVec<T>& x,
     const std::vector<std::vector<Index>>& roots_by_rank, RootF root_of) {
+  HostEngine& host = ctx.host();
+  const int n_src = static_cast<int>(roots_by_rank.size());
+  auto& deduped = host.shared().get<std::vector<std::vector<Index>>>(
+      scratch_tag("prune.deduped"));
+  deduped.assign(static_cast<std::size_t>(n_src), {});
+  host.for_ranks(n_src, [&](std::int64_t r, int) {
+    deduped[static_cast<std::size_t>(r)] =
+        sorted_unique(roots_by_rank[static_cast<std::size_t>(r)]);
+  });
+  std::uint64_t payload = 0;
   std::vector<Index> all_roots;
-  for (const auto& part : roots_by_rank) {
+  for (const auto& part : deduped) {
+    payload += static_cast<std::uint64_t>(part.size());
     all_roots.insert(all_roots.end(), part.begin(), part.end());
   }
-  ctx.charge_allgatherv(category, ctx.processes(), 1,
-                        static_cast<std::uint64_t>(all_roots.size()));
+  ctx.charge_allgatherv(category, ctx.processes(), 1, payload);
   const std::vector<Index> sorted = sorted_unique(std::move(all_roots));
 
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    const SpVec<T>& piece = x.piece(static_cast<int>(r));
+    SpVec<T>& out = z.piece(static_cast<int>(r));
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const Index root = root_of(piece.value_at(k));
+      if (!std::binary_search(sorted.begin(), sorted.end(), root)) {
+        out.push_back(piece.index_at(k), piece.value_at(k));
+      }
+    }
+    ops[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(piece.nnz());
+  });
   std::uint64_t max_ops = 0;
-  for (int r = 0; r < ctx.processes(); ++r) {
-    z.piece(r) = prune(x.piece(r), sorted, root_of);
-    max_ops = std::max(max_ops, static_cast<std::uint64_t>(x.piece(r).nnz()));
-  }
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
 }

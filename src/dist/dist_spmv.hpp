@@ -14,6 +14,15 @@
 ///
 /// Both directions are provided because the maximal-matching initializers
 /// explore row->column as well; MCM's BFS step only needs column->row.
+///
+/// Host execution: every phase runs its per-rank loop through the
+/// SimContext's HostEngine — rank tasks execute concurrently across host
+/// lanes, SPAs and routing buffers come from the per-lane scratch pools, and
+/// the fold replaces its comparison sort with owner-bucketed runs merged by
+/// a stable counting/radix sort (O(k) in the routed entries). Simulated
+/// charges and results are bit-identical to serial execution: each task
+/// writes only its own slots and every reduction folds a per-task array
+/// serially (see host_engine.hpp).
 
 #include <algorithm>
 #include <vector>
@@ -22,10 +31,19 @@
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
 #include "gridsim/context.hpp"
+#include "util/radix.hpp"
 
 namespace mcm {
 
 namespace detail {
+
+/// Piece-local routed entry of the fold phase. Named (not function-local) so
+/// per-lane scratch pools can key reusable buffers by its type.
+template <typename T>
+struct FoldEntry {
+  Index local;  ///< piece-local output index
+  T value;
+};
 
 /// Fold phase shared by the top-down and bottom-up kernels: partial outputs
 /// (indexed segment-locally) from every member of each output group are
@@ -33,6 +51,17 @@ namespace detail {
 /// add. `partials[segment][member]` holds member `member`'s partial result
 /// for output segment `segment`. Charges one grouped all-to-all plus the
 /// merge element ops.
+///
+/// Host algorithm (two parallel phases over segment×group tasks):
+///  1. bucket each member's partial by destination part. Partials are sorted
+///     by segment-local index and parts own contiguous ranges, so one binary
+///     search per boundary yields per-destination runs in place — no data
+///     movement;
+///  2. each destination concatenates its runs (members in order, each run
+///     sorted) and merges them with a stable sort by local index + a
+///     keep-adjacent semiring reduction. Stability makes the merge order
+///     deterministic; the semiring add is commutative/associative, so values
+///     match the serial path exactly.
 template <typename T, typename SR>
 DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
                            std::vector<std::vector<SpVec<T>>>& partials,
@@ -41,47 +70,91 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
   const int out_segments = static_cast<int>(partials.size());
   const int out_group =
       out_segments > 0 ? static_cast<int>(partials[0].size()) : 0;
-  struct Entry {
-    Index local;  ///< piece-local output index
-    T value;
-  };
-  std::uint64_t max_send_words = 0;
-  std::uint64_t max_merge = 0;
-  for (int os = 0; os < out_segments; ++os) {
+  HostEngine& host = ctx.host();
+  const int tasks = out_segments * out_group;
+
+  // --- phase 1: per-(segment, member) destination-run boundaries.
+  // run_bounds[t * (out_group + 1) + dst] .. [+ dst + 1] delimits the
+  // entries of task t's partial owned by destination part `dst`.
+  auto& run_bounds =
+      host.shared().buffer<Index>(scratch_tag("fold.run_bounds"));
+  run_bounds.resize(static_cast<std::size_t>(tasks)
+                    * static_cast<std::size_t>(out_group + 1));
+  auto& send_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("fold.send_words"));
+  send_words.assign(static_cast<std::size_t>(tasks), 0);
+  host.for_ranks(tasks, [&](std::int64_t t, int) {
+    const int os = static_cast<int>(t) / out_group;
+    const int member = static_cast<int>(t) % out_group;
     const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
-    std::vector<std::vector<Entry>> inbox(static_cast<std::size_t>(out_group));
+    const SpVec<T>& part =
+        partials[static_cast<std::size_t>(os)][static_cast<std::size_t>(member)];
+    const auto& idx = part.indices();
+    Index* bounds = &run_bounds[static_cast<std::size_t>(t)
+                                * static_cast<std::size_t>(out_group + 1)];
+    bounds[0] = 0;
+    for (int dst = 0; dst < out_group; ++dst) {
+      const Index upper = within.offset(dst) + within.size(dst);
+      bounds[dst + 1] =
+          std::lower_bound(idx.begin() + bounds[dst], idx.end(), upper)
+          - idx.begin();
+    }
+    const Index kept = bounds[member + 1] - bounds[member];
+    send_words[static_cast<std::size_t>(t)] =
+        static_cast<std::uint64_t>(part.nnz() - kept) * (1 + words_per<T>());
+  });
+
+  // --- phase 2: per-(segment, part) merge into the owner piece.
+  auto& merge_counts =
+      host.shared().buffer<std::uint64_t>(scratch_tag("fold.merge_counts"));
+  merge_counts.assign(static_cast<std::size_t>(tasks), 0);
+  host.for_ranks(tasks, [&](std::int64_t t, int lane) {
+    const int os = static_cast<int>(t) / out_group;
+    const int dst = static_cast<int>(t) % out_group;
+    const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
+    const Index base = within.offset(dst);
+    ScratchLane& scratch = host.scratch(lane);
+    auto& entries =
+        scratch.buffer<FoldEntry<T>>(scratch_tag("fold.entries"));
     for (int member = 0; member < out_group; ++member) {
-      const SpVec<T>& part =
-          partials[static_cast<std::size_t>(os)][static_cast<std::size_t>(member)];
-      std::uint64_t send_words = 0;
-      for (Index k = 0; k < part.nnz(); ++k) {
-        const Index seg_local = part.index_at(k);
-        const int dst_part = within.owner(seg_local);
-        inbox[static_cast<std::size_t>(dst_part)].push_back(
-            {seg_local - within.offset(dst_part), part.value_at(k)});
-        if (dst_part != member) send_words += 1 + words_per<T>();
+      const SpVec<T>& part = partials[static_cast<std::size_t>(os)]
+                                     [static_cast<std::size_t>(member)];
+      const Index* bounds =
+          &run_bounds[(static_cast<std::size_t>(os)
+                       * static_cast<std::size_t>(out_group)
+                       + static_cast<std::size_t>(member))
+                      * static_cast<std::size_t>(out_group + 1)];
+      for (Index k = bounds[dst]; k < bounds[dst + 1]; ++k) {
+        entries.push_back({part.index_at(k) - base, part.value_at(k)});
       }
-      max_send_words = std::max(max_send_words, send_words);
     }
-    for (int part = 0; part < out_group; ++part) {
-      auto& received = inbox[static_cast<std::size_t>(part)];
-      max_merge = std::max(max_merge,
-                           static_cast<std::uint64_t>(received.size()));
-      std::sort(received.begin(), received.end(),
-                [](const Entry& a_, const Entry& b_) { return a_.local < b_.local; });
-      SpVec<T>& piece = y.piece(y.layout().rank_of(os, part));
-      piece.reserve(received.size());
-      for (std::size_t k = 0; k < received.size();) {
-        Index local = received[k].local;
-        T value = received[k].value;
+    merge_counts[static_cast<std::size_t>(t)] = entries.size();
+    auto& tmp = scratch.buffer<FoldEntry<T>>(scratch_tag("fold.sort_tmp"));
+    auto& counts =
+        scratch.buffer<std::uint32_t>(scratch_tag("fold.sort_counts"));
+    stable_sort_by_key(entries, tmp, counts, within.size(dst),
+                       [](const FoldEntry<T>& e) { return e.local; });
+    SpVec<T>& piece = y.piece(y.layout().rank_of(os, dst));
+    piece.reserve(entries.size());
+    for (std::size_t k = 0; k < entries.size();) {
+      const Index local = entries[k].local;
+      T value = entries[k].value;
+      ++k;
+      while (k < entries.size() && entries[k].local == local) {
+        value = sr.add(value, entries[k].value);
         ++k;
-        while (k < received.size() && received[k].local == local) {
-          value = sr.add(value, received[k].value);
-          ++k;
-        }
-        piece.push_back(local, value);
       }
+      piece.push_back(local, value);
     }
+  });
+
+  std::uint64_t max_send_words = 0;
+  for (const std::uint64_t w : send_words) {
+    max_send_words = std::max(max_send_words, w);
+  }
+  std::uint64_t max_merge = 0;
+  for (const std::uint64_t m : merge_counts) {
+    max_merge = std::max(max_merge, m);
   }
   ctx.charge_alltoallv(category, out_group, out_segments, max_send_words);
   ctx.charge_elem_ops(category, max_merge);
@@ -108,35 +181,48 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
   const int n_segments = along_cols ? pc : pr;   // input segments
   const int group = along_cols ? pr : pc;        // ranks per input segment
   const BlockDist& in_dist = along_cols ? a.col_dist() : a.row_dist();
+  HostEngine& host = ctx.host();
 
   // --- expand: assemble each input segment from its group's pieces. Pieces
   // are stored in increasing part order whose offsets increase, so plain
   // concatenation yields sorted segment-local indices.
   std::vector<SpVec<T>> segment(static_cast<std::size_t>(n_segments));
-  std::uint64_t max_group_words = 0;
-  for (int s = 0; s < n_segments; ++s) {
-    SpVec<T> seg(in_dist.size(s));
+  auto& group_words =
+      host.shared().buffer<std::uint64_t>(scratch_tag("spmv.group_words"));
+  group_words.assign(static_cast<std::size_t>(n_segments), 0);
+  host.for_ranks(n_segments, [&](std::int64_t s, int) {
+    SpVec<T> seg(in_dist.size(static_cast<int>(s)));
     const auto& within = x.layout().dist().within[static_cast<std::size_t>(s)];
+    Index total = 0;
     for (int part = 0; part < group; ++part) {
-      const int rank = x.layout().rank_of(s, part);
+      total += x.piece(x.layout().rank_of(static_cast<int>(s), part)).nnz();
+    }
+    seg.reserve(static_cast<std::size_t>(total));
+    for (int part = 0; part < group; ++part) {
+      const int rank = x.layout().rank_of(static_cast<int>(s), part);
       const SpVec<T>& piece = x.piece(rank);
       const Index offset = within.offset(part);
       for (Index k = 0; k < piece.nnz(); ++k) {
         seg.push_back(offset + piece.index_at(k), piece.value_at(k));
       }
     }
-    max_group_words = std::max(
-        max_group_words, static_cast<std::uint64_t>(seg.nnz())
-                             * (1 + words_per<T>()));
+    group_words[static_cast<std::size_t>(s)] =
+        static_cast<std::uint64_t>(seg.nnz()) * (1 + words_per<T>());
     segment[static_cast<std::size_t>(s)] = std::move(seg);
+  });
+  std::uint64_t max_group_words = 0;
+  for (const std::uint64_t w : group_words) {
+    max_group_words = std::max(max_group_words, w);
   }
   ctx.charge_allgatherv(category, group, n_segments, max_group_words);
 
   // --- local multiply: every rank applies its DCSC block to its segment.
-  // Partial outputs are indexed by output-segment-local ids.
+  // Partial outputs are indexed by output-segment-local ids. Block tasks are
+  // independent (each writes its own partials slot) and run concurrently
+  // across host lanes with pooled per-lane SPAs keyed by block height; the
+  // modeled time is unaffected.
   const int out_segments = along_cols ? pr : pc;
   const int out_group = along_cols ? pc : pr;
-  std::uint64_t max_flops = 0;
   // partials[out_segment][member]: member enumerates the ranks of that
   // output segment's grid row/column.
   std::vector<std::vector<SpVec<T>>> partials(
@@ -145,29 +231,35 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
     partials[static_cast<std::size_t>(os)].resize(
         static_cast<std::size_t>(out_group));
   }
-  // The per-block multiplies are independent (each writes its own partials
-  // slot), so the simulator itself can run them thread-parallel when built
-  // with -DMCM_OPENMP=ON. This parallelizes the *host* execution of the
-  // simulation; the modeled time is unaffected.
-#if defined(MCM_HAVE_OPENMP)
-#pragma omp parallel for collapse(2) reduction(max : max_flops) \
-    schedule(dynamic)
-#endif
-  for (int i = 0; i < pr; ++i) {
-    for (int j = 0; j < pc; ++j) {
-      const DcscMatrix& blk = along_cols ? a.block(i, j) : a.block_t(i, j);
-      const int in_seg = along_cols ? j : i;
-      const int out_seg = along_cols ? i : j;
-      const int member = along_cols ? j : i;
-      Spa<T> spa(blk.n_rows());
-      std::uint64_t flops = 0;
-      // The semiring multiply must see *global* input-vertex ids (it stamps
-      // them into frontier parents), so pass the segment's global offset.
-      partials[static_cast<std::size_t>(out_seg)][static_cast<std::size_t>(member)] =
-          spmv_dcsc(blk, segment[static_cast<std::size_t>(in_seg)], spa, sr,
-                    &flops, in_dist.offset(in_seg));
-      max_flops = std::max(max_flops, flops);
-    }
+  auto& block_flops =
+      host.shared().buffer<std::uint64_t>(scratch_tag("spmv.block_flops"));
+  block_flops.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
+                     0);
+  host.for_ranks(static_cast<std::int64_t>(pr) * pc,
+                 [&](std::int64_t t, int lane) {
+    const int i = static_cast<int>(t) / pc;
+    const int j = static_cast<int>(t) % pc;
+    const DcscMatrix& blk = along_cols ? a.block(i, j) : a.block_t(i, j);
+    const int in_seg = along_cols ? j : i;
+    const int out_seg = along_cols ? i : j;
+    const int member = along_cols ? j : i;
+    ScratchLane& scratch = host.scratch(lane);
+    Spa<T>& spa = scratch.get<Spa<T>>(
+        scratch_key(scratch_tag("spmv.spa"),
+                    static_cast<std::uint64_t>(blk.n_rows())),
+        blk.n_rows());
+    auto& touched = scratch.buffer<Index>(scratch_tag("spmv.touched"));
+    std::uint64_t flops = 0;
+    // The semiring multiply must see *global* input-vertex ids (it stamps
+    // them into frontier parents), so pass the segment's global offset.
+    partials[static_cast<std::size_t>(out_seg)][static_cast<std::size_t>(member)] =
+        spmv_dcsc(blk, segment[static_cast<std::size_t>(in_seg)], spa, sr,
+                  &flops, in_dist.offset(in_seg), &touched);
+    block_flops[static_cast<std::size_t>(t)] = flops;
+  });
+  std::uint64_t max_flops = 0;
+  for (const std::uint64_t f : block_flops) {
+    max_flops = std::max(max_flops, f);
   }
   ctx.charge_edge_ops(category, max_flops);
 

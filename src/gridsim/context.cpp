@@ -1,8 +1,14 @@
 #include "gridsim/context.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#if defined(MCM_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 namespace mcm {
 namespace {
@@ -14,6 +20,18 @@ bool is_perfect_square(int n) {
 }
 
 }  // namespace
+
+int SimConfig::default_host_threads() {
+  if (const char* env = std::getenv("MCM_HOST_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 256);
+  }
+#if defined(MCM_HAVE_OPENMP)
+  return std::max(1, omp_get_max_threads());
+#else
+  return 1;
+#endif
+}
 
 SimConfig SimConfig::auto_config(int cores, int preferred_threads,
                                  MachineModel machine) {
@@ -42,7 +60,9 @@ SimContext::SimContext(const SimConfig& config)
       edge_time_us_(config.machine.edge_op_us
                     / config.machine.thread_speedup(config.threads_per_process)),
       elem_time_us_(config.machine.elem_op_us
-                    / config.machine.thread_speedup(config.threads_per_process)) {
+                    / config.machine.thread_speedup(config.threads_per_process)),
+      host_(std::make_shared<HostEngine>(config.host_threads,
+                                         config.host_deterministic)) {
   if (config.cores % config.threads_per_process != 0) {
     throw std::invalid_argument("SimContext: threads_per_process must divide cores");
   }

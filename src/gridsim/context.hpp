@@ -22,8 +22,10 @@
 /// per-process thread speedup.
 
 #include <cstdint>
+#include <memory>
 
 #include "gridsim/cost_ledger.hpp"
+#include "gridsim/host_engine.hpp"
 #include "gridsim/machine.hpp"
 #include "gridsim/proc_grid.hpp"
 
@@ -34,7 +36,22 @@ struct SimConfig {
   int cores = 24;
   int threads_per_process = 12;
 
+  /// Host execution lanes for the simulator's per-rank loops (NOT a model
+  /// parameter: simulated time and results are identical for every value;
+  /// only host wall-clock changes). Defaults from the MCM_HOST_THREADS
+  /// environment variable, the OpenMP thread count when built with
+  /// -DMCM_OPENMP=ON, else 1.
+  int host_threads = default_host_threads();
+  /// Forces serial, in-order host execution regardless of host_threads; the
+  /// equivalence tests diff threaded runs against this mode.
+  bool host_deterministic = false;
+
   [[nodiscard]] int processes() const { return cores / threads_per_process; }
+
+  /// MCM_HOST_THREADS env var (clamped to [1, 256]) if set; otherwise the
+  /// OpenMP max thread count when built with -DMCM_OPENMP=ON (the legacy
+  /// alias for host parallelism); otherwise 1.
+  static int default_host_threads();
 
   /// Largest t <= preferred_threads such that t divides `cores` and cores/t
   /// is a perfect square. Mirrors the paper's setup ("12 threads per process
@@ -55,6 +72,10 @@ class SimContext {
 
   [[nodiscard]] CostLedger& ledger() { return ledger_; }
   [[nodiscard]] const CostLedger& ledger() const { return ledger_; }
+
+  /// Host-parallel execution engine (thread pool + scratch pools). Shared by
+  /// copies of this context; affects host wall-clock only, never charges.
+  [[nodiscard]] HostEngine& host() const { return *host_; }
 
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }
   [[nodiscard]] double beta_word() const { return config_.machine.beta_us_per_word; }
@@ -91,6 +112,7 @@ class SimContext {
   CostLedger ledger_;
   double edge_time_us_;
   double elem_time_us_;
+  std::shared_ptr<HostEngine> host_;
 };
 
 /// Words (8-byte units) occupied by a T when serialized on the wire.

@@ -1,0 +1,134 @@
+#pragma once
+/// \file host_engine.hpp
+/// Host-execution performance layer of the simulator (see DESIGN.md "Host
+/// execution vs simulated execution"). gridsim runs two clocks: the
+/// *simulated* alpha-beta clock the CostLedger accumulates, and the *host*
+/// wall clock spent executing the per-rank loops. The HostEngine speeds up
+/// only the latter: it owns the rank-level ThreadPool plus per-lane scratch
+/// pools (SPA accumulators keyed by block height, routing/sort buffers) so
+/// steady-state SpMV/INVERT iterations neither serialize on one core nor
+/// allocate.
+///
+/// Determinism contract: every loop dispatched through for_ranks() must
+/// write only the slots of its own index, and every reduction must go
+/// through a per-index output array folded serially by the caller. Under
+/// that contract results and ledger charges are bit-identical for any lane
+/// count — SimConfig::host_deterministic forces one lane to let tests prove
+/// it.
+///
+/// Scratch keying: buffers are looked up by (C++ type, 64-bit tag). Tags are
+/// FNV-1a hashes of short purpose strings (scratch_tag), optionally combined
+/// with a size parameter (scratch_key) — e.g. SPAs are keyed by block height
+/// so blocks of equal height share one accumulator per lane.
+
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gridsim/thread_pool.hpp"
+
+namespace mcm {
+
+/// Compile-time FNV-1a of a short purpose string.
+[[nodiscard]] constexpr std::uint64_t scratch_tag(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines a tag with a runtime parameter (e.g. an SPA's height).
+[[nodiscard]] constexpr std::uint64_t scratch_key(std::uint64_t tag,
+                                                  std::uint64_t param) {
+  return tag ^ (param * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+}
+
+/// One lane's cache of reusable objects, keyed by (type, tag). Only the
+/// owning lane may touch it during a parallel loop; the shared() lane of the
+/// engine is reserved for the coordinating thread between phases.
+class ScratchLane {
+ public:
+  /// Returns the cached T for `key`, constructing it from `args` on first
+  /// use. The object persists (with whatever state the caller left in it)
+  /// until the engine is destroyed.
+  template <typename T, typename... Args>
+  [[nodiscard]] T& get(std::uint64_t key, Args&&... args) {
+    const SlotKey slot{std::type_index(typeid(T)), key};
+    auto it = items_.find(slot);
+    if (it == items_.end()) {
+      auto holder = std::make_shared<T>(std::forward<Args>(args)...);
+      T& ref = *holder;
+      items_.emplace(slot, std::move(holder));
+      return ref;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
+  /// Reusable vector, handed out cleared (capacity retained).
+  template <typename T>
+  [[nodiscard]] std::vector<T>& buffer(std::uint64_t key) {
+    auto& v = get<std::vector<T>>(key);
+    v.clear();
+    return v;
+  }
+
+ private:
+  struct SlotKey {
+    std::type_index type;
+    std::uint64_t tag;
+    friend bool operator==(const SlotKey&, const SlotKey&) = default;
+  };
+  struct SlotHash {
+    std::size_t operator()(const SlotKey& k) const noexcept {
+      return k.type.hash_code() ^ static_cast<std::size_t>(
+                 k.tag * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  std::unordered_map<SlotKey, std::shared_ptr<void>, SlotHash> items_;
+};
+
+class HostEngine {
+ public:
+  /// `threads` = requested execution lanes; `deterministic` forces serial
+  /// in-order execution (one lane) regardless of `threads`.
+  explicit HostEngine(int threads, bool deterministic = false)
+      : deterministic_(deterministic),
+        pool_(deterministic ? 1 : threads),
+        lane_scratch_(static_cast<std::size_t>(pool_.lanes())) {}
+
+  [[nodiscard]] int lanes() const { return pool_.lanes(); }
+  [[nodiscard]] bool deterministic() const { return deterministic_; }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+  /// Runs fn(i, lane) for i in [0, n), across all lanes. See the determinism
+  /// contract in the file comment.
+  template <typename Fn>
+  void for_ranks(std::int64_t n, Fn&& fn) {
+    pool_.for_each(0, n, std::forward<Fn>(fn));
+  }
+
+  /// Per-lane scratch, for use inside for_ranks bodies (`lane` is the body's
+  /// lane argument).
+  [[nodiscard]] ScratchLane& scratch(int lane) {
+    return lane_scratch_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Coordinator scratch for state that spans loop phases (per-rank
+  /// reduction arrays, routed-entry outboxes). Must only be resized/rebound
+  /// outside parallel loops; loop bodies may read it, or write disjoint
+  /// slots of it.
+  [[nodiscard]] ScratchLane& shared() { return shared_; }
+
+ private:
+  bool deterministic_;
+  ThreadPool pool_;
+  std::vector<ScratchLane> lane_scratch_;
+  ScratchLane shared_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,137 @@
+#include "gridsim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mcm {
+namespace {
+
+/// Lane of the pool thread currently executing a body, -1 outside the pool.
+/// Lets nested parallel_for calls degrade to serial inline execution on the
+/// calling lane instead of deadlocking on the pool's own workers.
+thread_local int t_current_lane = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int lanes) : lanes_(std::max(1, lanes)) {
+  workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (int lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_serial(std::int64_t begin, std::int64_t end, Body body,
+                            void* ctx, int lane) {
+  for (std::int64_t i = begin; i < end; ++i) body(ctx, i, lane);
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, Body body,
+                              void* ctx) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  if (t_current_lane >= 0) {  // nested: run inline on the current lane
+    run_serial(begin, end, body, ctx, t_current_lane);
+    return;
+  }
+  if (lanes_ == 1 || n == 1) {
+    t_current_lane = 0;
+    try {
+      run_serial(begin, end, body, ctx, 0);
+    } catch (...) {
+      t_current_lane = -1;
+      throw;
+    }
+    t_current_lane = -1;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_body_ = body;
+    job_ctx_ = ctx;
+    job_end_ = end;
+    next_.store(begin, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    job_total_ = n;
+    first_error_ = nullptr;
+    has_error_.store(false, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  work_ready_.notify_all();
+
+  t_current_lane = 0;
+  drain(body, ctx, end, 0);
+  t_current_lane = -1;
+
+  // Wait for every index to retire AND every worker to leave drain(): a
+  // worker that finished its last index still performs one more fetch_add
+  // before exiting, and the cursor must not be reset for the next job until
+  // that has happened.
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) == job_total_
+           && active_workers_ == 0;
+  });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::drain(Body body, void* ctx, std::int64_t end, int lane) {
+  for (;;) {
+    const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) break;
+    if (!has_error_.load(std::memory_order_relaxed)) {
+      try {
+        body(ctx, i, lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+        has_error_.store(true, std::memory_order_relaxed);
+      }
+    }
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_main(int lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Body body = nullptr;
+    void* ctx = nullptr;
+    std::int64_t end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this, seen_generation] {
+        return stop_ || job_generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+      body = job_body_;
+      ctx = job_ctx_;
+      end = job_end_;
+      ++active_workers_;
+    }
+    t_current_lane = lane;
+    drain(body, ctx, end, lane);
+    t_current_lane = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,97 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A small fixed-size host thread pool for executing the simulator's
+/// per-rank loops concurrently. Plain std::thread + a chunked parallel_for;
+/// deliberately no work stealing, no task graph, no OpenMP dependency
+/// (building with -DMCM_OPENMP=ON merely raises the default lane count, see
+/// SimConfig::default_host_threads).
+///
+/// The pool executes *host* work only: it never touches the cost ledger, and
+/// callers are required to make each index write its own output slot so that
+/// results are identical for every lane count (the equivalence tests in
+/// tests/dist/test_host_equivalence.cpp enforce this end to end). Reductions
+/// are expressed as per-index output arrays folded serially by the caller —
+/// never as shared mutable accumulators.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mcm {
+
+class ThreadPool {
+ public:
+  /// Raw loop body: body(ctx, index, lane). `lane` in [0, lanes()) identifies
+  /// the executing lane (0 = the calling thread) for per-lane scratch.
+  using Body = void (*)(void*, std::int64_t, int);
+
+  /// `lanes` = number of concurrent execution lanes, including the calling
+  /// thread; lanes - 1 worker threads are spawned. lanes <= 1 runs
+  /// everything inline on the caller.
+  explicit ThreadPool(int lanes = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// Runs body(ctx, i, lane) for every i in [begin, end), distributing
+  /// indices across lanes one at a time (rank loops are short and uneven, so
+  /// finer chunking beats static splits). Blocks until every index has run.
+  /// The first exception thrown by any index is rethrown on the caller after
+  /// the loop drains. Nested calls from inside a body run inline, serially,
+  /// on the calling lane.
+  void parallel_for(std::int64_t begin, std::int64_t end, Body body, void* ctx);
+
+  /// Convenience wrapper for lambdas: fn(i, lane). No allocation — the
+  /// lambda is passed by address for the duration of the loop.
+  template <typename Fn>
+  void for_each(std::int64_t begin, std::int64_t end, Fn&& fn) {
+    parallel_for(
+        begin, end,
+        [](void* c, std::int64_t i, int lane) {
+          (*static_cast<std::remove_reference_t<Fn>*>(c))(i, lane);
+        },
+        const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+ private:
+  void worker_main(int lane);
+  /// Consumes loop indices until none remain; records the first exception.
+  void drain(Body body, void* ctx, std::int64_t end, int lane);
+  void run_serial(std::int64_t begin, std::int64_t end, Body body, void* ctx,
+                  int lane);
+
+  int lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  bool stop_ = false;
+
+  // Current job, valid while job_generation_ is newer than a worker's last
+  // seen value. Indices are handed out via the atomic cursor; completion is
+  // tracked by counting finished indices, so late-waking workers from a
+  // previous generation find the cursor exhausted and contribute nothing.
+  std::uint64_t job_generation_ = 0;
+  Body job_body_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::int64_t job_end_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::int64_t job_total_ = 0;
+  /// Workers currently inside drain(); the coordinator must not return (and
+  /// so reset the cursor for a following job) while any remain.
+  int active_workers_ = 0;
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+};
+
+}  // namespace mcm

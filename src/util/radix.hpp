@@ -1,0 +1,57 @@
+#pragma once
+/// \file radix.hpp
+/// Stable least-significant-digit radix sort by a non-negative integer key,
+/// used by the distributed fold/INVERT host kernels in place of comparison
+/// sorts: the destination piece length bounds the key, so sorting k routed
+/// entries costs O(k) instead of O(k log k). Small inputs fall back to
+/// std::stable_sort (the counting passes have a fixed overhead); both paths
+/// are stable by key, so they produce identical orderings and the choice —
+/// a pure function of input size and key bound — never affects results.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mcm {
+
+/// Below this size a comparison sort beats the counting passes.
+inline constexpr std::size_t kRadixSortMinSize = 2048;
+
+/// Sorts `v` stably by `key(e)`, which must lie in [0, max_key]. `tmp` and
+/// `count` are caller-provided scratch (resized as needed, so pooled buffers
+/// make repeated sorts allocation-free).
+template <typename E, typename KeyF>
+void stable_sort_by_key(std::vector<E>& v, std::vector<E>& tmp,
+                        std::vector<std::uint32_t>& count, Index max_key,
+                        KeyF key) {
+  if (v.size() < kRadixSortMinSize) {
+    std::stable_sort(v.begin(), v.end(),
+                     [&key](const E& a, const E& b) { return key(a) < key(b); });
+    return;
+  }
+  constexpr int kDigitBits = 16;
+  constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+  constexpr std::uint64_t kMask = kBuckets - 1;
+  tmp.resize(v.size());
+  for (int shift = 0; (static_cast<std::uint64_t>(max_key) >> shift) != 0;
+       shift += kDigitBits) {
+    count.assign(kBuckets, 0);
+    for (const E& e : v) {
+      ++count[(static_cast<std::uint64_t>(key(e)) >> shift) & kMask];
+    }
+    std::uint32_t running = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t here = c;
+      c = running;
+      running += here;
+    }
+    for (const E& e : v) {
+      tmp[count[(static_cast<std::uint64_t>(key(e)) >> shift) & kMask]++] = e;
+    }
+    std::swap(v, tmp);
+  }
+}
+
+}  // namespace mcm

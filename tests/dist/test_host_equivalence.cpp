@@ -1,0 +1,234 @@
+/// Host-engine equivalence suite: the simulator's results AND its simulated
+/// cost ledger must be bit-identical for every host thread count. Each
+/// scenario runs once under host_deterministic (forced serial, in-order) and
+/// then at 1/2/4/8 host lanes; results are compared with EXPECT_EQ and the
+/// ledger per-category times (doubles), message and word counters must match
+/// exactly. Run under ThreadSanitizer via -DMCM_TSAN=ON to also prove the
+/// loops are race-free.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "algebra/semiring.hpp"
+#include "algebra/vertex.hpp"
+#include "core/mcm_dist.hpp"
+#include "dist/dist_bottomup.hpp"
+#include "dist/dist_primitives.hpp"
+#include "dist/dist_spmv.hpp"
+#include "gen/er.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes, int host_threads, bool deterministic) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.host_threads = host_threads;
+  config.host_deterministic = deterministic;
+  return SimContext(config);
+}
+
+void expect_ledger_identical(const CostLedger& got, const CostLedger& want,
+                             const std::string& label) {
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const Cost category = static_cast<Cost>(c);
+    // Exact double equality on purpose: charges must be computed from the
+    // same amounts in the same order regardless of host thread count.
+    EXPECT_EQ(got.time_us(category), want.time_us(category))
+        << label << " time[" << cost_name(category) << "]";
+    EXPECT_EQ(got.messages(category), want.messages(category))
+        << label << " messages[" << cost_name(category) << "]";
+    EXPECT_EQ(got.words(category), want.words(category))
+        << label << " words[" << cost_name(category) << "]";
+  }
+}
+
+/// Runs `scenario(ctx)` under forced-serial execution, then at several host
+/// thread counts, and requires identical return values and ledgers.
+template <typename Scenario>
+void expect_host_equivalent(int processes, Scenario&& scenario) {
+  SimContext reference = make_ctx(processes, 1, /*deterministic=*/true);
+  const auto expected = scenario(reference);
+  for (const int threads : {1, 2, 4, 8}) {
+    SimContext ctx = make_ctx(processes, threads, /*deterministic=*/false);
+    const auto got = scenario(ctx);
+    const std::string label =
+        "p=" + std::to_string(processes) + " threads=" + std::to_string(threads);
+    EXPECT_EQ(got, expected) << label;
+    expect_ledger_identical(ctx.ledger(), reference.ledger(), label);
+  }
+}
+
+SpVec<Vertex> random_frontier(Index len, double density, Rng& rng) {
+  SpVec<Vertex> x(len);
+  for (Index j = 0; j < len; ++j) {
+    if (rng.next_bool(density)) {
+      x.push_back(j, Vertex(j, static_cast<Index>(rng.next_below(
+                                   static_cast<std::uint64_t>(len)))));
+    }
+  }
+  return x;
+}
+
+class HostEquivGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(HostEquivGrids, SpmvBothDirections) {
+  const int p = GetParam();
+  Rng rng(101);
+  const CooMatrix coo = er_bipartite_m(83, 91, 700, rng);
+  const SpVec<Vertex> x_col = random_frontier(91, 0.5, rng);
+  const SpVec<Vertex> x_row = random_frontier(83, 0.5, rng);
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    DistSpVec<Vertex> dc(ctx, VSpace::Col, 91);
+    dc.from_global(x_col);
+    DistSpVec<Vertex> dr(ctx, VSpace::Row, 83);
+    dr.from_global(x_row);
+    const auto down =
+        dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dc, Select2ndMinParent{});
+    const auto up =
+        dist_spmv_row_to_col(ctx, Cost::SpMV, dist, dr, Select2ndMinParent{});
+    return std::make_pair(down.to_global(), up.to_global());
+  });
+}
+
+TEST_P(HostEquivGrids, InvertWithCollisions) {
+  const int p = GetParam();
+  Rng rng(103);
+  // Few distinct roots force heavy key collisions: keep-first order matters.
+  const Index n = 120;
+  SpVec<Vertex> x(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.7)) {
+      x.push_back(i, Vertex(i, static_cast<Index>(rng.next_below(7))));
+    }
+  }
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    DistSpVec<Vertex> dx(ctx, VSpace::Row, n);
+    dx.from_global(x);
+    const auto inverted = dist_invert<Index>(
+        ctx, Cost::Invert, dx, VSpace::Col, n,
+        [](Index, const Vertex& v) { return v.root; },
+        [](Index g, const Vertex&) { return g; });
+    return inverted.to_global();
+  });
+}
+
+TEST_P(HostEquivGrids, InvertLargeEnoughForRadixPath) {
+  const int p = GetParam();
+  Rng rng(107);
+  const Index n = 6000;  // above kRadixSortMinSize at small p
+  SpVec<Index> x(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.8)) {
+      x.push_back(i, static_cast<Index>(
+                         rng.next_below(static_cast<std::uint64_t>(n))));
+    }
+  }
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    DistSpVec<Index> dx(ctx, VSpace::Col, n);
+    dx.from_global(x);
+    const auto inverted = dist_invert<Index>(
+        ctx, Cost::Invert, dx, VSpace::Row, n,
+        [](Index, Index value) { return value; },
+        [](Index g, Index) { return g; });
+    return inverted.to_global();
+  });
+}
+
+TEST_P(HostEquivGrids, PruneWithDuplicateRoots) {
+  const int p = GetParam();
+  Rng rng(109);
+  const Index n = 140;
+  SpVec<Vertex> x(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.6)) {
+      x.push_back(i, Vertex(i, static_cast<Index>(rng.next_below(12))));
+    }
+  }
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    DistSpVec<Vertex> dx(ctx, VSpace::Row, n);
+    dx.from_global(x);
+    // Every rank nominates the roots of its own entries, duplicates and all
+    // (mirrors the mcm_graft dead-tree collection).
+    std::vector<std::vector<Index>> roots_by_rank(
+        static_cast<std::size_t>(ctx.processes()));
+    for (int r = 0; r < ctx.processes(); ++r) {
+      const SpVec<Vertex>& piece = dx.piece(r);
+      for (Index k = 0; k < piece.nnz(); ++k) {
+        if (piece.value_at(k).root < 6) {
+          roots_by_rank[static_cast<std::size_t>(r)].push_back(
+              piece.value_at(k).root);
+        }
+      }
+    }
+    const auto pruned =
+        dist_prune(ctx, Cost::Prune, dx, roots_by_rank,
+                   [](const Vertex& v) { return v.root; });
+    return pruned.to_global();
+  });
+}
+
+TEST_P(HostEquivGrids, BottomUpStep) {
+  const int p = GetParam();
+  Rng rng(113);
+  const CooMatrix coo = er_bipartite_m(77, 85, 650, rng);
+  const SpVec<Vertex> frontier = random_frontier(85, 0.6, rng);
+  std::vector<Index> pi(77);
+  for (auto& v : pi) {
+    v = rng.next_bool(0.5) ? kNull : static_cast<Index>(rng.next_below(85));
+  }
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    DistSpVec<Vertex> f_c(ctx, VSpace::Col, 85);
+    f_c.from_global(frontier);
+    DistDenseVec<Index> pi_r(ctx, VSpace::Row, 77, kNull);
+    pi_r.from_std(pi);
+    const auto found = dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, pi_r);
+    return found.to_global();
+  });
+}
+
+TEST_P(HostEquivGrids, FullMcmDistPipeline) {
+  const int p = GetParam();
+  Rng rng(127);
+  const CooMatrix coo = er_bipartite_m(60, 60, 420, rng);
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    McmDistStats stats;
+    const Matching m = mcm_dist(ctx, dist, Matching(60, 60), {}, &stats);
+    return std::make_tuple(m.mate_r, m.mate_c, stats.phases, stats.iterations,
+                           stats.augmentations);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HostEquivGrids, ::testing::Values(1, 4, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(HostEquivalence, InvertKeyOutOfRangeStillThrowsAcrossThreadCounts) {
+  for (const int threads : {1, 4}) {
+    SimContext ctx = make_ctx(4, threads, false);
+    const Index n = 30;
+    SpVec<Index> x(n);
+    x.push_back(3, 999);  // key far outside [0, n)
+    DistSpVec<Index> dx(ctx, VSpace::Row, n);
+    dx.from_global(x);
+    EXPECT_THROW((void)dist_invert<Index>(
+                     ctx, Cost::Invert, dx, VSpace::Col, n,
+                     [](Index, Index value) { return value; },
+                     [](Index g, Index) { return g; }),
+                 std::out_of_range)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,168 @@
+#include "gridsim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "gridsim/host_engine.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int lanes : {1, 2, 4, 8}) {
+    ThreadPool pool(lanes);
+    std::vector<int> counts(1000, 0);
+    pool.for_each(0, 1000,
+                  [&](std::int64_t i, int) { ++counts[static_cast<std::size_t>(i)]; });
+    for (const int c : counts) EXPECT_EQ(c, 1) << "lanes=" << lanes;
+  }
+}
+
+TEST(ThreadPool, HonorsBeginOffsetAndEmptyRange) {
+  ThreadPool pool(4);
+  std::vector<int> counts(100, 0);
+  pool.for_each(90, 100,
+                [&](std::int64_t i, int) { ++counts[static_cast<std::size_t>(i)]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], i >= 90 ? 1 : 0);
+  }
+  pool.for_each(5, 5, [&](std::int64_t, int) { FAIL() << "empty range ran"; });
+  pool.for_each(7, 3, [&](std::int64_t, int) { FAIL() << "negative range ran"; });
+}
+
+TEST(ThreadPool, LaneIdsStayInRange) {
+  const int lanes = 4;
+  ThreadPool pool(lanes);
+  std::vector<int> seen_lane(512, -1);
+  pool.for_each(0, 512, [&](std::int64_t i, int lane) {
+    seen_lane[static_cast<std::size_t>(i)] = lane;
+  });
+  for (const int lane : seen_lane) {
+    EXPECT_GE(lane, 0);
+    EXPECT_LT(lane, lanes);
+  }
+}
+
+// Back-to-back jobs stress the cursor reset: a stale worker from job k must
+// never consume an index of job k+1 (each round checks full coverage).
+TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::int64_t> out(64, -1);
+    pool.for_each(0, 64, [&](std::int64_t i, int) {
+      out[static_cast<std::size_t>(i)] = i + round;
+    });
+    for (std::int64_t i = 0; i < 64; ++i) {
+      ASSERT_EQ(out[static_cast<std::size_t>(i)], i + round)
+          << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
+  for (const int lanes : {1, 4}) {
+    ThreadPool pool(lanes);
+    EXPECT_THROW(pool.for_each(0, 100,
+                               [](std::int64_t i, int) {
+                                 if (i == 37) throw std::out_of_range("boom");
+                               }),
+                 std::out_of_range);
+    std::vector<int> counts(50, 0);
+    pool.for_each(0, 50, [&](std::int64_t i, int) {
+      ++counts[static_cast<std::size_t>(i)];
+    });
+    for (const int c : counts) EXPECT_EQ(c, 1) << "lanes=" << lanes;
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunInlineOnTheSameLane) {
+  ThreadPool pool(4);
+  std::vector<int> counts(8 * 8, 0);
+  std::vector<int> lane_mismatches(8, 0);
+  pool.for_each(0, 8, [&](std::int64_t i, int outer_lane) {
+    pool.for_each(0, 8, [&](std::int64_t j, int inner_lane) {
+      ++counts[static_cast<std::size_t>(i * 8 + j)];
+      if (inner_lane != outer_lane) {
+        ++lane_mismatches[static_cast<std::size_t>(i)];
+      }
+    });
+  });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+  for (const int m : lane_mismatches) EXPECT_EQ(m, 0);
+}
+
+TEST(ThreadPool, ClampsLaneCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1);
+  std::vector<int> counts(10, 0);
+  pool.for_each(0, 10, [&](std::int64_t i, int lane) {
+    EXPECT_EQ(lane, 0);
+    ++counts[static_cast<std::size_t>(i)];
+  });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ScratchTag, DistinctPurposeStringsGetDistinctTags) {
+  static_assert(scratch_tag("fold.entries") != scratch_tag("fold.sort_tmp"));
+  static_assert(scratch_tag("a") != scratch_tag("b"));
+  static_assert(scratch_key(scratch_tag("spa"), 100)
+                != scratch_key(scratch_tag("spa"), 101));
+}
+
+TEST(ScratchLane, GetCachesByTypeAndTag) {
+  ScratchLane lane;
+  auto& a = lane.get<std::vector<int>>(scratch_tag("x"));
+  auto& b = lane.get<std::vector<int>>(scratch_tag("x"));
+  EXPECT_EQ(&a, &b);
+  auto& c = lane.get<std::vector<int>>(scratch_tag("y"));
+  EXPECT_NE(&a, &c);
+  // Same tag, different type: distinct slot.
+  auto& d = lane.get<std::vector<double>>(scratch_tag("x"));
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&d));
+}
+
+TEST(ScratchLane, GetForwardsConstructorArguments) {
+  ScratchLane lane;
+  auto& v = lane.get<std::vector<int>>(scratch_tag("sized"), 17, 3);
+  EXPECT_EQ(v.size(), 17u);
+  EXPECT_EQ(v[0], 3);
+}
+
+TEST(ScratchLane, BufferHandsOutClearedWithCapacityRetained) {
+  ScratchLane lane;
+  auto& v = lane.buffer<int>(scratch_tag("buf"));
+  v.resize(1000);
+  const std::size_t capacity = v.capacity();
+  auto& again = lane.buffer<int>(scratch_tag("buf"));
+  EXPECT_EQ(&v, &again);
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), capacity);
+}
+
+TEST(HostEngine, DeterministicModeForcesOneLane) {
+  HostEngine engine(8, /*deterministic=*/true);
+  EXPECT_EQ(engine.lanes(), 1);
+  EXPECT_TRUE(engine.deterministic());
+  // Deterministic runs visit indices in order on lane 0.
+  std::vector<std::int64_t> order;
+  engine.for_ranks(16, [&](std::int64_t i, int lane) {
+    EXPECT_EQ(lane, 0);
+    order.push_back(i);
+  });
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(HostEngine, ScratchLanesAreDistinctPerLane) {
+  HostEngine engine(4);
+  ASSERT_EQ(engine.lanes(), 4);
+  EXPECT_NE(&engine.scratch(0), &engine.scratch(1));
+  EXPECT_NE(&engine.scratch(0), &engine.shared());
+}
+
+}  // namespace
+}  // namespace mcm
