@@ -73,8 +73,14 @@ class SimContext {
   [[nodiscard]] CostLedger& ledger() { return ledger_; }
   [[nodiscard]] const CostLedger& ledger() const { return ledger_; }
 
-  /// Host-parallel execution engine (thread pool + scratch pools). Shared by
-  /// copies of this context; affects host wall-clock only, never charges.
+  /// Host-parallel execution engine (thread pool + scratch pools). Affects
+  /// host wall-clock only, never charges. The engine — including its
+  /// shared() scratch — is one mutable object shared by every copy of this
+  /// context, so copies must not execute dist primitives concurrently, and
+  /// user callbacks passed to one primitive must not invoke another (the
+  /// inner loop would clobber the outer loop's scratch). Debug builds assert
+  /// both via HostEngine's reentrancy guard; contexts that must run
+  /// concurrently need separately constructed SimContexts.
   [[nodiscard]] HostEngine& host() const { return *host_; }
 
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }

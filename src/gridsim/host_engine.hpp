@@ -21,6 +21,8 @@
 /// with a size parameter (scratch_key) — e.g. SPAs are keyed by block height
 /// so blocks of equal height share one accumulator per lane.
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <typeindex>
@@ -106,9 +108,23 @@ class HostEngine {
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
   /// Runs fn(i, lane) for i in [0, n), across all lanes. See the determinism
-  /// contract in the file comment.
+  /// contract in the file comment. Non-reentrant: user callbacks passed to
+  /// dist primitives must not themselves invoke dist primitives, and copies
+  /// of a SimContext (which share this engine) must not execute concurrently
+  /// — a nested or concurrent loop would clobber the shared() scratch the
+  /// outer loop is using. Debug builds assert this.
   template <typename Fn>
   void for_ranks(std::int64_t n, Fn&& fn) {
+#ifndef NDEBUG
+    assert(!in_parallel_.exchange(true, std::memory_order_relaxed) &&
+           "HostEngine::for_ranks is non-reentrant: dist primitives must not "
+           "be invoked from another primitive's callback or concurrently "
+           "from copies of one SimContext");
+    struct Reset {
+      std::atomic<bool>& flag;
+      ~Reset() { flag.store(false, std::memory_order_relaxed); }
+    } reset{in_parallel_};
+#endif
     pool_.for_each(0, n, std::forward<Fn>(fn));
   }
 
@@ -120,15 +136,23 @@ class HostEngine {
 
   /// Coordinator scratch for state that spans loop phases (per-rank
   /// reduction arrays, routed-entry outboxes). Must only be resized/rebound
-  /// outside parallel loops; loop bodies may read it, or write disjoint
-  /// slots of it.
-  [[nodiscard]] ScratchLane& shared() { return shared_; }
+  /// outside parallel loops (debug builds assert this); loop bodies may read
+  /// buffers bound before the loop, or write disjoint slots of them. Several
+  /// primitives share one tag (e.g. "prim.ops") — safe only because loops
+  /// never nest, which the for_ranks() assertion enforces.
+  [[nodiscard]] ScratchLane& shared() {
+    assert(!in_parallel_.load(std::memory_order_relaxed) &&
+           "shared() scratch must be bound outside parallel loops");
+    return shared_;
+  }
 
  private:
   bool deterministic_;
   ThreadPool pool_;
   std::vector<ScratchLane> lane_scratch_;
   ScratchLane shared_;
+  /// Debug-only reentrancy guard for for_ranks()/shared(); see their docs.
+  std::atomic<bool> in_parallel_{false};
 };
 
 }  // namespace mcm

@@ -54,7 +54,13 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, Body body,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker that slept through an entire previous job may be waking only
+    // now: it activates under the mutex with that job's (dangling) body and
+    // exhausted cursor. Wait for it to pass through drain() — harmless while
+    // the cursor still reads exhausted — before resetting any job state, so
+    // it can never consume this job's indices with the old body.
+    work_done_.wait(lock, [this] { return active_workers_ == 0; });
     job_body_ = body;
     job_ctx_ = ctx;
     job_end_ = end;

@@ -87,8 +87,11 @@ class ThreadPool {
   std::atomic<std::int64_t> next_{0};
   std::atomic<std::int64_t> completed_{0};
   std::int64_t job_total_ = 0;
-  /// Workers currently inside drain(); the coordinator must not return (and
-  /// so reset the cursor for a following job) while any remain.
+  /// Workers currently inside drain(). Guards the job state both ways: the
+  /// coordinator neither returns from a job nor *sets up the next one* while
+  /// any remain — a worker that slept through a whole job still activates
+  /// with that job's stale body, and must fall out of drain() on the
+  /// exhausted cursor before the cursor may be reset.
   int active_workers_ = 0;
   std::exception_ptr first_error_;
   std::atomic<bool> has_error_{false};

@@ -9,7 +9,9 @@
 /// a pure function of input size and key bound — never affects results.
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/types.hpp"
@@ -21,7 +23,8 @@ inline constexpr std::size_t kRadixSortMinSize = 2048;
 
 /// Sorts `v` stably by `key(e)`, which must lie in [0, max_key]. `tmp` and
 /// `count` are caller-provided scratch (resized as needed, so pooled buffers
-/// make repeated sorts allocation-free).
+/// make repeated sorts allocation-free). The uint32_t bucket counts limit
+/// `v.size()` to < 2^32 elements (asserted).
 template <typename E, typename KeyF>
 void stable_sort_by_key(std::vector<E>& v, std::vector<E>& tmp,
                         std::vector<std::uint32_t>& count, Index max_key,
@@ -34,8 +37,12 @@ void stable_sort_by_key(std::vector<E>& v, std::vector<E>& tmp,
   constexpr int kDigitBits = 16;
   constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
   constexpr std::uint64_t kMask = kBuckets - 1;
+  assert(v.size() <= std::numeric_limits<std::uint32_t>::max());
   tmp.resize(v.size());
-  for (int shift = 0; (static_cast<std::uint64_t>(max_key) >> shift) != 0;
+  // shift < 64 guard: for max_key >= 2^48 the next step would shift a 64-bit
+  // value by 64, which is undefined behavior rather than 0.
+  for (int shift = 0;
+       shift < 64 && (static_cast<std::uint64_t>(max_key) >> shift) != 0;
        shift += kDigitBits) {
     count.assign(kBuckets, 0);
     for (const E& e : v) {

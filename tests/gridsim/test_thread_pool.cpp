@@ -62,6 +62,23 @@ TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
   }
 }
 
+// Worst case for stale-worker wakeups: jobs smaller than the lane count, so
+// most workers sleep through each job and wake into a later one holding a
+// by-then-destroyed body. Each round's lambda captures a fresh stack vector;
+// a stale body executing would write freed memory (caught by ASan/TSan) or
+// clobber round tags (caught by the asserts).
+TEST(ThreadPool, TinyJobsWithMoreLanesThanWork) {
+  ThreadPool pool(8);
+  for (std::int64_t round = 0; round < 4000; ++round) {
+    std::vector<std::int64_t> out(2, -1);
+    pool.for_each(0, 2, [&](std::int64_t i, int) {
+      out[static_cast<std::size_t>(i)] = round;
+    });
+    ASSERT_EQ(out[0], round);
+    ASSERT_EQ(out[1], round);
+  }
+}
+
 TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
   for (const int lanes : {1, 4}) {
     ThreadPool pool(lanes);

@@ -1,0 +1,71 @@
+#include "util/radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+struct Entry {
+  Index key;
+  int payload;
+};
+
+// Runs both paths (comparison fallback and radix) against std::stable_sort
+// on the same data and checks element-wise equality — the two must produce
+// identical orderings, including ties.
+void check_matches_stable_sort(std::vector<Entry> v, Index max_key) {
+  std::vector<Entry> expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  std::vector<Entry> tmp;
+  std::vector<std::uint32_t> count;
+  stable_sort_by_key(v, tmp, count, max_key,
+                     [](const Entry& e) { return e.key; });
+  ASSERT_EQ(v.size(), expected.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].key, expected[i].key) << "i=" << i;
+    EXPECT_EQ(v[i].payload, expected[i].payload) << "i=" << i;
+  }
+}
+
+TEST(RadixSort, SmallInputUsesFallbackAndStaysStable) {
+  std::vector<Entry> v;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    v.push_back({static_cast<Index>(rng.next() % 17), i});
+  }
+  check_matches_stable_sort(std::move(v), 16);
+}
+
+TEST(RadixSort, LargeInputMultiDigitKeys) {
+  std::vector<Entry> v;
+  Rng rng(11);
+  const Index max_key = (Index{1} << 20) - 1;  // two 16-bit digits
+  for (int i = 0; i < 5000; ++i) {
+    v.push_back({static_cast<Index>(rng.next()) & max_key, i});
+  }
+  check_matches_stable_sort(std::move(v), max_key);
+}
+
+// max_key with bits at and above 2^48 previously drove the digit loop to a
+// 64-bit shift by 64 — undefined behavior. The guarded loop must process all
+// four 16-bit digits and stop.
+TEST(RadixSort, HugeKeyBoundDoesNotOvershiftAndSortsAllDigits) {
+  const Index max_key = std::numeric_limits<Index>::max();  // 2^63 - 1
+  std::vector<Entry> v;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    // Spread keys across the full positive int64 range, top digit included.
+    v.push_back({static_cast<Index>(rng.next() >> 1), i});
+  }
+  check_matches_stable_sort(std::move(v), max_key);
+}
+
+}  // namespace
+}  // namespace mcm
