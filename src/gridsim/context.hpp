@@ -27,6 +27,7 @@
 #include "gridsim/cost_ledger.hpp"
 #include "gridsim/host_engine.hpp"
 #include "gridsim/machine.hpp"
+#include "gridsim/mcmcheck.hpp"
 #include "gridsim/proc_grid.hpp"
 
 namespace mcm {
@@ -82,6 +83,18 @@ class SimContext {
   /// both via HostEngine's reentrancy guard; contexts that must run
   /// concurrently need separately constructed SimContexts.
   [[nodiscard]] HostEngine& host() const { return *host_; }
+
+  /// mcmcheck, the BSP-discipline sanitizer (gridsim/mcmcheck.hpp). The
+  /// active-simulated-rank scope is established by the per-rank loop bodies
+  /// of the distributed primitives (check::RankScope) and consulted by the
+  /// piece accessors of DistDenseVec/DistSpVec/DistMatrix; these statics
+  /// expose the process-global mode (Off when compiled out via MCM_CHECK).
+  [[nodiscard]] static CheckMode check_mode() noexcept {
+    return check::mode();
+  }
+  static void set_check_mode(CheckMode mode) noexcept {
+    check::set_mode(mode);
+  }
 
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }
   [[nodiscard]] double beta_word() const { return config_.machine.beta_us_per_word; }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "gridsim/mcmcheck.hpp"
+
 namespace mcm {
 
 const char* cost_name(Cost category) noexcept {
@@ -18,7 +20,8 @@ const char* cost_name(Cost category) noexcept {
   return "?";
 }
 
-void CostLedger::charge_time(Cost category, double us) noexcept {
+void CostLedger::charge_time(Cost category, double us) {
+  check::verify_charge(cost_name(category), us);
   time_us_[static_cast<int>(category)] += us;
 }
 

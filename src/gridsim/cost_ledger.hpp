@@ -29,8 +29,10 @@ enum class Cost : int {
 
 class CostLedger {
  public:
-  /// Adds `us` microseconds of simulated time to a category.
-  void charge_time(Cost category, double us) noexcept;
+  /// Adds `us` microseconds of simulated time to a category. Under mcmcheck
+  /// a negative or non-finite charge is a ledger-monotonicity violation
+  /// (simulated time only moves forward), so this may throw in throw mode.
+  void charge_time(Cost category, double us);
 
   /// Records communication volume (the time for it is charged separately by
   /// the collective's cost formula via charge_time).

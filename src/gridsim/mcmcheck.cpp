@@ -1,0 +1,112 @@
+#include "gridsim/mcmcheck.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcm::check {
+
+CheckMode mode_from_string(const std::string& text) {
+  if (text == "off") return CheckMode::Off;
+  if (text == "throw") return CheckMode::Throw;
+  if (text == "abort") return CheckMode::Abort;
+  throw std::invalid_argument("mcmcheck mode must be off|throw|abort, got '"
+                              + text + "'");
+}
+
+const char* mode_name(CheckMode mode) noexcept {
+  switch (mode) {
+    case CheckMode::Off:
+      return "off";
+    case CheckMode::Throw:
+      return "throw";
+    case CheckMode::Abort:
+      return "abort";
+  }
+  return "?";
+}
+
+#if defined(MCM_CHECK_ENABLED)
+
+namespace {
+
+constexpr int kModeUnset = -1;
+
+/// Global mode; initialized lazily from MCM_CHECK_MODE so library code needs
+/// no init call. Relaxed is enough: the mode is configuration, not data.
+std::atomic<int> g_mode{kModeUnset};
+
+int mode_from_env() noexcept {
+  const char* env = std::getenv("MCM_CHECK_MODE");
+  if (env == nullptr) return static_cast<int>(CheckMode::Throw);
+  const std::string text(env);
+  if (text == "off") return static_cast<int>(CheckMode::Off);
+  if (text == "abort") return static_cast<int>(CheckMode::Abort);
+  if (text != "throw" && !text.empty()) {
+    std::fprintf(stderr,
+                 "mcmcheck: unknown MCM_CHECK_MODE '%s' (want off|throw|abort)"
+                 ", defaulting to throw\n",
+                 env);
+  }
+  return static_cast<int>(CheckMode::Throw);
+}
+
+}  // namespace
+
+CheckMode mode() noexcept {
+  int current = g_mode.load(std::memory_order_relaxed);
+  if (current == kModeUnset) {
+    int expected = kModeUnset;
+    g_mode.compare_exchange_strong(expected, mode_from_env(),
+                                   std::memory_order_relaxed);
+    current = g_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<CheckMode>(current);
+}
+
+void set_mode(CheckMode mode) noexcept {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void report(const char* kind, const char* primitive, int rank,
+            std::int64_t index, const std::string& detail) {
+  const char* prim = (primitive != nullptr && primitive[0] != '\0')
+                         ? primitive
+                         : "<no primitive scope>";
+  std::string message = "mcmcheck[";
+  message += kind;
+  message += "] primitive=";
+  message += prim;
+  if (rank >= 0) {
+    message += " rank=";
+    message += std::to_string(rank);
+  }
+  if (index >= 0) {
+    message += " index=";
+    message += std::to_string(index);
+  }
+  message += ": ";
+  message += detail;
+  switch (mode()) {
+    case CheckMode::Off:
+      return;
+    case CheckMode::Throw:
+      throw CheckViolation(kind, prim, rank, index, message);
+    case CheckMode::Abort:
+      std::fprintf(stderr, "%s\n", message.c_str());
+      std::abort();
+  }
+}
+
+void verify_charge(const char* category, double us) {
+  if (!enabled()) return;
+  if (us >= 0.0 && std::isfinite(us)) return;
+  report("ledger-monotonicity", category, -1, -1,
+         std::string("charge of ") + std::to_string(us)
+             + " us would move simulated time backwards (or is not finite)");
+}
+
+#endif  // MCM_CHECK_ENABLED
+
+}  // namespace mcm::check

@@ -1,0 +1,247 @@
+#pragma once
+/// \file mcmcheck.hpp
+/// mcmcheck — BSP-discipline sanitizer for the simulated machine. gridsim
+/// shares one host address space across every simulated rank, so the bugs a
+/// real MPI run would crash on (touching another rank's piece outside a
+/// collective, one-sided ops outside an RMA epoch, conflicting PUTs racing
+/// on one window index) execute silently here. mcmcheck makes the contract
+/// machine-checked, the way TSan guards the *host* threads:
+///
+///   rank ownership   Per-rank loop bodies run inside a RankScope naming the
+///                    simulated rank they execute as; DistDenseVec / DistSpVec
+///                    piece and element accessors (and DistMatrix block
+///                    accessors) verify the accessing rank owns the data.
+///   sanctioned       Collective phases that legitimately read remote pieces
+///   windows          (SpMV expand, bottom-up expands, gather/scatter, RMA
+///                    epochs) bracket themselves with an AccessWindow; inside
+///                    a window cross-rank access is allowed.
+///   RMA epochs       RmaWindow rejects GET/PUT/FETCH_AND_OP outside an open
+///                    epoch and reports conflicting same-index accesses from
+///                    different origins within one epoch (dist/rma.hpp).
+///   conservation     Collectives assert routed payloads balance (entries
+///                    sent == entries received) and the ledger rejects
+///                    negative / non-finite charges, so cost-model
+///                    regressions trip a machine check instead of a reviewer.
+///
+/// Code outside any RankScope (setup, verification, test drivers, the
+/// coordinating thread between loop phases) is exempt: the global accessors
+/// documented as "setup/verification only" stay usable there.
+///
+/// Compile-time gate: the checker exists only when MCM_CHECK_ENABLED is
+/// defined (CMake option MCM_CHECK, default ON in Debug builds). When
+/// compiled out, every entry point below collapses to a constexpr no-op and
+/// the scope guards are empty structs — zero cost. When compiled in, the
+/// runtime mode comes from the MCM_CHECK_MODE environment variable
+/// (off | throw | abort, default throw) and can be overridden with
+/// set_mode() (mcm_tool --check).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+
+/// What a detected violation does: nothing, throw CheckViolation, or print
+/// the diagnostic to stderr and abort (for runs that cannot unwind).
+enum class CheckMode { Off, Throw, Abort };
+
+/// Structured diagnostic thrown in CheckMode::Throw. `rank` is the simulated
+/// rank that performed the offending access (-1 when no rank was involved,
+/// e.g. conservation failures) and `index` the global element index when one
+/// is known (-1 otherwise).
+class CheckViolation : public std::logic_error {
+ public:
+  CheckViolation(std::string kind, std::string primitive, int rank,
+                 std::int64_t index, const std::string& message)
+      : std::logic_error(message),
+        kind_(std::move(kind)),
+        primitive_(std::move(primitive)),
+        rank_(rank),
+        index_(index) {}
+
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& primitive() const noexcept {
+    return primitive_;
+  }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] std::int64_t index() const noexcept { return index_; }
+
+ private:
+  std::string kind_;
+  std::string primitive_;
+  int rank_;
+  std::int64_t index_;
+};
+
+namespace check {
+
+/// Parses "off" | "throw" | "abort" (throws std::invalid_argument otherwise).
+[[nodiscard]] CheckMode mode_from_string(const std::string& text);
+[[nodiscard]] const char* mode_name(CheckMode mode) noexcept;
+
+#if defined(MCM_CHECK_ENABLED)
+
+inline constexpr bool kCompiledIn = true;
+
+/// Current global mode. First call reads MCM_CHECK_MODE (default: throw).
+[[nodiscard]] CheckMode mode() noexcept;
+void set_mode(CheckMode mode) noexcept;
+[[nodiscard]] inline bool enabled() noexcept {
+  return mode() != CheckMode::Off;
+}
+
+namespace detail {
+
+/// Per-host-thread simulated-execution state. Each lane of the HostEngine is
+/// a thread, so thread-local storage gives every concurrently simulated rank
+/// its own scope.
+struct TlsState {
+  int active_rank = -1;     ///< simulated rank this thread executes as
+  int window_depth = 0;     ///< >0 inside a sanctioned collective window
+  const char* primitive = "";  ///< innermost scope/window name
+};
+
+inline thread_local TlsState tls_state;
+
+}  // namespace detail
+
+/// Formats the diagnostic and throws CheckViolation or aborts per mode().
+/// Never returns in Throw/Abort mode; returns silently in Off mode (callers
+/// check enabled() first, but a racing set_mode must not crash).
+void report(const char* kind, const char* primitive, int rank,
+            std::int64_t index, const std::string& detail);
+
+/// Declares that the enclosing block simulates `rank`: piece accesses on
+/// behalf of another rank become violations until the scope closes. Used by
+/// the per-rank loop bodies of every distributed primitive.
+class RankScope {
+ public:
+  RankScope(int rank, const char* primitive) noexcept
+      : prev_(detail::tls_state) {
+    detail::tls_state.active_rank = rank;
+    detail::tls_state.primitive = primitive;
+  }
+  ~RankScope() { detail::tls_state = prev_; }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  detail::TlsState prev_;
+};
+
+/// Declares a sanctioned collective window (expand / gather / RMA epoch):
+/// cross-rank access inside it models charged communication and is allowed.
+class AccessWindow {
+ public:
+  explicit AccessWindow(const char* primitive) noexcept
+      : prev_primitive_(detail::tls_state.primitive) {
+    detail::tls_state.primitive = primitive;
+    ++detail::tls_state.window_depth;
+  }
+  ~AccessWindow() {
+    --detail::tls_state.window_depth;
+    detail::tls_state.primitive = prev_primitive_;
+  }
+  AccessWindow(const AccessWindow&) = delete;
+  AccessWindow& operator=(const AccessWindow&) = delete;
+
+ private:
+  const char* prev_primitive_;
+};
+
+[[nodiscard]] inline int active_rank() noexcept {
+  return detail::tls_state.active_rank;
+}
+[[nodiscard]] inline bool in_sanctioned_window() noexcept {
+  return detail::tls_state.window_depth > 0;
+}
+[[nodiscard]] inline const char* active_primitive() noexcept {
+  return detail::tls_state.primitive;
+}
+
+/// Piece-granular ownership check: called by piece/block accessors with the
+/// rank owning the container. No-op outside a RankScope or inside a window.
+inline void verify_piece_access(int owner, const char* accessor) {
+  if (!enabled()) return;
+  const detail::TlsState& tls = detail::tls_state;
+  if (tls.active_rank < 0 || tls.window_depth > 0 || tls.active_rank == owner) {
+    return;
+  }
+  report("cross-rank-piece-access", tls.primitive, tls.active_rank, -1,
+         std::string("rank ") + std::to_string(tls.active_rank)
+             + " touched the piece of rank " + std::to_string(owner) + " via "
+             + accessor);
+}
+
+/// Element-granular ownership check for the global at()/set() accessors
+/// ("setup/verification only"): inside a RankScope they model an unaccounted
+/// remote access unless a window (e.g. an RMA epoch) sanctions them.
+inline void verify_element_access(int owner, std::int64_t global,
+                                  const char* accessor) {
+  if (!enabled()) return;
+  const detail::TlsState& tls = detail::tls_state;
+  if (tls.active_rank < 0 || tls.window_depth > 0 || tls.active_rank == owner) {
+    return;
+  }
+  report("cross-rank-element-access", tls.primitive, tls.active_rank, global,
+         std::string("rank ") + std::to_string(tls.active_rank)
+             + " accessed global index " + std::to_string(global)
+             + " owned by rank " + std::to_string(owner) + " via " + accessor);
+}
+
+/// Ledger conservation: `sent` units left the sources, `received` arrived at
+/// the destinations; any imbalance means entries were dropped or duplicated
+/// in routing (and the charged payload is wrong).
+inline void verify_conservation(const char* primitive, const char* what,
+                                std::uint64_t sent, std::uint64_t received) {
+  if (!enabled()) return;
+  if (sent == received) return;
+  report("conservation", primitive, -1, -1,
+         std::string(primitive) + ": " + what + " sent ("
+             + std::to_string(sent) + ") != received ("
+             + std::to_string(received) + ")");
+}
+
+/// Charge monotonicity: simulated time only moves forward. Catches negative
+/// or NaN charges from broken cost formulas.
+void verify_charge(const char* category, double us);
+
+#else  // !MCM_CHECK_ENABLED — every entry point is a constexpr no-op.
+
+inline constexpr bool kCompiledIn = false;
+
+[[nodiscard]] constexpr CheckMode mode() noexcept { return CheckMode::Off; }
+constexpr void set_mode(CheckMode) noexcept {}
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+
+class RankScope {
+ public:
+  constexpr RankScope(int, const char*) noexcept {}
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+};
+
+class AccessWindow {
+ public:
+  constexpr explicit AccessWindow(const char*) noexcept {}
+  AccessWindow(const AccessWindow&) = delete;
+  AccessWindow& operator=(const AccessWindow&) = delete;
+};
+
+[[nodiscard]] constexpr int active_rank() noexcept { return -1; }
+[[nodiscard]] constexpr bool in_sanctioned_window() noexcept { return false; }
+[[nodiscard]] constexpr const char* active_primitive() noexcept { return ""; }
+
+inline void report(const char*, const char*, int, std::int64_t,
+                   const std::string&) noexcept {}
+
+constexpr void verify_piece_access(int, const char*) noexcept {}
+constexpr void verify_element_access(int, std::int64_t, const char*) noexcept {}
+constexpr void verify_conservation(const char*, const char*, std::uint64_t,
+                                   std::uint64_t) noexcept {}
+constexpr void verify_charge(const char*, double) noexcept {}
+
+#endif  // MCM_CHECK_ENABLED
+
+}  // namespace check
+}  // namespace mcm
