@@ -53,6 +53,7 @@ AugmentResult augment_level_parallel(SimContext& ctx,
     // concurrently on the host engine.
     ctx.host().for_ranks(ctx.processes(), [&](std::int64_t rr, int) {
       const int r = static_cast<int>(rr);
+      [[maybe_unused]] const check::RankScope scope(r, "AUGMENT.mate-swap");
       SpVec<Index>& piece = v_c.piece(r);
       auto& mates = mate_c.piece(r);
       for (Index k = 0; k < piece.nnz(); ++k) {
@@ -88,10 +89,25 @@ AugmentResult augment_path_parallel(SimContext& ctx,
   RmaWindow<Index> win_pi(ctx, pi_r);
   RmaWindow<Index> win_mate_r(ctx, mate_r);
   RmaWindow<Index> win_mate_c(ctx, mate_c);
+  win_pi.open_epoch();
+  win_mate_r.open_epoch();
+  win_mate_c.open_epoch();
 
-  Index longest = 0;
-  for (int origin = 0; origin < ctx.processes(); ++origin) {
+  // Every origin walks only paths rooted in its own path_c piece, and paths
+  // are vertex-disjoint, so the window indices different origins touch are
+  // disjoint — the walks run concurrently on the host engine. The RMA
+  // conflict checker and the atomic op counters guard exactly this claim.
+  // Per-origin longest path lengths are folded serially for determinism.
+  HostEngine& host = ctx.host();
+  auto& longest_by_origin =
+      host.shared().buffer<Index>(scratch_tag("augment.longest"));
+  longest_by_origin.assign(static_cast<std::size_t>(ctx.processes()), 0);
+  host.for_ranks(ctx.processes(), [&](std::int64_t oo, int) {
+    const int origin = static_cast<int>(oo);
+    [[maybe_unused]] const check::RankScope scope(origin,
+                                                  "AUGMENT.path-parallel");
     const auto& piece = path_c.piece(origin);
+    Index longest = 0;
     for (std::size_t k = 0; k < piece.size(); ++k) {
       Index row = piece[k];
       if (row == kNull) continue;
@@ -107,6 +123,11 @@ AugmentResult augment_path_parallel(SimContext& ctx,
       }
       longest = std::max(longest, steps);
     }
+    longest_by_origin[static_cast<std::size_t>(oo)] = longest;
+  });
+  Index longest = 0;
+  for (const Index steps : longest_by_origin) {
+    longest = std::max(longest, steps);
   }
   result.steps = longest;
   win_pi.flush(Cost::Augment);

@@ -136,6 +136,7 @@ Matching mcm_graft_dist(SimContext& ctx, const DistMatrix& a,
     piece_sizes.assign(static_cast<std::size_t>(p), 0);
     host.for_ranks(p, [&](std::int64_t rr, int) {
       const int r = static_cast<int>(rr);
+      [[maybe_unused]] const check::RankScope scope(r, "GRAFT.dismantle");
       auto& roots = root_r.piece(r);
       auto& parents = pi_r.piece(r);
       Index freed = 0;

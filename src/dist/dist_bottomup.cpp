@@ -59,6 +59,7 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
   col_words.assign(static_cast<std::size_t>(pc), 0);
   host.for_ranks(pc, [&](std::int64_t jj, int) {
     const int j = static_cast<int>(jj);
+    [[maybe_unused]] const check::AccessWindow window("BU.expand");
     auto& roots = seg_root[static_cast<std::size_t>(j)];
     roots.assign(static_cast<std::size_t>(a.col_dist().size(j)), kNull);
     const auto& within = f_c.layout().dist().within[static_cast<std::size_t>(j)];
@@ -106,6 +107,7 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
   col_words.assign(static_cast<std::size_t>(pc), 0);
   host.for_ranks(pc, [&](std::int64_t jj, int) {
     const int j = static_cast<int>(jj);
+    [[maybe_unused]] const check::AccessWindow window("GRAFT.expand");
     auto& roots = seg_root[static_cast<std::size_t>(j)];
     roots.resize(static_cast<std::size_t>(a.col_dist().size(j)));
     const auto& within =
@@ -149,6 +151,7 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
   row_words.assign(static_cast<std::size_t>(pr), 0);
   host.for_ranks(pr, [&](std::int64_t ii, int) {
     const int i = static_cast<int>(ii);
+    [[maybe_unused]] const check::AccessWindow window("BU.expand-visited");
     auto& visited = seg_visited[static_cast<std::size_t>(i)];
     visited.assign(static_cast<std::size_t>(a.row_dist().size(i)), false);
     const auto& within = pi_r.layout().dist().within[static_cast<std::size_t>(i)];
@@ -185,6 +188,8 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
                  [&](std::int64_t t, int) {
     const int i = static_cast<int>(t) / pc;
     const int j = static_cast<int>(t) % pc;
+    [[maybe_unused]] const check::RankScope scope(grid.rank_of(i, j),
+                                                  "BU.scan");
     const auto& visited = seg_visited[static_cast<std::size_t>(i)];
     const DcscMatrix& rows_of_block = a.block_t(i, j);
     const auto& roots = seg_root[static_cast<std::size_t>(j)];

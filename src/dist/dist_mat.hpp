@@ -34,12 +34,16 @@ class DistMatrix {
   [[nodiscard]] const ProcGrid& grid() const { return grid_; }
 
   /// Block A_ij of rank (i, j), row indices local to row segment i, column
-  /// indices local to column segment j.
+  /// indices local to column segment j. mcmcheck: inside a simulated-rank
+  /// scope only rank (i, j) may read its block — the matrix is never
+  /// communicated after distribution.
   [[nodiscard]] const DcscMatrix& block(int i, int j) const {
+    check::verify_piece_access(grid_.rank_of(i, j), "DistMatrix::block");
     return blocks_[static_cast<std::size_t>(grid_.rank_of(i, j))];
   }
   /// Transposed block (A_ij)^T: rows indexed by column-segment-local ids.
   [[nodiscard]] const DcscMatrix& block_t(int i, int j) const {
+    check::verify_piece_access(grid_.rank_of(i, j), "DistMatrix::block_t");
     return blocks_t_[static_cast<std::size_t>(grid_.rank_of(i, j))];
   }
 

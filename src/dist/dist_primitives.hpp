@@ -57,6 +57,8 @@ template <typename T, typename U, typename Pred>
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "SELECT");
     z.piece(static_cast<int>(r)) =
         select(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)), expr);
     ops[static_cast<std::size_t>(r)] =
@@ -79,6 +81,8 @@ void dist_set_dense(SimContext& ctx, Cost category, DistDenseVec<U>& y,
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "SET.dense");
     set_dense(y.piece(static_cast<int>(r)), x.piece(static_cast<int>(r)),
               value_of);
     ops[static_cast<std::size_t>(r)] =
@@ -100,6 +104,8 @@ void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "SET.sparse");
     set_sparse(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)),
                update);
     ops[static_cast<std::size_t>(r)] =
@@ -118,6 +124,7 @@ void dist_fill(SimContext& ctx, Cost category, DistDenseVec<U>& y,
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r), "SET");
     auto& piece = y.piece(static_cast<int>(r));
     std::fill(piece.begin(), piece.end(), value);
     ops[static_cast<std::size_t>(r)] =
@@ -187,6 +194,7 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   rank_nnz.assign(static_cast<std::size_t>(p), 0);
   host.for_ranks(p, [&](std::int64_t rr, int lane) {
     const int r = static_cast<int>(rr);
+    [[maybe_unused]] const check::RankScope scope(r, "INVERT.route");
     const SpVec<T>& piece = x.piece(r);
     ScratchLane& scratch = host.scratch(lane);
     auto& temp = scratch.buffer<Routed>(scratch_tag("invert.temp"));
@@ -242,6 +250,7 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   recv_counts.assign(static_cast<std::size_t>(p), 0);
   host.for_ranks(p, [&](std::int64_t dd, int lane) {
     const int d = static_cast<int>(dd);
+    [[maybe_unused]] const check::RankScope scope(d, "INVERT.merge");
     ScratchLane& scratch = host.scratch(lane);
     auto& entries = scratch.buffer<Routed>(scratch_tag("invert.merge"));
     for (int seg = 0; seg < in_segments; ++seg) {
@@ -274,11 +283,20 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
     }
   });
   std::uint64_t max_rank_nnz = 0;
+  std::uint64_t total_routed = 0;
   for (const std::uint64_t n : rank_nnz) {
     max_rank_nnz = std::max(max_rank_nnz, n);
+    total_routed += n;
   }
   std::uint64_t max_recv = 0;
-  for (const std::uint64_t n : recv_counts) max_recv = std::max(max_recv, n);
+  std::uint64_t total_recv = 0;
+  for (const std::uint64_t n : recv_counts) {
+    max_recv = std::max(max_recv, n);
+    total_recv += n;
+  }
+  // Every source entry must arrive at exactly one destination.
+  check::verify_conservation("INVERT", "routed entries", total_routed,
+                             total_recv);
   ctx.charge_elem_ops(category, max_rank_nnz + max_recv);
   return z;
 }
@@ -292,6 +310,8 @@ template <typename T, typename Pred>
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "FILTER");
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<T>& out = z.piece(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {
@@ -316,6 +336,8 @@ template <typename Out, typename T, typename F>
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "TRANSFORM");
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<Out>& out = z.piece(static_cast<int>(r));
     out.reserve(static_cast<std::size_t>(piece.nnz()));
@@ -346,6 +368,8 @@ template <typename Out, typename U, typename Pred, typename MakeF>
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "FROM_DENSE");
     const auto& piece = y.piece(static_cast<int>(r));
     SpVec<Out>& out = z.piece(static_cast<int>(r));
     const Index offset = y.layout().piece_offset(static_cast<int>(r));
@@ -382,6 +406,8 @@ template <typename T, typename RootF>
       scratch_tag("prune.deduped"));
   deduped.assign(static_cast<std::size_t>(n_src), {});
   host.for_ranks(n_src, [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "PRUNE.dedup");
     deduped[static_cast<std::size_t>(r)] =
         sorted_unique(roots_by_rank[static_cast<std::size_t>(r)]);
   });
@@ -391,6 +417,9 @@ template <typename T, typename RootF>
     payload += static_cast<std::uint64_t>(part.size());
     all_roots.insert(all_roots.end(), part.begin(), part.end());
   }
+  // The charged allgather payload must equal the words actually shipped.
+  check::verify_conservation("PRUNE", "allgathered roots", payload,
+                             static_cast<std::uint64_t>(all_roots.size()));
   ctx.charge_allgatherv(category, ctx.processes(), 1, payload);
   const std::vector<Index> sorted = sorted_unique(std::move(all_roots));
 
@@ -398,6 +427,8 @@ template <typename T, typename RootF>
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
   host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "PRUNE.filter");
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<T>& out = z.piece(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {

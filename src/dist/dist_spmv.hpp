@@ -111,6 +111,8 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
   host.for_ranks(tasks, [&](std::int64_t t, int lane) {
     const int os = static_cast<int>(t) / out_group;
     const int dst = static_cast<int>(t) % out_group;
+    [[maybe_unused]] const check::RankScope scope(y.layout().rank_of(os, dst),
+                                                  "FOLD.merge");
     const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
     const Index base = within.offset(dst);
     ScratchLane& scratch = host.scratch(lane);
@@ -156,6 +158,18 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
   for (const std::uint64_t m : merge_counts) {
     max_merge = std::max(max_merge, m);
   }
+  if (check::enabled()) {
+    std::uint64_t routed = 0;
+    for (const auto& seg : partials) {
+      for (const SpVec<T>& part : seg) {
+        routed += static_cast<std::uint64_t>(part.nnz());
+      }
+    }
+    std::uint64_t merged = 0;
+    for (const std::uint64_t m : merge_counts) merged += m;
+    check::verify_conservation("FOLD", "routed partial entries", routed,
+                               merged);
+  }
   ctx.charge_alltoallv(category, out_group, out_segments, max_send_words);
   ctx.charge_elem_ops(category, max_merge);
   return y;
@@ -191,6 +205,9 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
       host.shared().buffer<std::uint64_t>(scratch_tag("spmv.group_words"));
   group_words.assign(static_cast<std::size_t>(n_segments), 0);
   host.for_ranks(n_segments, [&](std::int64_t s, int) {
+    // The expand reads every piece of the segment's group: the charged
+    // allgather is the sanctioned channel.
+    [[maybe_unused]] const check::AccessWindow window("SPMV.expand");
     SpVec<T> seg(in_dist.size(static_cast<int>(s)));
     const auto& within = x.layout().dist().within[static_cast<std::size_t>(s)];
     Index total = 0;
@@ -213,6 +230,15 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
   std::uint64_t max_group_words = 0;
   for (const std::uint64_t w : group_words) {
     max_group_words = std::max(max_group_words, w);
+  }
+  if (check::enabled()) {
+    std::uint64_t gathered = 0;
+    for (const SpVec<T>& seg : segment) {
+      gathered += static_cast<std::uint64_t>(seg.nnz());
+    }
+    check::verify_conservation(
+        "SPMV", "expanded entries",
+        static_cast<std::uint64_t>(x.nnz_unaccounted()), gathered);
   }
   ctx.charge_allgatherv(category, group, n_segments, max_group_words);
 
@@ -239,6 +265,8 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
                  [&](std::int64_t t, int lane) {
     const int i = static_cast<int>(t) / pc;
     const int j = static_cast<int>(t) % pc;
+    [[maybe_unused]] const check::RankScope scope(grid.rank_of(i, j),
+                                                  "SPMV.multiply");
     const DcscMatrix& blk = along_cols ? a.block(i, j) : a.block_t(i, j);
     const int in_seg = along_cols ? j : i;
     const int out_seg = along_cols ? i : j;

@@ -12,6 +12,12 @@
 /// only touch piece r when simulating rank r, and move data between pieces
 /// through the charged communication helpers. Global accessors exist for
 /// setup and verification only (they model no communication).
+///
+/// That contract is machine-checked by mcmcheck (gridsim/mcmcheck.hpp) when
+/// built with -DMCM_CHECK=ON: inside a simulated-rank scope the piece and
+/// element accessors verify ownership unless a sanctioned collective window
+/// (expand, gather, RMA epoch) is open; outside any scope — setup, tests,
+/// the coordinating thread between loop phases — access stays free.
 
 #include <algorithm>
 #include <stdexcept>
@@ -104,20 +110,26 @@ class DistDenseVec {
   [[nodiscard]] Index length() const { return layout_.length(); }
 
   [[nodiscard]] std::vector<T>& piece(int rank) {
+    check::verify_piece_access(rank, "DistDenseVec::piece");
     return pieces_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] const std::vector<T>& piece(int rank) const {
+    check::verify_piece_access(rank, "DistDenseVec::piece");
     return pieces_[static_cast<std::size_t>(rank)];
   }
 
-  /// Setup/verification accessors (model no communication).
+  /// Setup/verification accessors (model no communication). Inside a
+  /// simulated-rank scope they count as remote accesses and must be covered
+  /// by a sanctioned window (the RMA ops use them under their epoch).
   [[nodiscard]] const T& at(Index global) const {
     const int rank = layout_.owner_rank(global);
+    check::verify_element_access(rank, global, "DistDenseVec::at");
     return pieces_[static_cast<std::size_t>(rank)]
                   [static_cast<std::size_t>(layout_.to_local(global))];
   }
   void set(Index global, const T& value) {
     const int rank = layout_.owner_rank(global);
+    check::verify_element_access(rank, global, "DistDenseVec::set");
     pieces_[static_cast<std::size_t>(rank)]
            [static_cast<std::size_t>(layout_.to_local(global))] = value;
   }
@@ -172,9 +184,11 @@ class DistSpVec {
   [[nodiscard]] Index length() const { return layout_.length(); }
 
   [[nodiscard]] SpVec<T>& piece(int rank) {
+    check::verify_piece_access(rank, "DistSpVec::piece");
     return pieces_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] const SpVec<T>& piece(int rank) const {
+    check::verify_piece_access(rank, "DistSpVec::piece");
     return pieces_[static_cast<std::size_t>(rank)];
   }
 

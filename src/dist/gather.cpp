@@ -6,6 +6,8 @@ CooMatrix gather_matrix_to_root(SimContext& ctx, const DistMatrix& a) {
   CooMatrix out(a.n_rows(), a.n_cols());
   out.reserve(static_cast<std::size_t>(a.nnz()));
   const ProcGrid& grid = a.grid();
+  // Reading every rank's block is the charged gather itself.
+  [[maybe_unused]] const check::AccessWindow window("GATHER");
   for (int i = 0; i < grid.pr(); ++i) {
     for (int j = 0; j < grid.pc(); ++j) {
       const CooMatrix blk = a.block(i, j).to_coo();
@@ -29,6 +31,7 @@ ScatteredMates scatter_mates_from_root(SimContext& ctx,
                           static_cast<Index>(mate_r.size()), kNull),
       DistDenseVec<Index>(ctx, VSpace::Col,
                           static_cast<Index>(mate_c.size()), kNull)};
+  [[maybe_unused]] const check::AccessWindow window("SCATTER");
   out.mate_r.from_std(mate_r);
   out.mate_c.from_std(mate_c);
   ctx.charge_scatterv_root(

@@ -8,9 +8,28 @@
 /// cost model the paper uses — each op costs alpha + beta per word, origins
 /// proceed independently, so the simulated elapsed time is the *maximum*
 /// per-origin total, not the sum.
+///
+/// Epoch discipline (mcmcheck): a window models MPI passive-target RMA, so
+/// operations are only legal between open_epoch() and flush(). When built
+/// with -DMCM_CHECK=ON the window rejects ops outside an epoch and reports
+/// conflicting same-index accesses from *different* origins within one
+/// epoch — PUT/PUT, PUT/GET, and anything racing a plain op against a
+/// FETCH_AND_OP. Two FETCH_AND_OPs on one index are allowed (they are
+/// atomic; fusing GET+PUT into FETCH_AND_OP to remove exactly this race is
+/// the paper's Algorithm 4 refinement). With the checker compiled out the
+/// epoch state is still tracked but nothing is enforced.
+///
+/// Host-thread safety: the per-origin counters are relaxed atomics, so
+/// origin walks may run concurrently on the HostEngine (core/augment.cpp
+/// does) as long as each origin issues ops only for itself and data accesses
+/// are index-disjoint — which vertex-disjoint augmenting paths guarantee,
+/// and the conflict checker verifies. open_epoch()/flush() are
+/// coordinator-only calls and must not race ops.
 
-#include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "dist/dist_vec.hpp"
@@ -25,17 +44,33 @@ class RmaWindow {
   RmaWindow(SimContext& ctx, DistDenseVec<T>& target)
       : ctx_(&ctx),
         target_(&target),
-        ops_(static_cast<std::size_t>(ctx.processes()), 0) {}
+        ops_(static_cast<std::size_t>(ctx.processes())) {}
+
+  /// Opens an access epoch (MPI_Win_lock_all). Ops are legal until flush().
+  void open_epoch() {
+    if (epoch_open_.load(std::memory_order_relaxed)) {
+      throw std::logic_error("RmaWindow: epoch already open");
+    }
+    epoch_open_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool epoch_open() const noexcept {
+    return epoch_open_.load(std::memory_order_relaxed);
+  }
 
   /// MPI_GET: origin rank reads target[global].
   [[nodiscard]] T get(int origin, Index global) {
     count(origin);
+    note_access(origin, global, OpKind::Get, "RmaWindow::get");
+    const check::AccessWindow window("RMA");
     return target_->at(global);
   }
 
   /// MPI_PUT: origin rank writes target[global].
   void put(int origin, Index global, const T& value) {
     count(origin);
+    note_access(origin, global, OpKind::Put, "RmaWindow::put");
+    const check::AccessWindow window("RMA");
     target_->set(global, value);
   }
 
@@ -44,19 +79,24 @@ class RmaWindow {
   /// the paper applies to merge Algorithm 4's lines 5 and 6.)
   [[nodiscard]] T fetch_and_replace(int origin, Index global, const T& value) {
     count(origin);
+    note_access(origin, global, OpKind::FetchAndOp,
+                "RmaWindow::fetch_and_replace");
+    const check::AccessWindow window("RMA");
     const T previous = target_->at(global);
     target_->set(global, value);
     return previous;
   }
 
-  /// Completes the epoch: charges max-over-origins op time to `category`
-  /// and resets the counters. Word size is sizeof(T) rounded up to words.
+  /// Completes and closes the epoch: charges max-over-origins op time to
+  /// `category` and resets the counters. Word size is sizeof(T) rounded up
+  /// to words.
   void flush(Cost category) {
     std::uint64_t max_ops = 0;
     std::uint64_t total_ops = 0;
-    for (const std::uint64_t n : ops_) {
-      max_ops = std::max(max_ops, n);
-      total_ops += n;
+    for (const auto& n : ops_) {
+      const std::uint64_t v = n.load(std::memory_order_relaxed);
+      max_ops = std::max(max_ops, v);
+      total_ops += v;
     }
     ctx_->charge_rma(category, max_ops, words_per<T>());
     // charge_rma counted `max_ops` messages; top up the message/word
@@ -65,24 +105,92 @@ class RmaWindow {
       ctx_->ledger().count_comm(category, total_ops - max_ops,
                                 (total_ops - max_ops) * words_per<T>());
     }
-    std::fill(ops_.begin(), ops_.end(), std::uint64_t{0});
+    for (auto& n : ops_) n.store(0, std::memory_order_relaxed);
+    epoch_open_.store(false, std::memory_order_relaxed);
+    if (check::kCompiledIn) {
+      const std::lock_guard<std::mutex> lock(epoch_mutex_);
+      epoch_accesses_.clear();
+    }
   }
 
   [[nodiscard]] std::uint64_t ops_at(int origin) const {
-    return ops_[static_cast<std::size_t>(origin)];
+    return ops_[static_cast<std::size_t>(origin)].load(
+        std::memory_order_relaxed);
   }
 
  private:
+  enum class OpKind { Get, Put, FetchAndOp };
+
   void count(int origin) {
     if (origin < 0 || origin >= static_cast<int>(ops_.size())) {
       throw std::out_of_range("RmaWindow: bad origin rank");
     }
-    ++ops_[static_cast<std::size_t>(origin)];
+    ops_[static_cast<std::size_t>(origin)].fetch_add(
+        1, std::memory_order_relaxed);
   }
+
+  /// mcmcheck: epoch discipline + same-index conflict detection. Records the
+  /// first origin per op kind per index; a second *distinct* origin mixing
+  /// non-atomic kinds on one index is the race a real MPI_Win forbids.
+  void note_access(int origin, Index global, OpKind kind, const char* op) {
+    if (!check::enabled()) return;
+    if (!epoch_open_.load(std::memory_order_relaxed)) {
+      check::report("rma-outside-epoch", op, origin,
+                    static_cast<std::int64_t>(global),
+                    "operation issued with no open epoch (call open_epoch() "
+                    "before the first op and flush() to complete)");
+      return;  // Off mode raced in: tolerate.
+    }
+    const std::lock_guard<std::mutex> lock(epoch_mutex_);
+    EpochAccess& seen = epoch_accesses_[global];
+    const auto conflict = [&](const char* pair) {
+      check::report("rma-conflict", op, origin,
+                    static_cast<std::int64_t>(global),
+                    std::string(pair) + " from different origins on one "
+                        "window index within a single epoch");
+    };
+    switch (kind) {
+      case OpKind::Get:
+        if (seen.put != kNoOrigin && seen.put != origin) conflict("PUT/GET");
+        if (seen.fao != kNoOrigin && seen.fao != origin) {
+          conflict("FETCH_AND_OP/GET");
+        }
+        if (seen.get == kNoOrigin) seen.get = origin;
+        break;
+      case OpKind::Put:
+        if (seen.put != kNoOrigin && seen.put != origin) conflict("PUT/PUT");
+        if (seen.get != kNoOrigin && seen.get != origin) conflict("PUT/GET");
+        if (seen.fao != kNoOrigin && seen.fao != origin) {
+          conflict("PUT/FETCH_AND_OP");
+        }
+        if (seen.put == kNoOrigin) seen.put = origin;
+        break;
+      case OpKind::FetchAndOp:
+        if (seen.put != kNoOrigin && seen.put != origin) {
+          conflict("PUT/FETCH_AND_OP");
+        }
+        if (seen.get != kNoOrigin && seen.get != origin) {
+          conflict("FETCH_AND_OP/GET");
+        }
+        if (seen.fao == kNoOrigin) seen.fao = origin;
+        break;
+    }
+  }
+
+  static constexpr int kNoOrigin = -1;
+  struct EpochAccess {
+    int get = kNoOrigin;
+    int put = kNoOrigin;
+    int fao = kNoOrigin;
+  };
 
   SimContext* ctx_;
   DistDenseVec<T>* target_;
-  std::vector<std::uint64_t> ops_;
+  std::vector<std::atomic<std::uint64_t>> ops_;
+  std::atomic<bool> epoch_open_{false};
+  /// Epoch-scoped conflict tracker; populated only while checking is on.
+  std::unordered_map<Index, EpochAccess> epoch_accesses_;
+  std::mutex epoch_mutex_;
 };
 
 }  // namespace mcm
