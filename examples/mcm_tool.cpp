@@ -23,6 +23,7 @@
 
 #include "core/driver.hpp"
 #include "gen/rmat.hpp"
+#include "gridsim/mcmcheck.hpp"
 #include "matching/dulmage_mendelsohn.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/koenig.hpp"
@@ -41,7 +42,10 @@ int usage() {
                "usage: mcm_tool <match|sprank|dm|cover|stats> [A.mtx]\n"
                "       [--cores N] [--init greedy|ks|mindegree|none]\n"
                "       [--host-threads T] [--out file]\n"
-               "       [--synthetic g500|er|ssca] [--graph-scale S]\n");
+               "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
+               "       [--check[=off|throw|abort]]  BSP-discipline sanitizer\n"
+               "           (needs an MCM_CHECK=ON build; bare --check means\n"
+               "            throw; MCM_CHECK_MODE sets the default)\n");
   return 2;
 }
 
@@ -161,12 +165,35 @@ int cmd_stats(const CooMatrix& coo) {
   return 0;
 }
 
+/// Applies --check / --check=MODE. A bare --check parses as "true" and maps
+/// to throw mode; otherwise the value must name a mode. Without the checker
+/// compiled in (MCM_CHECK=OFF builds) the flag is accepted but inert, with a
+/// warning so CI scripts notice.
+void apply_check_flag(const Options& options) {
+  if (!options.has("check")) return;
+  const std::string text = options.get_choice(
+      "check", "throw", {"true", "off", "throw", "abort"});
+  const CheckMode mode =
+      text == "true" ? CheckMode::Throw : check::mode_from_string(text);
+  if (!check::kCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: --check=%s ignored — this build has the mcmcheck "
+                 "sanitizer compiled out (reconfigure with -DMCM_CHECK=ON)\n",
+                 check::mode_name(mode));
+    return;
+  }
+  check::set_mode(mode);
+  std::fprintf(stderr, "mcmcheck: BSP-discipline checking %s (mode %s)\n",
+               mode == CheckMode::Off ? "off" : "on", check::mode_name(mode));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options options = Options::parse(argc, argv);
     if (options.positional().empty()) return usage();
+    apply_check_flag(options);
     const std::string command = options.positional().front();
     const CooMatrix coo = load_input(options);
     std::printf("input: %lld x %lld, %lld nonzeros\n",

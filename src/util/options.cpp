@@ -99,4 +99,21 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   return value;
 }
 
+std::string Options::get_choice(
+    const std::string& key, const std::string& fallback,
+    const std::vector<std::string>& allowed) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  for (const auto& choice : allowed) {
+    if (it->second == choice) return it->second;
+  }
+  std::string expected;
+  for (const auto& choice : allowed) {
+    if (!expected.empty()) expected += "|";
+    expected += choice;
+  }
+  throw std::invalid_argument("option --" + key + " expects one of " + expected
+                              + ", got '" + it->second + "'");
+}
+
 }  // namespace mcm

@@ -30,6 +30,15 @@ class Options {
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Constrained-choice getter: the stored text must be one of `allowed`
+  /// (or the key absent, yielding `fallback`). Throws std::invalid_argument
+  /// naming the allowed values otherwise. A bare `--flag` parses as "true",
+  /// which callers may include in `allowed` to give the flag a default
+  /// choice (mcm_tool maps bare --check to "throw" this way).
+  [[nodiscard]] std::string get_choice(
+      const std::string& key, const std::string& fallback,
+      const std::vector<std::string>& allowed) const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
