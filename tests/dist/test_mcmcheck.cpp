@@ -1,0 +1,264 @@
+/// Negative-path suite for the mcmcheck BSP-discipline sanitizer: each test
+/// commits a violation on purpose and expects a structured CheckViolation
+/// naming the primitive, rank and index involved. The whole suite skips when
+/// the checker is compiled out (MCM_CHECK=OFF builds) — the positive
+/// contract (zero-cost no-ops) is covered by every other test running there.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "dist/dist_mat.hpp"
+#include "dist/dist_vec.hpp"
+#include "dist/rma.hpp"
+#include "gridsim/mcmcheck.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+/// Forces throw mode for the duration of a test and restores the previous
+/// mode afterwards, so test order and MCM_CHECK_MODE cannot skew results.
+class McmCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!check::kCompiledIn) {
+      GTEST_SKIP() << "mcmcheck compiled out (build with -DMCM_CHECK=ON)";
+    }
+    previous_ = check::mode();
+    check::set_mode(CheckMode::Throw);
+  }
+  void TearDown() override {
+    if (check::kCompiledIn) check::set_mode(previous_);
+  }
+
+ private:
+  CheckMode previous_ = CheckMode::Off;
+};
+
+TEST_F(McmCheck, CrossRankPieceReadReported) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  const check::RankScope scope(0, "TEST.piece");
+  try {
+    (void)v.piece(1);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "cross-rank-piece-access");
+    EXPECT_EQ(violation.primitive(), "TEST.piece");
+    EXPECT_EQ(violation.rank(), 0);
+    EXPECT_NE(std::string(violation.what()).find("rank 0"), std::string::npos);
+    EXPECT_NE(std::string(violation.what()).find("DistDenseVec::piece"),
+              std::string::npos);
+  }
+}
+
+TEST_F(McmCheck, SparsePieceCheckedToo) {
+  SimContext ctx = make_ctx(4);
+  DistSpVec<Index> v(ctx, VSpace::Col, 20);
+  const check::RankScope scope(2, "TEST.sparse");
+  EXPECT_THROW((void)v.piece(0), CheckViolation);
+  EXPECT_NO_THROW((void)v.piece(2));
+}
+
+TEST_F(McmCheck, ElementAccessorReportsGlobalIndex) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  const int owner = v.layout().owner_rank(19);
+  const int other = owner == 0 ? 1 : 0;
+  const check::RankScope scope(other, "TEST.element");
+  try {
+    v.set(19, 7);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "cross-rank-element-access");
+    EXPECT_EQ(violation.rank(), other);
+    EXPECT_EQ(violation.index(), 19);
+  }
+}
+
+TEST_F(McmCheck, MatrixBlockOwnershipChecked) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(8, 8);
+  for (Index i = 0; i < 8; ++i) coo.add_edge(i, (i + 1) % 8);
+  const DistMatrix a = DistMatrix::distribute(ctx, coo);
+  const int other_rank = a.grid().rank_of(0, 0) == 0 ? 1 : 0;
+  const check::RankScope scope(other_rank, "TEST.block");
+  EXPECT_THROW((void)a.block(0, 0), CheckViolation);
+}
+
+TEST_F(McmCheck, SanctionedWindowAllowsCrossRankAccess) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  const check::RankScope scope(0, "TEST.window");
+  const check::AccessWindow window("TEST.expand");
+  EXPECT_NO_THROW((void)v.piece(3));
+  EXPECT_NO_THROW(v.set(19, 1));
+}
+
+TEST_F(McmCheck, CodeOutsideAnyScopeIsExempt) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  // Setup / verification / coordinator accesses carry no rank scope and
+  // stay free, per the "setup only" accessor contract.
+  EXPECT_NO_THROW((void)v.piece(2));
+  EXPECT_NO_THROW(v.set(11, 4));
+  EXPECT_NO_THROW((void)v.to_std());
+}
+
+TEST_F(McmCheck, RmaOpOutsideEpochReported) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  try {
+    (void)win.get(1, 3);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "rma-outside-epoch");
+    EXPECT_EQ(violation.primitive(), "RmaWindow::get");
+    EXPECT_EQ(violation.rank(), 1);
+    EXPECT_EQ(violation.index(), 3);
+  }
+}
+
+TEST_F(McmCheck, ConflictingPutsFromTwoOriginsReported) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  win.put(0, 5, 10);
+  try {
+    win.put(1, 5, 11);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "rma-conflict");
+    EXPECT_EQ(violation.rank(), 1);
+    EXPECT_EQ(violation.index(), 5);
+    EXPECT_NE(std::string(violation.what()).find("PUT/PUT"),
+              std::string::npos);
+  }
+}
+
+TEST_F(McmCheck, PutGetConflictReported) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  win.put(0, 7, 1);
+  EXPECT_THROW((void)win.get(2, 7), CheckViolation);
+}
+
+TEST_F(McmCheck, SameOriginRepeatAccessAllowed) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  win.put(0, 5, 10);
+  EXPECT_NO_THROW(win.put(0, 5, 11));
+  EXPECT_NO_THROW((void)win.get(0, 5));
+}
+
+TEST_F(McmCheck, FetchAndOpPairsAllowed) {
+  // Two FETCH_AND_OPs on one index are atomic and race-free — fusing
+  // GET+PUT into one is exactly the paper's Algorithm 4 refinement, so the
+  // checker must not flag it.
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, Index{0});
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  EXPECT_NO_THROW((void)win.fetch_and_replace(0, 6, 1));
+  EXPECT_NO_THROW((void)win.fetch_and_replace(3, 6, 2));
+  EXPECT_THROW(win.put(1, 6, 9), CheckViolation);  // PUT racing the FAOs
+}
+
+TEST_F(McmCheck, FlushClosesEpochAndForgetsConflicts) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  win.put(0, 5, 10);
+  win.flush(Cost::Augment);
+  EXPECT_FALSE(win.epoch_open());
+  EXPECT_THROW(win.put(1, 5, 11), CheckViolation);  // closed again
+  win.open_epoch();
+  EXPECT_NO_THROW(win.put(1, 5, 11));  // previous epoch's PUT forgotten
+}
+
+TEST_F(McmCheck, ConservationImbalanceReported) {
+  try {
+    check::verify_conservation("TEST", "entries", 3, 4);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "conservation");
+    EXPECT_NE(std::string(violation.what()).find("sent (3)"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(check::verify_conservation("TEST", "entries", 4, 4));
+}
+
+TEST_F(McmCheck, NegativeChargeReported) {
+  SimContext ctx = make_ctx(4);
+  try {
+    ctx.ledger().charge_time(Cost::Other, -1.0);
+    FAIL() << "expected CheckViolation";
+  } catch (const CheckViolation& violation) {
+    EXPECT_EQ(violation.kind(), "ledger-monotonicity");
+  }
+  EXPECT_THROW(
+      ctx.ledger().charge_time(Cost::Other,
+                               std::numeric_limits<double>::quiet_NaN()),
+      CheckViolation);
+  EXPECT_NO_THROW(ctx.ledger().charge_time(Cost::Other, 1.5));
+}
+
+TEST_F(McmCheck, OffModeSilencesEverything) {
+  check::set_mode(CheckMode::Off);
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  {
+    const check::RankScope scope(0, "TEST.off");
+    EXPECT_NO_THROW((void)v.piece(1));
+  }
+  RmaWindow<Index> win(ctx, v);
+  EXPECT_NO_THROW(win.put(0, 5, 1));  // no epoch, no complaint
+  EXPECT_NO_THROW(check::verify_conservation("TEST", "entries", 1, 2));
+}
+
+TEST_F(McmCheck, SetModeRoundTrips) {
+  check::set_mode(CheckMode::Abort);
+  EXPECT_EQ(SimContext::check_mode(), CheckMode::Abort);
+  SimContext::set_check_mode(CheckMode::Throw);
+  EXPECT_EQ(check::mode(), CheckMode::Throw);
+}
+
+// --- always-on behavior (not gated on the compile-time switch) ---
+
+TEST(McmCheckModes, ModeFromStringParses) {
+  EXPECT_EQ(check::mode_from_string("off"), CheckMode::Off);
+  EXPECT_EQ(check::mode_from_string("throw"), CheckMode::Throw);
+  EXPECT_EQ(check::mode_from_string("abort"), CheckMode::Abort);
+  EXPECT_THROW((void)check::mode_from_string("loud"), std::invalid_argument);
+  EXPECT_STREQ(check::mode_name(CheckMode::Abort), "abort");
+}
+
+TEST(McmCheckModes, DoubleEpochOpenAlwaysThrows) {
+  // Epoch bookkeeping is structural, not a sanitizer check: it is enforced
+  // in every build so Rel and Debug runs exercise identical control flow.
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 20, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  EXPECT_THROW(win.open_epoch(), std::logic_error);
+  win.flush(Cost::Augment);
+  EXPECT_NO_THROW(win.open_epoch());
+}
+
+}  // namespace
+}  // namespace mcm

@@ -17,6 +17,7 @@ TEST(Rma, GetReadsTargetValue) {
   DistDenseVec<Index> v(ctx, VSpace::Row, 20, Index{3});
   v.set(7, 42);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   EXPECT_EQ(win.get(0, 7), 42);
   EXPECT_EQ(win.get(3, 8), 3);
 }
@@ -25,6 +26,7 @@ TEST(Rma, PutWritesTargetValue) {
   SimContext ctx = make_ctx(4);
   DistDenseVec<Index> v(ctx, VSpace::Col, 20, kNull);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   win.put(2, 13, 99);
   EXPECT_EQ(v.at(13), 99);
 }
@@ -33,6 +35,7 @@ TEST(Rma, FetchAndReplaceIsAtomicSwap) {
   SimContext ctx = make_ctx(4);
   DistDenseVec<Index> v(ctx, VSpace::Row, 10, Index{5});
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   EXPECT_EQ(win.fetch_and_replace(1, 4, 77), 5);
   EXPECT_EQ(v.at(4), 77);
   EXPECT_EQ(win.fetch_and_replace(1, 4, 88), 77);
@@ -42,6 +45,7 @@ TEST(Rma, OpsCountedPerOrigin) {
   SimContext ctx = make_ctx(4);
   DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   (void)win.get(0, 1);
   (void)win.get(0, 2);
   win.put(2, 3, 1);
@@ -54,6 +58,7 @@ TEST(Rma, FlushChargesMaxOverOrigins) {
   SimContext ctx = make_ctx(4);
   DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   for (int i = 0; i < 5; ++i) (void)win.get(0, 0);
   (void)win.get(1, 1);
   win.flush(Cost::Augment);
@@ -70,6 +75,7 @@ TEST(Rma, SingleProcessWindowIsFree) {
   SimContext ctx = make_ctx(1);
   DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   for (int i = 0; i < 100; ++i) win.put(0, i % 10, i);
   win.flush(Cost::Augment);
   EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Augment), 0.0);
@@ -79,6 +85,7 @@ TEST(Rma, BadOriginThrows) {
   SimContext ctx = make_ctx(4);
   DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
   RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
   EXPECT_THROW((void)win.get(-1, 0), std::out_of_range);
   EXPECT_THROW(win.put(4, 0, 1), std::out_of_range);
 }

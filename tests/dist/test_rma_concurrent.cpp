@@ -1,0 +1,94 @@
+/// Concurrency regression suite for RmaWindow's per-origin op counters.
+/// core/augment.cpp runs its path-parallel origin walks concurrently on the
+/// host engine, so the counters must be exact under simultaneous increments
+/// from many host threads. Lives in the tests_host binary and is named
+/// HostEngineRma* so the CI TSan leg (-R 'HostEquiv|ThreadPool|Scratch|
+/// HostEngine') races it under the sanitizer.
+
+#include <gtest/gtest.h>
+
+#include "dist/rma.hpp"
+#include "gridsim/context.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes, int host_threads) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.host_threads = host_threads;
+  return SimContext(config);
+}
+
+TEST(HostEngineRma, ConcurrentCountersAreExact) {
+  constexpr int kOrigins = 9;
+  constexpr Index kOpsPerOrigin = 500;
+  SimContext ctx = make_ctx(kOrigins, 4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, kOrigins * kOpsPerOrigin, Index{0});
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  // Each origin PUTs to its own index range: disjoint data, shared counters.
+  ctx.host().for_ranks(kOrigins, [&](std::int64_t origin, int) {
+    const Index base = static_cast<Index>(origin) * kOpsPerOrigin;
+    for (Index k = 0; k < kOpsPerOrigin; ++k) {
+      win.put(static_cast<int>(origin), base + k, static_cast<Index>(origin));
+    }
+  });
+  for (int origin = 0; origin < kOrigins; ++origin) {
+    EXPECT_EQ(win.ops_at(origin), static_cast<std::uint64_t>(kOpsPerOrigin));
+  }
+  win.flush(Cost::Augment);
+  const double expected =
+      static_cast<double>(kOpsPerOrigin) * (ctx.alpha() + ctx.beta_word());
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), expected, 1e-6);
+}
+
+TEST(HostEngineRma, ConcurrentMixedOpsLandCorrectly) {
+  constexpr int kOrigins = 4;
+  constexpr Index kSlots = 64;
+  SimContext ctx = make_ctx(kOrigins, 4);
+  DistDenseVec<Index> v(ctx, VSpace::Col, kOrigins * kSlots, Index{-1});
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  ctx.host().for_ranks(kOrigins, [&](std::int64_t origin, int) {
+    const Index base = static_cast<Index>(origin) * kSlots;
+    for (Index k = 0; k < kSlots; ++k) {
+      win.put(static_cast<int>(origin), base + k, base + k);
+    }
+    for (Index k = 0; k < kSlots; ++k) {
+      const Index got = win.get(static_cast<int>(origin), base + k);
+      EXPECT_EQ(got, base + k);
+      (void)win.fetch_and_replace(static_cast<int>(origin), base + k, got + 1);
+    }
+  });
+  win.flush(Cost::Augment);
+  for (Index g = 0; g < kOrigins * kSlots; ++g) {
+    EXPECT_EQ(v.at(g), g + 1);
+  }
+  EXPECT_EQ(win.ops_at(0), 0u);  // flush resets
+}
+
+TEST(HostEngineRma, CountersSurviveRepeatedEpochs) {
+  constexpr int kOrigins = 4;
+  SimContext ctx = make_ctx(kOrigins, 2);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 128, Index{0});
+  RmaWindow<Index> win(ctx, v);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    win.open_epoch();
+    ctx.host().for_ranks(kOrigins, [&](std::int64_t origin, int) {
+      for (Index k = 0; k < 32; ++k) {
+        win.put(static_cast<int>(origin),
+                static_cast<Index>(origin) * 32 + k, k);
+      }
+    });
+    for (int origin = 0; origin < kOrigins; ++origin) {
+      EXPECT_EQ(win.ops_at(origin), 32u);
+    }
+    win.flush(Cost::Augment);
+    EXPECT_FALSE(win.epoch_open());
+  }
+}
+
+}  // namespace
+}  // namespace mcm

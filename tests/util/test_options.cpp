@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 namespace mcm {
 namespace {
@@ -87,6 +88,33 @@ TEST(Options, EmptyOptionNameThrows) {
 TEST(Options, LastValueWins) {
   const Options o = parse({"--n=1", "--n=2"});
   EXPECT_EQ(o.get_int("n", 0), 2);
+}
+
+TEST(Options, GetChoiceAcceptsListedValue) {
+  const Options o = parse({"--mode=abort"});
+  EXPECT_EQ(o.get_choice("mode", "throw", {"off", "throw", "abort"}), "abort");
+}
+
+TEST(Options, GetChoiceFallsBackWhenAbsent) {
+  const Options o = parse({});
+  EXPECT_EQ(o.get_choice("mode", "throw", {"off", "throw", "abort"}), "throw");
+}
+
+TEST(Options, GetChoiceRejectsUnlistedValueNamingAllowed) {
+  const Options o = parse({"--mode=loud"});
+  try {
+    (void)o.get_choice("mode", "throw", {"off", "throw", "abort"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("off|throw|abort"), std::string::npos);
+    EXPECT_NE(what.find("loud"), std::string::npos);
+  }
+}
+
+TEST(Options, GetChoiceSeesBareFlagAsTrue) {
+  const Options o = parse({"--check"});
+  EXPECT_EQ(o.get_choice("check", "off", {"true", "off", "throw"}), "true");
 }
 
 }  // namespace
