@@ -21,6 +21,7 @@
 
 #include "core/driver.hpp"
 #include "gen/suite.hpp"
+#include "util/json.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -94,94 +95,12 @@ inline std::string fmt_seconds(double seconds) {
   return Table::num(seconds * 1e3, 2) + " ms";
 }
 
-/// Minimal JSON builder for the machine-readable BENCH_*.json artifacts
+/// JSON output for the machine-readable BENCH_*.json artifacts
 /// (e.g. bench_host_engine writes BENCH_host_engine.json so CI and scripts
-/// can track host-execution performance without parsing tables). Flat
-/// append-only API; the caller is responsible for balanced begin/end calls.
-class JsonBuilder {
- public:
-  JsonBuilder() { out_.reserve(4096); }
-
-  JsonBuilder& begin_object(const char* key = nullptr) { return open(key, '{'); }
-  JsonBuilder& end_object() { return close('}'); }
-  JsonBuilder& begin_array(const char* key = nullptr) { return open(key, '['); }
-  JsonBuilder& end_array() { return close(']'); }
-
-  JsonBuilder& field(const char* key, const std::string& value) {
-    prefix(key);
-    out_ += '"';
-    for (const char c : value) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-    out_ += '"';
-    return *this;
-  }
-  JsonBuilder& field(const char* key, const char* value) {
-    return field(key, std::string(value));
-  }
-  JsonBuilder& field(const char* key, double value) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.9g", value);
-    prefix(key);
-    out_ += buf;
-    return *this;
-  }
-  JsonBuilder& field(const char* key, std::int64_t value) {
-    prefix(key);
-    out_ += std::to_string(value);
-    return *this;
-  }
-  JsonBuilder& field(const char* key, std::uint64_t value) {
-    prefix(key);
-    out_ += std::to_string(value);
-    return *this;
-  }
-  JsonBuilder& field(const char* key, int value) {
-    return field(key, static_cast<std::int64_t>(value));
-  }
-  JsonBuilder& field(const char* key, bool value) {
-    prefix(key);
-    out_ += value ? "true" : "false";
-    return *this;
-  }
-
-  [[nodiscard]] const std::string& str() const { return out_; }
-
- private:
-  JsonBuilder& open(const char* key, char bracket) {
-    prefix(key);
-    out_ += bracket;
-    comma_ = false;
-    return *this;
-  }
-  JsonBuilder& close(char bracket) {
-    out_ += bracket;
-    comma_ = true;
-    return *this;
-  }
-  void prefix(const char* key) {
-    if (comma_) out_ += ',';
-    comma_ = true;
-    if (key != nullptr) {
-      out_ += '"';
-      out_ += key;
-      out_ += "\":";
-    }
-  }
-
-  std::string out_;
-  bool comma_ = false;
-};
-
-inline void write_text_file(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot write " + path);
-  }
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-}
+/// can track host-execution performance without parsing tables). The builder
+/// lives in util/json.hpp, shared with the mcmtrace Chrome-trace exporter,
+/// and guarantees valid JSON (escaped strings, null for non-finite doubles).
+using ::mcm::JsonBuilder;
+using ::mcm::write_text_file;
 
 }  // namespace mcm::bench

@@ -24,6 +24,7 @@
 #include "core/driver.hpp"
 #include "gen/rmat.hpp"
 #include "gridsim/mcmcheck.hpp"
+#include "gridsim/trace.hpp"
 #include "matching/dulmage_mendelsohn.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "matching/koenig.hpp"
@@ -41,11 +42,17 @@ int usage() {
   std::fprintf(stderr,
                "usage: mcm_tool <match|sprank|dm|cover|stats> [A.mtx]\n"
                "       [--cores N] [--init greedy|ks|mindegree|none]\n"
+               "       [--direction top-down|bottom-up|optimizing]\n"
                "       [--host-threads T] [--out file]\n"
                "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
                "       [--check[=off|throw|abort]]  BSP-discipline sanitizer\n"
                "           (needs an MCM_CHECK=ON build; bare --check means\n"
-               "            throw; MCM_CHECK_MODE sets the default)\n");
+               "            throw; MCM_CHECK_MODE sets the default)\n"
+               "       [--trace[=FILE]]  two-clock span trace of the match\n"
+               "           run: writes Chrome trace-event JSON (Perfetto) to\n"
+               "           FILE (default mcm_trace.json) and prints the\n"
+               "           per-primitive breakdown (needs MCM_TRACE=ON;\n"
+               "           MCM_TRACE_MODE sets the default mode)\n");
   return 2;
 }
 
@@ -65,6 +72,13 @@ CooMatrix load_input(const Options& options) {
   return rmat(params, rng);
 }
 
+Direction parse_direction(const std::string& name) {
+  if (name == "top-down") return Direction::TopDown;
+  if (name == "bottom-up") return Direction::BottomUp;
+  if (name == "optimizing") return Direction::Optimizing;
+  throw std::invalid_argument("unknown --direction '" + name + "'");
+}
+
 MaximalKind parse_init(const std::string& name) {
   if (name == "greedy") return MaximalKind::Greedy;
   if (name == "ks" || name == "karp-sipser") return MaximalKind::KarpSipser;
@@ -73,16 +87,47 @@ MaximalKind parse_init(const std::string& name) {
   throw std::invalid_argument("unknown --init '" + name + "'");
 }
 
+/// Applies --trace / --trace=FILE and returns the output path ("" = tracing
+/// not requested or not available). A bare --trace parses as "true" and maps
+/// to the default file name. Without the tracer compiled in (MCM_TRACE=OFF
+/// builds) the flag is accepted but inert, with a warning so scripts notice.
+std::string apply_trace_flag(const Options& options) {
+  if (!options.has("trace")) return "";
+  const std::string value = options.get("trace", "true");
+  const std::string file =
+      (value.empty() || value == "true") ? "mcm_trace.json" : value;
+  if (!trace::kCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: --trace=%s ignored — this build has the mcmtrace "
+                 "tracer compiled out (reconfigure with -DMCM_TRACE=ON)\n",
+                 file.c_str());
+    return "";
+  }
+  trace::set_mode(TraceMode::On);
+  trace::tracer().clear();
+  return file;
+}
+
 int cmd_match(const Options& options, const CooMatrix& coo) {
   const int cores = static_cast<int>(options.get_int("cores", 192));
   PipelineOptions pipeline;
   pipeline.initializer = parse_init(options.get("init", "mindegree"));
+  pipeline.mcm.direction =
+      parse_direction(options.get("direction", "top-down"));
   SimConfig config = SimConfig::auto_config(cores, 12);
   // Host threads speed up the wall clock only; simulated results and costs
   // are identical at any setting (also settable via MCM_HOST_THREADS).
   config.host_threads = static_cast<int>(
       options.get_int("host-threads", config.host_threads));
+  const std::string trace_file = apply_trace_flag(options);
   const PipelineResult result = run_pipeline(config, coo, pipeline);
+  if (!trace_file.empty()) {
+    trace::tracer().write_chrome_trace(trace_file);
+    std::printf("trace: %zu events written to %s (load in Perfetto)\n",
+                trace::tracer().event_count(), trace_file.c_str());
+    std::printf("per-primitive breakdown (simulated vs host clock):\n%s",
+                trace::tracer().breakdown_table(result.ledger).c_str());
+  }
   const Index card = result.matching.cardinality();
   std::printf("maximum matching: %lld of %lld columns (%lld unmatched)\n",
               static_cast<long long>(card),

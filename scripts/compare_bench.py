@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_host_engine.json artifacts and fail on regressions.
+
+Usage:
+    compare_bench.py BASELINE.json NEW.json [--threshold 0.10]
+
+Exit status:
+    0   no comparable point regressed by more than the threshold
+        (also: the files are not comparable — different rmat_scale or
+        iters — which is reported as a warning, not a failure)
+    1   at least one comparable kernel timing regressed
+    2   bad usage / unreadable or malformed input
+
+What is compared:
+    * thread_scaling points, keyed by (kernel, threads): wall_ms
+    * single_thread_vs_legacy rows, keyed by kernel: engine_ms
+
+Points that are oversubscribed (more host threads than host cpus) in
+EITHER file are skipped: wall time there measures scheduler churn, not
+kernel performance. The `oversubscribed` field written by bench_host_engine
+is used when present; older artifacts without it fall back to computing
+threads > host_cpus from the file's own host_cpus.
+
+Wall-clock comparisons are only meaningful when both runs did the same
+work on comparable hosts, so the files must agree on rmat_scale and
+iters; host_cpus may differ (only non-oversubscribed points compare).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def oversubscribed(doc, point):
+    if "oversubscribed" in point:
+        return bool(point["oversubscribed"])
+    host_cpus = doc.get("host_cpus")
+    threads = point.get("threads")
+    if host_cpus is None or threads is None:
+        return False
+    return threads > host_cpus
+
+
+def scaling_points(doc):
+    return {
+        (p["kernel"], p["threads"]): p
+        for p in doc.get("thread_scaling", [])
+        if "kernel" in p and "threads" in p
+    }
+
+
+def legacy_points(doc):
+    return {
+        p["kernel"]: p
+        for p in doc.get("single_thread_vs_legacy", [])
+        if "kernel" in p
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when NEW.json regresses vs BASELINE.json")
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+
+    for key in ("rmat_scale", "iters"):
+        if base.get(key) != new.get(key):
+            print(f"compare_bench: {key} differs "
+                  f"({base.get(key)} vs {new.get(key)}); the runs did "
+                  "different work — nothing to compare, not failing",
+                  file=sys.stderr)
+            return 0
+
+    regressions = []
+    compared = 0
+    skipped = 0
+
+    base_scaling = scaling_points(base)
+    for key, new_point in scaling_points(new).items():
+        base_point = base_scaling.get(key)
+        if base_point is None:
+            continue
+        if oversubscribed(base, base_point) or oversubscribed(new, new_point):
+            skipped += 1
+            continue
+        base_ms = base_point.get("wall_ms")
+        new_ms = new_point.get("wall_ms")
+        if not base_ms or new_ms is None:
+            continue
+        compared += 1
+        ratio = new_ms / base_ms
+        if ratio > 1.0 + args.threshold:
+            regressions.append(
+                f"{key[0]} @ {key[1]} threads: {base_ms:.2f} ms -> "
+                f"{new_ms:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
+
+    base_legacy = legacy_points(base)
+    for kernel, new_point in legacy_points(new).items():
+        base_point = base_legacy.get(kernel)
+        if base_point is None:
+            continue
+        base_ms = base_point.get("engine_ms")
+        new_ms = new_point.get("engine_ms")
+        if not base_ms or new_ms is None:
+            continue
+        compared += 1
+        ratio = new_ms / base_ms
+        if ratio > 1.0 + args.threshold:
+            regressions.append(
+                f"{kernel} engine (1 thread): {base_ms:.2f} ms -> "
+                f"{new_ms:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
+
+    print(f"compare_bench: {compared} point(s) compared, "
+          f"{skipped} oversubscribed point(s) skipped, "
+          f"threshold {args.threshold * 100:.0f}%")
+    if regressions:
+        print("compare_bench: REGRESSIONS:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    if compared == 0:
+        print("compare_bench: warning: no comparable points", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

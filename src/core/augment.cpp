@@ -51,9 +51,10 @@ AugmentResult augment_level_parallel(SimContext& ctx,
     // is the next row up the alternating path (kNull exactly at the root).
     // Each rank touches only its own mate_c piece, so the per-rank loop runs
     // concurrently on the host engine.
-    ctx.host().for_ranks(ctx.processes(), [&](std::int64_t rr, int) {
+    ctx.host().for_ranks(ctx.processes(), [&](std::int64_t rr, int lane) {
       const int r = static_cast<int>(rr);
       [[maybe_unused]] const check::RankScope scope(r, "AUGMENT.mate-swap");
+      const trace::RankSpan task("AUGMENT.mate-swap", Cost::Augment, r, lane);
       SpVec<Index>& piece = v_c.piece(r);
       auto& mates = mate_c.piece(r);
       for (Index k = 0; k < piece.nnz(); ++k) {
@@ -89,9 +90,9 @@ AugmentResult augment_path_parallel(SimContext& ctx,
   RmaWindow<Index> win_pi(ctx, pi_r);
   RmaWindow<Index> win_mate_r(ctx, mate_r);
   RmaWindow<Index> win_mate_c(ctx, mate_c);
-  win_pi.open_epoch();
-  win_mate_r.open_epoch();
-  win_mate_c.open_epoch();
+  win_pi.open_epoch(Cost::Augment);
+  win_mate_r.open_epoch(Cost::Augment);
+  win_mate_c.open_epoch(Cost::Augment);
 
   // Every origin walks only paths rooted in its own path_c piece, and paths
   // are vertex-disjoint, so the window indices different origins touch are
@@ -102,10 +103,12 @@ AugmentResult augment_path_parallel(SimContext& ctx,
   auto& longest_by_origin =
       host.shared().buffer<Index>(scratch_tag("augment.longest"));
   longest_by_origin.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t oo, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t oo, int lane) {
     const int origin = static_cast<int>(oo);
     [[maybe_unused]] const check::RankScope scope(origin,
                                                   "AUGMENT.path-parallel");
+    const trace::RankSpan task("AUGMENT.path-parallel", Cost::Augment, origin,
+                               lane);
     const auto& piece = path_c.piece(origin);
     Index longest = 0;
     for (std::size_t k = 0; k < piece.size(); ++k) {
@@ -147,6 +150,8 @@ AugmentResult dist_augment(SimContext& ctx, AugmentMode mode,
                            DistDenseVec<Index>& pi_r,
                            DistDenseVec<Index>& mate_r,
                            DistDenseVec<Index>& mate_c) {
+  const trace::Span prim(ctx, "AUGMENT", Cost::Augment,
+                         trace::Kind::Primitive);
   // k is known from an allreduce over per-rank path counts.
   Index paths = 0;
   for (int r = 0; r < ctx.processes(); ++r) {

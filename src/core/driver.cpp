@@ -23,12 +23,16 @@ PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
 
   PipelineResult result;
   const double before_init = ctx.ledger().total_us();
+  trace::Span init_span(ctx, "INIT", Cost::MaximalInit, trace::Kind::Region);
   const Matching initial = dist_maximal_matching(
       ctx, dist, options.initializer, &result.init_stats);
+  init_span.close();
   const double after_init = ctx.ledger().total_us();
 
+  trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
   Matching matched =
       mcm_dist(ctx, dist, initial, options.mcm, &result.mcm_stats);
+  mcm_span.close();
   const double after_mcm = ctx.ledger().total_us();
 
   result.init_seconds = (after_init - before_init) * 1e-6;

@@ -30,7 +30,11 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
 
   if (stats != nullptr) stats->initial_cardinality = initial.cardinality();
 
+  const trace::Span run_span(ctx, "MCM-DIST", Cost::Other,
+                             trace::Kind::Region);
   for (;;) {  // a phase of the algorithm
+    const trace::Span phase_span(ctx, "MCM-DIST.phase", Cost::Other,
+                                 trace::Kind::Region);
     dist_fill(ctx, Cost::Other, pi_r, kNull);
 
     // Initial column frontier: unmatched columns, parent = root = self.
@@ -40,7 +44,11 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
 
     bool found_path = false;
     for (;;) {
+      const trace::Span iter_span(ctx, "MCM-DIST.bfs-iteration", Cost::Other,
+                                  trace::Kind::Region);
       const Index frontier_nnz = dist_nnz(ctx, Cost::Other, f_c);
+      trace::counter(ctx, "frontier_nnz",
+                     static_cast<double>(frontier_nnz));
       if (frontier_nnz == 0) break;
       if (stats != nullptr) ++stats->iterations;
 

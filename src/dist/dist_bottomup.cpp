@@ -48,6 +48,8 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
   const int pr = grid.pr();
   const int pc = grid.pc();
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "BOTTOMUP", category, trace::Kind::Primitive);
+  trace::Span expand_phase(ctx, "BU.expand", category, trace::Kind::Phase);
 
   // --- expand 1: dense per-column-segment root arrays, assembled from the
   // sparse frontier pieces of each grid column (allgather, dense payload).
@@ -79,6 +81,7 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
     max_col_words = std::max(max_col_words, w);
   }
   ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  expand_phase.close();
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
 }
 
@@ -96,6 +99,8 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
   const int pr = grid.pr();
   const int pc = grid.pc();
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "GRAFT", category, trace::Kind::Primitive);
+  trace::Span expand_phase(ctx, "GRAFT.expand", category, trace::Kind::Phase);
 
   // Dense per-column-segment root arrays straight from the dense root_c
   // pieces (allgather within each grid column).
@@ -127,6 +132,7 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
     max_col_words = std::max(max_col_words, w);
   }
   ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  expand_phase.close();
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
 }
 
@@ -143,6 +149,8 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
 
   // --- expand 2: dense per-row-segment visited bitmaps from pi_r pieces
   // (allgather of packed flags: 1/8 word per row charged as words/8).
+  trace::Span visited_phase(ctx, "BU.expand-visited", category,
+                            trace::Kind::Phase);
   auto& seg_visited = host.shared().get<std::vector<std::vector<bool>>>(
       scratch_tag("bu.seg_visited"));
   seg_visited.resize(static_cast<std::size_t>(pr));
@@ -172,6 +180,8 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
     max_row_words = std::max(max_row_words, w);
   }
   ctx.charge_allgatherv(category, pc, pr, max_row_words);
+  visited_phase.close();
+  trace::Span scan_phase(ctx, "BU.scan", category, trace::Kind::Phase);
 
   // --- local scan: each rank walks the unvisited rows present in its block
   // (the transposed block's non-empty columns are exactly those rows, in
@@ -185,11 +195,12 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
   scan_counts.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
                      0);
   host.for_ranks(static_cast<std::int64_t>(pr) * pc,
-                 [&](std::int64_t t, int) {
+                 [&](std::int64_t t, int lane) {
     const int i = static_cast<int>(t) / pc;
     const int j = static_cast<int>(t) % pc;
     [[maybe_unused]] const check::RankScope scope(grid.rank_of(i, j),
                                                   "BU.scan");
+    const trace::RankSpan task("BU.scan", category, grid.rank_of(i, j), lane);
     const auto& visited = seg_visited[static_cast<std::size_t>(i)];
     const DcscMatrix& rows_of_block = a.block_t(i, j);
     const auto& roots = seg_root[static_cast<std::size_t>(j)];
@@ -219,6 +230,7 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
     max_scanned = std::max(max_scanned, s);
   }
   ctx.charge_edge_ops(category, max_scanned);
+  scan_phase.close();
 
   // --- fold within grid rows with the minParent add.
   return detail::fold_partials(ctx, category, partials, VSpace::Row,

@@ -40,6 +40,7 @@ namespace mcm {
 template <typename T>
 [[nodiscard]] Index dist_nnz(SimContext& ctx, Cost category,
                              const DistSpVec<T>& x) {
+  const trace::Span prim(ctx, "NNZ", category, trace::Kind::Primitive);
   ctx.charge_allreduce(category, ctx.processes());
   return x.nnz_unaccounted();
 }
@@ -54,11 +55,13 @@ template <typename T, typename U, typename Pred>
   }
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "SELECT", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "SELECT");
+    const trace::RankSpan task("SELECT", category, static_cast<int>(r), lane);
     z.piece(static_cast<int>(r)) =
         select(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)), expr);
     ops[static_cast<std::size_t>(r)] =
@@ -78,11 +81,14 @@ void dist_set_dense(SimContext& ctx, Cost category, DistDenseVec<U>& y,
     throw std::invalid_argument("dist_set_dense: operands not aligned");
   }
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "SET.dense", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "SET.dense");
+    const trace::RankSpan task("SET.dense", category, static_cast<int>(r),
+                               lane);
     set_dense(y.piece(static_cast<int>(r)), x.piece(static_cast<int>(r)),
               value_of);
     ops[static_cast<std::size_t>(r)] =
@@ -101,11 +107,14 @@ void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
     throw std::invalid_argument("dist_set_sparse: operands not aligned");
   }
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "SET.sparse", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "SET.sparse");
+    const trace::RankSpan task("SET.sparse", category, static_cast<int>(r),
+                               lane);
     set_sparse(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)),
                update);
     ops[static_cast<std::size_t>(r)] =
@@ -121,10 +130,13 @@ template <typename U>
 void dist_fill(SimContext& ctx, Cost category, DistDenseVec<U>& y,
                const U& value) {
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "SET.fill", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r), "SET");
+    const trace::RankSpan task("SET.fill", category, static_cast<int>(r),
+                               lane);
     auto& piece = y.piece(static_cast<int>(r));
     std::fill(piece.begin(), piece.end(), value);
     ops[static_cast<std::size_t>(r)] =
@@ -173,6 +185,8 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   const VecLayout& out = z.layout();
   const int p = ctx.processes();
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "INVERT", category, trace::Kind::Primitive);
+  trace::Span route_phase(ctx, "INVERT.route", category, trace::Kind::Phase);
 
   // --- phase 1: every source rank buckets its entries by destination.
   // routed[r] holds source r's entries grouped by destination (groups in
@@ -195,6 +209,7 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   host.for_ranks(p, [&](std::int64_t rr, int lane) {
     const int r = static_cast<int>(rr);
     [[maybe_unused]] const check::RankScope scope(r, "INVERT.route");
+    const trace::RankSpan task("INVERT.route", category, r, lane);
     const SpVec<T>& piece = x.piece(r);
     ScratchLane& scratch = host.scratch(lane);
     auto& temp = scratch.buffer<Routed>(scratch_tag("invert.temp"));
@@ -239,6 +254,8 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
     max_send_words = std::max(max_send_words, w);
   }
   ctx.charge_alltoallv(category, p, 1, max_send_words, /*latency_rounds=*/3);
+  route_phase.close();
+  trace::Span merge_phase(ctx, "INVERT.merge", category, trace::Kind::Phase);
 
   // --- phase 2: every destination merges its incoming slices. Sources are
   // visited segment-major through the input layout, i.e. in strictly
@@ -251,6 +268,7 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   host.for_ranks(p, [&](std::int64_t dd, int lane) {
     const int d = static_cast<int>(dd);
     [[maybe_unused]] const check::RankScope scope(d, "INVERT.merge");
+    const trace::RankSpan task("INVERT.merge", category, d, lane);
     ScratchLane& scratch = host.scratch(lane);
     auto& entries = scratch.buffer<Routed>(scratch_tag("invert.merge"));
     for (int seg = 0; seg < in_segments; ++seg) {
@@ -298,6 +316,7 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   check::verify_conservation("INVERT", "routed entries", total_routed,
                              total_recv);
   ctx.charge_elem_ops(category, max_rank_nnz + max_recv);
+  merge_phase.close();
   return z;
 }
 
@@ -307,11 +326,13 @@ template <typename T, typename Pred>
                                        const DistSpVec<T>& x, Pred pred) {
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "FILTER", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "FILTER");
+    const trace::RankSpan task("FILTER", category, static_cast<int>(r), lane);
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<T>& out = z.piece(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {
@@ -333,11 +354,14 @@ template <typename Out, typename T, typename F>
                                             const DistSpVec<T>& x, F f) {
   DistSpVec<Out> z(ctx, x.layout().space(), x.length());
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "TRANSFORM", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "TRANSFORM");
+    const trace::RankSpan task("TRANSFORM", category, static_cast<int>(r),
+                               lane);
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<Out>& out = z.piece(static_cast<int>(r));
     out.reserve(static_cast<std::size_t>(piece.nnz()));
@@ -365,11 +389,14 @@ template <typename Out, typename U, typename Pred, typename MakeF>
                                              Pred pred, MakeF make) {
   DistSpVec<Out> z(ctx, y.layout().space(), y.length());
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "FROM_DENSE", category, trace::Kind::Primitive);
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "FROM_DENSE");
+    const trace::RankSpan task("FROM_DENSE", category, static_cast<int>(r),
+                               lane);
     const auto& piece = y.piece(static_cast<int>(r));
     SpVec<Out>& out = z.piece(static_cast<int>(r));
     const Index offset = y.layout().piece_offset(static_cast<int>(r));
@@ -401,13 +428,16 @@ template <typename T, typename RootF>
     SimContext& ctx, Cost category, const DistSpVec<T>& x,
     const std::vector<std::vector<Index>>& roots_by_rank, RootF root_of) {
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "PRUNE", category, trace::Kind::Primitive);
   const int n_src = static_cast<int>(roots_by_rank.size());
   auto& deduped = host.shared().get<std::vector<std::vector<Index>>>(
       scratch_tag("prune.deduped"));
   deduped.assign(static_cast<std::size_t>(n_src), {});
-  host.for_ranks(n_src, [&](std::int64_t r, int) {
+  host.for_ranks(n_src, [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "PRUNE.dedup");
+    const trace::RankSpan task("PRUNE.dedup", category, static_cast<int>(r),
+                               lane);
     deduped[static_cast<std::size_t>(r)] =
         sorted_unique(roots_by_rank[static_cast<std::size_t>(r)]);
   });
@@ -426,9 +456,11 @@ template <typename T, typename RootF>
   DistSpVec<T> z(ctx, x.layout().space(), x.length());
   auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
   ops.assign(static_cast<std::size_t>(ctx.processes()), 0);
-  host.for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+  host.for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "PRUNE.filter");
+    const trace::RankSpan task("PRUNE.filter", category, static_cast<int>(r),
+                               lane);
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
     SpVec<T>& out = z.piece(static_cast<int>(r));
     for (Index k = 0; k < piece.nnz(); ++k) {

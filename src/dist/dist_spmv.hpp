@@ -66,6 +66,7 @@ template <typename T, typename SR>
 DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
                            std::vector<std::vector<SpVec<T>>>& partials,
                            VSpace out_space, Index out_len, const SR& sr) {
+  const trace::Span phase(ctx, "FOLD", category, trace::Kind::Phase);
   DistSpVec<T> y(ctx, out_space, out_len);
   const int out_segments = static_cast<int>(partials.size());
   const int out_group =
@@ -113,6 +114,8 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
     const int dst = static_cast<int>(t) % out_group;
     [[maybe_unused]] const check::RankScope scope(y.layout().rank_of(os, dst),
                                                   "FOLD.merge");
+    const trace::RankSpan task("FOLD.merge", category,
+                               y.layout().rank_of(os, dst), lane);
     const auto& within = y.layout().dist().within[static_cast<std::size_t>(os)];
     const Index base = within.offset(dst);
     ScratchLane& scratch = host.scratch(lane);
@@ -196,11 +199,14 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
   const int group = along_cols ? pr : pc;        // ranks per input segment
   const BlockDist& in_dist = along_cols ? a.col_dist() : a.row_dist();
   HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, along_cols ? "SPMV" : "SPMV^T", category,
+                         trace::Kind::Primitive);
 
   // --- expand: assemble each input segment from its group's pieces. Pieces
   // are stored in increasing part order whose offsets increase, so plain
   // concatenation yields sorted segment-local indices.
   std::vector<SpVec<T>> segment(static_cast<std::size_t>(n_segments));
+  trace::Span expand_phase(ctx, "SPMV.expand", category, trace::Kind::Phase);
   auto& group_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("spmv.group_words"));
   group_words.assign(static_cast<std::size_t>(n_segments), 0);
@@ -241,6 +247,7 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
         static_cast<std::uint64_t>(x.nnz_unaccounted()), gathered);
   }
   ctx.charge_allgatherv(category, group, n_segments, max_group_words);
+  expand_phase.close();
 
   // --- local multiply: every rank applies its DCSC block to its segment.
   // Partial outputs are indexed by output-segment-local ids. Block tasks are
@@ -257,6 +264,8 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
     partials[static_cast<std::size_t>(os)].resize(
         static_cast<std::size_t>(out_group));
   }
+  trace::Span multiply_phase(ctx, "SPMV.multiply", category,
+                             trace::Kind::Phase);
   auto& block_flops =
       host.shared().buffer<std::uint64_t>(scratch_tag("spmv.block_flops"));
   block_flops.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
@@ -267,6 +276,8 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
     const int j = static_cast<int>(t) % pc;
     [[maybe_unused]] const check::RankScope scope(grid.rank_of(i, j),
                                                   "SPMV.multiply");
+    const trace::RankSpan task("SPMV.multiply", category, grid.rank_of(i, j),
+                               lane);
     const DcscMatrix& blk = along_cols ? a.block(i, j) : a.block_t(i, j);
     const int in_seg = along_cols ? j : i;
     const int out_seg = along_cols ? i : j;
@@ -290,6 +301,7 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
     max_flops = std::max(max_flops, f);
   }
   ctx.charge_edge_ops(category, max_flops);
+  multiply_phase.close();
 
   // --- fold: route each partial entry to the owner piece of the output
   // vector, merging duplicates with the semiring add.

@@ -3,6 +3,8 @@
 namespace mcm {
 
 CooMatrix gather_matrix_to_root(SimContext& ctx, const DistMatrix& a) {
+  const trace::Span prim(ctx, "GATHER", Cost::GatherScatter,
+                         trace::Kind::Primitive);
   CooMatrix out(a.n_rows(), a.n_cols());
   out.reserve(static_cast<std::size_t>(a.nnz()));
   const ProcGrid& grid = a.grid();
@@ -26,6 +28,8 @@ CooMatrix gather_matrix_to_root(SimContext& ctx, const DistMatrix& a) {
 ScatteredMates scatter_mates_from_root(SimContext& ctx,
                                        const std::vector<Index>& mate_r,
                                        const std::vector<Index>& mate_c) {
+  const trace::Span prim(ctx, "SCATTER", Cost::GatherScatter,
+                         trace::Kind::Primitive);
   ScatteredMates out{
       DistDenseVec<Index>(ctx, VSpace::Row,
                           static_cast<Index>(mate_r.size()), kNull),

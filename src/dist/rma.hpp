@@ -47,10 +47,14 @@ class RmaWindow {
         ops_(static_cast<std::size_t>(ctx.processes())) {}
 
   /// Opens an access epoch (MPI_Win_lock_all). Ops are legal until flush().
-  void open_epoch() {
+  /// The category is only used to label the epoch's trace span; the ledger
+  /// charge happens at flush() with flush's own category (callers pass the
+  /// same one).
+  void open_epoch(Cost category = Cost::Other) {
     if (epoch_open_.load(std::memory_order_relaxed)) {
       throw std::logic_error("RmaWindow: epoch already open");
     }
+    epoch_span_.open(*ctx_, "RMA.epoch", category, trace::Kind::Phase);
     epoch_open_.store(true, std::memory_order_relaxed);
   }
 
@@ -107,6 +111,7 @@ class RmaWindow {
     }
     for (auto& n : ops_) n.store(0, std::memory_order_relaxed);
     epoch_open_.store(false, std::memory_order_relaxed);
+    epoch_span_.close();
     if (check::kCompiledIn) {
       const std::lock_guard<std::mutex> lock(epoch_mutex_);
       epoch_accesses_.clear();
@@ -188,6 +193,8 @@ class RmaWindow {
   DistDenseVec<T>* target_;
   std::vector<std::atomic<std::uint64_t>> ops_;
   std::atomic<bool> epoch_open_{false};
+  /// Open/close follows the epoch, not a lexical scope (mcmtrace).
+  trace::Span epoch_span_;
   /// Epoch-scoped conflict tracker; populated only while checking is on.
   std::unordered_map<Index, EpochAccess> epoch_accesses_;
   std::mutex epoch_mutex_;

@@ -29,6 +29,7 @@
 #include "gridsim/machine.hpp"
 #include "gridsim/mcmcheck.hpp"
 #include "gridsim/proc_grid.hpp"
+#include "gridsim/trace.hpp"
 
 namespace mcm {
 
@@ -94,6 +95,19 @@ class SimContext {
   }
   static void set_check_mode(CheckMode mode) noexcept {
     check::set_mode(mode);
+  }
+
+  /// mcmtrace, the two-clock span tracer (gridsim/trace.hpp). Spans are
+  /// opened by the distributed primitives (trace::Span at coordinator level,
+  /// trace::RankSpan inside per-rank loop bodies) and record both the
+  /// simulated alpha-beta interval this ledger moves by and host wall time;
+  /// these statics expose the process-global mode (Off when compiled out via
+  /// MCM_TRACE).
+  [[nodiscard]] static TraceMode trace_mode() noexcept {
+    return trace::mode();
+  }
+  static void set_trace_mode(TraceMode mode) noexcept {
+    trace::set_mode(mode);
   }
 
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }

@@ -96,6 +96,23 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, Body body,
 
 void ThreadPool::drain(Body body, void* ctx, std::int64_t end, int lane) {
   for (;;) {
+    // Once a body has thrown, the job's result is the first exception and the
+    // remaining indices are dead weight — claim them in one CAS instead of
+    // one fetch_add each (a throw at index 0 of a billion-index range must
+    // not spin through a billion increments). The CAS only ever *raises* the
+    // cursor to `end`, so no index below `end` can be handed out twice, and
+    // the claimed count keeps `completed_` exact for the parallel_for wait.
+    if (has_error_.load(std::memory_order_acquire)) {
+      std::int64_t cur = next_.load(std::memory_order_relaxed);
+      while (cur < end) {
+        if (next_.compare_exchange_weak(cur, end,
+                                        std::memory_order_relaxed)) {
+          completed_.fetch_add(end - cur, std::memory_order_release);
+          break;
+        }
+      }
+      break;
+    }
     const std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= end) break;
     if (!has_error_.load(std::memory_order_relaxed)) {

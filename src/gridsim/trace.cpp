@@ -1,0 +1,342 @@
+#include "gridsim/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "gridsim/context.hpp"
+#include "util/json.hpp"
+
+namespace mcm::trace {
+
+namespace {
+
+/// Synthetic Chrome-trace thread ids for the coordinator-level tracks; real
+/// rank/lane ids are small, so a large constant cannot collide.
+constexpr int kCoordinatorTid = 10000;
+
+}  // namespace
+
+const char* mode_name(TraceMode mode) noexcept {
+  switch (mode) {
+    case TraceMode::Off: return "off";
+    case TraceMode::On: return "on";
+  }
+  return "?";
+}
+
+TraceMode mode_from_string(const std::string& text) {
+  if (text == "off") return TraceMode::Off;
+  if (text == "on" || text == "true" || text == "1") return TraceMode::On;
+  throw std::invalid_argument("unknown trace mode '" + text +
+                              "' (expected off|on)");
+}
+
+const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::Primitive: return "primitive";
+    case Kind::Phase: return "phase";
+    case Kind::Region: return "region";
+    case Kind::RankTask: return "rank-task";
+    case Kind::Counter: return "counter";
+  }
+  return "?";
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::open_index() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+void Tracer::record_span_end(const TraceEvent& event, std::size_t first_child) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Innermost span closes first, so each pending RankTask gets the tightest
+  // enclosing interval; outer spans find nothing left to fill.
+  for (std::size_t k = std::min(first_child, events_.size());
+       k < events_.size(); ++k) {
+    TraceEvent& child = events_[k];
+    if (child.kind == Kind::RankTask && child.sim_ts_us < 0) {
+      child.sim_ts_us = event.sim_ts_us;
+      child.sim_dur_us = event.sim_dur_us;
+    }
+  }
+  events_.push_back(event);
+}
+
+std::vector<BreakdownRow> Tracer::breakdown() const {
+  std::vector<BreakdownRow> rows(static_cast<std::size_t>(Cost::kCount));
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    rows[c].category = static_cast<Cost>(c);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceEvent& e : events_) {
+    if (e.kind != Kind::Primitive || !e.counted) continue;
+    BreakdownRow& row = rows[static_cast<std::size_t>(e.category)];
+    row.sim_us += std::max(0.0, e.sim_dur_us);
+    row.host_us += e.host_dur_us;
+    row.spans += 1;
+  }
+  return rows;
+}
+
+std::string Tracer::breakdown_table(const CostLedger& ledger) const {
+  const std::vector<BreakdownRow> rows = breakdown();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-14s %8s %14s %14s %14s\n", "category",
+                "spans", "sim ms", "ledger ms", "host ms");
+  out += line;
+  double traced_sim = 0;
+  double traced_host = 0;
+  std::uint64_t spans = 0;
+  for (const BreakdownRow& row : rows) {
+    traced_sim += row.sim_us;
+    traced_host += row.host_us;
+    spans += row.spans;
+    std::snprintf(line, sizeof line, "%-14s %8llu %14.3f %14.3f %14.3f\n",
+                  cost_name(row.category),
+                  static_cast<unsigned long long>(row.spans), row.sim_us * 1e-3,
+                  ledger.time_us(row.category) * 1e-3, row.host_us * 1e-3);
+    out += line;
+  }
+  // The residual keeps the simulated column summing to the ledger total even
+  // when some charges happened outside any counted span.
+  const double untraced = ledger.total_us() - traced_sim;
+  std::snprintf(line, sizeof line, "%-14s %8s %14.3f %14s %14s\n", "(untraced)",
+                "", untraced * 1e-3, "", "");
+  out += line;
+  std::snprintf(line, sizeof line, "%-14s %8llu %14.3f %14.3f %14.3f\n",
+                "total", static_cast<unsigned long long>(spans),
+                (traced_sim + untraced) * 1e-3, ledger.total_us() * 1e-3,
+                traced_host * 1e-3);
+  out += line;
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+
+  std::set<int> ranks;
+  std::set<int> lanes;
+  for (const TraceEvent& e : snapshot) {
+    if (e.rank >= 0) ranks.insert(e.rank);
+    if (e.lane >= 0) lanes.insert(e.lane);
+  }
+
+  JsonBuilder json;
+  json.begin_object();
+  json.begin_array("traceEvents");
+
+  const auto metadata = [&json](int pid, int tid, const char* what,
+                                const std::string& name) {
+    json.begin_object()
+        .field("ph", "M")
+        .field("pid", pid)
+        .field("tid", tid)
+        .field("name", what)
+        .begin_object("args")
+        .field("name", name)
+        .end_object()
+        .end_object();
+  };
+  metadata(0, 0, "process_name", "simulated machine (alpha-beta clock)");
+  metadata(1, 0, "process_name", "host execution (wall clock)");
+  metadata(0, kCoordinatorTid, "thread_name", "program (BSP timeline)");
+  metadata(1, kCoordinatorTid, "thread_name", "coordinator");
+  for (const int r : ranks) {
+    metadata(0, r, "thread_name", "rank " + std::to_string(r));
+  }
+  for (const int l : lanes) {
+    metadata(1, l, "thread_name", "lane " + std::to_string(l));
+  }
+
+  for (const TraceEvent& e : snapshot) {
+    if (e.kind == Kind::Counter) {
+      json.begin_object()
+          .field("ph", "C")
+          .field("pid", 0)
+          .field("tid", 0)
+          .field("name", e.name)
+          .field("ts", e.sim_ts_us)
+          .begin_object("args")
+          .field("value", e.value)
+          .end_object()
+          .end_object();
+      continue;
+    }
+    const auto complete = [&json, &e](int pid, int tid, double ts, double dur,
+                                      const char* clock) {
+      json.begin_object()
+          .field("ph", "X")
+          .field("pid", pid)
+          .field("tid", tid)
+          .field("name", e.name)
+          .field("cat", kind_name(e.kind))
+          .field("ts", ts)
+          .field("dur", std::max(0.0, dur))
+          .begin_object("args")
+          .field("clock", clock)
+          .field("category", cost_name(e.category))
+          .field("rank", e.rank)
+          .field("lane", e.lane)
+          .end_object()
+          .end_object();
+    };
+    // Simulated-clock emission: RankTask events go on their rank's track,
+    // coordinator spans on the program track. A RankTask whose enclosing
+    // span never closed (sim_ts < 0) has no simulated interval to draw.
+    if (e.sim_ts_us >= 0) {
+      complete(0, e.rank >= 0 ? e.rank : kCoordinatorTid, e.sim_ts_us,
+               e.sim_dur_us, "simulated");
+    }
+    // Host-clock emission: lane-attributed tasks on their lane's track.
+    complete(1, e.lane >= 0 ? e.lane : kCoordinatorTid, e.host_ts_us,
+             e.host_dur_us, "host");
+  }
+
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+  return json.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  write_text_file(path, chrome_trace_json());
+}
+
+#if defined(MCM_TRACE_ENABLED)
+
+namespace {
+
+constexpr int kModeUnset = -1;
+std::atomic<int> g_mode{kModeUnset};
+
+/// Depth of open Primitive spans on this thread; only a span opened at depth
+/// zero owns its ledger charges (counted), so nested primitives (INVERT
+/// inside AUGMENT) never double-attribute.
+thread_local int t_counted_depth = 0;
+
+TraceMode mode_from_env() {
+  const char* env = std::getenv("MCM_TRACE_MODE");
+  if (env == nullptr || env[0] == '\0') return TraceMode::Off;
+  try {
+    return mode_from_string(env);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr,
+                 "mcmtrace: ignoring unknown MCM_TRACE_MODE='%s' "
+                 "(expected off|on)\n",
+                 env);
+    return TraceMode::Off;
+  }
+}
+
+}  // namespace
+
+TraceMode mode() noexcept {
+  int current = g_mode.load(std::memory_order_relaxed);
+  if (current == kModeUnset) {
+    const int from_env = static_cast<int>(mode_from_env());
+    if (g_mode.compare_exchange_strong(current, from_env,
+                                       std::memory_order_relaxed)) {
+      current = from_env;
+    }
+  }
+  return static_cast<TraceMode>(current);
+}
+
+void set_mode(TraceMode mode) noexcept {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void Span::begin(SimContext& ctx, const char* name, Cost category, Kind kind) {
+  Tracer& t = tracer();
+  ctx_ = &ctx;
+  name_ = name;
+  category_ = category;
+  kind_ = kind;
+  host_begin_ = t.host_now_us();
+  sim_begin_ = ctx.ledger().total_us();
+  first_child_ = t.open_index();
+  if (kind_ == Kind::Primitive) {
+    counted_ = (t_counted_depth == 0);
+    ++t_counted_depth;
+  }
+  active_ = true;
+}
+
+void Span::end() {
+  active_ = false;
+  if (kind_ == Kind::Primitive) --t_counted_depth;
+  if (!enabled()) return;  // mode flipped off mid-span: drop the record
+  Tracer& t = tracer();
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.kind = kind_;
+  e.counted = counted_;
+  e.host_ts_us = host_begin_;
+  e.host_dur_us = t.host_now_us() - host_begin_;
+  e.sim_ts_us = sim_begin_;
+  e.sim_dur_us = ctx_->ledger().total_us() - sim_begin_;
+  t.record_span_end(e, first_child_);
+}
+
+void RankSpan::end() {
+  active_ = false;
+  if (!enabled()) return;
+  Tracer& t = tracer();
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.kind = Kind::RankTask;
+  e.rank = rank_;
+  e.lane = lane_;
+  e.host_ts_us = host_begin_;
+  e.host_dur_us = t.host_now_us() - host_begin_;
+  // sim interval stays pending (<0) until the enclosing Span back-fills it.
+  t.record(e);
+}
+
+void counter_impl(SimContext& ctx, const char* name, double value) {
+  Tracer& t = tracer();
+  TraceEvent e;
+  e.name = name;
+  e.kind = Kind::Counter;
+  e.host_ts_us = t.host_now_us();
+  e.sim_ts_us = ctx.ledger().total_us();
+  e.value = value;
+  t.record(e);
+}
+
+#endif  // MCM_TRACE_ENABLED
+
+}  // namespace mcm::trace

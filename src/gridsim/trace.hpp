@@ -1,0 +1,274 @@
+#pragma once
+/// \file trace.hpp
+/// mcmtrace — span-and-counter tracing for the simulated machine's two
+/// clocks. gridsim runs every program on two timelines at once: the
+/// *simulated* alpha-beta clock the CostLedger accumulates (the clock the
+/// paper's figures are drawn in) and the *host* wall clock the simulator
+/// actually spends executing per-rank loops across HostEngine lanes. A span
+/// records an interval on both: its simulated extent is the ledger movement
+/// between open and close, its host extent is steady-clock time on the
+/// thread that executed it.
+///
+/// Span taxonomy (Kind):
+///
+///   Primitive  One distributed primitive invocation (SPMV, INVERT, PRUNE,
+///              AUGMENT, ...). The outermost Primitive span on the timeline
+///              owns every ledger charge made inside it, so summing
+///              outermost Primitive spans per Cost category reproduces the
+///              paper's Fig. 5 runtime breakdown; nested Primitive spans
+///              (e.g. INVERT inside AUGMENT) are recorded but not counted,
+///              preventing double attribution.
+///   Phase      A sub-step of a primitive (SPMV.expand / .multiply, FOLD,
+///              RMA.epoch). Never counted; provides the nesting structure.
+///   Region     Structural scope with no charge ownership (a BFS iteration,
+///              an MCM phase, a pipeline stage).
+///   RankTask   One simulated rank's share of a bulk-synchronous step,
+///              recorded from inside a HostEngine loop body. Host time is
+///              the lane-local wall time of that task; the simulated
+///              interval is back-filled when the innermost enclosing
+///              coordinator span closes — in the BSP model every rank
+///              occupies the whole step, the slowest rank setting its
+///              length, which is exactly what the charge formulas price.
+///   Counter    An instantaneous value sample on the simulated clock
+///              (frontier size per BFS iteration, ...).
+///
+/// Exporters: Tracer::chrome_trace_json() emits Chrome trace-event JSON
+/// loadable in Perfetto — process 0 carries the simulated clock with one
+/// track per simulated rank plus a "program" track for the nested
+/// coordinator spans, process 1 carries the host clock with one track per
+/// HostEngine lane plus a "coordinator" track. breakdown_table() renders the
+/// Fig. 5-style per-category table; its simulated-time column sums to the
+/// CostLedger total by construction (an "(untraced)" row absorbs charges
+/// made outside any Primitive span).
+///
+/// Compile-time gate: hooks exist only when MCM_TRACE_ENABLED is defined
+/// (CMake option MCM_TRACE, default ON). When compiled out every hook below
+/// collapses to a constexpr no-op; the Tracer container itself stays
+/// available (empty) so exporter call sites compile unchanged. When compiled
+/// in, the runtime mode comes from the MCM_TRACE_MODE environment variable
+/// (off | on, default off) and can be overridden with set_mode()
+/// (mcm_tool --trace, SimContext::set_trace_mode). Disabled-at-runtime cost
+/// is one relaxed atomic load per hook.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridsim/cost_ledger.hpp"
+
+namespace mcm {
+
+class SimContext;
+
+/// Whether the hooks record anything: nothing, or spans+counters.
+enum class TraceMode { Off, On };
+
+namespace trace {
+
+/// Parses "off" | "on" (throws std::invalid_argument otherwise).
+[[nodiscard]] TraceMode mode_from_string(const std::string& text);
+[[nodiscard]] const char* mode_name(TraceMode mode) noexcept;
+
+enum class Kind {
+  Primitive,  ///< counted toward the breakdown when outermost
+  Phase,      ///< sub-step inside a primitive
+  Region,     ///< structural scope (iteration / phase loop / pipeline stage)
+  RankTask,   ///< one rank's share of a step, from a HostEngine loop body
+  Counter,    ///< instantaneous value sample
+};
+
+[[nodiscard]] const char* kind_name(Kind kind) noexcept;
+
+/// One recorded span or sample. `name` must point to static storage (every
+/// call site passes a string literal).
+struct TraceEvent {
+  const char* name = "";
+  Cost category = Cost::Other;
+  Kind kind = Kind::Region;
+  int rank = -1;            ///< simulated rank; -1 = coordinator-level
+  int lane = -1;            ///< host lane; -1 = coordinator-level
+  bool counted = false;     ///< outermost Primitive: owns its ledger charges
+  double host_ts_us = 0;    ///< host wall clock, µs since tracer epoch
+  double host_dur_us = 0;
+  double sim_ts_us = -1;    ///< simulated clock (ledger total), µs; <0 = pending
+  double sim_dur_us = 0;
+  double value = 0;         ///< Counter events only
+};
+
+/// Per-category totals over counted Primitive spans.
+struct BreakdownRow {
+  Cost category = Cost::Other;
+  double sim_us = 0;
+  double host_us = 0;
+  std::uint64_t spans = 0;
+};
+
+/// Process-global event collector. Present in every build (empty when the
+/// hooks are compiled out) so exporters compile unconditionally. Appends are
+/// thread-safe; clear() is coordinator-only and must not race open spans.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Drops every recorded event and restarts the host-clock epoch.
+  void clear();
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Snapshot of the recorded events (copy; safe to inspect while tracing).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Per-category totals over counted Primitive spans, in category order.
+  [[nodiscard]] std::vector<BreakdownRow> breakdown() const;
+
+  /// Fig. 5-style per-category table: spans, traced simulated time, ledger
+  /// simulated time, host time. The "(untraced)" row absorbs ledger charges
+  /// made outside any counted span, so the simulated column always sums to
+  /// `ledger`'s total.
+  [[nodiscard]] std::string breakdown_table(const CostLedger& ledger) const;
+
+  /// Chrome trace-event JSON (Perfetto-loadable); see the file comment for
+  /// the process/track layout.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  // --- hook plumbing (used by Span / RankSpan / counter) ---
+  [[nodiscard]] double host_now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  /// Index the next event will land at; spans take it at open so close can
+  /// back-fill the RankTask events recorded inside them.
+  [[nodiscard]] std::size_t open_index() const;
+  void record(const TraceEvent& event);
+  /// Back-fills pending RankTask sim intervals in [first_child, end) with
+  /// the span's interval, then appends the span's own event.
+  void record_span_end(const TraceEvent& event, std::size_t first_child);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The process-global tracer every hook records into.
+[[nodiscard]] Tracer& tracer();
+
+#if defined(MCM_TRACE_ENABLED)
+
+inline constexpr bool kCompiledIn = true;
+
+/// Current global mode. First call reads MCM_TRACE_MODE (default: off).
+[[nodiscard]] TraceMode mode() noexcept;
+void set_mode(TraceMode mode) noexcept;
+[[nodiscard]] inline bool enabled() noexcept {
+  return mode() == TraceMode::On;
+}
+
+/// Coordinator-level span over both clocks. Opens on construction (or
+/// open(), for spans that cannot be lexically scoped, e.g. RMA epochs) and
+/// records on destruction/close(). Must open and close on the same thread,
+/// outside HostEngine loop bodies.
+class Span {
+ public:
+  Span() noexcept = default;
+  Span(SimContext& ctx, const char* name, Cost category, Kind kind) {
+    if (enabled()) begin(ctx, name, category, kind);
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void open(SimContext& ctx, const char* name, Cost category, Kind kind) {
+    if (!active_ && enabled()) begin(ctx, name, category, kind);
+  }
+  void close() {
+    if (active_) end();
+  }
+
+ private:
+  void begin(SimContext& ctx, const char* name, Cost category, Kind kind);
+  void end();
+
+  SimContext* ctx_ = nullptr;
+  const char* name_ = "";
+  Cost category_ = Cost::Other;
+  Kind kind_ = Kind::Region;
+  bool active_ = false;
+  bool counted_ = false;
+  double host_begin_ = 0;
+  double sim_begin_ = 0;
+  std::size_t first_child_ = 0;
+};
+
+/// One rank task inside a HostEngine loop body: host time is measured on the
+/// executing lane; the simulated interval is back-filled by the innermost
+/// enclosing coordinator Span when it closes.
+class RankSpan {
+ public:
+  RankSpan(const char* name, Cost category, int rank, int lane) noexcept
+      : name_(name), category_(category), rank_(rank), lane_(lane) {
+    if (enabled()) {
+      host_begin_ = tracer().host_now_us();
+      active_ = true;
+    }
+  }
+  ~RankSpan() {
+    if (active_) end();
+  }
+  RankSpan(const RankSpan&) = delete;
+  RankSpan& operator=(const RankSpan&) = delete;
+
+ private:
+  void end();
+
+  const char* name_;
+  Cost category_;
+  int rank_;
+  int lane_;
+  double host_begin_ = 0;
+  bool active_ = false;
+};
+
+void counter_impl(SimContext& ctx, const char* name, double value);
+
+/// Samples `value` on the simulated clock (e.g. the frontier size each BFS
+/// iteration). `name` must be a string literal.
+inline void counter(SimContext& ctx, const char* name, double value) {
+  if (enabled()) counter_impl(ctx, name, value);
+}
+
+#else  // !MCM_TRACE_ENABLED — every hook is a constexpr no-op.
+
+inline constexpr bool kCompiledIn = false;
+
+[[nodiscard]] constexpr TraceMode mode() noexcept { return TraceMode::Off; }
+constexpr void set_mode(TraceMode) noexcept {}
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+
+class Span {
+ public:
+  constexpr Span() noexcept = default;
+  constexpr Span(SimContext&, const char*, Cost, Kind) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  constexpr void open(SimContext&, const char*, Cost, Kind) noexcept {}
+  constexpr void close() noexcept {}
+};
+
+class RankSpan {
+ public:
+  constexpr RankSpan(const char*, Cost, int, int) noexcept {}
+  RankSpan(const RankSpan&) = delete;
+  RankSpan& operator=(const RankSpan&) = delete;
+};
+
+constexpr void counter(SimContext&, const char*, double) noexcept {}
+
+#endif  // MCM_TRACE_ENABLED
+
+}  // namespace trace
+}  // namespace mcm

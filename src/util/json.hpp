@@ -1,0 +1,134 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON builder shared by the bench artifacts (BENCH_*.json) and the
+/// mcmtrace Chrome-trace exporter. Flat append-only API; the caller is
+/// responsible for balanced begin/end calls. The output is guaranteed to be
+/// valid JSON at the value level: strings are escaped per RFC 8259
+/// (quote, backslash, and every control character below 0x20) and non-finite
+/// doubles — which JSON cannot represent — are emitted as null rather than
+/// the bare `nan`/`inf` tokens printf produces.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mcm {
+
+class JsonBuilder {
+ public:
+  JsonBuilder() { out_.reserve(4096); }
+
+  JsonBuilder& begin_object(const char* key = nullptr) { return open(key, '{'); }
+  JsonBuilder& end_object() { return close('}'); }
+  JsonBuilder& begin_array(const char* key = nullptr) { return open(key, '['); }
+  JsonBuilder& end_array() { return close(']'); }
+
+  JsonBuilder& field(const char* key, const std::string& value) {
+    prefix(key);
+    append_escaped(value);
+    return *this;
+  }
+  JsonBuilder& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonBuilder& field(const char* key, double value) {
+    prefix(key);
+    if (!std::isfinite(value)) {
+      out_ += "null";  // JSON has no NaN/Infinity literals
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonBuilder& field(const char* key, std::int64_t value) {
+    prefix(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonBuilder& field(const char* key, std::uint64_t value) {
+    prefix(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonBuilder& field(const char* key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonBuilder& field(const char* key, bool value) {
+    prefix(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+  /// An explicit JSON null (e.g. "no data for this cell").
+  JsonBuilder& null_field(const char* key) {
+    prefix(key);
+    out_ += "null";
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  JsonBuilder& open(const char* key, char bracket) {
+    prefix(key);
+    out_ += bracket;
+    comma_ = false;
+    return *this;
+  }
+  JsonBuilder& close(char bracket) {
+    out_ += bracket;
+    comma_ = true;
+    return *this;
+  }
+  void prefix(const char* key) {
+    if (comma_) out_ += ',';
+    comma_ = true;
+    if (key != nullptr) {
+      out_ += '"';
+      out_ += key;
+      out_ += "\":";
+    }
+  }
+  void append_escaped(const std::string& value) {
+    out_ += '"';
+    for (const char c : value) {
+      const auto u = static_cast<unsigned char>(c);
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        default:
+          if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", u);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool comma_ = false;
+};
+
+inline void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace mcm

@@ -95,6 +95,28 @@ TEST(ThreadPool, PropagatesExceptionAndStaysUsable) {
   }
 }
 
+// Regression: a body that throws early in a huge range must not make the
+// surviving threads spin through the remaining indices one fetch_add at a
+// time — the error path fast-forwards the cursor in one CAS. Before that fix
+// this test took minutes (2^31 increments on one core); with it, the call
+// returns in milliseconds with the first exception rethrown.
+TEST(ThreadPool, ThrowOnHugeRangeReturnsPromptly) {
+  ThreadPool pool(4);
+  const std::int64_t huge = std::int64_t{1} << 31;
+  EXPECT_THROW(pool.for_each(0, huge,
+                             [](std::int64_t i, int) {
+                               if (i == 0) throw std::runtime_error("early");
+                             }),
+               std::runtime_error);
+  // The pool's accounting must be intact: the next job runs every index
+  // exactly once.
+  std::vector<int> counts(64, 0);
+  pool.for_each(0, 64, [&](std::int64_t i, int) {
+    ++counts[static_cast<std::size_t>(i)];
+  });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
 TEST(ThreadPool, NestedCallsRunInlineOnTheSameLane) {
   ThreadPool pool(4);
   std::vector<int> counts(8 * 8, 0);

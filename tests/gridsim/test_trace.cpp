@@ -1,0 +1,313 @@
+#include "gridsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/driver.hpp"
+#include "dist/gather.hpp"
+#include "dist/rma.hpp"
+#include "gen/rmat.hpp"
+#include "gridsim/context.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::JsonValidator;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+/// Every test runs with tracing on and a fresh event buffer, and leaves the
+/// global mode off so the other suites in this binary are unaffected.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::kCompiledIn) {
+      GTEST_SKIP() << "mcmtrace compiled out (MCM_TRACE=OFF)";
+    }
+    trace::set_mode(TraceMode::On);
+    trace::tracer().clear();
+  }
+  void TearDown() override {
+    trace::set_mode(TraceMode::Off);
+    trace::tracer().clear();
+  }
+};
+
+TEST(TraceMode, ParsesNamesAndRejectsGarbage) {
+  EXPECT_EQ(trace::mode_from_string("off"), TraceMode::Off);
+  EXPECT_EQ(trace::mode_from_string("on"), TraceMode::On);
+  EXPECT_EQ(trace::mode_from_string("true"), TraceMode::On);
+  EXPECT_EQ(trace::mode_from_string("1"), TraceMode::On);
+  EXPECT_THROW((void)trace::mode_from_string("loud"), std::invalid_argument);
+  EXPECT_STREQ(trace::mode_name(TraceMode::Off), "off");
+  EXPECT_STREQ(trace::mode_name(TraceMode::On), "on");
+}
+
+TEST_F(TraceTest, SpanRecordsBothClocks) {
+  SimContext ctx = make_ctx(4);
+  {
+    trace::Span span(ctx, "WORK", Cost::SpMV, trace::Kind::Primitive);
+    ctx.ledger().charge_time(Cost::SpMV, 5.0);
+  }
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  const trace::TraceEvent& e = events[0];
+  EXPECT_STREQ(e.name, "WORK");
+  EXPECT_EQ(e.kind, trace::Kind::Primitive);
+  EXPECT_TRUE(e.counted);
+  EXPECT_GE(e.sim_ts_us, 0.0);
+  EXPECT_NEAR(e.sim_dur_us, 5.0, 1e-9);  // simulated clock: exact charge
+  EXPECT_GE(e.host_dur_us, 0.0);         // host clock: whatever wall time took
+}
+
+TEST_F(TraceTest, OnlyOutermostPrimitiveIsCounted) {
+  SimContext ctx = make_ctx(4);
+  {
+    trace::Span outer(ctx, "OUTER", Cost::Augment, trace::Kind::Primitive);
+    ctx.ledger().charge_time(Cost::Augment, 2.0);
+    {
+      trace::Span inner(ctx, "INNER", Cost::Invert, trace::Kind::Primitive);
+      ctx.ledger().charge_time(Cost::Augment, 3.0);
+    }
+  }
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 2u);  // inner closes (and records) first
+  EXPECT_STREQ(events[0].name, "INNER");
+  EXPECT_FALSE(events[0].counted);
+  EXPECT_STREQ(events[1].name, "OUTER");
+  EXPECT_TRUE(events[1].counted);
+  // The breakdown must attribute the full 5 us once, to the outer span.
+  for (const trace::BreakdownRow& row : trace::tracer().breakdown()) {
+    if (row.category == Cost::Augment) {
+      EXPECT_EQ(row.spans, 1u);
+      EXPECT_NEAR(row.sim_us, 5.0, 1e-9);
+    } else {
+      EXPECT_EQ(row.spans, 0u);
+      EXPECT_NEAR(row.sim_us, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(TraceTest, RankTaskSimIntervalBackfilledByEnclosingSpan) {
+  SimContext ctx = make_ctx(4);
+  {
+    trace::Span span(ctx, "PRIM", Cost::Prune, trace::Kind::Primitive);
+    ctx.ledger().charge_time(Cost::Prune, 1.5);
+    { trace::RankSpan task("PRIM.body", Cost::Prune, /*rank=*/2, /*lane=*/0); }
+    ctx.ledger().charge_time(Cost::Prune, 2.5);
+  }
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 2u);
+  const trace::TraceEvent& task = events[0];
+  ASSERT_EQ(task.kind, trace::Kind::RankTask);
+  EXPECT_STREQ(task.name, "PRIM.body");
+  EXPECT_EQ(task.rank, 2);
+  EXPECT_EQ(task.lane, 0);
+  // The lane cannot know simulated time; the closing span back-fills its own
+  // interval so the task renders on the simulated tracks too.
+  EXPECT_GE(task.sim_ts_us, 0.0);
+  EXPECT_NEAR(task.sim_dur_us, 4.0, 1e-9);
+  EXPECT_NEAR(task.sim_ts_us, events[1].sim_ts_us, 1e-9);
+}
+
+TEST_F(TraceTest, RmaEpochProducesPhaseSpan) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 16, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch(Cost::Augment);
+  win.put(1, 3, 7);
+  win.flush(Cost::Augment);
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "RMA.epoch");
+  EXPECT_EQ(events[0].kind, trace::Kind::Phase);
+  EXPECT_EQ(events[0].category, Cost::Augment);
+  // flush() charges inside the epoch span, so the span has simulated width.
+  EXPECT_GT(events[0].sim_dur_us, 0.0);
+}
+
+// The gather/scatter strawman (Fig. 9) lives outside the default pipeline,
+// so its primitives get a direct check: both record counted spans in the
+// GatherScatter category.
+TEST_F(TraceTest, GatherScatterPrimitivesRecorded) {
+  SimContext ctx = make_ctx(4);
+  CooMatrix coo(8, 8);
+  for (Index i = 0; i < 8; ++i) coo.add_edge(i, (i + 1) % 8);
+  const DistMatrix a = DistMatrix::distribute(ctx, coo);
+  (void)gather_matrix_to_root(ctx, a);
+  const std::vector<Index> mates(8, kNull);
+  (void)scatter_mates_from_root(ctx, mates, mates);
+  std::set<std::string> names;
+  for (const trace::TraceEvent& e : trace::tracer().events()) {
+    if (e.kind == trace::Kind::Primitive) {
+      EXPECT_EQ(e.category, Cost::GatherScatter) << e.name;
+      EXPECT_TRUE(e.counted) << e.name;
+      EXPECT_GT(e.sim_dur_us, 0.0) << e.name;
+      names.insert(e.name);
+    }
+  }
+  EXPECT_EQ(names.count("GATHER"), 1u);
+  EXPECT_EQ(names.count("SCATTER"), 1u);
+}
+
+TEST_F(TraceTest, CounterSamplesSimulatedClock) {
+  SimContext ctx = make_ctx(4);
+  ctx.ledger().charge_time(Cost::Other, 9.0);
+  trace::counter(ctx, "frontier_nnz", 123.0);
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, trace::Kind::Counter);
+  EXPECT_NEAR(events[0].value, 123.0, 0.0);
+  EXPECT_NEAR(events[0].sim_ts_us, 9.0, 1e-9);
+}
+
+TEST_F(TraceTest, ModeOffRecordsNothing) {
+  trace::set_mode(TraceMode::Off);
+  SimContext ctx = make_ctx(4);
+  {
+    trace::Span span(ctx, "WORK", Cost::SpMV, trace::Kind::Primitive);
+    trace::RankSpan task("WORK.body", Cost::SpMV, 0, 0);
+    trace::counter(ctx, "n", 1.0);
+    ctx.ledger().charge_time(Cost::SpMV, 5.0);
+  }
+  EXPECT_EQ(trace::tracer().event_count(), 0u);
+  // The ledger is unaffected by the trace mode.
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::SpMV), 5.0, 1e-9);
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndRestartsEpoch) {
+  SimContext ctx = make_ctx(4);
+  { trace::Span span(ctx, "A", Cost::Other, trace::Kind::Region); }
+  ASSERT_EQ(trace::tracer().event_count(), 1u);
+  trace::tracer().clear();
+  EXPECT_EQ(trace::tracer().event_count(), 0u);
+  { trace::Span span(ctx, "B", Cost::Other, trace::Kind::Region); }
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  // Fresh epoch: the new span's host timestamp restarts near zero rather
+  // than continuing the old epoch.
+  EXPECT_LT(events[0].host_ts_us, 1e6);
+}
+
+// End-to-end: a small pipeline run must produce a well-formed two-clock
+// trace covering the paper's primitives, and the breakdown must reconcile
+// with the cost ledger (the Fig. 5 acceptance criterion).
+class TracePipelineTest : public TraceTest {
+ protected:
+  void run() {
+    Rng rng(7);
+    RmatParams params = RmatParams::g500(6);
+    params.edge_factor = 8.0;
+    const CooMatrix coo = rmat(params, rng);
+    SimConfig config = SimConfig::auto_config(16, 4);
+    PipelineOptions options;
+    result_ = run_pipeline(config, coo, options);
+  }
+  PipelineResult result_;
+};
+
+TEST_F(TracePipelineTest, PipelineEmitsPrimitiveSpansOnBothClocks) {
+  run();
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  ASSERT_GT(events.size(), 0u);
+  std::set<std::string> names;
+  for (const trace::TraceEvent& e : events) names.insert(e.name);
+  // The distributed primitives of the paper's algorithm, plus the phase
+  // machinery around them.
+  for (const char* required :
+       {"SPMV", "FOLD", "INVERT", "SELECT", "PRUNE", "MCM-DIST",
+        "MCM-DIST.bfs-iteration", "frontier_nnz", "INIT", "MCM"}) {
+    EXPECT_TRUE(names.count(required) == 1) << "missing span " << required;
+  }
+  // Every span event carries both clocks.
+  for (const trace::TraceEvent& e : events) {
+    if (e.kind == trace::Kind::Counter) continue;
+    EXPECT_GE(e.sim_ts_us, 0.0) << e.name;
+    EXPECT_GE(e.sim_dur_us, 0.0) << e.name;
+    EXPECT_GE(e.host_dur_us, 0.0) << e.name;
+  }
+}
+
+TEST_F(TracePipelineTest, BreakdownReconcilesWithLedger) {
+  run();
+  const CostLedger& ledger = result_.ledger;
+  double traced = 0;
+  for (const trace::BreakdownRow& row : trace::tracer().breakdown()) {
+    // A counted span's charges all land in its own category here, so the
+    // traced time can never exceed what the ledger recorded for it.
+    EXPECT_LE(row.sim_us, ledger.time_us(row.category) + 1e-6)
+        << cost_name(row.category);
+    traced += row.sim_us;
+  }
+  EXPECT_LE(traced, ledger.total_us() + 1e-6);
+  // Every charge in the pipeline is made under some counted primitive span,
+  // so the traced total matches the ledger total and the "(untraced)"
+  // residual row is zero.
+  EXPECT_NEAR(traced, ledger.total_us(), 1e-6);
+  const std::string table = trace::tracer().breakdown_table(ledger);
+  EXPECT_NE(table.find("(untraced)"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+TEST_F(TracePipelineTest, ChromeTraceExportIsValidJson) {
+  run();
+  const std::string json = trace::tracer().chrome_trace_json();
+  EXPECT_TRUE(JsonValidator::valid(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"simulated\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"host\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // track names
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counters
+}
+
+TEST_F(TracePipelineTest, CoordinatorSpansNestOrAreDisjoint) {
+  run();
+  // Coordinator-level spans open and close on one thread, so on the host
+  // clock any two either nest or do not overlap; partial overlap would make
+  // the Perfetto tracks unreadable and indicates broken begin/end pairing.
+  // RMA epochs are the one exception: several windows hold epochs open at
+  // once and flush in arbitrary order, so their spans legitimately
+  // interleave.
+  std::vector<trace::TraceEvent> spans;
+  for (const trace::TraceEvent& e : trace::tracer().events()) {
+    if (e.kind != trace::Kind::Counter && e.kind != trace::Kind::RankTask &&
+        std::string(e.name) != "RMA.epoch") {
+      spans.push_back(e);
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+              if (a.host_ts_us != b.host_ts_us) {
+                return a.host_ts_us < b.host_ts_us;
+              }
+              return a.host_dur_us > b.host_dur_us;
+            });
+  std::vector<double> open_ends;  // stack of enclosing span end times
+  const double eps = 1e-3;        // clock quantisation slack, microseconds
+  for (const trace::TraceEvent& e : spans) {
+    const double begin = e.host_ts_us;
+    const double end = e.host_ts_us + e.host_dur_us;
+    while (!open_ends.empty() && open_ends.back() <= begin + eps) {
+      open_ends.pop_back();
+    }
+    if (!open_ends.empty()) {
+      EXPECT_LE(end, open_ends.back() + eps)
+          << e.name << " partially overlaps an enclosing span";
+    }
+    open_ends.push_back(end);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -6,6 +6,9 @@
 /// dense/sparse, high-diameter meshes, skewed RMAT, planted perfect
 /// matchings, and degenerate shapes (empty graph, isolated vertices).
 
+#include <cctype>
+#include <cstddef>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -74,5 +77,130 @@ inline std::vector<NamedGraph> medium_corpus(std::uint64_t seed = 43) {
   graphs.push_back({"tall_500x120", tall_rectangular(500, 120, 6.0, 0.1, rng)});
   return graphs;
 }
+
+/// Minimal recursive-descent JSON validator for the builder / trace-exporter
+/// tests. Checks RFC 8259 structure only (no number-range or UTF-8 pedantry):
+/// balanced containers, comma/colon placement, string escapes, and the
+/// null/true/false/number terminals. Returns false instead of throwing so
+/// EXPECT_TRUE gives a usable failure line.
+class JsonValidator {
+ public:
+  static bool valid(const std::string& text) {
+    JsonValidator v(text);
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == '}') { ++pos_; return true; }
+      if (peek() != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ']') { ++pos_; return true; }
+      if (peek() != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const auto c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control char: must be escaped
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0)
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    (void)std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace mcm::testing

@@ -1,0 +1,110 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "../test_helpers.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::JsonValidator;
+
+TEST(JsonBuilder, EmitsValidNestedStructure) {
+  JsonBuilder json;
+  json.begin_object()
+      .field("name", "bench")
+      .field("count", 3)
+      .begin_array("points");
+  for (int i = 0; i < 3; ++i) {
+    json.begin_object().field("i", i).field("x", 0.5 * i).end_object();
+  }
+  json.end_array().end_object();
+  EXPECT_TRUE(JsonValidator::valid(json.str())) << json.str();
+  EXPECT_NE(json.str().find("\"points\":["), std::string::npos);
+}
+
+// JSON has no NaN/Infinity literals; printf-style %g would emit bare `nan`
+// or `inf` tokens and corrupt the document. The builder must map every
+// non-finite double to null.
+TEST(JsonBuilder, NonFiniteDoublesBecomeNull) {
+  JsonBuilder json;
+  json.begin_object()
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("fine", 1.25)
+      .end_object();
+  EXPECT_EQ(json.str(),
+            "{\"nan\":null,\"inf\":null,\"ninf\":null,\"fine\":1.25}");
+  EXPECT_TRUE(JsonValidator::valid(json.str()));
+}
+
+TEST(JsonBuilder, ExplicitNullField) {
+  JsonBuilder json;
+  json.begin_object().null_field("missing").field("present", true).end_object();
+  EXPECT_EQ(json.str(), "{\"missing\":null,\"present\":true}");
+  EXPECT_TRUE(JsonValidator::valid(json.str()));
+}
+
+TEST(JsonBuilder, EscapesQuotesBackslashesAndControlChars) {
+  JsonBuilder json;
+  json.begin_object()
+      .field("quote", "a\"b")
+      .field("backslash", "a\\b")
+      .field("newline", "a\nb")
+      .field("tab", "a\tb")
+      .field("cr", "a\rb")
+      .field("bell", std::string("a\x07") + "b")
+      .end_object();
+  const std::string& out = json.str();
+  EXPECT_NE(out.find("a\\\"b"), std::string::npos);
+  EXPECT_NE(out.find("a\\\\b"), std::string::npos);
+  EXPECT_NE(out.find("a\\nb"), std::string::npos);
+  EXPECT_NE(out.find("a\\tb"), std::string::npos);
+  EXPECT_NE(out.find("a\\rb"), std::string::npos);
+  EXPECT_NE(out.find("a\\u0007b"), std::string::npos);
+  // No raw control character may survive into the document.
+  for (const char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_TRUE(JsonValidator::valid(out)) << out;
+}
+
+TEST(JsonBuilder, IntegerWidthsRoundTripExactly) {
+  JsonBuilder json;
+  json.begin_object()
+      .field("i64", std::int64_t{-9007199254740993})
+      .field("u64", std::uint64_t{18446744073709551615ull})
+      .end_object();
+  EXPECT_EQ(json.str(),
+            "{\"i64\":-9007199254740993,\"u64\":18446744073709551615}");
+  EXPECT_TRUE(JsonValidator::valid(json.str()));
+}
+
+TEST(JsonBuilder, TopLevelArrayAndEmptyContainers) {
+  JsonBuilder json;
+  json.begin_array().begin_object().end_object().begin_array().end_array()
+      .end_array();
+  EXPECT_EQ(json.str(), "[{},[]]");
+  EXPECT_TRUE(JsonValidator::valid(json.str()));
+}
+
+// Sanity-check the validator itself so passing tests above mean something.
+TEST(JsonValidatorSelfTest, RejectsMalformedDocuments) {
+  EXPECT_TRUE(JsonValidator::valid("{\"a\":[1,2.5e-3,null,true]}"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\":nan}"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\":inf}"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\":1,}"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\" 1}"));
+  EXPECT_FALSE(JsonValidator::valid("[1,2"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\":\"\n\"}"));  // raw control char
+  EXPECT_FALSE(JsonValidator::valid(""));
+  EXPECT_FALSE(JsonValidator::valid("{} trailing"));
+}
+
+}  // namespace
+}  // namespace mcm
