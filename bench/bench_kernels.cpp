@@ -3,8 +3,20 @@
 /// maximal matching initializers and the maximum matching solvers. These
 /// measure real wall-clock throughput on the host (unlike the fig*
 /// benches, which report simulated distributed time).
+///
+/// `bench_kernels --ablation [--quick] [--rmat-scale N] [--iters K]` runs
+/// the masked-vs-unmasked SpMV ablation instead (plain flags, bypassing
+/// google-benchmark's flag parser): spmv_dcsc with and without a visited
+/// bitmap on a dense frontier (all columns, 90% of rows visited — a late
+/// BFS iteration) and a sparse frontier (1/16 of columns, 10% visited — an
+/// early one). Emits BENCH_kernels.json for scripts/compare_bench.py.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "algebra/primitives.hpp"
 #include "algebra/semiring.hpp"
@@ -17,7 +29,11 @@
 #include "matching/pothen_fan.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/dcsc.hpp"
+#include "util/json.hpp"
+#include "util/options.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace mcm {
 namespace {
@@ -57,6 +73,35 @@ void BM_SpmvDcscHypersparse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpmvDcscHypersparse)->Arg(12)->Arg(14)->Arg(16);
+
+/// Packed row bitmap with bit i set iff keep(i); `fraction` is only the
+/// label the ablation reports.
+std::vector<std::uint64_t> visited_bitmap(Index n_rows,
+                                          bool (*keep)(Index)) {
+  std::vector<std::uint64_t> bits(static_cast<std::size_t>((n_rows + 63) / 64),
+                                  0);
+  for (Index i = 0; i < n_rows; ++i) {
+    if (keep(i)) {
+      bits[static_cast<std::size_t>(i) >> 6] |=
+          1ULL << (static_cast<std::uint64_t>(i) & 63);
+    }
+  }
+  return bits;
+}
+
+void BM_SpmvDcscMasked(benchmark::State& state) {
+  const CooMatrix coo = bench_graph(static_cast<int>(state.range(0)));
+  const DcscMatrix a = DcscMatrix::from_coo(coo);
+  const SpVec<Vertex> f = half_frontier(a.n_cols());
+  Spa<Vertex> spa(a.n_rows());
+  const std::vector<std::uint64_t> visited =
+      visited_bitmap(a.n_rows(), [](Index i) { return i % 10 != 0; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmv_dcsc(a, f, spa, Select2ndMinParent{},
+                                       nullptr, 0, nullptr, visited.data()));
+  }
+}
+BENCHMARK(BM_SpmvDcscMasked)->Arg(12)->Arg(14)->Arg(16);
 
 void BM_Invert(benchmark::State& state) {
   const Index n = state.range(0);
@@ -177,7 +222,137 @@ void BM_RmatGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RmatGeneration)->Arg(12)->Arg(16);
 
+/// One measured configuration of the masked-SpMV ablation.
+struct AblationPoint {
+  const char* frontier;  ///< "dense" | "sparse"
+  bool masked;
+  double visited_fraction;
+  double wall_ms = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t mask_hits = 0;
+};
+
+/// Runs `--ablation`: masked vs unmasked spmv_dcsc on a dense and a sparse
+/// frontier, best-of-3 samples of `iters` calls each, after one untimed
+/// warmup. Writes BENCH_kernels.json in the working directory.
+int run_spmv_ablation(const Options& options) {
+  const bool quick = options.get_bool("quick", false);
+  const int scale =
+      static_cast<int>(options.get_int("rmat-scale", quick ? 11 : 16));
+  const int iters = static_cast<int>(options.get_int("iters", quick ? 3 : 5));
+  const int host_cpus =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  const CooMatrix coo = bench_graph(scale);
+  const DcscMatrix a = DcscMatrix::from_coo(coo);
+  const Index n_rows = a.n_rows();
+  const Index n_cols = a.n_cols();
+  std::fprintf(stderr, "rmat scale %d: %lld x %lld, %lld nnz\n", scale,
+               static_cast<long long>(n_rows), static_cast<long long>(n_cols),
+               static_cast<long long>(coo.nnz()));
+
+  // Dense frontier (every column) against a 90%-visited bitmap models a
+  // late BFS iteration; sparse frontier (1/16 of columns) against 10%
+  // visited models an early one. Deterministic patterns so runs compare.
+  SpVec<Vertex> dense_f(n_cols);
+  for (Index j = 0; j < n_cols; ++j) dense_f.push_back(j, Vertex(j, j));
+  SpVec<Vertex> sparse_f(n_cols);
+  for (Index j = 0; j < n_cols; j += 16) sparse_f.push_back(j, Vertex(j, j));
+  const std::vector<std::uint64_t> mostly_visited =
+      visited_bitmap(n_rows, [](Index i) { return i % 10 != 0; });
+  const std::vector<std::uint64_t> barely_visited =
+      visited_bitmap(n_rows, [](Index i) { return i % 10 == 0; });
+
+  Spa<Vertex> spa(n_rows);
+  std::vector<Index> touched;
+  const Select2ndMinParent sr;
+  auto measure = [&](const SpVec<Vertex>& f, const std::uint64_t* visited,
+                     AblationPoint& point) {
+    auto run_once = [&](std::uint64_t* flops, std::uint64_t* hits) {
+      SpVec<Vertex> y = spmv_dcsc(a, f, spa, sr, flops, 0, &touched, visited,
+                                  visited != nullptr ? hits : nullptr);
+      benchmark::DoNotOptimize(y);
+    };
+    run_once(&point.flops, &point.mask_hits);  // warmup + counters
+    double best = 0;
+    for (int sample = 0; sample < 3; ++sample) {
+      Timer t;
+      for (int k = 0; k < iters; ++k) run_once(nullptr, nullptr);
+      const double ms = t.milliseconds() / iters;
+      if (sample == 0 || ms < best) best = ms;
+    }
+    point.wall_ms = best;
+  };
+
+  std::vector<AblationPoint> points = {
+      {"dense", false, 0.9},
+      {"dense", true, 0.9},
+      {"sparse", false, 0.1},
+      {"sparse", true, 0.1},
+  };
+  for (AblationPoint& point : points) {
+    const bool dense = std::strcmp(point.frontier, "dense") == 0;
+    measure(dense ? dense_f : sparse_f,
+            point.masked
+                ? (dense ? mostly_visited.data() : barely_visited.data())
+                : nullptr,
+            point);
+  }
+
+  Table table("Masked vs unmasked spmv_dcsc (scale " + std::to_string(scale)
+              + ", best of 3 x " + std::to_string(iters) + ")");
+  table.set_header({"frontier", "masked", "visited", "wall_ms", "flops",
+                    "mask_hits"});
+  for (const AblationPoint& point : points) {
+    table.add_row({point.frontier, point.masked ? "yes" : "no",
+                   Table::num(point.visited_fraction, 2),
+                   Table::num(point.wall_ms),
+                   Table::num(static_cast<std::int64_t>(point.flops)),
+                   Table::num(static_cast<std::int64_t>(point.mask_hits))});
+  }
+  table.print();
+
+  JsonBuilder json;
+  json.begin_object()
+      .field("bench", "kernels")
+      .field("host_cpus", host_cpus)
+      .field("rmat_scale", scale)
+      .field("nnz", static_cast<std::int64_t>(coo.nnz()))
+      .field("iters", iters);
+  json.begin_array("spmv_ablation");
+  for (const AblationPoint& point : points) {
+    json.begin_object()
+        .field("kernel", "spmv_dcsc")
+        .field("frontier", point.frontier)
+        .field("masked", point.masked)
+        .field("visited_fraction", point.visited_fraction)
+        .field("wall_ms", point.wall_ms)
+        .field("flops", point.flops)
+        .field("mask_hits", point.mask_hits)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const std::string out_path = "BENCH_kernels.json";
+  write_text_file(out_path, json.str());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace mcm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --ablation takes the plain-flag path: google-benchmark's parser owns
+  // argv otherwise and rejects flags it does not know.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablation") == 0) {
+      return mcm::run_spmv_ablation(mcm::Options::parse(argc, argv));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,6 +43,9 @@ int usage() {
                "usage: mcm_tool <match|sprank|dm|cover|stats> [A.mtx]\n"
                "       [--cores N] [--init greedy|ks|mindegree|none]\n"
                "       [--direction top-down|bottom-up|optimizing]\n"
+               "       [--mask on|off]  visited-masked SpMV via replicated\n"
+               "           frontier bitmaps (default on; off is the unmasked\n"
+               "           ablation baseline — the matching is identical)\n"
                "       [--host-threads T] [--out file]\n"
                "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
                "       [--check[=off|throw|abort]]  BSP-discipline sanitizer\n"
@@ -114,6 +117,8 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
   pipeline.initializer = parse_init(options.get("init", "mindegree"));
   pipeline.mcm.direction =
       parse_direction(options.get("direction", "top-down"));
+  pipeline.mcm.use_mask =
+      options.get_choice("mask", "on", {"on", "off"}) == "on";
   SimConfig config = SimConfig::auto_config(cores, 12);
   // Host threads speed up the wall clock only; simulated results and costs
   // are identical at any setting (also settable via MCM_HOST_THREADS).

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_host_engine.json artifacts and fail on regressions.
+"""Compare two BENCH_*.json artifacts and fail on regressions.
 
 Usage:
     compare_bench.py BASELINE.json NEW.json [--threshold 0.10]
@@ -8,12 +8,21 @@ Exit status:
     0   no comparable point regressed by more than the threshold
         (also: the files are not comparable — different rmat_scale or
         iters — which is reported as a warning, not a failure)
-    1   at least one comparable kernel timing regressed
-    2   bad usage / unreadable or malformed input
+    1   at least one comparable kernel timing regressed, or the NEW
+        artifact violates an intra-file invariant (see below)
+    2   bad usage / unreadable or malformed input, including two files
+        from different benchmarks (mismatched "bench" fields)
 
 What is compared:
     * thread_scaling points, keyed by (kernel, threads): wall_ms
     * single_thread_vs_legacy rows, keyed by kernel: engine_ms
+    * spmv_ablation points (BENCH_kernels.json), keyed by
+      (kernel, frontier, masked): wall_ms
+
+Intra-file invariant checked on the NEW artifact when it carries an
+spmv_ablation section: the masked dense-frontier point must be faster
+than its unmasked twin — that speedup is the whole point of the masked
+SpMV path, so losing it is a regression even against a stale baseline.
 
 Points that are oversubscribed (more host threads than host cpus) in
 EITHER file are skipped: wall time there measures scheduler churn, not
@@ -66,6 +75,36 @@ def legacy_points(doc):
     }
 
 
+def ablation_points(doc):
+    return {
+        (p["kernel"], p["frontier"], bool(p["masked"])): p
+        for p in doc.get("spmv_ablation", [])
+        if "kernel" in p and "frontier" in p and "masked" in p
+    }
+
+
+def check_masked_invariant(doc, label):
+    """Returns violation messages for the masked-faster-than-unmasked
+    invariant on dense-frontier ablation points (empty list = OK)."""
+    points = ablation_points(doc)
+    violations = []
+    for (kernel, frontier, masked), point in points.items():
+        if masked or frontier != "dense":
+            continue
+        twin = points.get((kernel, frontier, True))
+        if twin is None:
+            continue
+        unmasked_ms = point.get("wall_ms")
+        masked_ms = twin.get("wall_ms")
+        if not unmasked_ms or masked_ms is None:
+            continue
+        if masked_ms >= unmasked_ms:
+            violations.append(
+                f"{label}: {kernel} dense frontier: masked {masked_ms:.3f} ms "
+                f"is not faster than unmasked {unmasked_ms:.3f} ms")
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail when NEW.json regresses vs BASELINE.json")
@@ -77,6 +116,13 @@ def main():
 
     base = load(args.baseline)
     new = load(args.new)
+
+    if base.get("bench") != new.get("bench"):
+        print(f"compare_bench: different benchmarks "
+              f"({base.get('bench')} vs {new.get('bench')}); comparing them "
+              "is a harness bug, not a performance result",
+              file=sys.stderr)
+        return 2
 
     for key in ("rmat_scale", "iters"):
         if base.get(key) != new.get(key):
@@ -124,6 +170,27 @@ def main():
             regressions.append(
                 f"{kernel} engine (1 thread): {base_ms:.2f} ms -> "
                 f"{new_ms:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
+
+    base_ablation = ablation_points(base)
+    for key, new_point in ablation_points(new).items():
+        base_point = base_ablation.get(key)
+        if base_point is None:
+            continue
+        base_ms = base_point.get("wall_ms")
+        new_ms = new_point.get("wall_ms")
+        if not base_ms or new_ms is None:
+            continue
+        compared += 1
+        ratio = new_ms / base_ms
+        if ratio > 1.0 + args.threshold:
+            kernel, frontier, masked = key
+            regressions.append(
+                f"{kernel} ({frontier} frontier, "
+                f"{'masked' if masked else 'unmasked'}): "
+                f"{base_ms:.3f} ms -> {new_ms:.3f} ms "
+                f"({(ratio - 1.0) * 100:+.1f}%)")
+
+    regressions.extend(check_masked_invariant(new, args.new))
 
     print(f"compare_bench: {compared} point(s) compared, "
           f"{skipped} oversubscribed point(s) skipped, "

@@ -15,6 +15,13 @@
 /// Complexity (both): sum over frontier columns k of nnz(A(:, k)), as in
 /// Table I. The `flops` out-parameter reports that count so the simulated
 /// runtime can charge compute time for it.
+///
+/// Both kernels take an optional packed `visited` row bitmap (64 rows per
+/// word, bit i = row i already discovered): masked rows are skipped *before*
+/// the SPA insert, so they never enter the output and never count toward
+/// `flops` — the mask probe rides the cache line that holds the row index, so
+/// a masked edge is modeled as free (DESIGN.md §5.4). `mask_hits` counts the
+/// skipped edges; flops + hits equals the unmasked traversal count.
 
 #include <algorithm>
 #include <vector>
@@ -27,12 +34,21 @@
 
 namespace mcm {
 
+/// Tests bit `i` of a packed row bitmap (64 rows per word).
+[[nodiscard]] inline bool visited_bit(const std::uint64_t* bits, Index i) {
+  return ((bits[static_cast<std::size_t>(i) >> 6] >>
+           (static_cast<std::uint64_t>(i) & 63)) &
+          1U) != 0;
+}
+
 /// y = A (+).(x) over semiring SR: y_i = add over {multiply(j, x_j) : A(i,j)
 /// nonzero, x_j nonzero}. Output length = A.n_rows(). Entries are produced in
 /// increasing row order.
 template <typename T, typename SR>
 [[nodiscard]] SpVec<T> spmv(const CscMatrix& a, const SpVec<T>& x, const SR& sr,
-                            std::uint64_t* flops = nullptr) {
+                            std::uint64_t* flops = nullptr,
+                            const std::uint64_t* visited = nullptr,
+                            std::uint64_t* mask_hits = nullptr) {
   if (x.len() != a.n_cols()) {
     throw std::invalid_argument("spmv: vector length != matrix columns");
   }
@@ -48,10 +64,15 @@ template <typename T, typename SR>
   touched.reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(bound, static_cast<std::uint64_t>(a.n_rows()))));
   std::uint64_t work = 0;
+  std::uint64_t hits = 0;
   for (Index k = 0; k < x.nnz(); ++k) {
     const Index j = x.index_at(k);
     for (Index pos = a.col_begin(j); pos < a.col_end(j); ++pos) {
       const Index i = a.row_at(pos);
+      if (visited != nullptr && visited_bit(visited, i)) {
+        ++hits;
+        continue;
+      }
       if (spa.accumulate(i, sr.multiply(j, x.value_at(k)), sr)) {
         touched.push_back(i);
       }
@@ -59,6 +80,7 @@ template <typename T, typename SR>
     }
   }
   if (flops != nullptr) *flops += work;
+  if (mask_hits != nullptr) *mask_hits += hits;
   std::sort(touched.begin(), touched.end());
   SpVec<T> y(a.n_rows());
   y.reserve(touched.size());
@@ -80,7 +102,9 @@ template <typename T, typename SR>
                                  Spa<T>& spa, const SR& sr,
                                  std::uint64_t* flops = nullptr,
                                  Index col_offset = 0,
-                                 std::vector<Index>* touched_scratch = nullptr) {
+                                 std::vector<Index>* touched_scratch = nullptr,
+                                 const std::uint64_t* visited = nullptr,
+                                 std::uint64_t* mask_hits = nullptr) {
   if (x.len() != a.n_cols()) {
     throw std::invalid_argument("spmv_dcsc: vector length != block columns");
   }
@@ -110,6 +134,7 @@ template <typename T, typename SR>
   touched.reserve(static_cast<std::size_t>(
       std::min<std::uint64_t>(bound, static_cast<std::uint64_t>(a.n_rows()))));
   std::uint64_t work = 0;
+  std::uint64_t hits = 0;
   // Merge join of x's indices with the block's non-empty columns.
   Index k = 0;
   Index c = 0;
@@ -123,6 +148,10 @@ template <typename T, typename SR>
     } else {
       for (Index pos = a.cp_begin(c); pos < a.cp_end(c); ++pos) {
         const Index i = a.row_at(pos);
+        if (visited != nullptr && visited_bit(visited, i)) {
+          ++hits;
+          continue;
+        }
         if (spa.accumulate(i, sr.multiply(col_offset + xj, x.value_at(k)), sr)) {
           touched.push_back(i);
         }
@@ -133,6 +162,7 @@ template <typename T, typename SR>
     }
   }
   if (flops != nullptr) *flops += work;
+  if (mask_hits != nullptr) *mask_hits += hits;
   std::sort(touched.begin(), touched.end());
   SpVec<T> y(a.n_rows());
   y.reserve(touched.size());

@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "algebra/semiring.hpp"
+#include "dist/dist_bitmap.hpp"
 #include "dist/dist_bottomup.hpp"
 #include "dist/dist_primitives.hpp"
 #include "dist/dist_spmv.hpp"
@@ -30,12 +31,21 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
 
   if (stats != nullptr) stats->initial_cardinality = initial.cardinality();
 
+  // Replicated visited bitmaps for the masked top-down SpMV (§5.4). A pure
+  // bottom-up run never consults the mask (its scan skips visited rows by
+  // reading pi directly), so skip the replication charges entirely there.
+  const bool use_mask =
+      options.use_mask && options.direction != Direction::BottomUp;
+  VisitedBitmap visited;
+  if (use_mask) visited = VisitedBitmap(pi_r.layout());
+
   const trace::Span run_span(ctx, "MCM-DIST", Cost::Other,
                              trace::Kind::Region);
   for (;;) {  // a phase of the algorithm
     const trace::Span phase_span(ctx, "MCM-DIST.phase", Cost::Other,
                                  trace::Kind::Region);
     dist_fill(ctx, Cost::Other, pi_r, kNull);
+    if (use_mask) visited.clear();  // new phase: pi was reset, so is the mask
 
     // Initial column frontier: unmatched columns, parent = root = self.
     DistSpVec<Vertex> f_c = dist_from_dense<Vertex>(
@@ -63,23 +73,27 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
       }
       DistSpVec<Vertex> f_r =
           bottom_up ? dist_bottom_up_step(ctx, Cost::SpMV, a, f_c, pi_r)
-                    : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr);
+                    : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr,
+                                           use_mask ? &visited : nullptr);
       if (bottom_up && stats != nullptr) ++stats->bottom_up_iterations;
 
-      // Step 2: keep unvisited rows.
-      f_r = dist_select(ctx, Cost::Other, f_r, pi_r,
-                        [](Index parent) { return parent == kNull; });
+      // Steps 2-4 fused: one pass drops already-visited rows, records
+      // parents and splits path endpoints (unmatched) from tree growth
+      // (matched). A masked top-down SpMV cannot emit visited rows, and the
+      // primitive asserts exactly that (dropped == 0); the bottom-up scan
+      // skips them by construction too, but reads pi mid-scan rather than
+      // the replica, so only the masked path carries the expectation.
+      FrontierPartition<Vertex> part = dist_partition_frontier(
+          ctx, Cost::Other, f_r, pi_r, mate_r,
+          [](const Vertex& v) { return v.parent; },
+          /*expect_all_unvisited=*/use_mask && !bottom_up);
+      DistSpVec<Vertex> uf_r = std::move(part.unmatched);
+      f_r = std::move(part.matched);
 
-      // Step 3: record parents of newly visited rows.
-      dist_set_dense(ctx, Cost::Other, pi_r, f_r,
-                     [](const Vertex& v) { return v.parent; });
-
-      // Step 4: split unmatched (path endpoints) from matched rows.
-      DistSpVec<Vertex> uf_r = dist_select(
-          ctx, Cost::Other, f_r, mate_r,
-          [](Index mate) { return mate == kNull; });
-      f_r = dist_select(ctx, Cost::Other, f_r, mate_r,
-                        [](Index mate) { return mate != kNull; });
+      // Replicate this iteration's discoveries into the row-segment bitmaps
+      // (incremental allgather within each grid row, §5.4) so the next
+      // iteration's multiply can mask them.
+      if (use_mask) visited.update(ctx, Cost::Other, {&f_r, &uf_r});
 
       if (dist_nnz(ctx, Cost::Other, uf_r) > 0) {
         found_path = true;
@@ -91,19 +105,10 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
         dist_set_dense(ctx, Cost::Other, path_c, t_c,
                        [](Index endpoint) { return endpoint; });
 
-        // Step 6: prune trees that just yielded an augmenting path.
+        // Step 6: prune trees that just yielded an augmenting path. The
+        // roots are collected from uf_r inside the primitive.
         if (options.enable_prune) {
-          std::vector<std::vector<Index>> roots_by_rank(
-              static_cast<std::size_t>(ctx.processes()));
-          for (int r = 0; r < ctx.processes(); ++r) {
-            const SpVec<Vertex>& piece = uf_r.piece(r);
-            auto& roots = roots_by_rank[static_cast<std::size_t>(r)];
-            roots.reserve(static_cast<std::size_t>(piece.nnz()));
-            for (Index k = 0; k < piece.nnz(); ++k) {
-              roots.push_back(piece.value_at(k).root);
-            }
-          }
-          f_r = dist_prune(ctx, Cost::Prune, f_r, roots_by_rank,
+          f_r = dist_prune(ctx, Cost::Prune, f_r, uf_r,
                            [](const Vertex& v) { return v.root; });
         }
       }

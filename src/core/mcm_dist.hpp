@@ -39,6 +39,11 @@ struct McmDistOptions {
   AugmentMode augment = AugmentMode::Auto;
   Direction direction = Direction::TopDown;
   std::uint64_t seed = 1;             ///< priority seed for random semirings
+  /// Visited-masked top-down SpMV via replicated row-segment bitmaps
+  /// (DESIGN.md §5.4): already-discovered rows are skipped inside the local
+  /// multiply, shrinking the flops and fold charges. The matching is
+  /// bit-identical either way; off is the unmasked ablation baseline.
+  bool use_mask = true;
 };
 
 struct McmDistStats {

@@ -68,16 +68,9 @@ Matching mcm_graft_dist(SimContext& ctx, const DistMatrix& a,
             [](Index g, const Vertex&) { return g; });
         dist_set_dense(ctx, Cost::Other, path_c, t_c,
                        [](Index endpoint) { return endpoint; });
-        std::vector<std::vector<Index>> roots_by_rank(
-            static_cast<std::size_t>(ctx.processes()));
-        for (int r = 0; r < ctx.processes(); ++r) {
-          const SpVec<Vertex>& piece = uf_r.piece(r);
-          for (Index k = 0; k < piece.nnz(); ++k) {
-            roots_by_rank[static_cast<std::size_t>(r)].push_back(
-                piece.value_at(k).root);
-          }
-        }
-        f_r = dist_prune(ctx, Cost::Prune, f_r, roots_by_rank,
+        // Roots are collected from uf_r inside the primitive (per-rank
+        // ownership scopes instead of serial piece reads here).
+        f_r = dist_prune(ctx, Cost::Prune, f_r, uf_r,
                          [](const Vertex& v) { return v.root; });
       }
       dist_set_sparse(ctx, Cost::Other, f_r, mate_r,

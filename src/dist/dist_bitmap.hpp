@@ -1,0 +1,153 @@
+#pragma once
+/// \file dist_bitmap.hpp
+/// Replicated visited bitmaps for the masked top-down SpMV (DESIGN.md §5.4).
+/// Following Buluç & Madduri's distributed BFS, the visited set of the row
+/// space is kept as one packed bitmap per row *segment*, replicated across
+/// the ranks of that segment's grid row — every rank owning a block in grid
+/// row i holds the full bitmap of segment i, so the local multiply can skip
+/// already-discovered rows before the SPA insert.
+///
+/// Replication is *incremental*: after each BFS iteration only the newly
+/// discovered indices (this iteration's frontier) are broadcast within the
+/// grid row. The ledger charge follows what a real implementation would send
+/// — per segment, min(newly set bits, full packed bitmap words): one word
+/// per new index while the delta is sparse, capped by shipping the whole
+/// bitmap (n/64 words) once the delta is denser than that
+/// (SimContext::charge_bitmap_delta).
+///
+/// Conservation invariant (mcmcheck): every broadcast index must set a
+/// previously clear bit. The frontier pieces fed to update() are exactly the
+/// rows discovered this iteration, which the masked SpMV guarantees were
+/// unvisited — a stale or doubly-applied replica makes entries != new bits
+/// and trips the assert.
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "algebra/spmv.hpp"
+#include "dist/dist_vec.hpp"
+#include "gridsim/context.hpp"
+#include "gridsim/mcmcheck.hpp"
+#include "gridsim/trace.hpp"
+
+namespace mcm {
+
+class VisitedBitmap {
+ public:
+  VisitedBitmap() = default;
+
+  /// Builds cleared bitmaps shaped after a row-space (or column-space)
+  /// vector layout: one packed bitmap per segment, sized to that segment.
+  explicit VisitedBitmap(const VecLayout& layout) {
+    const int n_segments = static_cast<int>(layout.dist().within.size());
+    words_.resize(static_cast<std::size_t>(n_segments));
+    set_counts_.assign(static_cast<std::size_t>(n_segments), 0);
+    for (int s = 0; s < n_segments; ++s) {
+      const Index len = layout.dist().segments.size(s);
+      words_[static_cast<std::size_t>(s)].assign(
+          static_cast<std::size_t>((len + 63) / 64), 0);
+    }
+  }
+
+  [[nodiscard]] int segments() const { return static_cast<int>(words_.size()); }
+
+  /// Packed bit words of one segment's replica (for the local SpMV mask).
+  [[nodiscard]] const std::uint64_t* segment(int s) const {
+    return words_[static_cast<std::size_t>(s)].data();
+  }
+
+  [[nodiscard]] std::uint64_t set_bits(int s) const {
+    return set_counts_[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] bool test(int s, Index local) const {
+    return visited_bit(words_[static_cast<std::size_t>(s)].data(), local);
+  }
+
+  /// Zeroes all bits keeping the storage — call at the start of each BFS
+  /// phase, when pi is re-initialized to kNull.
+  void clear() {
+    for (auto& seg : words_) std::fill(seg.begin(), seg.end(), 0);
+    std::fill(set_counts_.begin(), set_counts_.end(), 0);
+  }
+
+  /// Merges this iteration's freshly discovered frontier pieces into every
+  /// segment's replica and charges the incremental broadcast. All vectors in
+  /// `fresh` must share the layout this bitmap was built from; their index
+  /// sets must be disjoint (the frontier partition guarantees it). One
+  /// for_ranks task per segment: the task reads the pieces of all parts of
+  /// its grid row — a sanctioned replication read, like SPMV.expand.
+  template <typename T>
+  void update(SimContext& ctx, Cost category,
+              std::initializer_list<const DistSpVec<T>*> fresh) {
+    const int n_segments = segments();
+    if (n_segments == 0 || fresh.size() == 0) return;
+    const trace::Span prim(ctx, "BITMAP.update", category,
+                           trace::Kind::Primitive);
+    const VecLayout& layout = (*fresh.begin())->layout();
+    HostEngine& host = ctx.host();
+    auto& new_bits =
+        host.shared().buffer<std::uint64_t>(scratch_tag("bitmap.new_bits"));
+    new_bits.assign(static_cast<std::size_t>(n_segments), 0);
+    auto& entries =
+        host.shared().buffer<std::uint64_t>(scratch_tag("bitmap.entries"));
+    entries.assign(static_cast<std::size_t>(n_segments), 0);
+    host.for_ranks(n_segments, [&](std::int64_t ss, int /*lane*/) {
+      const int s = static_cast<int>(ss);
+      [[maybe_unused]] const check::AccessWindow window("BITMAP.update");
+      auto& bits = words_[static_cast<std::size_t>(s)];
+      const auto& within = layout.dist().within[static_cast<std::size_t>(s)];
+      std::uint64_t seen = 0;
+      std::uint64_t newly = 0;
+      for (const DistSpVec<T>* vec : fresh) {
+        for (int part = 0; part < within.parts(); ++part) {
+          const SpVec<T>& piece = vec->piece(layout.rank_of(s, part));
+          const Index offset = within.offset(part);
+          for (Index k = 0; k < piece.nnz(); ++k) {
+            const Index i = offset + piece.index_at(k);
+            const std::size_t w = static_cast<std::size_t>(i) >> 6;
+            const std::uint64_t bit = 1ULL << (static_cast<std::uint64_t>(i) &
+                                               63);
+            ++seen;
+            if ((bits[w] & bit) == 0) {
+              bits[w] |= bit;
+              ++newly;
+            }
+          }
+        }
+      }
+      new_bits[static_cast<std::size_t>(s)] = newly;
+      entries[static_cast<std::size_t>(s)] = seen;
+    });
+    std::uint64_t total_entries = 0;
+    std::uint64_t total_new = 0;
+    std::uint64_t max_delta_words = 0;
+    for (int s = 0; s < n_segments; ++s) {
+      const auto idx = static_cast<std::size_t>(s);
+      total_entries += entries[idx];
+      total_new += new_bits[idx];
+      set_counts_[idx] += new_bits[idx];
+      max_delta_words = std::max(
+          max_delta_words,
+          std::min<std::uint64_t>(new_bits[idx], words_[idx].size()));
+    }
+    // Stale-replica detection: a frontier of genuinely new discoveries sets
+    // one clear bit per entry; anything less means a replica saw an index it
+    // already had.
+    check::verify_conservation("BITMAP", "replicated visited deltas",
+                               total_entries, total_new);
+    trace::counter(ctx, "bitmap_new_bits", static_cast<double>(total_new));
+    const int group = layout.dist().within.empty()
+                          ? 1
+                          : layout.dist().within[0].parts();
+    ctx.charge_bitmap_delta(category, group, n_segments, max_delta_words);
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> words_;  ///< per segment, packed
+  std::vector<std::uint64_t> set_counts_;          ///< bits set per segment
+};
+
+}  // namespace mcm

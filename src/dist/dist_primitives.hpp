@@ -62,10 +62,24 @@ template <typename T, typename U, typename Pred>
     [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
                                                   "SELECT");
     const trace::RankSpan task("SELECT", category, static_cast<int>(r), lane);
-    z.piece(static_cast<int>(r)) =
-        select(x.piece(static_cast<int>(r)), y.piece(static_cast<int>(r)), expr);
+    const SpVec<T>& piece = x.piece(static_cast<int>(r));
+    const auto& flags = y.piece(static_cast<int>(r));
+    // Stage surviving positions in per-lane scratch (capacity reused across
+    // BFS iterations), then size the output piece exactly — one exact-fit
+    // allocation instead of select()'s geometric push_back growth.
+    ScratchLane& scratch = host.scratch(lane);
+    auto& keep = scratch.buffer<Index>(scratch_tag("select.keep"));
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const Index i = piece.index_at(k);
+      if (expr(flags[static_cast<std::size_t>(i)])) keep.push_back(k);
+    }
+    SpVec<T>& out = z.piece(static_cast<int>(r));
+    out.reserve(keep.size());
+    for (const Index k : keep) {
+      out.push_back(piece.index_at(k), piece.value_at(k));
+    }
     ops[static_cast<std::size_t>(r)] =
-        static_cast<std::uint64_t>(x.piece(static_cast<int>(r)).nnz());
+        static_cast<std::uint64_t>(piece.nnz());
   });
   std::uint64_t max_ops = 0;
   for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
@@ -73,7 +87,10 @@ template <typename T, typename U, typename Pred>
   return z;
 }
 
-/// SET (scatter form) on aligned vectors: purely local.
+/// SET (scatter form) on aligned vectors: purely local. Allocation audit:
+/// set_dense() scatters into the existing dense piece in place, so this
+/// primitive allocates nothing per call — no scratch staging needed (unlike
+/// dist_select/dist_filter, whose sparse outputs are sized via scratch).
 template <typename T, typename U, typename ValueF>
 void dist_set_dense(SimContext& ctx, Cost category, DistDenseVec<U>& y,
                     const DistSpVec<T>& x, ValueF value_of) {
@@ -123,6 +140,125 @@ void dist_set_sparse(SimContext& ctx, Cost category, DistSpVec<T>& x,
   std::uint64_t max_ops = 0;
   for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
+}
+
+/// Result of the fused frontier partition (Algorithm 2 steps 2-4).
+template <typename T>
+struct FrontierPartition {
+  DistSpVec<T> matched;       ///< discoveries whose row vertex is matched
+  DistSpVec<T> unmatched;     ///< discoveries ending an augmenting path
+  std::uint64_t dropped = 0;  ///< entries into already-visited rows
+};
+
+/// Fused Algorithm 2 steps 2-4: one pass over each rank's piece of the
+/// discovered frontier `f` drops entries whose row is already visited
+/// (pi[i] != null), records parents (pi[i] <- parent_of(v)) for the rest and
+/// splits them by mate[i] into augmenting-path endpoints (`unmatched`) and
+/// tree growth (`matched`). Bit-identical to the unfused
+/// SELECT(pi == null) + SET.dense + 2x SELECT(mate) sequence — a piece's
+/// sparse indices are distinct, so the parent writes cannot alias the
+/// visited test — but charged as a single pass. (A sizing prepass reads the
+/// dense flags once more so both output pieces are exact-fit; like the SpMV
+/// bound prepass, it is pointer arithmetic on data already in cache and is
+/// not charged.)
+///
+/// Conservation (mcmcheck): in = matched + unmatched + dropped. With
+/// `expect_all_unvisited` (a masked SpMV upstream, DESIGN.md §5.4) dropped
+/// must additionally be zero — a nonzero count means the visited-bitmap
+/// replica upstream was stale.
+template <typename T, typename U, typename ParentF>
+[[nodiscard]] FrontierPartition<T> dist_partition_frontier(
+    SimContext& ctx, Cost category, const DistSpVec<T>& f,
+    DistDenseVec<Index>& pi, const DistDenseVec<U>& mate, ParentF parent_of,
+    bool expect_all_unvisited = false) {
+  if (f.layout().space() != pi.layout().space() || f.length() != pi.length() ||
+      f.layout().space() != mate.layout().space() ||
+      f.length() != mate.length()) {
+    throw std::invalid_argument("dist_partition_frontier: operands not aligned");
+  }
+  FrontierPartition<T> out{DistSpVec<T>(ctx, f.layout().space(), f.length()),
+                           DistSpVec<T>(ctx, f.layout().space(), f.length()),
+                           0};
+  HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "PARTITION", category, trace::Kind::Primitive);
+  const int p = ctx.processes();
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(p), 0);
+  auto& matched_n =
+      host.shared().buffer<std::uint64_t>(scratch_tag("partition.matched"));
+  matched_n.assign(static_cast<std::size_t>(p), 0);
+  auto& unmatched_n =
+      host.shared().buffer<std::uint64_t>(scratch_tag("partition.unmatched"));
+  unmatched_n.assign(static_cast<std::size_t>(p), 0);
+  auto& dropped_n =
+      host.shared().buffer<std::uint64_t>(scratch_tag("partition.dropped"));
+  dropped_n.assign(static_cast<std::size_t>(p), 0);
+  host.for_ranks(p, [&](std::int64_t rr, int lane) {
+    const int r = static_cast<int>(rr);
+    [[maybe_unused]] const check::RankScope scope(r, "PARTITION");
+    const trace::RankSpan task("PARTITION", category, r, lane);
+    const SpVec<T>& piece = f.piece(r);
+    auto& pi_piece = pi.piece(r);
+    const auto& mate_piece = mate.piece(r);
+    Index n_matched = 0;
+    Index n_unmatched = 0;
+    std::uint64_t drop = 0;
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const auto i = static_cast<std::size_t>(piece.index_at(k));
+      if (pi_piece[i] != kNull) {
+        ++drop;
+      } else if (mate_piece[i] == kNull) {
+        ++n_unmatched;
+      } else {
+        ++n_matched;
+      }
+    }
+    SpVec<T>& m = out.matched.piece(r);
+    SpVec<T>& u = out.unmatched.piece(r);
+    m.reserve(static_cast<std::size_t>(n_matched));
+    u.reserve(static_cast<std::size_t>(n_unmatched));
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      const Index i = piece.index_at(k);
+      const auto ii = static_cast<std::size_t>(i);
+      if (pi_piece[ii] != kNull) continue;
+      pi_piece[ii] = parent_of(piece.value_at(k));
+      if (mate_piece[ii] == kNull) {
+        u.push_back(i, piece.value_at(k));
+      } else {
+        m.push_back(i, piece.value_at(k));
+      }
+    }
+    ops[static_cast<std::size_t>(rr)] =
+        static_cast<std::uint64_t>(piece.nnz());
+    matched_n[static_cast<std::size_t>(rr)] =
+        static_cast<std::uint64_t>(n_matched);
+    unmatched_n[static_cast<std::size_t>(rr)] =
+        static_cast<std::uint64_t>(n_unmatched);
+    dropped_n[static_cast<std::size_t>(rr)] = drop;
+  });
+  std::uint64_t max_ops = 0;
+  std::uint64_t total_in = 0;
+  std::uint64_t total_out = 0;
+  std::uint64_t total_dropped = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    max_ops = std::max(max_ops, ops[idx]);
+    total_in += ops[idx];
+    total_out += matched_n[idx] + unmatched_n[idx];
+    total_dropped += dropped_n[idx];
+  }
+  out.dropped = total_dropped;
+  check::verify_conservation("PARTITION", "partitioned frontier entries",
+                             total_in, total_out + total_dropped);
+  if (expect_all_unvisited) {
+    check::verify_conservation("PARTITION",
+                               "visited entries past an up-to-date mask", 0,
+                               total_dropped);
+  }
+  trace::counter(ctx, "partition_dropped",
+                 static_cast<double>(total_dropped));
+  ctx.charge_elem_ops(category, max_ops);
+  return out;
 }
 
 /// Fills a dense distributed vector with a constant: local, charged per piece.
@@ -334,11 +470,16 @@ template <typename T, typename Pred>
                                                   "FILTER");
     const trace::RankSpan task("FILTER", category, static_cast<int>(r), lane);
     const SpVec<T>& piece = x.piece(static_cast<int>(r));
-    SpVec<T>& out = z.piece(static_cast<int>(r));
+    // Same scratch staging as dist_select: exact-fit output, no growth.
+    ScratchLane& scratch = host.scratch(lane);
+    auto& keep = scratch.buffer<Index>(scratch_tag("select.keep"));
     for (Index k = 0; k < piece.nnz(); ++k) {
-      if (pred(piece.value_at(k))) {
-        out.push_back(piece.index_at(k), piece.value_at(k));
-      }
+      if (pred(piece.value_at(k))) keep.push_back(k);
+    }
+    SpVec<T>& out = z.piece(static_cast<int>(r));
+    out.reserve(keep.size());
+    for (const Index k : keep) {
+      out.push_back(piece.index_at(k), piece.value_at(k));
     }
     ops[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(piece.nnz());
   });
@@ -414,33 +555,16 @@ template <typename Out, typename U, typename Pred, typename MakeF>
   return z;
 }
 
-/// PRUNE: `roots_by_rank[r]` is the root list rank r contributes (extracted
-/// from its piece of the unmatched frontier); the union is allgathered to
-/// every rank (ring cost alpha*p + beta*mu, as in the paper) and x is
-/// filtered locally.
-///
-/// Each rank deduplicates its contribution *before* the allgather — several
-/// entries of the same dead tree yield the same root, and shipping the
-/// duplicates would overstate the paper's beta*mu payload term. The charge
-/// covers the summed deduplicated contributions.
+namespace detail {
+
+/// Shared tail of the PRUNE overloads: allgathers the per-rank deduplicated
+/// root contributions (ring cost alpha*p + beta*mu over the summed payload),
+/// then filters x locally against the union.
 template <typename T, typename RootF>
-[[nodiscard]] DistSpVec<T> dist_prune(
+[[nodiscard]] DistSpVec<T> prune_gather_filter(
     SimContext& ctx, Cost category, const DistSpVec<T>& x,
-    const std::vector<std::vector<Index>>& roots_by_rank, RootF root_of) {
+    const std::vector<std::vector<Index>>& deduped, RootF root_of) {
   HostEngine& host = ctx.host();
-  const trace::Span prim(ctx, "PRUNE", category, trace::Kind::Primitive);
-  const int n_src = static_cast<int>(roots_by_rank.size());
-  auto& deduped = host.shared().get<std::vector<std::vector<Index>>>(
-      scratch_tag("prune.deduped"));
-  deduped.assign(static_cast<std::size_t>(n_src), {});
-  host.for_ranks(n_src, [&](std::int64_t r, int lane) {
-    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
-                                                  "PRUNE.dedup");
-    const trace::RankSpan task("PRUNE.dedup", category, static_cast<int>(r),
-                               lane);
-    deduped[static_cast<std::size_t>(r)] =
-        sorted_unique(roots_by_rank[static_cast<std::size_t>(r)]);
-  });
   std::uint64_t payload = 0;
   std::vector<Index> all_roots;
   for (const auto& part : deduped) {
@@ -475,6 +599,78 @@ template <typename T, typename RootF>
   for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
   ctx.charge_elem_ops(category, max_ops);
   return z;
+}
+
+}  // namespace detail
+
+/// PRUNE: `roots_by_rank[r]` is the root list rank r contributes (extracted
+/// from its piece of the unmatched frontier); the union is allgathered to
+/// every rank (ring cost alpha*p + beta*mu, as in the paper) and x is
+/// filtered locally.
+///
+/// Each rank deduplicates its contribution *before* the allgather — several
+/// entries of the same dead tree yield the same root, and shipping the
+/// duplicates would overstate the paper's beta*mu payload term. The charge
+/// covers the summed deduplicated contributions.
+template <typename T, typename RootF>
+[[nodiscard]] DistSpVec<T> dist_prune(
+    SimContext& ctx, Cost category, const DistSpVec<T>& x,
+    const std::vector<std::vector<Index>>& roots_by_rank, RootF root_of) {
+  HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "PRUNE", category, trace::Kind::Primitive);
+  const int n_src = static_cast<int>(roots_by_rank.size());
+  auto& deduped = host.shared().get<std::vector<std::vector<Index>>>(
+      scratch_tag("prune.deduped"));
+  deduped.assign(static_cast<std::size_t>(n_src), {});
+  host.for_ranks(n_src, [&](std::int64_t r, int lane) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r),
+                                                  "PRUNE.dedup");
+    const trace::RankSpan task("PRUNE.dedup", category, static_cast<int>(r),
+                               lane);
+    deduped[static_cast<std::size_t>(r)] =
+        sorted_unique(roots_by_rank[static_cast<std::size_t>(r)]);
+  });
+  return detail::prune_gather_filter(ctx, category, x, deduped, root_of);
+}
+
+/// PRUNE (endpoint-collecting form): derives each rank's root contribution
+/// directly from its piece of `endpoints` (the unmatched frontier whose
+/// values carry the dead trees' roots), collected and deduplicated inside
+/// the primitive under a proper per-rank ownership scope — drivers no longer
+/// read pieces serially to build the list. `root_of` extracts the root from
+/// a value, for the collection and the filter alike. The collect+dedup scan
+/// is charged as one elementwise pass over the endpoint pieces.
+template <typename T, typename RootF>
+[[nodiscard]] DistSpVec<T> dist_prune(SimContext& ctx, Cost category,
+                                      const DistSpVec<T>& x,
+                                      const DistSpVec<T>& endpoints,
+                                      RootF root_of) {
+  HostEngine& host = ctx.host();
+  const trace::Span prim(ctx, "PRUNE", category, trace::Kind::Primitive);
+  const int p = ctx.processes();
+  auto& deduped = host.shared().get<std::vector<std::vector<Index>>>(
+      scratch_tag("prune.deduped"));
+  deduped.assign(static_cast<std::size_t>(p), {});
+  auto& ops = host.shared().buffer<std::uint64_t>(scratch_tag("prim.ops"));
+  ops.assign(static_cast<std::size_t>(p), 0);
+  host.for_ranks(p, [&](std::int64_t rr, int lane) {
+    const int r = static_cast<int>(rr);
+    [[maybe_unused]] const check::RankScope scope(r, "PRUNE.collect");
+    const trace::RankSpan task("PRUNE.collect", category, r, lane);
+    const SpVec<T>& piece = endpoints.piece(r);
+    std::vector<Index> roots;
+    roots.reserve(static_cast<std::size_t>(piece.nnz()));
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      roots.push_back(root_of(piece.value_at(k)));
+    }
+    deduped[static_cast<std::size_t>(rr)] = sorted_unique(std::move(roots));
+    ops[static_cast<std::size_t>(rr)] =
+        static_cast<std::uint64_t>(piece.nnz());
+  });
+  std::uint64_t max_ops = 0;
+  for (const std::uint64_t o : ops) max_ops = std::max(max_ops, o);
+  ctx.charge_elem_ops(category, max_ops);
+  return detail::prune_gather_filter(ctx, category, x, deduped, root_of);
 }
 
 }  // namespace mcm

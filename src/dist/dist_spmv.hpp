@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "algebra/spmv.hpp"
+#include "dist/dist_bitmap.hpp"
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
 #include "gridsim/context.hpp"
@@ -180,11 +181,16 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
 
 /// Shared implementation: `along_cols` = true gives y_row = A (x) x_col
 /// (expand within grid columns, fold within grid rows); false gives
-/// y_col = A^T (x) x_row.
+/// y_col = A^T (x) x_row. `visited`, when given, is the replicated row-space
+/// bitmap (DESIGN.md §5.4): each block masks its output segment's replica
+/// inside the local multiply, so already-discovered rows are skipped before
+/// the SPA insert — they leave `max_flops` and never enter the partials the
+/// fold routes.
 template <typename T, typename SR>
 DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
                             const DistSpVec<T>& x, const SR& sr,
-                            bool along_cols) {
+                            bool along_cols,
+                            const VisitedBitmap* visited = nullptr) {
   const ProcGrid& grid = ctx.grid();
   const int pr = grid.pr();
   const int pc = grid.pc();
@@ -194,6 +200,11 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
   const Index out_len = along_cols ? a.n_rows() : a.n_cols();
   if (x.layout().space() != in_space || x.length() != in_len) {
     throw std::invalid_argument("dist_spmv: input vector not aligned with matrix");
+  }
+  if (visited != nullptr &&
+      (!along_cols || visited->segments() != pr)) {
+    throw std::invalid_argument(
+        "dist_spmv: visited mask must be a row-space bitmap (col->row only)");
   }
   const int n_segments = along_cols ? pc : pr;   // input segments
   const int group = along_cols ? pr : pc;        // ranks per input segment
@@ -270,6 +281,10 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
       host.shared().buffer<std::uint64_t>(scratch_tag("spmv.block_flops"));
   block_flops.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
                      0);
+  auto& block_hits =
+      host.shared().buffer<std::uint64_t>(scratch_tag("spmv.mask_hits"));
+  block_hits.assign(static_cast<std::size_t>(pr) * static_cast<std::size_t>(pc),
+                    0);
   host.for_ranks(static_cast<std::int64_t>(pr) * pc,
                  [&](std::int64_t t, int lane) {
     const int i = static_cast<int>(t) / pc;
@@ -289,18 +304,37 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
         blk.n_rows());
     auto& touched = scratch.buffer<Index>(scratch_tag("spmv.touched"));
     std::uint64_t flops = 0;
+    std::uint64_t hits = 0;
+    // Block (i, j)'s rows are exactly output segment `out_seg`, with block-
+    // local row ids equal to segment-local ids — the replica masks directly.
+    const std::uint64_t* mask =
+        visited != nullptr ? visited->segment(out_seg) : nullptr;
     // The semiring multiply must see *global* input-vertex ids (it stamps
     // them into frontier parents), so pass the segment's global offset.
     partials[static_cast<std::size_t>(out_seg)][static_cast<std::size_t>(member)] =
         spmv_dcsc(blk, segment[static_cast<std::size_t>(in_seg)], spa, sr,
-                  &flops, in_dist.offset(in_seg), &touched);
+                  &flops, in_dist.offset(in_seg), &touched, mask,
+                  mask != nullptr ? &hits : nullptr);
     block_flops[static_cast<std::size_t>(t)] = flops;
+    block_hits[static_cast<std::size_t>(t)] = hits;
   });
   std::uint64_t max_flops = 0;
   for (const std::uint64_t f : block_flops) {
     max_flops = std::max(max_flops, f);
   }
   ctx.charge_edge_ops(category, max_flops);
+  if (visited != nullptr) {
+    std::uint64_t total_flops = 0;
+    for (const std::uint64_t f : block_flops) total_flops += f;
+    std::uint64_t total_hits = 0;
+    for (const std::uint64_t h : block_hits) total_hits += h;
+    trace::counter(ctx, "mask_hits", static_cast<double>(total_hits));
+    if (total_flops + total_hits > 0) {
+      trace::counter(ctx, "mask_hit_rate",
+                     static_cast<double>(total_hits) /
+                         static_cast<double>(total_flops + total_hits));
+    }
+  }
   multiply_phase.close();
 
   // --- fold: route each partial entry to the owner piece of the output
@@ -311,13 +345,15 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
 }  // namespace detail
 
 /// y (row space) = A (x) x (column space): one BFS step from the column
-/// frontier to row vertices, Algorithm 2 step 1.
+/// frontier to row vertices, Algorithm 2 step 1. `visited`, when given,
+/// masks already-discovered rows inside the local multiply (§5.4) — the
+/// result equals the unmasked product restricted to unvisited rows.
 template <typename T, typename SR>
-[[nodiscard]] DistSpVec<T> dist_spmv_col_to_row(SimContext& ctx, Cost category,
-                                                const DistMatrix& a,
-                                                const DistSpVec<T>& x,
-                                                const SR& sr) {
-  return detail::dist_spmv_impl(ctx, category, a, x, sr, /*along_cols=*/true);
+[[nodiscard]] DistSpVec<T> dist_spmv_col_to_row(
+    SimContext& ctx, Cost category, const DistMatrix& a, const DistSpVec<T>& x,
+    const SR& sr, const VisitedBitmap* visited = nullptr) {
+  return detail::dist_spmv_impl(ctx, category, a, x, sr, /*along_cols=*/true,
+                                visited);
 }
 
 /// y (column space) = A^T (x) x (row space): reverse exploration, used by

@@ -107,6 +107,15 @@ void SimContext::charge_alltoallv(Cost category, int group_size, int n_groups,
                          * static_cast<std::uint64_t>(n_groups));
 }
 
+void SimContext::charge_bitmap_delta(Cost category, int group_size,
+                                     int n_groups,
+                                     std::uint64_t max_group_delta_words) {
+  // The delta broadcast is an allgather of the capped payload (the caller
+  // applies the min(new bits, packed words) rule per group); kept as its own
+  // entry point so the charging rule has one documented home.
+  charge_allgatherv(category, group_size, n_groups, max_group_delta_words);
+}
+
 void SimContext::charge_allreduce(Cost category, int group_size,
                                   std::uint64_t words) {
   if (group_size <= 1) return;

@@ -133,6 +133,13 @@ class SimContext {
   void charge_alltoallv(Cost category, int group_size, int n_groups,
                         std::uint64_t max_rank_words, int latency_rounds = 1);
   void charge_allreduce(Cost category, int group_size, std::uint64_t words = 1);
+  /// Incremental replication of a visited bitmap (DESIGN.md §5.4): each of
+  /// `n_groups` replication groups allgathers only this iteration's delta.
+  /// `max_group_delta_words` is the largest per-group payload under the
+  /// min(newly set bits, packed bitmap words) rule — one word per new index
+  /// while the delta is sparse, the whole packed bitmap once that is cheaper.
+  void charge_bitmap_delta(Cost category, int group_size, int n_groups,
+                           std::uint64_t max_group_delta_words);
   void charge_gatherv_root(Cost category, int processes, std::uint64_t total_words);
   void charge_scatterv_root(Cost category, int processes, std::uint64_t total_words);
   /// `ops` one-sided operations of `words_each`, issued concurrently by

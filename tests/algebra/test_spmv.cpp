@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "algebra/semiring.hpp"
 #include "gen/er.hpp"
 #include "matrix/dcsc.hpp"
@@ -129,6 +132,81 @@ TEST(SpmvDcsc, SpaReuseAcrossCalls) {
   const auto y2 = spmv_dcsc(d, x2, spa, Select2ndMinParent{});
   ASSERT_EQ(y2.nnz(), 1);
   EXPECT_EQ(y2.index_at(0), 1);  // no leakage from the first call
+}
+
+/// Packs `visited(i)` into the bitmap format visited_bit reads.
+std::vector<std::uint64_t> pack_bitmap(Index n, bool (*visited)(Index)) {
+  std::vector<std::uint64_t> bits(static_cast<std::size_t>((n + 63) / 64), 0);
+  for (Index i = 0; i < n; ++i) {
+    if (visited(i)) {
+      bits[static_cast<std::size_t>(i) >> 6] |=
+          1ULL << (static_cast<std::uint64_t>(i) & 63);
+    }
+  }
+  return bits;
+}
+
+/// Drops entries of `y` whose row is visited — the reference semantics of
+/// the masked kernels (mask-at-insert == filter-after).
+SpVec<Vertex> drop_visited(const SpVec<Vertex>& y,
+                           const std::vector<std::uint64_t>& bits) {
+  SpVec<Vertex> out(y.len());
+  for (Index k = 0; k < y.nnz(); ++k) {
+    if (!visited_bit(bits.data(), y.index_at(k))) {
+      out.push_back(y.index_at(k), y.value_at(k));
+    }
+  }
+  return out;
+}
+
+TEST(Spmv, MaskedEqualsUnmaskedPostFiltered) {
+  const CscMatrix a = CscMatrix::from_coo(example_graph());
+  const auto bits = pack_bitmap(5, [](Index i) { return i % 2 == 0; });
+  std::uint64_t flops = 0;
+  const SpVec<Vertex> unmasked =
+      spmv(a, example_frontier(), Select2ndMinParent{}, &flops);
+  std::uint64_t masked_flops = 0, hits = 0;
+  const SpVec<Vertex> masked = spmv(a, example_frontier(),
+                                    Select2ndMinParent{}, &masked_flops,
+                                    bits.data(), &hits);
+  EXPECT_EQ(masked, drop_visited(unmasked, bits));
+  // Every traversed edge is either a flop or a mask hit — nothing vanishes.
+  EXPECT_EQ(masked_flops + hits, flops);
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(SpmvDcsc, MaskedEqualsUnmaskedPostFiltered) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CooMatrix coo = er_bipartite_m(40, 30, 150, rng);
+    const DcscMatrix d = DcscMatrix::from_coo(coo);
+    const auto bits = pack_bitmap(40, [](Index i) { return i % 3 != 0; });
+    SpVec<Vertex> x(30);
+    for (Index j = 0; j < 30; ++j) {
+      if (rng.next_bool(0.4)) x.push_back(j, Vertex(j, j));
+    }
+    Spa<Vertex> spa(40);
+    std::uint64_t flops = 0;
+    const auto unmasked = spmv_dcsc(d, x, spa, Select2ndMinParent{}, &flops);
+    std::uint64_t masked_flops = 0, hits = 0;
+    const auto masked = spmv_dcsc(d, x, spa, Select2ndMinParent{},
+                                  &masked_flops, 0, nullptr, bits.data(),
+                                  &hits);
+    EXPECT_EQ(masked, drop_visited(unmasked, bits)) << "trial " << trial;
+    EXPECT_EQ(masked_flops + hits, flops) << "trial " << trial;
+  }
+}
+
+TEST(SpmvDcsc, FullyVisitedMaskGivesEmptyResult) {
+  const DcscMatrix d = DcscMatrix::from_coo(example_graph());
+  const auto bits = pack_bitmap(5, [](Index) { return true; });
+  Spa<Vertex> spa(5);
+  std::uint64_t flops = 0, hits = 0;
+  const auto y = spmv_dcsc(d, example_frontier(), spa, Select2ndMinParent{},
+                           &flops, 0, nullptr, bits.data(), &hits);
+  EXPECT_TRUE(y.empty());
+  EXPECT_EQ(flops, 0u);  // masked edges charge nothing
+  EXPECT_EQ(hits, 6u);   // but every traversal is accounted as a hit
 }
 
 TEST(Spmv, CountingSemiringComputesDegrees) {

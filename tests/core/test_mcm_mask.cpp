@@ -1,0 +1,170 @@
+/// Masked/unmasked equivalence suite (DESIGN.md §5.4): the visited-masked
+/// SpMV is an optimization, not an algorithm change, so the final matching
+/// must be BIT-IDENTICAL with the mask on or off — across semirings,
+/// directions, prune settings, grid sizes and host thread counts. The RMAT
+/// fixture additionally pins down the ledger win: fold words in the SpMV
+/// category strictly lower with the mask on, and simulated SpMV+Other time
+/// (which absorbs the bitmap replication overhead) no larger.
+
+#include "core/mcm_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_helpers.hpp"
+#include "core/dist_maximal.hpp"
+#include "gen/rmat.hpp"
+#include "matching/verify.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes, int host_threads = 1) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.host_threads = host_threads;
+  return SimContext(config);
+}
+
+Matching run_mcm(const CooMatrix& coo, const McmDistOptions& options,
+                 int processes, int host_threads = 1) {
+  SimContext ctx = make_ctx(processes, host_threads);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+  return mcm_dist(ctx, dist, Matching(coo.n_rows, coo.n_cols), options);
+}
+
+class McmMaskCorpus : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(McmMaskCorpus, BitIdenticalAcrossSemiringsDirectionsPrune) {
+  const CooMatrix& coo = GetParam().coo;
+  for (const SemiringKind semiring :
+       {SemiringKind::MinParent, SemiringKind::MaxParent,
+        SemiringKind::RandParent, SemiringKind::RandRoot}) {
+    for (const Direction direction :
+         {Direction::TopDown, Direction::Optimizing}) {
+      if (direction == Direction::Optimizing
+          && semiring != SemiringKind::MinParent) {
+        continue;  // optimizing only ever switches for minParent
+      }
+      for (const bool prune : {true, false}) {
+        McmDistOptions options;
+        options.semiring = semiring;
+        options.direction = direction;
+        options.enable_prune = prune;
+        options.seed = 99;
+        options.use_mask = true;
+        const Matching masked = run_mcm(coo, options, 4);
+        options.use_mask = false;
+        const Matching unmasked = run_mcm(coo, options, 4);
+        EXPECT_EQ(masked, unmasked)
+            << GetParam().name << " semiring " << static_cast<int>(semiring)
+            << " direction " << static_cast<int>(direction) << " prune "
+            << prune;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, McmMaskCorpus, ::testing::ValuesIn(small_corpus()),
+    [](const ::testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(McmMask, BitIdenticalAcrossGridsAndHostThreads) {
+  Rng rng(51);
+  const CooMatrix coo = rmat(RmatParams::g500(10), rng);
+  McmDistOptions options;
+  options.use_mask = false;
+  const Matching reference = run_mcm(coo, options, 1);
+  options.use_mask = true;
+  for (const int p : {1, 4, 16}) {
+    for (const int threads : {1, 4}) {
+      EXPECT_EQ(run_mcm(coo, options, p, threads), reference)
+          << "p=" << p << " host_threads=" << threads;
+    }
+  }
+}
+
+TEST(McmMask, PureBottomUpIgnoresTheMaskEntirely) {
+  // Bottom-up never consults the replica, so use_mask must not change the
+  // result OR the ledger (no bitmap replication charged).
+  Rng rng(53);
+  const CooMatrix coo = rmat(RmatParams::g500(9), rng);
+  McmDistOptions options;
+  options.direction = Direction::BottomUp;
+  double time_other[2];
+  Matching results[2];
+  int i = 0;
+  for (const bool mask : {true, false}) {
+    SimContext ctx = make_ctx(4);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    options.use_mask = mask;
+    results[i] = mcm_dist(ctx, dist, Matching(coo.n_rows, coo.n_cols), options);
+    time_other[i] = ctx.ledger().time_us(Cost::Other);
+    ++i;
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_DOUBLE_EQ(time_other[0], time_other[1]);
+}
+
+/// The ISSUE's RMAT fixture: g500 scale-16, edge factor 8, cold start on a
+/// 4x4 grid — the first BFS iteration's frontier is every column (dense),
+/// and later iterations re-reach most discovered rows, so the masked fold
+/// must move strictly fewer words.
+TEST(McmMask, RmatScale16MaskSavesFoldWordsAndSimulatedTime) {
+  Rng rng(7);
+  RmatParams params = RmatParams::g500(16);
+  params.edge_factor = 8.0;
+  const CooMatrix coo = rmat(params, rng);
+
+  std::uint64_t spmv_words[2];
+  double spmv_other_us[2];
+  Matching results[2];
+  int i = 0;
+  for (const bool mask : {true, false}) {
+    SimContext ctx = make_ctx(16);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    McmDistOptions options;
+    options.use_mask = mask;
+    results[i] = mcm_dist(ctx, dist, Matching(coo.n_rows, coo.n_cols), options);
+    spmv_words[i] = ctx.ledger().words(Cost::SpMV);
+    spmv_other_us[i] =
+        ctx.ledger().time_us(Cost::SpMV) + ctx.ledger().time_us(Cost::Other);
+    ++i;
+  }
+  EXPECT_EQ(results[0], results[1]);  // same matching, bit for bit
+  // The point of the mask: masked rows never enter the fold, so the SpMV
+  // category moves strictly fewer words...
+  EXPECT_LT(spmv_words[0], spmv_words[1]);
+  // ...and the simulated win survives the bitmap replication overhead
+  // (charged to Other): masked SpMV+Other must not be slower in total.
+  EXPECT_LE(spmv_other_us[0], spmv_other_us[1]);
+}
+
+TEST(McmMask, WarmStartFromInitializerStaysBitIdentical) {
+  Rng rng(57);
+  const CooMatrix coo = rmat(RmatParams::g500(10), rng);
+  Matching results[2];
+  int i = 0;
+  for (const bool mask : {true, false}) {
+    SimContext ctx = make_ctx(9);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    const Matching init =
+        dist_maximal_matching(ctx, dist, MaximalKind::KarpSipser);
+    McmDistOptions options;
+    options.use_mask = mask;
+    results[i] = mcm_dist(ctx, dist, init, options);
+    ++i;
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+}  // namespace
+}  // namespace mcm

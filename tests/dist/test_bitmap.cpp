@@ -1,0 +1,244 @@
+/// VisitedBitmap unit tests: segment shaping, incremental update + ledger
+/// charging (min(delta, packed words) rule), the stale-replica conservation
+/// assert, and the end-to-end equivalence masked dist_spmv == unmasked
+/// dist_spmv with the bitmap's rows dropped afterwards (DESIGN.md §5.4).
+
+#include "dist/dist_bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/semiring.hpp"
+#include "dist/dist_spmv.hpp"
+#include "gen/er.hpp"
+#include "matrix/csc.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+SpVec<Vertex> frontier_of(Index len, const std::vector<Index>& indices) {
+  SpVec<Vertex> f(len);
+  for (const Index i : indices) f.push_back(i, Vertex(i, i));
+  return f;
+}
+
+/// True iff the bitmap has exactly the bits of `indices` set (checked
+/// against every position of the layout).
+void expect_bits(const VisitedBitmap& bitmap, const VecLayout& layout,
+                 const std::vector<Index>& indices) {
+  std::vector<bool> expected(static_cast<std::size_t>(layout.length()), false);
+  for (const Index i : indices) expected[static_cast<std::size_t>(i)] = true;
+  for (Index g = 0; g < layout.length(); ++g) {
+    const int s = layout.dist().segments.owner(g);
+    const Index local = layout.dist().segments.to_local(g);
+    EXPECT_EQ(bitmap.test(s, local), expected[static_cast<std::size_t>(g)])
+        << "global row " << g;
+  }
+}
+
+class BitmapGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitmapGrids, CtorBuildsClearedSegmentBitmaps) {
+  SimContext ctx = make_ctx(GetParam());
+  DistSpVec<Vertex> x(ctx, VSpace::Row, 97);
+  const VisitedBitmap bitmap(x.layout());
+  ASSERT_GT(bitmap.segments(), 0);
+  std::uint64_t set = 0;
+  for (int s = 0; s < bitmap.segments(); ++s) set += bitmap.set_bits(s);
+  EXPECT_EQ(set, 0u);
+  expect_bits(bitmap, x.layout(), {});
+}
+
+TEST_P(BitmapGrids, UpdateSetsExactlyTheFrontierBits) {
+  SimContext ctx = make_ctx(GetParam());
+  const Index n = 83;
+  DistSpVec<Vertex> f(ctx, VSpace::Row, n);
+  f.from_global(frontier_of(n, {0, 7, 31, 32, 64, 82}));
+  VisitedBitmap bitmap(f.layout());
+  bitmap.update(ctx, Cost::Other, {&f});
+  expect_bits(bitmap, f.layout(), {0, 7, 31, 32, 64, 82});
+  std::uint64_t set = 0;
+  for (int s = 0; s < bitmap.segments(); ++s) set += bitmap.set_bits(s);
+  EXPECT_EQ(set, 6u);
+
+  // Disjoint second frontier accumulates; clear() resets.
+  DistSpVec<Vertex> g(ctx, VSpace::Row, n);
+  g.from_global(frontier_of(n, {1, 33}));
+  bitmap.update(ctx, Cost::Other, {&g});
+  expect_bits(bitmap, f.layout(), {0, 1, 7, 31, 32, 33, 64, 82});
+  bitmap.clear();
+  expect_bits(bitmap, f.layout(), {});
+}
+
+TEST_P(BitmapGrids, UpdateMergesMultipleVectorsAtOnce) {
+  SimContext ctx = make_ctx(GetParam());
+  const Index n = 60;
+  DistSpVec<Vertex> a(ctx, VSpace::Row, n);
+  a.from_global(frontier_of(n, {2, 40}));
+  DistSpVec<Vertex> b(ctx, VSpace::Row, n);
+  b.from_global(frontier_of(n, {3, 41, 59}));
+  VisitedBitmap bitmap(a.layout());
+  bitmap.update(ctx, Cost::Other, {&a, &b});
+  expect_bits(bitmap, a.layout(), {2, 3, 40, 41, 59});
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BitmapGrids, ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Bitmap, IncrementalChargeScalesWithDeltaNotBitmapSize) {
+  // p=4 (2x2 grid): replication groups have 2 ranks, so the allgather
+  // actually charges. A one-bit delta must cost fewer ledger words than a
+  // dense delta over the same layout.
+  SimContext ctx = make_ctx(4);
+  const Index n = 600;  // segments of 300 rows = 5 packed words each
+  DistSpVec<Vertex> dense(ctx, VSpace::Row, n);
+  std::vector<Index> all;
+  for (Index i = 0; i < n; ++i) all.push_back(i);
+  dense.from_global(frontier_of(n, all));
+  VisitedBitmap bitmap(dense.layout());
+
+  bitmap.update(ctx, Cost::Other, {&dense});
+  const std::uint64_t dense_words = ctx.ledger().words(Cost::Other);
+  ASSERT_GT(dense_words, 0u);
+
+  SimContext ctx2 = make_ctx(4);
+  DistSpVec<Vertex> one(ctx2, VSpace::Row, n);
+  one.from_global(frontier_of(n, {5}));
+  VisitedBitmap bitmap2(one.layout());
+  bitmap2.update(ctx2, Cost::Other, {&one});
+  const std::uint64_t one_words = ctx2.ledger().words(Cost::Other);
+  EXPECT_LT(one_words, dense_words);
+}
+
+TEST(Bitmap, ChargeIsCappedAtFullBitmapWords) {
+  // Two deltas both denser than the packed bitmap charge the same: past
+  // n/64 new bits the replica ships the whole bitmap instead of the list.
+  const Index n = 600;
+  auto charged_words = [&](Index stride) {
+    SimContext ctx = make_ctx(4);
+    DistSpVec<Vertex> f(ctx, VSpace::Row, n);
+    std::vector<Index> indices;
+    for (Index i = 0; i < n; i += stride) indices.push_back(i);
+    f.from_global(frontier_of(n, indices));
+    VisitedBitmap bitmap(f.layout());
+    bitmap.update(ctx, Cost::Other, {&f});
+    return ctx.ledger().words(Cost::Other);
+  };
+  EXPECT_EQ(charged_words(1), charged_words(2));  // both way past the cap
+  EXPECT_LT(charged_words(150), charged_words(1));  // 2 bits/segment: sparse
+}
+
+/// Forces throw mode so the stale-replica conservation assert is active.
+class BitmapCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!check::kCompiledIn) {
+      GTEST_SKIP() << "mcmcheck compiled out (build with -DMCM_CHECK=ON)";
+    }
+    previous_ = check::mode();
+    check::set_mode(CheckMode::Throw);
+  }
+  void TearDown() override {
+    if (check::kCompiledIn) check::set_mode(previous_);
+  }
+
+ private:
+  CheckMode previous_ = CheckMode::Off;
+};
+
+TEST_F(BitmapCheck, StaleReplicaTripsConservation) {
+  SimContext ctx = make_ctx(4);
+  const Index n = 50;
+  DistSpVec<Vertex> f(ctx, VSpace::Row, n);
+  f.from_global(frontier_of(n, {3, 17, 44}));
+  VisitedBitmap bitmap(f.layout());
+  bitmap.update(ctx, Cost::Other, {&f});
+  // Re-applying the same frontier means every entry hits an already-set
+  // bit: entries != newly-set bits, which is exactly the stale-replica
+  // signature the conservation assert exists to catch.
+  EXPECT_THROW(bitmap.update(ctx, Cost::Other, {&f}), CheckViolation);
+}
+
+TEST(Bitmap, MaskedSpmvRejectsMismatchedBitmap) {
+  SimContext ctx = make_ctx(4);
+  Rng rng(41);
+  const DistMatrix dist =
+      DistMatrix::distribute(ctx, er_bipartite_m(20, 20, 80, rng));
+  SpVec<Vertex> x(20);
+  x.push_back(0, Vertex(0, 0));
+  DistSpVec<Vertex> dx(ctx, VSpace::Col, 20);
+  dx.from_global(x);
+  const VisitedBitmap empty;  // zero segments: not this grid's row space
+  EXPECT_THROW(dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx,
+                                    Select2ndMinParent{}, &empty),
+               std::invalid_argument);
+}
+
+class BitmapSpmvGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitmapSpmvGrids, MaskedSpmvEqualsUnmaskedWithVisitedDropped) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(43);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Index n_rows = 47, n_cols = 39;
+    const CooMatrix coo = er_bipartite_m(n_rows, n_cols, 320, rng);
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    SpVec<Vertex> x(n_cols);
+    for (Index j = 0; j < n_cols; ++j) {
+      if (rng.next_bool(0.5)) x.push_back(j, Vertex(j, j));
+    }
+    DistSpVec<Vertex> dx(ctx, VSpace::Col, n_cols);
+    dx.from_global(x);
+
+    // Mark a random subset of rows visited, via the real update path.
+    std::vector<Index> visited_rows;
+    for (Index i = 0; i < n_rows; ++i) {
+      if (rng.next_bool(0.4)) visited_rows.push_back(i);
+    }
+    DistSpVec<Vertex> vf(ctx, VSpace::Row, n_rows);
+    vf.from_global(frontier_of(n_rows, visited_rows));
+    VisitedBitmap bitmap(vf.layout());
+    bitmap.update(ctx, Cost::Other, {&vf});
+
+    const SpVec<Vertex> unmasked =
+        dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{})
+            .to_global();
+    const SpVec<Vertex> masked =
+        dist_spmv_col_to_row(ctx, Cost::SpMV, dist, dx, Select2ndMinParent{},
+                             &bitmap)
+            .to_global();
+
+    SpVec<Vertex> expected(n_rows);
+    std::vector<bool> is_visited(static_cast<std::size_t>(n_rows), false);
+    for (const Index i : visited_rows) {
+      is_visited[static_cast<std::size_t>(i)] = true;
+    }
+    for (Index k = 0; k < unmasked.nnz(); ++k) {
+      if (!is_visited[static_cast<std::size_t>(unmasked.index_at(k))]) {
+        expected.push_back(unmasked.index_at(k), unmasked.value_at(k));
+      }
+    }
+    EXPECT_EQ(masked, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BitmapSpmvGrids,
+                         ::testing::Values(1, 4, 9, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mcm

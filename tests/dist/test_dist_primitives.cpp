@@ -225,6 +225,118 @@ TEST_P(DistPrimGrids, FillResetsDense) {
   EXPECT_EQ(v.to_std(), std::vector<Index>(19, kNull));
 }
 
+/// Random Vertex frontier in row space (parent/root pairs).
+SpVec<Vertex> random_frontier(Index n, double density, Rng& rng) {
+  SpVec<Vertex> f(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(density)) {
+      f.push_back(i, Vertex(static_cast<Index>(rng.next_below(
+                                static_cast<std::uint64_t>(n))),
+                            static_cast<Index>(rng.next_below(
+                                static_cast<std::uint64_t>(n)))));
+    }
+  }
+  return f;
+}
+
+TEST_P(DistPrimGrids, PartitionFrontierMatchesUnfusedSteps) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(8);
+  const Index n = 53;
+  const SpVec<Vertex> f = random_frontier(n, 0.5, rng);
+  const std::vector<Index> pi0 = random_dense(n, rng);
+  const std::vector<Index> mate0 = random_dense(n, rng);
+
+  DistSpVec<Vertex> df(ctx, VSpace::Row, n);
+  df.from_global(f);
+  DistDenseVec<Index> dpi(ctx, VSpace::Row, n, kNull);
+  dpi.from_std(pi0);
+  DistDenseVec<Index> dmate(ctx, VSpace::Row, n, kNull);
+  dmate.from_std(mate0);
+
+  const auto parent_of = [](const Vertex& v) { return v.parent; };
+  const FrontierPartition<Vertex> part = dist_partition_frontier(
+      ctx, Cost::Other, df, dpi, dmate, parent_of);
+
+  // Reference: the three unfused steps over the global views.
+  SpVec<Vertex> fresh =
+      select(f, pi0, [](Index p) { return p == kNull; });
+  std::vector<Index> pi_ref = pi0;
+  set_dense(pi_ref, fresh, parent_of);
+  const SpVec<Vertex> unmatched =
+      select(fresh, mate0, [](Index m) { return m == kNull; });
+  const SpVec<Vertex> matched =
+      select(fresh, mate0, [](Index m) { return m != kNull; });
+
+  EXPECT_EQ(part.matched.to_global(), matched);
+  EXPECT_EQ(part.unmatched.to_global(), unmatched);
+  EXPECT_EQ(dpi.to_std(), pi_ref);
+  EXPECT_EQ(part.dropped,
+            static_cast<std::uint64_t>(f.nnz() - fresh.nnz()));
+}
+
+TEST_P(DistPrimGrids, PartitionOnCleanStateDropsNothing) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(9);
+  const Index n = 37;
+  const SpVec<Vertex> f = random_frontier(n, 0.4, rng);
+  DistSpVec<Vertex> df(ctx, VSpace::Row, n);
+  df.from_global(f);
+  DistDenseVec<Index> dpi(ctx, VSpace::Row, n, kNull);  // all unvisited
+  DistDenseVec<Index> dmate(ctx, VSpace::Row, n, kNull);
+  // expect_all_unvisited holds here, so the conservation assert must not
+  // fire even in checked builds.
+  const FrontierPartition<Vertex> part = dist_partition_frontier(
+      ctx, Cost::Other, df, dpi, dmate,
+      [](const Vertex& v) { return v.parent; },
+      /*expect_all_unvisited=*/true);
+  EXPECT_EQ(part.dropped, 0u);
+  EXPECT_EQ(part.unmatched.to_global().nnz(), f.nnz());
+  EXPECT_EQ(part.matched.to_global().nnz(), 0);
+}
+
+TEST_P(DistPrimGrids, PruneEndpointOverloadMatchesRootsByRank) {
+  SimContext ctx = make_ctx(GetParam());
+  Rng rng(10);
+  const Index n = 49;
+  SpVec<Vertex> x(n);
+  for (Index i = 0; i < n; ++i) {
+    if (rng.next_bool(0.5)) {
+      x.push_back(i, Vertex(i, static_cast<Index>(rng.next_below(12))));
+    }
+  }
+  const SpVec<Vertex> endpoints = [&] {
+    SpVec<Vertex> e(n);
+    for (Index k = 0; k < x.nnz(); k += 3) {
+      e.push_back(x.index_at(k), x.value_at(k));
+    }
+    return e;
+  }();
+
+  DistSpVec<Vertex> dx(ctx, VSpace::Row, n);
+  dx.from_global(x);
+  DistSpVec<Vertex> de(ctx, VSpace::Row, n);
+  de.from_global(endpoints);
+  const auto root_of = [](const Vertex& v) { return v.root; };
+
+  // Reference: the preexisting overload fed the per-rank root lists the
+  // drivers used to collect by hand.
+  std::vector<std::vector<Index>> roots_by_rank(
+      static_cast<std::size_t>(ctx.processes()));
+  for (int r = 0; r < ctx.processes(); ++r) {
+    const auto& piece = de.piece(r);
+    for (Index k = 0; k < piece.nnz(); ++k) {
+      roots_by_rank[static_cast<std::size_t>(r)].push_back(
+          root_of(piece.value_at(k)));
+    }
+  }
+  const DistSpVec<Vertex> expected =
+      dist_prune(ctx, Cost::Prune, dx, roots_by_rank, root_of);
+  const DistSpVec<Vertex> got =
+      dist_prune(ctx, Cost::Prune, dx, de, root_of);
+  EXPECT_EQ(got.to_global(), expected.to_global());
+}
+
 INSTANTIATE_TEST_SUITE_P(Grids, DistPrimGrids, ::testing::Values(1, 4, 9, 16),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "p" + std::to_string(info.param);

@@ -16,6 +16,7 @@
 #include "algebra/semiring.hpp"
 #include "algebra/vertex.hpp"
 #include "core/mcm_dist.hpp"
+#include "dist/dist_bitmap.hpp"
 #include "dist/dist_bottomup.hpp"
 #include "dist/dist_primitives.hpp"
 #include "dist/dist_spmv.hpp"
@@ -192,6 +193,40 @@ TEST_P(HostEquivGrids, BottomUpStep) {
     pi_r.from_std(pi);
     const auto found = dist_bottom_up_step(ctx, Cost::SpMV, dist, f_c, pi_r);
     return found.to_global();
+  });
+}
+
+TEST_P(HostEquivGrids, MaskedSpmvWithBitmapUpdateAndPartition) {
+  const int p = GetParam();
+  Rng rng(131);
+  const CooMatrix coo = er_bipartite_m(83, 91, 700, rng);
+  const SpVec<Vertex> x_col = random_frontier(91, 0.5, rng);
+  std::vector<Index> mate(83);
+  for (auto& v : mate) {
+    v = rng.next_bool(0.5) ? kNull : static_cast<Index>(rng.next_below(91));
+  }
+  expect_host_equivalent(p, [&](SimContext& ctx) {
+    const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+    DistSpVec<Vertex> f_c(ctx, VSpace::Col, 91);
+    f_c.from_global(x_col);
+    DistDenseVec<Index> pi_r(ctx, VSpace::Row, 83, kNull);
+    DistDenseVec<Index> mate_r(ctx, VSpace::Row, 83, kNull);
+    mate_r.from_std(mate);
+    VisitedBitmap visited(pi_r.layout());
+    // Two masked BFS iterations: multiply, fuse-partition, replicate the
+    // delta, multiply again with the now non-trivial mask.
+    DistSpVec<Vertex> f_r = dist_spmv_col_to_row(
+        ctx, Cost::SpMV, dist, f_c, Select2ndMinParent{}, &visited);
+    FrontierPartition<Vertex> part = dist_partition_frontier(
+        ctx, Cost::Other, f_r, pi_r, mate_r,
+        [](const Vertex& v) { return v.parent; },
+        /*expect_all_unvisited=*/true);
+    visited.update(ctx, Cost::Other, {&part.matched, &part.unmatched});
+    const DistSpVec<Vertex> second = dist_spmv_col_to_row(
+        ctx, Cost::SpMV, dist, f_c, Select2ndMinParent{}, &visited);
+    return std::make_tuple(part.matched.to_global(),
+                           part.unmatched.to_global(), part.dropped,
+                           pi_r.to_std(), second.to_global());
   });
 }
 
