@@ -19,8 +19,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/driver.hpp"
 #include "gen/rmat.hpp"
 #include "gridsim/mcmcheck.hpp"
@@ -38,9 +40,10 @@ namespace {
 
 using namespace mcm;
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: mcm_tool <match|sprank|dm|cover|stats> [A.mtx]\n"
+               "       [--help]  print this summary and exit 0\n"
                "       [--cores N] [--init greedy|ks|mindegree|none]\n"
                "       [--direction top-down|bottom-up|optimizing]\n"
                "       [--mask on|off]  visited-masked SpMV via replicated\n"
@@ -48,6 +51,7 @@ int usage() {
                "           ablation baseline — the matching is identical)\n"
                "       [--host-threads T] [--out file]\n"
                "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
+               "       [--seed S]  RNG seed for the generated input\n"
                "       [--check[=off|throw|abort]]  BSP-discipline sanitizer\n"
                "           (needs an MCM_CHECK=ON build; bare --check means\n"
                "            throw; MCM_CHECK_MODE sets the default)\n"
@@ -55,7 +59,27 @@ int usage() {
                "           run: writes Chrome trace-event JSON (Perfetto) to\n"
                "           FILE (default mcm_trace.json) and prints the\n"
                "           per-primitive breakdown (needs MCM_TRACE=ON;\n"
-               "           MCM_TRACE_MODE sets the default mode)\n");
+               "           MCM_TRACE_MODE sets the default mode)\n"
+               "       [--checkpoint-dir DIR]  snapshot the MCM loop into DIR\n"
+               "           at superstep boundaries (checkpoint I/O charges no\n"
+               "           simulated time)\n"
+               "       [--checkpoint-every N]  boundaries between snapshots\n"
+               "           (default 1)\n"
+               "       [--resume]  restart from the latest snapshot in\n"
+               "           --checkpoint-dir; the finished matching and ledger\n"
+               "           are bit-identical to an uninterrupted run\n"
+               "       [--inject-fault SPEC]  deterministic fault injection:\n"
+               "           straggler:rank=R:from=A:until=B:factor=F;\n"
+               "           transient:op=allgather|alltoall|any:step=S:count=N\n"
+               "           (or :prob=P); crash:step=S — events separated by\n"
+               "           ';'. Crashes exit with status 3 and point at the\n"
+               "           latest checkpoint.\n"
+               "       [--fault-seed S]  seed for probabilistic fault draws\n"
+               "           (default 1)\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -119,13 +143,61 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
       parse_direction(options.get("direction", "top-down"));
   pipeline.mcm.use_mask =
       options.get_choice("mask", "on", {"on", "off"}) == "on";
+  pipeline.mcm.checkpoint.dir = options.get("checkpoint-dir", "");
+  pipeline.mcm.checkpoint.every = static_cast<std::uint64_t>(
+      options.get_int("checkpoint-every", 1));
+  pipeline.resume = options.get_bool("resume", false);
+  const std::string fault_spec = options.get("inject-fault", "");
+  std::shared_ptr<FaultPlan> plan;
+  if (!fault_spec.empty()) {
+    plan = std::make_shared<FaultPlan>(FaultPlan::parse(
+        fault_spec,
+        static_cast<std::uint64_t>(options.get_int("fault-seed", 1))));
+    pipeline.faults = plan;
+  }
   SimConfig config = SimConfig::auto_config(cores, 12);
   // Host threads speed up the wall clock only; simulated results and costs
   // are identical at any setting (also settable via MCM_HOST_THREADS).
   config.host_threads = static_cast<int>(
       options.get_int("host-threads", config.host_threads));
   const std::string trace_file = apply_trace_flag(options);
-  const PipelineResult result = run_pipeline(config, coo, pipeline);
+  PipelineResult result;
+  try {
+    result = run_pipeline(config, coo, pipeline);
+  } catch (const SimFault& fault) {
+    // Graceful degradation: report what was injected and where to resume.
+    std::fprintf(stderr, "fault [%s at superstep %llu, site %s]: %s\n",
+                 fault_kind_name(fault.kind()),
+                 static_cast<unsigned long long>(fault.superstep()),
+                 fault.site().c_str(), fault.what());
+    if (plan != nullptr) {
+      std::fprintf(stderr, "faultsim: %s\n",
+                   plan->report().to_string().c_str());
+    }
+    if (!pipeline.mcm.checkpoint.dir.empty()) {
+      try {
+        const std::string latest =
+            find_latest_checkpoint(pipeline.mcm.checkpoint.dir);
+        std::fprintf(stderr,
+                     "latest checkpoint: %s — rerun with --resume to "
+                     "continue from it\n",
+                     latest.c_str());
+      } catch (const CheckpointError&) {
+        std::fprintf(stderr, "no checkpoint was written before the fault\n");
+      }
+    }
+    return 3;
+  } catch (const CheckpointError& error) {
+    std::fprintf(stderr, "checkpoint error [%s]: %s\n", error.kind_name(),
+                 error.what());
+    return 4;
+  }
+  if (!result.resumed_from.empty()) {
+    std::printf("resumed from %s\n", result.resumed_from.c_str());
+  }
+  if (plan != nullptr) {
+    std::printf("faultsim: %s\n", plan->report().to_string().c_str());
+  }
   if (!trace_file.empty()) {
     trace::tracer().write_chrome_trace(trace_file);
     std::printf("trace: %zu events written to %s (load in Perfetto)\n",
@@ -242,6 +314,10 @@ void apply_check_flag(const Options& options) {
 int main(int argc, char** argv) {
   try {
     const Options options = Options::parse(argc, argv);
+    if (options.has("help")) {
+      print_usage(stdout);
+      return 0;
+    }
     if (options.positional().empty()) return usage();
     apply_check_flag(options);
     const std::string command = options.positional().front();

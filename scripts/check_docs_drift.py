@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail CI when mcm_tool grows a flag the README never mentions.
+
+The README's "Runtime controls" matrix is the canonical user-facing list of
+every knob; this check keeps it honest in the one direction that rots
+silently: a flag added to the tool but not to the docs. (The reverse — README
+mentioning bench-only or CMake-level switches the tool itself lacks — is
+legitimate and not checked.)
+
+Usage: check_docs_drift.py <path/to/mcm_tool> <path/to/README.md>
+Exit 0 when every --flag in `mcm_tool --help` appears in the README,
+1 when any is missing, 2 on usage / tool failure.
+"""
+
+import re
+import subprocess
+import sys
+
+
+def help_flags(tool: str) -> set[str]:
+    proc = subprocess.run(
+        [tool, "--help"], capture_output=True, text=True, timeout=60
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(
+            f"check_docs_drift: `{tool} --help` exited "
+            f"{proc.returncode}; --help must succeed and exit 0\n"
+        )
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    text = proc.stdout + proc.stderr
+    return set(re.findall(r"--[a-z][a-z0-9-]*", text))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        sys.stderr.write(
+            "usage: check_docs_drift.py <mcm_tool> <README.md>\n"
+        )
+        return 2
+    tool, readme_path = argv[1], argv[2]
+    flags = help_flags(tool)
+    with open(readme_path, encoding="utf-8") as handle:
+        readme = handle.read()
+    documented = set(re.findall(r"--[a-z][a-z0-9-]*", readme))
+    missing = sorted(flags - documented)
+    if missing:
+        sys.stderr.write(
+            "check_docs_drift: mcm_tool --help advertises flags the README "
+            "never mentions:\n"
+        )
+        for flag in missing:
+            sys.stderr.write(f"  {flag}\n")
+        sys.stderr.write(
+            f"add them to the Runtime controls matrix in {readme_path}\n"
+        )
+        return 1
+    print(
+        f"check_docs_drift: all {len(flags)} mcm_tool flags are documented "
+        f"in {readme_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,565 @@
+#include "core/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "gridsim/context.hpp"
+#include "util/json.hpp"
+
+namespace mcm {
+namespace {
+
+constexpr int kCategories = static_cast<int>(Cost::kCount);
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void fail(CheckpointError::Kind kind, const std::string& message) {
+  throw CheckpointError(kind, message);
+}
+
+// --- binary payload writer/reader (host-endian raw arrays) ---
+
+void put_raw(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  put_raw(out, &value, sizeof value);
+}
+
+void put_double(std::string& out, double value) {
+  put_raw(out, &value, sizeof value);
+}
+
+void put_index_array(std::string& out, const std::vector<Index>& values) {
+  put_u64(out, values.size());
+  put_raw(out, values.data(), values.size() * sizeof(Index));
+}
+
+/// Bounds-checked reader over the payload; any overrun is a truncation.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), left_(size) {}
+
+  void read_raw(void* out, std::size_t bytes) {
+    if (bytes > left_) {
+      fail(CheckpointError::Kind::Truncated,
+           "payload ends inside a field (need " + std::to_string(bytes)
+               + " bytes, have " + std::to_string(left_) + ")");
+    }
+    std::memcpy(out, data_, bytes);
+    data_ += bytes;
+    left_ -= bytes;
+  }
+
+  [[nodiscard]] std::uint64_t read_u64() {
+    std::uint64_t value = 0;
+    read_raw(&value, sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] double read_double() {
+    double value = 0;
+    read_raw(&value, sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] std::vector<Index> read_index_array() {
+    const std::uint64_t count = read_u64();
+    if (count > left_ / sizeof(Index)) {
+      fail(CheckpointError::Kind::Truncated,
+           "payload ends inside an array of " + std::to_string(count)
+               + " elements");
+    }
+    std::vector<Index> values(static_cast<std::size_t>(count));
+    read_raw(values.data(), values.size() * sizeof(Index));
+    return values;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return left_; }
+
+ private:
+  const char* data_;
+  std::size_t left_;
+};
+
+// --- minimal flat-JSON header parser ---
+//
+// util/json.hpp only builds JSON; the header needs reading back. The header
+// is a single flat object of string/number/bool fields produced by our own
+// JsonBuilder, so a minimal scanner suffices — nested values are a format
+// error by construction.
+
+class FlatJson {
+ public:
+  static FlatJson parse(const std::string& text) {
+    FlatJson doc;
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < text.size()
+             && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+        ++i;
+      }
+    };
+    auto parse_string = [&]() -> std::string {
+      if (i >= text.size() || text[i] != '"') {
+        fail(CheckpointError::Kind::BadFormat, "header: expected '\"'");
+      }
+      ++i;
+      std::string out;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\') {
+          ++i;
+          if (i >= text.size()) break;
+        }
+        out.push_back(text[i++]);
+      }
+      if (i >= text.size()) {
+        fail(CheckpointError::Kind::BadFormat, "header: unterminated string");
+      }
+      ++i;  // closing quote
+      return out;
+    };
+    skip_ws();
+    if (i >= text.size() || text[i] != '{') {
+      fail(CheckpointError::Kind::BadFormat, "header: expected '{'");
+    }
+    ++i;
+    skip_ws();
+    if (i < text.size() && text[i] == '}') return doc;
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      if (i >= text.size() || text[i] != ':') {
+        fail(CheckpointError::Kind::BadFormat, "header: expected ':'");
+      }
+      ++i;
+      skip_ws();
+      std::string value;
+      if (i < text.size() && text[i] == '"') {
+        value = parse_string();
+      } else {
+        while (i < text.size() && text[i] != ',' && text[i] != '}'
+               && std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+          value.push_back(text[i++]);
+        }
+        if (value.empty()) {
+          fail(CheckpointError::Kind::BadFormat,
+               "header: empty value for '" + key + "'");
+        }
+      }
+      doc.values_[key] = value;
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < text.size() && text[i] == '}') return doc;
+      fail(CheckpointError::Kind::BadFormat, "header: expected ',' or '}'");
+    }
+  }
+
+  [[nodiscard]] const std::string& raw(const char* key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      fail(CheckpointError::Kind::BadFormat,
+           std::string("header: missing field '") + key + "'");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::int64_t i64(const char* key) const {
+    const std::string& text = raw(key);
+    std::size_t pos = 0;
+    long long value = 0;
+    try {
+      value = std::stoll(text, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != text.size() || text.empty()) {
+      fail(CheckpointError::Kind::BadFormat,
+           std::string("header: field '") + key + "' is not an integer: '"
+               + text + "'");
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t u64(const char* key) const {
+    const std::string& text = raw(key);
+    std::size_t pos = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(text, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != text.size() || text.empty()) {
+      fail(CheckpointError::Kind::BadFormat,
+           std::string("header: field '") + key + "' is not an integer: '"
+               + text + "'");
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool boolean(const char* key) const {
+    const std::string& text = raw(key);
+    if (text == "true") return true;
+    if (text == "false") return false;
+    fail(CheckpointError::Kind::BadFormat,
+         std::string("header: field '") + key + "' is not a boolean: '" + text
+             + "'");
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::string build_header_json(const CheckpointHeader& h) {
+  JsonBuilder json;
+  json.begin_object()
+      .field("version", h.version)
+      .field("n_rows", static_cast<std::int64_t>(h.n_rows))
+      .field("n_cols", static_cast<std::int64_t>(h.n_cols))
+      .field("matrix_nnz", h.matrix_nnz)
+      .field("processes", h.processes)
+      .field("threads_per_process", h.threads_per_process)
+      .field("semiring", h.semiring)
+      .field("direction", h.direction)
+      .field("augment", h.augment)
+      .field("enable_prune", h.enable_prune)
+      .field("use_mask", h.use_mask)
+      .field("seed", h.seed)
+      .field("pipeline_tag", h.pipeline_tag)
+      .field("iteration", h.iteration)
+      .field("found_path", h.found_path)
+      .field("frontier_nnz", h.frontier_nnz)
+      .field("stats_phases", static_cast<std::int64_t>(h.stats.phases))
+      .field("stats_iterations", static_cast<std::int64_t>(h.stats.iterations))
+      .field("stats_bottom_up",
+             static_cast<std::int64_t>(h.stats.bottom_up_iterations))
+      .field("stats_augmentations",
+             static_cast<std::int64_t>(h.stats.augmentations))
+      .field("stats_path_parallel",
+             static_cast<std::int64_t>(h.stats.path_parallel_phases))
+      .field("stats_level_parallel",
+             static_cast<std::int64_t>(h.stats.level_parallel_phases))
+      .field("stats_initial_cardinality",
+             static_cast<std::int64_t>(h.stats.initial_cardinality))
+      .field("payload_bytes", h.payload_bytes)
+      .field("payload_checksum", h.payload_checksum)
+      .end_object();
+  return json.str();
+}
+
+CheckpointHeader parse_header_json(const std::string& text) {
+  const FlatJson doc = FlatJson::parse(text);
+  CheckpointHeader h;
+  h.version = static_cast<int>(doc.i64("version"));
+  h.n_rows = doc.i64("n_rows");
+  h.n_cols = doc.i64("n_cols");
+  h.matrix_nnz = doc.u64("matrix_nnz");
+  h.processes = static_cast<int>(doc.i64("processes"));
+  h.threads_per_process = static_cast<int>(doc.i64("threads_per_process"));
+  h.semiring = static_cast<int>(doc.i64("semiring"));
+  h.direction = static_cast<int>(doc.i64("direction"));
+  h.augment = static_cast<int>(doc.i64("augment"));
+  h.enable_prune = doc.boolean("enable_prune");
+  h.use_mask = doc.boolean("use_mask");
+  h.seed = doc.u64("seed");
+  h.pipeline_tag = doc.u64("pipeline_tag");
+  h.iteration = doc.u64("iteration");
+  h.found_path = doc.boolean("found_path");
+  h.frontier_nnz = doc.u64("frontier_nnz");
+  h.stats.phases = doc.i64("stats_phases");
+  h.stats.iterations = doc.i64("stats_iterations");
+  h.stats.bottom_up_iterations = doc.i64("stats_bottom_up");
+  h.stats.augmentations = doc.i64("stats_augmentations");
+  h.stats.path_parallel_phases = doc.i64("stats_path_parallel");
+  h.stats.level_parallel_phases = doc.i64("stats_level_parallel");
+  h.stats.initial_cardinality = doc.i64("stats_initial_cardinality");
+  h.payload_bytes = doc.u64("payload_bytes");
+  h.payload_checksum = doc.u64("payload_checksum");
+  return h;
+}
+
+std::string build_payload(const Checkpoint& ck) {
+  std::string out;
+  put_double(out, ck.machine.alpha_us);
+  put_double(out, ck.machine.beta_word_us);
+  put_double(out, ck.machine.edge_time_us);
+  put_double(out, ck.machine.elem_time_us);
+  put_double(out, ck.init_us);
+  put_double(out, ck.pre_init_us);
+  for (int c = 0; c < kCategories; ++c) {
+    const auto category = static_cast<Cost>(c);
+    put_double(out, ck.ledger.time_us(category));
+    put_u64(out, ck.ledger.messages(category));
+    put_u64(out, ck.ledger.words(category));
+  }
+  put_index_array(out, ck.mate_r);
+  put_index_array(out, ck.mate_c);
+  put_index_array(out, ck.pi_r);
+  put_index_array(out, ck.path_c);
+  put_index_array(out, ck.frontier_idx);
+  put_u64(out, ck.frontier_val.size());
+  for (const Vertex& v : ck.frontier_val) {
+    put_raw(out, &v.parent, sizeof v.parent);
+    put_raw(out, &v.root, sizeof v.root);
+  }
+  return out;
+}
+
+void parse_payload(const std::string& bytes, Checkpoint& ck) {
+  Cursor cursor(bytes.data(), bytes.size());
+  ck.machine.alpha_us = cursor.read_double();
+  ck.machine.beta_word_us = cursor.read_double();
+  ck.machine.edge_time_us = cursor.read_double();
+  ck.machine.elem_time_us = cursor.read_double();
+  ck.init_us = cursor.read_double();
+  ck.pre_init_us = cursor.read_double();
+  for (int c = 0; c < kCategories; ++c) {
+    const double us = cursor.read_double();
+    const std::uint64_t messages = cursor.read_u64();
+    const std::uint64_t words = cursor.read_u64();
+    ck.ledger.set_raw(static_cast<Cost>(c), us, messages, words);
+  }
+  ck.mate_r = cursor.read_index_array();
+  ck.mate_c = cursor.read_index_array();
+  ck.pi_r = cursor.read_index_array();
+  ck.path_c = cursor.read_index_array();
+  ck.frontier_idx = cursor.read_index_array();
+  const std::uint64_t frontier = cursor.read_u64();
+  if (frontier > cursor.remaining() / (2 * sizeof(Index))) {
+    fail(CheckpointError::Kind::Truncated,
+         "payload ends inside the frontier values");
+  }
+  ck.frontier_val.resize(static_cast<std::size_t>(frontier));
+  for (Vertex& v : ck.frontier_val) {
+    cursor.read_raw(&v.parent, sizeof v.parent);
+    cursor.read_raw(&v.root, sizeof v.root);
+  }
+  if (cursor.remaining() != 0) {
+    fail(CheckpointError::Kind::BadFormat,
+         std::to_string(cursor.remaining())
+             + " unexpected trailing payload bytes");
+  }
+}
+
+}  // namespace
+
+CheckpointError::CheckpointError(Kind kind, const std::string& message)
+    : std::runtime_error(message), kind_(kind) {}
+
+const char* CheckpointError::kind_name() const noexcept {
+  switch (kind_) {
+    case Kind::Io: return "io";
+    case Kind::BadFormat: return "bad-format";
+    case Kind::VersionMismatch: return "version-mismatch";
+    case Kind::Truncated: return "truncated";
+    case Kind::Corrupt: return "corrupt";
+    case Kind::ShapeMismatch: return "shape-mismatch";
+    case Kind::OptionMismatch: return "option-mismatch";
+    case Kind::NotFound: return "not-found";
+  }
+  return "?";
+}
+
+std::string checkpoint_file_name(std::uint64_t iteration) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "checkpoint-%010llu.mcmckpt",
+                static_cast<unsigned long long>(iteration));
+  return buf;
+}
+
+void save_checkpoint(const Checkpoint& ck, const std::string& path) {
+  const std::string payload = build_payload(ck);
+  CheckpointHeader header = ck.header;
+  header.version = kCheckpointVersion;
+  header.payload_bytes = payload.size();
+  header.payload_checksum = fnv1a(payload);
+
+  std::string blob = std::string(kCheckpointMagic) + " "
+                     + std::to_string(kCheckpointVersion) + "\n"
+                     + build_header_json(header) + "\n" + payload;
+
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    // A pre-existing directory is fine; a real failure surfaces on open.
+  }
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      fail(CheckpointError::Kind::Io, "cannot write " + tmp.string());
+    }
+    file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!file) {
+      fail(CheckpointError::Kind::Io, "short write to " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    fail(CheckpointError::Kind::Io,
+         "cannot move " + tmp.string() + " into place: " + ec.message());
+  }
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) fail(CheckpointError::Kind::Io, "cannot read " + path);
+  std::string blob((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+
+  const std::size_t magic_end = blob.find('\n');
+  if (magic_end == std::string::npos) {
+    fail(CheckpointError::Kind::BadFormat,
+         path + ": not a checkpoint (no magic line)");
+  }
+  const std::string magic_line = blob.substr(0, magic_end);
+  const std::string expected_prefix = std::string(kCheckpointMagic) + " ";
+  if (magic_line.rfind(expected_prefix, 0) != 0) {
+    fail(CheckpointError::Kind::BadFormat,
+         path + ": not a checkpoint (bad magic '" + magic_line + "')");
+  }
+  int version = -1;
+  try {
+    version = std::stoi(magic_line.substr(expected_prefix.size()));
+  } catch (const std::exception&) {
+    fail(CheckpointError::Kind::BadFormat,
+         path + ": unreadable format version in '" + magic_line + "'");
+  }
+  if (version != kCheckpointVersion) {
+    fail(CheckpointError::Kind::VersionMismatch,
+         path + ": format version " + std::to_string(version)
+             + ", this build reads version "
+             + std::to_string(kCheckpointVersion));
+  }
+
+  const std::size_t header_end = blob.find('\n', magic_end + 1);
+  if (header_end == std::string::npos) {
+    fail(CheckpointError::Kind::Truncated, path + ": missing header line");
+  }
+  Checkpoint ck;
+  ck.header =
+      parse_header_json(blob.substr(magic_end + 1, header_end - magic_end - 1));
+  ck.header.version = version;
+
+  const std::string payload = blob.substr(header_end + 1);
+  if (payload.size() < ck.header.payload_bytes) {
+    fail(CheckpointError::Kind::Truncated,
+         path + ": payload is " + std::to_string(payload.size())
+             + " bytes, header promises "
+             + std::to_string(ck.header.payload_bytes));
+  }
+  if (payload.size() > ck.header.payload_bytes) {
+    fail(CheckpointError::Kind::BadFormat,
+         path + ": trailing bytes after the payload");
+  }
+  if (fnv1a(payload) != ck.header.payload_checksum) {
+    fail(CheckpointError::Kind::Corrupt, path + ": payload checksum mismatch");
+  }
+  parse_payload(payload, ck);
+  return ck;
+}
+
+std::string find_latest_checkpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    fail(CheckpointError::Kind::NotFound,
+         "checkpoint directory " + dir + ": " + ec.message());
+  }
+  const std::string prefix = "checkpoint-";
+  const std::string suffix = ".mcmckpt";
+  std::string best_path;
+  std::uint64_t best_iteration = 0;
+  bool found = false;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix)
+        != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    std::uint64_t iteration = 0;
+    try {
+      std::size_t pos = 0;
+      iteration = std::stoull(digits, &pos);
+      if (pos != digits.size()) continue;
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!found || iteration > best_iteration) {
+      found = true;
+      best_iteration = iteration;
+      best_path = entry.path().string();
+    }
+  }
+  if (!found) {
+    fail(CheckpointError::Kind::NotFound,
+         "no checkpoint-*.mcmckpt files in " + dir);
+  }
+  return best_path;
+}
+
+void validate_checkpoint(const Checkpoint& ck, const SimContext& ctx,
+                         Index n_rows, Index n_cols, std::uint64_t matrix_nnz,
+                         const McmDistOptions& options) {
+  const CheckpointHeader& h = ck.header;
+  if (h.processes != ctx.processes()
+      || h.threads_per_process != ctx.threads()) {
+    fail(CheckpointError::Kind::ShapeMismatch,
+         "snapshot was taken on a p=" + std::to_string(h.processes) + " grid ("
+             + std::to_string(h.threads_per_process)
+             + " threads/process); this run is p="
+             + std::to_string(ctx.processes()) + " ("
+             + std::to_string(ctx.threads())
+             + " threads/process) — resume on the matching configuration");
+  }
+  if (h.n_rows != n_rows || h.n_cols != n_cols || h.matrix_nnz != matrix_nnz) {
+    fail(CheckpointError::Kind::ShapeMismatch,
+         "snapshot is for a " + std::to_string(h.n_rows) + "x"
+             + std::to_string(h.n_cols) + " matrix with "
+             + std::to_string(h.matrix_nnz) + " nonzeros; this run loaded "
+             + std::to_string(n_rows) + "x" + std::to_string(n_cols) + " with "
+             + std::to_string(matrix_nnz));
+  }
+  if (ck.machine.alpha_us != ctx.alpha()
+      || ck.machine.beta_word_us != ctx.beta_word()
+      || ck.machine.edge_time_us != ctx.edge_time_us()
+      || ck.machine.elem_time_us != ctx.elem_time_us()) {
+    fail(CheckpointError::Kind::ShapeMismatch,
+         "snapshot was charged under a different machine model; the resumed "
+         "ledger would not replay bit-identically");
+  }
+  if (h.semiring != static_cast<int>(options.semiring)
+      || h.direction != static_cast<int>(options.direction)
+      || h.augment != static_cast<int>(options.augment)
+      || h.enable_prune != options.enable_prune
+      || h.use_mask != options.use_mask || h.seed != options.seed) {
+    fail(CheckpointError::Kind::OptionMismatch,
+         "snapshot was taken under different MCM-DIST options (semiring/"
+         "direction/augment/prune/mask/seed must all match for an identical "
+         "replay)");
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,145 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Checkpoint/restart for the MCM-DIST driver (DESIGN.md §5.5). A snapshot
+/// captures the complete BFS-loop state at a superstep boundary — mate,
+/// parent and path vectors, the column frontier, the phase progress flag,
+/// the global iteration counter, the driver stats and a bit-exact copy of
+/// the cost ledger — so that crash-at-iteration-k plus resume reproduces the
+/// uninterrupted run's final matching AND ledger bit for bit.
+///
+/// On-disk format (versioned):
+///   line 1   "MCMCKPT <version>\n"            magic + format version
+///   line 2   one-line JSON header\n           via util/json.hpp JsonBuilder
+///   rest     binary payload                   raw host-endian arrays
+/// The header carries everything needed to refuse an incompatible resume
+/// (grid shape, matrix shape, algorithm options, machine model) plus the
+/// payload byte count and an FNV-1a checksum; doubles live in the binary
+/// payload because a decimal round-trip would not be bit-exact. The payload
+/// is host-endian and not portable across architectures — snapshots are a
+/// crash-recovery mechanism, not an interchange format.
+///
+/// The visited bitmap is NOT serialized: its §5.4 invariant (visited set ==
+/// rows with non-null pi) lets resume rebuild the replicas from pi_r, and
+/// mcmcheck asserts the rebuilt bit count against the snapshot's parent
+/// count (conservation across restore).
+///
+/// RNG streams: the random semirings are stateless hashes keyed by
+/// McmDistOptions::seed, so persisting the seed (validated on resume) is
+/// the whole RNG state.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algebra/vertex.hpp"
+#include "core/mcm_dist.hpp"
+#include "gridsim/cost_ledger.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+inline constexpr int kCheckpointVersion = 1;
+inline constexpr const char* kCheckpointMagic = "MCMCKPT";
+
+/// Structured refusal: every way a snapshot can fail to load or to match
+/// the run it is being resumed into, distinguishable by kind.
+class CheckpointError : public std::runtime_error {
+ public:
+  enum class Kind {
+    Io,              ///< file unreadable / unwritable
+    BadFormat,       ///< not a checkpoint (magic or header malformed)
+    VersionMismatch, ///< format version this build does not speak
+    Truncated,       ///< payload shorter than the header promises
+    Corrupt,         ///< checksum mismatch
+    ShapeMismatch,   ///< grid / matrix / machine differs from the snapshot
+    OptionMismatch,  ///< algorithm options differ from the snapshot
+    NotFound,        ///< no checkpoint in the directory
+  };
+
+  CheckpointError(Kind kind, const std::string& message);
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* kind_name() const noexcept;
+
+ private:
+  Kind kind_;
+};
+
+/// Everything the JSON header records. Compatibility fields are checked by
+/// validate_checkpoint(); progress fields seed the resumed loop.
+struct CheckpointHeader {
+  int version = kCheckpointVersion;
+  // compatibility: simulated machine shape and input
+  Index n_rows = 0;
+  Index n_cols = 0;
+  std::uint64_t matrix_nnz = 0;
+  int processes = 0;
+  int threads_per_process = 0;
+  // compatibility: algorithm options (int-coded enums)
+  int semiring = 0;
+  int direction = 0;
+  int augment = 0;
+  bool enable_prune = true;
+  bool use_mask = true;
+  std::uint64_t seed = 0;
+  std::uint64_t pipeline_tag = 0;  ///< driver fingerprint (permutation etc.)
+  // progress
+  std::uint64_t iteration = 0;     ///< superstep boundary the snapshot pins
+  bool found_path = false;         ///< phase progress flag at the boundary
+  std::uint64_t frontier_nnz = 0;  ///< conservation check on restore
+  McmDistStats stats;
+  // payload integrity
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;  ///< FNV-1a 64 over the payload
+};
+
+/// Machine-model constants the ledger math depends on; bit-compared on
+/// resume (a different machine would replay different charges).
+struct CheckpointMachine {
+  double alpha_us = 0;
+  double beta_word_us = 0;
+  double edge_time_us = 0;
+  double elem_time_us = 0;
+};
+
+struct Checkpoint {
+  CheckpointHeader header;
+  CheckpointMachine machine;
+  CostLedger ledger;       ///< bit-exact simulated-time snapshot
+  double init_us = 0;      ///< driver's INIT span (restores the time split)
+  double pre_init_us = 0;  ///< ledger total before INIT (distribution etc.)
+  std::vector<Index> mate_r;
+  std::vector<Index> mate_c;
+  std::vector<Index> pi_r;
+  std::vector<Index> path_c;
+  std::vector<Index> frontier_idx;    ///< column frontier, global indices
+  std::vector<Vertex> frontier_val;   ///< parallel (parent, root) values
+};
+
+/// Writes `ck` to `path` (creating parent directories), atomically enough
+/// for the simulator: a temporary file is renamed into place so a crash
+/// mid-write never leaves a half-checkpoint under the final name.
+void save_checkpoint(const Checkpoint& ck, const std::string& path);
+
+/// Reads and structurally validates a snapshot (magic, version, payload
+/// length, checksum). Compatibility with the resuming run is a separate
+/// concern — see validate_checkpoint().
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+/// "checkpoint-<iteration>.mcmckpt", zero-padded so names sort by boundary.
+[[nodiscard]] std::string checkpoint_file_name(std::uint64_t iteration);
+
+/// Highest-boundary checkpoint file in `dir`; throws NotFound when the
+/// directory is missing or holds no checkpoints.
+[[nodiscard]] std::string find_latest_checkpoint(const std::string& dir);
+
+/// Refuses an incompatible resume with a structured error before any state
+/// is touched: grid shape, matrix shape, machine model (ShapeMismatch) and
+/// algorithm options incl. the semiring seed (OptionMismatch) must all
+/// match the snapshot — the ledger-identical replay guarantee depends on
+/// every one of them.
+void validate_checkpoint(const Checkpoint& ck, const SimContext& ctx,
+                         Index n_rows, Index n_cols, std::uint64_t matrix_nnz,
+                         const McmDistOptions& options);
+
+}  // namespace mcm

@@ -1,5 +1,6 @@
 #include "core/driver.hpp"
 
+#include "core/checkpoint.hpp"
 #include "dist/dist_mat.hpp"
 #include "matrix/permute.hpp"
 #include "util/rng.hpp"
@@ -9,6 +10,7 @@ namespace mcm {
 PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
                             const PipelineOptions& options) {
   SimContext ctx(config);
+  if (options.faults != nullptr) ctx.set_fault_plan(options.faults);
 
   Permutation perm_r = Permutation::identity(a.n_rows);
   Permutation perm_c = Permutation::identity(a.n_cols);
@@ -21,22 +23,66 @@ PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
   }
   const DistMatrix dist = DistMatrix::distribute(ctx, working);
 
+  // Snapshot headers fingerprint the labeling this pipeline ran under; a
+  // snapshot taken under one permutation cannot resume under another (the
+  // mate vectors would refer to different vertices).
+  McmDistOptions mcm_options = options.mcm;
+  mcm_options.checkpoint.pipeline_tag =
+      (options.permute_seed << 1) | (options.random_permute ? 1 : 0);
+
   PipelineResult result;
-  const double before_init = ctx.ledger().total_us();
-  trace::Span init_span(ctx, "INIT", Cost::MaximalInit, trace::Kind::Region);
-  const Matching initial = dist_maximal_matching(
-      ctx, dist, options.initializer, &result.init_stats);
-  init_span.close();
-  const double after_init = ctx.ledger().total_us();
+  Matching matched(a.n_rows, a.n_cols);
+  Checkpoint restored;  // outlives mcm_dist (mcm_options.resume points here)
+  if (options.resume) {
+    if (!mcm_options.checkpoint.enabled()) {
+      throw CheckpointError(
+          CheckpointError::Kind::NotFound,
+          "resume requested without a checkpoint directory");
+    }
+    result.resumed_from = find_latest_checkpoint(mcm_options.checkpoint.dir);
+    restored = load_checkpoint(result.resumed_from);
+    validate_checkpoint(restored, ctx, working.n_rows, working.n_cols,
+                        static_cast<std::uint64_t>(dist.nnz()), mcm_options);
+    if (restored.header.pipeline_tag != mcm_options.checkpoint.pipeline_tag) {
+      throw CheckpointError(
+          CheckpointError::Kind::OptionMismatch,
+          "snapshot was taken under a different input permutation "
+          "(pipeline tag mismatch); resume with the original "
+          "permute_seed/random_permute settings");
+    }
+    // The initializer is skipped: its result (and its simulated time) is
+    // part of the snapshot. The driver's time split is restored alongside.
+    mcm_options.checkpoint.init_us = restored.init_us;
+    mcm_options.checkpoint.pre_init_us = restored.pre_init_us;
+    mcm_options.resume = &restored;
+    result.init_stats.cardinality = restored.header.stats.initial_cardinality;
 
-  trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
-  Matching matched =
-      mcm_dist(ctx, dist, initial, options.mcm, &result.mcm_stats);
-  mcm_span.close();
-  const double after_mcm = ctx.ledger().total_us();
+    trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
+    matched = mcm_dist(ctx, dist, matched, mcm_options, &result.mcm_stats);
+    mcm_span.close();
+    result.init_seconds = restored.init_us * 1e-6;
+    result.mcm_seconds =
+        (ctx.ledger().total_us() - restored.pre_init_us - restored.init_us)
+        * 1e-6;
+  } else {
+    const double before_init = ctx.ledger().total_us();
+    trace::Span init_span(ctx, "INIT", Cost::MaximalInit, trace::Kind::Region);
+    const Matching initial = dist_maximal_matching(
+        ctx, dist, options.initializer, &result.init_stats);
+    init_span.close();
+    const double after_init = ctx.ledger().total_us();
+    // Carried into every snapshot so a resumed run reports the same split.
+    mcm_options.checkpoint.init_us = after_init - before_init;
+    mcm_options.checkpoint.pre_init_us = before_init;
 
-  result.init_seconds = (after_init - before_init) * 1e-6;
-  result.mcm_seconds = (after_mcm - after_init) * 1e-6;
+    trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
+    matched = mcm_dist(ctx, dist, initial, mcm_options, &result.mcm_stats);
+    mcm_span.close();
+    const double after_mcm = ctx.ledger().total_us();
+
+    result.init_seconds = (after_init - before_init) * 1e-6;
+    result.mcm_seconds = (after_mcm - after_init) * 1e-6;
+  }
   result.ledger = ctx.ledger();
 
   if (options.random_permute) {

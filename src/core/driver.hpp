@@ -7,21 +7,41 @@
 /// the *original* vertex labels) together with simulated time split into
 /// initialization and MCM, plus the full per-category ledger for breakdown
 /// plots.
+///
+/// Robustness (DESIGN.md §5.5): the pipeline optionally runs under a
+/// deterministic FaultPlan (stragglers / transient collective aborts /
+/// rank crashes) and can checkpoint the MCM loop at superstep boundaries;
+/// `resume = true` restarts from the latest snapshot in the checkpoint
+/// directory and finishes with a final matching and ledger bit-identical
+/// to the uninterrupted run.
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "core/dist_maximal.hpp"
 #include "core/mcm_dist.hpp"
 #include "gridsim/context.hpp"
+#include "gridsim/faultsim.hpp"
 #include "matrix/coo.hpp"
 
 namespace mcm {
 
 struct PipelineOptions {
   MaximalKind initializer = MaximalKind::DynMindegree;  ///< the paper's default
-  McmDistOptions mcm;
+  McmDistOptions mcm;          ///< incl. mcm.checkpoint for periodic snapshots
   bool random_permute = true;  ///< paper §IV-A load balancing
   std::uint64_t permute_seed = 7;
+  /// Restart from the latest snapshot in mcm.checkpoint.dir: the permuted
+  /// matrix is re-distributed (deterministic), the initializer is skipped
+  /// (its result lives in the snapshot's mate vectors) and the MCM loop
+  /// continues from the saved superstep boundary. Incompatible snapshots
+  /// are refused with a structured CheckpointError before any state moves.
+  bool resume = false;
+  /// Deterministic fault schedule installed into the run's SimContext;
+  /// nullptr = fault-free. Shared so the caller can read faults->report()
+  /// after the run (or after a fatal SimFault unwinds).
+  std::shared_ptr<FaultPlan> faults;
 };
 
 struct PipelineResult {
@@ -31,12 +51,15 @@ struct PipelineResult {
   CostLedger ledger;          ///< full per-category simulated charges
   double init_seconds = 0;    ///< simulated time of the initializer
   double mcm_seconds = 0;     ///< simulated time of MCM-DIST proper
+  std::string resumed_from;   ///< checkpoint path when options.resume was set
   [[nodiscard]] double total_seconds() const {
     return init_seconds + mcm_seconds;
   }
 };
 
-/// Runs the full pipeline on a fresh SimContext built from `config`.
+/// Runs the full pipeline on a fresh SimContext built from `config`. Fatal
+/// SimFaults (rank crashes, exhausted transient retries) propagate to the
+/// caller; CheckpointError propagates when a resume is refused.
 [[nodiscard]] PipelineResult run_pipeline(const SimConfig& config,
                                           const CooMatrix& a,
                                           const PipelineOptions& options = {});

@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "algebra/semiring.hpp"
+#include "core/checkpoint.hpp"
 #include "dist/dist_bitmap.hpp"
 #include "dist/dist_bottomup.hpp"
 #include "dist/dist_primitives.hpp"
@@ -14,12 +15,59 @@
 namespace mcm {
 namespace {
 
+/// Captures the complete loop state at a superstep boundary. Uses only the
+/// uncharged verification accessors (to_std/to_global): checkpoint I/O is
+/// out-of-band host work and must not move the simulated clock (§5.5).
+Checkpoint snapshot_state(SimContext& ctx, const DistMatrix& a,
+                          const McmDistOptions& options,
+                          const McmDistStats& stats, std::uint64_t iteration,
+                          bool found_path, const DistDenseVec<Index>& mate_r,
+                          const DistDenseVec<Index>& mate_c,
+                          const DistDenseVec<Index>& pi_r,
+                          const DistDenseVec<Index>& path_c,
+                          const DistSpVec<Vertex>& f_c) {
+  Checkpoint ck;
+  CheckpointHeader& h = ck.header;
+  h.n_rows = a.n_rows();
+  h.n_cols = a.n_cols();
+  h.matrix_nnz = static_cast<std::uint64_t>(a.nnz());
+  h.processes = ctx.processes();
+  h.threads_per_process = ctx.threads();
+  h.semiring = static_cast<int>(options.semiring);
+  h.direction = static_cast<int>(options.direction);
+  h.augment = static_cast<int>(options.augment);
+  h.enable_prune = options.enable_prune;
+  h.use_mask = options.use_mask;
+  h.seed = options.seed;
+  h.pipeline_tag = options.checkpoint.pipeline_tag;
+  h.iteration = iteration;
+  h.found_path = found_path;
+  h.stats = stats;
+  ck.machine = {ctx.alpha(), ctx.beta_word(), ctx.edge_time_us(),
+                ctx.elem_time_us()};
+  ck.ledger = ctx.ledger();
+  ck.init_us = options.checkpoint.init_us;
+  ck.pre_init_us = options.checkpoint.pre_init_us;
+  ck.mate_r = mate_r.to_std();
+  ck.mate_c = mate_c.to_std();
+  ck.pi_r = pi_r.to_std();
+  ck.path_c = path_c.to_std();
+  const SpVec<Vertex> frontier = f_c.to_global();
+  h.frontier_nnz = static_cast<std::uint64_t>(frontier.nnz());
+  ck.frontier_idx = frontier.indices();
+  ck.frontier_val = frontier.values();
+  return ck;
+}
+
 template <typename SR>
 Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
                       const Matching& initial, const SR& sr,
                       const McmDistOptions& options, McmDistStats* stats) {
   const Index n_rows = a.n_rows();
   const Index n_cols = a.n_cols();
+  McmDistStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = McmDistStats{};
 
   // Distributed state: mate, parent and path vectors (paper §III-B).
   DistDenseVec<Index> mate_r(ctx, VSpace::Row, n_rows, kNull);
@@ -29,7 +77,7 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
   DistDenseVec<Index> pi_r(ctx, VSpace::Row, n_rows, kNull);
   DistDenseVec<Index> path_c(ctx, VSpace::Col, n_cols, kNull);
 
-  if (stats != nullptr) stats->initial_cardinality = initial.cardinality();
+  stats->initial_cardinality = initial.cardinality();
 
   // Replicated visited bitmaps for the masked top-down SpMV (§5.4). A pure
   // bottom-up run never consults the mask (its scan skips visited rows by
@@ -39,28 +87,113 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
   VisitedBitmap visited;
   if (use_mask) visited = VisitedBitmap(pi_r.layout());
 
+  // Superstep clock: one tick per BFS-iteration boundary, monotonic across
+  // phases (each phase's terminating empty-frontier probe counts too, so no
+  // two boundaries share a tick). Checkpoints and crash events are pinned
+  // to these boundaries (§5.5).
+  std::uint64_t global_iter = 0;
+  DistSpVec<Vertex> f_c;
+  bool found_path = false;
+  bool resuming = options.resume != nullptr;
+
+  if (resuming) {
+    const Checkpoint& ck = *options.resume;
+    if (ck.mate_r.size() != static_cast<std::size_t>(n_rows)
+        || ck.pi_r.size() != static_cast<std::size_t>(n_rows)
+        || ck.mate_c.size() != static_cast<std::size_t>(n_cols)
+        || ck.path_c.size() != static_cast<std::size_t>(n_cols)
+        || ck.frontier_idx.size() != ck.frontier_val.size()
+        || ck.frontier_idx.size()
+               != static_cast<std::size_t>(ck.header.frontier_nnz)) {
+      throw CheckpointError(
+          CheckpointError::Kind::BadFormat,
+          "restored array lengths disagree with the snapshot header");
+    }
+    mate_r.from_std(ck.mate_r);
+    mate_c.from_std(ck.mate_c);
+    pi_r.from_std(ck.pi_r);
+    path_c.from_std(ck.path_c);
+    SpVec<Vertex> frontier(n_cols);
+    frontier.reserve(ck.frontier_idx.size());
+    for (std::size_t k = 0; k < ck.frontier_idx.size(); ++k) {
+      frontier.push_back(ck.frontier_idx[k], ck.frontier_val[k]);
+    }
+    f_c = DistSpVec<Vertex>(ctx, VSpace::Col, n_cols);
+    f_c.from_global(frontier);
+    // Conservation across restore (mcmcheck): the snapshot's balances must
+    // survive the round trip — frontier entries, matched-pair symmetry, and
+    // (below) the rebuilt visited replicas against the parent count.
+    check::verify_conservation(
+        "CHECKPOINT", "restored frontier nnz", ck.header.frontier_nnz,
+        static_cast<std::uint64_t>(f_c.nnz_unaccounted()));
+    std::uint64_t matched_rows = 0;
+    std::uint64_t matched_cols = 0;
+    std::uint64_t parents = 0;
+    for (const Index mate : ck.mate_r) matched_rows += mate != kNull ? 1 : 0;
+    for (const Index mate : ck.mate_c) matched_cols += mate != kNull ? 1 : 0;
+    for (const Index parent : ck.pi_r) parents += parent != kNull ? 1 : 0;
+    check::verify_conservation("CHECKPOINT", "restored mate pairs",
+                               matched_rows, matched_cols);
+    if (use_mask) {
+      const std::uint64_t bits = visited.rebuild_from_parents(pi_r);
+      check::verify_conservation("CHECKPOINT", "restored visited bits",
+                                 parents, bits);
+    }
+    ctx.ledger() = ck.ledger;  // bit-exact simulated-clock restore
+    *stats = ck.header.stats;
+    global_iter = ck.header.iteration;
+    found_path = ck.header.found_path;
+  }
+
+  const CheckpointConfig& ckpt = options.checkpoint;
+  FaultPlan* faults = ctx.faults();
+
   const trace::Span run_span(ctx, "MCM-DIST", Cost::Other,
                              trace::Kind::Region);
   for (;;) {  // a phase of the algorithm
     const trace::Span phase_span(ctx, "MCM-DIST.phase", Cost::Other,
                                  trace::Kind::Region);
-    dist_fill(ctx, Cost::Other, pi_r, kNull);
-    if (use_mask) visited.clear();  // new phase: pi was reset, so is the mask
+    if (resuming) {
+      // State (including mid-phase pi/visited/frontier and the phase's
+      // found_path flag) came from the snapshot: skip the phase init once
+      // and drop straight back into the iteration loop.
+      resuming = false;
+    } else {
+      dist_fill(ctx, Cost::Other, pi_r, kNull);
+      if (use_mask) visited.clear();  // new phase: pi was reset, so is the mask
 
-    // Initial column frontier: unmatched columns, parent = root = self.
-    DistSpVec<Vertex> f_c = dist_from_dense<Vertex>(
-        ctx, Cost::Other, mate_c, [](Index mate) { return mate == kNull; },
-        [](Index g, Index) { return Vertex(g, g); });
+      // Initial column frontier: unmatched columns, parent = root = self.
+      f_c = dist_from_dense<Vertex>(
+          ctx, Cost::Other, mate_c, [](Index mate) { return mate == kNull; },
+          [](Index g, Index) { return Vertex(g, g); });
+      found_path = false;
+    }
 
-    bool found_path = false;
     for (;;) {
+      // Superstep boundary: checkpoint first, then scheduled faults — a
+      // crash pinned here resumes from this very boundary (with every=1).
+      if (ckpt.enabled() && global_iter % ckpt.every == 0) {
+        trace::Span save_span(ctx, "CHECKPOINT.save", Cost::Other,
+                              trace::Kind::Region);
+        const Checkpoint ck =
+            snapshot_state(ctx, a, options, *stats, global_iter, found_path,
+                           mate_r, mate_c, pi_r, path_c, f_c);
+        save_checkpoint(ck, ckpt.dir + "/"
+                                + checkpoint_file_name(global_iter));
+        save_span.close();
+        trace::counter(ctx, "checkpoint_bytes",
+                       static_cast<double>(ck.header.payload_bytes));
+      }
+      if (faults != nullptr) faults->begin_superstep(global_iter);
+      ++global_iter;
+
       const trace::Span iter_span(ctx, "MCM-DIST.bfs-iteration", Cost::Other,
                                   trace::Kind::Region);
       const Index frontier_nnz = dist_nnz(ctx, Cost::Other, f_c);
       trace::counter(ctx, "frontier_nnz",
                      static_cast<double>(frontier_nnz));
       if (frontier_nnz == 0) break;
-      if (stats != nullptr) ++stats->iterations;
+      ++stats->iterations;
 
       // Step 1: explore neighbors of the column frontier — top-down semiring
       // SpMV, or the bottom-up scan when enabled and profitable (only the
@@ -71,11 +204,14 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
                     || (options.direction == Direction::Optimizing
                         && bottom_up_beneficial(frontier_nnz, n_cols));
       }
-      DistSpVec<Vertex> f_r =
-          bottom_up ? dist_bottom_up_step(ctx, Cost::SpMV, a, f_c, pi_r)
-                    : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr,
-                                           use_mask ? &visited : nullptr);
-      if (bottom_up && stats != nullptr) ++stats->bottom_up_iterations;
+      DistSpVec<Vertex> f_r = with_transient_retry(
+          ctx, Cost::SpMV, CollectiveOp::Allgather, "SPMV", [&] {
+            return bottom_up
+                       ? dist_bottom_up_step(ctx, Cost::SpMV, a, f_c, pi_r)
+                       : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr,
+                                              use_mask ? &visited : nullptr);
+          });
+      if (bottom_up) ++stats->bottom_up_iterations;
 
       // Steps 2-4 fused: one pass drops already-visited rows, records
       // parents and splits path endpoints (unmatched) from tree growth
@@ -98,48 +234,55 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
       if (dist_nnz(ctx, Cost::Other, uf_r) > 0) {
         found_path = true;
         // Step 5: record one endpoint per tree, keyed by root (keep-first).
-        DistSpVec<Index> t_c = dist_invert<Index>(
-            ctx, Cost::Invert, uf_r, VSpace::Col, n_cols,
-            [](Index, const Vertex& v) { return v.root; },
-            [](Index g, const Vertex&) { return g; });
+        DistSpVec<Index> t_c = with_transient_retry(
+            ctx, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
+              return dist_invert<Index>(
+                  ctx, Cost::Invert, uf_r, VSpace::Col, n_cols,
+                  [](Index, const Vertex& v) { return v.root; },
+                  [](Index g, const Vertex&) { return g; });
+            });
         dist_set_dense(ctx, Cost::Other, path_c, t_c,
                        [](Index endpoint) { return endpoint; });
 
         // Step 6: prune trees that just yielded an augmenting path. The
         // roots are collected from uf_r inside the primitive.
         if (options.enable_prune) {
-          f_r = dist_prune(ctx, Cost::Prune, f_r, uf_r,
-                           [](const Vertex& v) { return v.root; });
+          f_r = with_transient_retry(
+              ctx, Cost::Prune, CollectiveOp::Allgather, "PRUNE", [&] {
+                return dist_prune(ctx, Cost::Prune, f_r, uf_r,
+                                  [](const Vertex& v) { return v.root; });
+              });
         }
       }
 
       // Step 7: next column frontier from the mates of the matched rows.
       dist_set_sparse(ctx, Cost::Other, f_r, mate_r,
                       [](Vertex& v, Index mate) { v.parent = mate; });
-      f_c = dist_invert<Vertex>(
-          ctx, Cost::Invert, f_r, VSpace::Col, n_cols,
-          [](Index, const Vertex& v) { return v.parent; },
-          [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+      f_c = with_transient_retry(
+          ctx, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
+            return dist_invert<Vertex>(
+                ctx, Cost::Invert, f_r, VSpace::Col, n_cols,
+                [](Index, const Vertex& v) { return v.parent; },
+                [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+          });
     }
 
     if (!found_path) break;  // no augmenting path anywhere: maximum reached
     const AugmentResult augmented =
         dist_augment(ctx, options.augment, path_c, pi_r, mate_r, mate_c);
-    if (stats != nullptr) {
-      ++stats->phases;
-      stats->augmentations += augmented.paths;
-      if (augmented.used_path_parallel) {
-        ++stats->path_parallel_phases;
-      } else {
-        ++stats->level_parallel_phases;
-      }
+    ++stats->phases;
+    stats->augmentations += augmented.paths;
+    if (augmented.used_path_parallel) {
+      ++stats->path_parallel_phases;
+    } else {
+      ++stats->level_parallel_phases;
     }
   }
 
   Matching result(n_rows, n_cols);
   result.mate_r = mate_r.to_std();
   result.mate_c = mate_c.to_std();
-  if (stats != nullptr) stats->final_cardinality = result.cardinality();
+  stats->final_cardinality = result.cardinality();
   return result;
 }
 

@@ -13,6 +13,7 @@
 /// breakdown categories.
 
 #include <cstdint>
+#include <string>
 
 #include "core/augment.hpp"
 #include "dist/dist_mat.hpp"
@@ -33,6 +34,28 @@ enum class Direction {
   Optimizing,  ///< per-iteration switch on frontier density (Beamer-style)
 };
 
+struct Checkpoint;  // core/checkpoint.hpp
+
+/// Periodic checkpointing of the BFS loop (DESIGN.md §5.5). Snapshots are
+/// written at superstep boundaries — the top of each BFS iteration, before
+/// any fault can fire there — and the write itself charges NO simulated
+/// time (checkpoint I/O is out-of-band host work, so a checkpointed run and
+/// a plain run keep bit-identical ledgers).
+struct CheckpointConfig {
+  std::string dir;           ///< empty = checkpointing off
+  std::uint64_t every = 1;   ///< write every N superstep boundaries
+  /// Driver fingerprint stored in headers and validated on resume (the
+  /// permutation the pipeline applied; a snapshot under one labeling cannot
+  /// resume under another).
+  std::uint64_t pipeline_tag = 0;
+  /// The driver's time split at MCM entry, carried into every snapshot so a
+  /// resumed run can reconstruct init_seconds/mcm_seconds exactly.
+  double init_us = 0;
+  double pre_init_us = 0;
+
+  [[nodiscard]] bool enabled() const { return !dir.empty() && every > 0; }
+};
+
 struct McmDistOptions {
   SemiringKind semiring = SemiringKind::MinParent;
   bool enable_prune = true;           ///< Algorithm 2 step 6 (Fig. 8 ablation)
@@ -44,6 +67,12 @@ struct McmDistOptions {
   /// multiply, shrinking the flops and fold charges. The matching is
   /// bit-identical either way; off is the unmasked ablation baseline.
   bool use_mask = true;
+  CheckpointConfig checkpoint;  ///< periodic snapshots (off by default)
+  /// Restored state to continue from instead of starting fresh. The caller
+  /// (run_pipeline) validates compatibility first; mcm_dist additionally
+  /// asserts conservation of the restored state under mcmcheck. The pointee
+  /// must outlive the call.
+  const Checkpoint* resume = nullptr;
 };
 
 struct McmDistStats {

@@ -73,6 +73,39 @@ class VisitedBitmap {
     std::fill(set_counts_.begin(), set_counts_.end(), 0);
   }
 
+  /// Reconstructs every segment's replica from a restored parent vector:
+  /// sets the bit of each row whose pi entry is non-null — the §5.4
+  /// invariant that the visited set IS the set of rows with parents.
+  /// Checkpoint restore only (DESIGN.md §5.5): charges nothing, because the
+  /// replicas are re-materialized from local state the snapshot already
+  /// paid for, not re-broadcast. Returns the number of bits set so the
+  /// caller can assert conservation against the snapshot.
+  [[nodiscard]] std::uint64_t rebuild_from_parents(
+      const DistDenseVec<Index>& pi) {
+    clear();
+    const VecLayout& layout = pi.layout();
+    std::uint64_t total = 0;
+    for (int s = 0; s < segments(); ++s) {
+      auto& bits = words_[static_cast<std::size_t>(s)];
+      const auto& within = layout.dist().within[static_cast<std::size_t>(s)];
+      std::uint64_t set_here = 0;
+      for (int part = 0; part < within.parts(); ++part) {
+        const auto& piece = pi.piece(layout.rank_of(s, part));
+        const Index offset = within.offset(part);
+        for (std::size_t k = 0; k < piece.size(); ++k) {
+          if (piece[k] == kNull) continue;
+          const auto i =
+              static_cast<std::uint64_t>(offset) + static_cast<std::uint64_t>(k);
+          bits[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+          ++set_here;
+        }
+      }
+      set_counts_[static_cast<std::size_t>(s)] = set_here;
+      total += set_here;
+    }
+    return total;
+  }
+
   /// Merges this iteration's freshly discovered frontier pieces into every
   /// segment's replica and charges the incremental broadcast. All vectors in
   /// `fresh` must share the layout this bitmap was built from; their index

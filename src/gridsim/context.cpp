@@ -69,11 +69,13 @@ SimContext::SimContext(const SimConfig& config)
 }
 
 void SimContext::charge_edge_ops(Cost category, std::uint64_t max_rank_ops) {
-  ledger_.charge_time(category, static_cast<double>(max_rank_ops) * edge_time_us_);
+  ledger_.charge_time(category, fault_scale() * static_cast<double>(max_rank_ops)
+                                    * edge_time_us_);
 }
 
 void SimContext::charge_elem_ops(Cost category, std::uint64_t max_rank_ops) {
-  ledger_.charge_time(category, static_cast<double>(max_rank_ops) * elem_time_us_);
+  ledger_.charge_time(category, fault_scale() * static_cast<double>(max_rank_ops)
+                                    * elem_time_us_);
 }
 
 void SimContext::charge_allgatherv(Cost category, int group_size, int n_groups,
@@ -83,7 +85,7 @@ void SimContext::charge_allgatherv(Cost category, int group_size, int n_groups,
   const double time = (g - 1) * alpha()
                       + ((g - 1) / g) * static_cast<double>(max_group_words)
                             * beta_word();
-  ledger_.charge_time(category, time);
+  ledger_.charge_time(category, fault_scale() * time);
   ledger_.count_comm(category,
                      static_cast<std::uint64_t>(group_size - 1)
                          * static_cast<std::uint64_t>(n_groups),
@@ -97,7 +99,7 @@ void SimContext::charge_alltoallv(Cost category, int group_size, int n_groups,
   const double g = group_size;
   const double time = latency_rounds * (g - 1) * alpha()
                       + static_cast<double>(max_rank_words) * beta_word();
-  ledger_.charge_time(category, time);
+  ledger_.charge_time(category, fault_scale() * time);
   ledger_.count_comm(category,
                      static_cast<std::uint64_t>(latency_rounds)
                          * static_cast<std::uint64_t>(group_size - 1)
@@ -122,7 +124,7 @@ void SimContext::charge_allreduce(Cost category, int group_size,
   const double rounds = std::ceil(std::log2(static_cast<double>(group_size)));
   const double time =
       2.0 * rounds * (alpha() + static_cast<double>(words) * beta_word());
-  ledger_.charge_time(category, time);
+  ledger_.charge_time(category, fault_scale() * time);
   ledger_.count_comm(category,
                      static_cast<std::uint64_t>(2.0 * rounds)
                          * static_cast<std::uint64_t>(group_size),
@@ -134,7 +136,7 @@ void SimContext::charge_gatherv_root(Cost category, int processes,
   if (processes <= 1) return;
   const double time = (processes - 1) * alpha()
                       + static_cast<double>(total_words) * beta_word();
-  ledger_.charge_time(category, time);
+  ledger_.charge_time(category, fault_scale() * time);
   ledger_.count_comm(category, static_cast<std::uint64_t>(processes - 1),
                      total_words);
 }
@@ -150,7 +152,7 @@ void SimContext::charge_rma(Cost category, std::uint64_t ops,
   const double time =
       static_cast<double>(ops)
       * (alpha() + static_cast<double>(words_each) * beta_word());
-  ledger_.charge_time(category, time);
+  ledger_.charge_time(category, fault_scale() * time);
   ledger_.count_comm(category, ops, ops * words_each);
 }
 

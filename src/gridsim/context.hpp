@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "gridsim/cost_ledger.hpp"
+#include "gridsim/faultsim.hpp"
 #include "gridsim/host_engine.hpp"
 #include "gridsim/machine.hpp"
 #include "gridsim/mcmcheck.hpp"
@@ -110,6 +111,18 @@ class SimContext {
     trace::set_mode(mode);
   }
 
+  /// faultsim (gridsim/faultsim.hpp): the deterministic fault schedule this
+  /// context runs under; nullptr (the default) is fault-free. Like the host
+  /// engine, the plan is one mutable object shared by every copy of this
+  /// context. While a straggler window is active every charge below is
+  /// scaled by the plan's time_scale() — under the bulk-synchronous
+  /// max-over-ranks rule the slow rank sets the pace of each charge, a
+  /// deliberately pessimistic critical-path assumption (DESIGN.md §5.5).
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+    faults_ = std::move(plan);
+  }
+  [[nodiscard]] FaultPlan* faults() const { return faults_.get(); }
+
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }
   [[nodiscard]] double beta_word() const { return config_.machine.beta_us_per_word; }
 
@@ -153,6 +166,12 @@ class SimContext {
   double edge_time_us_;
   double elem_time_us_;
   std::shared_ptr<HostEngine> host_;
+  std::shared_ptr<FaultPlan> faults_;
+
+  /// Straggler slowdown applied to every charge (1.0 without a plan).
+  [[nodiscard]] double fault_scale() const {
+    return faults_ == nullptr ? 1.0 : faults_->time_scale();
+  }
 };
 
 /// Words (8-byte units) occupied by a T when serialized on the wire.

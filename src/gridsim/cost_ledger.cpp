@@ -61,6 +61,14 @@ std::uint64_t CostLedger::total_words() const noexcept {
   return total;
 }
 
+void CostLedger::set_raw(Cost category, double us, std::uint64_t messages,
+                         std::uint64_t words) noexcept {
+  const auto c = static_cast<std::size_t>(category);
+  time_us_[c] = us;
+  messages_[c] = messages;
+  words_[c] = words;
+}
+
 void CostLedger::reset() noexcept {
   time_us_.fill(0.0);
   messages_.fill(0);

@@ -46,6 +46,13 @@ class CostLedger {
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
   [[nodiscard]] std::uint64_t total_words() const noexcept;
 
+  /// Overwrites one category's raw totals. Checkpoint restore only
+  /// (core/checkpoint.hpp): reconstitutes a serialized ledger bit-exactly,
+  /// so it deliberately bypasses the charge-monotonicity validation — it is
+  /// not a charge.
+  void set_raw(Cost category, double us, std::uint64_t messages,
+               std::uint64_t words) noexcept;
+
   void reset() noexcept;
 
   /// Multi-line per-category report (used by benches' breakdown output).

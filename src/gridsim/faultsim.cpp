@@ -1,0 +1,266 @@
+#include "gridsim/faultsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcm {
+namespace {
+
+/// SplitMix64 finalizer: the stateless hash behind every probabilistic
+/// decision. Mixing (seed, step, ordinal) through it keeps decisions
+/// reproducible across runs and resume replays without any RNG state to
+/// serialize.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic draw in [0, 1) from a seed and two ordinals.
+double uniform_draw(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix64(seed ^ mix64(a ^ mix64(b)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> split(const std::string& text, const char* seps) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find_first_of(seps, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("--inject-fault: " + what);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& text) {
+  unsigned long long value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    bad_spec(key + " expects an integer, got '" + text + "'");
+  }
+  if (pos != text.size()) {
+    bad_spec(key + " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  double value = 0;
+  std::size_t pos = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    bad_spec(key + " expects a number, got '" + text + "'");
+  }
+  if (pos != text.size() || !std::isfinite(value)) {
+    bad_spec(key + " expects a number, got '" + text + "'");
+  }
+  return value;
+}
+
+CollectiveOp parse_op(const std::string& text) {
+  if (text == "any") return CollectiveOp::Any;
+  if (text == "allgather") return CollectiveOp::Allgather;
+  if (text == "alltoall") return CollectiveOp::Alltoall;
+  bad_spec("op expects allgather|alltoall|any, got '" + text + "'");
+}
+
+FaultEvent parse_event(const std::string& text) {
+  const std::vector<std::string> fields = split(text, ":");
+  if (fields.empty() || fields[0].empty()) bad_spec("empty event");
+  FaultEvent event;
+  const std::string& kind = fields[0];
+  if (kind == "straggler") {
+    event.kind = FaultKind::Straggler;
+  } else if (kind == "transient") {
+    event.kind = FaultKind::Transient;
+  } else if (kind == "crash") {
+    event.kind = FaultKind::Crash;
+  } else {
+    bad_spec("unknown fault kind '" + kind
+             + "' (expected straggler|transient|crash)");
+  }
+  bool saw_step = false;
+  for (std::size_t f = 1; f < fields.size(); ++f) {
+    const auto eq = fields[f].find('=');
+    if (eq == std::string::npos) bad_spec("field '" + fields[f] + "' needs key=value");
+    const std::string key = fields[f].substr(0, eq);
+    const std::string value = fields[f].substr(eq + 1);
+    if (key == "rank") {
+      event.rank = static_cast<int>(parse_u64(key, value));
+    } else if (key == "from") {
+      event.from = parse_u64(key, value);
+    } else if (key == "until") {
+      event.until = parse_u64(key, value);
+    } else if (key == "factor") {
+      event.factor = parse_double(key, value);
+    } else if (key == "prob") {
+      event.prob = parse_double(key, value);
+    } else if (key == "op") {
+      event.op = parse_op(value);
+    } else if (key == "step") {
+      event.step = parse_u64(key, value);
+      saw_step = true;
+    } else if (key == "count") {
+      event.count = static_cast<int>(parse_u64(key, value));
+    } else {
+      bad_spec("unknown key '" + key + "' in '" + text + "'");
+    }
+  }
+  switch (event.kind) {
+    case FaultKind::Straggler:
+      if (event.factor <= 1.0) bad_spec("straggler factor must be > 1");
+      if (event.prob >= 0 && (event.prob > 1.0)) bad_spec("prob must be in [0,1]");
+      if (event.until <= event.from) bad_spec("straggler window is empty (until <= from)");
+      break;
+    case FaultKind::Transient:
+      if (event.prob < 0 && !saw_step) {
+        bad_spec("transient needs step=S (scheduled) or prob=P (random)");
+      }
+      if (event.prob > 1.0) bad_spec("prob must be in [0,1]");
+      if (event.count < 1) bad_spec("transient count must be >= 1");
+      break;
+    case FaultKind::Crash:
+      if (!saw_step) bad_spec("crash needs step=S");
+      break;
+  }
+  return event;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::Straggler: return "straggler";
+    case FaultKind::Transient: return "transient";
+    case FaultKind::Crash: return "crash";
+  }
+  return "?";
+}
+
+const char* collective_op_name(CollectiveOp op) noexcept {
+  switch (op) {
+    case CollectiveOp::Any: return "any";
+    case CollectiveOp::Allgather: return "allgather";
+    case CollectiveOp::Alltoall: return "alltoall";
+  }
+  return "?";
+}
+
+SimFault::SimFault(FaultKind kind, std::uint64_t superstep, int rank,
+                   std::string site, bool fatal, const std::string& message)
+    : std::runtime_error(message),
+      kind_(kind),
+      superstep_(superstep),
+      rank_(rank),
+      site_(std::move(site)),
+      fatal_(fatal) {}
+
+std::string FaultReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "aborts=%llu retries=%llu exhausted=%llu crashes=%llu "
+                "straggler_steps=%llu retry_charge_us=%.1f",
+                static_cast<unsigned long long>(transient_aborts),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(exhausted),
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(straggler_steps),
+                retry_charge_us);
+  return buf;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan(seed);
+  for (const std::string& part : split(spec, ";,")) {
+    if (part.empty()) continue;
+    plan.add(parse_event(part));
+  }
+  if (plan.events_.empty()) bad_spec("spec contains no events: '" + spec + "'");
+  return plan;
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  events_.push_back(event);
+  fired_.push_back(0);
+  has_transients_ = has_transients_ || event.kind == FaultKind::Transient;
+  has_stragglers_ = has_stragglers_ || event.kind == FaultKind::Straggler;
+  scale_ = scale_for(step_);
+}
+
+double FaultPlan::scale_for(std::uint64_t step) const {
+  if (!has_stragglers_) return 1.0;
+  double scale = 1.0;
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    const FaultEvent& event = events_[e];
+    if (event.kind != FaultKind::Straggler) continue;
+    if (step < event.from || step >= event.until) continue;
+    if (event.prob >= 0
+        && uniform_draw(seed_, step, static_cast<std::uint64_t>(e))
+               >= event.prob) {
+      continue;
+    }
+    scale = std::max(scale, event.factor);
+  }
+  return scale;
+}
+
+void FaultPlan::begin_superstep(std::uint64_t step) {
+  step_ = step;
+  calls_this_step_ = 0;
+  scale_ = scale_for(step);
+  if (scale_ > 1.0) ++report_.straggler_steps;
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    const FaultEvent& event = events_[e];
+    if (event.kind != FaultKind::Crash || event.step != step) continue;
+    if (fired_[e] != 0) continue;  // a crash fires once per process
+    fired_[e] = 1;
+    ++report_.crashes;
+    throw SimFault(FaultKind::Crash, step, event.rank, "superstep",
+                   /*fatal=*/true,
+                   "rank crashed at superstep boundary "
+                       + std::to_string(step));
+  }
+}
+
+void FaultPlan::collective_point(CollectiveOp op, const char* site) {
+  const std::uint64_t call = calls_this_step_++;
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    const FaultEvent& event = events_[e];
+    if (event.kind != FaultKind::Transient) continue;
+    if (event.op != CollectiveOp::Any && event.op != op) continue;
+    bool hit = false;
+    if (event.prob >= 0) {
+      hit = uniform_draw(seed_ ^ mix64(static_cast<std::uint64_t>(e)), step_,
+                         call)
+            < event.prob;
+    } else {
+      hit = event.step == step_ && fired_[e] < event.count;
+    }
+    if (!hit) continue;
+    ++fired_[e];
+    ++report_.transient_aborts;
+    throw SimFault(FaultKind::Transient, step_, event.rank, site,
+                   /*fatal=*/false,
+                   std::string(site) + ": "
+                       + collective_op_name(
+                           event.op == CollectiveOp::Any ? op : event.op)
+                       + " aborted at superstep " + std::to_string(step_));
+  }
+}
+
+}  // namespace mcm

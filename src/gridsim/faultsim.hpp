@@ -1,0 +1,246 @@
+#pragma once
+/// \file faultsim.hpp
+/// faultsim — seeded, deterministic fault injection for the simulated
+/// machine (DESIGN.md §5.5). A FaultPlan, owned (shared) by a SimContext,
+/// schedules three kinds of events against the BSP superstep clock that the
+/// MCM-DIST driver advances once per BFS iteration:
+///
+///   straggler  one rank runs slower for a window of supersteps. Under the
+///              bulk-synchronous max-over-ranks charging rule the slowest
+///              rank sets the pace, so every charge made while a straggler
+///              window is active is scaled by the largest active factor —
+///              the Fig. 5-style breakdown shifts measurably while results
+///              stay bit-identical (control flow never consults the clock).
+///   transient  a collective (the expand/fold allgathers of SPMV and PRUNE,
+///              the all-to-all of INVERT) aborts. Surfaces as a typed
+///              SimFault thrown at the *entry* of the faulted primitive:
+///              gridsim primitives take const inputs and return new vectors,
+///              so no partial state escapes and the driver may simply retry
+///              (with_transient_retry below — bounded attempts, each aborted
+///              round charged to the ledger as re-executed superstep time).
+///   crash      hard rank loss, pinned to a superstep boundary (the only
+///              points where driver state is consistent and checkpointable).
+///              Surfaces as a fatal SimFault from begin_superstep(); the
+///              driver unwinds and the tool reports the latest checkpoint.
+///
+/// Determinism: every probabilistic decision hashes (seed, superstep,
+/// call-ordinal, event-ordinal) with a SplitMix64 finalizer — no global RNG
+/// state, so a resumed run that replays the same supersteps makes the same
+/// decisions, and two runs with the same plan are identical.
+///
+/// Fault plans are not persisted in checkpoints: a resumed run injects only
+/// the faults given on its own command line (re-injecting the same crash
+/// spec on resume would crash at the same boundary again).
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gridsim/cost_ledger.hpp"
+#include "gridsim/trace.hpp"
+
+namespace mcm {
+
+enum class FaultKind {
+  Straggler,  ///< per-rank slowdown over a superstep window
+  Transient,  ///< recoverable collective abort (retry-able)
+  Crash,      ///< hard rank loss at a superstep boundary (fatal)
+};
+
+/// Which collective family a transient event targets. Injection sites are
+/// primitive entries: SPMV and PRUNE register as Allgather (their expand /
+/// root broadcast), INVERT as Alltoall; Any matches every site.
+enum class CollectiveOp {
+  Any,
+  Allgather,
+  Alltoall,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+[[nodiscard]] const char* collective_op_name(CollectiveOp op) noexcept;
+
+/// Typed fault surfaced to drivers. `fatal()` faults (crashes, exhausted
+/// retries) must unwind to the caller; non-fatal transients are consumed by
+/// with_transient_retry.
+class SimFault : public std::runtime_error {
+ public:
+  SimFault(FaultKind kind, std::uint64_t superstep, int rank,
+           std::string site, bool fatal, const std::string& message);
+
+  [[nodiscard]] FaultKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t superstep() const noexcept { return superstep_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  /// Injection site ("SPMV", "INVERT", "PRUNE", or "superstep" for crashes).
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] bool fatal() const noexcept { return fatal_; }
+
+ private:
+  FaultKind kind_;
+  std::uint64_t superstep_;
+  int rank_;
+  std::string site_;
+  bool fatal_;
+};
+
+/// One scheduled event, as parsed from the --inject-fault spec grammar.
+struct FaultEvent {
+  FaultKind kind = FaultKind::Straggler;
+  int rank = 0;                ///< straggler: which rank runs slow (reporting)
+  std::uint64_t from = 0;      ///< straggler window [from, until)
+  std::uint64_t until = UINT64_MAX;
+  double factor = 2.0;         ///< straggler slowdown multiplier (> 1)
+  double prob = -1.0;          ///< seeded per-step / per-call probability
+  CollectiveOp op = CollectiveOp::Any;  ///< transient target
+  std::uint64_t step = 0;      ///< transient / crash superstep
+  int count = 1;               ///< transient: consecutive aborted attempts
+};
+
+/// Retry policy for transient collective faults: bounded attempts with
+/// exponential backoff. Each aborted attempt charges the aborted round's
+/// latency plus the backoff to the faulted primitive's cost category.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< total tries, including the first
+  double backoff_us = 100.0;       ///< backoff after the first abort
+  double backoff_multiplier = 2.0; ///< growth per further abort
+
+  [[nodiscard]] double backoff_for(int failed_attempts) const {
+    double us = backoff_us;
+    for (int k = 1; k < failed_attempts; ++k) us *= backoff_multiplier;
+    return us;
+  }
+};
+
+/// What the plan injected and what the drivers did about it — the
+/// graceful-degradation report printed when a run completes or gives up.
+struct FaultReport {
+  std::uint64_t transient_aborts = 0;  ///< collective aborts injected
+  std::uint64_t retries = 0;           ///< aborts recovered by retry
+  std::uint64_t exhausted = 0;         ///< aborts that ran out of attempts
+  std::uint64_t crashes = 0;           ///< fatal rank-crash events fired
+  std::uint64_t straggler_steps = 0;   ///< supersteps run under a straggler
+  double retry_charge_us = 0;          ///< sim time charged to failed attempts
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The deterministic fault schedule. Shared (via shared_ptr) between a
+/// SimContext, its copies, and the tool that wants the report afterwards.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Parses the --inject-fault spec grammar: events separated by ';' or ',',
+  /// each `kind:key=value:key=value...`. Kinds and keys:
+  ///   straggler:rank=R:from=A:until=B:factor=F   window [A,B), default all
+  ///   straggler:prob=P:factor=F                  seeded per-superstep draw
+  ///   transient:op=allgather|alltoall|any:step=S:count=N
+  ///   transient:op=...:prob=P                    seeded per-collective draw
+  ///   crash:step=S
+  /// Throws std::invalid_argument on malformed specs.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec,
+                                       std::uint64_t seed);
+
+  void add(const FaultEvent& event);
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+  [[nodiscard]] RetryPolicy& retry_policy() noexcept { return policy_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return policy_;
+  }
+
+  /// Advances the superstep clock. Called by the driver at each BFS
+  /// iteration boundary (after the boundary's checkpoint, so a crash here
+  /// resumes from the very boundary it hit). Fires scheduled crashes (once
+  /// each) as fatal SimFaults and refreshes the straggler scale.
+  void begin_superstep(std::uint64_t step);
+
+  [[nodiscard]] std::uint64_t superstep() const noexcept { return step_; }
+
+  /// Current max-over-active-stragglers slowdown (1.0 = none). SimContext
+  /// multiplies every charge by this.
+  [[nodiscard]] double time_scale() const noexcept { return scale_; }
+
+  /// Transient injection point, called by with_transient_retry at the entry
+  /// of a faultable primitive; throws a non-fatal SimFault when a transient
+  /// event (scheduled or probabilistic) hits this call. Every call — retries
+  /// included — consumes one deterministic call ordinal within the step.
+  void collective_point(CollectiveOp op, const char* site);
+
+  [[nodiscard]] bool has_transient_faults() const noexcept {
+    return has_transients_;
+  }
+
+  [[nodiscard]] const FaultReport& report() const noexcept { return report_; }
+
+  // --- bookkeeping used by with_transient_retry ---
+  void note_retry(double charged_us) {
+    ++report_.retries;
+    report_.retry_charge_us += charged_us;
+  }
+  void note_exhausted() { ++report_.exhausted; }
+
+ private:
+  [[nodiscard]] double scale_for(std::uint64_t step) const;
+
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+  std::vector<int> fired_;  ///< per-event: crash consumed / transient aborts
+  RetryPolicy policy_;
+  FaultReport report_;
+  std::uint64_t step_ = 0;
+  std::uint64_t calls_this_step_ = 0;
+  double scale_ = 1.0;
+  bool has_transients_ = false;
+  bool has_stragglers_ = false;
+};
+
+/// Runs `body` — a collective-bearing primitive that takes const inputs and
+/// returns a fresh result — under the context's fault plan. On a transient
+/// abort the aborted round's latency plus exponential backoff is charged to
+/// `category` (the re-executed superstep time of the retry model) and the
+/// body is retried, up to the plan's RetryPolicy::max_attempts; exhaustion
+/// rethrows the fault as fatal for the driver's graceful-degradation path.
+/// With no plan (or no transient events) this is a plain call.
+template <typename Ctx, typename F>
+auto with_transient_retry(Ctx& ctx, Cost category, CollectiveOp op,
+                          const char* site, F&& body) {
+  FaultPlan* plan = ctx.faults();
+  if (plan == nullptr || !plan->has_transient_faults()) return body();
+  const RetryPolicy& policy = plan->retry_policy();
+  for (int attempt = 1;; ++attempt) {
+    try {
+      plan->collective_point(op, site);
+      return body();
+    } catch (const SimFault& fault) {
+      if (fault.kind() != FaultKind::Transient || fault.fatal()) throw;
+      if (attempt >= policy.max_attempts) {
+        plan->note_exhausted();
+        throw SimFault(FaultKind::Transient, plan->superstep(), fault.rank(),
+                       site, /*fatal=*/true,
+                       std::string(site) + ": transient collective fault "
+                           "persisted through "
+                           + std::to_string(policy.max_attempts)
+                           + " attempts; giving up");
+      }
+      // The aborted round reached (group-1) partners before failing; that
+      // latency plus the policy backoff is what the retry re-executes.
+      const double aborted_us =
+          static_cast<double>(ctx.grid().pr() - 1) * ctx.alpha();
+      const double charge = aborted_us + policy.backoff_for(attempt);
+      trace::Span retry_span(ctx, "FAULT.retry", category,
+                             trace::Kind::Region);
+      ctx.ledger().charge_time(category, charge);
+      retry_span.close();
+      plan->note_retry(charge);
+      trace::counter(ctx, "fault_retries",
+                     static_cast<double>(plan->report().retries));
+    }
+  }
+}
+
+}  // namespace mcm

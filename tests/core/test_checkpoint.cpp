@@ -1,0 +1,469 @@
+/// Checkpoint/restart suite (DESIGN.md §5.5). The headline property: crash
+/// at superstep k plus --resume reproduces the uninterrupted run's final
+/// matching AND per-category cost ledger bit for bit, across grid sizes,
+/// host-thread counts and mask on/off. Around it: the on-disk format's
+/// negative paths (truncated, corrupt, wrong version, wrong magic), the
+/// structured refusal of incompatible resumes (grid shape, options,
+/// permutation fingerprint), the checkpoint-writes-charge-nothing rule, and
+/// mcmcheck conservation asserts on tampered restored state.
+
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "dist/dist_mat.hpp"
+#include "gen/rmat.hpp"
+#include "gridsim/faultsim.hpp"
+#include "gridsim/mcmcheck.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+CooMatrix test_graph() {
+  Rng rng(1);
+  RmatParams params = RmatParams::g500(8);
+  params.edge_factor = 8.0;
+  return rmat(params, rng);
+}
+
+/// A fresh, empty scratch directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("mcm_ckpt_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+struct RunSpec {
+  int processes = 16;
+  int host_threads = 1;
+  bool mask = true;
+  std::string ckpt_dir;
+  std::uint64_t every = 2;
+  bool resume = false;
+  std::shared_ptr<FaultPlan> faults;
+  std::uint64_t permute_seed = 7;
+  std::uint64_t semiring_seed = 1;
+};
+
+PipelineResult run(const CooMatrix& coo, const RunSpec& spec) {
+  SimConfig config;
+  config.cores = spec.processes;
+  config.threads_per_process = 1;
+  config.host_threads = spec.host_threads;
+  PipelineOptions options;
+  options.initializer = MaximalKind::None;  // plenty of supersteps to crash in
+  options.permute_seed = spec.permute_seed;
+  options.mcm.use_mask = spec.mask;
+  options.mcm.seed = spec.semiring_seed;
+  options.mcm.checkpoint.dir = spec.ckpt_dir;
+  options.mcm.checkpoint.every = spec.every;
+  options.resume = spec.resume;
+  options.faults = spec.faults;
+  return run_pipeline(config, coo, options);
+}
+
+/// Runs with a crash scheduled at `step`, asserting that it fires.
+void run_expecting_crash(const CooMatrix& coo, RunSpec spec,
+                         std::uint64_t step) {
+  spec.faults = std::make_shared<FaultPlan>(
+      FaultPlan::parse("crash:step=" + std::to_string(step), /*seed=*/1));
+  try {
+    (void)run(coo, spec);
+    FAIL() << "scheduled crash at superstep " << step << " did not fire";
+  } catch (const SimFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Crash);
+    EXPECT_EQ(fault.superstep(), step);
+  }
+}
+
+void expect_ledger_identical(const CostLedger& a, const CostLedger& b) {
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const Cost cat = static_cast<Cost>(c);
+    // Exact, not near: resume must replay the very same charges.
+    EXPECT_EQ(a.time_us(cat), b.time_us(cat)) << cost_name(cat);
+    EXPECT_EQ(a.messages(cat), b.messages(cat)) << cost_name(cat);
+    EXPECT_EQ(a.words(cat), b.words(cat)) << cost_name(cat);
+  }
+}
+
+CheckpointError::Kind load_failure_kind(const std::string& path) {
+  try {
+    (void)load_checkpoint(path);
+  } catch (const CheckpointError& error) {
+    return error.kind();
+  }
+  ADD_FAILURE() << "load_checkpoint(" << path << ") did not throw";
+  return CheckpointError::Kind::Io;
+}
+
+/// A small but fully populated snapshot for format tests.
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.header.n_rows = 6;
+  ck.header.n_cols = 5;
+  ck.header.matrix_nnz = 17;
+  ck.header.processes = 4;
+  ck.header.threads_per_process = 1;
+  ck.header.semiring = 1;
+  ck.header.direction = 2;
+  ck.header.augment = 1;
+  ck.header.enable_prune = false;
+  ck.header.use_mask = true;
+  ck.header.seed = 42;
+  ck.header.pipeline_tag = 15;
+  ck.header.iteration = 9;
+  ck.header.found_path = true;
+  ck.header.frontier_nnz = 2;
+  ck.header.stats.phases = 3;
+  ck.header.stats.iterations = 9;
+  ck.header.stats.bottom_up_iterations = 2;
+  ck.header.stats.augmentations = 4;
+  ck.header.stats.path_parallel_phases = 1;
+  ck.header.stats.level_parallel_phases = 2;
+  ck.header.stats.initial_cardinality = 3;
+  ck.machine.alpha_us = 1.25;
+  ck.machine.beta_word_us = 0.004;
+  ck.machine.edge_time_us = 0.001;
+  ck.machine.elem_time_us = 0.0005;
+  ck.ledger.set_raw(Cost::SpMV, 123.456, 7, 890);
+  ck.ledger.set_raw(Cost::Invert, 0.125, 3, 44);
+  ck.ledger.set_raw(Cost::Other, 1e-9, 0, 1);
+  ck.init_us = 55.5;
+  ck.pre_init_us = 2.75;
+  ck.mate_r = {kNull, 2, 0, kNull, 1, 4};
+  ck.mate_c = {2, 4, 1, kNull, 5};
+  ck.pi_r = {kNull, 3, 3, kNull, 0, kNull};
+  ck.path_c = {kNull, kNull, kNull, kNull, kNull};
+  ck.frontier_idx = {0, 3};
+  ck.frontier_val = {Vertex{1, 3}, Vertex{4, 0}};
+  return ck;
+}
+
+TEST(CheckpointFormat, FileNamesSortByBoundary) {
+  EXPECT_EQ(checkpoint_file_name(7), "checkpoint-0000000007.mcmckpt");
+  EXPECT_EQ(checkpoint_file_name(1234567), "checkpoint-0001234567.mcmckpt");
+  EXPECT_LT(checkpoint_file_name(9), checkpoint_file_name(10));  // zero-pad
+}
+
+TEST(CheckpointFormat, FindLatestPicksTheHighestBoundary) {
+  const std::string dir = fresh_dir("find_latest");
+  for (const std::uint64_t iter : {0ULL, 2ULL, 10ULL, 4ULL}) {
+    std::ofstream(dir + "/" + checkpoint_file_name(iter)) << "x";
+  }
+  std::ofstream(dir + "/not-a-checkpoint.txt") << "x";  // ignored
+  EXPECT_EQ(find_latest_checkpoint(dir), dir + "/" + checkpoint_file_name(10));
+}
+
+TEST(CheckpointFormat, FindLatestRefusesEmptyOrMissingDirectories) {
+  try {
+    (void)find_latest_checkpoint(fresh_dir("find_empty"));
+    FAIL() << "empty directory should not yield a checkpoint";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointError::Kind::NotFound);
+  }
+  EXPECT_THROW((void)find_latest_checkpoint("/nonexistent/mcm/ckpt/dir"),
+               CheckpointError);
+}
+
+TEST(CheckpointFormat, RoundTripIsFieldExact) {
+  const std::string dir = fresh_dir("roundtrip");
+  const Checkpoint ck = sample_checkpoint();
+  const std::string path = dir + "/" + checkpoint_file_name(ck.header.iteration);
+  save_checkpoint(ck, path);
+  const Checkpoint back = load_checkpoint(path);
+
+  EXPECT_EQ(back.header.version, kCheckpointVersion);
+  EXPECT_EQ(back.header.n_rows, ck.header.n_rows);
+  EXPECT_EQ(back.header.n_cols, ck.header.n_cols);
+  EXPECT_EQ(back.header.matrix_nnz, ck.header.matrix_nnz);
+  EXPECT_EQ(back.header.processes, ck.header.processes);
+  EXPECT_EQ(back.header.threads_per_process, ck.header.threads_per_process);
+  EXPECT_EQ(back.header.semiring, ck.header.semiring);
+  EXPECT_EQ(back.header.direction, ck.header.direction);
+  EXPECT_EQ(back.header.augment, ck.header.augment);
+  EXPECT_EQ(back.header.enable_prune, ck.header.enable_prune);
+  EXPECT_EQ(back.header.use_mask, ck.header.use_mask);
+  EXPECT_EQ(back.header.seed, ck.header.seed);
+  EXPECT_EQ(back.header.pipeline_tag, ck.header.pipeline_tag);
+  EXPECT_EQ(back.header.iteration, ck.header.iteration);
+  EXPECT_EQ(back.header.found_path, ck.header.found_path);
+  EXPECT_EQ(back.header.frontier_nnz, ck.header.frontier_nnz);
+  EXPECT_EQ(back.header.stats.phases, ck.header.stats.phases);
+  EXPECT_EQ(back.header.stats.iterations, ck.header.stats.iterations);
+  EXPECT_EQ(back.header.stats.bottom_up_iterations,
+            ck.header.stats.bottom_up_iterations);
+  EXPECT_EQ(back.header.stats.augmentations, ck.header.stats.augmentations);
+  EXPECT_EQ(back.header.stats.path_parallel_phases,
+            ck.header.stats.path_parallel_phases);
+  EXPECT_EQ(back.header.stats.level_parallel_phases,
+            ck.header.stats.level_parallel_phases);
+  EXPECT_EQ(back.header.stats.initial_cardinality,
+            ck.header.stats.initial_cardinality);
+  // Doubles travel in the binary payload precisely so this holds bit-exactly.
+  EXPECT_EQ(back.machine.alpha_us, ck.machine.alpha_us);
+  EXPECT_EQ(back.machine.beta_word_us, ck.machine.beta_word_us);
+  EXPECT_EQ(back.machine.edge_time_us, ck.machine.edge_time_us);
+  EXPECT_EQ(back.machine.elem_time_us, ck.machine.elem_time_us);
+  EXPECT_EQ(back.init_us, ck.init_us);
+  EXPECT_EQ(back.pre_init_us, ck.pre_init_us);
+  expect_ledger_identical(back.ledger, ck.ledger);
+  EXPECT_EQ(back.mate_r, ck.mate_r);
+  EXPECT_EQ(back.mate_c, ck.mate_c);
+  EXPECT_EQ(back.pi_r, ck.pi_r);
+  EXPECT_EQ(back.path_c, ck.path_c);
+  EXPECT_EQ(back.frontier_idx, ck.frontier_idx);
+  ASSERT_EQ(back.frontier_val.size(), ck.frontier_val.size());
+  for (std::size_t i = 0; i < ck.frontier_val.size(); ++i) {
+    EXPECT_EQ(back.frontier_val[i].parent, ck.frontier_val[i].parent);
+    EXPECT_EQ(back.frontier_val[i].root, ck.frontier_val[i].root);
+  }
+}
+
+TEST(CheckpointFormat, RefusesDamagedFiles) {
+  const std::string dir = fresh_dir("damaged");
+  const std::string good = dir + "/" + checkpoint_file_name(0);
+  save_checkpoint(sample_checkpoint(), good);
+  const auto file_size = std::filesystem::file_size(good);
+
+  // Not a checkpoint at all.
+  const std::string garbage = dir + "/garbage.mcmckpt";
+  std::ofstream(garbage) << "definitely not a checkpoint\n";
+  EXPECT_EQ(load_failure_kind(garbage), CheckpointError::Kind::BadFormat);
+
+  // A format version this build does not speak.
+  const std::string future = dir + "/future.mcmckpt";
+  std::ofstream(future) << "MCMCKPT 999\n{\"version\": 999}\n";
+  EXPECT_EQ(load_failure_kind(future), CheckpointError::Kind::VersionMismatch);
+
+  // Payload shorter than the header promises (torn write).
+  const std::string truncated = dir + "/truncated.mcmckpt";
+  std::filesystem::copy_file(good, truncated);
+  std::filesystem::resize_file(truncated, file_size - 16);
+  EXPECT_EQ(load_failure_kind(truncated), CheckpointError::Kind::Truncated);
+
+  // Right length, flipped payload byte: checksum catches it.
+  const std::string corrupt = dir + "/corrupt.mcmckpt";
+  std::filesystem::copy_file(good, corrupt);
+  {
+    std::fstream patch(corrupt,
+                       std::ios::in | std::ios::out | std::ios::binary);
+    patch.seekp(static_cast<std::streamoff>(file_size) - 3);
+    patch.put('\xff');
+  }
+  EXPECT_EQ(load_failure_kind(corrupt), CheckpointError::Kind::Corrupt);
+
+  // Missing file.
+  EXPECT_THROW((void)load_checkpoint(dir + "/absent.mcmckpt"),
+               CheckpointError);
+}
+
+CheckpointError::Kind resume_failure_kind(const CooMatrix& coo,
+                                          const RunSpec& spec) {
+  try {
+    (void)run(coo, spec);
+  } catch (const CheckpointError& error) {
+    return error.kind();
+  }
+  ADD_FAILURE() << "incompatible resume was not refused";
+  return CheckpointError::Kind::Io;
+}
+
+TEST(CheckpointResume, IncompatibleResumesAreRefusedStructurally) {
+  const CooMatrix coo = test_graph();
+  RunSpec spec;
+  spec.ckpt_dir = fresh_dir("refusals");
+  run_expecting_crash(coo, spec, /*step=*/4);
+
+  RunSpec resume = spec;
+  resume.resume = true;
+
+  // A p=16 snapshot must refuse to resume under p=4.
+  RunSpec wrong_grid = resume;
+  wrong_grid.processes = 4;
+  EXPECT_EQ(resume_failure_kind(coo, wrong_grid),
+            CheckpointError::Kind::ShapeMismatch);
+
+  // Same shape, different algorithm options.
+  RunSpec wrong_seed = resume;
+  wrong_seed.semiring_seed = 99;
+  EXPECT_EQ(resume_failure_kind(coo, wrong_seed),
+            CheckpointError::Kind::OptionMismatch);
+  RunSpec wrong_mask = resume;
+  wrong_mask.mask = !resume.mask;
+  EXPECT_EQ(resume_failure_kind(coo, wrong_mask),
+            CheckpointError::Kind::OptionMismatch);
+
+  // Same options, different input permutation (pipeline fingerprint).
+  RunSpec wrong_perm = resume;
+  wrong_perm.permute_seed = 8;
+  EXPECT_EQ(resume_failure_kind(coo, wrong_perm),
+            CheckpointError::Kind::OptionMismatch);
+
+  // Resume without a checkpoint directory at all.
+  RunSpec no_dir = resume;
+  no_dir.ckpt_dir.clear();
+  EXPECT_EQ(resume_failure_kind(coo, no_dir),
+            CheckpointError::Kind::NotFound);
+
+  // The matching run itself still works.
+  EXPECT_NO_THROW((void)run(coo, resume));
+}
+
+TEST(CheckpointResume, CheckpointWritesChargeNoSimulatedTime) {
+  const CooMatrix coo = test_graph();
+  RunSpec plain;
+  const PipelineResult without = run(coo, plain);
+  RunSpec checkpointed = plain;
+  checkpointed.ckpt_dir = fresh_dir("charge_nothing");
+  checkpointed.every = 1;  // write at every boundary — still free
+  const PipelineResult with = run(coo, checkpointed);
+
+  EXPECT_EQ(without.matching.mate_r, with.matching.mate_r);
+  EXPECT_EQ(without.matching.mate_c, with.matching.mate_c);
+  expect_ledger_identical(without.ledger, with.ledger);
+  EXPECT_EQ(without.mcm_seconds, with.mcm_seconds);
+  EXPECT_FALSE(
+      std::filesystem::is_empty(std::filesystem::path(checkpointed.ckpt_dir)));
+}
+
+/// The acceptance property: for every (p, host_threads, mask) combination,
+/// crash-at-k + resume finishes with the same matching, the same
+/// per-category ledger (exact doubles) and the same reported time split as
+/// the run that was never interrupted.
+TEST(CheckpointResume, CrashPlusResumeIsBitIdenticalAcrossTheMatrix) {
+  const CooMatrix coo = test_graph();
+  int combo = 0;
+  for (const int processes : {1, 4, 16}) {
+    for (const int host_threads : {1, 4}) {
+      for (const bool mask : {true, false}) {
+        SCOPED_TRACE("p=" + std::to_string(processes) + " host_threads="
+                     + std::to_string(host_threads)
+                     + " mask=" + std::to_string(mask));
+        RunSpec spec;
+        spec.processes = processes;
+        spec.host_threads = host_threads;
+        spec.mask = mask;
+
+        const PipelineResult reference = run(coo, spec);
+
+        RunSpec faulty = spec;
+        faulty.ckpt_dir = fresh_dir("matrix_" + std::to_string(combo++));
+        faulty.every = 2;
+        run_expecting_crash(coo, faulty, /*step=*/4);
+
+        RunSpec resumed_spec = faulty;
+        resumed_spec.faults = nullptr;  // plans are not persisted in snapshots
+        resumed_spec.resume = true;
+        const PipelineResult resumed = run(coo, resumed_spec);
+
+        EXPECT_EQ(resumed.resumed_from, faulty.ckpt_dir + "/"
+                                            + checkpoint_file_name(4));
+        EXPECT_EQ(reference.matching.mate_r, resumed.matching.mate_r);
+        EXPECT_EQ(reference.matching.mate_c, resumed.matching.mate_c);
+        expect_ledger_identical(reference.ledger, resumed.ledger);
+        EXPECT_EQ(reference.init_seconds, resumed.init_seconds);
+        EXPECT_EQ(reference.mcm_seconds, resumed.mcm_seconds);
+        EXPECT_EQ(reference.mcm_stats.final_cardinality,
+                  resumed.mcm_stats.final_cardinality);
+        EXPECT_EQ(reference.mcm_stats.augmentations,
+                  resumed.mcm_stats.augmentations);
+      }
+    }
+  }
+}
+
+/// mcmcheck guards the restore path: state that no longer conserves its
+/// invariants (mate pairing, frontier count) is rejected before the loop
+/// runs on it.
+TEST(CheckpointResume, TamperedSnapshotFailsConservationChecks) {
+  if (!check::kCompiledIn) {
+    GTEST_SKIP() << "mcmcheck compiled out (MCM_CHECK=OFF)";
+  }
+  const CooMatrix coo = test_graph();
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+
+  McmDistOptions options;
+  options.checkpoint.dir = fresh_dir("tamper");
+  options.checkpoint.every = 1;
+  const Matching empty(coo.n_rows, coo.n_cols);
+  (void)mcm_dist(ctx, dist, empty, options);
+
+  const Checkpoint good =
+      load_checkpoint(find_latest_checkpoint(options.checkpoint.dir));
+  const CheckMode previous = check::mode();
+  check::set_mode(CheckMode::Throw);
+
+  // Break the mate-pairing invariant: one side of a pair forgets the other.
+  Checkpoint unpaired = good;
+  for (Index& mate : unpaired.mate_c) {
+    if (mate != kNull) {
+      mate = kNull;
+      break;
+    }
+  }
+  McmDistOptions resume_options;
+  resume_options.resume = &unpaired;
+  SimContext ctx2(config);
+  EXPECT_THROW((void)mcm_dist(ctx2, dist, empty, resume_options),
+               CheckViolation);
+
+  // A frontier count that disagrees with the payload is refused before the
+  // conservation layer even runs — structurally, so it works in Release too.
+  Checkpoint miscounted = good;
+  miscounted.header.frontier_nnz += 1;
+  resume_options.resume = &miscounted;
+  SimContext ctx3(config);
+  EXPECT_THROW((void)mcm_dist(ctx3, dist, empty, resume_options),
+               CheckpointError);
+
+  check::set_mode(previous);
+}
+
+/// Restored arrays must agree with the header's idea of the problem size —
+/// a snapshot whose payload disagrees with the run's matrix is refused even
+/// when it parses cleanly.
+TEST(CheckpointResume, ArrayLengthMismatchIsRefused) {
+  const CooMatrix coo = test_graph();
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  const DistMatrix dist = DistMatrix::distribute(ctx, coo);
+
+  McmDistOptions options;
+  options.checkpoint.dir = fresh_dir("short_arrays");
+  options.checkpoint.every = 1;
+  const Matching empty(coo.n_rows, coo.n_cols);
+  (void)mcm_dist(ctx, dist, empty, options);
+
+  Checkpoint shorn =
+      load_checkpoint(find_latest_checkpoint(options.checkpoint.dir));
+  shorn.mate_r.pop_back();
+  McmDistOptions resume_options;
+  resume_options.resume = &shorn;
+  SimContext ctx2(config);
+  try {
+    (void)mcm_dist(ctx2, dist, empty, resume_options);
+    FAIL() << "short mate_r should be refused";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointError::Kind::BadFormat);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

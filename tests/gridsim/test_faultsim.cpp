@@ -1,0 +1,297 @@
+/// faultsim suite (DESIGN.md §5.5): the spec grammar, the deterministic
+/// scheduling semantics of each fault kind, and the driver-visible
+/// contracts — a straggler plan shifts the simulated-time breakdown while
+/// leaving the matching bit-identical, transient collective aborts are
+/// retried to the same matching as a fault-free run, and exhausted retries
+/// surface as a fatal SimFault with an honest report.
+
+#include "gridsim/faultsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/driver.hpp"
+#include "gen/rmat.hpp"
+#include "gridsim/context.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+CooMatrix test_graph() {
+  Rng rng(1);
+  RmatParams params = RmatParams::g500(8);
+  params.edge_factor = 8.0;
+  return rmat(params, rng);
+}
+
+PipelineResult run(const CooMatrix& coo, std::shared_ptr<FaultPlan> plan,
+                   int cores = 16) {
+  SimConfig config;
+  config.cores = cores;
+  config.threads_per_process = 1;
+  config.host_threads = 1;
+  PipelineOptions options;
+  options.initializer = MaximalKind::None;  // all work in the MCM loop
+  options.faults = std::move(plan);
+  return run_pipeline(config, coo, options);
+}
+
+TEST(FaultSpecParse, AcceptsTheDocumentedGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "straggler:rank=2:from=4:until=12:factor=8;"
+      "transient:op=alltoall:step=3:count=2;"
+      "crash:step=9",
+      /*seed=*/7);
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::Straggler);
+  EXPECT_EQ(plan.events()[0].rank, 2);
+  EXPECT_EQ(plan.events()[0].from, 4u);
+  EXPECT_EQ(plan.events()[0].until, 12u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].factor, 8.0);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::Transient);
+  EXPECT_EQ(plan.events()[1].op, CollectiveOp::Alltoall);
+  EXPECT_EQ(plan.events()[1].step, 3u);
+  EXPECT_EQ(plan.events()[1].count, 2);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.events()[2].step, 9u);
+  EXPECT_EQ(plan.seed(), 7u);
+  // Comma works as an event separator too (shell-friendlier than ';').
+  EXPECT_EQ(FaultPlan::parse("crash:step=1,crash:step=2", 1).events().size(),
+            2u);
+}
+
+TEST(FaultSpecParse, RefusesMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("meteor:step=1", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash", 1), std::invalid_argument);  // no step
+  EXPECT_THROW(FaultPlan::parse("crash:step=x", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash:step", 1), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("straggler:factor=0.5", 1),
+               std::invalid_argument);  // a straggler must slow down
+  EXPECT_THROW(FaultPlan::parse("straggler:from=5:until=5", 1),
+               std::invalid_argument);  // empty window
+  EXPECT_THROW(FaultPlan::parse("transient:count=3", 1),
+               std::invalid_argument);  // neither step nor prob
+  EXPECT_THROW(FaultPlan::parse("transient:step=1:op=broadcast", 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("transient:prob=1.5", 1),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanStraggler, ScalesOnlyInsideTheWindow) {
+  FaultPlan plan = FaultPlan::parse("straggler:from=2:until=5:factor=3", 1);
+  for (std::uint64_t step = 0; step < 8; ++step) {
+    EXPECT_NO_THROW(plan.begin_superstep(step));  // stragglers never throw
+    const bool inside = step >= 2 && step < 5;
+    EXPECT_DOUBLE_EQ(plan.time_scale(), inside ? 3.0 : 1.0) << "step " << step;
+  }
+  EXPECT_EQ(plan.report().straggler_steps, 3u);
+}
+
+TEST(FaultPlanStraggler, OverlappingWindowsTakeTheMaxFactor) {
+  FaultPlan plan = FaultPlan::parse(
+      "straggler:from=0:until=10:factor=2;straggler:from=3:until=5:factor=6",
+      1);
+  plan.begin_superstep(1);
+  EXPECT_DOUBLE_EQ(plan.time_scale(), 2.0);
+  plan.begin_superstep(4);
+  EXPECT_DOUBLE_EQ(plan.time_scale(), 6.0);  // the slowest rank sets the pace
+}
+
+TEST(FaultPlanCrash, FiresAtItsBoundaryExactlyOnce) {
+  FaultPlan plan = FaultPlan::parse("crash:step=3", 1);
+  plan.begin_superstep(0);
+  plan.begin_superstep(1);
+  plan.begin_superstep(2);
+  try {
+    plan.begin_superstep(3);
+    FAIL() << "crash did not fire";
+  } catch (const SimFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Crash);
+    EXPECT_TRUE(fault.fatal());
+    EXPECT_EQ(fault.superstep(), 3u);
+  }
+  EXPECT_EQ(plan.report().crashes, 1u);
+  // A resumed plan object replaying the same boundary does not re-crash —
+  // the event was consumed.
+  plan.begin_superstep(3);
+  EXPECT_EQ(plan.report().crashes, 1u);
+}
+
+TEST(FaultPlanTransient, AbortsMatchingOpsCountTimes) {
+  FaultPlan plan =
+      FaultPlan::parse("transient:op=alltoall:step=2:count=2", 1);
+  plan.begin_superstep(2);
+  // Wrong collective family: untouched.
+  EXPECT_NO_THROW(plan.collective_point(CollectiveOp::Allgather, "SPMV"));
+  // Matching family: exactly `count` aborts, then clean.
+  EXPECT_THROW(plan.collective_point(CollectiveOp::Alltoall, "INVERT"),
+               SimFault);
+  EXPECT_THROW(plan.collective_point(CollectiveOp::Alltoall, "INVERT"),
+               SimFault);
+  EXPECT_NO_THROW(plan.collective_point(CollectiveOp::Alltoall, "INVERT"));
+  EXPECT_EQ(plan.report().transient_aborts, 2u);
+  // Off-step boundaries never abort.
+  plan.begin_superstep(3);
+  EXPECT_NO_THROW(plan.collective_point(CollectiveOp::Alltoall, "INVERT"));
+}
+
+TEST(FaultPlanTransient, NonFatalAndTyped) {
+  FaultPlan plan = FaultPlan::parse("transient:op=any:step=0:count=1", 1);
+  plan.begin_superstep(0);
+  try {
+    plan.collective_point(CollectiveOp::Allgather, "PRUNE");
+    FAIL() << "transient did not fire";
+  } catch (const SimFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Transient);
+    EXPECT_FALSE(fault.fatal());
+    EXPECT_EQ(fault.site(), "PRUNE");
+    EXPECT_EQ(fault.superstep(), 0u);
+  }
+}
+
+TEST(FaultPlanDeterminism, SameSeedSameDecisions) {
+  const auto decisions = [](std::uint64_t seed) {
+    FaultPlan plan = FaultPlan::parse("transient:op=any:prob=0.2", seed);
+    std::vector<bool> hits;
+    for (std::uint64_t step = 0; step < 20; ++step) {
+      plan.begin_superstep(step);
+      for (int call = 0; call < 5; ++call) {
+        bool hit = false;
+        try {
+          plan.collective_point(CollectiveOp::Allgather, "SPMV");
+        } catch (const SimFault&) {
+          hit = true;
+        }
+        hits.push_back(hit);
+      }
+    }
+    return hits;
+  };
+  const std::vector<bool> a = decisions(11);
+  EXPECT_EQ(a, decisions(11));  // reproducible (and resume-replayable)
+  EXPECT_NE(a, decisions(12));  // but actually seed-dependent
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+}
+
+TEST(FaultRetry, ChargesFailedAttemptsAndBackoffToTheLedger) {
+  SimConfig config;
+  config.cores = 16;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=0:count=2", 1));
+  ctx.set_fault_plan(plan);
+  ctx.faults()->begin_superstep(0);
+  int calls = 0;
+  const int result = with_transient_retry(
+      ctx, Cost::SpMV, CollectiveOp::Allgather, "SPMV", [&] { return ++calls; });
+  EXPECT_EQ(result, 1);  // the body ran once — aborts happen at entry
+  EXPECT_EQ(plan->report().transient_aborts, 2u);
+  EXPECT_EQ(plan->report().retries, 2u);
+  const RetryPolicy& policy = plan->retry_policy();
+  // Two failed attempts: each charges the aborted round's latency within
+  // the grid-row group plus the exponential backoff.
+  const double aborted = (ctx.grid().pr() - 1) * ctx.alpha();
+  const double expected = 2 * aborted + policy.backoff_for(1)
+                          + policy.backoff_for(2);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::SpMV), expected);
+  EXPECT_DOUBLE_EQ(plan->report().retry_charge_us, expected);
+}
+
+TEST(FaultRetry, ExhaustionRethrowsFatal) {
+  SimConfig config;
+  config.cores = 16;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=0:count=99", 1));
+  ctx.set_fault_plan(plan);
+  ctx.faults()->begin_superstep(0);
+  try {
+    (void)with_transient_retry(ctx, Cost::SpMV, CollectiveOp::Allgather,
+                               "SPMV", [] { return 0; });
+    FAIL() << "retries should have been exhausted";
+  } catch (const SimFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Transient);
+    EXPECT_TRUE(fault.fatal());
+  }
+  EXPECT_EQ(plan->report().exhausted, 1u);
+  EXPECT_EQ(plan->report().transient_aborts,
+            static_cast<std::uint64_t>(plan->retry_policy().max_attempts));
+}
+
+// --- driver-level contracts ---
+
+TEST(FaultMcm, StragglerShiftsTheBreakdownNotTheMatching) {
+  const CooMatrix coo = test_graph();
+  const PipelineResult clean = run(coo, nullptr);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("straggler:rank=0:from=0:until=1000:factor=8", 1));
+  const PipelineResult slow = run(coo, plan);
+
+  // Results are control-flow invariant: bit-identical matching.
+  EXPECT_EQ(clean.matching.mate_r, slow.matching.mate_r);
+  EXPECT_EQ(clean.matching.mate_c, slow.matching.mate_c);
+  // But the two-clock ledger shifted measurably: every category that did
+  // work inside the window is dearer, SpMV visibly so.
+  EXPECT_GT(slow.ledger.time_us(Cost::SpMV),
+            1.5 * clean.ledger.time_us(Cost::SpMV));
+  EXPECT_GT(slow.ledger.total_us(), clean.ledger.total_us());
+  // Communication volume is unchanged — stragglers cost time, not words.
+  EXPECT_EQ(slow.ledger.total_words(), clean.ledger.total_words());
+  EXPECT_GT(plan->report().straggler_steps, 0u);
+}
+
+TEST(FaultMcm, TransientAbortsAreRetriedToTheSameMatching) {
+  const CooMatrix coo = test_graph();
+  const PipelineResult clean = run(coo, nullptr);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=2:count=2", 1));
+  const PipelineResult retried = run(coo, plan);
+
+  EXPECT_EQ(clean.matching.mate_r, retried.matching.mate_r);
+  EXPECT_EQ(clean.matching.mate_c, retried.matching.mate_c);
+  EXPECT_EQ(plan->report().transient_aborts, 2u);
+  EXPECT_EQ(plan->report().retries, 2u);
+  EXPECT_EQ(plan->report().exhausted, 0u);
+  // The re-executed attempts were charged: strictly more simulated time,
+  // by exactly the reported retry charge.
+  EXPECT_DOUBLE_EQ(retried.ledger.total_us(),
+                   clean.ledger.total_us() + plan->report().retry_charge_us);
+}
+
+TEST(FaultMcm, ExhaustedRetriesSurfaceAsFatalSimFault) {
+  const CooMatrix coo = test_graph();
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=2:count=99", 1));
+  try {
+    (void)run(coo, plan);
+    FAIL() << "expected a fatal SimFault";
+  } catch (const SimFault& fault) {
+    EXPECT_TRUE(fault.fatal());
+    EXPECT_EQ(fault.kind(), FaultKind::Transient);
+  }
+  EXPECT_EQ(plan->report().exhausted, 1u);
+}
+
+TEST(FaultMcm, CrashUnwindsAtItsSuperstepBoundary) {
+  const CooMatrix coo = test_graph();
+  auto plan =
+      std::make_shared<FaultPlan>(FaultPlan::parse("crash:step=4", 1));
+  try {
+    (void)run(coo, plan);
+    FAIL() << "expected a crash";
+  } catch (const SimFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::Crash);
+    EXPECT_EQ(fault.superstep(), 4u);
+    EXPECT_TRUE(fault.fatal());
+  }
+  EXPECT_EQ(plan->report().crashes, 1u);
+}
+
+}  // namespace
+}  // namespace mcm
