@@ -1,0 +1,239 @@
+/// Matching-service throughput bench: replays one seeded Poisson workload
+/// (src/gen/workload.hpp) through several service configurations at equal
+/// host-thread budgets and reports the only clock the service is allowed to
+/// change — host wall time. Simulated results are bit-identical across every
+/// configuration by construction (tests/service/test_service_equivalence.cpp
+/// is the proof; this bench measures the price/prize).
+///
+/// For each host-thread budget T in {1, 4}:
+///
+///   serial-fifo-tT       1 worker x T lanes, run-to-completion quantum —
+///                        the classic one-query-at-a-time server that only
+///                        has intra-query parallelism to offer;
+///   interleaved-fifo-tT  T workers x 1 lane, small quantum — inter-query
+///                        superstep interleaving at the same thread budget.
+///
+/// At the largest budget the policy ablation (priority, smallest-work) and a
+/// cache-enabled run (repeat traffic hits) are appended. Results go to
+/// stdout as a table and to BENCH_service.json; scripts/compare_bench.py
+/// gates qps/p99 regressions against the committed baseline and asserts the
+/// interleaved >= serial invariant at T >= 4 (skipped when the host lacks
+/// the cores to make that meaningful — see host_cpus in the JSON).
+///
+/// Usage: bench_service [--queries N] [--mix M] [--rate R] [--seed S]
+///                      [--quantum Q] [--quick]
+/// Output path is fixed: BENCH_service.json in the working directory.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/workload.hpp"
+#include "service/query_engine.hpp"
+
+namespace mcm {
+namespace {
+
+struct RunResult {
+  std::string name;
+  std::string mode;    // "serial" | "interleaved"
+  std::string policy;
+  int threads = 0;     // total host-thread budget (workers * lanes)
+  int workers = 0;
+  int lanes = 0;
+  std::size_t cache_capacity = 0;
+  double wall_s = 0;
+  double qps = 0;
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t supersteps = 0;
+  double lane_occupancy = 0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::llround(std::ceil(pos)))];
+}
+
+RunResult run_service(const std::string& name, const Workload& workload,
+                      const std::vector<std::uint64_t>& pool_fp,
+                      const ServiceConfig& config, int sim_cores) {
+  QueryEngine engine(config);
+  Timer wall;
+  for (const WorkloadQuery& q : workload.queries) {
+    QuerySpec spec;
+    spec.graph = q.graph;
+    spec.sim.cores = sim_cores;
+    spec.sim.threads_per_process = 1;
+    spec.pipeline.mcm.seed = q.mcm_seed;
+    spec.priority = q.priority;
+    spec.matrix_fingerprint = pool_fp[static_cast<std::size_t>(q.graph_id)];
+    (void)engine.submit(spec);
+  }
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  const double wall_s = wall.seconds();
+
+  RunResult r;
+  r.name = name;
+  r.mode = config.workers <= 1 ? "serial" : "interleaved";
+  r.policy = sched_policy_name(config.policy);
+  r.workers = config.workers;
+  r.lanes = config.lanes_per_worker;
+  r.threads = config.workers * config.lanes_per_worker;
+  r.cache_capacity = config.cache_capacity;
+  r.wall_s = wall_s;
+  r.qps = static_cast<double>(outcomes.size()) / wall_s;
+  std::vector<double> latencies;
+  latencies.reserve(outcomes.size());
+  for (const QueryOutcome& o : outcomes) {
+    if (!o.ok()) {
+      std::fprintf(stderr, "bench_service: query %llu failed: %s\n",
+                   static_cast<unsigned long long>(o.id), o.error.c_str());
+      std::exit(1);
+    }
+    latencies.push_back(o.latency_s);
+    r.supersteps += o.supersteps;
+  }
+  r.p50_latency_s = percentile(latencies, 0.50);
+  r.p99_latency_s = percentile(latencies, 0.99);
+  r.cache_hits = engine.cache_stats().hits;
+  r.cache_misses = engine.cache_stats().misses;
+  r.lane_occupancy = engine.lane_stats().occupancy();
+  std::fprintf(stderr, "  [%-24s] %.1f q/s, p99 %.1f ms\n", name.c_str(),
+               r.qps, r.p99_latency_s * 1e3);
+  return r;
+}
+
+}  // namespace
+}  // namespace mcm
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const Options options = Options::parse(argc, argv);
+  const bool quick = options.get_bool("quick", false);
+
+  WorkloadConfig workload_config;
+  workload_config.queries =
+      static_cast<int>(options.get_int("queries", quick ? 12 : 48));
+  workload_config.mix = parse_size_mix(options.get("mix", "mixed"));
+  workload_config.rate_per_s = options.get_double("rate", 50.0);
+  workload_config.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const int quantum = static_cast<int>(options.get_int("quantum", 4));
+  const int sim_cores = 16;  // 4x4 grid per query
+  const std::string out_path = "BENCH_service.json";
+  const int host_cpus =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  const Workload workload = make_workload(workload_config);
+  std::vector<std::uint64_t> pool_fp;
+  for (const auto& graph : workload.pool) {
+    pool_fp.push_back(fingerprint_matrix(*graph));
+  }
+  std::fprintf(stderr, "%zu queries over %zu graphs (%s), host_cpus=%d\n",
+               workload.queries.size(), workload.pool.size(),
+               size_mix_name(workload_config.mix), host_cpus);
+
+  std::vector<RunResult> runs;
+  for (const int threads : {1, 4}) {
+    // Serial baseline: one query at a time, all lanes on that query.
+    ServiceConfig serial;
+    serial.workers = 1;
+    serial.lanes_per_worker = threads;
+    serial.quantum = 1 << 30;  // run-to-completion
+    serial.cache_capacity = 0;
+    runs.push_back(run_service("serial-fifo-t" + std::to_string(threads),
+                               workload, pool_fp, serial, sim_cores));
+
+    // Interleaved: same thread budget spent on inter-query parallelism.
+    ServiceConfig inter;
+    inter.workers = threads;
+    inter.lanes_per_worker = 1;
+    inter.quantum = quantum;
+    inter.cache_capacity = 0;
+    runs.push_back(run_service("interleaved-fifo-t" + std::to_string(threads),
+                               workload, pool_fp, inter, sim_cores));
+  }
+
+  // Policy ablation + cache effectiveness at the 4-thread budget.
+  for (const SchedPolicy policy :
+       {SchedPolicy::Priority, SchedPolicy::SmallestWork}) {
+    ServiceConfig config;
+    config.policy = policy;
+    config.workers = 4;
+    config.lanes_per_worker = 1;
+    config.quantum = quantum;
+    config.cache_capacity = 0;
+    runs.push_back(run_service(std::string("interleaved-")
+                                   + sched_policy_name(policy) + "-t4",
+                               workload, pool_fp, config, sim_cores));
+  }
+  {
+    ServiceConfig cached;
+    cached.workers = 4;
+    cached.lanes_per_worker = 1;
+    cached.quantum = quantum;
+    cached.cache_capacity = 32;
+    runs.push_back(
+        run_service("interleaved-cached-t4", workload, pool_fp, cached,
+                    sim_cores));
+  }
+
+  Table table("Matching service throughput (" +
+              std::to_string(workload.queries.size()) + " queries, " +
+              size_mix_name(workload_config.mix) + " mix, " +
+              std::to_string(host_cpus) + " host cpus)");
+  table.set_header({"run", "threads", "qps", "p50", "p99", "hits",
+                    "occupancy"});
+  for (const RunResult& r : runs) {
+    table.add_row({r.name, Table::num(static_cast<std::int64_t>(r.threads)),
+                   Table::num(r.qps, 1),
+                   bench::fmt_seconds(r.p50_latency_s),
+                   bench::fmt_seconds(r.p99_latency_s),
+                   Table::num(static_cast<std::int64_t>(r.cache_hits)),
+                   Table::num(r.lane_occupancy * 100.0, 0) + "%"});
+  }
+  table.print();
+
+  bench::JsonBuilder json;
+  json.begin_object()
+      .field("bench", "service")
+      .field("host_cpus", host_cpus)
+      .field("queries", static_cast<std::int64_t>(workload.queries.size()))
+      .field("mix", size_mix_name(workload_config.mix))
+      .field("rate_per_s", workload_config.rate_per_s)
+      .field("seed", static_cast<std::int64_t>(workload_config.seed))
+      .field("quantum", quantum)
+      .field("sim_cores", sim_cores);
+  json.begin_array("runs");
+  for (const RunResult& r : runs) {
+    json.begin_object()
+        .field("name", r.name)
+        .field("mode", r.mode)
+        .field("policy", r.policy)
+        .field("threads", r.threads)
+        .field("workers", r.workers)
+        .field("lanes", r.lanes)
+        .field("cache_capacity", static_cast<std::int64_t>(r.cache_capacity))
+        .field("wall_s", r.wall_s)
+        .field("qps", r.qps)
+        .field("p50_latency_s", r.p50_latency_s)
+        .field("p99_latency_s", r.p99_latency_s)
+        .field("cache_hits", static_cast<std::int64_t>(r.cache_hits))
+        .field("cache_misses", static_cast<std::int64_t>(r.cache_misses))
+        .field("supersteps", static_cast<std::int64_t>(r.supersteps))
+        .field("lane_occupancy", r.lane_occupancy)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  bench::write_text_file(out_path, json.str());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
-"""Fail CI when mcm_tool grows a flag the README never mentions.
+"""Fail CI when a user-facing binary grows a flag the README never mentions.
 
 The README's "Runtime controls" matrix is the canonical user-facing list of
 every knob; this check keeps it honest in the one direction that rots
-silently: a flag added to the tool but not to the docs. (The reverse — README
-mentioning bench-only or CMake-level switches the tool itself lacks — is
-legitimate and not checked.)
+silently: a flag added to a tool but not to the docs. (The reverse — README
+mentioning bench-only or CMake-level switches the tools themselves lack — is
+legitimate and not checked.) Both mcm_tool and mcm_service are checked the
+same way: every --flag their --help advertises must appear in the README.
 
-Usage: check_docs_drift.py <path/to/mcm_tool> <path/to/README.md>
-Exit 0 when every --flag in `mcm_tool --help` appears in the README,
+Usage: check_docs_drift.py <path/to/tool>... <path/to/README.md>
+Exit 0 when every --flag in each tool's --help appears in the README,
 1 when any is missing, 2 on usage / tool failure.
 """
 
@@ -33,31 +34,38 @@ def help_flags(tool: str) -> set[str]:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
+    if len(argv) < 3:
         sys.stderr.write(
-            "usage: check_docs_drift.py <mcm_tool> <README.md>\n"
+            "usage: check_docs_drift.py <tool>... <README.md>\n"
         )
         return 2
-    tool, readme_path = argv[1], argv[2]
-    flags = help_flags(tool)
+    tools, readme_path = argv[1:-1], argv[-1]
     with open(readme_path, encoding="utf-8") as handle:
         readme = handle.read()
     documented = set(re.findall(r"--[a-z][a-z0-9-]*", readme))
-    missing = sorted(flags - documented)
-    if missing:
-        sys.stderr.write(
-            "check_docs_drift: mcm_tool --help advertises flags the README "
-            "never mentions:\n"
-        )
-        for flag in missing:
-            sys.stderr.write(f"  {flag}\n")
-        sys.stderr.write(
-            f"add them to the Runtime controls matrix in {readme_path}\n"
-        )
+
+    failed = False
+    checked = 0
+    for tool in tools:
+        flags = help_flags(tool)
+        checked += len(flags)
+        missing = sorted(flags - documented)
+        if missing:
+            failed = True
+            sys.stderr.write(
+                f"check_docs_drift: {tool} --help advertises flags the "
+                "README never mentions:\n"
+            )
+            for flag in missing:
+                sys.stderr.write(f"  {flag}\n")
+            sys.stderr.write(
+                f"add them to the Runtime controls matrix in {readme_path}\n"
+            )
+    if failed:
         return 1
     print(
-        f"check_docs_drift: all {len(flags)} mcm_tool flags are documented "
-        f"in {readme_path}"
+        f"check_docs_drift: all {checked} flags across {len(tools)} tool(s) "
+        f"are documented in {readme_path}"
     )
     return 0
 

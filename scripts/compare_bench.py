@@ -18,11 +18,17 @@ What is compared:
     * single_thread_vs_legacy rows, keyed by kernel: engine_ms
     * spmv_ablation points (BENCH_kernels.json), keyed by
       (kernel, frontier, masked): wall_ms
+    * service runs (BENCH_service.json), keyed by run name: qps must not
+      drop and p99_latency_s must not rise beyond the threshold
 
-Intra-file invariant checked on the NEW artifact when it carries an
-spmv_ablation section: the masked dense-frontier point must be faster
-than its unmasked twin — that speedup is the whole point of the masked
-SpMV path, so losing it is a regression even against a stale baseline.
+Intra-file invariants checked on the NEW artifact:
+    * spmv_ablation: the masked dense-frontier point must be faster than
+      its unmasked twin — that speedup is the whole point of the masked
+      SpMV path, so losing it is a regression even against a stale
+      baseline;
+    * service: at every host-thread budget T >= 4 the interleaved FIFO
+      run must beat the serial FIFO run on queries/sec — superstep
+      interleaving earning its keep is the service's headline claim.
 
 Points that are oversubscribed (more host threads than host cpus) in
 EITHER file are skipped: wall time there measures scheduler churn, not
@@ -32,7 +38,8 @@ threads > host_cpus from the file's own host_cpus.
 
 Wall-clock comparisons are only meaningful when both runs did the same
 work on comparable hosts, so the files must agree on rmat_scale and
-iters; host_cpus may differ (only non-oversubscribed points compare).
+iters (service artifacts: queries, mix, rate_per_s, seed and quantum);
+host_cpus may differ (only non-oversubscribed points compare).
 """
 
 import argparse
@@ -83,6 +90,40 @@ def ablation_points(doc):
     }
 
 
+def service_runs(doc):
+    return {
+        r["name"]: r
+        for r in doc.get("runs", [])
+        if "name" in r
+    }
+
+
+def check_service_invariant(doc, label):
+    """Returns violation messages for the interleaved-beats-serial FIFO
+    invariant at host-thread budgets >= 4 (empty list = OK)."""
+    runs = service_runs(doc)
+    violations = []
+    for name, serial in runs.items():
+        if not name.startswith("serial-fifo-t"):
+            continue
+        threads = serial.get("threads")
+        if threads is None or threads < 4:
+            continue
+        twin = runs.get(f"interleaved-fifo-t{threads}")
+        if twin is None:
+            continue
+        serial_qps = serial.get("qps")
+        inter_qps = twin.get("qps")
+        if not serial_qps or inter_qps is None:
+            continue
+        if inter_qps <= serial_qps:
+            violations.append(
+                f"{label}: {threads}-thread budget: interleaved FIFO "
+                f"{inter_qps:.1f} q/s does not beat serial FIFO "
+                f"{serial_qps:.1f} q/s")
+    return violations
+
+
 def check_masked_invariant(doc, label):
     """Returns violation messages for the masked-faster-than-unmasked
     invariant on dense-frontier ablation points (empty list = OK)."""
@@ -124,7 +165,11 @@ def main():
               file=sys.stderr)
         return 2
 
-    for key in ("rmat_scale", "iters"):
+    comparability_keys = ("rmat_scale", "iters")
+    if base.get("bench") == "service":
+        comparability_keys = ("queries", "mix", "rate_per_s", "seed",
+                              "quantum")
+    for key in comparability_keys:
         if base.get(key) != new.get(key):
             print(f"compare_bench: {key} differs "
                   f"({base.get(key)} vs {new.get(key)}); the runs did "
@@ -190,7 +235,35 @@ def main():
                 f"{base_ms:.3f} ms -> {new_ms:.3f} ms "
                 f"({(ratio - 1.0) * 100:+.1f}%)")
 
+    base_service = service_runs(base)
+    for name, new_run in service_runs(new).items():
+        base_run = base_service.get(name)
+        if base_run is None:
+            continue
+        if oversubscribed(base, base_run) or oversubscribed(new, new_run):
+            skipped += 1
+            continue
+        base_qps = base_run.get("qps")
+        new_qps = new_run.get("qps")
+        if base_qps and new_qps is not None:
+            compared += 1
+            ratio = new_qps / base_qps
+            if ratio < 1.0 - args.threshold:
+                regressions.append(
+                    f"{name}: throughput {base_qps:.1f} q/s -> "
+                    f"{new_qps:.1f} q/s ({(ratio - 1.0) * 100:+.1f}%)")
+        base_p99 = base_run.get("p99_latency_s")
+        new_p99 = new_run.get("p99_latency_s")
+        if base_p99 and new_p99 is not None:
+            compared += 1
+            ratio = new_p99 / base_p99
+            if ratio > 1.0 + args.threshold:
+                regressions.append(
+                    f"{name}: p99 latency {base_p99 * 1e3:.2f} ms -> "
+                    f"{new_p99 * 1e3:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
+
     regressions.extend(check_masked_invariant(new, args.new))
+    regressions.extend(check_service_invariant(new, args.new))
 
     print(f"compare_bench: {compared} point(s) compared, "
           f"{skipped} oversubscribed point(s) skipped, "

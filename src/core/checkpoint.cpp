@@ -8,21 +8,13 @@
 #include <map>
 
 #include "gridsim/context.hpp"
+#include "util/fingerprint.hpp"
 #include "util/json.hpp"
 
 namespace mcm {
 namespace {
 
 constexpr int kCategories = static_cast<int>(Cost::kCount);
-
-std::uint64_t fnv1a(const std::string& bytes) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 [[noreturn]] void fail(CheckpointError::Kind kind, const std::string& message) {
   throw CheckpointError(kind, message);

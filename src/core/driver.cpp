@@ -1,49 +1,93 @@
 #include "core/driver.hpp"
 
-#include "core/checkpoint.hpp"
+#include <utility>
+
 #include "dist/dist_mat.hpp"
 #include "matrix/permute.hpp"
+#include "util/fingerprint.hpp"
 #include "util/rng.hpp"
 
 namespace mcm {
 
-PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
-                            const PipelineOptions& options) {
-  SimContext ctx(config);
-  if (options.faults != nullptr) ctx.set_fault_plan(options.faults);
+PipelineRun::PipelineRun(const SimConfig& config, const CooMatrix& a,
+                         const PipelineOptions& options,
+                         std::shared_ptr<HostEngine> engine)
+    : input_(&a),
+      options_(options),
+      ctx_(engine == nullptr ? SimContext(config)
+                             : SimContext(config, std::move(engine))) {
+  if (options_.faults != nullptr) ctx_.set_fault_plan(options_.faults);
+}
 
-  Permutation perm_r = Permutation::identity(a.n_rows);
-  Permutation perm_c = Permutation::identity(a.n_cols);
-  CooMatrix working = a;
-  if (options.random_permute) {
-    Rng rng(options.permute_seed);
-    perm_r = Permutation::random(a.n_rows, rng);
-    perm_c = Permutation::random(a.n_cols, rng);
-    working = permute(a, perm_r, perm_c);
+PipelineRun::~PipelineRun() = default;
+
+bool PipelineRun::step() {
+  if (done_) return false;
+  if (!started_) {
+    started_ = true;
+    setup();
+    input_ = nullptr;  // the permuted/distributed copy is ours now
+    return true;
   }
-  const DistMatrix dist = DistMatrix::distribute(ctx, working);
+  if (stepper_->step()) return true;
+
+  // The stepper just crossed its final boundary: close out the pipeline the
+  // way run_pipeline always has.
+  Matching matched = stepper_->take_result();
+  mcm_span_.close();
+  if (options_.resume) {
+    result_.init_seconds = restored_.init_us * 1e-6;
+    result_.mcm_seconds =
+        (ctx_.ledger().total_us() - restored_.pre_init_us - restored_.init_us)
+        * 1e-6;
+  } else {
+    const double after_mcm = ctx_.ledger().total_us();
+    result_.init_seconds = (after_init_us_ - before_init_us_) * 1e-6;
+    result_.mcm_seconds = (after_mcm - after_init_us_) * 1e-6;
+  }
+  result_.ledger = ctx_.ledger();
+
+  if (options_.random_permute) {
+    result_.matching = Matching(matched.n_rows(), matched.n_cols());
+    result_.matching.mate_r = unpermute_mates(matched.mate_r, perm_r_, perm_c_);
+    result_.matching.mate_c = unpermute_mates(matched.mate_c, perm_c_, perm_r_);
+  } else {
+    result_.matching = std::move(matched);
+  }
+  done_ = true;
+  return false;
+}
+
+void PipelineRun::setup() {
+  const CooMatrix& a = *input_;
+  perm_r_ = Permutation::identity(a.n_rows);
+  perm_c_ = Permutation::identity(a.n_cols);
+  CooMatrix working = a;
+  if (options_.random_permute) {
+    Rng rng(options_.permute_seed);
+    perm_r_ = Permutation::random(a.n_rows, rng);
+    perm_c_ = Permutation::random(a.n_cols, rng);
+    working = permute(a, perm_r_, perm_c_);
+  }
+  dist_ = std::make_unique<DistMatrix>(DistMatrix::distribute(ctx_, working));
 
   // Snapshot headers fingerprint the labeling this pipeline ran under; a
   // snapshot taken under one permutation cannot resume under another (the
   // mate vectors would refer to different vertices).
-  McmDistOptions mcm_options = options.mcm;
-  mcm_options.checkpoint.pipeline_tag =
-      (options.permute_seed << 1) | (options.random_permute ? 1 : 0);
+  mcm_options_ = options_.mcm;
+  mcm_options_.checkpoint.pipeline_tag =
+      pipeline_tag(options_.permute_seed, options_.random_permute);
 
-  PipelineResult result;
-  Matching matched(a.n_rows, a.n_cols);
-  Checkpoint restored;  // outlives mcm_dist (mcm_options.resume points here)
-  if (options.resume) {
-    if (!mcm_options.checkpoint.enabled()) {
-      throw CheckpointError(
-          CheckpointError::Kind::NotFound,
-          "resume requested without a checkpoint directory");
+  if (options_.resume) {
+    if (!mcm_options_.checkpoint.enabled()) {
+      throw CheckpointError(CheckpointError::Kind::NotFound,
+                            "resume requested without a checkpoint directory");
     }
-    result.resumed_from = find_latest_checkpoint(mcm_options.checkpoint.dir);
-    restored = load_checkpoint(result.resumed_from);
-    validate_checkpoint(restored, ctx, working.n_rows, working.n_cols,
-                        static_cast<std::uint64_t>(dist.nnz()), mcm_options);
-    if (restored.header.pipeline_tag != mcm_options.checkpoint.pipeline_tag) {
+    result_.resumed_from = find_latest_checkpoint(mcm_options_.checkpoint.dir);
+    restored_ = load_checkpoint(result_.resumed_from);
+    validate_checkpoint(restored_, ctx_, working.n_rows, working.n_cols,
+                        static_cast<std::uint64_t>(dist_->nnz()), mcm_options_);
+    if (restored_.header.pipeline_tag != mcm_options_.checkpoint.pipeline_tag) {
       throw CheckpointError(
           CheckpointError::Kind::OptionMismatch,
           "snapshot was taken under a different input permutation "
@@ -52,47 +96,54 @@ PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
     }
     // The initializer is skipped: its result (and its simulated time) is
     // part of the snapshot. The driver's time split is restored alongside.
-    mcm_options.checkpoint.init_us = restored.init_us;
-    mcm_options.checkpoint.pre_init_us = restored.pre_init_us;
-    mcm_options.resume = &restored;
-    result.init_stats.cardinality = restored.header.stats.initial_cardinality;
+    mcm_options_.checkpoint.init_us = restored_.init_us;
+    mcm_options_.checkpoint.pre_init_us = restored_.pre_init_us;
+    mcm_options_.resume = &restored_;
+    result_.init_stats.cardinality = restored_.header.stats.initial_cardinality;
 
-    trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
-    matched = mcm_dist(ctx, dist, matched, mcm_options, &result.mcm_stats);
-    mcm_span.close();
-    result.init_seconds = restored.init_us * 1e-6;
-    result.mcm_seconds =
-        (ctx.ledger().total_us() - restored.pre_init_us - restored.init_us)
-        * 1e-6;
+    mcm_span_.open(ctx_, "MCM", Cost::Other, trace::Kind::Region);
+    stepper_ = std::make_unique<McmDistStepper>(
+        ctx_, *dist_, Matching(a.n_rows, a.n_cols), mcm_options_,
+        &result_.mcm_stats);
   } else {
-    const double before_init = ctx.ledger().total_us();
-    trace::Span init_span(ctx, "INIT", Cost::MaximalInit, trace::Kind::Region);
+    before_init_us_ = ctx_.ledger().total_us();
+    trace::Span init_span(ctx_, "INIT", Cost::MaximalInit, trace::Kind::Region);
     const Matching initial = dist_maximal_matching(
-        ctx, dist, options.initializer, &result.init_stats);
+        ctx_, *dist_, options_.initializer, &result_.init_stats);
     init_span.close();
-    const double after_init = ctx.ledger().total_us();
+    after_init_us_ = ctx_.ledger().total_us();
     // Carried into every snapshot so a resumed run reports the same split.
-    mcm_options.checkpoint.init_us = after_init - before_init;
-    mcm_options.checkpoint.pre_init_us = before_init;
+    mcm_options_.checkpoint.init_us = after_init_us_ - before_init_us_;
+    mcm_options_.checkpoint.pre_init_us = before_init_us_;
 
-    trace::Span mcm_span(ctx, "MCM", Cost::Other, trace::Kind::Region);
-    matched = mcm_dist(ctx, dist, initial, mcm_options, &result.mcm_stats);
-    mcm_span.close();
-    const double after_mcm = ctx.ledger().total_us();
-
-    result.init_seconds = (after_init - before_init) * 1e-6;
-    result.mcm_seconds = (after_mcm - after_init) * 1e-6;
+    mcm_span_.open(ctx_, "MCM", Cost::Other, trace::Kind::Region);
+    stepper_ = std::make_unique<McmDistStepper>(ctx_, *dist_, initial,
+                                                mcm_options_,
+                                                &result_.mcm_stats);
   }
-  result.ledger = ctx.ledger();
+}
 
-  if (options.random_permute) {
-    result.matching = Matching(a.n_rows, a.n_cols);
-    result.matching.mate_r = unpermute_mates(matched.mate_r, perm_r, perm_c);
-    result.matching.mate_c = unpermute_mates(matched.mate_c, perm_c, perm_r);
-  } else {
-    result.matching = std::move(matched);
+std::uint64_t PipelineRun::supersteps() const {
+  return stepper_ == nullptr ? 0 : stepper_->supersteps();
+}
+
+Index PipelineRun::frontier_nnz() const {
+  if (stepper_ != nullptr) return stepper_->frontier_nnz();
+  return input_ != nullptr ? input_->n_cols : 0;
+}
+
+void PipelineRun::set_host_engine(std::shared_ptr<HostEngine> engine) {
+  ctx_.set_host_engine(std::move(engine));
+}
+
+PipelineResult PipelineRun::take_result() { return std::move(result_); }
+
+PipelineResult run_pipeline(const SimConfig& config, const CooMatrix& a,
+                            const PipelineOptions& options) {
+  PipelineRun run(config, a, options);
+  while (run.step()) {
   }
-  return result;
+  return run.take_result();
 }
 
 }  // namespace mcm

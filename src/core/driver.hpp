@@ -19,11 +19,13 @@
 #include <memory>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/dist_maximal.hpp"
 #include "core/mcm_dist.hpp"
 #include "gridsim/context.hpp"
 #include "gridsim/faultsim.hpp"
 #include "matrix/coo.hpp"
+#include "matrix/permute.hpp"
 
 namespace mcm {
 
@@ -60,8 +62,75 @@ struct PipelineResult {
 /// Runs the full pipeline on a fresh SimContext built from `config`. Fatal
 /// SimFaults (rank crashes, exhausted transient retries) propagate to the
 /// caller; CheckpointError propagates when a resume is refused.
+/// Equivalent to stepping a PipelineRun to completion.
 [[nodiscard]] PipelineResult run_pipeline(const SimConfig& config,
                                           const CooMatrix& a,
                                           const PipelineOptions& options = {});
+
+/// Stepwise form of run_pipeline for superstep interleaving: the pipeline as
+/// a resumable object whose step() runs to the next superstep boundary. The
+/// first step() performs the whole front of the pipeline (permute,
+/// distribute, initializer — or checkpoint restore); every later step() is
+/// exactly one MCM-DIST superstep via McmDistStepper. `while (run.step()) {}`
+/// then take_result() is bit-identical to run_pipeline() — same statements,
+/// same ledger.
+///
+/// The multi-query service runs many PipelineRuns over a small set of
+/// per-worker host engines: pass a shared engine at construction (or rebind
+/// with set_host_engine between steps) instead of letting the private
+/// context spawn its own thread pool per query. Engine choice never affects
+/// results or charges, only where host execution happens.
+///
+/// Lifetimes: `a` is referenced, not copied, and must stay valid until the
+/// first step() returns (the permuted/distributed copy is made there);
+/// options.faults (if any) must outlive the run. Not movable: the MCM
+/// stepper holds a reference to the embedded context.
+class PipelineRun {
+ public:
+  PipelineRun(const SimConfig& config, const CooMatrix& a,
+              const PipelineOptions& options = {},
+              std::shared_ptr<HostEngine> engine = nullptr);
+  ~PipelineRun();
+  PipelineRun(const PipelineRun&) = delete;
+  PipelineRun& operator=(const PipelineRun&) = delete;
+
+  /// Advances to the next superstep boundary. Returns true while work
+  /// remains; the completing call finishes the result and returns false
+  /// (further calls are no-ops returning false).
+  bool step();
+
+  [[nodiscard]] bool done() const { return done_; }
+  /// MCM superstep boundaries crossed (0 until setup has run).
+  [[nodiscard]] std::uint64_t supersteps() const;
+  /// Scheduler signal: the frontier size at the last boundary (see
+  /// McmDistStepper::frontier_nnz); before setup, the column count as an
+  /// upper bound on initial work.
+  [[nodiscard]] Index frontier_nnz() const;
+  /// Rebinds the run's context to another host engine; only valid between
+  /// steps (superstep boundaries).
+  void set_host_engine(std::shared_ptr<HostEngine> engine);
+  /// The completed pipeline result; valid once done().
+  [[nodiscard]] PipelineResult take_result();
+
+ private:
+  void setup();
+
+  const CooMatrix* input_;  // valid until setup() has copied/permuted it
+  PipelineOptions options_;
+  SimContext ctx_;
+  bool started_ = false;
+  bool done_ = false;
+
+  Permutation perm_r_;
+  Permutation perm_c_;
+  std::unique_ptr<DistMatrix> dist_;
+  McmDistOptions mcm_options_;
+  Checkpoint restored_;  // outlives the stepper (mcm_options_.resume points here)
+  std::unique_ptr<McmDistStepper> stepper_;
+  trace::Span mcm_span_;
+  double before_init_us_ = 0;
+  double after_init_us_ = 0;
+  PipelineResult result_;
+};
 
 }  // namespace mcm

@@ -1,6 +1,7 @@
 #include "core/mcm_dist.hpp"
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <type_traits>
@@ -59,49 +60,257 @@ Checkpoint snapshot_state(SimContext& ctx, const DistMatrix& a,
   return ck;
 }
 
-template <typename SR>
-Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
-                      const Matching& initial, const SR& sr,
-                      const McmDistOptions& options, McmDistStats* stats) {
-  const Index n_rows = a.n_rows();
-  const Index n_cols = a.n_cols();
-  McmDistStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  *stats = McmDistStats{};
+}  // namespace
+
+namespace detail {
+
+/// The MCM-DIST loop unrolled into a resumable state machine. One step() is
+/// one superstep: the checkpoint/fault boundary, the frontier probe, and
+/// either a BFS iteration body or the phase transition the empty probe
+/// triggers. Statement order inside step() mirrors the historical
+/// run-to-completion loop exactly — that ordering IS the equivalence
+/// contract (bit-identical ledgers) the interleaving tests pin down.
+///
+/// Only the neighborhood-exploration step depends on the semiring type, so
+/// the template is confined to the two virtuals at the bottom; everything
+/// else lives here untemplated.
+class McmStepperImpl {
+ public:
+  McmStepperImpl(SimContext& ctx, const DistMatrix& a, const Matching& initial,
+                 const McmDistOptions& options, McmDistStats* stats)
+      : ctx_(ctx),
+        a_(a),
+        options_(options),
+        stats_(stats != nullptr ? stats : &local_stats_),
+        n_rows_(a.n_rows()),
+        n_cols_(a.n_cols()),
+        mate_r_(ctx, VSpace::Row, n_rows_, kNull),
+        mate_c_(ctx, VSpace::Col, n_cols_, kNull),
+        pi_r_(ctx, VSpace::Row, n_rows_, kNull),
+        path_c_(ctx, VSpace::Col, n_cols_, kNull),
+        use_mask_(options.use_mask
+                  && options.direction != Direction::BottomUp) {
+    *stats_ = McmDistStats{};
+    mate_r_.from_std(initial.mate_r);
+    mate_c_.from_std(initial.mate_c);
+    stats_->initial_cardinality = initial.cardinality();
+    frontier_nnz_ = n_cols_ - stats_->initial_cardinality;
+
+    // Replicated visited bitmaps for the masked top-down SpMV (§5.4). A pure
+    // bottom-up run never consults the mask (its scan skips visited rows by
+    // reading pi directly), so skip the replication charges entirely there.
+    if (use_mask_) visited_ = VisitedBitmap(pi_r_.layout());
+
+    resuming_ = options_.resume != nullptr;
+    if (resuming_) restore(*options_.resume);
+    options_.resume = nullptr;  // consumed; the pointee may not outlive us
+
+    faults_ = ctx_.faults();
+    run_span_.open(ctx_, "MCM-DIST", Cost::Other, trace::Kind::Region);
+  }
+
+  virtual ~McmStepperImpl() = default;
+  McmStepperImpl(const McmStepperImpl&) = delete;
+  McmStepperImpl& operator=(const McmStepperImpl&) = delete;
+
+  bool step() {
+    if (done_) return false;
+    if (at_phase_start_) {
+      phase_span_.open(ctx_, "MCM-DIST.phase", Cost::Other,
+                       trace::Kind::Region);
+      if (resuming_) {
+        // State (including mid-phase pi/visited/frontier and the phase's
+        // found_path flag) came from the snapshot: skip the phase init once
+        // and drop straight back into the iteration loop.
+        resuming_ = false;
+      } else {
+        dist_fill(ctx_, Cost::Other, pi_r_, kNull);
+        if (use_mask_) visited_.clear();  // new phase: pi was reset, so is the mask
+
+        // Initial column frontier: unmatched columns, parent = root = self.
+        f_c_ = dist_from_dense<Vertex>(
+            ctx_, Cost::Other, mate_c_,
+            [](Index mate) { return mate == kNull; },
+            [](Index g, Index) { return Vertex(g, g); });
+        found_path_ = false;
+      }
+      at_phase_start_ = false;
+    }
+
+    // Superstep boundary: checkpoint first, then scheduled faults — a
+    // crash pinned here resumes from this very boundary (with every=1).
+    const CheckpointConfig& ckpt = options_.checkpoint;
+    if (ckpt.enabled() && global_iter_ % ckpt.every == 0) {
+      trace::Span save_span(ctx_, "CHECKPOINT.save", Cost::Other,
+                            trace::Kind::Region);
+      const Checkpoint ck =
+          snapshot_state(ctx_, a_, options_, *stats_, global_iter_,
+                         found_path_, mate_r_, mate_c_, pi_r_, path_c_, f_c_);
+      save_checkpoint(ck, ckpt.dir + "/"
+                              + checkpoint_file_name(global_iter_));
+      save_span.close();
+      trace::counter(ctx_, "checkpoint_bytes",
+                     static_cast<double>(ck.header.payload_bytes));
+    }
+    if (faults_ != nullptr) faults_->begin_superstep(global_iter_);
+    ++global_iter_;
+
+    trace::Span iter_span(ctx_, "MCM-DIST.bfs-iteration", Cost::Other,
+                          trace::Kind::Region);
+    frontier_nnz_ = dist_nnz(ctx_, Cost::Other, f_c_);
+    trace::counter(ctx_, "frontier_nnz",
+                   static_cast<double>(frontier_nnz_));
+    if (frontier_nnz_ == 0) {
+      iter_span.close();
+      return end_phase();
+    }
+    ++stats_->iterations;
+
+    // Step 1: explore neighbors of the column frontier — top-down semiring
+    // SpMV, or the bottom-up scan when enabled and profitable (only the
+    // minParent semiring admits the early-exit equivalence).
+    const bool bottom_up = choose_bottom_up(frontier_nnz_);
+    DistSpVec<Vertex> f_r = explore(bottom_up);
+    if (bottom_up) ++stats_->bottom_up_iterations;
+
+    // Steps 2-4 fused: one pass drops already-visited rows, records
+    // parents and splits path endpoints (unmatched) from tree growth
+    // (matched). A masked top-down SpMV cannot emit visited rows, and the
+    // primitive asserts exactly that (dropped == 0); the bottom-up scan
+    // skips them by construction too, but reads pi mid-scan rather than
+    // the replica, so only the masked path carries the expectation.
+    FrontierPartition<Vertex> part = dist_partition_frontier(
+        ctx_, Cost::Other, f_r, pi_r_, mate_r_,
+        [](const Vertex& v) { return v.parent; },
+        /*expect_all_unvisited=*/use_mask_ && !bottom_up);
+    DistSpVec<Vertex> uf_r = std::move(part.unmatched);
+    f_r = std::move(part.matched);
+
+    // Replicate this iteration's discoveries into the row-segment bitmaps
+    // (incremental allgather within each grid row, §5.4) so the next
+    // iteration's multiply can mask them.
+    if (use_mask_) visited_.update(ctx_, Cost::Other, {&f_r, &uf_r});
+
+    if (dist_nnz(ctx_, Cost::Other, uf_r) > 0) {
+      found_path_ = true;
+      // Step 5: record one endpoint per tree, keyed by root (keep-first).
+      DistSpVec<Index> t_c = with_transient_retry(
+          ctx_, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
+            return dist_invert<Index>(
+                ctx_, Cost::Invert, uf_r, VSpace::Col, n_cols_,
+                [](Index, const Vertex& v) { return v.root; },
+                [](Index g, const Vertex&) { return g; });
+          });
+      dist_set_dense(ctx_, Cost::Other, path_c_, t_c,
+                     [](Index endpoint) { return endpoint; });
+
+      // Step 6: prune trees that just yielded an augmenting path. The
+      // roots are collected from uf_r inside the primitive.
+      if (options_.enable_prune) {
+        f_r = with_transient_retry(
+            ctx_, Cost::Prune, CollectiveOp::Allgather, "PRUNE", [&] {
+              return dist_prune(ctx_, Cost::Prune, f_r, uf_r,
+                                [](const Vertex& v) { return v.root; });
+            });
+      }
+    }
+
+    // Step 7: next column frontier from the mates of the matched rows.
+    dist_set_sparse(ctx_, Cost::Other, f_r, mate_r_,
+                    [](Vertex& v, Index mate) { v.parent = mate; });
+    f_c_ = with_transient_retry(
+        ctx_, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
+          return dist_invert<Vertex>(
+              ctx_, Cost::Invert, f_r, VSpace::Col, n_cols_,
+              [](Index, const Vertex& v) { return v.parent; },
+              [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
+        });
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] std::uint64_t supersteps() const { return global_iter_; }
+  [[nodiscard]] Index frontier_nnz() const { return frontier_nnz_; }
+  [[nodiscard]] const McmDistStats& stats() const { return *stats_; }
+  [[nodiscard]] Matching take_result() { return std::move(result_); }
+
+ protected:
+  /// The semiring-dependent parts of step 1 (see the class comment).
+  [[nodiscard]] virtual bool choose_bottom_up(Index frontier_nnz) const = 0;
+  [[nodiscard]] virtual DistSpVec<Vertex> explore(bool bottom_up) = 0;
+
+  SimContext& ctx_;
+  const DistMatrix& a_;
+  McmDistOptions options_;
+  McmDistStats* stats_;
+  McmDistStats local_stats_;
+
+  const Index n_rows_;
+  const Index n_cols_;
 
   // Distributed state: mate, parent and path vectors (paper §III-B).
-  DistDenseVec<Index> mate_r(ctx, VSpace::Row, n_rows, kNull);
-  DistDenseVec<Index> mate_c(ctx, VSpace::Col, n_cols, kNull);
-  mate_r.from_std(initial.mate_r);
-  mate_c.from_std(initial.mate_c);
-  DistDenseVec<Index> pi_r(ctx, VSpace::Row, n_rows, kNull);
-  DistDenseVec<Index> path_c(ctx, VSpace::Col, n_cols, kNull);
+  DistDenseVec<Index> mate_r_;
+  DistDenseVec<Index> mate_c_;
+  DistDenseVec<Index> pi_r_;
+  DistDenseVec<Index> path_c_;
 
-  stats->initial_cardinality = initial.cardinality();
-
-  // Replicated visited bitmaps for the masked top-down SpMV (§5.4). A pure
-  // bottom-up run never consults the mask (its scan skips visited rows by
-  // reading pi directly), so skip the replication charges entirely there.
-  const bool use_mask =
-      options.use_mask && options.direction != Direction::BottomUp;
-  VisitedBitmap visited;
-  if (use_mask) visited = VisitedBitmap(pi_r.layout());
+  const bool use_mask_;
+  VisitedBitmap visited_;
 
   // Superstep clock: one tick per BFS-iteration boundary, monotonic across
   // phases (each phase's terminating empty-frontier probe counts too, so no
   // two boundaries share a tick). Checkpoints and crash events are pinned
   // to these boundaries (§5.5).
-  std::uint64_t global_iter = 0;
-  DistSpVec<Vertex> f_c;
-  bool found_path = false;
-  bool resuming = options.resume != nullptr;
+  std::uint64_t global_iter_ = 0;
+  DistSpVec<Vertex> f_c_;
+  bool found_path_ = false;
+  bool resuming_ = false;
+  Index frontier_nnz_ = 0;
 
-  if (resuming) {
-    const Checkpoint& ck = *options.resume;
-    if (ck.mate_r.size() != static_cast<std::size_t>(n_rows)
-        || ck.pi_r.size() != static_cast<std::size_t>(n_rows)
-        || ck.mate_c.size() != static_cast<std::size_t>(n_cols)
-        || ck.path_c.size() != static_cast<std::size_t>(n_cols)
+  FaultPlan* faults_ = nullptr;
+  trace::Span run_span_;
+  trace::Span phase_span_;
+  bool at_phase_start_ = true;
+  bool done_ = false;
+  Matching result_;
+
+ private:
+  /// The empty-frontier boundary: either augment and open the next phase,
+  /// or (no path found anywhere) gather the final matching and finish.
+  bool end_phase() {
+    if (!found_path_) {
+      phase_span_.close();
+      finish();
+      return false;
+    }
+    const AugmentResult augmented =
+        dist_augment(ctx_, options_.augment, path_c_, pi_r_, mate_r_, mate_c_);
+    ++stats_->phases;
+    stats_->augmentations += augmented.paths;
+    if (augmented.used_path_parallel) {
+      ++stats_->path_parallel_phases;
+    } else {
+      ++stats_->level_parallel_phases;
+    }
+    phase_span_.close();
+    at_phase_start_ = true;
+    return true;
+  }
+
+  void finish() {
+    result_ = Matching(n_rows_, n_cols_);
+    result_.mate_r = mate_r_.to_std();
+    result_.mate_c = mate_c_.to_std();
+    stats_->final_cardinality = result_.cardinality();
+    run_span_.close();
+    done_ = true;
+  }
+
+  void restore(const Checkpoint& ck) {
+    if (ck.mate_r.size() != static_cast<std::size_t>(n_rows_)
+        || ck.pi_r.size() != static_cast<std::size_t>(n_rows_)
+        || ck.mate_c.size() != static_cast<std::size_t>(n_cols_)
+        || ck.path_c.size() != static_cast<std::size_t>(n_cols_)
         || ck.frontier_idx.size() != ck.frontier_val.size()
         || ck.frontier_idx.size()
                != static_cast<std::size_t>(ck.header.frontier_nnz)) {
@@ -109,23 +318,23 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
           CheckpointError::Kind::BadFormat,
           "restored array lengths disagree with the snapshot header");
     }
-    mate_r.from_std(ck.mate_r);
-    mate_c.from_std(ck.mate_c);
-    pi_r.from_std(ck.pi_r);
-    path_c.from_std(ck.path_c);
-    SpVec<Vertex> frontier(n_cols);
+    mate_r_.from_std(ck.mate_r);
+    mate_c_.from_std(ck.mate_c);
+    pi_r_.from_std(ck.pi_r);
+    path_c_.from_std(ck.path_c);
+    SpVec<Vertex> frontier(n_cols_);
     frontier.reserve(ck.frontier_idx.size());
     for (std::size_t k = 0; k < ck.frontier_idx.size(); ++k) {
       frontier.push_back(ck.frontier_idx[k], ck.frontier_val[k]);
     }
-    f_c = DistSpVec<Vertex>(ctx, VSpace::Col, n_cols);
-    f_c.from_global(frontier);
+    f_c_ = DistSpVec<Vertex>(ctx_, VSpace::Col, n_cols_);
+    f_c_.from_global(frontier);
     // Conservation across restore (mcmcheck): the snapshot's balances must
     // survive the round trip — frontier entries, matched-pair symmetry, and
     // (below) the rebuilt visited replicas against the parent count.
     check::verify_conservation(
         "CHECKPOINT", "restored frontier nnz", ck.header.frontier_nnz,
-        static_cast<std::uint64_t>(f_c.nnz_unaccounted()));
+        static_cast<std::uint64_t>(f_c_.nnz_unaccounted()));
     std::uint64_t matched_rows = 0;
     std::uint64_t matched_cols = 0;
     std::uint64_t parents = 0;
@@ -134,162 +343,58 @@ Matching mcm_dist_run(SimContext& ctx, const DistMatrix& a,
     for (const Index parent : ck.pi_r) parents += parent != kNull ? 1 : 0;
     check::verify_conservation("CHECKPOINT", "restored mate pairs",
                                matched_rows, matched_cols);
-    if (use_mask) {
-      const std::uint64_t bits = visited.rebuild_from_parents(pi_r);
+    if (use_mask_) {
+      const std::uint64_t bits = visited_.rebuild_from_parents(pi_r_);
       check::verify_conservation("CHECKPOINT", "restored visited bits",
                                  parents, bits);
     }
-    ctx.ledger() = ck.ledger;  // bit-exact simulated-clock restore
-    *stats = ck.header.stats;
-    global_iter = ck.header.iteration;
-    found_path = ck.header.found_path;
+    ctx_.ledger() = ck.ledger;  // bit-exact simulated-clock restore
+    *stats_ = ck.header.stats;
+    global_iter_ = ck.header.iteration;
+    found_path_ = ck.header.found_path;
+    frontier_nnz_ = static_cast<Index>(ck.header.frontier_nnz);
   }
+};
 
-  const CheckpointConfig& ckpt = options.checkpoint;
-  FaultPlan* faults = ctx.faults();
+namespace {
 
-  const trace::Span run_span(ctx, "MCM-DIST", Cost::Other,
-                             trace::Kind::Region);
-  for (;;) {  // a phase of the algorithm
-    const trace::Span phase_span(ctx, "MCM-DIST.phase", Cost::Other,
-                                 trace::Kind::Region);
-    if (resuming) {
-      // State (including mid-phase pi/visited/frontier and the phase's
-      // found_path flag) came from the snapshot: skip the phase init once
-      // and drop straight back into the iteration loop.
-      resuming = false;
+template <typename SR>
+class McmStepperFor final : public McmStepperImpl {
+ public:
+  McmStepperFor(SimContext& ctx, const DistMatrix& a, const Matching& initial,
+                const McmDistOptions& options, McmDistStats* stats, SR sr)
+      : McmStepperImpl(ctx, a, initial, options, stats), sr_(std::move(sr)) {}
+
+ private:
+  [[nodiscard]] bool choose_bottom_up(Index frontier_nnz) const override {
+    if constexpr (std::is_same_v<SR, Select2ndMinParent>) {
+      return options_.direction == Direction::BottomUp
+             || (options_.direction == Direction::Optimizing
+                 && bottom_up_beneficial(frontier_nnz, n_cols_));
     } else {
-      dist_fill(ctx, Cost::Other, pi_r, kNull);
-      if (use_mask) visited.clear();  // new phase: pi was reset, so is the mask
-
-      // Initial column frontier: unmatched columns, parent = root = self.
-      f_c = dist_from_dense<Vertex>(
-          ctx, Cost::Other, mate_c, [](Index mate) { return mate == kNull; },
-          [](Index g, Index) { return Vertex(g, g); });
-      found_path = false;
-    }
-
-    for (;;) {
-      // Superstep boundary: checkpoint first, then scheduled faults — a
-      // crash pinned here resumes from this very boundary (with every=1).
-      if (ckpt.enabled() && global_iter % ckpt.every == 0) {
-        trace::Span save_span(ctx, "CHECKPOINT.save", Cost::Other,
-                              trace::Kind::Region);
-        const Checkpoint ck =
-            snapshot_state(ctx, a, options, *stats, global_iter, found_path,
-                           mate_r, mate_c, pi_r, path_c, f_c);
-        save_checkpoint(ck, ckpt.dir + "/"
-                                + checkpoint_file_name(global_iter));
-        save_span.close();
-        trace::counter(ctx, "checkpoint_bytes",
-                       static_cast<double>(ck.header.payload_bytes));
-      }
-      if (faults != nullptr) faults->begin_superstep(global_iter);
-      ++global_iter;
-
-      const trace::Span iter_span(ctx, "MCM-DIST.bfs-iteration", Cost::Other,
-                                  trace::Kind::Region);
-      const Index frontier_nnz = dist_nnz(ctx, Cost::Other, f_c);
-      trace::counter(ctx, "frontier_nnz",
-                     static_cast<double>(frontier_nnz));
-      if (frontier_nnz == 0) break;
-      ++stats->iterations;
-
-      // Step 1: explore neighbors of the column frontier — top-down semiring
-      // SpMV, or the bottom-up scan when enabled and profitable (only the
-      // minParent semiring admits the early-exit equivalence).
-      bool bottom_up = false;
-      if constexpr (std::is_same_v<SR, Select2ndMinParent>) {
-        bottom_up = options.direction == Direction::BottomUp
-                    || (options.direction == Direction::Optimizing
-                        && bottom_up_beneficial(frontier_nnz, n_cols));
-      }
-      DistSpVec<Vertex> f_r = with_transient_retry(
-          ctx, Cost::SpMV, CollectiveOp::Allgather, "SPMV", [&] {
-            return bottom_up
-                       ? dist_bottom_up_step(ctx, Cost::SpMV, a, f_c, pi_r)
-                       : dist_spmv_col_to_row(ctx, Cost::SpMV, a, f_c, sr,
-                                              use_mask ? &visited : nullptr);
-          });
-      if (bottom_up) ++stats->bottom_up_iterations;
-
-      // Steps 2-4 fused: one pass drops already-visited rows, records
-      // parents and splits path endpoints (unmatched) from tree growth
-      // (matched). A masked top-down SpMV cannot emit visited rows, and the
-      // primitive asserts exactly that (dropped == 0); the bottom-up scan
-      // skips them by construction too, but reads pi mid-scan rather than
-      // the replica, so only the masked path carries the expectation.
-      FrontierPartition<Vertex> part = dist_partition_frontier(
-          ctx, Cost::Other, f_r, pi_r, mate_r,
-          [](const Vertex& v) { return v.parent; },
-          /*expect_all_unvisited=*/use_mask && !bottom_up);
-      DistSpVec<Vertex> uf_r = std::move(part.unmatched);
-      f_r = std::move(part.matched);
-
-      // Replicate this iteration's discoveries into the row-segment bitmaps
-      // (incremental allgather within each grid row, §5.4) so the next
-      // iteration's multiply can mask them.
-      if (use_mask) visited.update(ctx, Cost::Other, {&f_r, &uf_r});
-
-      if (dist_nnz(ctx, Cost::Other, uf_r) > 0) {
-        found_path = true;
-        // Step 5: record one endpoint per tree, keyed by root (keep-first).
-        DistSpVec<Index> t_c = with_transient_retry(
-            ctx, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
-              return dist_invert<Index>(
-                  ctx, Cost::Invert, uf_r, VSpace::Col, n_cols,
-                  [](Index, const Vertex& v) { return v.root; },
-                  [](Index g, const Vertex&) { return g; });
-            });
-        dist_set_dense(ctx, Cost::Other, path_c, t_c,
-                       [](Index endpoint) { return endpoint; });
-
-        // Step 6: prune trees that just yielded an augmenting path. The
-        // roots are collected from uf_r inside the primitive.
-        if (options.enable_prune) {
-          f_r = with_transient_retry(
-              ctx, Cost::Prune, CollectiveOp::Allgather, "PRUNE", [&] {
-                return dist_prune(ctx, Cost::Prune, f_r, uf_r,
-                                  [](const Vertex& v) { return v.root; });
-              });
-        }
-      }
-
-      // Step 7: next column frontier from the mates of the matched rows.
-      dist_set_sparse(ctx, Cost::Other, f_r, mate_r,
-                      [](Vertex& v, Index mate) { v.parent = mate; });
-      f_c = with_transient_retry(
-          ctx, Cost::Invert, CollectiveOp::Alltoall, "INVERT", [&] {
-            return dist_invert<Vertex>(
-                ctx, Cost::Invert, f_r, VSpace::Col, n_cols,
-                [](Index, const Vertex& v) { return v.parent; },
-                [](Index, const Vertex& v) { return Vertex(v.parent, v.root); });
-          });
-    }
-
-    if (!found_path) break;  // no augmenting path anywhere: maximum reached
-    const AugmentResult augmented =
-        dist_augment(ctx, options.augment, path_c, pi_r, mate_r, mate_c);
-    ++stats->phases;
-    stats->augmentations += augmented.paths;
-    if (augmented.used_path_parallel) {
-      ++stats->path_parallel_phases;
-    } else {
-      ++stats->level_parallel_phases;
+      (void)frontier_nnz;
+      return false;
     }
   }
 
-  Matching result(n_rows, n_cols);
-  result.mate_r = mate_r.to_std();
-  result.mate_c = mate_c.to_std();
-  stats->final_cardinality = result.cardinality();
-  return result;
-}
+  [[nodiscard]] DistSpVec<Vertex> explore(bool bottom_up) override {
+    return with_transient_retry(
+        ctx_, Cost::SpMV, CollectiveOp::Allgather, "SPMV", [&] {
+          return bottom_up
+                     ? dist_bottom_up_step(ctx_, Cost::SpMV, a_, f_c_, pi_r_)
+                     : dist_spmv_col_to_row(ctx_, Cost::SpMV, a_, f_c_, sr_,
+                                            use_mask_ ? &visited_ : nullptr);
+        });
+  }
 
-}  // namespace
+  SR sr_;
+};
 
-Matching mcm_dist(SimContext& ctx, const DistMatrix& a, const Matching& initial,
-                  const McmDistOptions& options, McmDistStats* stats) {
+std::unique_ptr<McmStepperImpl> make_stepper(SimContext& ctx,
+                                             const DistMatrix& a,
+                                             const Matching& initial,
+                                             const McmDistOptions& options,
+                                             McmDistStats* stats) {
   if (initial.n_rows() != a.n_rows() || initial.n_cols() != a.n_cols()) {
     throw std::invalid_argument("mcm_dist: initial matching size mismatch");
   }
@@ -302,17 +407,46 @@ Matching mcm_dist(SimContext& ctx, const DistMatrix& a, const Matching& initial,
   }
   switch (options.semiring) {
     case SemiringKind::MinParent:
-      return mcm_dist_run(ctx, a, initial, Select2ndMinParent{}, options, stats);
+      return std::make_unique<McmStepperFor<Select2ndMinParent>>(
+          ctx, a, initial, options, stats, Select2ndMinParent{});
     case SemiringKind::MaxParent:
-      return mcm_dist_run(ctx, a, initial, Select2ndMaxParent{}, options, stats);
+      return std::make_unique<McmStepperFor<Select2ndMaxParent>>(
+          ctx, a, initial, options, stats, Select2ndMaxParent{});
     case SemiringKind::RandParent:
-      return mcm_dist_run(ctx, a, initial, Select2ndRandParent{options.seed},
-                          options, stats);
+      return std::make_unique<McmStepperFor<Select2ndRandParent>>(
+          ctx, a, initial, options, stats,
+          Select2ndRandParent{options.seed});
     case SemiringKind::RandRoot:
-      return mcm_dist_run(ctx, a, initial, Select2ndRandRoot{options.seed},
-                          options, stats);
+      return std::make_unique<McmStepperFor<Select2ndRandRoot>>(
+          ctx, a, initial, options, stats, Select2ndRandRoot{options.seed});
   }
   throw std::invalid_argument("mcm_dist: unknown semiring");
+}
+
+}  // namespace
+}  // namespace detail
+
+McmDistStepper::McmDistStepper(SimContext& ctx, const DistMatrix& a,
+                               const Matching& initial,
+                               const McmDistOptions& options,
+                               McmDistStats* stats)
+    : impl_(detail::make_stepper(ctx, a, initial, options, stats)) {}
+
+McmDistStepper::~McmDistStepper() = default;
+
+bool McmDistStepper::step() { return impl_->step(); }
+bool McmDistStepper::done() const { return impl_->done(); }
+std::uint64_t McmDistStepper::supersteps() const { return impl_->supersteps(); }
+Index McmDistStepper::frontier_nnz() const { return impl_->frontier_nnz(); }
+const McmDistStats& McmDistStepper::stats() const { return impl_->stats(); }
+Matching McmDistStepper::take_result() { return impl_->take_result(); }
+
+Matching mcm_dist(SimContext& ctx, const DistMatrix& a, const Matching& initial,
+                  const McmDistOptions& options, McmDistStats* stats) {
+  McmDistStepper stepper(ctx, a, initial, options, stats);
+  while (stepper.step()) {
+  }
+  return stepper.take_result();
 }
 
 }  // namespace mcm

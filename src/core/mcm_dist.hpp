@@ -13,6 +13,7 @@
 /// breakdown categories.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/augment.hpp"
@@ -86,10 +87,64 @@ struct McmDistStats {
   Index final_cardinality = 0;
 };
 
+namespace detail {
+class McmStepperImpl;  // mcm_dist.cpp
+}
+
+/// Re-entrant, superstep-stepping form of MCM-DIST: run-to-next-boundary
+/// instead of run-to-completion. Construction performs the uncharged setup
+/// (distributed state allocation, initial-matching scatter, optional
+/// checkpoint restore); each step() then executes exactly one superstep —
+/// one BFS-iteration boundary, including any phase init / augmentation that
+/// boundary carries — and returns whether more work remains.
+///
+/// Equivalence contract: `while (s.step()) {}` performs the identical
+/// statement sequence as mcm_dist(), so results, stats, trace spans and
+/// every ledger charge are bit-identical to the run-to-completion call.
+/// The multi-query service interleaves many steppers on one simulated
+/// machine this way; frontier_nnz() (the last boundary's probe, free to
+/// read) is its smallest-expected-remaining-work scheduling signal.
+///
+/// Lifetimes: `ctx`, `a` and `*stats` must outlive the stepper; `options`
+/// is copied, but `options.resume` (when set) only needs to stay valid
+/// through the constructor. Between steps the stepper only touches `ctx`
+/// inside step(), so the context's host engine may be rebound at a boundary
+/// (SimContext::set_host_engine) — host execution moves, charges don't.
+class McmDistStepper {
+ public:
+  McmDistStepper(SimContext& ctx, const DistMatrix& a, const Matching& initial,
+                 const McmDistOptions& options = {},
+                 McmDistStats* stats = nullptr);
+  ~McmDistStepper();
+  McmDistStepper(const McmDistStepper&) = delete;
+  McmDistStepper& operator=(const McmDistStepper&) = delete;
+
+  /// Runs one superstep. Returns true while work remains; the call that
+  /// completes the algorithm (the final empty-frontier probe) does its work
+  /// and returns false. Further calls are no-ops returning false.
+  bool step();
+
+  [[nodiscard]] bool done() const;
+  /// Superstep boundaries crossed so far (monotonic across phases; equals
+  /// the checkpoint clock `global_iter`).
+  [[nodiscard]] std::uint64_t supersteps() const;
+  /// The frontier size observed at the last boundary probe — before the
+  /// first step, the number of unmatched columns (or the restored header's
+  /// frontier). Free to read: no charge, no host work.
+  [[nodiscard]] Index frontier_nnz() const;
+  [[nodiscard]] const McmDistStats& stats() const;
+  /// The gathered matching; valid once done().
+  [[nodiscard]] Matching take_result();
+
+ private:
+  std::unique_ptr<detail::McmStepperImpl> impl_;
+};
+
 /// Computes a maximum matching of the distributed matrix `a`, starting from
 /// `initial` (typically a maximal matching from dist_maximal_matching();
 /// an empty matching also works). The returned matching is gathered to a
 /// plain Matching for the caller; simulated time is in ctx.ledger().
+/// Equivalent to stepping a McmDistStepper to completion.
 [[nodiscard]] Matching mcm_dist(SimContext& ctx, const DistMatrix& a,
                                 const Matching& initial,
                                 const McmDistOptions& options = {},

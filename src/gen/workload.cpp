@@ -1,0 +1,125 @@
+#include "gen/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+Index scaled(double base, double scale) {
+  return std::max<Index>(2, static_cast<Index>(std::lround(base * scale)));
+}
+
+/// One pool graph for slot `i` of the given mix. Each mix cycles through a
+/// few structural shapes so even a small pool isn't homogeneous.
+CooMatrix pool_graph(SizeMix mix, int i, double scale, Rng& rng) {
+  switch (mix) {
+    case SizeMix::Small: {
+      const Index n = scaled(30.0 + 10.0 * (i % 3), scale);
+      return er_bipartite_m(n, n, 3 * n, rng);
+    }
+    case SizeMix::Mixed:
+      switch (i % 3) {
+        case 0: {
+          const Index n = scaled(40.0, scale);
+          return er_bipartite_m(n, n, 4 * n, rng);
+        }
+        case 1: {
+          RmatParams p = RmatParams::g500(6);
+          p.edge_factor = 6.0;
+          return rmat(p, rng);
+        }
+        default: {
+          const Index n = scaled(60.0, scale);
+          return planted_perfect(n, 3 * n, rng);
+        }
+      }
+    case SizeMix::Heavy:
+      if (i % 2 == 0) {
+        RmatParams p = RmatParams::g500(8);
+        p.edge_factor = 8.0;
+        return rmat(p, rng);
+      } else {
+        const Index n = scaled(300.0, scale);
+        return er_bipartite_m(n, n, 6 * n, rng);
+      }
+  }
+  throw std::invalid_argument("pool_graph: unknown size mix");
+}
+
+}  // namespace
+
+const char* size_mix_name(SizeMix mix) {
+  switch (mix) {
+    case SizeMix::Small: return "small";
+    case SizeMix::Mixed: return "mixed";
+    case SizeMix::Heavy: return "heavy";
+  }
+  return "?";
+}
+
+SizeMix parse_size_mix(const std::string& name) {
+  if (name == "small") return SizeMix::Small;
+  if (name == "mixed") return SizeMix::Mixed;
+  if (name == "heavy") return SizeMix::Heavy;
+  throw std::invalid_argument("unknown size mix '" + name
+                              + "' (small|mixed|heavy)");
+}
+
+Workload make_workload(const WorkloadConfig& config) {
+  if (config.queries < 0) {
+    throw std::invalid_argument("make_workload: negative query count");
+  }
+  if (config.graph_pool < 1) {
+    throw std::invalid_argument("make_workload: graph_pool < 1");
+  }
+  if (config.rate_per_s <= 0) {
+    throw std::invalid_argument("make_workload: rate_per_s must be positive");
+  }
+  if (config.hot_fraction < 0 || config.hot_fraction > 1) {
+    throw std::invalid_argument("make_workload: hot_fraction outside [0, 1]");
+  }
+  if (config.priority_levels < 1) {
+    throw std::invalid_argument("make_workload: priority_levels < 1");
+  }
+
+  Rng rng(config.seed);
+  Workload w;
+  w.pool.reserve(static_cast<std::size_t>(config.graph_pool));
+  for (int i = 0; i < config.graph_pool; ++i) {
+    w.pool.push_back(std::make_shared<const CooMatrix>(
+        pool_graph(config.mix, i, config.scale, rng)));
+  }
+
+  // The hot set is the first third of the pool (at least one graph); a
+  // hot_fraction coin first, then uniform within the chosen set. Draw order
+  // per query is fixed (gap, popularity coin, graph, priority) so streams
+  // replay identically.
+  const int hot = std::max(1, config.graph_pool / 3);
+  double clock_s = 0;
+  w.queries.reserve(static_cast<std::size_t>(config.queries));
+  for (int q = 0; q < config.queries; ++q) {
+    // Exponential inter-arrival gap; 1 - u keeps the argument off log(0).
+    clock_s += -std::log(1.0 - rng.next_double()) / config.rate_per_s;
+    WorkloadQuery query;
+    query.id = q;
+    query.arrival_s = clock_s;
+    const bool pick_hot = rng.next_bool(config.hot_fraction);
+    query.graph_id = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(pick_hot ? hot : config.graph_pool)));
+    query.graph = w.pool[static_cast<std::size_t>(query.graph_id)];
+    query.priority = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(config.priority_levels)));
+    // Same graph => same option seed, so repeat queries share a cache key.
+    query.mcm_seed = config.seed + static_cast<std::uint64_t>(query.graph_id);
+    w.queries.push_back(std::move(query));
+  }
+  return w;
+}
+
+}  // namespace mcm

@@ -1,0 +1,74 @@
+#pragma once
+/// \file workload.hpp
+/// Seeded multi-query workload generator for the matching service
+/// (src/service/): a Poisson arrival stream of matching queries over a pool
+/// of generated graphs. Both bench_service and the service tests build their
+/// streams here so the two replay byte-identical workloads from one seed —
+/// arrival times, graph choices, priorities, everything.
+///
+/// Knobs mirror how production matching traffic is usually characterized:
+/// an arrival rate (Poisson, i.e. exponential inter-arrival gaps), a size
+/// mix (mostly-small per-user subgraphs vs. heavy per-region shards), and a
+/// skewed graph popularity (a hot subset of the pool receives a configurable
+/// fraction of queries — the repeats are what give the result cache its
+/// hits). Queries on the same pool graph share their option seed, so their
+/// cache keys collide by construction.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace mcm {
+
+/// Size profile of the query stream's graph pool.
+enum class SizeMix {
+  Small,  ///< uniform small ER instances (tens of vertices)
+  Mixed,  ///< small ER + mid RMAT + planted-perfect (the default)
+  Heavy,  ///< skewed RMAT and dense ER instances (hundreds of vertices)
+};
+
+[[nodiscard]] const char* size_mix_name(SizeMix mix);
+/// Parses "small" | "mixed" | "heavy"; throws std::invalid_argument.
+[[nodiscard]] SizeMix parse_size_mix(const std::string& name);
+
+struct WorkloadConfig {
+  SizeMix mix = SizeMix::Mixed;
+  int queries = 32;
+  /// Poisson arrival rate (queries per second of stream time). The stream
+  /// clock is the bench's submission pacing clock; tests usually ignore it.
+  double rate_per_s = 50.0;
+  std::uint64_t seed = 1;
+  /// Distinct graphs in the pool; queries draw from these by popularity.
+  int graph_pool = 6;
+  /// Fraction of queries directed at the hot third of the pool (repeat
+  /// traffic — the result cache's hit source). 0 = uniform popularity.
+  double hot_fraction = 0.5;
+  /// Priorities are drawn uniformly from [0, priority_levels); higher value
+  /// = more urgent (see SchedPolicy::Priority).
+  int priority_levels = 3;
+  /// Multiplies every pool graph's dimensions (bench scaling knob).
+  double scale = 1.0;
+};
+
+struct WorkloadQuery {
+  int id = 0;             ///< position in arrival order
+  double arrival_s = 0;   ///< seconds since stream start (non-decreasing)
+  int graph_id = 0;       ///< index into Workload::pool
+  std::shared_ptr<const CooMatrix> graph;  ///< == pool[graph_id]
+  int priority = 0;       ///< higher = more urgent
+  std::uint64_t mcm_seed = 1;  ///< per-query MCM option seed (shared per graph)
+};
+
+struct Workload {
+  std::vector<std::shared_ptr<const CooMatrix>> pool;
+  std::vector<WorkloadQuery> queries;  ///< in arrival order
+};
+
+/// Builds the pool and the arrival stream deterministically from
+/// `config.seed`. Identical configs yield identical workloads.
+[[nodiscard]] Workload make_workload(const WorkloadConfig& config);
+
+}  // namespace mcm

@@ -55,16 +55,23 @@ SimConfig SimConfig::auto_config(int cores, int preferred_threads,
 }
 
 SimContext::SimContext(const SimConfig& config)
+    : SimContext(config, std::make_shared<HostEngine>(
+                             config.host_threads, config.host_deterministic)) {}
+
+SimContext::SimContext(const SimConfig& config,
+                       std::shared_ptr<HostEngine> engine)
     : config_(config),
       grid_(ProcGrid::square(config.processes())),
       edge_time_us_(config.machine.edge_op_us
                     / config.machine.thread_speedup(config.threads_per_process)),
       elem_time_us_(config.machine.elem_op_us
                     / config.machine.thread_speedup(config.threads_per_process)),
-      host_(std::make_shared<HostEngine>(config.host_threads,
-                                         config.host_deterministic)) {
+      host_(std::move(engine)) {
   if (config.cores % config.threads_per_process != 0) {
     throw std::invalid_argument("SimContext: threads_per_process must divide cores");
+  }
+  if (host_ == nullptr) {
+    throw std::invalid_argument("SimContext: null host engine");
   }
 }
 

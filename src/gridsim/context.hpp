@@ -68,6 +68,14 @@ class SimContext {
  public:
   explicit SimContext(const SimConfig& config);
 
+  /// Constructs the context on an existing host engine instead of building a
+  /// private one — the multi-query service binds many per-query contexts to
+  /// a small set of per-worker engines this way. `config.host_threads` and
+  /// `host_deterministic` are ignored (the engine was already built); the
+  /// usual sharing rule applies: contexts on one engine must not execute
+  /// dist primitives concurrently.
+  SimContext(const SimConfig& config, std::shared_ptr<HostEngine> engine);
+
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] const ProcGrid& grid() const { return grid_; }
   [[nodiscard]] int processes() const { return grid_.size(); }
@@ -85,6 +93,21 @@ class SimContext {
   /// both via HostEngine's reentrancy guard; contexts that must run
   /// concurrently need separately constructed SimContexts.
   [[nodiscard]] HostEngine& host() const { return *host_; }
+
+  /// Owning handle to the engine, for callers that bind several contexts to
+  /// one engine (or keep an engine alive past a context).
+  [[nodiscard]] const std::shared_ptr<HostEngine>& host_ptr() const {
+    return host_;
+  }
+
+  /// Rebinds this context to another engine. Host-execution state only —
+  /// simulated results and ledger charges are engine-independent (the
+  /// determinism contract in host_engine.hpp), so a query paused at a
+  /// superstep boundary may resume on a different worker's engine. Must not
+  /// be called while a dist primitive is running on the old engine.
+  void set_host_engine(std::shared_ptr<HostEngine> engine) {
+    host_ = std::move(engine);
+  }
 
   /// mcmcheck, the BSP-discipline sanitizer (gridsim/mcmcheck.hpp). The
   /// active-simulated-rank scope is established by the per-rank loop bodies

@@ -94,6 +94,35 @@ class ScratchLane {
   std::unordered_map<SlotKey, std::shared_ptr<void>, SlotHash> items_;
 };
 
+/// Lane-occupancy accounting for one HostEngine, maintained by for_ranks().
+/// A "slot" is one lane over one dispatched loop: a loop of n indices on an
+/// L-lane engine offers L slots of which min(n, L) can be busy. occupancy()
+/// near 1.0 means the engine's lanes are saturated; late BFS supersteps with
+/// tiny frontiers drive it toward 1/L — the idle capacity the service
+/// scheduler exists to reclaim (DESIGN.md §5.6). Host-side observability
+/// only: never charged to the ledger.
+struct LaneStats {
+  std::uint64_t loops = 0;        ///< for_ranks() dispatches
+  std::uint64_t items = 0;        ///< total loop indices executed
+  std::uint64_t busy_slots = 0;   ///< sum over loops of min(items, lanes)
+  std::uint64_t total_slots = 0;  ///< sum over loops of lanes
+
+  [[nodiscard]] double occupancy() const {
+    return total_slots == 0
+               ? 0.0
+               : static_cast<double>(busy_slots)
+                     / static_cast<double>(total_slots);
+  }
+
+  LaneStats& operator+=(const LaneStats& other) {
+    loops += other.loops;
+    items += other.items;
+    busy_slots += other.busy_slots;
+    total_slots += other.total_slots;
+    return *this;
+  }
+};
+
 class HostEngine {
  public:
   /// `threads` = requested execution lanes; `deterministic` forces serial
@@ -125,7 +154,36 @@ class HostEngine {
       ~Reset() { flag.store(false, std::memory_order_relaxed); }
     } reset{in_parallel_};
 #endif
+    if (n > 0) {
+      // Relaxed: readers (lane_stats) sample a monotone gauge; exact totals
+      // are only compared after the dispatching thread has been joined.
+      const auto lanes64 = static_cast<std::uint64_t>(pool_.lanes());
+      const auto n64 = static_cast<std::uint64_t>(n);
+      loops_.fetch_add(1, std::memory_order_relaxed);
+      items_.fetch_add(n64, std::memory_order_relaxed);
+      busy_slots_.fetch_add(n64 < lanes64 ? n64 : lanes64,
+                            std::memory_order_relaxed);
+      total_slots_.fetch_add(lanes64, std::memory_order_relaxed);
+    }
     pool_.for_each(0, n, std::forward<Fn>(fn));
+  }
+
+  /// Occupancy counters accumulated by for_ranks() since construction or the
+  /// last reset_lane_stats(). Safe to sample from any thread.
+  [[nodiscard]] LaneStats lane_stats() const {
+    LaneStats s;
+    s.loops = loops_.load(std::memory_order_relaxed);
+    s.items = items_.load(std::memory_order_relaxed);
+    s.busy_slots = busy_slots_.load(std::memory_order_relaxed);
+    s.total_slots = total_slots_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_lane_stats() {
+    loops_.store(0, std::memory_order_relaxed);
+    items_.store(0, std::memory_order_relaxed);
+    busy_slots_.store(0, std::memory_order_relaxed);
+    total_slots_.store(0, std::memory_order_relaxed);
   }
 
   /// Per-lane scratch, for use inside for_ranks bodies (`lane` is the body's
@@ -153,6 +211,12 @@ class HostEngine {
   ScratchLane shared_;
   /// Debug-only reentrancy guard for for_ranks()/shared(); see their docs.
   std::atomic<bool> in_parallel_{false};
+  /// Lane-occupancy counters (see LaneStats). Atomic so a coordinator may
+  /// sample them while a worker thread owning this engine is mid-loop.
+  std::atomic<std::uint64_t> loops_{0};
+  std::atomic<std::uint64_t> items_{0};
+  std::atomic<std::uint64_t> busy_slots_{0};
+  std::atomic<std::uint64_t> total_slots_{0};
 };
 
 }  // namespace mcm

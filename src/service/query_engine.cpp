@@ -1,0 +1,325 @@
+#include "service/query_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace mcm {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const char* sched_policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::Fifo: return "fifo";
+    case SchedPolicy::Priority: return "priority";
+    case SchedPolicy::SmallestWork: return "smallest-work";
+  }
+  return "?";
+}
+
+SchedPolicy parse_sched_policy(const std::string& name) {
+  if (name == "fifo") return SchedPolicy::Fifo;
+  if (name == "priority") return SchedPolicy::Priority;
+  if (name == "smallest-work") return SchedPolicy::SmallestWork;
+  throw std::invalid_argument("unknown scheduling policy: " + name
+                              + " (expected fifo|priority|smallest-work)");
+}
+
+QueryEngine::QueryEngine(const ServiceConfig& config)
+    : config_(config), cache_(config.cache_capacity) {
+  if (config_.workers < 0) {
+    throw std::invalid_argument("QueryEngine: workers must be >= 0");
+  }
+  if (config_.lanes_per_worker < 1) {
+    throw std::invalid_argument("QueryEngine: lanes_per_worker must be >= 1");
+  }
+  if (config_.max_pending < 1) {
+    throw std::invalid_argument("QueryEngine: max_pending must be >= 1");
+  }
+  if (config_.quantum < 1) {
+    throw std::invalid_argument("QueryEngine: quantum must be >= 1");
+  }
+  const std::size_t engine_count =
+      config_.workers == 0 ? 1 : static_cast<std::size_t>(config_.workers);
+  engines_.reserve(engine_count);
+  for (std::size_t i = 0; i < engine_count; ++i) {
+    engines_.push_back(std::make_shared<HostEngine>(
+        config_.lanes_per_worker, /*deterministic=*/false));
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_main(static_cast<std::size_t>(w)); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+namespace {
+
+void validate_spec(const QuerySpec& spec) {
+  if (!spec.graph) {
+    throw std::invalid_argument("QueryEngine: query has no graph");
+  }
+  if (spec.pipeline.resume) {
+    throw std::invalid_argument(
+        "QueryEngine: checkpoint resume is not supported under the service");
+  }
+  if (spec.pipeline.faults) {
+    throw std::invalid_argument(
+        "QueryEngine: fault plans are not supported under the service");
+  }
+  if (spec.pipeline.mcm.checkpoint.enabled()) {
+    throw std::invalid_argument(
+        "QueryEngine: checkpointing is not supported under the service");
+  }
+}
+
+}  // namespace
+
+std::uint64_t QueryEngine::enqueue_locked(QuerySpec spec,
+                                          std::uint64_t options_fp) {
+  auto q = std::make_unique<QueryState>();
+  q->id = next_id_++;
+  q->spec = std::move(spec);
+  q->key = CacheKey{q->spec.matrix_fingerprint, options_fp};
+  q->submit_time = std::chrono::steady_clock::now();
+  q->outcome.id = q->id;
+  const std::uint64_t id = q->id;
+  queries_.push_back(std::move(q));
+  ++pending_;
+  work_ready_.notify_one();
+  return id;
+}
+
+std::uint64_t QueryEngine::submit(QuerySpec spec) {
+  validate_spec(spec);
+  const std::uint64_t options_fp =
+      fingerprint_query_options(spec.sim, spec.pipeline);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (pending_ >= config_.max_pending) {
+    if (config_.workers == 0) {
+      // Pump mode: make room ourselves. A full service always has a
+      // Waiting query (nothing can sit Held), so this must make progress.
+      if (!pump_locked(lock)) {
+        throw std::logic_error("QueryEngine: full but nothing runnable");
+      }
+    } else {
+      admit_ready_.wait(
+          lock, [this] { return pending_ < config_.max_pending; });
+    }
+  }
+  return enqueue_locked(std::move(spec), options_fp);
+}
+
+std::optional<std::uint64_t> QueryEngine::try_submit(QuerySpec spec) {
+  validate_spec(spec);
+  const std::uint64_t options_fp =
+      fingerprint_query_options(spec.sim, spec.pipeline);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_ >= config_.max_pending) return std::nullopt;
+  return enqueue_locked(std::move(spec), options_fp);
+}
+
+QueryOutcome QueryEngine::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto find = [this, id]() -> std::deque<std::unique_ptr<QueryState>>::iterator {
+    return std::find_if(
+        queries_.begin(), queries_.end(),
+        [id](const std::unique_ptr<QueryState>& q) { return q->id == id; });
+  };
+  auto it = find();
+  if (it == queries_.end()) {
+    throw std::invalid_argument(
+        "QueryEngine::wait: unknown or already-taken query id");
+  }
+  if (config_.workers == 0) {
+    while ((*it)->phase != Phase::Done) {
+      if (!pump_locked(lock)) {
+        throw std::logic_error("QueryEngine::wait: query stuck with no work");
+      }
+      it = find();  // pump may have completed (but never erased) queries
+    }
+  } else {
+    query_done_.wait(lock, [&] {
+      it = find();
+      return it != queries_.end() && (*it)->phase == Phase::Done;
+    });
+  }
+  QueryOutcome outcome = std::move((*it)->outcome);
+  queries_.erase(it);
+  return outcome;
+}
+
+std::vector<QueryOutcome> QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (config_.workers == 0) {
+    while (pending_ > 0) {
+      if (!pump_locked(lock)) {
+        throw std::logic_error("QueryEngine::drain: queries stuck");
+      }
+    }
+  } else {
+    query_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(queries_.size());
+  for (std::unique_ptr<QueryState>& q : queries_) {
+    outcomes.push_back(std::move(q->outcome));
+  }
+  queries_.clear();
+  return outcomes;
+}
+
+bool QueryEngine::pump() {
+  if (config_.workers != 0) {
+    throw std::logic_error("QueryEngine::pump: only valid in pump mode");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  return pump_locked(lock);
+}
+
+std::size_t QueryEngine::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+LaneStats QueryEngine::lane_stats() const {
+  LaneStats total;
+  for (const std::shared_ptr<HostEngine>& engine : engines_) {
+    total += engine->lane_stats();
+  }
+  return total;
+}
+
+void QueryEngine::worker_main(std::size_t worker) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    QueryState* q = nullptr;
+    work_ready_.wait(lock, [&] {
+      if (stop_) return true;
+      q = pick_next();
+      return q != nullptr;
+    });
+    if (stop_) return;
+    q->phase = Phase::Held;
+    lock.unlock();
+    run_slice(*q, engines_[worker]);
+    lock.lock();
+    after_slice(*q);
+  }
+}
+
+QueryEngine::QueryState* QueryEngine::pick_next() {
+  QueryState* best = nullptr;
+  for (const std::unique_ptr<QueryState>& q : queries_) {
+    if (q->phase != Phase::Waiting) continue;
+    switch (config_.policy) {
+      case SchedPolicy::Fifo:
+        return q.get();  // queries_ is in submission order
+      case SchedPolicy::Priority:
+        if (best == nullptr || q->spec.priority > best->spec.priority) {
+          best = q.get();
+        }
+        break;
+      case SchedPolicy::SmallestWork: {
+        // Expected remaining work = frontier size at the last boundary; a
+        // query that has not started yet is bounded by its column count
+        // (PipelineRun::frontier_nnz uses the same fallback).
+        auto estimate = [](const QueryState& s) {
+          return s.run ? s.run->frontier_nnz() : s.spec.graph->n_cols;
+        };
+        if (best == nullptr || estimate(*q) < estimate(*best)) {
+          best = q.get();
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void QueryEngine::run_slice(QueryState& q,
+                            const std::shared_ptr<HostEngine>& engine) {
+  try {
+    if (!q.exec_started) {
+      q.exec_started = true;
+      q.exec_start = std::chrono::steady_clock::now();
+      if (q.key.matrix_fp == 0) {
+        q.key.matrix_fp = fingerprint_matrix(*q.spec.graph);
+      }
+      if (std::shared_ptr<const PipelineResult> cached =
+              cache_.lookup(q.key)) {
+        q.outcome.result = *cached;
+        q.outcome.cache_hit = true;
+        return;
+      }
+      q.run = std::make_unique<PipelineRun>(q.spec.sim, *q.spec.graph,
+                                            q.spec.pipeline, engine);
+    } else {
+      // Superstep boundary: migrating to this worker's engine is free and
+      // cannot change results (determinism contract).
+      q.run->set_host_engine(engine);
+    }
+    for (int i = 0; i < config_.quantum; ++i) {
+      if (!q.run->step()) break;
+    }
+    if (q.run->done()) {
+      q.outcome.result = q.run->take_result();
+      q.outcome.supersteps = q.run->supersteps();
+      q.run.reset();
+      cache_.insert(q.key, q.outcome.result);  // copy: outcome keeps its own
+    }
+  } catch (const std::exception& e) {
+    q.outcome.error = e.what();
+    q.run.reset();
+  }
+}
+
+void QueryEngine::after_slice(QueryState& q) {
+  const bool finished =
+      !q.outcome.error.empty() || q.outcome.cache_hit || q.run == nullptr;
+  if (!finished) {
+    q.phase = Phase::Waiting;
+    work_ready_.notify_one();
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  q.outcome.queue_wait_s = seconds_between(q.submit_time, q.exec_start);
+  q.outcome.service_s = seconds_between(q.exec_start, now);
+  q.outcome.latency_s = seconds_between(q.submit_time, now);
+  q.phase = Phase::Done;
+  --pending_;
+  query_done_.notify_all();
+  admit_ready_.notify_one();
+}
+
+bool QueryEngine::pump_locked(std::unique_lock<std::mutex>& lock) {
+  QueryState* q = pick_next();
+  if (q == nullptr) return false;
+  q->phase = Phase::Held;
+  lock.unlock();
+  run_slice(*q, engines_[0]);
+  lock.lock();
+  after_slice(*q);
+  return true;
+}
+
+}  // namespace mcm

@@ -1,0 +1,188 @@
+#pragma once
+/// \file query_engine.hpp
+/// Matching-as-a-service: a multi-query engine that runs many MCM pipelines
+/// concurrently by interleaving their supersteps (DESIGN.md §5.6).
+///
+/// Why interleave: a single pipeline's late BFS supersteps have tiny
+/// frontiers that cannot feed many host lanes — intra-query parallelism
+/// stalls while lanes idle. The service turns that idle capacity into
+/// throughput: each worker owns a small private HostEngine, and the
+/// scheduler hands whole superstep slices of different queries to different
+/// workers. Queries migrate freely between workers at superstep boundaries
+/// (SimContext::set_host_engine) because host-engine choice never affects
+/// results or charges.
+///
+/// Equivalence contract: every query runs in its own SimContext via
+/// PipelineRun, so its matching, stats and per-category CostLedger are
+/// bit-identical to a standalone run_pipeline() call with the same inputs —
+/// regardless of policy, worker count, or what ran in between
+/// (tests/service/test_service_equivalence.cpp).
+///
+/// Scheduling policies pick the next runnable query at each slice boundary:
+///   Fifo          admission order
+///   Priority      highest QuerySpec::priority first (FIFO within a level)
+///   SmallestWork  smallest expected remaining work, using the frontier size
+///                 at the query's last superstep boundary as the estimate
+///                 (PipelineRun::frontier_nnz) — a shortest-job-first
+///                 heuristic that trims mean latency; see the fairness
+///                 caveats in DESIGN.md §5.6.
+///
+/// Completed results land in a ResultCache keyed by (matrix fingerprint,
+/// options fingerprint); a repeat query that finds its twin already finished
+/// completes instantly as a cache hit.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "gridsim/host_engine.hpp"
+#include "service/result_cache.hpp"
+
+namespace mcm {
+
+enum class SchedPolicy {
+  Fifo,
+  Priority,
+  SmallestWork,
+};
+
+[[nodiscard]] const char* sched_policy_name(SchedPolicy policy);
+/// Parses "fifo" | "priority" | "smallest-work"; throws
+/// std::invalid_argument.
+[[nodiscard]] SchedPolicy parse_sched_policy(const std::string& name);
+
+struct ServiceConfig {
+  SchedPolicy policy = SchedPolicy::Fifo;
+  /// Worker threads executing slices. 0 = pump mode: no threads are
+  /// spawned and slices run deterministically on the calling thread inside
+  /// submit()/wait()/drain()/pump() — the mode the scheduling tests use.
+  int workers = 0;
+  /// Host lanes per worker's private engine (pump mode: the one engine).
+  /// Many narrow engines beat one wide engine once frontiers are small —
+  /// that trade is the whole point of the service (DESIGN.md §5.6).
+  int lanes_per_worker = 1;
+  /// Admission bound: maximum queries submitted but not yet completed.
+  /// submit() blocks (pump mode: pumps) while full; try_submit refuses.
+  std::size_t max_pending = 64;
+  std::size_t cache_capacity = 32;
+  /// Supersteps a query executes per scheduling slice. Small = fine-grained
+  /// interleaving (more scheduling overhead); large degenerates toward
+  /// run-to-completion.
+  int quantum = 8;
+};
+
+/// One matching query: a graph handle plus the full pipeline configuration.
+/// The graph is shared so repeat queries and the admission queue don't copy
+/// it. `pipeline.resume`, `pipeline.faults` and checkpointing are not
+/// supported under the service (they are single-run features) and are
+/// refused at submission.
+struct QuerySpec {
+  std::shared_ptr<const CooMatrix> graph;
+  SimConfig sim;
+  PipelineOptions pipeline;
+  int priority = 0;  ///< higher = more urgent (SchedPolicy::Priority)
+  /// Precomputed fingerprint_matrix(*graph), or 0 to compute on first
+  /// execution. Callers submitting one graph many times (or holding large
+  /// graphs) should precompute to keep the admission path O(1).
+  std::uint64_t matrix_fingerprint = 0;
+};
+
+struct QueryOutcome {
+  std::uint64_t id = 0;
+  PipelineResult result;   ///< per-query ledger, bit-identical to standalone
+  bool cache_hit = false;
+  std::uint64_t supersteps = 0;  ///< boundaries this query executed (0 on hit)
+  double queue_wait_s = 0;  ///< host time from submit to first slice
+  double service_s = 0;     ///< host time executing (first slice to done)
+  double latency_s = 0;     ///< host time from submit to done
+  std::string error;        ///< non-empty if the query failed
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const ServiceConfig& config);
+  /// Stops workers. Queries still waiting are abandoned — drain() first if
+  /// their outcomes matter.
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits a query, blocking while the service is at max_pending (pump
+  /// mode: pumps slices until there is room). Returns the query id.
+  /// Throws std::invalid_argument for unsupported specs (see QuerySpec).
+  std::uint64_t submit(QuerySpec spec);
+  /// Non-blocking admission: nullopt when the service is at max_pending.
+  std::optional<std::uint64_t> try_submit(QuerySpec spec);
+
+  /// Blocks until the query completes (pump mode: pumps) and returns its
+  /// outcome. Each outcome can be taken once; a second wait on the same id
+  /// throws std::invalid_argument.
+  QueryOutcome wait(std::uint64_t id);
+  /// Completes every submitted query and returns all untaken outcomes in
+  /// submission order.
+  std::vector<QueryOutcome> drain();
+
+  /// Pump mode only: runs one scheduling slice on the calling thread.
+  /// Returns false when no query is runnable. Throws in worker mode.
+  bool pump();
+
+  /// Queries submitted but not yet completed.
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  /// Lane-occupancy counters aggregated over all worker engines.
+  [[nodiscard]] LaneStats lane_stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  enum class Phase { Waiting, Held, Done };
+
+  struct QueryState {
+    std::uint64_t id = 0;
+    QuerySpec spec;
+    CacheKey key;
+    Phase phase = Phase::Waiting;
+    std::unique_ptr<PipelineRun> run;
+    bool exec_started = false;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point exec_start;
+    QueryOutcome outcome;
+    bool outcome_taken = false;
+  };
+
+  void worker_main(std::size_t worker);
+  /// Picks the next Waiting query per policy; nullptr if none. Caller holds
+  /// the mutex.
+  QueryState* pick_next();
+  /// Runs one slice of `q` on `engine` (no lock held): first slice resolves
+  /// the cache, later slices step the pipeline up to `quantum` boundaries.
+  void run_slice(QueryState& q, const std::shared_ptr<HostEngine>& engine);
+  /// Re-queues or completes `q` after a slice. Caller holds the mutex.
+  void after_slice(QueryState& q);
+  bool pump_locked(std::unique_lock<std::mutex>& lock);
+  std::uint64_t enqueue_locked(QuerySpec spec, std::uint64_t options_fp);
+
+  const ServiceConfig config_;
+  ResultCache cache_;
+  std::vector<std::shared_ptr<HostEngine>> engines_;  ///< one per worker
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   ///< workers: a query became Waiting
+  std::condition_variable query_done_;   ///< waiters: a query completed
+  std::condition_variable admit_ready_;  ///< submitters: pending_ dropped
+  bool stop_ = false;
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::deque<std::unique_ptr<QueryState>> queries_;  ///< submission order
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcm

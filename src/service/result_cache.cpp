@@ -1,0 +1,88 @@
+#include "service/result_cache.hpp"
+
+#include <utility>
+
+namespace mcm {
+
+std::uint64_t fingerprint_matrix(const CooMatrix& a) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(a.n_rows))
+      .mix(static_cast<std::uint64_t>(a.n_cols));
+  fp.mix_array(a.rows.data(), a.rows.size());
+  fp.mix_array(a.cols.data(), a.cols.size());
+  return fp.digest();
+}
+
+std::uint64_t fingerprint_query_options(const SimConfig& sim,
+                                        const PipelineOptions& pipeline) {
+  Fingerprint fp;
+  // Simulated machine and grid: every charge formula input.
+  fp.mix(sim.machine.alpha_us)
+      .mix(sim.machine.beta_us_per_word)
+      .mix(sim.machine.edge_op_us)
+      .mix(sim.machine.elem_op_us)
+      .mix(static_cast<std::int64_t>(sim.machine.cores_per_node))
+      .mix(static_cast<std::int64_t>(sim.machine.cores_per_socket))
+      .mix(static_cast<std::int64_t>(sim.cores))
+      .mix(static_cast<std::int64_t>(sim.threads_per_process));
+  // Pipeline: initializer and input labeling.
+  fp.mix(static_cast<std::int64_t>(pipeline.initializer))
+      .mix(pipeline.random_permute)
+      .mix(pipeline.permute_seed);
+  // MCM-DIST options (mirrors the checkpoint header's option block).
+  const McmDistOptions& mcm = pipeline.mcm;
+  fp.mix(static_cast<std::int64_t>(mcm.semiring))
+      .mix(mcm.enable_prune)
+      .mix(static_cast<std::int64_t>(mcm.augment))
+      .mix(static_cast<std::int64_t>(mcm.direction))
+      .mix(mcm.seed)
+      .mix(mcm.use_mask);
+  return fp.digest();
+}
+
+std::shared_ptr<const PipelineResult> ResultCache::lookup(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+void ResultCache::insert(const CacheKey& key, PipelineResult result) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A racing worker computed the same query; keep the newer result and
+    // refresh recency (both are identical by determinism anyway).
+    it->second->result =
+        std::make_shared<const PipelineResult>(std::move(result));
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{
+      key, std::make_shared<const PipelineResult>(std::move(result))});
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace mcm

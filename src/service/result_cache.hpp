@@ -1,0 +1,99 @@
+#pragma once
+/// \file result_cache.hpp
+/// Result cache for the matching service: completed PipelineResults keyed by
+/// (matrix fingerprint, options fingerprint), LRU-evicted at a fixed
+/// capacity. A hit returns the cached result without spending a single
+/// simulated or host superstep — correct because a pipeline run is a pure
+/// function of (graph, SimConfig-sans-host-knobs, PipelineOptions): the
+/// determinism contract says host_threads / host_deterministic never change
+/// results or charges, so they are deliberately NOT part of the key, and
+/// neither is checkpoint configuration (snapshot I/O is out-of-band).
+///
+/// The fingerprints reuse the checkpoint header's FNV-1a primitive
+/// (util/fingerprint.hpp); see fingerprint_query_options() for exactly which
+/// fields the options key mixes — adding a result-affecting option to the
+/// pipeline without mixing it here would alias distinct queries, which
+/// test_result_cache.cpp guards against field by field.
+///
+/// Thread-safe: workers look up and insert concurrently under one mutex
+/// (entries are shared_ptr<const ...>, so hits copy a pointer, not a
+/// result).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/driver.hpp"
+#include "matrix/coo.hpp"
+#include "util/fingerprint.hpp"
+
+namespace mcm {
+
+/// FNV-1a digest of a graph's identity: shape plus the exact edge list (in
+/// stored order — COO order is part of the identity since permutation seeds
+/// act on it deterministically).
+[[nodiscard]] std::uint64_t fingerprint_matrix(const CooMatrix& a);
+
+/// FNV-1a digest of every query option that can affect the result or the
+/// ledger: the machine model, the simulated grid (cores, threads/process),
+/// the initializer, the permutation settings, and all MCM-DIST options.
+/// Host-execution knobs and checkpoint settings are excluded on purpose
+/// (see the file comment).
+[[nodiscard]] std::uint64_t fingerprint_query_options(
+    const SimConfig& sim, const PipelineOptions& pipeline);
+
+struct CacheKey {
+  std::uint64_t matrix_fp = 0;
+  std::uint64_t options_fp = 0;
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum resident entries; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and refreshes its recency, or nullptr.
+  /// Counts a hit or a miss either way.
+  [[nodiscard]] std::shared_ptr<const PipelineResult> lookup(
+      const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries beyond capacity.
+  void insert(const CacheKey& key, PipelineResult result);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      // The fingerprints are already FNV-mixed; combine them cheaply.
+      return static_cast<std::size_t>(
+          k.matrix_fp ^ (k.options_fp * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const PipelineResult> result;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace mcm

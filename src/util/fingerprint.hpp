@@ -1,0 +1,99 @@
+#pragma once
+/// \file fingerprint.hpp
+/// FNV-1a 64-bit fingerprinting, the one hashing primitive every identity
+/// check in the project shares: the checkpoint payload checksum and the
+/// driver's pipeline tag (core/checkpoint.{hpp,cpp}, core/driver.cpp) and
+/// the service result-cache key (service/result_cache.hpp) all reduce to
+/// "hash these bytes with FNV-1a". Keeping the algorithm here means a
+/// snapshot written before this header existed still validates: the digests
+/// are bit-compatible with the previous per-file copies.
+///
+/// Two forms:
+///   fnv1a(...)     one-shot digest of a byte range / string;
+///   Fingerprint    a streaming hasher with typed mix() helpers, for keys
+///                  assembled from many fields (matrix shape + entries,
+///                  option structs). Mixing order is part of the key: two
+///                  fingerprints are comparable only when built by the same
+///                  mixing sequence.
+///
+/// FNV-1a is not cryptographic; these digests detect accidental divergence
+/// (corruption, option drift, different inputs), not adversarial collisions.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace mcm {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// One-shot FNV-1a 64 over a raw byte range.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                         std::uint64_t seed = kFnv1aOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// One-shot FNV-1a 64 over a string's bytes (the checkpoint checksum form).
+[[nodiscard]] inline std::uint64_t fnv1a(const std::string& bytes) {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
+/// Streaming FNV-1a 64 with typed mixers. Equivalent to one-shot hashing the
+/// concatenation of everything mixed, in order.
+class Fingerprint {
+ public:
+  Fingerprint& mix_bytes(const void* data, std::size_t bytes) {
+    hash_ = fnv1a(data, bytes, hash_);
+    return *this;
+  }
+
+  /// Mixes a trivially copyable value's object representation. Padding-free
+  /// scalar types only — mixing a struct with padding would hash
+  /// indeterminate bytes.
+  template <typename T>
+  Fingerprint& mix(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Fingerprint::mix needs a trivially copyable value");
+    return mix_bytes(&value, sizeof value);
+  }
+
+  /// Mixes length then bytes, so ("ab","c") and ("a","bc") differ.
+  Fingerprint& mix(const std::string& text) {
+    mix(static_cast<std::uint64_t>(text.size()));
+    return mix_bytes(text.data(), text.size());
+  }
+
+  /// Mixes count then elements of a contiguous scalar array.
+  template <typename T>
+  Fingerprint& mix_array(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Fingerprint::mix_array needs trivially copyable elements");
+    mix(static_cast<std::uint64_t>(count));
+    return mix_bytes(data, count * sizeof(T));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnv1aOffsetBasis;
+};
+
+/// Driver fingerprint of the vertex labeling a pipeline ran under, stored in
+/// every checkpoint header: a snapshot taken under one permutation cannot
+/// resume under another. The encoding predates this header and is frozen for
+/// snapshot compatibility: (permute_seed << 1) | random_permute.
+[[nodiscard]] inline std::uint64_t pipeline_tag(std::uint64_t permute_seed,
+                                                bool random_permute) {
+  return (permute_seed << 1) | (random_permute ? 1ULL : 0ULL);
+}
+
+}  // namespace mcm

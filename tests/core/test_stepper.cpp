@@ -1,0 +1,194 @@
+/// McmDistStepper / PipelineRun equivalence: the superstep-stepping API must
+/// perform the identical statement sequence as the run-to-completion calls,
+/// so matchings, stats and every ledger category (times bit-for-bit,
+/// message/word counts exactly) agree — including when several steppers are
+/// interleaved on independent contexts. The broader service-level version of
+/// this property (policies x grids x lane counts) lives in
+/// tests/service/test_service_equivalence.cpp; this file pins the core API.
+
+#include "core/mcm_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/dist_maximal.hpp"
+#include "core/driver.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return SimContext(config);
+}
+
+void expect_ledgers_identical(const CostLedger& got, const CostLedger& want,
+                              const std::string& label) {
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const auto category = static_cast<Cost>(c);
+    EXPECT_EQ(got.time_us(category), want.time_us(category))
+        << label << ": time_us differs in category " << c;
+    EXPECT_EQ(got.messages(category), want.messages(category))
+        << label << ": messages differ in category " << c;
+    EXPECT_EQ(got.words(category), want.words(category))
+        << label << ": words differ in category " << c;
+  }
+}
+
+void expect_stats_identical(const McmDistStats& got, const McmDistStats& want,
+                            const std::string& label) {
+  EXPECT_EQ(got.phases, want.phases) << label;
+  EXPECT_EQ(got.iterations, want.iterations) << label;
+  EXPECT_EQ(got.bottom_up_iterations, want.bottom_up_iterations) << label;
+  EXPECT_EQ(got.augmentations, want.augmentations) << label;
+  EXPECT_EQ(got.path_parallel_phases, want.path_parallel_phases) << label;
+  EXPECT_EQ(got.level_parallel_phases, want.level_parallel_phases) << label;
+  EXPECT_EQ(got.initial_cardinality, want.initial_cardinality) << label;
+  EXPECT_EQ(got.final_cardinality, want.final_cardinality) << label;
+}
+
+TEST(McmDistStepper, SteppingToCompletionEqualsMcmDist) {
+  for (const NamedGraph& g : small_corpus()) {
+    for (const int p : {1, 4, 16}) {
+      SimContext ref_ctx = make_ctx(p);
+      const DistMatrix ref_dist = DistMatrix::distribute(ref_ctx, g.coo);
+      McmDistStats ref_stats;
+      const Matching want = mcm_dist(ref_ctx, ref_dist,
+                                     Matching(g.coo.n_rows, g.coo.n_cols), {},
+                                     &ref_stats);
+
+      SimContext ctx = make_ctx(p);
+      const DistMatrix dist = DistMatrix::distribute(ctx, g.coo);
+      McmDistStats stats;
+      McmDistStepper stepper(ctx, dist, Matching(g.coo.n_rows, g.coo.n_cols),
+                             {}, &stats);
+      EXPECT_FALSE(stepper.done());
+      std::uint64_t steps = 0;
+      while (stepper.step()) ++steps;
+      EXPECT_TRUE(stepper.done());
+      EXPECT_FALSE(stepper.step());  // idempotent once done
+
+      const std::string label = g.name + " p=" + std::to_string(p);
+      EXPECT_EQ(stepper.take_result(), want) << label;
+      expect_stats_identical(stats, ref_stats, label);
+      expect_ledgers_identical(ctx.ledger(), ref_ctx.ledger(), label);
+      // Every boundary ticks the superstep clock exactly once: each BFS
+      // iteration plus each phase's terminating empty-frontier probe.
+      EXPECT_EQ(stepper.supersteps(),
+                static_cast<std::uint64_t>(stats.iterations + stats.phases + 1))
+          << label;
+      EXPECT_EQ(stepper.supersteps(), steps + 1) << label;
+      EXPECT_EQ(stepper.frontier_nnz(), 0) << label;
+    }
+  }
+}
+
+TEST(McmDistStepper, FrontierNnzBeforeFirstStepIsUnmatchedColumns) {
+  const NamedGraph g = small_corpus()[4];  // er_dense_20x20
+  SimContext ctx = make_ctx(4);
+  const DistMatrix dist = DistMatrix::distribute(ctx, g.coo);
+  const Matching init = dist_maximal_matching(ctx, dist, MaximalKind::Greedy);
+  McmDistStepper stepper(ctx, dist, init);
+  EXPECT_EQ(stepper.frontier_nnz(), g.coo.n_cols - init.cardinality());
+}
+
+TEST(McmDistStepper, RoundRobinInterleavingMatchesStandaloneRuns) {
+  // Many steppers advancing in lockstep on independent contexts: each must
+  // be completely unaffected by the others running between its boundaries.
+  const std::vector<NamedGraph> corpus = small_corpus();
+  struct Run {
+    const NamedGraph* graph;
+    std::unique_ptr<SimContext> ctx;
+    std::unique_ptr<DistMatrix> dist;
+    std::unique_ptr<McmDistStepper> stepper;
+    McmDistStats stats;
+  };
+  std::vector<Run> runs(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    Run& r = runs[i];  // built in place: the stepper keeps &r.stats
+    r.graph = &corpus[i];
+    r.ctx = std::make_unique<SimContext>(make_ctx(4));
+    r.dist = std::make_unique<DistMatrix>(
+        DistMatrix::distribute(*r.ctx, r.graph->coo));
+    r.stepper = std::make_unique<McmDistStepper>(
+        *r.ctx, *r.dist, Matching(r.graph->coo.n_rows, r.graph->coo.n_cols),
+        McmDistOptions{}, &r.stats);
+  }
+  bool any = true;
+  while (any) {
+    any = false;
+    for (Run& r : runs) any = r.stepper->step() || any;
+  }
+
+  for (Run& r : runs) {
+    SimContext ref_ctx = make_ctx(4);
+    const DistMatrix ref_dist = DistMatrix::distribute(ref_ctx, r.graph->coo);
+    McmDistStats ref_stats;
+    const Matching want =
+        mcm_dist(ref_ctx, ref_dist,
+                 Matching(r.graph->coo.n_rows, r.graph->coo.n_cols), {},
+                 &ref_stats);
+    EXPECT_EQ(r.stepper->take_result(), want) << r.graph->name;
+    expect_stats_identical(r.stats, ref_stats, r.graph->name);
+    expect_ledgers_identical(r.ctx->ledger(), ref_ctx.ledger(), r.graph->name);
+  }
+}
+
+TEST(PipelineRun, SteppingToCompletionEqualsRunPipeline) {
+  for (const NamedGraph& g : small_corpus()) {
+    SimConfig config;
+    config.cores = 4;
+    config.threads_per_process = 1;
+    const PipelineResult want = run_pipeline(config, g.coo);
+
+    PipelineRun run(config, g.coo);
+    EXPECT_FALSE(run.done());
+    while (run.step()) {
+    }
+    EXPECT_TRUE(run.done());
+    EXPECT_FALSE(run.step());
+    const PipelineResult got = run.take_result();
+
+    EXPECT_EQ(got.matching, want.matching) << g.name;
+    EXPECT_EQ(got.init_seconds, want.init_seconds) << g.name;
+    EXPECT_EQ(got.mcm_seconds, want.mcm_seconds) << g.name;
+    expect_stats_identical(got.mcm_stats, want.mcm_stats, g.name);
+    expect_ledgers_identical(got.ledger, want.ledger, g.name);
+  }
+}
+
+TEST(PipelineRun, SharedEngineAndRebindKeepResultsIdentical) {
+  // Host-engine choice is host-side only: constructing on a shared engine
+  // and rebinding to another engine mid-run must not move a single charge.
+  const NamedGraph g = small_corpus()[3];  // er_sparse_30x30
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  const PipelineResult want = run_pipeline(config, g.coo);
+
+  auto first = std::make_shared<HostEngine>(2);
+  auto second = std::make_shared<HostEngine>(3);
+  PipelineRun run(config, g.coo, {}, first);
+  int steps = 0;
+  while (run.step()) {
+    if (++steps == 2) run.set_host_engine(second);
+  }
+  const PipelineResult got = run.take_result();
+  EXPECT_EQ(got.matching, want.matching);
+  expect_ledgers_identical(got.ledger, want.ledger, g.name);
+  // Both engines actually executed loops for this run.
+  EXPECT_GT(first->lane_stats().loops, 0u);
+  EXPECT_GT(second->lane_stats().loops, 0u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,152 @@
+#include "gen/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mcm {
+namespace {
+
+bool same_graph(const CooMatrix& a, const CooMatrix& b) {
+  return a.n_rows == b.n_rows && a.n_cols == b.n_cols && a.rows == b.rows
+         && a.cols == b.cols;
+}
+
+TEST(Workload, SameSeedReplaysIdentically) {
+  WorkloadConfig config;
+  config.queries = 40;
+  config.seed = 99;
+  const Workload first = make_workload(config);
+  const Workload second = make_workload(config);
+  ASSERT_EQ(first.queries.size(), second.queries.size());
+  ASSERT_EQ(first.pool.size(), second.pool.size());
+  for (std::size_t i = 0; i < first.pool.size(); ++i) {
+    EXPECT_TRUE(same_graph(*first.pool[i], *second.pool[i])) << i;
+  }
+  for (std::size_t q = 0; q < first.queries.size(); ++q) {
+    EXPECT_EQ(first.queries[q].arrival_s, second.queries[q].arrival_s) << q;
+    EXPECT_EQ(first.queries[q].graph_id, second.queries[q].graph_id) << q;
+    EXPECT_EQ(first.queries[q].priority, second.queries[q].priority) << q;
+    EXPECT_EQ(first.queries[q].mcm_seed, second.queries[q].mcm_seed) << q;
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig config;
+  config.queries = 40;
+  config.seed = 1;
+  const Workload a = make_workload(config);
+  config.seed = 2;
+  const Workload b = make_workload(config);
+  bool any_difference = false;
+  for (std::size_t q = 0; q < a.queries.size(); ++q) {
+    any_difference = any_difference
+                     || a.queries[q].arrival_s != b.queries[q].arrival_s
+                     || a.queries[q].graph_id != b.queries[q].graph_id;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, ArrivalsAreNonDecreasingAndPositiveGapsOnAverage) {
+  WorkloadConfig config;
+  config.queries = 200;
+  config.rate_per_s = 100.0;
+  const Workload w = make_workload(config);
+  ASSERT_EQ(w.queries.size(), 200u);
+  double prev = 0;
+  for (const WorkloadQuery& q : w.queries) {
+    EXPECT_GE(q.arrival_s, prev);
+    prev = q.arrival_s;
+  }
+  // Mean inter-arrival of Exp(rate) is 1/rate; 200 samples stay within a
+  // factor of 2 with overwhelming margin.
+  const double mean_gap = prev / 200.0;
+  EXPECT_GT(mean_gap, 0.5 / config.rate_per_s);
+  EXPECT_LT(mean_gap, 2.0 / config.rate_per_s);
+}
+
+TEST(Workload, HotFractionSkewsPopularity) {
+  WorkloadConfig config;
+  config.queries = 300;
+  config.graph_pool = 6;
+  config.hot_fraction = 1.0;  // every query goes to the hot third
+  const Workload w = make_workload(config);
+  for (const WorkloadQuery& q : w.queries) {
+    EXPECT_LT(q.graph_id, 2);  // hot set = max(1, 6/3) graphs
+  }
+
+  config.hot_fraction = 0.0;  // uniform: the cold graphs must appear
+  const Workload uniform = make_workload(config);
+  std::set<int> seen;
+  for (const WorkloadQuery& q : uniform.queries) seen.insert(q.graph_id);
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST(Workload, QueriesShareOptionSeedPerGraph) {
+  WorkloadConfig config;
+  config.queries = 100;
+  const Workload w = make_workload(config);
+  for (const WorkloadQuery& q : w.queries) {
+    EXPECT_EQ(q.mcm_seed,
+              config.seed + static_cast<std::uint64_t>(q.graph_id));
+    ASSERT_LT(static_cast<std::size_t>(q.graph_id), w.pool.size());
+    EXPECT_EQ(q.graph.get(), w.pool[static_cast<std::size_t>(q.graph_id)].get());
+    EXPECT_GE(q.priority, 0);
+    EXPECT_LT(q.priority, config.priority_levels);
+  }
+}
+
+TEST(Workload, MixPresetsProduceExpectedScales) {
+  WorkloadConfig config;
+  config.queries = 0;
+  config.graph_pool = 4;
+
+  config.mix = SizeMix::Small;
+  Index small_max = 0;
+  for (const auto& g : make_workload(config).pool) {
+    small_max = std::max(small_max, std::max(g->n_rows, g->n_cols));
+  }
+
+  config.mix = SizeMix::Heavy;
+  Index heavy_max = 0;
+  for (const auto& g : make_workload(config).pool) {
+    heavy_max = std::max(heavy_max, std::max(g->n_rows, g->n_cols));
+  }
+  EXPECT_LT(small_max, heavy_max);
+
+  // The scale knob grows the scalable instances.
+  config.mix = SizeMix::Small;
+  config.scale = 3.0;
+  Index scaled_max = 0;
+  for (const auto& g : make_workload(config).pool) {
+    scaled_max = std::max(scaled_max, std::max(g->n_rows, g->n_cols));
+  }
+  EXPECT_GT(scaled_max, small_max);
+}
+
+TEST(Workload, NamesRoundTrip) {
+  for (const SizeMix mix :
+       {SizeMix::Small, SizeMix::Mixed, SizeMix::Heavy}) {
+    EXPECT_EQ(parse_size_mix(size_mix_name(mix)), mix);
+  }
+  EXPECT_THROW((void)parse_size_mix("giant"), std::invalid_argument);
+}
+
+TEST(Workload, RejectsBadConfig) {
+  WorkloadConfig config;
+  config.graph_pool = 0;
+  EXPECT_THROW(make_workload(config), std::invalid_argument);
+  config = {};
+  config.rate_per_s = 0;
+  EXPECT_THROW(make_workload(config), std::invalid_argument);
+  config = {};
+  config.hot_fraction = 1.5;
+  EXPECT_THROW(make_workload(config), std::invalid_argument);
+  config = {};
+  config.priority_levels = 0;
+  EXPECT_THROW(make_workload(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

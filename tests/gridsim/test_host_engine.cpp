@@ -1,0 +1,107 @@
+#include "gridsim/host_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gridsim/context.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(LaneStats, CountsLoopsItemsAndSlots) {
+  HostEngine engine(4);
+  ASSERT_EQ(engine.lanes(), 4);
+
+  std::vector<int> out(10, 0);
+  engine.for_ranks(10, [&](std::int64_t i, int) { out[i] = 1; });
+  engine.for_ranks(2, [&](std::int64_t, int) {});
+
+  const LaneStats s = engine.lane_stats();
+  EXPECT_EQ(s.loops, 2u);
+  EXPECT_EQ(s.items, 12u);
+  // First loop saturates all 4 lanes, second keeps only 2 of 4 busy.
+  EXPECT_EQ(s.busy_slots, 4u + 2u);
+  EXPECT_EQ(s.total_slots, 8u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 6.0 / 8.0);
+}
+
+TEST(LaneStats, EmptyLoopIsNotCounted) {
+  HostEngine engine(2);
+  engine.for_ranks(0, [](std::int64_t, int) {});
+  const LaneStats s = engine.lane_stats();
+  EXPECT_EQ(s.loops, 0u);
+  EXPECT_EQ(s.total_slots, 0u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 0.0);
+}
+
+TEST(LaneStats, ResetClearsCounters) {
+  HostEngine engine(2);
+  engine.for_ranks(5, [](std::int64_t, int) {});
+  engine.reset_lane_stats();
+  const LaneStats s = engine.lane_stats();
+  EXPECT_EQ(s.loops, 0u);
+  EXPECT_EQ(s.items, 0u);
+  EXPECT_EQ(s.busy_slots, 0u);
+  EXPECT_EQ(s.total_slots, 0u);
+}
+
+TEST(LaneStats, AccumulateAcrossEngines) {
+  HostEngine a(1);
+  HostEngine b(1);
+  a.for_ranks(3, [](std::int64_t, int) {});
+  b.for_ranks(4, [](std::int64_t, int) {});
+  LaneStats total = a.lane_stats();
+  total += b.lane_stats();
+  EXPECT_EQ(total.loops, 2u);
+  EXPECT_EQ(total.items, 7u);
+  EXPECT_EQ(total.busy_slots, 2u);
+  EXPECT_EQ(total.total_slots, 2u);
+}
+
+TEST(LaneStats, DeterministicEngineHasOneLane) {
+  HostEngine engine(8, /*deterministic=*/true);
+  engine.for_ranks(5, [](std::int64_t, int) {});
+  const LaneStats s = engine.lane_stats();
+  EXPECT_EQ(s.busy_slots, 1u);
+  EXPECT_EQ(s.total_slots, 1u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 1.0);
+}
+
+TEST(SimContextSharedEngine, TwoContextsShareOneEngine) {
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  auto engine = std::make_shared<HostEngine>(2);
+  SimContext first(config, engine);
+  SimContext second(config, engine);
+  EXPECT_EQ(&first.host(), engine.get());
+  EXPECT_EQ(&second.host(), engine.get());
+  EXPECT_EQ(first.host_ptr(), second.host_ptr());
+
+  first.host().for_ranks(3, [](std::int64_t, int) {});
+  EXPECT_EQ(second.host().lane_stats().loops, 1u);
+}
+
+TEST(SimContextSharedEngine, NullEngineThrows) {
+  SimConfig config;
+  config.cores = 1;
+  config.threads_per_process = 1;
+  EXPECT_THROW(SimContext(config, nullptr), std::invalid_argument);
+}
+
+TEST(SimContextSharedEngine, RebindMovesContextToNewEngine) {
+  SimConfig config;
+  config.cores = 1;
+  config.threads_per_process = 1;
+  SimContext ctx(config);
+  auto replacement = std::make_shared<HostEngine>(3);
+  ctx.set_host_engine(replacement);
+  EXPECT_EQ(&ctx.host(), replacement.get());
+  EXPECT_EQ(ctx.host().lanes(), 3);
+}
+
+}  // namespace
+}  // namespace mcm

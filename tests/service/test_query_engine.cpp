@@ -1,0 +1,306 @@
+/// QueryEngine behaviour: admission control, scheduling-policy order, cache
+/// integration and error reporting. Most tests run in pump mode (workers=0)
+/// so slices execute deterministically on the test thread; policy order is
+/// observed through the cache (whoever runs first computes and inserts,
+/// identical later queries hit).
+
+#include "service/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/driver.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimConfig make_sim(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return config;
+}
+
+QuerySpec make_spec(const std::shared_ptr<const CooMatrix>& graph,
+                    int priority = 0, std::uint64_t mcm_seed = 1) {
+  QuerySpec spec;
+  spec.graph = graph;
+  spec.sim = make_sim(4);
+  spec.pipeline.mcm.seed = mcm_seed;
+  spec.priority = priority;
+  return spec;
+}
+
+std::shared_ptr<const CooMatrix> corpus_graph(std::size_t i) {
+  return std::make_shared<const CooMatrix>(small_corpus()[i].coo);
+}
+
+TEST(QueryEngine, CompletesQueriesAndMatchesStandalone) {
+  ServiceConfig config;
+  config.quantum = 2;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(3);  // er_sparse_30x30
+  const QuerySpec spec = make_spec(graph);
+  const std::uint64_t id = engine.submit(spec);
+  const QueryOutcome outcome = engine.wait(id);
+
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+  EXPECT_FALSE(outcome.cache_hit);
+  EXPECT_GT(outcome.supersteps, 0u);
+  EXPECT_GE(outcome.latency_s, outcome.service_s);
+
+  const PipelineResult want = run_pipeline(spec.sim, *graph, spec.pipeline);
+  EXPECT_EQ(outcome.result.matching, want.matching);
+  EXPECT_EQ(outcome.result.mcm_seconds, want.mcm_seconds);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(QueryEngine, RepeatQueryHitsCache) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(4);  // er_dense_20x20
+  const std::uint64_t first = engine.submit(make_spec(graph));
+  const std::uint64_t second = engine.submit(make_spec(graph));
+  const QueryOutcome a = engine.wait(first);
+  const QueryOutcome b = engine.wait(second);
+
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_EQ(b.supersteps, 0u);  // never executed a superstep
+  EXPECT_EQ(a.result.matching, b.result.matching);
+  EXPECT_EQ(a.result.ledger.time_us(Cost::SpMV),
+            b.result.ledger.time_us(Cost::SpMV));
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(QueryEngine, DifferentOptionsMissTheCache) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(4);
+  const std::uint64_t first = engine.submit(make_spec(graph, 0, /*seed=*/1));
+  const std::uint64_t second = engine.submit(make_spec(graph, 0, /*seed=*/2));
+  EXPECT_FALSE(engine.wait(first).cache_hit);
+  EXPECT_FALSE(engine.wait(second).cache_hit);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+}
+
+TEST(QueryEngine, PrecomputedFingerprintIsHonoured) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(3);
+  QuerySpec with_fp = make_spec(graph);
+  with_fp.matrix_fingerprint = fingerprint_matrix(*graph);
+  const std::uint64_t first = engine.submit(with_fp);
+  const std::uint64_t second = engine.submit(make_spec(graph));  // computes fp
+  EXPECT_FALSE(engine.wait(first).cache_hit);
+  EXPECT_TRUE(engine.wait(second).cache_hit);
+}
+
+TEST(QueryEngine, PriorityPolicyRunsHighPriorityFirst) {
+  // Identical queries at different priorities: whichever runs first computes
+  // and inserts; the other must hit. Submission order is low-then-high, so
+  // FIFO would make the high-priority query the hit — Priority reverses it.
+  ServiceConfig config;
+  config.policy = SchedPolicy::Priority;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(4);
+  const std::uint64_t low = engine.submit(make_spec(graph, /*priority=*/0));
+  const std::uint64_t high = engine.submit(make_spec(graph, /*priority=*/5));
+  EXPECT_FALSE(engine.wait(high).cache_hit);
+  EXPECT_TRUE(engine.wait(low).cache_hit);
+}
+
+TEST(QueryEngine, FifoPolicyIgnoresPriority) {
+  ServiceConfig config;
+  config.policy = SchedPolicy::Fifo;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(4);
+  const std::uint64_t low = engine.submit(make_spec(graph, /*priority=*/0));
+  const std::uint64_t high = engine.submit(make_spec(graph, /*priority=*/5));
+  EXPECT_FALSE(engine.wait(low).cache_hit);
+  EXPECT_TRUE(engine.wait(high).cache_hit);
+}
+
+TEST(QueryEngine, SmallestWorkRunsSmallQueriesFirst) {
+  // Capacity-1 cache as an order probe: big, small, big(dup). Under FIFO
+  // the small query's insertion evicts the first big result before the
+  // duplicate runs (miss); under SmallestWork the small query runs FIRST,
+  // so the two big queries run back-to-back and the duplicate hits.
+  const auto big = corpus_graph(3);    // er_sparse_30x30
+  const auto small = corpus_graph(1);  // path_4x4
+
+  for (const SchedPolicy policy :
+       {SchedPolicy::Fifo, SchedPolicy::SmallestWork}) {
+    ServiceConfig config;
+    config.policy = policy;
+    config.cache_capacity = 1;
+    config.quantum = 1000;  // whole query per slice: pure ordering probe
+    QueryEngine engine(config);
+    const std::uint64_t big1 = engine.submit(make_spec(big));
+    const std::uint64_t small1 = engine.submit(make_spec(small));
+    const std::uint64_t big2 = engine.submit(make_spec(big));
+    EXPECT_FALSE(engine.wait(big1).cache_hit);
+    EXPECT_FALSE(engine.wait(small1).cache_hit);
+    EXPECT_EQ(engine.wait(big2).cache_hit,
+              policy == SchedPolicy::SmallestWork)
+        << sched_policy_name(policy);
+  }
+}
+
+TEST(QueryEngine, AdmissionBoundRefusesAndBlocks) {
+  ServiceConfig config;
+  config.max_pending = 2;
+  QueryEngine engine(config);
+  const auto graph = corpus_graph(1);
+  ASSERT_TRUE(engine.try_submit(make_spec(graph, 0, 1)).has_value());
+  ASSERT_TRUE(engine.try_submit(make_spec(graph, 0, 2)).has_value());
+  EXPECT_EQ(engine.pending(), 2u);
+  EXPECT_FALSE(engine.try_submit(make_spec(graph, 0, 3)).has_value());
+
+  // Blocking submit makes room by pumping queries to completion itself.
+  const std::uint64_t id = engine.submit(make_spec(graph, 0, 4));
+  EXPECT_GT(id, 0u);
+  EXPECT_LE(engine.pending(), 2u);
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  EXPECT_EQ(outcomes.size(), 3u);
+  for (const QueryOutcome& o : outcomes) EXPECT_TRUE(o.ok()) << o.error;
+}
+
+TEST(QueryEngine, DrainReturnsOutcomesInSubmissionOrder) {
+  ServiceConfig config;
+  config.cache_capacity = 0;  // every query executes
+  QueryEngine engine(config);
+  std::vector<std::uint64_t> ids;
+  for (const std::size_t g : {1u, 2u, 4u, 7u}) {
+    ids.push_back(engine.submit(make_spec(corpus_graph(g))));
+  }
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(outcomes[i].id, ids[i]);
+    EXPECT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_TRUE(engine.drain().empty());  // nothing left to return
+}
+
+TEST(QueryEngine, RejectsUnsupportedSpecs) {
+  QueryEngine engine(ServiceConfig{});
+  const auto graph = corpus_graph(1);
+
+  QuerySpec no_graph;
+  EXPECT_THROW((void)engine.submit(no_graph), std::invalid_argument);
+
+  QuerySpec resume = make_spec(graph);
+  resume.pipeline.resume = true;
+  EXPECT_THROW((void)engine.submit(resume), std::invalid_argument);
+
+  QuerySpec faulty = make_spec(graph);
+  faulty.pipeline.faults = std::make_shared<FaultPlan>();
+  EXPECT_THROW((void)engine.submit(faulty), std::invalid_argument);
+
+  QuerySpec checkpointed = make_spec(graph);
+  checkpointed.pipeline.mcm.checkpoint.dir = "/tmp/ckpt";
+  EXPECT_THROW((void)engine.submit(checkpointed), std::invalid_argument);
+}
+
+TEST(QueryEngine, RejectsBadConfig) {
+  ServiceConfig config;
+  config.workers = -1;
+  EXPECT_THROW(QueryEngine{config}, std::invalid_argument);
+  config = {};
+  config.lanes_per_worker = 0;
+  EXPECT_THROW(QueryEngine{config}, std::invalid_argument);
+  config = {};
+  config.max_pending = 0;
+  EXPECT_THROW(QueryEngine{config}, std::invalid_argument);
+  config = {};
+  config.quantum = 0;
+  EXPECT_THROW(QueryEngine{config}, std::invalid_argument);
+}
+
+TEST(QueryEngine, ExecutionErrorsAreReportedPerQuery) {
+  QueryEngine engine(ServiceConfig{});
+  QuerySpec bad = make_spec(corpus_graph(1));
+  bad.sim.cores = 3;
+  bad.sim.threads_per_process = 2;  // 3 cores / 2 tpp: invalid grid
+  const std::uint64_t bad_id = engine.submit(bad);
+  const std::uint64_t good_id = engine.submit(make_spec(corpus_graph(1)));
+
+  const QueryOutcome bad_outcome = engine.wait(bad_id);
+  EXPECT_FALSE(bad_outcome.ok());
+  EXPECT_FALSE(bad_outcome.error.empty());
+  // A failed query must not poison the service or the cache.
+  const QueryOutcome good_outcome = engine.wait(good_id);
+  EXPECT_TRUE(good_outcome.ok()) << good_outcome.error;
+}
+
+TEST(QueryEngine, WaitTwiceThrows) {
+  QueryEngine engine(ServiceConfig{});
+  const std::uint64_t id = engine.submit(make_spec(corpus_graph(1)));
+  (void)engine.wait(id);
+  EXPECT_THROW((void)engine.wait(id), std::invalid_argument);
+}
+
+TEST(QueryEngine, PumpOutsidePumpModeThrows) {
+  ServiceConfig config;
+  config.workers = 1;
+  QueryEngine engine(config);
+  EXPECT_THROW((void)engine.pump(), std::logic_error);
+}
+
+TEST(QueryEngine, PumpReturnsFalseWhenIdle) {
+  QueryEngine engine(ServiceConfig{});
+  EXPECT_FALSE(engine.pump());
+}
+
+TEST(QueryEngine, WorkerModeCompletesAllQueries) {
+  ServiceConfig config;
+  config.workers = 4;
+  config.lanes_per_worker = 2;
+  config.quantum = 2;
+  config.cache_capacity = 0;  // force every query to execute fully
+  QueryEngine engine(config);
+
+  const auto corpus = small_corpus();
+  std::vector<std::shared_ptr<const CooMatrix>> graphs;
+  std::vector<std::uint64_t> ids;
+  for (const std::size_t g : {1u, 3u, 4u, 7u, 8u, 9u}) {
+    graphs.push_back(std::make_shared<const CooMatrix>(corpus[g].coo));
+    ids.push_back(engine.submit(make_spec(graphs.back())));
+  }
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), ids.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+    const QuerySpec spec = make_spec(graphs[i]);
+    const PipelineResult want =
+        run_pipeline(spec.sim, *graphs[i], spec.pipeline);
+    EXPECT_EQ(outcomes[i].result.matching, want.matching) << i;
+  }
+  // The worker engines actually dispatched rank loops.
+  EXPECT_GT(engine.lane_stats().loops, 0u);
+}
+
+TEST(SchedPolicyNames, RoundTrip) {
+  for (const SchedPolicy policy : {SchedPolicy::Fifo, SchedPolicy::Priority,
+                                   SchedPolicy::SmallestWork}) {
+    EXPECT_EQ(parse_sched_policy(sched_policy_name(policy)), policy);
+  }
+  EXPECT_THROW((void)parse_sched_policy("round-robin"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,171 @@
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::small_corpus;
+
+PipelineResult result_tagged(double tag) {
+  PipelineResult r;
+  r.init_seconds = tag;  // enough to tell entries apart
+  return r;
+}
+
+TEST(FingerprintMatrix, IdentifiesGraphsByShapeAndEdges) {
+  const auto corpus = small_corpus();
+  const std::uint64_t base = fingerprint_matrix(corpus[3].coo);
+  EXPECT_EQ(fingerprint_matrix(corpus[3].coo), base);  // deterministic
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_NE(fingerprint_matrix(corpus[i].coo), base) << corpus[i].name;
+  }
+
+  // Shape is part of the identity even with no edges.
+  EXPECT_NE(fingerprint_matrix(CooMatrix(5, 7)), fingerprint_matrix(CooMatrix(7, 5)));
+
+  // A single moved edge changes the digest.
+  CooMatrix a(4, 4);
+  a.add_edge(0, 0);
+  a.add_edge(1, 1);
+  CooMatrix b(4, 4);
+  b.add_edge(0, 0);
+  b.add_edge(1, 2);
+  EXPECT_NE(fingerprint_matrix(a), fingerprint_matrix(b));
+}
+
+TEST(FingerprintQueryOptions, MixesEveryResultAffectingKnob) {
+  SimConfig sim;
+  PipelineOptions pipeline;
+  const std::uint64_t base = fingerprint_query_options(sim, pipeline);
+  EXPECT_EQ(fingerprint_query_options(sim, pipeline), base);
+
+  {
+    SimConfig s = sim;
+    s.cores = sim.cores * 2;
+    EXPECT_NE(fingerprint_query_options(s, pipeline), base);
+  }
+  {
+    SimConfig s = sim;
+    s.threads_per_process = sim.threads_per_process / 2;
+    EXPECT_NE(fingerprint_query_options(s, pipeline), base);
+  }
+  {
+    SimConfig s = sim;
+    s.machine.alpha_us *= 2.0;
+    EXPECT_NE(fingerprint_query_options(s, pipeline), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.random_permute = !p.random_permute;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.permute_seed += 1;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.initializer = MaximalKind::Greedy;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.mcm.enable_prune = !p.mcm.enable_prune;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.mcm.seed += 1;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+  {
+    PipelineOptions p = pipeline;
+    p.mcm.use_mask = !p.mcm.use_mask;
+    EXPECT_NE(fingerprint_query_options(sim, p), base);
+  }
+}
+
+TEST(FingerprintQueryOptions, ExcludesHostAndCheckpointKnobs) {
+  // Host lanes and checkpoint config never change results or charges
+  // (determinism contract), so distinct values must share one cache key.
+  SimConfig sim;
+  PipelineOptions pipeline;
+  const std::uint64_t base = fingerprint_query_options(sim, pipeline);
+
+  SimConfig s = sim;
+  s.host_threads = 8;
+  s.host_deterministic = true;
+  EXPECT_EQ(fingerprint_query_options(s, pipeline), base);
+
+  PipelineOptions p = pipeline;
+  p.mcm.checkpoint.dir = "/tmp/somewhere";
+  p.mcm.checkpoint.every = 3;
+  EXPECT_EQ(fingerprint_query_options(sim, p), base);
+}
+
+TEST(ResultCache, HitsMissesAndStats) {
+  ResultCache cache(4);
+  const CacheKey key{1, 2};
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  cache.insert(key, result_tagged(1.0));
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->init_seconds, 1.0);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(CacheKey{1, 0}, result_tagged(1.0));
+  cache.insert(CacheKey{2, 0}, result_tagged(2.0));
+  ASSERT_NE(cache.lookup(CacheKey{1, 0}), nullptr);  // 1 is now MRU
+  cache.insert(CacheKey{3, 0}, result_tagged(3.0));  // evicts 2, not 1
+
+  EXPECT_NE(cache.lookup(CacheKey{1, 0}), nullptr);
+  EXPECT_EQ(cache.lookup(CacheKey{2, 0}), nullptr);
+  EXPECT_NE(cache.lookup(CacheKey{3, 0}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  cache.insert(CacheKey{1, 0}, result_tagged(1.0));
+  cache.insert(CacheKey{1, 0}, result_tagged(1.5));  // racing twin
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  const auto hit = cache.lookup(CacheKey{1, 0});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->init_seconds, 1.5);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(CacheKey{1, 0}, result_tagged(1.0));
+  EXPECT_EQ(cache.lookup(CacheKey{1, 0}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, DistinctOptionsFingerprintsDoNotAlias) {
+  ResultCache cache(4);
+  cache.insert(CacheKey{1, 10}, result_tagged(1.0));
+  EXPECT_EQ(cache.lookup(CacheKey{1, 11}), nullptr);
+  EXPECT_EQ(cache.lookup(CacheKey{2, 10}), nullptr);
+}
+
+}  // namespace
+}  // namespace mcm

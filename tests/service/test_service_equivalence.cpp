@@ -1,0 +1,158 @@
+/// Interleaving-equivalence property (the service's core guarantee): for
+/// every grid size p in {1,4,16}, host-lane count in {1,4} and scheduling
+/// policy, a query's matching, stats and complete per-category CostLedger
+/// must be bit-identical to a standalone run_pipeline() call — the scheduler
+/// may reorder and interleave supersteps of different queries, but can never
+/// leak state between them. The cache is disabled so every query executes.
+///
+/// CI runs the tests_service binary in the Debug + MCM_CHECK job, so the
+/// distributed invariant checks are live while queries interleave.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "core/driver.hpp"
+#include "service/query_engine.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+void expect_ledgers_identical(const CostLedger& got, const CostLedger& want,
+                              const std::string& label) {
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const auto category = static_cast<Cost>(c);
+    EXPECT_EQ(got.time_us(category), want.time_us(category))
+        << label << ": time_us differs in category " << c;
+    EXPECT_EQ(got.messages(category), want.messages(category))
+        << label << ": messages differ in category " << c;
+    EXPECT_EQ(got.words(category), want.words(category))
+        << label << ": words differ in category " << c;
+  }
+}
+
+void expect_stats_identical(const McmDistStats& got, const McmDistStats& want,
+                            const std::string& label) {
+  EXPECT_EQ(got.phases, want.phases) << label;
+  EXPECT_EQ(got.iterations, want.iterations) << label;
+  EXPECT_EQ(got.bottom_up_iterations, want.bottom_up_iterations) << label;
+  EXPECT_EQ(got.augmentations, want.augmentations) << label;
+  EXPECT_EQ(got.initial_cardinality, want.initial_cardinality) << label;
+  EXPECT_EQ(got.final_cardinality, want.final_cardinality) << label;
+}
+
+/// The query mix: structurally diverse graphs so interleaved queries are at
+/// different phases/iterations at any instant, with varied priorities so
+/// Priority and SmallestWork actually reorder execution.
+struct Mix {
+  std::shared_ptr<const CooMatrix> graph;
+  std::string name;
+  int priority;
+};
+
+std::vector<Mix> make_mix() {
+  const auto corpus = small_corpus();
+  std::vector<Mix> mix;
+  int priority = 0;
+  for (const std::size_t g : {1u, 3u, 4u, 7u, 9u, 10u}) {
+    mix.push_back({std::make_shared<const CooMatrix>(corpus[g].coo),
+                   corpus[g].name, priority});
+    priority = (priority + 1) % 3;
+  }
+  return mix;
+}
+
+QuerySpec make_spec(const Mix& m, int processes) {
+  QuerySpec spec;
+  spec.graph = m.graph;
+  spec.sim.cores = processes;
+  spec.sim.threads_per_process = 1;
+  spec.priority = m.priority;
+  return spec;
+}
+
+TEST(ServiceEquivalence, InterleavedQueriesMatchStandaloneBitForBit) {
+  const std::vector<Mix> mix = make_mix();
+  for (const int p : {1, 4, 16}) {
+    // Standalone references, one per query, on fresh private contexts.
+    std::vector<PipelineResult> want;
+    want.reserve(mix.size());
+    for (const Mix& m : mix) {
+      const QuerySpec spec = make_spec(m, p);
+      want.push_back(run_pipeline(spec.sim, *m.graph, spec.pipeline));
+    }
+
+    for (const int lanes : {1, 4}) {
+      for (const SchedPolicy policy :
+           {SchedPolicy::Fifo, SchedPolicy::Priority,
+            SchedPolicy::SmallestWork}) {
+        ServiceConfig config;
+        config.policy = policy;
+        config.lanes_per_worker = lanes;
+        config.quantum = 2;        // fine-grained: maximum interleaving
+        config.cache_capacity = 0; // every query must actually execute
+        QueryEngine engine(config);
+        for (const Mix& m : mix) {
+          (void)engine.submit(make_spec(m, p));
+        }
+        const std::vector<QueryOutcome> outcomes = engine.drain();
+        ASSERT_EQ(outcomes.size(), mix.size());
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+          const std::string label = mix[i].name + " p=" + std::to_string(p)
+                                    + " lanes=" + std::to_string(lanes) + " "
+                                    + sched_policy_name(policy);
+          ASSERT_TRUE(outcomes[i].ok()) << label << ": " << outcomes[i].error;
+          EXPECT_FALSE(outcomes[i].cache_hit) << label;
+          EXPECT_EQ(outcomes[i].result.matching, want[i].matching) << label;
+          EXPECT_EQ(outcomes[i].result.init_seconds, want[i].init_seconds)
+              << label;
+          EXPECT_EQ(outcomes[i].result.mcm_seconds, want[i].mcm_seconds)
+              << label;
+          expect_stats_identical(outcomes[i].result.mcm_stats,
+                                 want[i].mcm_stats, label);
+          expect_ledgers_identical(outcomes[i].result.ledger, want[i].ledger,
+                                   label);
+        }
+      }
+    }
+  }
+}
+
+TEST(ServiceEquivalence, WorkerThreadsPreserveBitIdenticalResults) {
+  // Same property with real worker threads racing over shared scheduler
+  // state and queries migrating between per-worker engines mid-run.
+  const std::vector<Mix> mix = make_mix();
+  const int p = 4;
+  std::vector<PipelineResult> want;
+  for (const Mix& m : mix) {
+    const QuerySpec spec = make_spec(m, p);
+    want.push_back(run_pipeline(spec.sim, *m.graph, spec.pipeline));
+  }
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.lanes_per_worker = 2;
+  config.quantum = 1;  // migrate engines as often as possible
+  config.cache_capacity = 0;
+  QueryEngine engine(config);
+  for (const Mix& m : mix) (void)engine.submit(make_spec(m, p));
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), mix.size());
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << mix[i].name << ": " << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].result.matching, want[i].matching) << mix[i].name;
+    EXPECT_EQ(outcomes[i].result.mcm_seconds, want[i].mcm_seconds)
+        << mix[i].name;
+    expect_ledgers_identical(outcomes[i].result.ledger, want[i].ledger,
+                             mix[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,95 @@
+#include "util/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+// Reference FNV-1a vectors (64-bit offset basis / prime). These pin the
+// algorithm itself: the checkpoint payload checksum is persisted on disk, so
+// any drift here would silently orphan every existing snapshot.
+TEST(Fingerprint, MatchesKnownFnv1aVectors) {
+  EXPECT_EQ(fnv1a(std::string()), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a(std::string("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a(std::string("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(Fingerprint, OneShotHandlesEmbeddedNulAndHighBytes) {
+  const std::string bytes{"\x00\xff\x7f\x01", 4};
+  // Recompute by the definition to guard against signed-char mishaps.
+  std::uint64_t h = kFnv1aOffsetBasis;
+  for (const unsigned char c : {0x00, 0xff, 0x7f, 0x01}) {
+    h ^= c;
+    h *= kFnv1aPrime;
+  }
+  EXPECT_EQ(fnv1a(bytes), h);
+}
+
+TEST(Fingerprint, StreamingMatchesOneShotConcatenation) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  Fingerprint fp;
+  fp.mix_bytes(a.data(), a.size()).mix_bytes(b.data(), b.size());
+  EXPECT_EQ(fp.digest(), fnv1a(a + b));
+}
+
+TEST(Fingerprint, EmptyDigestIsOffsetBasis) {
+  EXPECT_EQ(Fingerprint().digest(), kFnv1aOffsetBasis);
+}
+
+TEST(Fingerprint, ScalarMixIsOrderSensitive) {
+  Fingerprint ab;
+  ab.mix(std::uint64_t{1}).mix(std::uint64_t{2});
+  Fingerprint ba;
+  ba.mix(std::uint64_t{2}).mix(std::uint64_t{1});
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(Fingerprint, StringMixIsLengthPrefixed) {
+  // Without length prefixing ("ab","c") and ("a","bc") would collide.
+  Fingerprint left;
+  left.mix(std::string("ab")).mix(std::string("c"));
+  Fingerprint right;
+  right.mix(std::string("a")).mix(std::string("bc"));
+  EXPECT_NE(left.digest(), right.digest());
+}
+
+TEST(Fingerprint, ArrayMixIsCountPrefixed) {
+  const std::vector<std::uint32_t> one{7};
+  const std::vector<std::uint32_t> none;
+  Fingerprint with;
+  with.mix_array(one.data(), one.size());
+  Fingerprint without;
+  without.mix_array(none.data(), none.size());
+  without.mix(std::uint32_t{7});
+  EXPECT_NE(with.digest(), without.digest());
+}
+
+TEST(Fingerprint, SameInputsSameDigest) {
+  auto build = [] {
+    Fingerprint fp;
+    fp.mix(std::uint64_t{42})
+        .mix(std::string("rmat_g500"))
+        .mix(false)
+        .mix(3.5);
+    return fp.digest();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(PipelineTag, EncodesSeedAndPermuteFlag) {
+  // Frozen encoding: (seed << 1) | random_permute. Checkpoints store this
+  // value, so the formula is part of the on-disk format.
+  EXPECT_EQ(pipeline_tag(0, false), 0ULL);
+  EXPECT_EQ(pipeline_tag(0, true), 1ULL);
+  EXPECT_EQ(pipeline_tag(7, false), 14ULL);
+  EXPECT_EQ(pipeline_tag(7, true), 15ULL);
+  EXPECT_NE(pipeline_tag(3, true), pipeline_tag(3, false));
+}
+
+}  // namespace
+}  // namespace mcm
