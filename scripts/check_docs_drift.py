@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Fail CI when a user-facing binary grows a flag the README never mentions.
+"""Fail CI when a user-facing binary grows a flag the README never mentions,
+or mcmlint grows a rule DESIGN.md §5.7 never lists.
 
 The README's "Runtime controls" matrix is the canonical user-facing list of
 every knob; this check keeps it honest in the one direction that rots
@@ -8,11 +9,18 @@ mentioning bench-only or CMake-level switches the tools themselves lack — is
 legitimate and not checked.) Both mcm_tool and mcm_service are checked the
 same way: every --flag their --help advertises must appear in the README.
 
+The same one-direction contract covers the static checker: DESIGN.md §5.7
+is the canonical description of the mcmlint rule set, so every rule
+`mcmlint --list-rules` emits must appear (backtick-quoted) in that section.
+DESIGN.md is located next to the README.
+
 Usage: check_docs_drift.py <path/to/tool>... <path/to/README.md>
-Exit 0 when every --flag in each tool's --help appears in the README,
-1 when any is missing, 2 on usage / tool failure.
+Exit 0 when every --flag in each tool's --help appears in the README and
+every mcmlint rule appears in DESIGN.md §5.7, 1 on any missing entry,
+2 on usage / tool failure.
 """
 
+import os
 import re
 import subprocess
 import sys
@@ -31,6 +39,57 @@ def help_flags(tool: str) -> set[str]:
         sys.exit(2)
     text = proc.stdout + proc.stderr
     return set(re.findall(r"--[a-z][a-z0-9-]*", text))
+
+
+def mcmlint_rules() -> list[str]:
+    script = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "mcmlint", "mcmlint.py"
+    )
+    proc = subprocess.run(
+        [sys.executable, script, "--list-rules"],
+        capture_output=True, text=True, timeout=60,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(
+            f"check_docs_drift: `mcmlint --list-rules` exited "
+            f"{proc.returncode}\n"
+        )
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    return proc.stdout.split()
+
+
+def design_section_5_7(design_path: str) -> str:
+    with open(design_path, encoding="utf-8") as handle:
+        text = handle.read()
+    match = re.search(
+        r"^### 5\.7 .*?(?=^### |^## |\Z)", text, re.MULTILINE | re.DOTALL
+    )
+    if match is None:
+        sys.stderr.write(
+            f"check_docs_drift: {design_path} has no '### 5.7' section — "
+            "the static-checking matrix that must list every mcmlint rule\n"
+        )
+        sys.exit(1)
+    return match.group(0)
+
+
+def check_mcmlint_rules(design_path: str) -> tuple[bool, int]:
+    rules = mcmlint_rules()
+    section = design_section_5_7(design_path)
+    missing = sorted(r for r in rules if f"`{r}`" not in section)
+    if missing:
+        sys.stderr.write(
+            "check_docs_drift: mcmlint --list-rules emits rules that "
+            f"DESIGN.md §5.7 never lists:\n"
+        )
+        for rule in missing:
+            sys.stderr.write(f"  {rule}\n")
+        sys.stderr.write(
+            f"add them to the checker matrix in {design_path}\n"
+        )
+        return True, len(rules)
+    return False, len(rules)
 
 
 def main(argv: list[str]) -> int:
@@ -61,11 +120,19 @@ def main(argv: list[str]) -> int:
             sys.stderr.write(
                 f"add them to the Runtime controls matrix in {readme_path}\n"
             )
+
+    design_path = os.path.join(
+        os.path.dirname(os.path.abspath(readme_path)), "DESIGN.md"
+    )
+    rules_failed, rule_count = check_mcmlint_rules(design_path)
+    failed = failed or rules_failed
+
     if failed:
         return 1
     print(
         f"check_docs_drift: all {checked} flags across {len(tools)} tool(s) "
-        f"are documented in {readme_path}"
+        f"are documented in {readme_path}; all {rule_count} mcmlint rules "
+        f"are listed in {design_path} §5.7"
     )
     return 0
 

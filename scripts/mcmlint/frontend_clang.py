@@ -1,0 +1,115 @@
+"""mcmlint's clang frontend: the same generic token tuples as lexer.py,
+produced by clang.cindex over the exported compilation database.
+
+Only the *token stream* is used — no AST walking — so the rule layer stays
+identical across frontends and diagnostics cannot drift between the local
+(lex) and CI (clang) runs. The compilation database supplies per-file
+compiler arguments so clang tokenizes with the project's include paths and
+defines; files absent from the database (headers) are tokenized with the
+arguments of any database entry, which is sufficient for lexing.
+
+Import of this module raises ImportError when the clang bindings are not
+installed; mcmlint.py treats that as "use the lex frontend" under
+--frontend auto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import clang.cindex as cindex
+
+from lexer import (
+    IDENTIFIER,
+    KEYWORD,
+    KEYWORDS,
+    LITERAL,
+    PUNCTUATION,
+    Comment,
+    Token,
+)
+
+_KIND_MAP = {
+    cindex.TokenKind.IDENTIFIER: IDENTIFIER,
+    cindex.TokenKind.KEYWORD: KEYWORD,
+    cindex.TokenKind.LITERAL: LITERAL,
+    cindex.TokenKind.PUNCTUATION: PUNCTUATION,
+}
+
+
+class ClangFrontend:
+    def __init__(self, compdb_path):
+        self._index = cindex.Index.create()
+        self._args_by_file = {}
+        self._fallback_args = []
+        if compdb_path and os.path.isfile(compdb_path):
+            with open(compdb_path, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    args = _strip_args(entry)
+                    self._args_by_file[os.path.abspath(
+                        os.path.join(entry["directory"], entry["file"])
+                    )] = args
+                    if not self._fallback_args:
+                        self._fallback_args = args
+
+    def tokenize(self, path):
+        apath = os.path.abspath(path)
+        args = self._args_by_file.get(apath, self._fallback_args)
+        tu = self._index.parse(
+            apath, args=args,
+            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+        )
+        tokens = []
+        comments = []
+        directive_line = -1  # skip preprocessor lines, like the lex frontend
+        prev_line = -1
+        for tok in tu.get_tokens(extent=tu.cursor.extent):
+            if tok.location.file is None or \
+                    os.path.abspath(tok.location.file.name) != apath:
+                continue
+            line = tok.location.line
+            if tok.spelling == "#" and line != prev_line:
+                directive_line = line
+            prev_line = line
+            if line == directive_line:
+                continue
+            if tok.kind == cindex.TokenKind.COMMENT:
+                text = tok.spelling
+                comments.append(
+                    Comment(text, line, line + text.count("\n"))
+                )
+                continue
+            kind = _KIND_MAP.get(tok.kind, PUNCTUATION)
+            # clang reports e.g. 'final'/'override' as identifiers and some
+            # context-dependent tokens differently; normalize to the lex
+            # frontend's convention so rules see one vocabulary.
+            sp = tok.spelling
+            if kind == IDENTIFIER and sp in KEYWORDS:
+                kind = KEYWORD
+            elif kind == KEYWORD and sp not in KEYWORDS:
+                kind = IDENTIFIER
+            tokens.append(Token(kind, sp, line))
+        return tokens, comments
+
+
+def _strip_args(entry):
+    """Compiler arguments for cindex.parse: drop the compiler, the input
+    file, and output options."""
+    if "arguments" in entry:
+        raw = entry["arguments"]
+    else:
+        raw = entry["command"].split()
+    args = []
+    skip_next = False
+    for a in raw[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-c"):
+            skip_next = a == "-o"
+            continue
+        if a == entry["file"] or a.endswith(os.path.basename(entry["file"])):
+            continue
+        args.append(a)
+    return args

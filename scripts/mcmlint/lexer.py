@@ -1,0 +1,186 @@
+"""Pure-Python C++ token stream for mcmlint's lex frontend.
+
+Produces the same generic (kind, spelling, line) tuples the clang frontend
+emits, so the rule layer never knows which frontend ran. This is a *lexer*,
+not a parser: it understands comments, string/char literals (including raw
+strings), preprocessor directives, identifiers, numbers and punctuation —
+enough for the structural matching mcmlint's rules do, and nothing more.
+
+Comments are not interleaved into the token stream; they are returned as a
+side table so the suppression grammar (// mcmlint: ...) can be resolved by
+line without the rules having to skip comment tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds, mirroring clang.cindex.TokenKind names (lowercased).
+IDENTIFIER = "identifier"
+KEYWORD = "keyword"
+LITERAL = "literal"
+PUNCTUATION = "punctuation"
+
+# Keywords the rules must never mistake for function or variable names.
+KEYWORDS = frozenset(
+    """
+    alignas alignof asm auto bool break case catch char char8_t char16_t
+    char32_t class concept const consteval constexpr constinit const_cast
+    continue co_await co_return co_yield decltype default delete do double
+    dynamic_cast else enum explicit export extern false float for friend
+    goto if inline int long mutable namespace new noexcept nullptr operator
+    private protected public register reinterpret_cast requires return
+    short signed sizeof static static_assert static_cast struct switch
+    template this thread_local throw true try typedef typeid typename union
+    unsigned using virtual void volatile wchar_t while
+    """.split()
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\.?\d(?:[\w.]|[eEpP][+-])*")
+# Longest-match punctuation; multi-char operators the rules care about
+# (::, ->, etc.) must stay single tokens.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+)
+_RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n]*)\(')
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    spelling: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str
+    line: int       # line the comment starts on
+    end_line: int   # line the comment ends on (block comments span)
+
+
+def tokenize(source: str):
+    """Returns (tokens, comments) for one C++ source string.
+
+    Preprocessor directives are skipped entirely (including continuation
+    lines); their contents never reach the rules.
+    """
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i = 0
+    line = 1
+    n = len(source)
+    at_line_start = True
+
+    def advance_lines(text: str) -> int:
+        return text.count("\n")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if ch in " \t\r\v\f":
+            i += 1
+            continue
+        # Preprocessor directive: consume to end of line, honoring \-splices.
+        if ch == "#" and at_line_start:
+            start = i
+            while i < n:
+                if source[i] == "\n":
+                    if i > 0 and source[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            line += advance_lines(source[start:i])
+            continue
+        at_line_start = False
+        # Comments.
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            comments.append(Comment(source[i:end], line, line))
+            i = end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                end = n
+            else:
+                end += 2
+            text = source[i:end]
+            comments.append(Comment(text, line, line + advance_lines(text)))
+            line += advance_lines(text)
+            i = end
+            continue
+        # Raw strings: R"delim( ... )delim".
+        m = _RAW_STRING_RE.match(source, i)
+        if m:
+            closer = ")" + m.group(1) + '"'
+            end = source.find(closer, m.end())
+            end = n if end == -1 else end + len(closer)
+            text = source[i:end]
+            tokens.append(Token(LITERAL, text, line))
+            line += advance_lines(text)
+            i = end
+            continue
+        # String / char literals (with escapes), incl. u8/u/U/L prefixes.
+        if ch in "\"'" or (
+            ch in "uUL" and _string_prefix_len(source, i) is not None
+        ):
+            plen = _string_prefix_len(source, i) or 0
+            quote = source[i + plen]
+            j = i + plen + 1
+            while j < n and source[j] != quote:
+                j += 2 if source[j] == "\\" else 1
+            j = min(j + 1, n)
+            tokens.append(Token(LITERAL, source[i:j], line))
+            i = j
+            continue
+        # Identifiers / keywords.
+        m = _IDENT_RE.match(source, i)
+        if m:
+            sp = m.group(0)
+            kind = KEYWORD if sp in KEYWORDS else IDENTIFIER
+            tokens.append(Token(kind, sp, line))
+            i = m.end()
+            continue
+        # Numbers (incl. 1e-3, 0x..., 1'000 handled loosely via \w).
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            m = _NUMBER_RE.match(source, i)
+            tokens.append(Token(LITERAL, m.group(0), line))
+            i = m.end()
+            continue
+        # Punctuation, longest match first.
+        for group in (_PUNCT3, _PUNCT2):
+            for p in group:
+                if source.startswith(p, i):
+                    tokens.append(Token(PUNCTUATION, p, line))
+                    i += len(p)
+                    break
+            else:
+                continue
+            break
+        else:
+            tokens.append(Token(PUNCTUATION, ch, line))
+            i += 1
+    return tokens, comments
+
+
+def _string_prefix_len(source: str, i: int):
+    """Length of a string-literal encoding prefix at i, or None."""
+    for prefix in ("u8", "u", "U", "L", ""):
+        if source.startswith(prefix, i):
+            j = i + len(prefix)
+            if j < len(source) and source[j] in "\"'":
+                return len(prefix)
+    return None

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""mcmlint — static BSP-invariant checker for the MCM-DIST tree.
+
+Statically approximates the invariants mcmcheck (gridsim/mcmcheck.hpp)
+enforces dynamically, so violations are caught before any test runs:
+
+  rank-scope-required    Dist* accessors inside for_ranks lambda bodies
+                         must follow a check::RankScope / AccessWindow.
+  rma-epoch-static       RmaWindow ops must be dominated by open_epoch()
+                         in the same function (// mcmlint: epoch-external
+                         marks functions whose caller owns the epoch).
+  no-wallclock-in-sim    std::chrono / *_clock forbidden outside the
+                         tracer, benchmarks and checkpoint I/O.
+  charge-category-total  every dist/ function charging the ledger names
+                         exactly one cost category.
+
+Suppressions: '// mcmlint: allow(<rule>)' on the offending or preceding
+line; '// mcmlint: allow-file(<rule>)' anywhere in a file.
+
+Frontends: 'lex' (pure-Python tokenizer, zero dependencies — the default
+everywhere) and 'clang' (token stream via the clang.cindex bindings and the
+exported compilation database; used in CI where the bindings are pinned).
+Both reduce to the same token tuples, so diagnostics are identical.
+
+Exit status: 0 = clean, 1 = diagnostics reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lexer  # noqa: E402
+import rules as rules_mod  # noqa: E402
+from model import FileModel  # noqa: E402
+
+SOURCE_SUFFIXES = (".cpp", ".hpp", ".cc", ".h")
+
+
+def parse_args(argv):
+    ap = argparse.ArgumentParser(
+        prog="mcmlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: <root>/src)",
+    )
+    ap.add_argument(
+        "--root", default=".",
+        help="tree root; rule path scoping (dist/, gridsim/trace.*) is "
+             "resolved against <root>/src (default: .)",
+    )
+    ap.add_argument(
+        "--frontend", choices=("auto", "lex", "clang"), default="auto",
+        help="token source: pure-Python lexer or clang.cindex over the "
+             "compilation database (auto = clang if importable, else lex)",
+    )
+    ap.add_argument(
+        "--compdb", default=None,
+        help="compile_commands.json for the clang frontend "
+             "(default: <root>/build/compile_commands.json)",
+    )
+    ap.add_argument(
+        "--rule", action="append", dest="only_rules", metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    ap.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule names, one per line, and exit",
+    )
+    ap.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    return ap.parse_args(argv)
+
+
+def collect_files(paths, root):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _dirnames, filenames in os.walk(p):
+                for name in sorted(filenames):
+                    if name.endswith(SOURCE_SUFFIXES):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print(f"mcmlint: no such file or directory: {p}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    return sorted(set(files))
+
+
+def rel_path(path, root):
+    """Path relative to <root>/src when under it (rules scope on 'dist/',
+    'gridsim/...'), else relative to root, else as given."""
+    apath = os.path.abspath(path)
+    for base in (os.path.join(os.path.abspath(root), "src"),
+                 os.path.abspath(root)):
+        if apath.startswith(base + os.sep):
+            return os.path.relpath(apath, base).replace(os.sep, "/")
+    return path.replace(os.sep, "/")
+
+
+def pick_frontend(name, compdb):
+    if name == "lex":
+        return None
+    try:
+        import frontend_clang
+    except ImportError:
+        if name == "clang":
+            print("mcmlint: --frontend clang requires the clang.cindex "
+                  "python bindings", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    try:
+        return frontend_clang.ClangFrontend(compdb)
+    except Exception as e:  # bindings importable but unusable
+        if name == "clang":
+            print(f"mcmlint: clang frontend unavailable: {e}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return None
+
+
+def lint_file(path, root, clang_frontend, only_rules):
+    if clang_frontend is not None:
+        tokens, comments = clang_frontend.tokenize(path)
+    else:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            tokens, comments = lexer.tokenize(f.read())
+    model = FileModel(rel_path(path, root), tokens, comments)
+    return rules_mod.run_rules(model, only=only_rules)
+
+
+def main(argv=None):
+    args = parse_args(sys.argv[1:] if argv is None else argv)
+    if args.list_rules:
+        for name in rules_mod.RULES:
+            print(name)
+        return 0
+    if args.only_rules:
+        unknown = set(args.only_rules) - set(rules_mod.RULES)
+        if unknown:
+            print(f"mcmlint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    paths = args.paths or [os.path.join(args.root, "src")]
+    files = collect_files(paths, args.root)
+    compdb = args.compdb or os.path.join(args.root, "build",
+                                         "compile_commands.json")
+    clang_frontend = pick_frontend(args.frontend, compdb)
+
+    diags = []
+    for path in files:
+        diags.extend(lint_file(path, args.root, clang_frontend,
+                               set(args.only_rules) if args.only_rules
+                               else None))
+    if args.format == "json":
+        print(json.dumps([d.__dict__ for d in diags], indent=2))
+    else:
+        for d in diags:
+            print(d.render())
+        if diags:
+            print(f"mcmlint: {len(diags)} finding(s) in "
+                  f"{len({d.path for d in diags})} file(s)", file=sys.stderr)
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,402 @@
+"""mcmlint's shared file model: functions, events, suppressions.
+
+Both frontends (the pure-Python lexer and the clang token stream) reduce a
+source file to the same generic token tuples; this module builds the
+structural model the rules run over:
+
+  FileModel
+    .suppressed(rule, line)      -- // mcmlint: allow(rule) / allow-file(rule)
+    .functions: [Function]       -- heuristic function segmentation
+        .events: [Event]         -- ordered structural events in the body
+        .for_ranks: [LambdaRegion]
+            .events: [Event]     -- events inside that lambda body
+        .epoch_external          -- // mcmlint: epoch-external marker
+    .chrono_uses: [line]         -- std::chrono / *_clock tokens, whole file
+
+Event kinds:
+  scope        check::RankScope / check::AccessWindow construction
+  dist_access  <dist-var>.piece/at/set/block/block_t(...)
+  rma_open     <rma-var>.open_epoch(...)
+  rma_op       <rma-var>.get/.put/.fetch_and_replace(...)
+  charge       <obj>.charge_*(<first-arg>, ...)
+
+The function segmentation is a heuristic (token-level, no semantic
+analysis): a body opens where `name ( ... )` — name not a keyword — is
+followed, possibly through const/noexcept/ref-qualifiers, annotation
+macros, a trailing return type, or a constructor initializer list, by `{`.
+Lambdas never start a new function; their bodies belong to the enclosing
+one. The heuristic is validated against the real tree plus the fixture
+suite (tests/mcmlint/), which pins exact diagnostics per rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from lexer import IDENTIFIER
+
+DIST_TYPES_RE = re.compile(r"^Dist[A-Z]")
+RMA_TYPE = "RmaWindow"
+DIST_ACCESSORS = frozenset({"piece", "at", "set", "block", "block_t"})
+RMA_OPS = frozenset({"get", "put", "fetch_and_replace"})
+SCOPE_TYPES = frozenset({"RankScope", "AccessWindow"})
+CLOCK_IDS = frozenset({"steady_clock", "system_clock", "high_resolution_clock"})
+
+_ALLOW_RE = re.compile(r"mcmlint:\s*allow\(([a-z0-9-]+)\)")
+_ALLOW_FILE_RE = re.compile(r"mcmlint:\s*allow-file\(([a-z0-9-]+)\)")
+_EPOCH_EXTERNAL_RE = re.compile(r"mcmlint:\s*epoch-external")
+
+# Specifiers that may sit between a function header's `)` and its `{`.
+_POST_PAREN_SKIP = frozenset(
+    {"const", "noexcept", "override", "final", "mutable", "&", "&&", "try"}
+)
+
+
+@dataclass
+class Event:
+    kind: str
+    line: int
+    name: str = ""      # variable / callee, rule-dependent
+    detail: str = ""    # accessor / op / charge category spelling
+
+
+@dataclass
+class LambdaRegion:
+    line: int           # line of the for_ranks call
+    end_line: int
+    events: list = field(default_factory=list)
+
+
+@dataclass
+class Function:
+    name: str
+    line: int           # line the body opens on
+    end_line: int
+    events: list = field(default_factory=list)
+    for_ranks: list = field(default_factory=list)
+    epoch_external: bool = False
+
+
+class FileModel:
+    def __init__(self, path, tokens, comments):
+        self.path = path
+        self.tokens = tokens
+        self.comments = comments
+        self._allow_lines = {}      # rule -> set of lines
+        self._allow_file = set()    # rules suppressed file-wide
+        self._epoch_external_lines = set()
+        self._parse_pragmas(comments)
+        self.dist_vars = set()
+        self.rma_vars = set()
+        self._collect_vars()
+        self.functions = []
+        self._segment_functions()
+        self.chrono_uses = self._collect_chrono()
+
+    # ----- suppressions ---------------------------------------------------
+
+    def _parse_pragmas(self, comments):
+        for c in comments:
+            for m in _ALLOW_RE.finditer(c.text):
+                self._allow_lines.setdefault(m.group(1), set()).update(
+                    (c.line, c.end_line + 1)
+                )
+            for m in _ALLOW_FILE_RE.finditer(c.text):
+                self._allow_file.add(m.group(1))
+            if _EPOCH_EXTERNAL_RE.search(c.text):
+                self._epoch_external_lines.add(c.line)
+
+    def suppressed(self, rule, line):
+        """True if `rule` is suppressed at `line`: file-wide, a trailing
+        comment on the same line, or a comment on the preceding line."""
+        if rule in self._allow_file:
+            return True
+        return line in self._allow_lines.get(rule, ())
+
+    # ----- declared-variable collection -----------------------------------
+
+    def _collect_vars(self):
+        toks = self.tokens
+        n = len(toks)
+        i = 0
+        while i < n:
+            t = toks[i]
+            if t.kind == IDENTIFIER and (
+                DIST_TYPES_RE.match(t.spelling) or t.spelling == RMA_TYPE
+            ):
+                is_rma = t.spelling == RMA_TYPE
+                j = i + 1
+                # Skip a template argument list.
+                if j < n and toks[j].spelling == "<":
+                    depth = 0
+                    while j < n:
+                        if toks[j].spelling == "<":
+                            depth += 1
+                        elif toks[j].spelling == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif toks[j].spelling == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        elif toks[j].spelling in (";", "{", ")"):
+                            break  # stray comparison, not a template list
+                        j += 1
+                # Skip cv/ref/pointer decorations.
+                while j < n and toks[j].spelling in ("const", "&", "&&", "*"):
+                    j += 1
+                if j < n and toks[j].kind == IDENTIFIER:
+                    name = toks[j].spelling
+                    nxt = toks[j + 1].spelling if j + 1 < n else ""
+                    if nxt == "(":
+                        # `Type name(...)`: constructor-style declaration if
+                        # the parens close into ; , ) or =, else a function
+                        # returning Type (skip — not a variable).
+                        close = _match(toks, j + 1, "(", ")")
+                        after = toks[close + 1].spelling if close + 1 < n else ""
+                        if after in (";", ",", ")", "="):
+                            (self.rma_vars if is_rma else self.dist_vars).add(
+                                name
+                            )
+                    elif nxt in (";", ",", ")", "=", ":", "{"):
+                        (self.rma_vars if is_rma else self.dist_vars).add(name)
+                i = j
+                continue
+            i += 1
+
+    # ----- function segmentation ------------------------------------------
+
+    def _segment_functions(self):
+        toks = self.tokens
+        n = len(toks)
+        i = 0
+        while i < n:
+            t = toks[i]
+            if (
+                t.kind == IDENTIFIER
+                and i + 1 < n
+                and toks[i + 1].spelling == "("
+                and (i == 0 or toks[i - 1].spelling not in (".", "->"))
+            ):
+                close = _match(toks, i + 1, "(", ")")
+                body = self._body_open_after(close)
+                if body is not None:
+                    end = _match(toks, body, "{", "}")
+                    fn = Function(
+                        name=t.spelling,
+                        line=toks[body].line,
+                        end_line=toks[end].line if end < n else toks[-1].line,
+                    )
+                    self._scan_body(fn, body, end)
+                    fn.epoch_external = any(
+                        t.line - 2 <= ln <= fn.end_line
+                        for ln in self._epoch_external_lines
+                    )
+                    self.functions.append(fn)
+                    i = end + 1
+                    continue
+                i = close + 1
+                continue
+            i += 1
+
+    def _body_open_after(self, close):
+        """Token index of the `{` opening a function body whose parameter
+        list closed at token `close`, or None if this isn't a definition."""
+        toks = self.tokens
+        n = len(toks)
+        j = close + 1
+        while j < n:
+            sp = toks[j].spelling
+            if sp in _POST_PAREN_SKIP:
+                j += 1
+            elif sp.startswith("MCM_"):
+                # Annotation macro (thread-safety attributes), possibly with
+                # arguments.
+                j += 1
+                if j < n and toks[j].spelling == "(":
+                    j = _match(toks, j, "(", ")") + 1
+            elif sp == "->":
+                # Trailing return type: skip to `{` or `;` at depth 0.
+                while j < n and toks[j].spelling not in ("{", ";"):
+                    if toks[j].spelling == "(":
+                        j = _match(toks, j, "(", ")")
+                    j += 1
+                break
+            elif sp == ":":
+                # Constructor initializer list: first `{` at paren depth 0
+                # opens the body.
+                j += 1
+                while j < n and toks[j].spelling not in ("{", ";"):
+                    if toks[j].spelling == "(":
+                        j = _match(toks, j, "(", ")")
+                    elif toks[j].spelling == "{":
+                        break
+                    j += 1
+                break
+            else:
+                break
+        if j < n and toks[j].spelling == "{":
+            return j
+        return None
+
+    # ----- body event scan -------------------------------------------------
+
+    def _scan_body(self, fn, body, end):
+        toks = self.tokens
+        i = body + 1
+        while i < end:
+            t = toks[i]
+            if t.kind == IDENTIFIER and t.spelling == "for_ranks":
+                if i + 1 < end and toks[i + 1].spelling == "(":
+                    call_close = _match(toks, i + 1, "(", ")")
+                    lam = self._find_lambda_body(i + 1, call_close)
+                    if lam is not None:
+                        lam_open, lam_close = lam
+                        region = LambdaRegion(
+                            line=t.line, end_line=toks[lam_close].line
+                        )
+                        region.events = self._events_in(
+                            lam_open + 1, lam_close
+                        )
+                        fn.for_ranks.append(region)
+                        fn.events.extend(region.events)
+                        # Continue scanning after the whole call so the
+                        # lambda's events are not double-collected.
+                        remainder = self._events_in(lam_close + 1, call_close)
+                        fn.events.extend(remainder)
+                        i = call_close + 1
+                        continue
+            ev = self._event_at(i, end)
+            if ev is not None:
+                fn.events.append(ev)
+            i += 1
+
+    def _find_lambda_body(self, call_open, call_close):
+        """(open, close) token indices of the first lambda body inside a
+        call's parens, or None."""
+        toks = self.tokens
+        i = call_open + 1
+        while i < call_close:
+            if toks[i].spelling == "[":
+                # Potential lambda introducer: closing ] then ( or {.
+                close_b = _match(toks, i, "[", "]")
+                j = close_b + 1
+                if j < call_close and toks[j].spelling == "(":
+                    j = _match(toks, j, "(", ")") + 1
+                    # Skip specifiers (mutable, noexcept, -> ret).
+                    while j < call_close and toks[j].spelling != "{":
+                        if toks[j].spelling in (";", ","):
+                            break
+                        j += 1
+                if j < call_close and toks[j].spelling == "{":
+                    return j, _match(toks, j, "{", "}")
+                i = close_b + 1
+                continue
+            i += 1
+        return None
+
+    def _events_in(self, start, stop):
+        events = []
+        i = start
+        while i < stop:
+            ev = self._event_at(i, stop)
+            if ev is not None:
+                events.append(ev)
+            i += 1
+        return events
+
+    def _event_at(self, i, stop):
+        toks = self.tokens
+        t = toks[i]
+        if t.kind != IDENTIFIER:
+            return None
+        sp = t.spelling
+        if sp in SCOPE_TYPES:
+            return Event("scope", t.line, name=sp)
+        nxt = toks[i + 1].spelling if i + 1 < stop else ""
+        if nxt in (".", "->") and i + 2 < stop:
+            member = toks[i + 2]
+            callp = toks[i + 3].spelling if i + 3 < stop else ""
+            if member.kind == IDENTIFIER and callp == "(":
+                if sp in self.dist_vars and member.spelling in DIST_ACCESSORS:
+                    return Event(
+                        "dist_access", member.line, name=sp,
+                        detail=member.spelling,
+                    )
+                if sp in self.rma_vars:
+                    if member.spelling == "open_epoch":
+                        return Event("rma_open", member.line, name=sp)
+                    if member.spelling in RMA_OPS:
+                        return Event(
+                            "rma_op", member.line, name=sp,
+                            detail=member.spelling,
+                        )
+        # Charge calls: <obj>.charge_xxx(<category>, ...).
+        if (
+            sp.startswith("charge_")
+            and nxt == "("
+            and i > 0
+            and toks[i - 1].spelling in (".", "->")
+        ):
+            close = _match(toks, i + 1, "(", ")")
+            category = _first_arg_spelling(toks, i + 1, close)
+            return Event("charge", t.line, name=sp, detail=category)
+        return None
+
+    # ----- chrono scan -----------------------------------------------------
+
+    def _collect_chrono(self):
+        uses = []
+        toks = self.tokens
+        for i, t in enumerate(toks):
+            if t.kind != IDENTIFIER:
+                continue
+            if t.spelling == "chrono":
+                if (
+                    i >= 2
+                    and toks[i - 1].spelling == "::"
+                    and toks[i - 2].spelling == "std"
+                ):
+                    uses.append(t.line)
+            elif t.spelling in CLOCK_IDS:
+                uses.append(t.line)
+        return uses
+
+
+def _match(toks, i, open_sp, close_sp):
+    """Index of the token closing the bracket opened at i; len(toks)-1 if
+    unbalanced (truncated input)."""
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n:
+        sp = toks[j].spelling
+        if sp == open_sp:
+            depth += 1
+        elif sp == close_sp:
+            depth -= 1
+            if depth == 0:
+                return j
+        j += 1
+    return n - 1
+
+
+def _first_arg_spelling(toks, open_idx, close_idx):
+    """Spelling of a call's first argument (tokens joined), up to the first
+    comma at depth 0."""
+    parts = []
+    depth = 0
+    for j in range(open_idx + 1, close_idx):
+        sp = toks[j].spelling
+        if sp in ("(", "[", "{", "<"):
+            depth += 1
+        elif sp in (")", "]", "}", ">"):
+            depth -= 1
+        elif sp == "," and depth <= 0:
+            break
+        parts.append(sp)
+    return "".join(parts)

@@ -1,0 +1,169 @@
+"""mcmlint rules: static approximations of the BSP invariants mcmcheck
+enforces dynamically (DESIGN.md §5.7).
+
+Each rule is a function FileModel -> [Diagnostic]. Suppression
+(// mcmlint: allow(<rule>) on the offending or preceding line,
+// mcmlint: allow-file(<rule>) anywhere in the file) is applied centrally
+in run_rules(), so rules report unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+RULE_RANK_SCOPE = "rank-scope-required"
+RULE_RMA_EPOCH = "rma-epoch-static"
+RULE_WALLCLOCK = "no-wallclock-in-sim"
+RULE_CHARGE = "charge-category-total"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rule_rank_scope_required(model):
+    """Inside a HostEngine::for_ranks lambda body, every Dist* accessor call
+    (piece/at/set/block/block_t on a Dist*-typed variable) must be preceded
+    by a check::RankScope or check::AccessWindow construction in that body —
+    the static shadow of mcmcheck's rank-ownership tracking. Lambdas that
+    touch no Dist accessors need no scope (e.g. fold phase 1 of SpMV works
+    on plain per-rank buffers)."""
+    diags = []
+    for fn in model.functions:
+        for region in fn.for_ranks:
+            scoped = False
+            reported = set()
+            for ev in region.events:
+                if ev.kind == "scope":
+                    scoped = True
+                elif ev.kind == "dist_access" and not scoped:
+                    if ev.line in reported:
+                        continue
+                    reported.add(ev.line)
+                    diags.append(
+                        Diagnostic(
+                            RULE_RANK_SCOPE, model.path, ev.line,
+                            f"'{ev.name}.{ev.detail}()' inside a for_ranks "
+                            "body with no preceding check::RankScope or "
+                            "check::AccessWindow (construct one at the top "
+                            "of the lambda)",
+                        )
+                    )
+    return diags
+
+
+def rule_rma_epoch_static(model):
+    """Every RmaWindow get/put/fetch_and_replace must be dominated by an
+    open_epoch() on the same window earlier in the same function — the
+    static shadow of the dynamic rma-outside-epoch check. Functions whose
+    epoch is opened by a caller carry // mcmlint: epoch-external."""
+    diags = []
+    for fn in model.functions:
+        if fn.epoch_external:
+            continue
+        opened = set()
+        for ev in fn.events:
+            if ev.kind == "rma_open":
+                opened.add(ev.name)
+            elif ev.kind == "rma_op" and ev.name not in opened:
+                diags.append(
+                    Diagnostic(
+                        RULE_RMA_EPOCH, model.path, ev.line,
+                        f"'{ev.name}.{ev.detail}()' with no preceding "
+                        f"'{ev.name}.open_epoch()' in this function (open "
+                        "the epoch first, or mark the function "
+                        "'// mcmlint: epoch-external' if a caller owns it)",
+                    )
+                )
+    return diags
+
+
+# Paths (relative to the scan root, '/'-separated) where wall-clock use is
+# legitimate: the two-clock tracer's host clock, the host-side Timer
+# utility's own implementation, benchmarks, checkpoint I/O, and everything
+# outside the simulator's source tree.
+_WALLCLOCK_ALLOWED_PREFIXES = ("bench/", "tests/", "examples/", "scripts/")
+_WALLCLOCK_ALLOWED_SUBSTRINGS = ("gridsim/trace.", "checkpoint")
+
+
+def rule_no_wallclock_in_sim(model):
+    """std::chrono / steady_clock and friends are forbidden in simulator
+    code outside the tracer, benchmarks and checkpoint I/O: wall time
+    leaking into simulated-time code silently corrupts the two-clock model
+    (the ledger is the only clock the paper's figures are drawn in)."""
+    path = model.path
+    if any(path.startswith(p) for p in _WALLCLOCK_ALLOWED_PREFIXES):
+        return []
+    if any(s in path for s in _WALLCLOCK_ALLOWED_SUBSTRINGS):
+        return []
+    diags = []
+    for line in sorted(set(model.chrono_uses)):
+        diags.append(
+            Diagnostic(
+                RULE_WALLCLOCK, path, line,
+                "wall-clock use (std::chrono / *_clock) in simulator code; "
+                "simulated time must come from the CostLedger (use "
+                "gridsim/trace.hpp for host-clock measurement, or "
+                "'// mcmlint: allow-file(no-wallclock-in-sim)' for host-side "
+                "service code)",
+            )
+        )
+    return diags
+
+
+def rule_charge_category_total(model):
+    """Every function in dist/ that makes ledger charge calls must name
+    exactly one cost category across them — a primitive that splits its
+    charges over two categories breaks the Fig. 5 breakdown's
+    one-primitive-one-category accounting."""
+    if "dist/" not in model.path:
+        return []
+    diags = []
+    for fn in model.functions:
+        categories = {}
+        for ev in fn.events:
+            if ev.kind != "charge":
+                continue
+            categories.setdefault(ev.detail, ev.line)
+            if len(categories) > 1:
+                first = sorted(categories.items(), key=lambda kv: kv[1])[0]
+                diags.append(
+                    Diagnostic(
+                        RULE_CHARGE, model.path, ev.line,
+                        f"function '{fn.name}' charges category "
+                        f"'{ev.detail}' after charging '{first[0]}' (line "
+                        f"{first[1]}); a dist/ primitive must charge exactly "
+                        "one ledger category",
+                    )
+                )
+                break
+    return diags
+
+
+RULES = {
+    RULE_RANK_SCOPE: rule_rank_scope_required,
+    RULE_RMA_EPOCH: rule_rma_epoch_static,
+    RULE_WALLCLOCK: rule_no_wallclock_in_sim,
+    RULE_CHARGE: rule_charge_category_total,
+}
+
+
+def run_rules(model, only=None):
+    """Runs every (or the selected) rule over one FileModel, applying
+    suppression comments. Returns [Diagnostic]."""
+    diags = []
+    for name, rule in RULES.items():
+        if only is not None and name not in only:
+            continue
+        for d in rule(model):
+            if not model.suppressed(d.rule, d.line):
+                diags.append(d)
+    diags.sort(key=lambda d: (d.path, d.line, d.rule))
+    return diags

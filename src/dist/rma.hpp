@@ -27,13 +27,14 @@
 /// coordinator-only calls and must not race ops.
 
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "dist/dist_vec.hpp"
 #include "gridsim/context.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace mcm {
@@ -94,7 +95,7 @@ class RmaWindow {
   /// Completes and closes the epoch: charges max-over-origins op time to
   /// `category` and resets the counters. Word size is sizeof(T) rounded up
   /// to words.
-  void flush(Cost category) {
+  void flush(Cost category) MCM_EXCLUDES(epoch_mutex_) {
     std::uint64_t max_ops = 0;
     std::uint64_t total_ops = 0;
     for (const auto& n : ops_) {
@@ -113,7 +114,7 @@ class RmaWindow {
     epoch_open_.store(false, std::memory_order_relaxed);
     epoch_span_.close();
     if (check::kCompiledIn) {
-      const std::lock_guard<std::mutex> lock(epoch_mutex_);
+      const util::MutexLock lock(epoch_mutex_);
       epoch_accesses_.clear();
     }
   }
@@ -137,7 +138,8 @@ class RmaWindow {
   /// mcmcheck: epoch discipline + same-index conflict detection. Records the
   /// first origin per op kind per index; a second *distinct* origin mixing
   /// non-atomic kinds on one index is the race a real MPI_Win forbids.
-  void note_access(int origin, Index global, OpKind kind, const char* op) {
+  void note_access(int origin, Index global, OpKind kind, const char* op)
+      MCM_EXCLUDES(epoch_mutex_) {
     if (!check::enabled()) return;
     if (!epoch_open_.load(std::memory_order_relaxed)) {
       check::report("rma-outside-epoch", op, origin,
@@ -146,7 +148,7 @@ class RmaWindow {
                     "before the first op and flush() to complete)");
       return;  // Off mode raced in: tolerate.
     }
-    const std::lock_guard<std::mutex> lock(epoch_mutex_);
+    const util::MutexLock lock(epoch_mutex_);
     EpochAccess& seen = epoch_accesses_[global];
     const auto conflict = [&](const char* pair) {
       check::report("rma-conflict", op, origin,
@@ -196,8 +198,9 @@ class RmaWindow {
   /// Open/close follows the epoch, not a lexical scope (mcmtrace).
   trace::Span epoch_span_;
   /// Epoch-scoped conflict tracker; populated only while checking is on.
-  std::unordered_map<Index, EpochAccess> epoch_accesses_;
-  std::mutex epoch_mutex_;
+  std::unordered_map<Index, EpochAccess> epoch_accesses_
+      MCM_GUARDED_BY(epoch_mutex_);
+  util::Mutex epoch_mutex_;
 };
 
 }  // namespace mcm

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(int lanes) : lanes_(std::max(1, lanes)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -54,13 +54,13 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, Body body,
   }
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // A worker that slept through an entire previous job may be waking only
     // now: it activates under the mutex with that job's (dangling) body and
     // exhausted cursor. Wait for it to pass through drain() — harmless while
     // the cursor still reads exhausted — before resetting any job state, so
     // it can never consume this job's indices with the old body.
-    work_done_.wait(lock, [this] { return active_workers_ == 0; });
+    while (active_workers_ != 0) work_done_.wait(mutex_);
     job_body_ = body;
     job_ctx_ = ctx;
     job_end_ = end;
@@ -81,17 +81,17 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, Body body,
   // worker that finished its last index still performs one more fetch_add
   // before exiting, and the cursor must not be reset for the next job until
   // that has happened.
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] {
-    return completed_.load(std::memory_order_acquire) == job_total_
-           && active_workers_ == 0;
-  });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = first_error_;
+  std::exception_ptr error;
+  {
+    const util::MutexLock lock(mutex_);
+    while (completed_.load(std::memory_order_acquire) != job_total_
+           || active_workers_ != 0) {
+      work_done_.wait(mutex_);
+    }
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::drain(Body body, void* ctx, std::int64_t end, int lane) {
@@ -119,7 +119,7 @@ void ThreadPool::drain(Body body, void* ctx, std::int64_t end, int lane) {
       try {
         body(ctx, i, lane);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (first_error_ == nullptr) first_error_ = std::current_exception();
         has_error_.store(true, std::memory_order_relaxed);
       }
@@ -135,10 +135,10 @@ void ThreadPool::worker_main(int lane) {
     void* ctx = nullptr;
     std::int64_t end = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this, seen_generation] {
-        return stop_ || job_generation_ != seen_generation;
-      });
+      const util::MutexLock lock(mutex_);
+      while (!stop_ && job_generation_ == seen_generation) {
+        work_ready_.wait(mutex_);
+      }
       if (stop_) return;
       seen_generation = job_generation_;
       body = job_body_;
@@ -150,7 +150,7 @@ void ThreadPool::worker_main(int lane) {
     drain(body, ctx, end, lane);
     t_current_lane = -1;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       --active_workers_;
     }
     work_done_.notify_one();

@@ -14,13 +14,14 @@
 /// never as shared mutable accumulators.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcm {
 
@@ -47,7 +48,8 @@ class ThreadPool {
   /// The first exception thrown by any index is rethrown on the caller after
   /// the loop drains. Nested calls from inside a body run inline, serially,
   /// on the calling lane.
-  void parallel_for(std::int64_t begin, std::int64_t end, Body body, void* ctx);
+  void parallel_for(std::int64_t begin, std::int64_t end, Body body, void* ctx)
+      MCM_EXCLUDES(mutex_);
 
   /// Convenience wrapper for lambdas: fn(i, lane). No allocation — the
   /// lambda is passed by address for the duration of the loop.
@@ -64,36 +66,37 @@ class ThreadPool {
  private:
   void worker_main(int lane);
   /// Consumes loop indices until none remain; records the first exception.
-  void drain(Body body, void* ctx, std::int64_t end, int lane);
+  void drain(Body body, void* ctx, std::int64_t end, int lane)
+      MCM_EXCLUDES(mutex_);
   void run_serial(std::int64_t begin, std::int64_t end, Body body, void* ctx,
                   int lane);
 
   int lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar work_ready_;
+  util::CondVar work_done_;
+  bool stop_ MCM_GUARDED_BY(mutex_) = false;
 
   // Current job, valid while job_generation_ is newer than a worker's last
   // seen value. Indices are handed out via the atomic cursor; completion is
   // tracked by counting finished indices, so late-waking workers from a
   // previous generation find the cursor exhausted and contribute nothing.
-  std::uint64_t job_generation_ = 0;
-  Body job_body_ = nullptr;
-  void* job_ctx_ = nullptr;
-  std::int64_t job_end_ = 0;
+  std::uint64_t job_generation_ MCM_GUARDED_BY(mutex_) = 0;
+  Body job_body_ MCM_GUARDED_BY(mutex_) = nullptr;
+  void* job_ctx_ MCM_GUARDED_BY(mutex_) = nullptr;
+  std::int64_t job_end_ MCM_GUARDED_BY(mutex_) = 0;
   std::atomic<std::int64_t> next_{0};
   std::atomic<std::int64_t> completed_{0};
-  std::int64_t job_total_ = 0;
+  std::int64_t job_total_ MCM_GUARDED_BY(mutex_) = 0;
   /// Workers currently inside drain(). Guards the job state both ways: the
   /// coordinator neither returns from a job nor *sets up the next one* while
   /// any remain — a worker that slept through a whole job still activates
   /// with that job's stale body, and must fall out of drain() on the
   /// exhausted cursor before the cursor may be reset.
-  int active_workers_ = 0;
-  std::exception_ptr first_error_;
+  int active_workers_ MCM_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ MCM_GUARDED_BY(mutex_);
   std::atomic<bool> has_error_{false};
 };
 

@@ -52,33 +52,33 @@ Tracer& tracer() {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.clear();
   epoch_ = std::chrono::steady_clock::now();
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 
 std::size_t Tracer::open_index() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 void Tracer::record(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.push_back(event);
 }
 
 void Tracer::record_span_end(const TraceEvent& event, std::size_t first_child) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Innermost span closes first, so each pending RankTask gets the tightest
   // enclosing interval; outer spans find nothing left to fill.
   for (std::size_t k = std::min(first_child, events_.size());
@@ -97,7 +97,7 @@ std::vector<BreakdownRow> Tracer::breakdown() const {
   for (std::size_t c = 0; c < rows.size(); ++c) {
     rows[c].category = static_cast<Cost>(c);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const TraceEvent& e : events_) {
     if (e.kind != Kind::Primitive || !e.counted) continue;
     BreakdownRow& row = rows[static_cast<std::size_t>(e.category)];

@@ -53,11 +53,12 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "gridsim/cost_ledger.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcm {
 
@@ -114,14 +115,15 @@ class Tracer {
   Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
   /// Drops every recorded event and restarts the host-clock epoch.
-  void clear();
+  void clear() MCM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t event_count() const MCM_EXCLUDES(mutex_);
   /// Snapshot of the recorded events (copy; safe to inspect while tracing).
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const MCM_EXCLUDES(mutex_);
 
   /// Per-category totals over counted Primitive spans, in category order.
-  [[nodiscard]] std::vector<BreakdownRow> breakdown() const;
+  [[nodiscard]] std::vector<BreakdownRow> breakdown() const
+      MCM_EXCLUDES(mutex_);
 
   /// Fig. 5-style per-category table: spans, traced simulated time, ledger
   /// simulated time, host time. The "(untraced)" row absorbs ledger charges
@@ -135,23 +137,26 @@ class Tracer {
   void write_chrome_trace(const std::string& path) const;
 
   // --- hook plumbing (used by Span / RankSpan / counter) ---
-  [[nodiscard]] double host_now_us() const noexcept {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+  [[nodiscard]] double host_now_us() const MCM_EXCLUDES(mutex_) {
+    // Sample the clock before taking the lock so mutex wait never skews the
+    // timestamp; epoch_ must be read under the mutex (clear() rewrites it).
+    const auto now = std::chrono::steady_clock::now();
+    const util::MutexLock lock(mutex_);
+    return std::chrono::duration<double, std::micro>(now - epoch_).count();
   }
   /// Index the next event will land at; spans take it at open so close can
   /// back-fill the RankTask events recorded inside them.
-  [[nodiscard]] std::size_t open_index() const;
-  void record(const TraceEvent& event);
+  [[nodiscard]] std::size_t open_index() const MCM_EXCLUDES(mutex_);
+  void record(const TraceEvent& event) MCM_EXCLUDES(mutex_);
   /// Back-fills pending RankTask sim intervals in [first_child, end) with
   /// the span's interval, then appends the span's own event.
-  void record_span_end(const TraceEvent& event, std::size_t first_child);
+  void record_span_end(const TraceEvent& event, std::size_t first_child)
+      MCM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ MCM_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point epoch_ MCM_GUARDED_BY(mutex_);
 };
 
 /// The process-global tracer every hook records into.

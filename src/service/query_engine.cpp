@@ -1,4 +1,6 @@
 #include "service/query_engine.hpp"
+// mcmlint: allow-file(no-wallclock-in-sim) — queue/service latencies are
+// host-side metrics by design; simulated time stays in each query's ledger.
 
 #include <algorithm>
 #include <chrono>
@@ -63,7 +65,7 @@ QueryEngine::QueryEngine(const ServiceConfig& config)
 
 QueryEngine::~QueryEngine() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -112,17 +114,16 @@ std::uint64_t QueryEngine::submit(QuerySpec spec) {
   const std::uint64_t options_fp =
       fingerprint_query_options(spec.sim, spec.pipeline);
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   while (pending_ >= config_.max_pending) {
     if (config_.workers == 0) {
       // Pump mode: make room ourselves. A full service always has a
       // Waiting query (nothing can sit Held), so this must make progress.
-      if (!pump_locked(lock)) {
+      if (!pump_locked()) {
         throw std::logic_error("QueryEngine: full but nothing runnable");
       }
     } else {
-      admit_ready_.wait(
-          lock, [this] { return pending_ < config_.max_pending; });
+      admit_ready_.wait(mutex_);
     }
   }
   return enqueue_locked(std::move(spec), options_fp);
@@ -133,35 +134,39 @@ std::optional<std::uint64_t> QueryEngine::try_submit(QuerySpec spec) {
   const std::uint64_t options_fp =
       fingerprint_query_options(spec.sim, spec.pipeline);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (pending_ >= config_.max_pending) return std::nullopt;
   return enqueue_locked(std::move(spec), options_fp);
 }
 
+std::deque<std::unique_ptr<QueryEngine::QueryState>>::iterator
+QueryEngine::find_query_locked(std::uint64_t id) {
+  return std::find_if(
+      queries_.begin(), queries_.end(),
+      [id](const std::unique_ptr<QueryState>& q) { return q->id == id; });
+}
+
 QueryOutcome QueryEngine::wait(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto find = [this, id]() -> std::deque<std::unique_ptr<QueryState>>::iterator {
-    return std::find_if(
-        queries_.begin(), queries_.end(),
-        [id](const std::unique_ptr<QueryState>& q) { return q->id == id; });
-  };
-  auto it = find();
+  const util::MutexLock lock(mutex_);
+  auto it = find_query_locked(id);
   if (it == queries_.end()) {
     throw std::invalid_argument(
         "QueryEngine::wait: unknown or already-taken query id");
   }
   if (config_.workers == 0) {
     while ((*it)->phase != Phase::Done) {
-      if (!pump_locked(lock)) {
+      if (!pump_locked()) {
         throw std::logic_error("QueryEngine::wait: query stuck with no work");
       }
-      it = find();  // pump may have completed (but never erased) queries
+      it = find_query_locked(id);  // pump may have completed (but never
+                                   // erased) queries
     }
   } else {
-    query_done_.wait(lock, [&] {
-      it = find();
-      return it != queries_.end() && (*it)->phase == Phase::Done;
-    });
+    for (;;) {
+      it = find_query_locked(id);
+      if (it != queries_.end() && (*it)->phase == Phase::Done) break;
+      query_done_.wait(mutex_);
+    }
   }
   QueryOutcome outcome = std::move((*it)->outcome);
   queries_.erase(it);
@@ -169,15 +174,15 @@ QueryOutcome QueryEngine::wait(std::uint64_t id) {
 }
 
 std::vector<QueryOutcome> QueryEngine::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (config_.workers == 0) {
     while (pending_ > 0) {
-      if (!pump_locked(lock)) {
+      if (!pump_locked()) {
         throw std::logic_error("QueryEngine::drain: queries stuck");
       }
     }
   } else {
-    query_done_.wait(lock, [this] { return pending_ == 0; });
+    while (pending_ > 0) query_done_.wait(mutex_);
   }
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(queries_.size());
@@ -192,12 +197,12 @@ bool QueryEngine::pump() {
   if (config_.workers != 0) {
     throw std::logic_error("QueryEngine::pump: only valid in pump mode");
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  return pump_locked(lock);
+  const util::MutexLock lock(mutex_);
+  return pump_locked();
 }
 
 std::size_t QueryEngine::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return pending_;
 }
 
@@ -210,19 +215,22 @@ LaneStats QueryEngine::lane_stats() const {
 }
 
 void QueryEngine::worker_main(std::size_t worker) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Raw lock()/unlock() rather than a scoped lock: the loop releases the
+  // mutex around run_slice and reacquires it for after_slice, and the
+  // capability analysis needs the acquire/release balance visible within
+  // this one function.
+  mutex_.lock();
   for (;;) {
     QueryState* q = nullptr;
-    work_ready_.wait(lock, [&] {
-      if (stop_) return true;
-      q = pick_next();
-      return q != nullptr;
-    });
-    if (stop_) return;
+    while (!stop_ && (q = pick_next()) == nullptr) work_ready_.wait(mutex_);
+    if (stop_) {
+      mutex_.unlock();
+      return;
+    }
     q->phase = Phase::Held;
-    lock.unlock();
+    mutex_.unlock();
     run_slice(*q, engines_[worker]);
-    lock.lock();
+    mutex_.lock();
     after_slice(*q);
   }
 }
@@ -311,13 +319,13 @@ void QueryEngine::after_slice(QueryState& q) {
   admit_ready_.notify_one();
 }
 
-bool QueryEngine::pump_locked(std::unique_lock<std::mutex>& lock) {
+bool QueryEngine::pump_locked() {
   QueryState* q = pick_next();
   if (q == nullptr) return false;
   q->phase = Phase::Held;
-  lock.unlock();
+  mutex_.unlock();
   run_slice(*q, engines_[0]);
-  lock.lock();
+  mutex_.lock();
   after_slice(*q);
   return true;
 }

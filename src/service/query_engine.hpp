@@ -30,13 +30,13 @@
 /// Completed results land in a ResultCache keyed by (matrix fingerprint,
 /// options fingerprint); a repeat query that finds its twin already finished
 /// completes instantly as a cache hit.
+// mcmlint: allow-file(no-wallclock-in-sim) — queue/service latencies are
+// host-side metrics by design; simulated time stays in each query's ledger.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -45,6 +45,8 @@
 #include "core/driver.hpp"
 #include "gridsim/host_engine.hpp"
 #include "service/result_cache.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcm {
 
@@ -119,24 +121,25 @@ class QueryEngine {
   /// Admits a query, blocking while the service is at max_pending (pump
   /// mode: pumps slices until there is room). Returns the query id.
   /// Throws std::invalid_argument for unsupported specs (see QuerySpec).
-  std::uint64_t submit(QuerySpec spec);
+  std::uint64_t submit(QuerySpec spec) MCM_EXCLUDES(mutex_);
   /// Non-blocking admission: nullopt when the service is at max_pending.
-  std::optional<std::uint64_t> try_submit(QuerySpec spec);
+  std::optional<std::uint64_t> try_submit(QuerySpec spec)
+      MCM_EXCLUDES(mutex_);
 
   /// Blocks until the query completes (pump mode: pumps) and returns its
   /// outcome. Each outcome can be taken once; a second wait on the same id
   /// throws std::invalid_argument.
-  QueryOutcome wait(std::uint64_t id);
+  QueryOutcome wait(std::uint64_t id) MCM_EXCLUDES(mutex_);
   /// Completes every submitted query and returns all untaken outcomes in
   /// submission order.
-  std::vector<QueryOutcome> drain();
+  std::vector<QueryOutcome> drain() MCM_EXCLUDES(mutex_);
 
   /// Pump mode only: runs one scheduling slice on the calling thread.
   /// Returns false when no query is runnable. Throws in worker mode.
-  bool pump();
+  bool pump() MCM_EXCLUDES(mutex_);
 
   /// Queries submitted but not yet completed.
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const MCM_EXCLUDES(mutex_);
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   /// Lane-occupancy counters aggregated over all worker engines.
   [[nodiscard]] LaneStats lane_stats() const;
@@ -158,30 +161,41 @@ class QueryEngine {
     bool outcome_taken = false;
   };
 
-  void worker_main(std::size_t worker);
-  /// Picks the next Waiting query per policy; nullptr if none. Caller holds
-  /// the mutex.
-  QueryState* pick_next();
+  void worker_main(std::size_t worker) MCM_EXCLUDES(mutex_);
+  /// Picks the next Waiting query per policy; nullptr if none.
+  QueryState* pick_next() MCM_REQUIRES(mutex_);
+  /// Finds a query by id; queries_.end() if unknown or already taken.
+  std::deque<std::unique_ptr<QueryState>>::iterator find_query_locked(
+      std::uint64_t id) MCM_REQUIRES(mutex_);
   /// Runs one slice of `q` on `engine` (no lock held): first slice resolves
   /// the cache, later slices step the pipeline up to `quantum` boundaries.
-  void run_slice(QueryState& q, const std::shared_ptr<HostEngine>& engine);
-  /// Re-queues or completes `q` after a slice. Caller holds the mutex.
-  void after_slice(QueryState& q);
-  bool pump_locked(std::unique_lock<std::mutex>& lock);
-  std::uint64_t enqueue_locked(QuerySpec spec, std::uint64_t options_fp);
+  /// `q` is in Phase::Held, so no other thread touches it (the ownership
+  /// handoff the capability analysis cannot express — QueryState fields are
+  /// deliberately unannotated).
+  void run_slice(QueryState& q, const std::shared_ptr<HostEngine>& engine)
+      MCM_EXCLUDES(mutex_);
+  /// Re-queues or completes `q` after a slice.
+  void after_slice(QueryState& q) MCM_REQUIRES(mutex_);
+  /// Runs one slice on the calling thread, releasing the mutex around the
+  /// unlocked execution; the mutex is held again on return.
+  bool pump_locked() MCM_REQUIRES(mutex_);
+  std::uint64_t enqueue_locked(QuerySpec spec, std::uint64_t options_fp)
+      MCM_REQUIRES(mutex_);
 
   const ServiceConfig config_;
   ResultCache cache_;
   std::vector<std::shared_ptr<HostEngine>> engines_;  ///< one per worker
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;   ///< workers: a query became Waiting
-  std::condition_variable query_done_;   ///< waiters: a query completed
-  std::condition_variable admit_ready_;  ///< submitters: pending_ dropped
-  bool stop_ = false;
-  std::uint64_t next_id_ = 1;
-  std::size_t pending_ = 0;
-  std::deque<std::unique_ptr<QueryState>> queries_;  ///< submission order
+  mutable util::Mutex mutex_;
+  util::CondVar work_ready_;   ///< workers: a query became Waiting
+  util::CondVar query_done_;   ///< waiters: a query completed
+  util::CondVar admit_ready_;  ///< submitters: pending_ dropped
+  bool stop_ MCM_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ MCM_GUARDED_BY(mutex_) = 1;
+  std::size_t pending_ MCM_GUARDED_BY(mutex_) = 0;
+  /// Submission order. The deque itself is guarded; a Held element is owned
+  /// by the worker executing it (see run_slice).
+  std::deque<std::unique_ptr<QueryState>> queries_ MCM_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
 };
 

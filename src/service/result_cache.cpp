@@ -41,7 +41,7 @@ std::uint64_t fingerprint_query_options(const SimConfig& sim,
 }
 
 std::shared_ptr<const PipelineResult> ResultCache::lookup(const CacheKey& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -54,7 +54,7 @@ std::shared_ptr<const PipelineResult> ResultCache::lookup(const CacheKey& key) {
 
 void ResultCache::insert(const CacheKey& key, PipelineResult result) {
   if (capacity_ == 0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // A racing worker computed the same query; keep the newer result and
@@ -76,12 +76,12 @@ void ResultCache::insert(const CacheKey& key, PipelineResult result) {
 }
 
 CacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t ResultCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return lru_.size();
 }
 

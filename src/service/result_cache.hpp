@@ -22,12 +22,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/driver.hpp"
 #include "matrix/coo.hpp"
 #include "util/fingerprint.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcm {
 
@@ -66,14 +67,15 @@ class ResultCache {
   /// Returns the cached result and refreshes its recency, or nullptr.
   /// Counts a hit or a miss either way.
   [[nodiscard]] std::shared_ptr<const PipelineResult> lookup(
-      const CacheKey& key);
+      const CacheKey& key) MCM_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
   /// entries beyond capacity.
-  void insert(const CacheKey& key, PipelineResult result);
+  void insert(const CacheKey& key, PipelineResult result)
+      MCM_EXCLUDES(mutex_);
 
-  [[nodiscard]] CacheStats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const MCM_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const MCM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
@@ -90,10 +92,12 @@ class ResultCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_;
-  CacheStats stats_;
+  mutable util::Mutex mutex_;
+  /// front = most recently used
+  std::list<Entry> lru_ MCM_GUARDED_BY(mutex_);
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index_
+      MCM_GUARDED_BY(mutex_);
+  CacheStats stats_ MCM_GUARDED_BY(mutex_);
 };
 
 }  // namespace mcm

@@ -1,0 +1,73 @@
+#pragma once
+/// \file mutex.hpp
+/// Capability-annotated lock primitives (DESIGN.md §5.7): thin wrappers over
+/// std::mutex / std::condition_variable_any that carry the clang
+/// thread-safety attributes from util/thread_annotations.hpp. libstdc++'s
+/// std::mutex is not annotated as a capability, so GUARDED_BY fields need a
+/// lock type the analysis can see; these wrappers add no state and no
+/// behaviour beyond the standard primitives.
+///
+/// Conventions the annotated classes follow:
+///  - fields are declared MCM_GUARDED_BY(mutex_);
+///  - scoped sections use MutexLock (an annotated lock_guard);
+///  - condition waits call CondVar::wait(mutex_) inside an explicit
+///    `while (!condition)` loop — predicate lambdas are avoided because the
+///    analysis treats a lambda body as a separate unannotated function;
+///  - code that must release and reacquire around a callback (worker loops
+///    handing a slice to unlocked execution) uses Mutex::lock()/unlock()
+///    directly, keeping the acquire/release balance visible to the analysis
+///    within one function.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mcm::util {
+
+/// A std::mutex the thread-safety analysis understands.
+class MCM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCM_ACQUIRE() { mu_.lock(); }
+  void unlock() MCM_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated lock_guard: acquires on construction, releases on destruction.
+class MCM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MCM_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a util::Mutex. Built on
+/// std::condition_variable_any (Mutex is BasicLockable); wait() atomically
+/// releases and reacquires, so from the analysis' point of view the caller
+/// holds the capability throughout — which is why wait() is MCM_REQUIRES.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MCM_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mcm::util

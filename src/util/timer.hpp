@@ -3,6 +3,7 @@
 /// Wall-clock stopwatch for host-side measurement. Note that *simulated*
 /// distributed time is accounted by gridsim::CostLedger, not by this class;
 /// Timer measures the real time the simulator itself takes to run.
+// mcmlint: allow-file(no-wallclock-in-sim) — this IS the host-clock utility.
 
 #include <chrono>
 

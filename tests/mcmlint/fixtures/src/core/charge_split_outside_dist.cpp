@@ -1,0 +1,15 @@
+// Fixture: charge-category-total is scoped to dist/ — core/ drivers
+// legitimately charge several categories from one function (the pipeline
+// charges SpMV, Augment and Prune in turn), so this file must stay clean.
+
+#include "gridsim/context.hpp"
+
+namespace mcm {
+
+void fixture_driver_charges(SimContext& ctx, std::uint64_t n) {
+  ctx.charge_elem_ops(Cost::SpMV, n);
+  ctx.charge_elem_ops(Cost::Augment, n);
+  ctx.charge_elem_ops(Cost::Prune, n);
+}
+
+}  // namespace mcm

@@ -1,0 +1,16 @@
+// Fixture: file-wide suppression. The pragma silences this rule everywhere
+// in the file (the pattern query_engine.cpp uses for its host-side latency
+// metrics).
+// mcmlint: allow-file(no-wallclock-in-sim)
+
+#include <chrono>
+
+namespace mcm {
+
+double fixture_suppressed_file() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace mcm

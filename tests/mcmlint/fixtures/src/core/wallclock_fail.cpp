@@ -1,0 +1,16 @@
+// Fixture: no-wallclock-in-sim, failing cases — wall time leaking into
+// simulator code outside the tracer/bench/checkpoint allowances.
+
+#include <chrono>
+
+namespace mcm {
+
+double fixture_leaked_wallclock() {
+  const auto begin = std::chrono::steady_clock::now();  // mcmlint-expect: no-wallclock-in-sim
+  double acc = 0;
+  for (int i = 0; i < 100; ++i) acc += i;
+  const auto end = std::chrono::steady_clock::now();  // mcmlint-expect: no-wallclock-in-sim
+  return std::chrono::duration<double>(end - begin).count() + acc;  // mcmlint-expect: no-wallclock-in-sim
+}
+
+}  // namespace mcm

@@ -1,0 +1,23 @@
+#pragma once
+// Fixture: charge-category-total, failing case — a dist/ primitive that
+// splits its charges over two ledger categories breaks the Fig. 5
+// one-primitive-one-category accounting.
+
+#include "gridsim/context.hpp"
+
+namespace mcm {
+
+inline void fixture_split_categories(SimContext& ctx, std::uint64_t n) {
+  ctx.charge_elem_ops(Cost::SpMV, n);
+  ctx.charge_allreduce(Cost::Augment, ctx.processes());  // mcmlint-expect: charge-category-total
+}
+
+// Mixing a literal with the category parameter is also a split: the linter
+// cannot prove they are equal, and dist/ code never needs to mix them.
+inline void fixture_param_plus_literal(SimContext& ctx, Cost category,
+                                       std::uint64_t n) {
+  ctx.charge_edge_ops(category, n);
+  ctx.charge_elem_ops(Cost::Prune, n);  // mcmlint-expect: charge-category-total
+}
+
+}  // namespace mcm

@@ -1,0 +1,27 @@
+#pragma once
+// Fixture: charge-category-total, passing cases — one ledger category per
+// dist/ function, whether named literally or threaded through as the
+// conventional `category` parameter.
+
+#include "gridsim/context.hpp"
+
+namespace mcm {
+
+// Several charge calls, one literal category.
+inline void fixture_single_literal(SimContext& ctx, std::uint64_t n) {
+  ctx.charge_elem_ops(Cost::SpMV, n);
+  ctx.charge_allreduce(Cost::SpMV, ctx.processes());
+}
+
+// The dist/ convention: the caller's category threads through untouched.
+inline void fixture_category_param(SimContext& ctx, Cost category,
+                                   std::uint64_t n) {
+  ctx.charge_edge_ops(category, n);
+  ctx.charge_alltoallv(category, ctx.processes(), 1, n);
+  ctx.charge_elem_ops(category, n);
+}
+
+// A function that charges nothing at all is fine.
+inline std::uint64_t fixture_no_charges(std::uint64_t n) { return n * 2; }
+
+}  // namespace mcm

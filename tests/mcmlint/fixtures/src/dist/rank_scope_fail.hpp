@@ -1,0 +1,29 @@
+#pragma once
+// Fixture: rank-scope-required, failing cases.
+
+#include "dist/dist_vec.hpp"
+
+namespace mcm {
+
+// No RankScope/AccessWindow anywhere in the lambda: both accessors flag.
+template <typename T>
+void fixture_unscoped_loop(SimContext& ctx, DistSpVec<T>& x,
+                           DistDenseVec<T>& y) {
+  ctx.host().for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    auto& piece = x.piece(static_cast<int>(r));  // mcmlint-expect: rank-scope-required
+    y.set(static_cast<Index>(r), piece.nnz());  // mcmlint-expect: rank-scope-required
+  });
+}
+
+// The scope must *precede* the access: constructing it afterwards is the
+// bug mcmcheck would catch at runtime on the first unlucky input.
+template <typename T>
+void fixture_scope_too_late(SimContext& ctx, DistSpVec<T>& x) {
+  ctx.host().for_ranks(ctx.processes(), [&](std::int64_t r, int) {
+    auto nnz = x.piece(static_cast<int>(r)).nnz();  // mcmlint-expect: rank-scope-required
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r), "FIX");
+    (void)nnz;
+  });
+}
+
+}  // namespace mcm

@@ -1,0 +1,48 @@
+#pragma once
+// Fixture: rank-scope-required, passing cases. Mirrors the shapes in
+// dist_primitives.hpp / dist_spmv.hpp / dist_bitmap.hpp.
+
+#include "dist/dist_vec.hpp"
+
+namespace mcm {
+
+// RankScope before the accessors: the canonical per-rank loop body.
+template <typename T>
+void fixture_scoped_loop(SimContext& ctx, DistSpVec<T>& x,
+                         DistDenseVec<T>& y) {
+  ctx.host().for_ranks(ctx.processes(), [&](std::int64_t r, int lane) {
+    [[maybe_unused]] const check::RankScope scope(static_cast<int>(r), "FIX");
+    auto& piece = x.piece(static_cast<int>(r));
+    y.set(static_cast<Index>(r), piece.nnz());
+  });
+}
+
+// AccessWindow is an equally valid bracket (gather-style cross-rank reads).
+template <typename T>
+void fixture_windowed_loop(SimContext& ctx, const DistSpVec<T>& parts) {
+  ctx.host().for_ranks(4, [&](std::int64_t s, int) {
+    [[maybe_unused]] const check::AccessWindow window("FIX.expand");
+    auto value = parts.at(static_cast<Index>(s));
+    (void)value;
+  });
+}
+
+// A body that touches no Dist* accessor needs no scope at all (fold phase 1
+// of SpMV works on plain per-rank buffers).
+inline void fixture_plain_buffers(SimContext& ctx, std::vector<int>& out) {
+  ctx.host().for_ranks(8, [&](std::int64_t t, int) {
+    out[static_cast<std::size_t>(t)] = static_cast<int>(t) * 2;
+  });
+}
+
+// Accessors outside any for_ranks body are coordinator-side setup and are
+// the dynamic checker's business, not this rule's.
+template <typename T>
+void fixture_coordinator_setup(SimContext& ctx, DistDenseVec<T>& v) {
+  for (int r = 0; r < ctx.processes(); ++r) {
+    auto& piece = v.piece(r);
+    (void)piece;
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,33 @@
+#pragma once
+// Fixture: rma-epoch-static, failing cases.
+
+#include "dist/rma.hpp"
+
+namespace mcm {
+
+// No epoch at all: every op flags.
+inline void fixture_no_epoch(SimContext& ctx, DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  win.put(0, 0, 1);  // mcmlint-expect: rma-epoch-static
+  (void)win.get(0, 0);  // mcmlint-expect: rma-epoch-static
+}
+
+// Epoch opened on the *other* window: same-window domination is required.
+inline void fixture_wrong_window(SimContext& ctx, DistDenseVec<Index>& a,
+                                 DistDenseVec<Index>& b) {
+  RmaWindow<Index> win_a(ctx, a);
+  RmaWindow<Index> win_b(ctx, b);
+  win_a.open_epoch(Cost::Augment);
+  win_b.put(0, 0, 2);  // mcmlint-expect: rma-epoch-static
+  win_a.flush(Cost::Augment);
+}
+
+// Op textually before the open: not dominated.
+inline void fixture_open_too_late(SimContext& ctx, DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  win.put(0, 0, 1);  // mcmlint-expect: rma-epoch-static
+  win.open_epoch(Cost::Augment);
+  win.flush(Cost::Augment);
+}
+
+}  // namespace mcm

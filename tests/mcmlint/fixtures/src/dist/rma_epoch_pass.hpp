@@ -1,0 +1,44 @@
+#pragma once
+// Fixture: rma-epoch-static, passing cases. Mirrors core/augment.cpp's
+// path-parallel walk.
+
+#include "dist/rma.hpp"
+
+namespace mcm {
+
+// Ops dominated by open_epoch() on the same window, even from inside a
+// lambda later in the function (line order approximates dominance).
+inline void fixture_epoch_owned(SimContext& ctx, DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch(Cost::Augment);
+  ctx.host().for_ranks(ctx.processes(), [&](std::int64_t oo, int) {
+    const int origin = static_cast<int>(oo);
+    [[maybe_unused]] const check::RankScope scope(origin, "FIX");
+    const Index col = win.get(origin, 0);
+    win.put(origin, col, 1);
+    (void)win.fetch_and_replace(origin, col, 2);
+  });
+  win.flush(Cost::Augment);
+}
+
+// Two windows, each opened before its own ops.
+inline void fixture_two_windows(SimContext& ctx, DistDenseVec<Index>& a,
+                                DistDenseVec<Index>& b) {
+  RmaWindow<Index> win_a(ctx, a);
+  RmaWindow<Index> win_b(ctx, b);
+  win_a.open_epoch(Cost::Augment);
+  win_b.open_epoch(Cost::Augment);
+  win_a.put(0, 0, 1);
+  win_b.put(0, 0, 2);
+  win_a.flush(Cost::Augment);
+  win_b.flush(Cost::Augment);
+}
+
+// The caller owns the epoch; this helper is explicitly annotated.
+// mcmlint: epoch-external
+inline Index fixture_epoch_external_helper(RmaWindow<Index>& win, int origin,
+                                           Index row) {
+  return win.get(origin, row);
+}
+
+}  // namespace mcm

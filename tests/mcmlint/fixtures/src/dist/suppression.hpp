@@ -1,0 +1,36 @@
+#pragma once
+// Fixture: the suppression grammar. Line-scoped allow() silences exactly
+// one rule on one line — trailing or preceding-line comment styles — and
+// never bleeds onto other rules or lines.
+
+#include "dist/rma.hpp"
+
+namespace mcm {
+
+// Trailing-comment suppression.
+inline void fixture_suppressed_trailing(SimContext& ctx,
+                                        DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  win.put(0, 0, 1);  // mcmlint: allow(rma-epoch-static)
+}
+
+// Preceding-line suppression.
+inline void fixture_suppressed_preceding(SimContext& ctx,
+                                         DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  // mcmlint: allow(rma-epoch-static)
+  win.put(0, 0, 1);
+}
+
+// Suppressing rule A does not silence rule B on the same line, and a
+// suppression two lines up does not reach this far down.
+inline void fixture_wrong_rule_suppression(SimContext& ctx,
+                                           DistDenseVec<Index>& v) {
+  RmaWindow<Index> win(ctx, v);
+  win.put(0, 0, 1);  // mcmlint: allow(rank-scope-required) -- wrong rule. mcmlint-expect: rma-epoch-static
+  // mcmlint: allow(rma-epoch-static)
+  (void)0;
+  win.put(0, 0, 2);  // mcmlint-expect: rma-epoch-static
+}
+
+}  // namespace mcm

@@ -1,0 +1,24 @@
+#pragma once
+// Fixture: no-wallclock-in-sim, passing case — gridsim/trace.* is the
+// designated home of the host clock, so wall-clock use here is allowed by
+// path.
+
+#include <chrono>
+
+namespace mcm::trace {
+
+class FixtureHostClock {
+ public:
+  FixtureHostClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace mcm::trace

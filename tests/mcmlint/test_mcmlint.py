@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""mcmlint self-test: fixture-driven, mirroring compare_bench.py's
+injected-regression pattern.
+
+Every fixture under fixtures/src/ declares its expected diagnostics inline:
+a `// mcmlint-expect: <rule>` comment marks a line that MUST produce exactly
+that diagnostic; a file with no markers MUST lint clean. The runner compares
+the exact (rule, file, line) set both ways, so a rule that stops firing,
+fires on the wrong line, or misreports its kind fails the test — as does a
+rule that starts flagging a passing fixture.
+
+Also checked: --list-rules output matches the rule registry, the CLI exit
+codes (1 with findings, 0 clean), and per-rule coverage (each registered
+rule must own at least one pass and one fail fixture).
+
+Run: python3 tests/mcmlint/test_mcmlint.py   (wired into ctest as
+mcmlint_selftest).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(TESTS_DIR))
+FIXTURES = os.path.join(TESTS_DIR, "fixtures")
+MCMLINT_DIR = os.path.join(REPO, "scripts", "mcmlint")
+sys.path.insert(0, MCMLINT_DIR)
+
+import lexer  # noqa: E402
+import rules as rules_mod  # noqa: E402
+from model import FileModel  # noqa: E402
+
+EXPECT_RE = re.compile(r"mcmlint-expect:\s*([a-z0-9-]+)")
+
+# Which clean fixtures exercise which rule (filename substrings).
+PASS_FIXTURE_SLUGS = {
+    "rank-scope-required": ("rank_scope_pass",),
+    "rma-epoch-static": ("rma_epoch_pass",),
+    "no-wallclock-in-sim": ("trace", "suppression_file"),
+    "charge-category-total": ("charge_pass", "charge_split_outside_dist"),
+}
+
+failures = []
+
+
+def check(ok, label, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(f"{label}: {detail}")
+
+
+def fixture_files():
+    for dirpath, _dirs, names in os.walk(os.path.join(FIXTURES, "src")):
+        for name in sorted(names):
+            if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def rel(path):
+    return os.path.relpath(path, os.path.join(FIXTURES, "src")).replace(
+        os.sep, "/"
+    )
+
+
+def lint(path):
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    tokens, comments = lexer.tokenize(source)
+    model = FileModel(rel(path), tokens, comments)
+    return rules_mod.run_rules(model), source
+
+
+def expected_markers(source):
+    expected = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for m in EXPECT_RE.finditer(text):
+            expected.add((m.group(1), lineno))
+    return expected
+
+
+def main():
+    rule_has_fail = {name: False for name in rules_mod.RULES}
+    rule_has_pass = {name: False for name in rules_mod.RULES}
+
+    for path in fixture_files():
+        diags, source = lint(path)
+        expected = expected_markers(source)
+        actual = {(d.rule, d.line) for d in diags}
+        relpath = rel(path)
+        check(
+            actual == expected,
+            f"fixture {relpath}",
+            f"expected {sorted(expected)}, got "
+            f"{sorted((d.rule, d.line, d.message) for d in diags)}",
+        )
+        for d in diags:
+            check(
+                d.path == relpath,
+                f"fixture {relpath} diagnostic path",
+                f"diagnostic carries path {d.path!r}",
+            )
+        for rule, _line in expected:
+            rule_has_fail[rule] = True
+        if not expected:
+            # A clean fixture is a pass case for the rule(s) it exercises,
+            # attributed by filename convention.
+            name = os.path.basename(path)
+            for rule, slugs in PASS_FIXTURE_SLUGS.items():
+                if any(s in name for s in slugs):
+                    rule_has_pass[rule] = True
+
+    for rule in rules_mod.RULES:
+        check(rule_has_fail[rule], f"rule {rule} has a failing fixture")
+        check(rule_has_pass[rule], f"rule {rule} has a passing fixture")
+
+    # --list-rules matches the registry exactly.
+    cli = [sys.executable, os.path.join(MCMLINT_DIR, "mcmlint.py")]
+    out = subprocess.run(
+        cli + ["--list-rules"], capture_output=True, text=True
+    )
+    check(
+        out.returncode == 0
+        and out.stdout.split() == list(rules_mod.RULES),
+        "--list-rules matches the registry",
+        f"rc={out.returncode} stdout={out.stdout!r}",
+    )
+
+    # CLI exit codes: 1 over the fixture tree (has failing fixtures), 0 over
+    # a clean subtree.
+    out = subprocess.run(
+        cli + ["--root", FIXTURES, "--frontend", "lex",
+               os.path.join(FIXTURES, "src")],
+        capture_output=True, text=True,
+    )
+    check(out.returncode == 1, "CLI exits 1 on findings",
+          f"rc={out.returncode} stderr={out.stderr!r}")
+    out = subprocess.run(
+        cli + ["--root", FIXTURES, "--frontend", "lex",
+               os.path.join(FIXTURES, "src", "gridsim")],
+        capture_output=True, text=True,
+    )
+    check(out.returncode == 0, "CLI exits 0 on a clean subtree",
+          f"rc={out.returncode} stdout={out.stdout!r}")
+
+    # The real tree must lint clean (the CI gate in miniature).
+    out = subprocess.run(
+        cli + ["--root", REPO, "--frontend", "lex",
+               os.path.join(REPO, "src")],
+        capture_output=True, text=True,
+    )
+    check(out.returncode == 0, "src/ lints clean",
+          f"rc={out.returncode} stdout={out.stdout!r}")
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall mcmlint self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
