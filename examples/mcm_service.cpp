@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/backend.hpp"
 #include "core/driver.hpp"
 #include "gen/workload.hpp"
 #include "service/query_engine.hpp"
@@ -37,6 +38,9 @@ void print_usage(std::FILE* out) {
       "  --quantum Q     supersteps per scheduling slice (default 8)\n"
       "  --max-pending N admission bound (default 64)\n"
       "  --cores K       simulated cores per query (default 16)\n"
+      "  --backend B     comm substrate for every query: gridsim | threads\n"
+      "                  (default gridsim; results are identical — threads\n"
+      "                  adds measured-time trace events when tracing is on)\n"
       "  --help          print this summary and exit 0\n");
 }
 
@@ -68,6 +72,8 @@ int main(int argc, char** argv) {
   service_config.max_pending =
       static_cast<std::size_t>(options.get_int("max-pending", 64));
   const int sim_cores = static_cast<int>(options.get_int("cores", 16));
+  const comm::Backend backend = comm::backend_from_string(
+      options.get_choice("backend", "gridsim", {"gridsim", "threads"}));
 
   const Workload workload = make_workload(workload_config);
   std::printf("workload: %zu queries over %zu graphs (%s mix), policy=%s, "
@@ -94,6 +100,7 @@ int main(int argc, char** argv) {
     spec.graph = q.graph;
     spec.sim.cores = sim_cores;
     spec.sim.threads_per_process = 1;
+    spec.sim.backend = backend;
     spec.pipeline.mcm.seed = q.mcm_seed;
     spec.priority = q.priority;
     spec.matrix_fingerprint = pool_fp[static_cast<std::size_t>(q.graph_id)];

@@ -22,6 +22,8 @@
 #include <memory>
 #include <string>
 
+#include "comm/backend.hpp"
+#include "comm/calibration.hpp"
 #include "core/checkpoint.hpp"
 #include "core/driver.hpp"
 #include "gen/rmat.hpp"
@@ -49,6 +51,12 @@ void print_usage(std::FILE* out) {
                "       [--mask on|off]  visited-masked SpMV via replicated\n"
                "           frontier bitmaps (default on; off is the unmasked\n"
                "           ablation baseline — the matching is identical)\n"
+               "       [--backend gridsim|threads]  comm substrate: gridsim\n"
+               "           is the deterministic modeled-time reference;\n"
+               "           threads makes host lanes real ranks and, with\n"
+               "           --trace, reports measured wall time beside every\n"
+               "           modeled charge (per-primitive calibration table).\n"
+               "           The matching, stats and ledger are identical.\n"
                "       [--host-threads T] [--out file]\n"
                "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
                "       [--seed S]  RNG seed for the generated input\n"
@@ -156,6 +164,15 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
     pipeline.faults = plan;
   }
   SimConfig config = SimConfig::auto_config(cores, 12);
+  config.backend = comm::backend_from_string(
+      options.get_choice("backend", "gridsim", {"gridsim", "threads"}));
+  if (plan != nullptr && config.backend != comm::Backend::Gridsim) {
+    std::fprintf(stderr,
+                 "error: --inject-fault requires --backend gridsim (the "
+                 "'%s' backend has no fault support)\n",
+                 comm::backend_name(config.backend));
+    return 2;
+  }
   // Host threads speed up the wall clock only; simulated results and costs
   // are identical at any setting (also settable via MCM_HOST_THREADS).
   config.host_threads = static_cast<int>(
@@ -204,6 +221,9 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
                 trace::tracer().event_count(), trace_file.c_str());
     std::printf("per-primitive breakdown (simulated vs host clock):\n%s",
                 trace::tracer().breakdown_table(result.ledger).c_str());
+    const std::string calibration =
+        comm::calibration_table(trace::tracer().events());
+    if (!calibration.empty()) std::fputs(calibration.c_str(), stdout);
   }
   const Index card = result.matching.cardinality();
   std::printf("maximum matching: %lld of %lld columns (%lld unmatched)\n",

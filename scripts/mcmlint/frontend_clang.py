@@ -64,15 +64,35 @@ class ClangFrontend:
         comments = []
         directive_line = -1  # skip preprocessor lines, like the lex frontend
         prev_line = -1
+        directive = []  # raw clang tokens of the current directive line
+
+        def flush_directive():
+            # Quoted includes re-emit as the lex frontend's #/include/"path"
+            # triple; every other directive stays skipped.
+            if (
+                len(directive) >= 3
+                and directive[0].spelling == "#"
+                and directive[1].spelling == "include"
+                and directive[2].spelling.startswith('"')
+            ):
+                ln = directive[0].location.line
+                tokens.append(Token(PUNCTUATION, "#", ln))
+                tokens.append(Token(IDENTIFIER, "include", ln))
+                tokens.append(Token(LITERAL, directive[2].spelling, ln))
+            directive.clear()
+
         for tok in tu.get_tokens(extent=tu.cursor.extent):
             if tok.location.file is None or \
                     os.path.abspath(tok.location.file.name) != apath:
                 continue
             line = tok.location.line
+            if directive and line != directive_line:
+                flush_directive()
             if tok.spelling == "#" and line != prev_line:
                 directive_line = line
             prev_line = line
             if line == directive_line:
+                directive.append(tok)
                 continue
             if tok.kind == cindex.TokenKind.COMMENT:
                 text = tok.spelling
@@ -90,6 +110,7 @@ class ClangFrontend:
             elif kind == KEYWORD and sp not in KEYWORDS:
                 kind = IDENTIFIER
             tokens.append(Token(kind, sp, line))
+        flush_directive()
         return tokens, comments
 
 

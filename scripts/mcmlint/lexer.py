@@ -47,6 +47,10 @@ _PUNCT2 = (
     "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
 )
 _RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n]*)\(')
+# Quoted project includes surface as a #/include/"path" token triple so the
+# include-boundary rules can see them; everything else on a preprocessor
+# line (angle includes, defines, conditionals) stays skipped.
+_QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*("[^"\n]+")')
 
 
 @dataclass(frozen=True)
@@ -66,8 +70,9 @@ class Comment:
 def tokenize(source: str):
     """Returns (tokens, comments) for one C++ source string.
 
-    Preprocessor directives are skipped entirely (including continuation
-    lines); their contents never reach the rules.
+    Preprocessor directives are skipped (including continuation lines),
+    with one exception: a quoted `#include "path"` is emitted as a
+    #/include/"path" token triple for the include-boundary rules.
     """
     tokens: list[Token] = []
     comments: list[Comment] = []
@@ -90,8 +95,10 @@ def tokenize(source: str):
             i += 1
             continue
         # Preprocessor directive: consume to end of line, honoring \-splices.
+        # Quoted includes are re-emitted as a #/include/"path" token triple.
         if ch == "#" and at_line_start:
             start = i
+            start_line = line
             while i < n:
                 if source[i] == "\n":
                     if i > 0 and source[i - 1] == "\\":
@@ -100,7 +107,13 @@ def tokenize(source: str):
                         continue
                     break
                 i += 1
-            line += advance_lines(source[start:i])
+            directive = source[start:i]
+            line += advance_lines(directive)
+            m = _QUOTED_INCLUDE_RE.match(directive)
+            if m:
+                tokens.append(Token(PUNCTUATION, "#", start_line))
+                tokens.append(Token(IDENTIFIER, "include", start_line))
+                tokens.append(Token(LITERAL, m.group(1), start_line))
             continue
         at_line_start = False
         # Comments.

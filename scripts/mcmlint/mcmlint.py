@@ -13,6 +13,8 @@ enforces dynamically, so violations are caught before any test runs:
                          tracer, benchmarks and checkpoint I/O.
   charge-category-total  every dist/ function charging the ledger names
                          exactly one cost category.
+  dist-comm-boundary     dist/ files include the comm facade
+                         (comm/comm.hpp), never gridsim/ internals.
 
 Suppressions: '// mcmlint: allow(<rule>)' on the offending or preceding
 line; '// mcmlint: allow-file(<rule>)' anywhere in a file.

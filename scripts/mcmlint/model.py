@@ -12,6 +12,7 @@ structural model the rules run over:
             .events: [Event]     -- events inside that lambda body
         .epoch_external          -- // mcmlint: epoch-external marker
     .chrono_uses: [line]         -- std::chrono / *_clock tokens, whole file
+    .includes: [(path, line)]    -- quoted #include "path" directives
 
 Event kinds:
   scope        check::RankScope / check::AccessWindow construction
@@ -34,7 +35,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from lexer import IDENTIFIER
+from lexer import IDENTIFIER, LITERAL
 
 DIST_TYPES_RE = re.compile(r"^Dist[A-Z]")
 RMA_TYPE = "RmaWindow"
@@ -93,6 +94,7 @@ class FileModel:
         self.functions = []
         self._segment_functions()
         self.chrono_uses = self._collect_chrono()
+        self.includes = self._collect_includes()
 
     # ----- suppressions ---------------------------------------------------
 
@@ -346,6 +348,25 @@ class FileModel:
             category = _first_arg_spelling(toks, i + 1, close)
             return Event("charge", t.line, name=sp, detail=category)
         return None
+
+    # ----- include scan -----------------------------------------------------
+
+    def _collect_includes(self):
+        """[(path, line)] for every quoted `#include "path"` — both
+        frontends surface them as a #/include/"path" token triple."""
+        includes = []
+        toks = self.tokens
+        for i in range(len(toks) - 2):
+            if (
+                toks[i].spelling == "#"
+                and toks[i + 1].spelling == "include"
+                and toks[i + 2].kind == LITERAL
+                and toks[i + 2].spelling.startswith('"')
+            ):
+                includes.append(
+                    (toks[i + 2].spelling.strip('"'), toks[i].line)
+                )
+        return includes
 
     # ----- chrono scan -----------------------------------------------------
 

@@ -15,6 +15,7 @@ RULE_RANK_SCOPE = "rank-scope-required"
 RULE_RMA_EPOCH = "rma-epoch-static"
 RULE_WALLCLOCK = "no-wallclock-in-sim"
 RULE_CHARGE = "charge-category-total"
+RULE_DIST_COMM = "dist-comm-boundary"
 
 
 @dataclass(frozen=True)
@@ -147,11 +148,33 @@ def rule_charge_category_total(model):
     return diags
 
 
+def rule_dist_comm_boundary(model):
+    """Distributed primitives reach the simulator only through the comm
+    facade (comm/comm.hpp): a dist/ file including gridsim/ internals
+    directly bypasses the pluggable-backend boundary, so backend selection
+    (SimConfig::backend) silently stops covering that code path."""
+    if not model.path.startswith("dist/"):
+        return []
+    diags = []
+    for path, line in model.includes:
+        if path.startswith("gridsim/"):
+            diags.append(
+                Diagnostic(
+                    RULE_DIST_COMM, model.path, line,
+                    f'dist/ code includes "{path}" directly; include '
+                    '"comm/comm.hpp" instead so the primitive stays behind '
+                    "the pluggable comm-backend boundary",
+                )
+            )
+    return diags
+
+
 RULES = {
     RULE_RANK_SCOPE: rule_rank_scope_required,
     RULE_RMA_EPOCH: rule_rma_epoch_static,
     RULE_WALLCLOCK: rule_no_wallclock_in_sim,
     RULE_CHARGE: rule_charge_category_total,
+    RULE_DIST_COMM: rule_dist_comm_boundary,
 }
 
 

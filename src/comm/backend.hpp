@@ -1,0 +1,125 @@
+#pragma once
+/// \file backend.hpp
+/// The `Comm` concept: the communication substrate the distributed
+/// primitives in dist/ and core/ run against (DESIGN.md §5.8).
+///
+/// The simulator shares one address space, so a primitive moves its data
+/// directly between per-rank blocks and then *prices* the movement. Every
+/// pricing decision — the alpha-beta collective formulas, the RMA op cost,
+/// the superstep boundary, the straggler scale — funnels through this
+/// interface, which is therefore the whole surface a real transport (MPI,
+/// threads-with-real-clocks, NCCL, ...) has to reimplement. Backends:
+///
+///   gridsim  the deterministic reference: pure modeled alpha-beta time,
+///            bit-identical across runs, the only backend that supports
+///            fault injection (faultsim consults the modeled clock).
+///   threads  shared-memory lanes are real ranks (the context forces one
+///            host lane per simulated process) and every modeled charge is
+///            paired with the measured wall time since the previous charge
+///            boundary, recorded as MEASURED.* trace events — turning the
+///            two-clock tracer into a per-primitive calibration tool.
+///            Charges are identical to gridsim by construction (the threads
+///            backend inherits the gridsim formulas), so matchings, stats
+///            and ledgers stay bit-identical across backends.
+///
+/// Capability negotiation happens at backend-selection time: a SimContext
+/// refuses a fault plan when its backend lacks `caps().fault_injection`,
+/// and tools surface `--backend` so the choice threads through PipelineRun
+/// and the query service unchanged.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "gridsim/cost_ledger.hpp"
+
+namespace mcm {
+namespace comm {
+
+enum class Backend {
+  Gridsim,  ///< deterministic modeled-time reference (default)
+  Threads,  ///< lanes-as-ranks, modeled time + measured wall time
+};
+
+[[nodiscard]] inline const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Gridsim: return "gridsim";
+    case Backend::Threads: return "threads";
+  }
+  return "?";
+}
+
+/// Parses "gridsim" | "threads"; throws std::invalid_argument.
+[[nodiscard]] inline Backend backend_from_string(const std::string& name) {
+  if (name == "gridsim") return Backend::Gridsim;
+  if (name == "threads") return Backend::Threads;
+  throw std::invalid_argument("unknown comm backend '" + name
+                              + "' (expected gridsim | threads)");
+}
+
+/// What a backend guarantees; consulted at backend-selection time.
+struct BackendCaps {
+  bool deterministic = false;    ///< identical ledgers/results across runs
+  bool modeled_time = false;     ///< charges priced in the alpha-beta model
+  bool measured_time = false;    ///< MEASURED.* host-time calibration events
+  bool fault_injection = false;  ///< faultsim plans accepted
+};
+
+/// Everything a backend needs to price one primitive into a run's ledger:
+/// the ledger itself, the machine's latency/bandwidth terms, and the
+/// current fault/straggler multiplier (1.0 without a plan).
+struct ChargeScope {
+  CostLedger& ledger;
+  double alpha_us;
+  double beta_word_us;
+  double scale;
+};
+
+/// The abstract communication substrate. One instance per SimContext
+/// (shared between the context's copies, like the host engine and fault
+/// plan); all hooks are coordinator-level calls — per-rank loop bodies
+/// never charge — so implementations need no internal synchronization.
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  [[nodiscard]] virtual Backend kind() const noexcept = 0;
+  [[nodiscard]] virtual BackendCaps caps() const noexcept = 0;
+
+  /// Bulk-synchronous compute step: `modeled_us` is the slowest rank's
+  /// per-process time (max over ranks / thread speedup), pre-scaled only by
+  /// the machine terms — the backend applies scope.scale.
+  virtual void compute(const ChargeScope& scope, Cost category,
+                       double modeled_us) = 0;
+
+  /// `n_groups` groups of `group_size` ranks allgather concurrently;
+  /// `max_group_words` is the largest per-group total payload.
+  virtual void allgatherv(const ChargeScope& scope, Cost category,
+                          int group_size, int n_groups,
+                          std::uint64_t max_group_words) = 0;
+  /// Personalized all-to-all within groups (owner-bucketed routing);
+  /// `latency_rounds` multiplies the latency term.
+  virtual void alltoallv(const ChargeScope& scope, Cost category,
+                         int group_size, int n_groups,
+                         std::uint64_t max_rank_words, int latency_rounds) = 0;
+  virtual void allreduce(const ChargeScope& scope, Cost category,
+                         int group_size, std::uint64_t words) = 0;
+  virtual void gatherv_root(const ChargeScope& scope, Cost category,
+                            int processes, std::uint64_t total_words) = 0;
+  virtual void scatterv_root(const ChargeScope& scope, Cost category,
+                             int processes, std::uint64_t total_words) = 0;
+  /// `ops` one-sided operations of `words_each`, max over origins;
+  /// `processes` is the window's world size (a 1-process window is local
+  /// and free).
+  virtual void rma(const ChargeScope& scope, Cost category, std::uint64_t ops,
+                   std::uint64_t words_each, int processes) = 0;
+
+  /// BSP superstep boundary, driven by the stepper once per BFS iteration.
+  virtual void superstep(std::uint64_t step) { (void)step; }
+  /// An RMA epoch opened; measured backends re-mark here so epoch wall time
+  /// attributes to the flush, not the preceding primitive.
+  virtual void epoch_open() {}
+};
+
+}  // namespace comm
+}  // namespace mcm

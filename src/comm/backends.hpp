@@ -1,0 +1,25 @@
+#pragma once
+/// \file backends.hpp
+/// Backend registry: maps the Backend enum to a concrete CommBackend.
+/// Included by SimContext's implementation; most code needs only
+/// comm/backend.hpp (the interface) or comm/comm.hpp (the facade).
+
+#include <memory>
+
+#include "comm/gridsim_backend.hpp"
+#include "comm/threads_backend.hpp"
+
+namespace mcm {
+namespace comm {
+
+[[nodiscard]] inline std::shared_ptr<CommBackend> make_backend(
+    Backend backend) {
+  switch (backend) {
+    case Backend::Gridsim: return std::make_shared<GridsimComm>();
+    case Backend::Threads: return std::make_shared<ThreadsComm>();
+  }
+  return std::make_shared<GridsimComm>();
+}
+
+}  // namespace comm
+}  // namespace mcm

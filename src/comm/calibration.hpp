@@ -1,0 +1,83 @@
+#pragma once
+/// \file calibration.hpp
+/// Per-primitive modeled-vs-measured aggregation over the MEASURED.* trace
+/// events the threads backend records (comm/threads_backend.hpp): each
+/// event pairs one modeled alpha-beta charge (sim_dur_us) with the host
+/// wall time spent since the previous charge boundary (host_dur_us).
+/// Summing both per primitive yields the calibration table mcm_tool prints
+/// under `--backend threads --trace` — the measured column is what a real
+/// machine would need the machine model's alpha/beta terms to reproduce.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gridsim/trace.hpp"
+#include "util/table.hpp"
+
+namespace mcm {
+namespace comm {
+
+inline constexpr const char* kMeasuredPrefix = "MEASURED.";
+
+[[nodiscard]] inline bool is_measured_event(const trace::TraceEvent& event) {
+  return event.kind == trace::Kind::Counter
+         && std::strncmp(event.name, kMeasuredPrefix,
+                         std::strlen(kMeasuredPrefix)) == 0;
+}
+
+struct CalibrationRow {
+  const char* primitive = "";  ///< MEASURED.* event name
+  std::uint64_t samples = 0;
+  double modeled_us = 0;   ///< sum of the paired alpha-beta charges
+  double measured_us = 0;  ///< sum of host time between charge boundaries
+};
+
+/// One row per distinct MEASURED.* primitive, in first-seen order.
+[[nodiscard]] inline std::vector<CalibrationRow> calibration_rows(
+    const std::vector<trace::TraceEvent>& events) {
+  std::vector<CalibrationRow> rows;
+  for (const trace::TraceEvent& event : events) {
+    if (!is_measured_event(event)) continue;
+    CalibrationRow* row = nullptr;
+    for (CalibrationRow& r : rows) {
+      if (std::strcmp(r.primitive, event.name) == 0) {
+        row = &r;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      rows.push_back(CalibrationRow{event.name, 0, 0, 0});
+      row = &rows.back();
+    }
+    ++row->samples;
+    row->modeled_us += event.sim_dur_us;
+    row->measured_us += event.host_dur_us;
+  }
+  return rows;
+}
+
+/// Renders the per-primitive modeled-vs-measured table. Empty string when
+/// no MEASURED.* events were recorded (gridsim backend, or tracing off).
+[[nodiscard]] inline std::string calibration_table(
+    const std::vector<trace::TraceEvent>& events) {
+  const std::vector<CalibrationRow> rows = calibration_rows(events);
+  if (rows.empty()) return "";
+  Table table("Per-primitive calibration (modeled vs measured)");
+  table.set_header({"primitive", "samples", "modeled ms", "measured ms",
+                    "measured/modeled"});
+  for (const CalibrationRow& row : rows) {
+    const char* name = row.primitive + std::strlen(kMeasuredPrefix);
+    const double ratio =
+        row.modeled_us > 0 ? row.measured_us / row.modeled_us : 0.0;
+    table.add_row({name, Table::num(static_cast<std::int64_t>(row.samples)),
+                   Table::num(row.modeled_us / 1000.0, 3),
+                   Table::num(row.measured_us / 1000.0, 3),
+                   Table::num(ratio, 3)});
+  }
+  return table.render();
+}
+
+}  // namespace comm
+}  // namespace mcm

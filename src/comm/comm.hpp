@@ -1,0 +1,18 @@
+#pragma once
+/// \file comm.hpp
+/// The facade the distributed layer programs against (DESIGN.md §5.8).
+///
+/// dist/ primitives include this header — and only this header — to reach
+/// the communication substrate: the `Comm` backend interface
+/// (comm/backend.hpp) plus the SimContext that fronts it (charge_* calls
+/// delegate to the context's backend; superstep boundaries and RMA epochs
+/// notify it). Everything gridsim-specific the primitives legitimately use
+/// — the process grid, the cost ledger, mcmcheck's rank scopes, the
+/// two-clock tracer — arrives transitively through the context header, so
+/// a primitive never names a gridsim/ header directly. mcmlint's
+/// `dist-comm-boundary` rule enforces exactly that: the include boundary
+/// is the seam along which a real transport (MPI, NCCL) slots in without
+/// touching the algorithms.
+
+#include "comm/backend.hpp"
+#include "gridsim/context.hpp"

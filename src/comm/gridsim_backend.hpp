@@ -1,0 +1,152 @@
+#pragma once
+/// \file gridsim_backend.hpp
+/// The deterministic reference backend: prices every primitive with the
+/// standard alpha-beta collective formulas (the same formulas the paper's
+/// §IV-B analysis uses) and records nothing else. This is the single home
+/// of the pricing formulas — the threads backend inherits them, so modeled
+/// charges are identical across backends by construction.
+///
+///   ring allgatherv, g ranks, W total words:   (g-1) a + ((g-1)/g) W b
+///   pairwise alltoallv, g ranks:               (g-1) a + W_maxrank b
+///   allreduce (recursive doubling), g ranks:   2 ceil(lg g) (a + w b)
+///   gatherv/scatterv to/from a root, p ranks:  (p-1) a + W_total b
+///   one-sided RMA op of w words:               a + w b
+
+#include <cmath>
+#include <cstdint>
+
+#include "comm/backend.hpp"
+
+namespace mcm {
+namespace comm {
+
+class GridsimComm : public CommBackend {
+ public:
+  [[nodiscard]] Backend kind() const noexcept override {
+    return Backend::Gridsim;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    BackendCaps caps;
+    caps.deterministic = true;
+    caps.modeled_time = true;
+    caps.measured_time = false;
+    caps.fault_injection = true;
+    return caps;
+  }
+
+  void compute(const ChargeScope& scope, Cost category,
+               double modeled_us) override {
+    scope.ledger.charge_time(category, scope.scale * modeled_us);
+    on_charge(scope, category, "compute", scope.scale * modeled_us);
+  }
+
+  void allgatherv(const ChargeScope& scope, Cost category, int group_size,
+                  int n_groups, std::uint64_t max_group_words) override {
+    if (group_size <= 1) return;  // intra-rank: free
+    const double g = group_size;
+    const double time = scope.scale
+                        * ((g - 1) * scope.alpha_us
+                           + ((g - 1) / g)
+                                 * static_cast<double>(max_group_words)
+                                 * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(
+        category,
+        static_cast<std::uint64_t>(group_size - 1)
+            * static_cast<std::uint64_t>(n_groups),
+        max_group_words * static_cast<std::uint64_t>(n_groups));
+    on_charge(scope, category, "allgatherv", time);
+  }
+
+  void alltoallv(const ChargeScope& scope, Cost category, int group_size,
+                 int n_groups, std::uint64_t max_rank_words,
+                 int latency_rounds) override {
+    if (group_size <= 1) return;
+    const double g = group_size;
+    const double time =
+        scope.scale
+        * (latency_rounds * (g - 1) * scope.alpha_us
+           + static_cast<double>(max_rank_words) * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(
+        category,
+        static_cast<std::uint64_t>(latency_rounds)
+            * static_cast<std::uint64_t>(group_size - 1)
+            * static_cast<std::uint64_t>(group_size)
+            * static_cast<std::uint64_t>(n_groups),
+        max_rank_words * static_cast<std::uint64_t>(group_size)
+            * static_cast<std::uint64_t>(n_groups));
+    on_charge(scope, category, "alltoallv", time);
+  }
+
+  void allreduce(const ChargeScope& scope, Cost category, int group_size,
+                 std::uint64_t words) override {
+    if (group_size <= 1) return;
+    const double rounds =
+        std::ceil(std::log2(static_cast<double>(group_size)));
+    const double time =
+        scope.scale * 2.0 * rounds
+        * (scope.alpha_us + static_cast<double>(words) * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(category,
+                            static_cast<std::uint64_t>(2.0 * rounds)
+                                * static_cast<std::uint64_t>(group_size),
+                            2 * words * static_cast<std::uint64_t>(group_size));
+    on_charge(scope, category, "allreduce", time);
+  }
+
+  void gatherv_root(const ChargeScope& scope, Cost category, int processes,
+                    std::uint64_t total_words) override {
+    if (processes <= 1) return;
+    const double time =
+        scope.scale
+        * ((processes - 1) * scope.alpha_us
+           + static_cast<double>(total_words) * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(category,
+                            static_cast<std::uint64_t>(processes - 1),
+                            total_words);
+    on_charge(scope, category, "gatherv", time);
+  }
+
+  void scatterv_root(const ChargeScope& scope, Cost category, int processes,
+                     std::uint64_t total_words) override {
+    if (processes <= 1) return;
+    const double time =
+        scope.scale
+        * ((processes - 1) * scope.alpha_us
+           + static_cast<double>(total_words) * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(category,
+                            static_cast<std::uint64_t>(processes - 1),
+                            total_words);
+    on_charge(scope, category, "scatterv", time);
+  }
+
+  void rma(const ChargeScope& scope, Cost category, std::uint64_t ops,
+           std::uint64_t words_each, int processes) override {
+    if (processes <= 1) return;  // window is local: free
+    const double time =
+        scope.scale * static_cast<double>(ops)
+        * (scope.alpha_us
+           + static_cast<double>(words_each) * scope.beta_word_us);
+    scope.ledger.charge_time(category, time);
+    scope.ledger.count_comm(category, ops, ops * words_each);
+    on_charge(scope, category, "rma", time);
+  }
+
+ protected:
+  /// Per-charge hook for calibrating backends: `primitive` is a static
+  /// string naming the priced operation, `modeled_us` the scaled charge
+  /// just made. The reference backend records nothing.
+  virtual void on_charge(const ChargeScope& scope, Cost category,
+                         const char* primitive, double modeled_us) {
+    (void)scope;
+    (void)category;
+    (void)primitive;
+    (void)modeled_us;
+  }
+};
+
+}  // namespace comm
+}  // namespace mcm

@@ -1,0 +1,108 @@
+#pragma once
+/// \file threads_backend.hpp
+/// Shared-memory-threads backend: host lanes are real ranks (SimContext
+/// forces one HostEngine lane per simulated process when it builds its own
+/// engine) and measured wall time stands beside modeled alpha-beta time.
+///
+/// Charging inherits GridsimComm verbatim, so matchings, stats and modeled
+/// ledgers are bit-identical to the reference backend. On top of every
+/// charge the backend records a MEASURED.<primitive> trace event whose
+/// host duration is the wall time elapsed since the previous charge
+/// boundary on this context — the host work (data movement + compute)
+/// attributable to the primitive being priced — and whose simulated
+/// duration is the modeled charge itself. Aggregating these events per
+/// primitive (comm/calibration.hpp) turns the two-clock tracer into a
+/// per-primitive modeled-vs-measured calibration table.
+///
+/// The measurement mark is re-based at superstep boundaries and RMA epoch
+/// opens so stepper overhead between primitives never inflates the first
+/// charge of the next superstep. Wall time is sampled through the tracer's
+/// host clock (trace::Tracer::host_now_us), keeping the two-clock
+/// separation rule intact: nothing here feeds wall time into the ledger.
+///
+/// Not supported: fault injection (`caps().fault_injection == false`) —
+/// faultsim's deterministic schedules are defined against the modeled
+/// clock of the reference backend, and SimContext rejects a fault plan at
+/// backend-selection time.
+
+#include <cstring>
+
+#include "comm/gridsim_backend.hpp"
+#include "gridsim/trace.hpp"
+
+namespace mcm {
+namespace comm {
+
+class ThreadsComm : public GridsimComm {
+ public:
+  [[nodiscard]] Backend kind() const noexcept override {
+    return Backend::Threads;
+  }
+  [[nodiscard]] BackendCaps caps() const noexcept override {
+    BackendCaps caps;
+    caps.deterministic = false;  // measured host time varies run to run
+    caps.modeled_time = true;
+    caps.measured_time = true;
+    caps.fault_injection = false;
+    return caps;
+  }
+
+  void superstep(std::uint64_t step) override {
+    (void)step;
+    rebase_mark();
+  }
+
+  void epoch_open() override { rebase_mark(); }
+
+ protected:
+  void on_charge(const ChargeScope& scope, Cost category,
+                 const char* primitive, double modeled_us) override {
+    if (!trace::enabled()) return;
+    const double now = trace::tracer().host_now_us();
+    const double elapsed = marked_ && now > mark_ ? now - mark_ : 0.0;
+    mark_ = now;
+    marked_ = true;
+    trace::TraceEvent event;
+    event.name = measured_name(primitive);
+    event.category = category;
+    event.kind = trace::Kind::Counter;
+    event.host_ts_us = now;
+    event.host_dur_us = elapsed;  // measured: host work since last boundary
+    event.sim_ts_us = scope.ledger.total_us();
+    event.sim_dur_us = modeled_us;  // modeled: the charge just priced
+    event.value = elapsed;
+    trace::tracer().record(event);
+  }
+
+ private:
+  /// TraceEvent names must be static storage: map the primitive names the
+  /// pricing layer passes to their MEASURED.* literals.
+  [[nodiscard]] static const char* measured_name(const char* primitive) {
+    if (std::strcmp(primitive, "compute") == 0) return "MEASURED.compute";
+    if (std::strcmp(primitive, "allgatherv") == 0) {
+      return "MEASURED.allgatherv";
+    }
+    if (std::strcmp(primitive, "alltoallv") == 0) return "MEASURED.alltoallv";
+    if (std::strcmp(primitive, "allreduce") == 0) return "MEASURED.allreduce";
+    if (std::strcmp(primitive, "gatherv") == 0) return "MEASURED.gatherv";
+    if (std::strcmp(primitive, "scatterv") == 0) return "MEASURED.scatterv";
+    if (std::strcmp(primitive, "rma") == 0) return "MEASURED.rma";
+    return "MEASURED.other";
+  }
+
+  void rebase_mark() {
+    if (!trace::enabled()) {
+      marked_ = false;  // stale mark: next charge measures from its boundary
+      return;
+    }
+    mark_ = trace::tracer().host_now_us();
+    marked_ = true;
+  }
+
+  // Coordinator-only state (hooks never run inside per-rank loop bodies).
+  double mark_ = 0;
+  bool marked_ = false;
+};
+
+}  // namespace comm
+}  // namespace mcm

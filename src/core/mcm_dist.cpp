@@ -105,7 +105,6 @@ class McmStepperImpl {
     if (resuming_) restore(*options_.resume);
     options_.resume = nullptr;  // consumed; the pointee may not outlive us
 
-    faults_ = ctx_.faults();
     run_span_.open(ctx_, "MCM-DIST", Cost::Other, trace::Kind::Region);
   }
 
@@ -152,7 +151,7 @@ class McmStepperImpl {
       trace::counter(ctx_, "checkpoint_bytes",
                      static_cast<double>(ck.header.payload_bytes));
     }
-    if (faults_ != nullptr) faults_->begin_superstep(global_iter_);
+    ctx_.begin_superstep(global_iter_);
     ++global_iter_;
 
     trace::Span iter_span(ctx_, "MCM-DIST.bfs-iteration", Cost::Other,
@@ -267,7 +266,6 @@ class McmStepperImpl {
   bool resuming_ = false;
   Index frontier_nnz_ = 0;
 
-  FaultPlan* faults_ = nullptr;
   trace::Span run_span_;
   trace::Span phase_span_;
   bool at_phase_start_ = true;

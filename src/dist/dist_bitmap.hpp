@@ -28,9 +28,7 @@
 
 #include "algebra/spmv.hpp"
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
-#include "gridsim/mcmcheck.hpp"
-#include "gridsim/trace.hpp"
+#include "comm/comm.hpp"
 
 namespace mcm {
 

@@ -31,7 +31,7 @@
 #include "algebra/vertex.hpp"
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 
 namespace mcm {
 

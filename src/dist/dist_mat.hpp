@@ -9,8 +9,7 @@
 
 #include <vector>
 
-#include "gridsim/context.hpp"
-#include "gridsim/proc_grid.hpp"
+#include "comm/comm.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/dcsc.hpp"
 #include "util/types.hpp"

@@ -30,7 +30,7 @@
 
 #include "algebra/primitives.hpp"
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 #include "util/radix.hpp"
 #include "util/types.hpp"
 

@@ -31,7 +31,7 @@
 #include "dist/dist_bitmap.hpp"
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 #include "util/radix.hpp"
 
 namespace mcm {

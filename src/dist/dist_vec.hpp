@@ -24,8 +24,7 @@
 #include <vector>
 
 #include "algebra/spvec.hpp"
-#include "gridsim/context.hpp"
-#include "gridsim/proc_grid.hpp"
+#include "comm/comm.hpp"
 #include "util/types.hpp"
 
 namespace mcm {

@@ -12,7 +12,7 @@
 
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 #include "matrix/coo.hpp"
 
 namespace mcm {

@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "dist/dist_vec.hpp"
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/types.hpp"
@@ -51,10 +51,20 @@ class RmaWindow {
   /// The category is only used to label the epoch's trace span; the ledger
   /// charge happens at flush() with flush's own category (callers pass the
   /// same one).
-  void open_epoch(Cost category = Cost::Other) {
+  void open_epoch(Cost category = Cost::Other) MCM_EXCLUDES(epoch_mutex_) {
     if (epoch_open_.load(std::memory_order_relaxed)) {
       throw std::logic_error("RmaWindow: epoch already open");
     }
+    // Counters may be non-zero here: ops issued outside an epoch are
+    // tolerated (reported, not fatal) when the checker is off, and a
+    // SimFault can unwind past flush(). Zero them so stray counts never
+    // inflate this epoch's flush charge.
+    for (auto& n : ops_) n.store(0, std::memory_order_relaxed);
+    if (check::kCompiledIn) {
+      const util::MutexLock lock(epoch_mutex_);
+      epoch_accesses_.clear();
+    }
+    ctx_->comm_backend().epoch_open();
     epoch_span_.open(*ctx_, "RMA.epoch", category, trace::Kind::Phase);
     epoch_open_.store(true, std::memory_order_relaxed);
   }
@@ -94,8 +104,13 @@ class RmaWindow {
 
   /// Completes and closes the epoch: charges max-over-origins op time to
   /// `category` and resets the counters. Word size is sizeof(T) rounded up
-  /// to words.
+  /// to words. Throws std::logic_error when no epoch is open — a flush
+  /// outside an epoch would silently charge whatever stray counts
+  /// accumulated since the last one.
   void flush(Cost category) MCM_EXCLUDES(epoch_mutex_) {
+    if (!epoch_open_.load(std::memory_order_relaxed)) {
+      throw std::logic_error("RmaWindow: flush() with no open epoch");
+    }
     std::uint64_t max_ops = 0;
     std::uint64_t total_ops = 0;
     for (const auto& n : ops_) {

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "comm/backends.hpp"
 
 #if defined(MCM_HAVE_OPENMP)
 #include <omp.h>
@@ -17,6 +20,13 @@ bool is_perfect_square(int n) {
   if (n < 1) return false;
   const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
   return side * side == n;
+}
+
+/// Lane count for a context-private engine: the threads backend makes host
+/// lanes real ranks, everything else honors the configured host_threads.
+int engine_lanes(const SimConfig& config) {
+  return config.backend == comm::Backend::Threads ? config.processes()
+                                                  : config.host_threads;
 }
 
 }  // namespace
@@ -56,7 +66,7 @@ SimConfig SimConfig::auto_config(int cores, int preferred_threads,
 
 SimContext::SimContext(const SimConfig& config)
     : SimContext(config, std::make_shared<HostEngine>(
-                             config.host_threads, config.host_deterministic)) {}
+                             engine_lanes(config), config.host_deterministic)) {}
 
 SimContext::SimContext(const SimConfig& config,
                        std::shared_ptr<HostEngine> engine)
@@ -66,6 +76,7 @@ SimContext::SimContext(const SimConfig& config,
                     / config.machine.thread_speedup(config.threads_per_process)),
       elem_time_us_(config.machine.elem_op_us
                     / config.machine.thread_speedup(config.threads_per_process)),
+      comm_(comm::make_backend(config.backend)),
       host_(std::move(engine)) {
   if (config.cores % config.threads_per_process != 0) {
     throw std::invalid_argument("SimContext: threads_per_process must divide cores");
@@ -75,45 +86,43 @@ SimContext::SimContext(const SimConfig& config,
   }
 }
 
+void SimContext::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  if (plan != nullptr && !comm_->caps().fault_injection) {
+    throw std::invalid_argument(
+        std::string("fault injection requires a backend that supports it; "
+                    "the '")
+        + comm::backend_name(comm_->kind())
+        + "' backend does not (use --backend gridsim)");
+  }
+  faults_ = std::move(plan);
+}
+
+void SimContext::begin_superstep(std::uint64_t step) {
+  comm_->superstep(step);
+  if (faults_ != nullptr) faults_->begin_superstep(step);
+}
+
 void SimContext::charge_edge_ops(Cost category, std::uint64_t max_rank_ops) {
-  ledger_.charge_time(category, fault_scale() * static_cast<double>(max_rank_ops)
-                                    * edge_time_us_);
+  comm_->compute(charge_scope(), category,
+                 static_cast<double>(max_rank_ops) * edge_time_us_);
 }
 
 void SimContext::charge_elem_ops(Cost category, std::uint64_t max_rank_ops) {
-  ledger_.charge_time(category, fault_scale() * static_cast<double>(max_rank_ops)
-                                    * elem_time_us_);
+  comm_->compute(charge_scope(), category,
+                 static_cast<double>(max_rank_ops) * elem_time_us_);
 }
 
 void SimContext::charge_allgatherv(Cost category, int group_size, int n_groups,
                                    std::uint64_t max_group_words) {
-  if (group_size <= 1) return;  // intra-rank: free
-  const double g = group_size;
-  const double time = (g - 1) * alpha()
-                      + ((g - 1) / g) * static_cast<double>(max_group_words)
-                            * beta_word();
-  ledger_.charge_time(category, fault_scale() * time);
-  ledger_.count_comm(category,
-                     static_cast<std::uint64_t>(group_size - 1)
-                         * static_cast<std::uint64_t>(n_groups),
-                     max_group_words * static_cast<std::uint64_t>(n_groups));
+  comm_->allgatherv(charge_scope(), category, group_size, n_groups,
+                    max_group_words);
 }
 
 void SimContext::charge_alltoallv(Cost category, int group_size, int n_groups,
                                   std::uint64_t max_rank_words,
                                   int latency_rounds) {
-  if (group_size <= 1) return;
-  const double g = group_size;
-  const double time = latency_rounds * (g - 1) * alpha()
-                      + static_cast<double>(max_rank_words) * beta_word();
-  ledger_.charge_time(category, fault_scale() * time);
-  ledger_.count_comm(category,
-                     static_cast<std::uint64_t>(latency_rounds)
-                         * static_cast<std::uint64_t>(group_size - 1)
-                         * static_cast<std::uint64_t>(group_size)
-                         * static_cast<std::uint64_t>(n_groups),
-                     max_rank_words * static_cast<std::uint64_t>(group_size)
-                         * static_cast<std::uint64_t>(n_groups));
+  comm_->alltoallv(charge_scope(), category, group_size, n_groups,
+                   max_rank_words, latency_rounds);
 }
 
 void SimContext::charge_bitmap_delta(Cost category, int group_size,
@@ -127,40 +136,22 @@ void SimContext::charge_bitmap_delta(Cost category, int group_size,
 
 void SimContext::charge_allreduce(Cost category, int group_size,
                                   std::uint64_t words) {
-  if (group_size <= 1) return;
-  const double rounds = std::ceil(std::log2(static_cast<double>(group_size)));
-  const double time =
-      2.0 * rounds * (alpha() + static_cast<double>(words) * beta_word());
-  ledger_.charge_time(category, fault_scale() * time);
-  ledger_.count_comm(category,
-                     static_cast<std::uint64_t>(2.0 * rounds)
-                         * static_cast<std::uint64_t>(group_size),
-                     2 * words * static_cast<std::uint64_t>(group_size));
+  comm_->allreduce(charge_scope(), category, group_size, words);
 }
 
 void SimContext::charge_gatherv_root(Cost category, int processes,
                                      std::uint64_t total_words) {
-  if (processes <= 1) return;
-  const double time = (processes - 1) * alpha()
-                      + static_cast<double>(total_words) * beta_word();
-  ledger_.charge_time(category, fault_scale() * time);
-  ledger_.count_comm(category, static_cast<std::uint64_t>(processes - 1),
-                     total_words);
+  comm_->gatherv_root(charge_scope(), category, processes, total_words);
 }
 
 void SimContext::charge_scatterv_root(Cost category, int processes,
                                       std::uint64_t total_words) {
-  charge_gatherv_root(category, processes, total_words);
+  comm_->scatterv_root(charge_scope(), category, processes, total_words);
 }
 
 void SimContext::charge_rma(Cost category, std::uint64_t ops,
                             std::uint64_t words_each) {
-  if (processes() <= 1) return;  // window is local: free
-  const double time =
-      static_cast<double>(ops)
-      * (alpha() + static_cast<double>(words_each) * beta_word());
-  ledger_.charge_time(category, fault_scale() * time);
-  ledger_.count_comm(category, ops, ops * words_each);
+  comm_->rma(charge_scope(), category, ops, words_each, processes());
 }
 
 }  // namespace mcm

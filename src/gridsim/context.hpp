@@ -7,9 +7,12 @@
 ///
 /// Cost-charging API: distributed primitives in `dist/` perform their data
 /// movement between per-rank blocks directly (the simulator shares one
-/// address space), then call the charge_* functions below, which price the
+/// address space), then call the charge_* functions below. The context
+/// delegates each charge to its comm backend (comm/backend.hpp, selected
+/// by SimConfig::backend), whose reference implementation prices the
 /// movement with the standard collective cost formulas in the alpha-beta
-/// model — the same formulas the paper's own analysis (§IV-B) uses:
+/// model (comm/gridsim_backend.hpp) — the same formulas the paper's own
+/// analysis (§IV-B) uses:
 ///
 ///   ring allgatherv, g ranks, W total words:   (g-1) a + ((g-1)/g) W b
 ///   pairwise alltoallv, g ranks:               (g-1) a + W_maxrank b
@@ -24,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "comm/backend.hpp"
 #include "gridsim/cost_ledger.hpp"
 #include "gridsim/faultsim.hpp"
 #include "gridsim/host_engine.hpp"
@@ -39,11 +43,20 @@ struct SimConfig {
   int cores = 24;
   int threads_per_process = 12;
 
+  /// Communication substrate (comm/backend.hpp): gridsim is the
+  /// deterministic modeled-time reference; threads makes host lanes real
+  /// ranks and records measured wall time beside every modeled charge.
+  /// Modeled charges and results are identical across backends; only
+  /// lane-forcing, measured-time trace events and fault support differ.
+  comm::Backend backend = comm::Backend::Gridsim;
+
   /// Host execution lanes for the simulator's per-rank loops (NOT a model
   /// parameter: simulated time and results are identical for every value;
   /// only host wall-clock changes). Defaults from the MCM_HOST_THREADS
   /// environment variable, the OpenMP thread count when built with
-  /// -DMCM_OPENMP=ON, else 1.
+  /// -DMCM_OPENMP=ON, else 1. Under the threads backend a context that
+  /// builds its own engine ignores this and forces one lane per simulated
+  /// process, so lanes are real ranks and measured time is per-rank time.
   int host_threads = default_host_threads();
   /// Forces serial, in-order host execution regardless of host_threads; the
   /// equivalence tests diff threaded runs against this mode.
@@ -141,10 +154,25 @@ class SimContext {
   /// scaled by the plan's time_scale() — under the bulk-synchronous
   /// max-over-ranks rule the slow rank sets the pace of each charge, a
   /// deliberately pessimistic critical-path assumption (DESIGN.md §5.5).
-  void set_fault_plan(std::shared_ptr<FaultPlan> plan) {
-    faults_ = std::move(plan);
-  }
+  /// Fault injection is gridsim-only: a non-null plan is rejected with
+  /// std::invalid_argument when the comm backend lacks
+  /// caps().fault_injection (backend-selection time, before any superstep).
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan);
   [[nodiscard]] FaultPlan* faults() const { return faults_.get(); }
+
+  /// The communication substrate this context prices primitives against
+  /// (comm/backend.hpp). Shared by every copy of the context, like the
+  /// host engine and the fault plan.
+  [[nodiscard]] comm::CommBackend& comm_backend() const { return *comm_; }
+  [[nodiscard]] comm::Backend backend() const noexcept {
+    return comm_->kind();
+  }
+
+  /// BSP superstep boundary: notifies the comm backend (the threads
+  /// backend re-bases its measurement mark here) and advances the fault
+  /// plan's superstep clock — which may throw a scheduled crash. Called by
+  /// the MCM stepper once per BFS iteration.
+  void begin_superstep(std::uint64_t step);
 
   [[nodiscard]] double alpha() const { return config_.machine.alpha_us; }
   [[nodiscard]] double beta_word() const { return config_.machine.beta_us_per_word; }
@@ -188,12 +216,18 @@ class SimContext {
   CostLedger ledger_;
   double edge_time_us_;
   double elem_time_us_;
+  std::shared_ptr<comm::CommBackend> comm_;
   std::shared_ptr<HostEngine> host_;
   std::shared_ptr<FaultPlan> faults_;
 
   /// Straggler slowdown applied to every charge (1.0 without a plan).
   [[nodiscard]] double fault_scale() const {
     return faults_ == nullptr ? 1.0 : faults_->time_scale();
+  }
+
+  /// The pricing view the comm backend charges through.
+  [[nodiscard]] comm::ChargeScope charge_scope() {
+    return comm::ChargeScope{ledger_, alpha(), beta_word(), fault_scale()};
   }
 };
 

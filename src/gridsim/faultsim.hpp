@@ -231,9 +231,17 @@ auto with_transient_retry(Ctx& ctx, Cost category, CollectiveOp op,
       // latency plus the policy backoff is what the retry re-executes.
       const double aborted_us =
           static_cast<double>(ctx.grid().pr() - 1) * ctx.alpha();
-      const double charge = aborted_us + policy.backoff_for(attempt);
+      // Like every other charge, the backoff runs on the straggler-scaled
+      // clock while a slowdown window is active.
+      const double charge =
+          plan->time_scale() * (aborted_us + policy.backoff_for(attempt));
+      // Primitive kind, not Region: when the abort happens at top level the
+      // span is counted and the charge lands in its category's breakdown
+      // row; nested inside an open primitive span it is un-counted, so the
+      // charge is attributed once either way and the per-category simulated
+      // column still reconciles with the ledger total.
       trace::Span retry_span(ctx, "FAULT.retry", category,
-                             trace::Kind::Region);
+                             trace::Kind::Primitive);
       ctx.ledger().charge_time(category, charge);
       retry_span.close();
       plan->note_retry(charge);

@@ -1,0 +1,183 @@
+/// Backend-equivalence property suite: the threads backend inherits the
+/// gridsim pricing formulas verbatim, so matchings, per-query stats and the
+/// per-category cost ledger must be bit-identical across backends for every
+/// configuration — the only observable differences are lane forcing and the
+/// MEASURED.* calibration events recorded under tracing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/calibration.hpp"
+#include "comm/comm.hpp"
+#include "core/driver.hpp"
+#include "gen/rmat.hpp"
+#include "service/query_engine.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+CooMatrix test_graph(int scale = 7) {
+  Rng rng(1);
+  RmatParams params = RmatParams::g500(scale);
+  params.edge_factor = 8.0;
+  return rmat(params, rng);
+}
+
+PipelineResult run(const CooMatrix& coo, comm::Backend backend, int processes,
+                   bool mask, SemiringKind semiring) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.backend = backend;
+  PipelineOptions options;
+  options.mcm.use_mask = mask;
+  options.mcm.semiring = semiring;
+  options.mcm.seed = 3;  // exercised by the Rand* semirings
+  return run_pipeline(config, coo, options);
+}
+
+void expect_ledger_identical(const CostLedger& a, const CostLedger& b) {
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const Cost cat = static_cast<Cost>(c);
+    // Exact, not near: both backends must issue the very same charges.
+    EXPECT_EQ(a.time_us(cat), b.time_us(cat)) << cost_name(cat);
+    EXPECT_EQ(a.messages(cat), b.messages(cat)) << cost_name(cat);
+    EXPECT_EQ(a.words(cat), b.words(cat)) << cost_name(cat);
+  }
+}
+
+const char* semiring_label(SemiringKind kind) {
+  switch (kind) {
+    case SemiringKind::MinParent: return "min-parent";
+    case SemiringKind::MaxParent: return "max-parent";
+    case SemiringKind::RandParent: return "rand-parent";
+    case SemiringKind::RandRoot: return "rand-root";
+  }
+  return "?";
+}
+
+TEST(BackendEquiv, MatchingStatsAndLedgerIdenticalAcrossTheMatrix) {
+  const CooMatrix coo = test_graph();
+  for (const int processes : {1, 4, 16}) {
+    for (const bool mask : {true, false}) {
+      for (const SemiringKind semiring :
+           {SemiringKind::MinParent, SemiringKind::MaxParent,
+            SemiringKind::RandParent, SemiringKind::RandRoot}) {
+        SCOPED_TRACE("p=" + std::to_string(processes)
+                     + " mask=" + std::to_string(mask) + " semiring="
+                     + semiring_label(semiring));
+        const PipelineResult gridsim =
+            run(coo, comm::Backend::Gridsim, processes, mask, semiring);
+        const PipelineResult threads =
+            run(coo, comm::Backend::Threads, processes, mask, semiring);
+
+        EXPECT_EQ(gridsim.matching.mate_r, threads.matching.mate_r);
+        EXPECT_EQ(gridsim.matching.mate_c, threads.matching.mate_c);
+        expect_ledger_identical(gridsim.ledger, threads.ledger);
+        EXPECT_EQ(gridsim.init_seconds, threads.init_seconds);
+        EXPECT_EQ(gridsim.mcm_seconds, threads.mcm_seconds);
+        EXPECT_EQ(gridsim.init_stats.cardinality,
+                  threads.init_stats.cardinality);
+        EXPECT_EQ(gridsim.mcm_stats.phases, threads.mcm_stats.phases);
+        EXPECT_EQ(gridsim.mcm_stats.iterations, threads.mcm_stats.iterations);
+        EXPECT_EQ(gridsim.mcm_stats.augmentations,
+                  threads.mcm_stats.augmentations);
+        EXPECT_EQ(gridsim.mcm_stats.final_cardinality,
+                  threads.mcm_stats.final_cardinality);
+      }
+    }
+  }
+}
+
+TEST(BackendEquiv, ServicePerQueryResultsIdenticalAcrossBackends) {
+  // The service path threads the backend through QuerySpec::sim: every
+  // outcome (matching, ledger, superstep count) must match the gridsim run
+  // query for query.
+  const auto coo = std::make_shared<const CooMatrix>(test_graph(6));
+  const std::uint64_t fp = fingerprint_matrix(*coo);
+  const auto outcomes_for = [&](comm::Backend backend) {
+    ServiceConfig service;
+    service.workers = 0;  // deterministic pump mode
+    service.cache_capacity = 0;  // every query computes (no cross-backend hits)
+    QueryEngine engine(service);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      QuerySpec spec;
+      spec.graph = coo;
+      spec.sim.cores = 16;
+      spec.sim.threads_per_process = 1;
+      spec.sim.backend = backend;
+      spec.pipeline.mcm.seed = seed;
+      spec.matrix_fingerprint = fp;
+      (void)engine.submit(spec);
+    }
+    return engine.drain();
+  };
+  const std::vector<QueryOutcome> gridsim =
+      outcomes_for(comm::Backend::Gridsim);
+  const std::vector<QueryOutcome> threads =
+      outcomes_for(comm::Backend::Threads);
+  ASSERT_EQ(gridsim.size(), threads.size());
+  for (std::size_t i = 0; i < gridsim.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    ASSERT_TRUE(gridsim[i].ok()) << gridsim[i].error;
+    ASSERT_TRUE(threads[i].ok()) << threads[i].error;
+    EXPECT_EQ(gridsim[i].result.matching.mate_r,
+              threads[i].result.matching.mate_r);
+    EXPECT_EQ(gridsim[i].result.matching.mate_c,
+              threads[i].result.matching.mate_c);
+    expect_ledger_identical(gridsim[i].result.ledger,
+                            threads[i].result.ledger);
+    EXPECT_EQ(gridsim[i].supersteps, threads[i].supersteps);
+    EXPECT_EQ(gridsim[i].cache_hit, threads[i].cache_hit);
+  }
+}
+
+// Trace sanity: measured spans exist only under the threads backend, and a
+// threads pipeline run yields a calibration table covering the pipeline's
+// comm primitives.
+class BackendEquivTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::kCompiledIn) {
+      GTEST_SKIP() << "mcmtrace compiled out (MCM_TRACE=OFF)";
+    }
+    trace::set_mode(TraceMode::On);
+    trace::tracer().clear();
+  }
+  void TearDown() override {
+    trace::set_mode(TraceMode::Off);
+    trace::tracer().clear();
+  }
+
+  static std::size_t measured_count() {
+    std::size_t n = 0;
+    for (const trace::TraceEvent& e : trace::tracer().events()) {
+      if (comm::is_measured_event(e)) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(BackendEquivTraceTest, MeasuredSpansExistOnlyUnderThreads) {
+  const CooMatrix coo = test_graph(6);
+  (void)run(coo, comm::Backend::Gridsim, 16, true, SemiringKind::MinParent);
+  EXPECT_EQ(measured_count(), 0u);
+
+  trace::tracer().clear();
+  (void)run(coo, comm::Backend::Threads, 16, true, SemiringKind::MinParent);
+  EXPECT_GT(measured_count(), 0u);
+  const std::string table = comm::calibration_table(trace::tracer().events());
+  ASSERT_FALSE(table.empty());
+  // The pipeline exercises at least these substrate primitives.
+  for (const char* primitive : {"allgatherv", "alltoallv", "allreduce"}) {
+    EXPECT_NE(table.find(primitive), std::string::npos) << primitive;
+  }
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,199 @@
+/// Comm-substrate unit tests (comm/backend.hpp): backend naming and
+/// selection, the per-backend capability matrix, fault-plan rejection at
+/// backend-selection time, lanes-as-ranks forcing under the threads
+/// backend, and the MEASURED.* trace-event contract of the calibration
+/// layer (comm/calibration.hpp).
+
+#include "comm/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/calibration.hpp"
+#include "core/driver.hpp"
+#include "gen/rmat.hpp"
+#include "gridsim/faultsim.hpp"
+#include "util/rng.hpp"
+
+namespace mcm {
+namespace {
+
+SimContext make_ctx(int processes, comm::Backend backend,
+                    int host_threads = 1) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.host_threads = host_threads;
+  config.backend = backend;
+  return SimContext(config);
+}
+
+TEST(CommBackend, NamesRoundTripAndGarbageIsRejected) {
+  EXPECT_STREQ(comm::backend_name(comm::Backend::Gridsim), "gridsim");
+  EXPECT_STREQ(comm::backend_name(comm::Backend::Threads), "threads");
+  EXPECT_EQ(comm::backend_from_string("gridsim"), comm::Backend::Gridsim);
+  EXPECT_EQ(comm::backend_from_string("threads"), comm::Backend::Threads);
+  EXPECT_THROW((void)comm::backend_from_string("mpi"), std::invalid_argument);
+  EXPECT_THROW((void)comm::backend_from_string(""), std::invalid_argument);
+}
+
+TEST(CommBackend, CapsMatchTheDocumentedMatrix) {
+  const SimContext gridsim = make_ctx(4, comm::Backend::Gridsim);
+  EXPECT_EQ(gridsim.backend(), comm::Backend::Gridsim);
+  EXPECT_TRUE(gridsim.comm_backend().caps().deterministic);
+  EXPECT_TRUE(gridsim.comm_backend().caps().modeled_time);
+  EXPECT_FALSE(gridsim.comm_backend().caps().measured_time);
+  EXPECT_TRUE(gridsim.comm_backend().caps().fault_injection);
+
+  const SimContext threads = make_ctx(4, comm::Backend::Threads);
+  EXPECT_EQ(threads.backend(), comm::Backend::Threads);
+  EXPECT_FALSE(threads.comm_backend().caps().deterministic);
+  EXPECT_TRUE(threads.comm_backend().caps().modeled_time);
+  EXPECT_TRUE(threads.comm_backend().caps().measured_time);
+  EXPECT_FALSE(threads.comm_backend().caps().fault_injection);
+}
+
+TEST(CommBackend, FaultPlansAreRejectedAtBackendSelectionTime) {
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("crash:step=3", /*seed=*/1));
+  SimContext gridsim = make_ctx(4, comm::Backend::Gridsim);
+  EXPECT_NO_THROW(gridsim.set_fault_plan(plan));
+
+  SimContext threads = make_ctx(4, comm::Backend::Threads);
+  EXPECT_THROW(threads.set_fault_plan(plan), std::invalid_argument);
+  EXPECT_EQ(threads.faults(), nullptr);
+  // Clearing a plan is always legal, whatever the backend.
+  EXPECT_NO_THROW(threads.set_fault_plan(nullptr));
+}
+
+TEST(CommBackend, PipelineRefusesFaultsUnderThreads) {
+  Rng rng(1);
+  RmatParams params = RmatParams::g500(5);
+  params.edge_factor = 8.0;
+  const CooMatrix coo = rmat(params, rng);
+  SimConfig config;
+  config.cores = 4;
+  config.threads_per_process = 1;
+  config.backend = comm::Backend::Threads;
+  PipelineOptions options;
+  options.faults = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=1:count=1", 1));
+  EXPECT_THROW((void)run_pipeline(config, coo, options),
+               std::invalid_argument);
+}
+
+TEST(CommBackend, ThreadsForcesOneHostLanePerRank) {
+  // A context-private engine under the threads backend makes lanes real
+  // ranks, ignoring host_threads; gridsim honors host_threads as usual.
+  const SimContext threads =
+      make_ctx(/*processes=*/16, comm::Backend::Threads, /*host_threads=*/3);
+  EXPECT_EQ(threads.host().lanes(), 16);
+  const SimContext gridsim =
+      make_ctx(/*processes=*/16, comm::Backend::Gridsim, /*host_threads=*/3);
+  EXPECT_EQ(gridsim.host().lanes(), 3);
+  // An externally supplied engine is used as-is (the service binds many
+  // contexts to a few worker engines; lane forcing must not fight that).
+  SimConfig config;
+  config.cores = 16;
+  config.threads_per_process = 1;
+  config.backend = comm::Backend::Threads;
+  const SimContext external(config, std::make_shared<HostEngine>(2));
+  EXPECT_EQ(external.host().lanes(), 2);
+}
+
+class CommBackendTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::kCompiledIn) {
+      GTEST_SKIP() << "mcmtrace compiled out (MCM_TRACE=OFF)";
+    }
+    trace::set_mode(TraceMode::On);
+    trace::tracer().clear();
+  }
+  void TearDown() override {
+    trace::set_mode(TraceMode::Off);
+    trace::tracer().clear();
+  }
+
+  static std::vector<trace::TraceEvent> measured_events() {
+    std::vector<trace::TraceEvent> measured;
+    for (const trace::TraceEvent& e : trace::tracer().events()) {
+      if (comm::is_measured_event(e)) measured.push_back(e);
+    }
+    return measured;
+  }
+};
+
+TEST_F(CommBackendTraceTest, GridsimRecordsNoMeasuredEvents) {
+  SimContext ctx = make_ctx(4, comm::Backend::Gridsim);
+  ctx.charge_allgatherv(Cost::SpMV, 4, 1, 100);
+  ctx.charge_rma(Cost::Augment, 5, 1);
+  EXPECT_TRUE(measured_events().empty());
+  EXPECT_EQ(comm::calibration_table(trace::tracer().events()), "");
+}
+
+TEST_F(CommBackendTraceTest, ThreadsPairsEveryChargeWithAMeasuredEvent) {
+  SimContext ctx = make_ctx(4, comm::Backend::Threads);
+  ctx.begin_superstep(0);  // re-bases the measurement mark
+  ctx.charge_allgatherv(Cost::SpMV, 4, 1, 100);
+  const double modeled = ctx.ledger().time_us(Cost::SpMV);
+  ctx.charge_alltoallv(Cost::Invert, 4, 1, 50);
+  const std::vector<trace::TraceEvent> measured = measured_events();
+  ASSERT_EQ(measured.size(), 2u);
+  EXPECT_STREQ(measured[0].name, "MEASURED.allgatherv");
+  EXPECT_EQ(measured[0].category, Cost::SpMV);
+  // The event embeds the modeled charge it is paired with...
+  EXPECT_NEAR(measured[0].sim_dur_us, modeled, 1e-9);
+  // ...and its host duration is the wall time since the previous boundary.
+  EXPECT_GE(measured[0].host_dur_us, 0.0);
+  EXPECT_STREQ(measured[1].name, "MEASURED.alltoallv");
+  // The calibration table aggregates them per primitive.
+  const std::string table = comm::calibration_table(trace::tracer().events());
+  EXPECT_NE(table.find("allgatherv"), std::string::npos);
+  EXPECT_NE(table.find("alltoallv"), std::string::npos);
+  EXPECT_NE(table.find("modeled ms"), std::string::npos);
+}
+
+TEST_F(CommBackendTraceTest, ThreadsRecordsNothingWithTracingOff) {
+  trace::set_mode(TraceMode::Off);
+  SimContext ctx = make_ctx(4, comm::Backend::Threads);
+  ctx.begin_superstep(0);
+  ctx.charge_allgatherv(Cost::SpMV, 4, 1, 100);
+  EXPECT_EQ(trace::tracer().event_count(), 0u);
+  // The modeled charge itself is backend-independent and always lands.
+  EXPECT_GT(ctx.ledger().time_us(Cost::SpMV), 0.0);
+}
+
+TEST(CommBackend, CalibrationRowsAggregateByPrimitive) {
+  std::vector<trace::TraceEvent> events;
+  trace::TraceEvent e;
+  e.kind = trace::Kind::Counter;
+  e.name = "MEASURED.rma";
+  e.sim_dur_us = 2.0;
+  e.host_dur_us = 6.0;
+  events.push_back(e);
+  events.push_back(e);
+  e.name = "MEASURED.compute";
+  e.sim_dur_us = 1.0;
+  e.host_dur_us = 0.5;
+  events.push_back(e);
+  e.kind = trace::Kind::Primitive;  // span events are never calibration rows
+  e.name = "MEASURED.compute";
+  events.push_back(e);
+  const std::vector<comm::CalibrationRow> rows =
+      comm::calibration_rows(events);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_STREQ(rows[0].primitive, "MEASURED.rma");
+  EXPECT_EQ(rows[0].samples, 2u);
+  EXPECT_NEAR(rows[0].modeled_us, 4.0, 1e-12);
+  EXPECT_NEAR(rows[0].measured_us, 12.0, 1e-12);
+  EXPECT_STREQ(rows[1].primitive, "MEASURED.compute");
+  EXPECT_EQ(rows[1].samples, 1u);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -383,6 +383,53 @@ TEST(CheckpointResume, CrashPlusResumeIsBitIdenticalAcrossTheMatrix) {
   }
 }
 
+/// Edge case: a crash at the very last superstep boundary — the one whose
+/// frontier probe comes up empty and ends the phase. The snapshot written
+/// just before that crash carries an already-empty (or phase-final)
+/// frontier; resume must reconstruct the visited bitmap from the parent
+/// vector, re-probe, and terminate cleanly instead of re-entering the BFS
+/// loop — and still finish bit-identical to the uninterrupted run.
+TEST(CheckpointResume, ResumeAtFinalEmptyFrontierBoundaryTerminates) {
+  const CooMatrix coo = test_graph();
+  for (const bool mask : {true, false}) {
+    SCOPED_TRACE("mask=" + std::to_string(mask));
+    RunSpec spec;
+    spec.mask = mask;
+    spec.every = 1;  // snapshot every boundary, including the last
+    const PipelineResult reference = run(coo, spec);
+
+    // Discover the last boundary an uninterrupted run checkpoints at.
+    RunSpec probe = spec;
+    probe.ckpt_dir = fresh_dir(std::string("final_probe_") +
+                               (mask ? "mask" : "nomask"));
+    (void)run(coo, probe);
+    const std::uint64_t k_last =
+        load_checkpoint(find_latest_checkpoint(probe.ckpt_dir))
+            .header.iteration;
+
+    // Crash exactly there, then resume from the snapshot it left behind.
+    RunSpec faulty = spec;
+    faulty.ckpt_dir = fresh_dir(std::string("final_crash_") +
+                                (mask ? "mask" : "nomask"));
+    run_expecting_crash(coo, faulty, k_last);
+
+    RunSpec resumed_spec = faulty;
+    resumed_spec.faults = nullptr;
+    resumed_spec.resume = true;
+    const PipelineResult resumed = run(coo, resumed_spec);
+
+    EXPECT_EQ(resumed.resumed_from,
+              faulty.ckpt_dir + "/" + checkpoint_file_name(k_last));
+    EXPECT_EQ(reference.matching.mate_r, resumed.matching.mate_r);
+    EXPECT_EQ(reference.matching.mate_c, resumed.matching.mate_c);
+    expect_ledger_identical(reference.ledger, resumed.ledger);
+    EXPECT_EQ(reference.mcm_stats.final_cardinality,
+              resumed.mcm_stats.final_cardinality);
+    EXPECT_EQ(reference.mcm_stats.phases, resumed.mcm_stats.phases);
+    EXPECT_EQ(reference.mcm_stats.iterations, resumed.mcm_stats.iterations);
+  }
+}
+
 /// mcmcheck guards the restore path: state that no longer conserves its
 /// invariants (mate pairing, frontier count) is rejected before the loop
 /// runs on it.

@@ -90,5 +90,65 @@ TEST(Rma, BadOriginThrows) {
   EXPECT_THROW(win.put(4, 0, 1), std::out_of_range);
 }
 
+TEST(Rma, FlushWithoutEpochThrows) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  EXPECT_THROW(win.flush(Cost::Augment), std::logic_error);
+  // And after a proper epoch closes, a second flush is again rejected.
+  win.open_epoch();
+  (void)win.get(0, 1);
+  win.flush(Cost::Augment);
+  EXPECT_THROW(win.flush(Cost::Augment), std::logic_error);
+}
+
+TEST(Rma, ZeroOpEpochChargesNothing) {
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  win.open_epoch();
+  win.flush(Cost::Augment);
+  EXPECT_DOUBLE_EQ(ctx.ledger().time_us(Cost::Augment), 0.0);
+  EXPECT_EQ(ctx.ledger().messages(Cost::Augment), 0u);
+}
+
+TEST(Rma, TwoIdenticalEpochsChargeIdentically) {
+  // Regression: per-origin counters and conflict state must reset between
+  // epochs — a counter carried over from epoch 1 would inflate epoch 2.
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  const auto run_epoch = [&] {
+    win.open_epoch(Cost::Augment);
+    for (int i = 0; i < 3; ++i) (void)win.get(0, i);
+    win.put(1, 5, 7);
+    win.flush(Cost::Augment);
+  };
+  run_epoch();
+  const double first_us = ctx.ledger().time_us(Cost::Augment);
+  const std::uint64_t first_msgs = ctx.ledger().messages(Cost::Augment);
+  run_epoch();
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), 2 * first_us, 1e-9);
+  EXPECT_EQ(ctx.ledger().messages(Cost::Augment), 2 * first_msgs);
+}
+
+TEST(Rma, StrayOpsBeforeOpenDoNotInflateTheEpoch) {
+  // Ops outside an epoch are a discipline violation (mcmcheck reports them
+  // in checked builds) but tolerated when the checker is off; their counts
+  // must not leak into the next epoch's flush charge.
+  SimContext ctx = make_ctx(4);
+  DistDenseVec<Index> v(ctx, VSpace::Row, 10, kNull);
+  RmaWindow<Index> win(ctx, v);
+  for (int i = 0; i < 8; ++i) (void)win.get(0, i % 10);
+  EXPECT_EQ(win.ops_at(0), 8u);
+  win.open_epoch();
+  EXPECT_EQ(win.ops_at(0), 0u);  // open resets stray counts
+  (void)win.get(0, 1);
+  win.flush(Cost::Augment);
+  const double expected = ctx.alpha() + ctx.beta_word();
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), expected, 1e-9);
+  EXPECT_EQ(ctx.ledger().messages(Cost::Augment), 1u);
+}
+
 }  // namespace
 }  // namespace mcm

@@ -199,6 +199,70 @@ TEST_F(TraceTest, ClearDropsEventsAndRestartsEpoch) {
   EXPECT_LT(events[0].host_ts_us, 1e6);
 }
 
+// --- fault-retry charges under trace ---
+// Regression: the backoff charge of an aborted round used to open a
+// Region-kind span, so it landed only in the "(untraced)" residual and the
+// per-category sim column could not reconcile with the ledger.
+
+TEST_F(TraceTest, TopLevelRetryChargeIsCountedInItsCategory) {
+  SimContext ctx = make_ctx(16);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=0:count=1", 1));
+  ctx.set_fault_plan(plan);
+  ctx.faults()->begin_superstep(0);
+  (void)with_transient_retry(ctx, Cost::SpMV, CollectiveOp::Allgather, "SPMV",
+                             [] { return 0; });
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  const trace::TraceEvent* retry = nullptr;
+  for (const trace::TraceEvent& e : events) {
+    if (std::string(e.name) == "FAULT.retry") retry = &e;
+  }
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(retry->kind, trace::Kind::Primitive);
+  EXPECT_TRUE(retry->counted);  // top level: the charge has a home row
+  EXPECT_GT(retry->sim_dur_us, 0.0);
+  // The SpMV breakdown row carries the full backoff charge, and the traced
+  // total reconciles with the ledger — nothing in "(untraced)".
+  double traced = 0;
+  for (const trace::BreakdownRow& row : trace::tracer().breakdown()) {
+    if (row.category == Cost::SpMV) {
+      EXPECT_NEAR(row.sim_us, ctx.ledger().time_us(Cost::SpMV), 1e-9);
+    }
+    traced += row.sim_us;
+  }
+  EXPECT_NEAR(traced, ctx.ledger().total_us(), 1e-9);
+}
+
+TEST_F(TraceTest, NestedRetryChargeIsNotDoubleCounted) {
+  SimContext ctx = make_ctx(16);
+  auto plan = std::make_shared<FaultPlan>(
+      FaultPlan::parse("transient:op=any:step=0:count=1", 1));
+  ctx.set_fault_plan(plan);
+  ctx.faults()->begin_superstep(0);
+  {
+    // The driver wraps whole primitives, so the abort usually fires inside
+    // an already-open counted span; the retry span must then stay un-counted
+    // or the charge would appear in two breakdown rows.
+    trace::Span outer(ctx, "SPMV", Cost::SpMV, trace::Kind::Primitive);
+    (void)with_transient_retry(ctx, Cost::SpMV, CollectiveOp::Allgather,
+                               "SPMV", [] { return 0; });
+  }
+  const std::vector<trace::TraceEvent> events = trace::tracer().events();
+  const trace::TraceEvent* retry = nullptr;
+  for (const trace::TraceEvent& e : events) {
+    if (std::string(e.name) == "FAULT.retry") retry = &e;
+  }
+  ASSERT_NE(retry, nullptr);
+  EXPECT_FALSE(retry->counted);
+  double traced = 0;
+  for (const trace::BreakdownRow& row : trace::tracer().breakdown()) {
+    traced += row.sim_us;
+  }
+  EXPECT_NEAR(traced, ctx.ledger().total_us(), 1e-9);
+  EXPECT_NEAR(ctx.ledger().time_us(Cost::SpMV), plan->report().retry_charge_us,
+              1e-9);
+}
+
 // End-to-end: a small pipeline run must produce a well-formed two-clock
 // trace covering the paper's primitives, and the breakdown must reconcile
 // with the cost ledger (the Fig. 5 acceptance criterion).

@@ -3,7 +3,7 @@
 // splits its charges over two ledger categories breaks the Fig. 5
 // one-primitive-one-category accounting.
 
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 
 namespace mcm {
 

@@ -3,7 +3,7 @@
 // dist/ function, whether named literally or threaded through as the
 // conventional `category` parameter.
 
-#include "gridsim/context.hpp"
+#include "comm/comm.hpp"
 
 namespace mcm {
 

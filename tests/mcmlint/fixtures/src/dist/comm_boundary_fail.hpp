@@ -1,0 +1,20 @@
+#pragma once
+// Fixture: dist-comm-boundary, failing cases — dist/ code reaching into
+// gridsim/ internals directly instead of going through the comm facade.
+
+#include "gridsim/context.hpp"  // mcmlint-expect: dist-comm-boundary
+#include "gridsim/trace.hpp"  // mcmlint-expect: dist-comm-boundary
+
+// Angle includes and non-gridsim project includes are not this rule's
+// business.
+#include <vector>
+#include "dist/dist_vec.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+inline int fixture_boundary_breaker(SimContext& ctx) {
+  return ctx.processes();
+}
+
+}  // namespace mcm

@@ -1,0 +1,19 @@
+#pragma once
+// Fixture: dist-comm-boundary, passing case — dist/ code sees the
+// simulator only through the comm facade; sibling dist/ and util/ includes
+// are fine, as is anything from the standard library.
+
+#include <cstdint>
+
+#include "comm/comm.hpp"
+#include "dist/dist_vec.hpp"
+#include "util/radix.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+inline int fixture_boundary_keeper(SimContext& ctx) {
+  return ctx.processes();
+}
+
+}  // namespace mcm

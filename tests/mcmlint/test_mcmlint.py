@@ -40,6 +40,7 @@ PASS_FIXTURE_SLUGS = {
     "rma-epoch-static": ("rma_epoch_pass",),
     "no-wallclock-in-sim": ("trace", "suppression_file"),
     "charge-category-total": ("charge_pass", "charge_split_outside_dist"),
+    "dist-comm-boundary": ("comm_boundary_pass",),
 }
 
 failures = []
