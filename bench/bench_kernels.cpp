@@ -9,7 +9,10 @@
 /// google-benchmark's flag parser): spmv_dcsc with and without a visited
 /// bitmap on a dense frontier (all columns, 90% of rows visited — a late
 /// BFS iteration) and a sparse frontier (1/16 of columns, 10% visited — an
-/// early one). Emits BENCH_kernels.json for scripts/compare_bench.py.
+/// early one), plus a wire-format leg running the comm/wire.hpp codec
+/// (raw | varint | bitmap | auto) over the same frontiers and recording
+/// both the priced β-words and real encode/decode time. Emits
+/// BENCH_kernels.json for scripts/compare_bench.py.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +24,7 @@
 #include "algebra/primitives.hpp"
 #include "algebra/semiring.hpp"
 #include "algebra/spmv.hpp"
+#include "comm/wire.hpp"
 #include "gen/er.hpp"
 #include "gen/rmat.hpp"
 #include "matching/hopcroft_karp.hpp"
@@ -232,6 +236,90 @@ struct AblationPoint {
   std::uint64_t mask_hits = 0;
 };
 
+/// One measured configuration of the wire-format ablation: a BFS frontier
+/// shipped as a WireMessage through the real codec.
+struct WirePoint {
+  const char* frontier;  ///< "dense" | "sparse"
+  WireFormat wire;
+  std::uint64_t raw_words = 0;     ///< pre-wire accounting (3 words/entry)
+  std::uint64_t priced_words = 0;  ///< PayloadSizer pricing for this format
+  double encode_ms = 0;
+  double decode_ms = 0;
+};
+
+/// The frontier as the wire layer sees it at the SpMV expand site: sorted
+/// indices plus the two Vertex columns (parent, root).
+wire::WireMessage frontier_message(const SpVec<Vertex>& f, Index range) {
+  wire::WireMessage m;
+  m.range = static_cast<std::uint64_t>(range);
+  m.value_cols = 2;
+  for (Index k = 0; k < f.nnz(); ++k) {
+    m.indices.push_back(static_cast<std::uint64_t>(f.index_at(k)));
+    const Vertex v = f.value_at(k);
+    m.values.push_back(v.parent);
+    m.values.push_back(v.root);
+  }
+  return m;
+}
+
+/// Wire-format leg of the ablation: encode + decode each frontier with
+/// every format (best-of-3 samples of `iters` round trips), and record the
+/// PayloadSizer pricing the charge sites would put in the ledger. The auto
+/// row's priced words can never exceed the raw row's — compare_bench.py
+/// enforces that invariant on the emitted artifact.
+std::vector<WirePoint> run_wire_ablation(const SpVec<Vertex>& dense_f,
+                                         const SpVec<Vertex>& sparse_f,
+                                         Index n_cols, int iters) {
+  constexpr WireFormat kFormats[] = {WireFormat::Raw, WireFormat::Varint,
+                                     WireFormat::Bitmap, WireFormat::Auto};
+  std::vector<WirePoint> points;
+  for (const bool dense : {true, false}) {
+    const SpVec<Vertex>& f = dense ? dense_f : sparse_f;
+    const wire::WireMessage message = frontier_message(f, n_cols);
+    wire::PayloadSizer sizer(message.range, message.value_cols);
+    for (std::size_t k = 0; k < message.indices.size(); ++k) {
+      sizer.add(message.indices[k], message.values[2 * k],
+                message.values[2 * k + 1]);
+    }
+    const std::uint64_t raw_words =
+        static_cast<std::uint64_t>(f.nnz()) * 3;  // index + two columns
+    for (const WireFormat wire : kFormats) {
+      WirePoint point;
+      point.frontier = dense ? "dense" : "sparse";
+      point.wire = wire;
+      point.raw_words = raw_words;
+      point.priced_words = sizer.words(wire, raw_words);
+      const std::vector<std::uint64_t> once =
+          wire::wire_encode(message, wire);
+      if (!(wire::wire_decode(once) == message)) {
+        std::fprintf(stderr, "wire ablation: %s round-trip mismatch\n",
+                     wire_name(wire));
+        std::exit(1);
+      }
+      double best_encode = 0;
+      double best_decode = 0;
+      for (int sample = 0; sample < 3; ++sample) {
+        Timer te;
+        for (int k = 0; k < iters; ++k) {
+          benchmark::DoNotOptimize(wire::wire_encode(message, wire));
+        }
+        const double encode_ms = te.milliseconds() / iters;
+        Timer td;
+        for (int k = 0; k < iters; ++k) {
+          benchmark::DoNotOptimize(wire::wire_decode(once));
+        }
+        const double decode_ms = td.milliseconds() / iters;
+        if (sample == 0 || encode_ms < best_encode) best_encode = encode_ms;
+        if (sample == 0 || decode_ms < best_decode) best_decode = decode_ms;
+      }
+      point.encode_ms = best_encode;
+      point.decode_ms = best_decode;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
 /// Runs `--ablation`: masked vs unmasked spmv_dcsc on a dense and a sparse
 /// frontier, best-of-3 samples of `iters` calls each, after one untimed
 /// warmup. Writes BENCH_kernels.json in the working directory.
@@ -312,6 +400,24 @@ int run_spmv_ablation(const Options& options) {
   }
   table.print();
 
+  const std::vector<WirePoint> wire_points =
+      run_wire_ablation(dense_f, sparse_f, n_cols, iters);
+  Table wire_table("Wire-format codec on the same frontiers (best of 3 x "
+                   + std::to_string(iters) + ")");
+  wire_table.set_header({"frontier", "wire", "raw_words", "priced_words",
+                         "ratio", "encode_ms", "decode_ms"});
+  for (const WirePoint& point : wire_points) {
+    wire_table.add_row(
+        {point.frontier, wire_name(point.wire),
+         Table::num(static_cast<std::int64_t>(point.raw_words)),
+         Table::num(static_cast<std::int64_t>(point.priced_words)),
+         Table::num(static_cast<double>(point.priced_words)
+                        / static_cast<double>(point.raw_words),
+                    3),
+         Table::num(point.encode_ms, 3), Table::num(point.decode_ms, 3)});
+  }
+  wire_table.print();
+
   JsonBuilder json;
   json.begin_object()
       .field("bench", "kernels")
@@ -329,6 +435,20 @@ int run_spmv_ablation(const Options& options) {
         .field("wall_ms", point.wall_ms)
         .field("flops", point.flops)
         .field("mask_hits", point.mask_hits)
+        .end_object();
+  }
+  json.end_array();
+  json.begin_array("wire_ablation");
+  for (const WirePoint& point : wire_points) {
+    json.begin_object()
+        .field("kernel", "wire_codec")
+        .field("frontier", point.frontier)
+        .field("wire", wire_name(point.wire))
+        .field("raw_words", point.raw_words)
+        .field("priced_words", point.priced_words)
+        .field("encode_ms", point.encode_ms)
+        .field("decode_ms", point.decode_ms)
+        .field("wall_ms", point.encode_ms + point.decode_ms)
         .end_object();
   }
   json.end_array();

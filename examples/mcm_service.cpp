@@ -41,6 +41,9 @@ void print_usage(std::FILE* out) {
       "  --backend B     comm substrate for every query: gridsim | threads\n"
       "                  (default gridsim; results are identical — threads\n"
       "                  adds measured-time trace events when tracing is on)\n"
+      "  --wire F        wire format every query is priced at: raw | varint\n"
+      "                  | bitmap | auto (default auto; results identical,\n"
+      "                  only the ledger's word counters change)\n"
       "  --help          print this summary and exit 0\n");
 }
 
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
   const int sim_cores = static_cast<int>(options.get_int("cores", 16));
   const comm::Backend backend = comm::backend_from_string(
       options.get_choice("backend", "gridsim", {"gridsim", "threads"}));
+  const WireFormat wire = wire_from_string(
+      options.get_choice("wire", "auto", {"raw", "varint", "bitmap", "auto"}));
 
   const Workload workload = make_workload(workload_config);
   std::printf("workload: %zu queries over %zu graphs (%s mix), policy=%s, "
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
     spec.sim.cores = sim_cores;
     spec.sim.threads_per_process = 1;
     spec.sim.backend = backend;
+    spec.sim.wire = wire;
     spec.pipeline.mcm.seed = q.mcm_seed;
     spec.priority = q.priority;
     spec.matrix_fingerprint = pool_fp[static_cast<std::size_t>(q.graph_id)];

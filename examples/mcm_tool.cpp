@@ -57,6 +57,10 @@ void print_usage(std::FILE* out) {
                "           --trace, reports measured wall time beside every\n"
                "           modeled charge (per-primitive calibration table).\n"
                "           The matching, stats and ledger are identical.\n"
+               "       [--wire raw|varint|bitmap|auto]  wire-format the\n"
+               "           collectives are priced at (default auto: per-\n"
+               "           message minimum; raw reproduces historical\n"
+               "           ledgers; results are identical for every value)\n"
                "       [--host-threads T] [--out file]\n"
                "       [--synthetic g500|er|ssca] [--graph-scale S]\n"
                "       [--seed S]  RNG seed for the generated input\n"
@@ -166,6 +170,8 @@ int cmd_match(const Options& options, const CooMatrix& coo) {
   SimConfig config = SimConfig::auto_config(cores, 12);
   config.backend = comm::backend_from_string(
       options.get_choice("backend", "gridsim", {"gridsim", "threads"}));
+  config.wire = wire_from_string(
+      options.get_choice("wire", "auto", {"raw", "varint", "bitmap", "auto"}));
   if (plan != nullptr && config.backend != comm::Backend::Gridsim) {
     std::fprintf(stderr,
                  "error: --inject-fault requires --backend gridsim (the "

@@ -18,6 +18,8 @@ What is compared:
     * single_thread_vs_legacy rows, keyed by kernel: engine_ms
     * spmv_ablation points (BENCH_kernels.json), keyed by
       (kernel, frontier, masked): wall_ms
+    * wire_ablation points (BENCH_kernels.json), keyed by
+      (kernel, frontier, wire): wall_ms (encode + decode round trip)
     * service runs (BENCH_service.json), keyed by run name: qps must not
       drop and p99_latency_s must not rise beyond the threshold
 
@@ -26,6 +28,9 @@ Intra-file invariants checked on the NEW artifact:
       its unmasked twin — that speedup is the whole point of the masked
       SpMV path, so losing it is a regression even against a stale
       baseline;
+    * wire_ablation: every auto point's priced_words must not exceed its
+      raw twin's — WireFormat::Auto is a per-message minimum over the
+      candidate encodings, so pricing above raw means the picker broke;
     * service: at every host-thread budget T >= 4 the interleaved FIFO
       run must beat the serial FIFO run on queries/sec — superstep
       interleaving earning its keep is the service's headline claim.
@@ -90,6 +95,14 @@ def ablation_points(doc):
     }
 
 
+def wire_points(doc):
+    return {
+        (p["kernel"], p["frontier"], p["wire"]): p
+        for p in doc.get("wire_ablation", [])
+        if "kernel" in p and "frontier" in p and "wire" in p
+    }
+
+
 def service_runs(doc):
     return {
         r["name"]: r
@@ -143,6 +156,29 @@ def check_masked_invariant(doc, label):
             violations.append(
                 f"{label}: {kernel} dense frontier: masked {masked_ms:.3f} ms "
                 f"is not faster than unmasked {unmasked_ms:.3f} ms")
+    return violations
+
+
+def check_wire_invariant(doc, label):
+    """Returns violation messages for the auto-never-exceeds-raw pricing
+    invariant on wire ablation points (empty list = OK)."""
+    points = wire_points(doc)
+    violations = []
+    for (kernel, frontier, wire), point in points.items():
+        if wire != "auto":
+            continue
+        twin = points.get((kernel, frontier, "raw"))
+        if twin is None:
+            continue
+        auto_words = point.get("priced_words")
+        raw_words = twin.get("priced_words")
+        if auto_words is None or raw_words is None:
+            continue
+        if auto_words > raw_words:
+            violations.append(
+                f"{label}: {kernel} {frontier} frontier: auto priced "
+                f"{auto_words} words above raw's {raw_words} — the "
+                "per-message minimum must never exceed raw")
     return violations
 
 
@@ -235,6 +271,24 @@ def main():
                 f"{base_ms:.3f} ms -> {new_ms:.3f} ms "
                 f"({(ratio - 1.0) * 100:+.1f}%)")
 
+    base_wire = wire_points(base)
+    for key, new_point in wire_points(new).items():
+        base_point = base_wire.get(key)
+        if base_point is None:
+            continue
+        base_ms = base_point.get("wall_ms")
+        new_ms = new_point.get("wall_ms")
+        if not base_ms or new_ms is None:
+            continue
+        compared += 1
+        ratio = new_ms / base_ms
+        if ratio > 1.0 + args.threshold:
+            kernel, frontier, wire = key
+            regressions.append(
+                f"{kernel} ({frontier} frontier, wire={wire}): "
+                f"{base_ms:.3f} ms -> {new_ms:.3f} ms "
+                f"({(ratio - 1.0) * 100:+.1f}%)")
+
     base_service = service_runs(base)
     for name, new_run in service_runs(new).items():
         base_run = base_service.get(name)
@@ -263,6 +317,7 @@ def main():
                     f"{new_p99 * 1e3:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
 
     regressions.extend(check_masked_invariant(new, args.new))
+    regressions.extend(check_wire_invariant(new, args.new))
     regressions.extend(check_service_invariant(new, args.new))
 
     print(f"compare_bench: {compared} point(s) compared, "

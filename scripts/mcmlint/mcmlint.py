@@ -12,9 +12,14 @@ enforces dynamically, so violations are caught before any test runs:
   no-wallclock-in-sim    std::chrono / *_clock forbidden outside the
                          tracer, benchmarks and checkpoint I/O.
   charge-category-total  every dist/ function charging the ledger names
-                         exactly one cost category.
+                         exactly one cost category (wire::charge_* helpers
+                         included).
   dist-comm-boundary     dist/ files include the comm facade
                          (comm/comm.hpp), never gridsim/ internals.
+  wire-boundary          dist/ collectives are priced through the wire
+                         helpers (wire::charge_allgatherv/alltoallv), never
+                         directly on the context ('// mcmlint: wire-raw'
+                         justifies an intentional raw charge).
 
 Suppressions: '// mcmlint: allow(<rule>)' on the offending or preceding
 line; '// mcmlint: allow-file(<rule>)' anywhere in a file.

@@ -20,6 +20,8 @@ Event kinds:
   rma_open     <rma-var>.open_epoch(...)
   rma_op       <rma-var>.get/.put/.fetch_and_replace(...)
   charge       <obj>.charge_*(<first-arg>, ...)
+  wire_charge  wire::charge_*(ctx, <second-arg>, ...) — the second argument
+               is the cost category (the first is the context)
 
 The function segmentation is a heuristic (token-level, no semantic
 analysis): a body opens where `name ( ... )` — name not a keyword — is
@@ -47,6 +49,7 @@ CLOCK_IDS = frozenset({"steady_clock", "system_clock", "high_resolution_clock"})
 _ALLOW_RE = re.compile(r"mcmlint:\s*allow\(([a-z0-9-]+)\)")
 _ALLOW_FILE_RE = re.compile(r"mcmlint:\s*allow-file\(([a-z0-9-]+)\)")
 _EPOCH_EXTERNAL_RE = re.compile(r"mcmlint:\s*epoch-external")
+_WIRE_RAW_RE = re.compile(r"mcmlint:\s*wire-raw")
 
 # Specifiers that may sit between a function header's `)` and its `{`.
 _POST_PAREN_SKIP = frozenset(
@@ -87,6 +90,7 @@ class FileModel:
         self._allow_lines = {}      # rule -> set of lines
         self._allow_file = set()    # rules suppressed file-wide
         self._epoch_external_lines = set()
+        self._wire_raw_lines = set()
         self._parse_pragmas(comments)
         self.dist_vars = set()
         self.rma_vars = set()
@@ -108,6 +112,8 @@ class FileModel:
                 self._allow_file.add(m.group(1))
             if _EPOCH_EXTERNAL_RE.search(c.text):
                 self._epoch_external_lines.add(c.line)
+            if _WIRE_RAW_RE.search(c.text):
+                self._wire_raw_lines.update((c.line, c.end_line + 1))
 
     def suppressed(self, rule, line):
         """True if `rule` is suppressed at `line`: file-wide, a trailing
@@ -115,6 +121,11 @@ class FileModel:
         if rule in self._allow_file:
             return True
         return line in self._allow_lines.get(rule, ())
+
+    def wire_raw(self, line):
+        """True if a '// mcmlint: wire-raw' justification covers `line`
+        (trailing comment on the same line or on the preceding line)."""
+        return line in self._wire_raw_lines
 
     # ----- declared-variable collection -----------------------------------
 
@@ -345,8 +356,20 @@ class FileModel:
             and toks[i - 1].spelling in (".", "->")
         ):
             close = _match(toks, i + 1, "(", ")")
-            category = _first_arg_spelling(toks, i + 1, close)
+            category = _arg_spelling(toks, i + 1, close, 0)
             return Event("charge", t.line, name=sp, detail=category)
+        # Wire-helper charges: wire::charge_xxx(ctx, <category>, ...) — the
+        # category is the second argument (the first is the context).
+        if (
+            sp.startswith("charge_")
+            and nxt == "("
+            and i >= 2
+            and toks[i - 1].spelling == "::"
+            and toks[i - 2].spelling == "wire"
+        ):
+            close = _match(toks, i + 1, "(", ")")
+            category = _arg_spelling(toks, i + 1, close, 1)
+            return Event("wire_charge", t.line, name=sp, detail=category)
         return None
 
     # ----- include scan -----------------------------------------------------
@@ -406,11 +429,12 @@ def _match(toks, i, open_sp, close_sp):
     return n - 1
 
 
-def _first_arg_spelling(toks, open_idx, close_idx):
-    """Spelling of a call's first argument (tokens joined), up to the first
-    comma at depth 0."""
+def _arg_spelling(toks, open_idx, close_idx, arg):
+    """Spelling of a call's zero-indexed `arg`-th argument (tokens joined),
+    delimited by commas at depth 0."""
     parts = []
     depth = 0
+    current = 0
     for j in range(open_idx + 1, close_idx):
         sp = toks[j].spelling
         if sp in ("(", "[", "{", "<"):
@@ -418,6 +442,10 @@ def _first_arg_spelling(toks, open_idx, close_idx):
         elif sp in (")", "]", "}", ">"):
             depth -= 1
         elif sp == "," and depth <= 0:
-            break
-        parts.append(sp)
+            if current == arg:
+                break
+            current += 1
+            continue
+        if current == arg:
+            parts.append(sp)
     return "".join(parts)

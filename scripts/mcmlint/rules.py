@@ -16,6 +16,7 @@ RULE_RMA_EPOCH = "rma-epoch-static"
 RULE_WALLCLOCK = "no-wallclock-in-sim"
 RULE_CHARGE = "charge-category-total"
 RULE_DIST_COMM = "dist-comm-boundary"
+RULE_WIRE = "wire-boundary"
 
 
 @dataclass(frozen=True)
@@ -123,14 +124,15 @@ def rule_charge_category_total(model):
     """Every function in dist/ that makes ledger charge calls must name
     exactly one cost category across them — a primitive that splits its
     charges over two categories breaks the Fig. 5 breakdown's
-    one-primitive-one-category accounting."""
+    one-primitive-one-category accounting. Charges routed through the
+    wire helpers (wire::charge_*) count the same as direct ones."""
     if "dist/" not in model.path:
         return []
     diags = []
     for fn in model.functions:
         categories = {}
         for ev in fn.events:
-            if ev.kind != "charge":
+            if ev.kind not in ("charge", "wire_charge"):
                 continue
             categories.setdefault(ev.detail, ev.line)
             if len(categories) > 1:
@@ -169,12 +171,46 @@ def rule_dist_comm_boundary(model):
     return diags
 
 
+# The collectives the wire layer reprices; direct context charges bypass
+# SimConfig::wire entirely, so dist/ code must not issue them.
+_WIRE_COLLECTIVES = frozenset({"charge_allgatherv", "charge_alltoallv"})
+
+
+def rule_wire_boundary(model):
+    """dist/ primitives price their collectives through the wire helpers
+    (wire::charge_allgatherv / wire::charge_alltoallv), never directly on
+    the context — a direct charge ships uncompressed words no matter what
+    SimConfig::wire says, silently excluding that site from the adaptive
+    wire-format accounting. Sites that intentionally ship raw (payloads the
+    codec cannot see, e.g. opaque structs) carry '// mcmlint: wire-raw'
+    with a justification."""
+    if not model.path.startswith("dist/"):
+        return []
+    diags = []
+    for fn in model.functions:
+        for ev in fn.events:
+            if ev.kind != "charge" or ev.name not in _WIRE_COLLECTIVES:
+                continue
+            if model.wire_raw(ev.line):
+                continue
+            diags.append(
+                Diagnostic(
+                    RULE_WIRE, model.path, ev.line,
+                    f"direct '{ev.name}' on the context bypasses the wire "
+                    f"layer; call wire::{ev.name} with raw and encoded "
+                    "word counts (or justify with '// mcmlint: wire-raw')",
+                )
+            )
+    return diags
+
+
 RULES = {
     RULE_RANK_SCOPE: rule_rank_scope_required,
     RULE_RMA_EPOCH: rule_rma_epoch_static,
     RULE_WALLCLOCK: rule_no_wallclock_in_sim,
     RULE_CHARGE: rule_charge_category_total,
     RULE_DIST_COMM: rule_dist_comm_boundary,
+    RULE_WIRE: rule_wire_boundary,
 }
 
 

@@ -108,11 +108,12 @@ class CommBackend {
                             int processes, std::uint64_t total_words) = 0;
   virtual void scatterv_root(const ChargeScope& scope, Cost category,
                              int processes, std::uint64_t total_words) = 0;
-  /// `ops` one-sided operations of `words_each`, max over origins;
+  /// One-sided batch: `ops` operations moving `payload_words` total words,
+  /// max over origins (each op pays α, the payload pays β once);
   /// `processes` is the window's world size (a 1-process window is local
   /// and free).
   virtual void rma(const ChargeScope& scope, Cost category, std::uint64_t ops,
-                   std::uint64_t words_each, int processes) = 0;
+                   std::uint64_t payload_words, int processes) = 0;
 
   /// BSP superstep boundary, driven by the stepper once per BFS iteration.
   virtual void superstep(std::uint64_t step) { (void)step; }

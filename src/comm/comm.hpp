@@ -15,4 +15,5 @@
 /// touching the algorithms.
 
 #include "comm/backend.hpp"
+#include "comm/wire.hpp"
 #include "gridsim/context.hpp"

@@ -124,14 +124,14 @@ class GridsimComm : public CommBackend {
   }
 
   void rma(const ChargeScope& scope, Cost category, std::uint64_t ops,
-           std::uint64_t words_each, int processes) override {
+           std::uint64_t payload_words, int processes) override {
     if (processes <= 1) return;  // window is local: free
     const double time =
-        scope.scale * static_cast<double>(ops)
-        * (scope.alpha_us
-           + static_cast<double>(words_each) * scope.beta_word_us);
+        scope.scale
+        * (static_cast<double>(ops) * scope.alpha_us
+           + static_cast<double>(payload_words) * scope.beta_word_us);
     scope.ledger.charge_time(category, time);
-    scope.ledger.count_comm(category, ops, ops * words_each);
+    scope.ledger.count_comm(category, ops, payload_words);
     on_charge(scope, category, "rma", time);
   }
 

@@ -1,0 +1,432 @@
+#include "comm/wire.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gridsim/context.hpp"
+#include "gridsim/trace.hpp"
+
+namespace mcm {
+namespace wire {
+namespace {
+
+constexpr std::uint64_t kTagRaw = 0;
+constexpr std::uint64_t kTagVarint = 1;
+constexpr std::uint64_t kTagBitmap = 2;
+constexpr std::uint64_t kAbsIndexBit = 1ull << 4;
+
+constexpr unsigned width_code(unsigned width) {
+  return width == 1 ? 0 : width == 2 ? 1 : width == 4 ? 2 : 3;
+}
+constexpr unsigned code_width(unsigned code) { return 1u << code; }
+
+/// Appends bytes LSB-first into a word buffer.
+class ByteWriter {
+ public:
+  /// Appends after the words already in the buffer (e.g. the header).
+  explicit ByteWriter(std::vector<std::uint64_t>& words)
+      : words_(words), cursor_(words.size() * 8) {}
+
+  void byte(std::uint8_t b) {
+    const std::size_t word = cursor_ / 8, shift = (cursor_ % 8) * 8;
+    if (word >= words_.size()) words_.push_back(0);
+    words_[word] |= static_cast<std::uint64_t>(b) << shift;
+    ++cursor_;
+  }
+  void varint(std::uint64_t u) {
+    while (u >= 0x80) {
+      byte(static_cast<std::uint8_t>(u) | 0x80);
+      u >>= 7;
+    }
+    byte(static_cast<std::uint8_t>(u));
+  }
+  void fixed(std::uint64_t u, unsigned width) {
+    for (unsigned i = 0; i < width; ++i) {
+      byte(static_cast<std::uint8_t>(u >> (8 * i)));
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t>& words_;
+  std::uint64_t cursor_ = 0;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::vector<std::uint64_t>& words, std::uint64_t start_word)
+      : words_(words), cursor_(start_word * 8) {}
+
+  std::uint8_t byte() {
+    const std::size_t word = cursor_ / 8, shift = (cursor_ % 8) * 8;
+    if (word >= words_.size()) {
+      throw std::invalid_argument("wire_decode: truncated payload");
+    }
+    ++cursor_;
+    return static_cast<std::uint8_t>(words_[word] >> shift);
+  }
+  std::uint64_t varint() {
+    std::uint64_t u = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const std::uint8_t b = byte();
+      u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return u;
+      shift += 7;
+      if (shift >= 64) throw std::invalid_argument("wire_decode: varint overflow");
+    }
+  }
+  std::uint64_t fixed(unsigned width) {
+    std::uint64_t u = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      u |= static_cast<std::uint64_t>(byte()) << (8 * i);
+    }
+    return u;
+  }
+  /// Skips to the next whole-word boundary (between encoded sections).
+  void align() { cursor_ = (cursor_ + 7) / 8 * 8; }
+  [[nodiscard]] std::uint64_t word_cursor() const { return (cursor_ + 7) / 8; }
+
+ private:
+  const std::vector<std::uint64_t>& words_;
+  std::uint64_t cursor_;
+};
+
+std::uint64_t as_unsigned(std::int64_t v) {
+  return static_cast<std::uint64_t>(v);
+}
+std::int64_t as_signed(std::uint64_t u) { return static_cast<std::int64_t>(u); }
+
+PayloadSizer sizer_of(const WireMessage& message) {
+  PayloadSizer sizer(message.range, message.value_cols);
+  for (std::size_t i = 0; i < message.indices.size(); ++i) {
+    switch (message.value_cols) {
+      case 0: sizer.add(message.indices[i]); break;
+      case 1: sizer.add(message.indices[i], message.values[i]); break;
+      default:
+        sizer.add(message.indices[i], message.values[2 * i],
+                  message.values[2 * i + 1]);
+        break;
+    }
+  }
+  return sizer;
+}
+
+void write_header(std::vector<std::uint64_t>& buf, const WireMessage& message,
+                  std::uint64_t tag, bool abs_index,
+                  const PayloadSizer& sizer) {
+  std::uint64_t meta = tag;
+  if (abs_index) meta |= kAbsIndexBit;
+  meta |= static_cast<std::uint64_t>(message.value_cols) << 8;
+  for (int c = 0; c < message.value_cols; ++c) {
+    std::uint64_t desc = width_code(sizer.col_width(c));
+    if (sizer.col_biased(c)) desc |= 1ull << 2;
+    meta |= desc << (16 + 8 * c);
+  }
+  buf.push_back(meta);
+  buf.push_back(message.indices.size());
+  buf.push_back(message.range);
+}
+
+void write_values(ByteWriter& out, const WireMessage& message,
+                  const PayloadSizer& sizer) {
+  const std::uint64_t n = message.indices.size();
+  for (int c = 0; c < message.value_cols; ++c) {
+    const unsigned width = sizer.col_width(c);
+    const bool biased = sizer.col_biased(c);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t v = message.values[i * message.value_cols + c];
+      out.fixed(biased ? as_unsigned(v + 1) : as_unsigned(v), width);
+    }
+  }
+}
+
+void read_values(ByteReader& in, WireMessage& message, std::uint64_t meta) {
+  const std::uint64_t n = message.indices.size();
+  message.values.assign(n * message.value_cols, 0);
+  for (int c = 0; c < message.value_cols; ++c) {
+    const std::uint64_t desc = (meta >> (16 + 8 * c)) & 0xff;
+    const unsigned width = code_width(static_cast<unsigned>(desc & 0x3));
+    const bool biased = (desc & 0x4) != 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t u = in.fixed(width);
+      message.values[i * message.value_cols + c] =
+          biased ? as_signed(u) - 1 : as_signed(u);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t PayloadSizer::varint_words() const {
+  const std::uint64_t idx_bytes = nondecreasing_ ? delta_bytes_ : abs_bytes_;
+  return kHeaderWords + (idx_bytes + value_bytes() + 7) / 8;
+}
+
+std::uint64_t PayloadSizer::bitmap_words() const {
+  return kHeaderWords + (range_ + 63) / 64 + (value_bytes() + 7) / 8;
+}
+
+std::uint64_t PayloadSizer::words(WireFormat format,
+                                  std::uint64_t raw_words) const {
+  switch (format) {
+    case WireFormat::Raw: return raw_words;
+    case WireFormat::Varint: return varint_words();
+    case WireFormat::Bitmap:
+      return bitmap_eligible() ? bitmap_words() : raw_words;
+    case WireFormat::Auto: {
+      std::uint64_t best = std::min(raw_words, varint_words());
+      if (bitmap_eligible()) best = std::min(best, bitmap_words());
+      return best;
+    }
+  }
+  return raw_words;
+}
+
+std::vector<std::uint64_t> encode_with(const WireMessage& message,
+                                       const PayloadSizer& sizer,
+                                       WireFormat format) {
+  const std::uint64_t n = message.indices.size();
+  std::vector<std::uint64_t> buf;
+  if (format == WireFormat::Auto) {
+    WireFormat pick = WireFormat::Varint;
+    std::uint64_t best = sizer.varint_words();
+    if (sizer.bitmap_eligible() && sizer.bitmap_words() < best) {
+      pick = WireFormat::Bitmap;
+      best = sizer.bitmap_words();
+    }
+    if (sizer.raw_tagged_words() < best) pick = WireFormat::Raw;
+    return encode_with(message, sizer, pick);
+  }
+  if (format == WireFormat::Bitmap && !sizer.bitmap_eligible()) {
+    format = WireFormat::Raw;  // ineligible (unsorted or absurd range)
+  }
+  switch (format) {
+    case WireFormat::Raw: {
+      write_header(buf, message, kTagRaw, false, sizer);
+      buf.insert(buf.end(), message.indices.begin(), message.indices.end());
+      for (const std::int64_t v : message.values) buf.push_back(as_unsigned(v));
+      return buf;
+    }
+    case WireFormat::Varint: {
+      const bool abs = !sizer.nondecreasing();
+      write_header(buf, message, kTagVarint, abs, sizer);
+      ByteWriter out(buf);
+      std::uint64_t prev = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t idx = message.indices[i];
+        out.varint(abs || i == 0 ? idx : idx - prev);
+        prev = idx;
+      }
+      write_values(out, message, sizer);
+      return buf;
+    }
+    case WireFormat::Bitmap: {
+      write_header(buf, message, kTagBitmap, false, sizer);
+      const std::uint64_t bit_words = (message.range + 63) / 64;
+      const std::size_t bits_at = buf.size();
+      buf.insert(buf.end(), bit_words, 0);
+      for (const std::uint64_t idx : message.indices) {
+        buf[bits_at + idx / 64] |= 1ull << (idx % 64);
+      }
+      // Values start on a fresh word after the presence section.
+      std::vector<std::uint64_t> tail;
+      ByteWriter vout(tail);
+      write_values(vout, message, sizer);
+      buf.insert(buf.end(), tail.begin(), tail.end());
+      return buf;
+    }
+    case WireFormat::Auto: break;  // handled above
+  }
+  throw std::invalid_argument("wire_encode: unreachable format");
+}
+
+std::vector<std::uint64_t> wire_encode(const WireMessage& message,
+                                       WireFormat format) {
+  if (message.values.size()
+      != message.indices.size() * static_cast<std::size_t>(message.value_cols)) {
+    throw std::invalid_argument("wire_encode: values/indices size mismatch");
+  }
+  return encode_with(message, sizer_of(message), format);
+}
+
+WireMessage wire_decode(const std::vector<std::uint64_t>& buf) {
+  if (buf.size() < kHeaderWords) {
+    throw std::invalid_argument("wire_decode: buffer shorter than header");
+  }
+  const std::uint64_t meta = buf[0];
+  const std::uint64_t tag = meta & 0xf;
+  WireMessage message;
+  const std::uint64_t n = buf[1];
+  message.range = buf[2];
+  message.value_cols = static_cast<int>((meta >> 8) & 0xff);
+  if (message.value_cols > PayloadSizer::kMaxValueCols) {
+    throw std::invalid_argument("wire_decode: bad value_cols");
+  }
+  switch (tag) {
+    case kTagRaw: {
+      const std::uint64_t need =
+          kHeaderWords + n + n * static_cast<std::uint64_t>(message.value_cols);
+      if (buf.size() < need) {
+        throw std::invalid_argument("wire_decode: truncated raw payload");
+      }
+      message.indices.assign(buf.begin() + kHeaderWords,
+                             buf.begin() + kHeaderWords + n);
+      message.values.reserve(n * message.value_cols);
+      for (std::uint64_t i = 0; i < n * message.value_cols; ++i) {
+        message.values.push_back(as_signed(buf[kHeaderWords + n + i]));
+      }
+      return message;
+    }
+    case kTagVarint: {
+      const bool abs = (meta & kAbsIndexBit) != 0;
+      ByteReader in(buf, kHeaderWords);
+      message.indices.reserve(n);
+      std::uint64_t prev = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t u = in.varint();
+        const std::uint64_t idx = abs || i == 0 ? u : prev + u;
+        message.indices.push_back(idx);
+        prev = idx;
+      }
+      read_values(in, message, meta);
+      return message;
+    }
+    case kTagBitmap: {
+      const std::uint64_t bit_words = (message.range + 63) / 64;
+      if (buf.size() < kHeaderWords + bit_words) {
+        throw std::invalid_argument("wire_decode: truncated bitmap");
+      }
+      for (std::uint64_t w = 0; w < bit_words; ++w) {
+        std::uint64_t bits = buf[kHeaderWords + w];
+        while (bits != 0) {
+          const int bit = __builtin_ctzll(bits);
+          message.indices.push_back(w * 64 + static_cast<std::uint64_t>(bit));
+          bits &= bits - 1;
+        }
+      }
+      if (message.indices.size() != n) {
+        throw std::invalid_argument("wire_decode: bitmap popcount mismatch");
+      }
+      ByteReader in(buf, kHeaderWords + bit_words);
+      read_values(in, message, meta);
+      return message;
+    }
+    default:
+      throw std::invalid_argument("wire_decode: unknown format tag");
+  }
+}
+
+namespace {
+
+/// Records the raw/sent totals for one priced collective into the ledger's
+/// wire counters and the tracer (the Fig. 5 breakdown surfaces both).
+void record_wire(SimContext& ctx, Cost category, std::uint64_t raw_total,
+                 std::uint64_t sent_total) {
+  ctx.ledger().count_wire(category, raw_total, sent_total);
+  if (trace::enabled()) {
+    trace::counter(ctx, "wire_words_raw", static_cast<double>(raw_total));
+    trace::counter(ctx, "wire_words_sent", static_cast<double>(sent_total));
+    if (raw_total > 0) {
+      trace::counter(ctx, "wire_ratio",
+                     static_cast<double>(sent_total)
+                         / static_cast<double>(raw_total));
+    }
+  }
+}
+
+}  // namespace
+
+void charge_allgatherv(SimContext& ctx, Cost category, int group_size,
+                       int n_groups, std::uint64_t max_group_raw,
+                       std::uint64_t max_group_sent) {
+  ctx.charge_allgatherv(category, group_size, n_groups, max_group_sent);
+  if (group_size <= 1) return;  // intra-rank: the backend charged nothing
+  const auto groups = static_cast<std::uint64_t>(n_groups);
+  record_wire(ctx, category, max_group_raw * groups, max_group_sent * groups);
+}
+
+void charge_alltoallv(SimContext& ctx, Cost category, int group_size,
+                      int n_groups, std::uint64_t max_rank_raw,
+                      std::uint64_t max_rank_sent, int latency_rounds) {
+  ctx.charge_alltoallv(category, group_size, n_groups, max_rank_sent,
+                       latency_rounds);
+  if (group_size <= 1) return;
+  const std::uint64_t scale = static_cast<std::uint64_t>(group_size)
+                              * static_cast<std::uint64_t>(n_groups);
+  record_wire(ctx, category, max_rank_raw * scale, max_rank_sent * scale);
+}
+
+void charge_bitmap_delta(SimContext& ctx, Cost category, int group_size,
+                         int n_groups, std::uint64_t max_group_raw,
+                         std::uint64_t max_group_sent) {
+  ctx.charge_bitmap_delta(category, group_size, n_groups, max_group_sent);
+  if (group_size <= 1) return;
+  const auto groups = static_cast<std::uint64_t>(n_groups);
+  record_wire(ctx, category, max_group_raw * groups, max_group_sent * groups);
+}
+
+void charge_gatherv_root(SimContext& ctx, Cost category, int processes,
+                         std::uint64_t total_raw, std::uint64_t total_sent) {
+  ctx.charge_gatherv_root(category, processes, total_sent);
+  if (processes <= 1) return;
+  record_wire(ctx, category, total_raw, total_sent);
+}
+
+void charge_scatterv_root(SimContext& ctx, Cost category, int processes,
+                          std::uint64_t total_raw, std::uint64_t total_sent) {
+  ctx.charge_scatterv_root(category, processes, total_sent);
+  if (processes <= 1) return;
+  record_wire(ctx, category, total_raw, total_sent);
+}
+
+void charge_rma(SimContext& ctx, Cost category, std::uint64_t ops,
+                std::uint64_t payload_sent, std::uint64_t total_raw,
+                std::uint64_t total_sent) {
+  ctx.charge_rma(category, ops, payload_sent);
+  if (ctx.processes() <= 1) return;
+  record_wire(ctx, category, total_raw, total_sent);
+}
+
+std::uint64_t sent_words(const SimContext& ctx, const PayloadSizer& sizer,
+                         std::uint64_t raw_words) {
+  return sizer.words(ctx.config().wire, raw_words);
+}
+
+bool measurement_enabled(const SimContext& ctx) {
+  return trace::enabled() && ctx.comm_backend().caps().measured_time
+         && ctx.config().wire != WireFormat::Raw;
+}
+
+void measure_roundtrip(SimContext& ctx, Cost category,
+                       const WireMessage& message) {
+  auto& tracer = trace::tracer();
+  const double t0 = tracer.host_now_us();
+  const std::vector<std::uint64_t> buf =
+      wire_encode(message, ctx.config().wire);
+  const double t1 = tracer.host_now_us();
+  const WireMessage back = wire_decode(buf);
+  const double t2 = tracer.host_now_us();
+  if (!(back == message)) {
+    throw std::logic_error("wire codec round-trip mismatch during calibration");
+  }
+  const double sim_now = ctx.ledger().total_us();
+  trace::TraceEvent encode_event;
+  encode_event.name = "MEASURED.encode";
+  encode_event.category = category;
+  encode_event.kind = trace::Kind::Counter;
+  encode_event.host_ts_us = t0;
+  encode_event.host_dur_us = t1 - t0;
+  encode_event.sim_ts_us = sim_now;
+  encode_event.sim_dur_us = 0;  // host-side work; the modeled clock is still
+  encode_event.value = t1 - t0;
+  tracer.record(encode_event);
+  trace::TraceEvent decode_event = encode_event;
+  decode_event.name = "MEASURED.decode";
+  decode_event.host_ts_us = t1;
+  decode_event.host_dur_us = t2 - t1;
+  decode_event.value = t2 - t1;
+  tracer.record(decode_event);
+}
+
+}  // namespace wire
+}  // namespace mcm

@@ -1,0 +1,304 @@
+#pragma once
+/// \file wire.hpp
+/// Adaptive wire-format compression for the comm substrate (DESIGN.md §5.9).
+///
+/// The simulator moves data between per-rank blocks directly, so "encoding"
+/// never touches the algorithm's data: the wire layer changes only what a
+/// collective is *priced* at (β-words in the ledger) plus, under the threads
+/// backend, real encode/decode wall time measured into the calibration
+/// table. Matchings, stats and SPA contents are bit-identical across wire
+/// formats by construction.
+///
+/// Formats (SimConfig::wire, `--wire` on the tools):
+///   raw     today's accounting: every (index, value) entry ships as full
+///           64-bit words. Preserves historical ledgers bit for bit.
+///   varint  sorted sparse indices delta-encoded as LEB128 varints
+///           (absolute varints when the index stream is unsorted, e.g. the
+///           INVERT routing keys), values width-narrowed per column to the
+///           smallest of u8/u16/u32/u64 that fits (kNull rides along via a
+///           +1 bias on columns whose minimum is >= -1).
+///   bitmap  packed presence bits over the message's index range, plus the
+///           narrowed value columns; eligible only for strictly-increasing
+///           index sets (set semantics — no duplicates), and wins once
+///           density crosses the break-even point of ~1/(8·varint bytes
+///           per index).
+///   auto    per-message minimum over {raw, varint, bitmap-if-eligible};
+///           never exceeds raw (the default).
+///
+/// Two cooperating pieces:
+///   PayloadSizer   a streaming one-pass size calculator used at every
+///                  charge site: feed it the entries a message would carry
+///                  and ask for the priced word count per format. Its
+///                  varint/bitmap answers equal the exact wire_encode()
+///                  buffer size (property-tested), so the ledger prices the
+///                  bytes a real transport would move.
+///   wire_encode /  the real codec, exercised by the round-trip tests and
+///   wire_decode    by the threads backend's ENCODE/DECODE calibration
+///                  measurements (wire::maybe_measure).
+///
+/// Charge helpers (wire::charge_*) mirror SimContext::charge_* but take
+/// both the raw and the encoded payload; they charge the backend with the
+/// encoded words, record wire_words_raw / wire_words_sent counters in the
+/// ledger and tracer (surfaced in the Fig. 5 breakdown table), and keep
+/// message counts and α terms untouched.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gridsim/cost_ledger.hpp"
+
+namespace mcm {
+
+class SimContext;
+
+enum class WireFormat {
+  Raw,     ///< full 64-bit words, historical accounting
+  Varint,  ///< delta/LEB128 indices + width-narrowed values
+  Bitmap,  ///< packed presence bits + width-narrowed values
+  Auto,    ///< per-message minimum (default)
+};
+
+[[nodiscard]] inline const char* wire_name(WireFormat format) noexcept {
+  switch (format) {
+    case WireFormat::Raw: return "raw";
+    case WireFormat::Varint: return "varint";
+    case WireFormat::Bitmap: return "bitmap";
+    case WireFormat::Auto: return "auto";
+  }
+  return "?";
+}
+
+/// Parses "raw" | "varint" | "bitmap" | "auto"; throws std::invalid_argument.
+[[nodiscard]] inline WireFormat wire_from_string(const std::string& name) {
+  if (name == "raw") return WireFormat::Raw;
+  if (name == "varint") return WireFormat::Varint;
+  if (name == "bitmap") return WireFormat::Bitmap;
+  if (name == "auto") return WireFormat::Auto;
+  throw std::invalid_argument("unknown wire format '" + name
+                              + "' (expected raw | varint | bitmap | auto)");
+}
+
+namespace wire {
+
+/// Encoded buffers start with this many u64 header words (meta, n, range).
+/// Raw *accounting* carries no header — WireFormat::Raw prices exactly what
+/// the pre-wire ledger charged.
+inline constexpr std::uint64_t kHeaderWords = 3;
+
+/// LEB128 length in bytes of an unsigned value (1..10).
+[[nodiscard]] constexpr std::uint64_t varint_len(std::uint64_t u) noexcept {
+  std::uint64_t n = 1;
+  while (u >= 0x80) {
+    u >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Narrowed byte width (1 | 2 | 4 | 8) for an unsigned value.
+[[nodiscard]] constexpr unsigned narrow_width(std::uint64_t u) noexcept {
+  if (u < (1ull << 8)) return 1;
+  if (u < (1ull << 16)) return 2;
+  if (u < (1ull << 32)) return 4;
+  return 8;
+}
+
+/// One logical message: a (possibly empty) list of entries, each an index
+/// in [0, range) plus `value_cols` signed 64-bit value columns. The codec's
+/// canonical in-memory form, used by the round-trip tests and the threads
+/// backend's calibration measurements.
+struct WireMessage {
+  std::uint64_t range = 0;
+  int value_cols = 0;
+  std::vector<std::uint64_t> indices;
+  std::vector<std::int64_t> values;  ///< entry-major, indices.size()*cols
+
+  [[nodiscard]] bool operator==(const WireMessage& other) const {
+    return range == other.range && value_cols == other.value_cols
+           && indices == other.indices && values == other.values;
+  }
+};
+
+/// Streaming one-pass size calculator: feed entries in transmission order,
+/// then price any format. Never materializes the encoded bytes, so charge
+/// sites can run it inline while they assemble (or merely walk) a payload.
+class PayloadSizer {
+ public:
+  static constexpr int kMaxValueCols = 2;
+
+  explicit PayloadSizer(std::uint64_t range, int value_cols = 0)
+      : range_(range), value_cols_(value_cols) {
+    if (value_cols < 0 || value_cols > kMaxValueCols) {
+      throw std::invalid_argument("PayloadSizer: value_cols out of range");
+    }
+  }
+
+  void add(std::uint64_t index) { add_index(index); }
+  void add(std::uint64_t index, std::int64_t v0) {
+    add_index(index);
+    add_value(0, v0);
+  }
+  void add(std::uint64_t index, std::int64_t v0, std::int64_t v1) {
+    add_index(index);
+    add_value(0, v0);
+    add_value(1, v1);
+  }
+
+  [[nodiscard]] std::uint64_t entries() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t range() const noexcept { return range_; }
+  [[nodiscard]] int value_cols() const noexcept { return value_cols_; }
+  /// Indices seen so far are non-decreasing (delta-varint eligible).
+  [[nodiscard]] bool nondecreasing() const noexcept { return nondecreasing_; }
+  /// Indices seen so far are strictly increasing (set semantics).
+  [[nodiscard]] bool strictly_increasing() const noexcept { return strict_; }
+  /// Bitmap is a real candidate: strictly increasing indices AND the
+  /// presence section no larger than a raw-tagged buffer. The size bound
+  /// keeps a sparse message over an astronomical range (2^48 vertices) from
+  /// ever pricing — or, in wire_encode, *allocating* — terabytes of
+  /// presence bits; such messages fall back exactly like unsorted ones.
+  [[nodiscard]] bool bitmap_eligible() const noexcept {
+    return strict_ && bitmap_words() <= raw_tagged_words();
+  }
+  /// Exact size of the raw-tagged encoded buffer (header + full words).
+  [[nodiscard]] std::uint64_t raw_tagged_words() const noexcept {
+    return kHeaderWords
+           + n_ * (1 + static_cast<std::uint64_t>(value_cols_));
+  }
+
+  /// Priced word count for one format. `raw_words` is the caller's raw
+  /// accounting for this message (the pre-wire charge); Raw returns it
+  /// untouched, Auto takes the minimum over every candidate and therefore
+  /// never exceeds it. An ineligible explicit Bitmap falls back to raw.
+  [[nodiscard]] std::uint64_t words(WireFormat format,
+                                    std::uint64_t raw_words) const;
+
+  /// Exact wire_encode() buffer sizes (header included); bitmap_words()
+  /// is meaningful only when bitmap_eligible().
+  [[nodiscard]] std::uint64_t varint_words() const;
+  [[nodiscard]] std::uint64_t bitmap_words() const;
+
+  /// Narrowed per-column byte width (1|2|4|8); columns whose minimum is
+  /// >= -1 are stored biased by +1 (so kNull packs into one byte), anything
+  /// more negative — or a maximum that would overflow the bias — ships as
+  /// full 64-bit two's complement.
+  [[nodiscard]] unsigned col_width(int col) const {
+    if (!col_biased(col)) return 8;
+    return narrow_width(static_cast<std::uint64_t>(max_[col]) + 1);
+  }
+  [[nodiscard]] bool col_biased(int col) const {
+    return min_[col] >= -1 && max_[col] < (std::int64_t{1} << 62);
+  }
+
+ private:
+  void add_index(std::uint64_t index) {
+    if (n_ > 0) {
+      if (index < prev_) {
+        nondecreasing_ = false;
+        strict_ = false;
+      } else {
+        delta_bytes_ += varint_len(index - prev_);
+        if (index == prev_) strict_ = false;
+      }
+    } else {
+      delta_bytes_ += varint_len(index);
+    }
+    abs_bytes_ += varint_len(index);
+    prev_ = index;
+    ++n_;
+  }
+
+  void add_value(int col, std::int64_t v) {
+    if (v < min_[col]) min_[col] = v;
+    if (v > max_[col]) max_[col] = v;
+  }
+
+  [[nodiscard]] std::uint64_t value_bytes() const {
+    std::uint64_t bytes = 0;
+    for (int c = 0; c < value_cols_; ++c) bytes += n_ * col_width(c);
+    return bytes;
+  }
+
+  std::uint64_t range_;
+  int value_cols_;
+  std::uint64_t n_ = 0;
+  std::uint64_t prev_ = 0;
+  bool nondecreasing_ = true;
+  bool strict_ = true;
+  std::uint64_t delta_bytes_ = 0;  ///< varint bytes, delta mode
+  std::uint64_t abs_bytes_ = 0;    ///< varint bytes, absolute mode
+  std::int64_t min_[kMaxValueCols] = {0, 0};
+  std::int64_t max_[kMaxValueCols] = {0, 0};
+};
+
+/// Encodes a message into a self-describing u64 buffer. Auto picks the
+/// smallest actual encoding (a raw-tagged buffer is a candidate, so the
+/// result is never larger than header + untransformed words). Bitmap
+/// requires PayloadSizer::bitmap_eligible(); an explicit Bitmap on an
+/// ineligible message falls back to the raw tag.
+[[nodiscard]] std::vector<std::uint64_t> wire_encode(
+    const WireMessage& message, WireFormat format);
+
+/// Inverse of wire_encode for any tagged buffer; throws std::invalid_argument
+/// on a malformed buffer.
+[[nodiscard]] WireMessage wire_decode(const std::vector<std::uint64_t>& buf);
+
+// --- charge helpers -------------------------------------------------------
+// Each mirrors a SimContext::charge_* entry point but takes the payload
+// twice: `raw` is the historical accounting (what WireFormat::Raw charges),
+// `sent` the encoded words the active format actually moves. The helper
+// charges the backend with `sent`, then records both totals as per-category
+// wire counters in the ledger (CostLedger::count_wire) and as
+// wire_words_raw / wire_words_sent trace counters. Message counts and the
+// α terms never change — compression shrinks words, not rounds.
+
+void charge_allgatherv(SimContext& ctx, Cost category, int group_size,
+                       int n_groups, std::uint64_t max_group_raw,
+                       std::uint64_t max_group_sent);
+void charge_alltoallv(SimContext& ctx, Cost category, int group_size,
+                      int n_groups, std::uint64_t max_rank_raw,
+                      std::uint64_t max_rank_sent, int latency_rounds = 1);
+void charge_bitmap_delta(SimContext& ctx, Cost category, int group_size,
+                         int n_groups, std::uint64_t max_group_raw,
+                         std::uint64_t max_group_sent);
+void charge_gatherv_root(SimContext& ctx, Cost category, int processes,
+                         std::uint64_t total_raw, std::uint64_t total_sent);
+void charge_scatterv_root(SimContext& ctx, Cost category, int processes,
+                          std::uint64_t total_raw, std::uint64_t total_sent);
+/// One-sided flush: `ops` is the busiest origin's op count, `payload_sent`
+/// that origin's encoded payload words (raw mode: ops * words_per<T>).
+/// `total_raw`/`total_sent` cover ALL origins and feed the wire counters.
+void charge_rma(SimContext& ctx, Cost category, std::uint64_t ops,
+                std::uint64_t payload_sent, std::uint64_t total_raw,
+                std::uint64_t total_sent);
+
+/// The encoded words the context's configured format moves for a payload
+/// priced `raw_words` untransformed: sizer.words(ctx.config().wire, ...).
+[[nodiscard]] std::uint64_t sent_words(const SimContext& ctx,
+                                       const PayloadSizer& sizer,
+                                       std::uint64_t raw_words);
+
+/// Threads-backend calibration: when the active backend reports measured
+/// time, the tracer is on and the context's wire format is not Raw, builds
+/// one representative message via `build`, runs the real codec over it and
+/// records MEASURED.encode / MEASURED.decode counter events (host time
+/// only; the simulated clock never moves — encode cost is host-side work a
+/// real transport would overlap with the transfer it shrinks). Call it with
+/// the largest message of a collective, next to the charge.
+template <typename BuildFn>
+void maybe_measure(SimContext& ctx, Cost category, BuildFn&& build);
+
+/// Non-template backend for maybe_measure; exposed for the tests.
+[[nodiscard]] bool measurement_enabled(const SimContext& ctx);
+void measure_roundtrip(SimContext& ctx, Cost category,
+                       const WireMessage& message);
+
+template <typename BuildFn>
+void maybe_measure(SimContext& ctx, Cost category, BuildFn&& build) {
+  if (!measurement_enabled(ctx)) return;
+  measure_roundtrip(ctx, category, build());
+}
+
+}  // namespace wire
+}  // namespace mcm

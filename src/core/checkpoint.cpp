@@ -233,6 +233,7 @@ std::string build_header_json(const CheckpointHeader& h) {
       .field("augment", h.augment)
       .field("enable_prune", h.enable_prune)
       .field("use_mask", h.use_mask)
+      .field("wire", h.wire)
       .field("seed", h.seed)
       .field("pipeline_tag", h.pipeline_tag)
       .field("iteration", h.iteration)
@@ -270,6 +271,7 @@ CheckpointHeader parse_header_json(const std::string& text) {
   h.augment = static_cast<int>(doc.i64("augment"));
   h.enable_prune = doc.boolean("enable_prune");
   h.use_mask = doc.boolean("use_mask");
+  h.wire = static_cast<int>(doc.i64("wire"));
   h.seed = doc.u64("seed");
   h.pipeline_tag = doc.u64("pipeline_tag");
   h.iteration = doc.u64("iteration");
@@ -300,6 +302,8 @@ std::string build_payload(const Checkpoint& ck) {
     put_double(out, ck.ledger.time_us(category));
     put_u64(out, ck.ledger.messages(category));
     put_u64(out, ck.ledger.words(category));
+    put_u64(out, ck.ledger.wire_raw(category));
+    put_u64(out, ck.ledger.wire_sent(category));
   }
   put_index_array(out, ck.mate_r);
   put_index_array(out, ck.mate_c);
@@ -326,7 +330,10 @@ void parse_payload(const std::string& bytes, Checkpoint& ck) {
     const double us = cursor.read_double();
     const std::uint64_t messages = cursor.read_u64();
     const std::uint64_t words = cursor.read_u64();
-    ck.ledger.set_raw(static_cast<Cost>(c), us, messages, words);
+    const std::uint64_t wire_raw = cursor.read_u64();
+    const std::uint64_t wire_sent = cursor.read_u64();
+    ck.ledger.set_raw(static_cast<Cost>(c), us, messages, words, wire_raw,
+                      wire_sent);
   }
   ck.mate_r = cursor.read_index_array();
   ck.mate_c = cursor.read_index_array();
@@ -551,6 +558,13 @@ void validate_checkpoint(const Checkpoint& ck, const SimContext& ctx,
          "snapshot was taken under different MCM-DIST options (semiring/"
          "direction/augment/prune/mask/seed must all match for an identical "
          "replay)");
+  }
+  if (h.wire != static_cast<int>(ctx.config().wire)) {
+    fail(CheckpointError::Kind::OptionMismatch,
+         std::string("snapshot was charged under --wire ")
+             + wire_name(static_cast<WireFormat>(h.wire))
+             + "; this run uses --wire " + wire_name(ctx.config().wire)
+             + " — the resumed ledger would not replay bit-identically");
   }
 }
 

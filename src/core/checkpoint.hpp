@@ -39,7 +39,10 @@
 
 namespace mcm {
 
-inline constexpr int kCheckpointVersion = 1;
+/// Version 2: per-category wire-compression counters joined the ledger
+/// block and the header records the wire format the run was charged under
+/// (a resume with a different `--wire` would not replay the ledger).
+inline constexpr int kCheckpointVersion = 2;
 inline constexpr const char* kCheckpointMagic = "MCMCKPT";
 
 /// Structured refusal: every way a snapshot can fail to load or to match
@@ -81,6 +84,7 @@ struct CheckpointHeader {
   int augment = 0;
   bool enable_prune = true;
   bool use_mask = true;
+  int wire = 0;  ///< int-coded WireFormat the ledger was charged under
   std::uint64_t seed = 0;
   std::uint64_t pipeline_tag = 0;  ///< driver fingerprint (permutation etc.)
   // progress

@@ -144,7 +144,8 @@ Matching dist_push_relabel(SimContext& ctx, const CscMatrix& a,
       max_rank_scan_words = std::max(max_rank_scan_words, scan_words);
       max_rank_cols = std::max(max_rank_cols, cols_processed);
     }
-    ctx.charge_rma(Cost::Other, 2 * max_rank_cols, 1);  // fetch round-trips
+    // Fetch round-trips: one word per op (payload = op count).
+    ctx.charge_rma(Cost::Other, 2 * max_rank_cols, 2 * max_rank_cols);
     ctx.charge_elem_ops(Cost::Other, max_rank_scan_words);
     ctx.ledger().charge_time(Cost::Other, static_cast<double>(max_rank_scan_words)
                                               * ctx.beta_word());

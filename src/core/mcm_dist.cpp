@@ -39,6 +39,7 @@ Checkpoint snapshot_state(SimContext& ctx, const DistMatrix& a,
   h.augment = static_cast<int>(options.augment);
   h.enable_prune = options.enable_prune;
   h.use_mask = options.use_mask;
+  h.wire = static_cast<int>(ctx.config().wire);
   h.seed = options.seed;
   h.pipeline_tag = options.checkpoint.pipeline_tag;
   h.iteration = iteration;

@@ -125,6 +125,10 @@ class VisitedBitmap {
     auto& entries =
         host.shared().buffer<std::uint64_t>(scratch_tag("bitmap.entries"));
     entries.assign(static_cast<std::size_t>(n_segments), 0);
+    auto& delta_sent =
+        host.shared().buffer<std::uint64_t>(scratch_tag("bitmap.delta_sent"));
+    delta_sent.assign(static_cast<std::size_t>(n_segments), 0);
+    const bool narrow = ctx.config().wire != WireFormat::Raw;
     host.for_ranks(n_segments, [&](std::int64_t ss, int /*lane*/) {
       const int s = static_cast<int>(ss);
       [[maybe_unused]] const check::AccessWindow window("BITMAP.update");
@@ -132,6 +136,12 @@ class VisitedBitmap {
       const auto& within = layout.dist().within[static_cast<std::size_t>(s)];
       std::uint64_t seen = 0;
       std::uint64_t newly = 0;
+      // Wire pricing: the delta broadcast ships each newly set index once.
+      // Multiple fresh vectors interleave their (disjoint) index sets, so
+      // the stream may be unsorted — the sizer prices absolute varints then.
+      wire::PayloadSizer sizer(
+          static_cast<std::uint64_t>(bits.size()) * 64,
+          /*value_cols=*/0);
       for (const DistSpVec<T>* vec : fresh) {
         for (int part = 0; part < within.parts(); ++part) {
           const SpVec<T>& piece = vec->piece(layout.rank_of(s, part));
@@ -145,16 +155,22 @@ class VisitedBitmap {
             if ((bits[w] & bit) == 0) {
               bits[w] |= bit;
               ++newly;
+              if (narrow) sizer.add(static_cast<std::uint64_t>(i));
             }
           }
         }
       }
       new_bits[static_cast<std::size_t>(s)] = newly;
       entries[static_cast<std::size_t>(s)] = seen;
+      const std::uint64_t raw =
+          std::min<std::uint64_t>(newly, bits.size());
+      delta_sent[static_cast<std::size_t>(s)] =
+          narrow ? wire::sent_words(ctx, sizer, raw) : raw;
     });
     std::uint64_t total_entries = 0;
     std::uint64_t total_new = 0;
     std::uint64_t max_delta_words = 0;
+    std::uint64_t max_delta_sent = 0;
     for (int s = 0; s < n_segments; ++s) {
       const auto idx = static_cast<std::size_t>(s);
       total_entries += entries[idx];
@@ -163,6 +179,7 @@ class VisitedBitmap {
       max_delta_words = std::max(
           max_delta_words,
           std::min<std::uint64_t>(new_bits[idx], words_[idx].size()));
+      max_delta_sent = std::max(max_delta_sent, delta_sent[idx]);
     }
     // Stale-replica detection: a frontier of genuinely new discoveries sets
     // one clear bit per entry; anything less means a replica saw an index it
@@ -173,7 +190,8 @@ class VisitedBitmap {
     const int group = layout.dist().within.empty()
                           ? 1
                           : layout.dist().within[0].parts();
-    ctx.charge_bitmap_delta(category, group, n_segments, max_delta_words);
+    wire::charge_bitmap_delta(ctx, category, group, n_segments,
+                              max_delta_words, max_delta_sent);
   }
 
  private:

@@ -59,28 +59,47 @@ DistSpVec<Vertex> dist_bottom_up_step(SimContext& ctx, Cost category,
   auto& col_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_words"));
   col_words.assign(static_cast<std::size_t>(pc), 0);
+  auto& col_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_sent"));
+  col_sent.assign(static_cast<std::size_t>(pc), 0);
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
   host.for_ranks(pc, [&](std::int64_t jj, int) {
     const int j = static_cast<int>(jj);
     [[maybe_unused]] const check::AccessWindow window("BU.expand");
     auto& roots = seg_root[static_cast<std::size_t>(j)];
     roots.assign(static_cast<std::size_t>(a.col_dist().size(j)), kNull);
     const auto& within = f_c.layout().dist().within[static_cast<std::size_t>(j)];
+    // Wire pricing: only the frontier's (column, root) pairs need to move —
+    // the dense kNull background is reconstructed locally. Pieces arrive in
+    // offset order, so the streamed indices are strictly increasing.
+    wire::PayloadSizer sizer(static_cast<std::uint64_t>(roots.size()),
+                             /*value_cols=*/1);
     for (int part = 0; part < pr; ++part) {
       const SpVec<Vertex>& piece = f_c.piece(f_c.layout().rank_of(j, part));
       const Index offset = within.offset(part);
       for (Index k = 0; k < piece.nnz(); ++k) {
         roots[static_cast<std::size_t>(offset + piece.index_at(k))] =
             piece.value_at(k).root;
+        if (narrow) {
+          sizer.add(static_cast<std::uint64_t>(offset + piece.index_at(k)),
+                    piece.value_at(k).root);
+        }
       }
     }
-    col_words[static_cast<std::size_t>(jj)] =
-        static_cast<std::uint64_t>(roots.size());
+    const std::uint64_t raw = static_cast<std::uint64_t>(roots.size());
+    col_words[static_cast<std::size_t>(jj)] = raw;
+    col_sent[static_cast<std::size_t>(jj)] =
+        narrow ? wire::sent_words(ctx, sizer, raw) : raw;
   });
   std::uint64_t max_col_words = 0;
   for (const std::uint64_t w : col_words) {
     max_col_words = std::max(max_col_words, w);
   }
-  ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  std::uint64_t max_col_sent = 0;
+  for (const std::uint64_t w : col_sent) {
+    max_col_sent = std::max(max_col_sent, w);
+  }
+  wire::charge_allgatherv(ctx, category, pr, pc, max_col_words, max_col_sent);
   expand_phase.close();
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
 }
@@ -110,6 +129,10 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
   auto& col_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_words"));
   col_words.assign(static_cast<std::size_t>(pc), 0);
+  auto& col_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.col_sent"));
+  col_sent.assign(static_cast<std::size_t>(pc), 0);
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
   host.for_ranks(pc, [&](std::int64_t jj, int) {
     const int j = static_cast<int>(jj);
     [[maybe_unused]] const check::AccessWindow window("GRAFT.expand");
@@ -117,21 +140,36 @@ DistSpVec<Vertex> dist_graft_step(SimContext& ctx, Cost category,
     roots.resize(static_cast<std::size_t>(a.col_dist().size(j)));
     const auto& within =
         root_c.layout().dist().within[static_cast<std::size_t>(j)];
+    // Wire pricing: ship the non-kNull (column, root) pairs; searchable
+    // columns are typically a shrinking subset during grafting.
+    wire::PayloadSizer sizer(static_cast<std::uint64_t>(roots.size()),
+                             /*value_cols=*/1);
     for (int part = 0; part < pr; ++part) {
       const auto& piece = root_c.piece(root_c.layout().rank_of(j, part));
       const Index offset = within.offset(part);
       for (std::size_t k = 0; k < piece.size(); ++k) {
         roots[static_cast<std::size_t>(offset) + k] = piece[k];
+        if (narrow && piece[k] != kNull) {
+          sizer.add(static_cast<std::uint64_t>(offset)
+                        + static_cast<std::uint64_t>(k),
+                    piece[k]);
+        }
       }
     }
-    col_words[static_cast<std::size_t>(jj)] =
-        static_cast<std::uint64_t>(roots.size());
+    const std::uint64_t raw = static_cast<std::uint64_t>(roots.size());
+    col_words[static_cast<std::size_t>(jj)] = raw;
+    col_sent[static_cast<std::size_t>(jj)] =
+        narrow ? wire::sent_words(ctx, sizer, raw) : raw;
   });
   std::uint64_t max_col_words = 0;
   for (const std::uint64_t w : col_words) {
     max_col_words = std::max(max_col_words, w);
   }
-  ctx.charge_allgatherv(category, pr, pc, max_col_words);
+  std::uint64_t max_col_sent = 0;
+  for (const std::uint64_t w : col_sent) {
+    max_col_sent = std::max(max_col_sent, w);
+  }
+  wire::charge_allgatherv(ctx, category, pr, pc, max_col_words, max_col_sent);
   expand_phase.close();
   return bottom_up_sweep(ctx, category, a, seg_root, pi_r);
 }
@@ -157,29 +195,48 @@ DistSpVec<Vertex> bottom_up_sweep(SimContext& ctx, Cost category,
   auto& row_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("bu.row_words"));
   row_words.assign(static_cast<std::size_t>(pr), 0);
+  auto& row_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("bu.row_sent"));
+  row_sent.assign(static_cast<std::size_t>(pr), 0);
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
   host.for_ranks(pr, [&](std::int64_t ii, int) {
     const int i = static_cast<int>(ii);
     [[maybe_unused]] const check::AccessWindow window("BU.expand-visited");
     auto& visited = seg_visited[static_cast<std::size_t>(i)];
     visited.assign(static_cast<std::size_t>(a.row_dist().size(i)), false);
     const auto& within = pi_r.layout().dist().within[static_cast<std::size_t>(i)];
+    // Wire pricing: raw is the packed bitmap; a sparse visited set can ship
+    // its set-bit indices as delta varints instead.
+    wire::PayloadSizer sizer(static_cast<std::uint64_t>(visited.size()),
+                             /*value_cols=*/0);
     for (int part = 0; part < pc; ++part) {
       const auto& piece = pi_r.piece(pi_r.layout().rank_of(i, part));
       const Index offset = within.offset(part);
       for (std::size_t k = 0; k < piece.size(); ++k) {
         if (piece[k] != kNull) {
           visited[static_cast<std::size_t>(offset) + k] = true;
+          if (narrow) {
+            sizer.add(static_cast<std::uint64_t>(offset)
+                      + static_cast<std::uint64_t>(k));
+          }
         }
       }
     }
-    row_words[static_cast<std::size_t>(ii)] =
+    const std::uint64_t raw =
         static_cast<std::uint64_t>(visited.size() / 64 + 1);
+    row_words[static_cast<std::size_t>(ii)] = raw;
+    row_sent[static_cast<std::size_t>(ii)] =
+        narrow ? wire::sent_words(ctx, sizer, raw) : raw;
   });
   std::uint64_t max_row_words = 0;
   for (const std::uint64_t w : row_words) {
     max_row_words = std::max(max_row_words, w);
   }
-  ctx.charge_allgatherv(category, pc, pr, max_row_words);
+  std::uint64_t max_row_sent = 0;
+  for (const std::uint64_t w : row_sent) {
+    max_row_sent = std::max(max_row_sent, w);
+  }
+  wire::charge_allgatherv(ctx, category, pc, pr, max_row_words, max_row_sent);
   visited_phase.close();
   trace::Span scan_phase(ctx, "BU.scan", category, trace::Kind::Phase);
 

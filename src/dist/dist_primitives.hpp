@@ -30,6 +30,7 @@
 
 #include "algebra/primitives.hpp"
 #include "dist/dist_vec.hpp"
+#include "dist/wire_payload.hpp"
 #include "comm/comm.hpp"
 #include "util/radix.hpp"
 #include "util/types.hpp"
@@ -339,6 +340,9 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   auto& send_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("invert.send_words"));
   send_words.assign(static_cast<std::size_t>(p), 0);
+  auto& send_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("invert.send_sent"));
+  send_sent.assign(static_cast<std::size_t>(p), 0);
   auto& rank_nnz =
       host.shared().buffer<std::uint64_t>(scratch_tag("invert.rank_nnz"));
   rank_nnz.assign(static_cast<std::size_t>(p), 0);
@@ -382,6 +386,33 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
           e;
     }
     send_words[static_cast<std::size_t>(rr)] = words;
+    // Wire pricing: one message per destination, keys rebased to the
+    // destination piece. Bucketing preserves source order, so the key
+    // stream is unsorted — the sizer prices absolute varints.
+    std::uint64_t sent = words;
+    if constexpr (wire_payload::encodable<Out>) {
+      if (ctx.config().wire != WireFormat::Raw) {
+        sent = 0;
+        for (int d = 0; d < p; ++d) {
+          if (d == r || bounds[d] == bounds[d + 1]) continue;
+          wire::PayloadSizer sizer(
+              static_cast<std::uint64_t>(out.piece_size(d)),
+              wire_payload::value_cols<Out>);
+          const Index base = out.piece_offset(d);
+          for (Index k = bounds[d]; k < bounds[d + 1]; ++k) {
+            const Routed& e = grouped[static_cast<std::size_t>(k)];
+            wire_payload::add(sizer,
+                              static_cast<std::uint64_t>(e.key - base),
+                              e.payload);
+          }
+          sent += wire::sent_words(
+              ctx, sizer,
+              static_cast<std::uint64_t>(bounds[d + 1] - bounds[d])
+                  * (1 + words_per<Out>()));
+        }
+      }
+    }
+    send_sent[static_cast<std::size_t>(rr)] = sent;
     rank_nnz[static_cast<std::size_t>(rr)] =
         static_cast<std::uint64_t>(piece.nnz());
   });
@@ -389,7 +420,12 @@ template <typename Out, typename T, typename KeyF, typename PayloadF>
   for (const std::uint64_t w : send_words) {
     max_send_words = std::max(max_send_words, w);
   }
-  ctx.charge_alltoallv(category, p, 1, max_send_words, /*latency_rounds=*/3);
+  std::uint64_t max_send_sent = 0;
+  for (const std::uint64_t w : send_sent) {
+    max_send_sent = std::max(max_send_sent, w);
+  }
+  wire::charge_alltoallv(ctx, category, p, 1, max_send_words, max_send_sent,
+                         /*latency_rounds=*/3);
   route_phase.close();
   trace::Span merge_phase(ctx, "INVERT.merge", category, trace::Kind::Phase);
 
@@ -566,15 +602,32 @@ template <typename T, typename RootF>
     const std::vector<std::vector<Index>>& deduped, RootF root_of) {
   HostEngine& host = ctx.host();
   std::uint64_t payload = 0;
+  std::uint64_t payload_sent = 0;
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
   std::vector<Index> all_roots;
   for (const auto& part : deduped) {
     payload += static_cast<std::uint64_t>(part.size());
+    // Wire pricing: each rank's contribution is one index-only message;
+    // the list is sorted-unique, so delta varints (or a bitmap over the
+    // occupied prefix) apply directly.
+    if (narrow && !part.empty()) {
+      wire::PayloadSizer sizer(static_cast<std::uint64_t>(part.back()) + 1,
+                               /*value_cols=*/0);
+      for (const Index root : part) {
+        sizer.add(static_cast<std::uint64_t>(root));
+      }
+      payload_sent +=
+          wire::sent_words(ctx, sizer,
+                           static_cast<std::uint64_t>(part.size()));
+    }
     all_roots.insert(all_roots.end(), part.begin(), part.end());
   }
+  if (!narrow) payload_sent = payload;
   // The charged allgather payload must equal the words actually shipped.
   check::verify_conservation("PRUNE", "allgathered roots", payload,
                              static_cast<std::uint64_t>(all_roots.size()));
-  ctx.charge_allgatherv(category, ctx.processes(), 1, payload);
+  wire::charge_allgatherv(ctx, category, ctx.processes(), 1, payload,
+                          payload_sent);
   const std::vector<Index> sorted = sorted_unique(std::move(all_roots));
 
   DistSpVec<T> z(ctx, x.layout().space(), x.length());

@@ -31,6 +31,7 @@
 #include "dist/dist_bitmap.hpp"
 #include "dist/dist_mat.hpp"
 #include "dist/dist_vec.hpp"
+#include "dist/wire_payload.hpp"
 #include "comm/comm.hpp"
 #include "util/radix.hpp"
 
@@ -85,6 +86,9 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
   auto& send_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("fold.send_words"));
   send_words.assign(static_cast<std::size_t>(tasks), 0);
+  auto& send_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("fold.send_sent"));
+  send_sent.assign(static_cast<std::size_t>(tasks), 0);
   host.for_ranks(tasks, [&](std::int64_t t, int) {
     const int os = static_cast<int>(t) / out_group;
     const int member = static_cast<int>(t) % out_group;
@@ -102,8 +106,35 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
           - idx.begin();
     }
     const Index kept = bounds[member + 1] - bounds[member];
-    send_words[static_cast<std::size_t>(t)] =
+    const std::uint64_t raw =
         static_cast<std::uint64_t>(part.nnz() - kept) * (1 + words_per<T>());
+    send_words[static_cast<std::size_t>(t)] = raw;
+    // Wire pricing: each (task, dst) run is one message — entries rebased to
+    // the destination part's local range, strictly increasing, so the sizer
+    // sees exactly the stream a transport would serialize.
+    std::uint64_t sent = raw;
+    if constexpr (wire_payload::encodable<T>) {
+      if (ctx.config().wire != WireFormat::Raw) {
+        sent = 0;
+        for (int dst = 0; dst < out_group; ++dst) {
+          if (dst == member || bounds[dst] == bounds[dst + 1]) continue;
+          wire::PayloadSizer sizer(
+              static_cast<std::uint64_t>(within.size(dst)),
+              wire_payload::value_cols<T>);
+          const Index base = within.offset(dst);
+          for (Index k = bounds[dst]; k < bounds[dst + 1]; ++k) {
+            wire_payload::add(sizer,
+                              static_cast<std::uint64_t>(idx[k] - base),
+                              part.value_at(k));
+          }
+          sent += wire::sent_words(
+              ctx, sizer,
+              static_cast<std::uint64_t>(bounds[dst + 1] - bounds[dst])
+                  * (1 + words_per<T>()));
+        }
+      }
+    }
+    send_sent[static_cast<std::size_t>(t)] = sent;
   });
 
   // --- phase 2: per-(segment, part) merge into the owner piece.
@@ -158,6 +189,10 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
   for (const std::uint64_t w : send_words) {
     max_send_words = std::max(max_send_words, w);
   }
+  std::uint64_t max_send_sent = 0;
+  for (const std::uint64_t w : send_sent) {
+    max_send_sent = std::max(max_send_sent, w);
+  }
   std::uint64_t max_merge = 0;
   for (const std::uint64_t m : merge_counts) {
     max_merge = std::max(max_merge, m);
@@ -174,7 +209,8 @@ DistSpVec<T> fold_partials(SimContext& ctx, Cost category,
     check::verify_conservation("FOLD", "routed partial entries", routed,
                                merged);
   }
-  ctx.charge_alltoallv(category, out_group, out_segments, max_send_words);
+  wire::charge_alltoallv(ctx, category, out_group, out_segments,
+                         max_send_words, max_send_sent);
   ctx.charge_elem_ops(category, max_merge);
   return y;
 }
@@ -221,6 +257,9 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
   auto& group_words =
       host.shared().buffer<std::uint64_t>(scratch_tag("spmv.group_words"));
   group_words.assign(static_cast<std::size_t>(n_segments), 0);
+  auto& group_sent =
+      host.shared().buffer<std::uint64_t>(scratch_tag("spmv.group_sent"));
+  group_sent.assign(static_cast<std::size_t>(n_segments), 0);
   host.for_ranks(n_segments, [&](std::int64_t s, int) {
     // The expand reads every piece of the segment's group: the charged
     // allgather is the sanctioned channel.
@@ -240,13 +279,24 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
         seg.push_back(offset + piece.index_at(k), piece.value_at(k));
       }
     }
-    group_words[static_cast<std::size_t>(s)] =
+    const std::uint64_t raw =
         static_cast<std::uint64_t>(seg.nnz()) * (1 + words_per<T>());
+    group_words[static_cast<std::size_t>(s)] = raw;
+    group_sent[static_cast<std::size_t>(s)] = wire_payload::sent_words(
+        ctx, seg, in_dist.size(static_cast<int>(s)), raw);
     segment[static_cast<std::size_t>(s)] = std::move(seg);
   });
   std::uint64_t max_group_words = 0;
   for (const std::uint64_t w : group_words) {
     max_group_words = std::max(max_group_words, w);
+  }
+  std::uint64_t max_group_sent = 0;
+  std::size_t arg_max_sent = 0;
+  for (std::size_t s = 0; s < group_sent.size(); ++s) {
+    if (group_sent[s] > max_group_sent) {
+      max_group_sent = group_sent[s];
+      arg_max_sent = s;
+    }
   }
   if (check::enabled()) {
     std::uint64_t gathered = 0;
@@ -257,7 +307,15 @@ DistSpVec<T> dist_spmv_impl(SimContext& ctx, Cost category, const DistMatrix& a,
         "SPMV", "expanded entries",
         static_cast<std::uint64_t>(x.nnz_unaccounted()), gathered);
   }
-  ctx.charge_allgatherv(category, group, n_segments, max_group_words);
+  wire::charge_allgatherv(ctx, category, group, n_segments, max_group_words,
+                          max_group_sent);
+  if constexpr (wire_payload::encodable<T>) {
+    wire::maybe_measure(ctx, category, [&] {
+      return wire_payload::to_message(
+          segment[arg_max_sent],
+          in_dist.size(static_cast<int>(arg_max_sent)));
+    });
+  }
   expand_phase.close();
 
   // --- local multiply: every rank applies its DCSC block to its segment.

@@ -10,18 +10,38 @@ CooMatrix gather_matrix_to_root(SimContext& ctx, const DistMatrix& a) {
   const ProcGrid& grid = a.grid();
   // Reading every rank's block is the charged gather itself.
   [[maybe_unused]] const check::AccessWindow window("GATHER");
+  // Each rank's block travels as its own COO message: block-local column
+  // indices (nondecreasing — DCSC emits columns in order — so delta varints
+  // apply) plus a width-narrowed row column. The summed raw accounting
+  // reproduces the historical flat 2 * nnz words.
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
+  std::uint64_t raw_total = 0;
+  std::uint64_t sent_total = 0;
   for (int i = 0; i < grid.pr(); ++i) {
     for (int j = 0; j < grid.pc(); ++j) {
       const CooMatrix blk = a.block(i, j).to_coo();
       const Index row_off = a.row_dist().offset(i);
       const Index col_off = a.col_dist().offset(j);
+      const std::uint64_t raw = 2 * static_cast<std::uint64_t>(blk.rows.size());
+      raw_total += raw;
+      if (narrow && !blk.rows.empty()) {
+        wire::PayloadSizer sizer(
+            static_cast<std::uint64_t>(a.col_dist().size(j)),
+            /*value_cols=*/1);
+        for (std::size_t k = 0; k < blk.rows.size(); ++k) {
+          sizer.add(static_cast<std::uint64_t>(blk.cols[k]), blk.rows[k]);
+        }
+        sent_total += wire::sent_words(ctx, sizer, raw);
+      } else {
+        sent_total += raw;
+      }
       for (std::size_t k = 0; k < blk.rows.size(); ++k) {
         out.add_edge(blk.rows[k] + row_off, blk.cols[k] + col_off);
       }
     }
   }
-  ctx.charge_gatherv_root(Cost::GatherScatter, ctx.processes(),
-                          2 * static_cast<std::uint64_t>(a.nnz()));
+  wire::charge_gatherv_root(ctx, Cost::GatherScatter, ctx.processes(),
+                            raw_total, sent_total);
   return out;
 }
 
@@ -38,9 +58,28 @@ ScatteredMates scatter_mates_from_root(SimContext& ctx,
   [[maybe_unused]] const check::AccessWindow window("SCATTER");
   out.mate_r.from_std(mate_r);
   out.mate_c.from_std(mate_c);
-  ctx.charge_scatterv_root(
-      Cost::GatherScatter, ctx.processes(),
-      static_cast<std::uint64_t>(mate_r.size() + mate_c.size()));
+  // Dense payloads: the presence bitmap is fully set, so the bitmap format
+  // degenerates to the narrowed value column — mates are vertex ids (or
+  // kNull, riding the +1 bias), typically far below 2^32.
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
+  const std::uint64_t raw =
+      static_cast<std::uint64_t>(mate_r.size() + mate_c.size());
+  std::uint64_t sent = raw;
+  if (narrow) {
+    sent = 0;
+    for (const std::vector<Index>* mates : {&mate_r, &mate_c}) {
+      if (mates->empty()) continue;
+      wire::PayloadSizer sizer(static_cast<std::uint64_t>(mates->size()),
+                               /*value_cols=*/1);
+      for (std::size_t k = 0; k < mates->size(); ++k) {
+        sizer.add(static_cast<std::uint64_t>(k), (*mates)[k]);
+      }
+      sent += wire::sent_words(ctx, sizer,
+                               static_cast<std::uint64_t>(mates->size()));
+    }
+  }
+  wire::charge_scatterv_root(ctx, Cost::GatherScatter, ctx.processes(), raw,
+                             sent);
   return out;
 }
 

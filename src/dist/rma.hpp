@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +46,9 @@ class RmaWindow {
   RmaWindow(SimContext& ctx, DistDenseVec<T>& target)
       : ctx_(&ctx),
         target_(&target),
-        ops_(static_cast<std::size_t>(ctx.processes())) {}
+        ops_(static_cast<std::size_t>(ctx.processes())),
+        bytes_(static_cast<std::size_t>(ctx.processes())),
+        narrow_(ctx.config().wire != WireFormat::Raw) {}
 
   /// Opens an access epoch (MPI_Win_lock_all). Ops are legal until flush().
   /// The category is only used to label the epoch's trace span; the ledger
@@ -60,6 +63,7 @@ class RmaWindow {
     // SimFault can unwind past flush(). Zero them so stray counts never
     // inflate this epoch's flush charge.
     for (auto& n : ops_) n.store(0, std::memory_order_relaxed);
+    for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
     if (check::kCompiledIn) {
       const util::MutexLock lock(epoch_mutex_);
       epoch_accesses_.clear();
@@ -78,12 +82,15 @@ class RmaWindow {
     count(origin);
     note_access(origin, global, OpKind::Get, "RmaWindow::get");
     const check::AccessWindow window("RMA");
-    return target_->at(global);
+    const T value = target_->at(global);
+    track(origin, value);
+    return value;
   }
 
   /// MPI_PUT: origin rank writes target[global].
   void put(int origin, Index global, const T& value) {
     count(origin);
+    track(origin, value);
     note_access(origin, global, OpKind::Put, "RmaWindow::put");
     const check::AccessWindow window("RMA");
     target_->set(global, value);
@@ -99,33 +106,55 @@ class RmaWindow {
     const check::AccessWindow window("RMA");
     const T previous = target_->at(global);
     target_->set(global, value);
+    // One network op: the dominant direction sets the shipped width (the
+    // historical accounting priced FETCH_AND_OP at one word, not two).
+    track(origin, value_bytes(value) > value_bytes(previous) ? value
+                                                             : previous);
     return previous;
   }
 
-  /// Completes and closes the epoch: charges max-over-origins op time to
-  /// `category` and resets the counters. Word size is sizeof(T) rounded up
-  /// to words. Throws std::logic_error when no epoch is open — a flush
-  /// outside an epoch would silently charge whatever stray counts
+  /// Completes and closes the epoch: charges the busiest origin's op time
+  /// (each op pays α; the origin's shipped payload pays β) to `category`
+  /// and resets the counters. Under WireFormat::Raw every op ships
+  /// sizeof(T) rounded up to words — the historical accounting — otherwise
+  /// each value is width-narrowed (comm/wire.hpp) and the per-origin byte
+  /// totals set the β term. Throws std::logic_error when no epoch is open —
+  /// a flush outside an epoch would silently charge whatever stray counts
   /// accumulated since the last one.
   void flush(Cost category) MCM_EXCLUDES(epoch_mutex_) {
     if (!epoch_open_.load(std::memory_order_relaxed)) {
       throw std::logic_error("RmaWindow: flush() with no open epoch");
     }
-    std::uint64_t max_ops = 0;
+    std::uint64_t busiest_ops = 0;
+    std::uint64_t busiest_sent = 0;
     std::uint64_t total_ops = 0;
-    for (const auto& n : ops_) {
-      const std::uint64_t v = n.load(std::memory_order_relaxed);
-      max_ops = std::max(max_ops, v);
-      total_ops += v;
+    std::uint64_t total_sent = 0;
+    double busiest_us = -1.0;
+    for (std::size_t o = 0; o < ops_.size(); ++o) {
+      const std::uint64_t n = ops_[o].load(std::memory_order_relaxed);
+      const std::uint64_t sent =
+          narrow_ ? (bytes_[o].load(std::memory_order_relaxed) + 7) / 8
+                  : n * words_per<T>();
+      total_ops += n;
+      total_sent += sent;
+      const double us = static_cast<double>(n) * ctx_->alpha()
+                        + static_cast<double>(sent) * ctx_->beta_word();
+      if (us > busiest_us) {
+        busiest_us = us;
+        busiest_ops = n;
+        busiest_sent = sent;
+      }
     }
-    ctx_->charge_rma(category, max_ops, words_per<T>());
-    // charge_rma counted `max_ops` messages; top up the message/word
+    wire::charge_rma(*ctx_, category, busiest_ops, busiest_sent,
+                     total_ops * words_per<T>(), total_sent);
+    // charge_rma counted the busiest origin's messages/words; top up the
     // counters so volume reporting reflects every op issued.
-    if (total_ops > max_ops && ctx_->processes() > 1) {
-      ctx_->ledger().count_comm(category, total_ops - max_ops,
-                                (total_ops - max_ops) * words_per<T>());
+    if (total_ops > busiest_ops && ctx_->processes() > 1) {
+      ctx_->ledger().count_comm(category, total_ops - busiest_ops,
+                                total_sent - busiest_sent);
     }
     for (auto& n : ops_) n.store(0, std::memory_order_relaxed);
+    for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
     epoch_open_.store(false, std::memory_order_relaxed);
     epoch_span_.close();
     if (check::kCompiledIn) {
@@ -148,6 +177,28 @@ class RmaWindow {
     }
     ops_[static_cast<std::size_t>(origin)].fetch_add(
         1, std::memory_order_relaxed);
+  }
+
+  /// Wire width of one shipped value: integral values narrow to the
+  /// smallest of 1/2/4/8 bytes (kNull via the +1 bias, like the collective
+  /// payloads), everything else ships whole words. Never exceeds the raw
+  /// width, so compressed RMA payloads never out-price raw.
+  [[nodiscard]] static std::uint64_t value_bytes(const T& value) {
+    if constexpr (std::is_integral_v<T>) {
+      const auto v = static_cast<std::int64_t>(value);
+      if (v >= -1 && v < (std::int64_t{1} << 62)) {
+        return wire::narrow_width(static_cast<std::uint64_t>(v) + 1);
+      }
+    }
+    return words_per<T>() * 8;
+  }
+
+  /// Accumulates the shipped payload for one op (skipped entirely under
+  /// raw wire, where the op count alone determines the charge).
+  void track(int origin, const T& value) {
+    if (!narrow_) return;
+    bytes_[static_cast<std::size_t>(origin)].fetch_add(
+        value_bytes(value), std::memory_order_relaxed);
   }
 
   /// mcmcheck: epoch discipline + same-index conflict detection. Records the
@@ -209,6 +260,10 @@ class RmaWindow {
   SimContext* ctx_;
   DistDenseVec<T>* target_;
   std::vector<std::atomic<std::uint64_t>> ops_;
+  /// Per-origin shipped bytes under a narrowing wire format (unused — and
+  /// untouched on the op path — under raw).
+  std::vector<std::atomic<std::uint64_t>> bytes_;
+  bool narrow_;
   std::atomic<bool> epoch_open_{false};
   /// Open/close follows the epoch, not a lexical scope (mcmtrace).
   trace::Span epoch_span_;

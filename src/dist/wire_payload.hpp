@@ -1,0 +1,95 @@
+#pragma once
+/// \file wire_payload.hpp
+/// Adapters between the dist layer's sparse payload types and the wire
+/// sizer's narrowable int64 columns (comm/wire.hpp, DESIGN.md §5.9). Every
+/// charge site that routes a SpVec-shaped message through wire::charge_*
+/// uses these to stream the entries it is about to price into a
+/// PayloadSizer — and, under the threads backend's calibration, to build a
+/// real WireMessage for an encode/decode round-trip.
+///
+/// A value type maps to 0..2 sizer columns; types without an adapter are
+/// opaque (`value_cols < 0`) and their messages ship raw — accounting falls
+/// back to the historical word count instead of guessing a width.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "algebra/semiring.hpp"
+#include "algebra/spvec.hpp"
+#include "algebra/vertex.hpp"
+#include "comm/comm.hpp"
+
+namespace mcm {
+namespace wire_payload {
+
+/// Sizer columns for a value type; -1 marks an opaque type the wire layer
+/// cannot narrow.
+template <typename T>
+inline constexpr int value_cols = std::is_integral_v<T> ? 1 : -1;
+template <>
+inline constexpr int value_cols<Vertex> = 2;  // (parent, root)
+template <>
+inline constexpr int value_cols<KeyedProposal> = 2;  // (key, id)
+
+template <typename T>
+inline constexpr bool encodable = value_cols<T> >= 0;
+
+/// Streams one (index, value) entry into a sizer built with value_cols<T>.
+template <typename T>
+inline void add(wire::PayloadSizer& sizer, std::uint64_t index, const T& v) {
+  if constexpr (std::is_same_v<T, Vertex>) {
+    sizer.add(index, v.parent, v.root);
+  } else if constexpr (std::is_same_v<T, KeyedProposal>) {
+    sizer.add(index, v.key, v.id);
+  } else if constexpr (std::is_integral_v<T>) {
+    sizer.add(index, static_cast<std::int64_t>(v));
+  } else {
+    sizer.add(index);  // opaque: values are priced raw by the caller
+  }
+}
+
+/// Encoded words the context's wire format moves for one whole-SpVec
+/// message over [0, range); `raw_words` is the caller's historical
+/// accounting for it (returned untouched under WireFormat::Raw or for
+/// opaque value types).
+template <typename T>
+[[nodiscard]] std::uint64_t sent_words(const SimContext& ctx,
+                                       const SpVec<T>& v, Index range,
+                                       std::uint64_t raw_words) {
+  if (ctx.config().wire == WireFormat::Raw || !encodable<T>) return raw_words;
+  wire::PayloadSizer sizer(static_cast<std::uint64_t>(range), value_cols<T>);
+  for (Index k = 0; k < v.nnz(); ++k) {
+    add(sizer, static_cast<std::uint64_t>(v.index_at(k)), v.value_at(k));
+  }
+  return wire::sent_words(ctx, sizer, raw_words);
+}
+
+/// WireMessage view of a SpVec, for wire::maybe_measure round-trips. Only
+/// meaningful for encodable value types (guard call sites with
+/// `if constexpr (encodable<T>)`).
+template <typename T>
+[[nodiscard]] wire::WireMessage to_message(const SpVec<T>& v, Index range) {
+  wire::WireMessage message;
+  message.range = static_cast<std::uint64_t>(range);
+  message.value_cols = encodable<T> ? value_cols<T> : 0;
+  message.indices.reserve(static_cast<std::size_t>(v.nnz()));
+  message.values.reserve(static_cast<std::size_t>(v.nnz())
+                         * static_cast<std::size_t>(message.value_cols));
+  for (Index k = 0; k < v.nnz(); ++k) {
+    message.indices.push_back(static_cast<std::uint64_t>(v.index_at(k)));
+    const T& value = v.value_at(k);
+    if constexpr (std::is_same_v<T, Vertex>) {
+      message.values.push_back(value.parent);
+      message.values.push_back(value.root);
+    } else if constexpr (std::is_same_v<T, KeyedProposal>) {
+      message.values.push_back(value.key);
+      message.values.push_back(value.id);
+    } else if constexpr (std::is_integral_v<T>) {
+      message.values.push_back(static_cast<std::int64_t>(value));
+    }
+  }
+  return message;
+}
+
+}  // namespace wire_payload
+}  // namespace mcm

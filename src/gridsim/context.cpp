@@ -150,8 +150,8 @@ void SimContext::charge_scatterv_root(Cost category, int processes,
 }
 
 void SimContext::charge_rma(Cost category, std::uint64_t ops,
-                            std::uint64_t words_each) {
-  comm_->rma(charge_scope(), category, ops, words_each, processes());
+                            std::uint64_t payload_words) {
+  comm_->rma(charge_scope(), category, ops, payload_words, processes());
 }
 
 }  // namespace mcm

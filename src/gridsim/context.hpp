@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "comm/backend.hpp"
+#include "comm/wire.hpp"
 #include "gridsim/cost_ledger.hpp"
 #include "gridsim/faultsim.hpp"
 #include "gridsim/host_engine.hpp"
@@ -49,6 +50,14 @@ struct SimConfig {
   /// Modeled charges and results are identical across backends; only
   /// lane-forcing, measured-time trace events and fault support differ.
   comm::Backend backend = comm::Backend::Gridsim;
+
+  /// Wire format the collectives' payloads are priced in (comm/wire.hpp):
+  /// `auto` (the default) takes the per-message minimum over raw, varint
+  /// and bitmap encodings, so β-words shrink wherever an encoding wins;
+  /// `raw` reproduces the historical (uncompressed) ledgers bit for bit.
+  /// Results, stats and message counts are identical for every value —
+  /// only word counters and the β term of wire-routed charges change.
+  WireFormat wire = WireFormat::Auto;
 
   /// Host execution lanes for the simulator's per-rank loops (NOT a model
   /// parameter: simulated time and results are identical for every value;
@@ -206,9 +215,11 @@ class SimContext {
                            std::uint64_t max_group_delta_words);
   void charge_gatherv_root(Cost category, int processes, std::uint64_t total_words);
   void charge_scatterv_root(Cost category, int processes, std::uint64_t total_words);
-  /// `ops` one-sided operations of `words_each`, issued concurrently by
-  /// independent ranks: pass the max per-rank count in `ops`.
-  void charge_rma(Cost category, std::uint64_t ops, std::uint64_t words_each);
+  /// One-sided batch: `ops` operations moving `payload_words` total, issued
+  /// by the busiest origin (max over origins — each op still pays α, the
+  /// payload pays β once; uncompressed callers pass ops * words-per-op).
+  void charge_rma(Cost category, std::uint64_t ops,
+                  std::uint64_t payload_words);
 
  private:
   SimConfig config_;

@@ -31,6 +31,12 @@ void CostLedger::count_comm(Cost category, std::uint64_t messages,
   words_[static_cast<int>(category)] += words;
 }
 
+void CostLedger::count_wire(Cost category, std::uint64_t raw_words,
+                            std::uint64_t sent_words) noexcept {
+  wire_raw_[static_cast<int>(category)] += raw_words;
+  wire_sent_[static_cast<int>(category)] += sent_words;
+}
+
 double CostLedger::time_us(Cost category) const noexcept {
   return time_us_[static_cast<int>(category)];
 }
@@ -61,18 +67,43 @@ std::uint64_t CostLedger::total_words() const noexcept {
   return total;
 }
 
+std::uint64_t CostLedger::wire_raw(Cost category) const noexcept {
+  return wire_raw_[static_cast<int>(category)];
+}
+
+std::uint64_t CostLedger::wire_sent(Cost category) const noexcept {
+  return wire_sent_[static_cast<int>(category)];
+}
+
+std::uint64_t CostLedger::total_wire_raw() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto w : wire_raw_) total += w;
+  return total;
+}
+
+std::uint64_t CostLedger::total_wire_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto w : wire_sent_) total += w;
+  return total;
+}
+
 void CostLedger::set_raw(Cost category, double us, std::uint64_t messages,
-                         std::uint64_t words) noexcept {
+                         std::uint64_t words, std::uint64_t wire_raw_words,
+                         std::uint64_t wire_sent_words) noexcept {
   const auto c = static_cast<std::size_t>(category);
   time_us_[c] = us;
   messages_[c] = messages;
   words_[c] = words;
+  wire_raw_[c] = wire_raw_words;
+  wire_sent_[c] = wire_sent_words;
 }
 
 void CostLedger::reset() noexcept {
   time_us_.fill(0.0);
   messages_.fill(0);
   words_.fill(0);
+  wire_raw_.fill(0);
+  wire_sent_.fill(0);
 }
 
 std::string CostLedger::report() const {
@@ -80,7 +111,11 @@ std::string CostLedger::report() const {
   for (int c = 0; c < kCategories; ++c) {
     if (time_us_[c] == 0 && messages_[c] == 0) continue;
     out << cost_name(static_cast<Cost>(c)) << ": " << time_us_[c] / 1e3
-        << " ms, " << messages_[c] << " msgs, " << words_[c] << " words\n";
+        << " ms, " << messages_[c] << " msgs, " << words_[c] << " words";
+    if (wire_raw_[c] > 0) {
+      out << " (wire " << wire_sent_[c] << "/" << wire_raw_[c] << ")";
+    }
+    out << "\n";
   }
   out << "total: " << total_us() / 1e3 << " ms\n";
   return out.str();
@@ -91,6 +126,8 @@ void CostLedger::merge(const CostLedger& other) noexcept {
     time_us_[c] += other.time_us_[c];
     messages_[c] += other.messages_[c];
     words_[c] += other.words_[c];
+    wire_raw_[c] += other.wire_raw_[c];
+    wire_sent_[c] += other.wire_sent_[c];
   }
 }
 

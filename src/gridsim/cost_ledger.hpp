@@ -39,19 +39,33 @@ class CostLedger {
   void count_comm(Cost category, std::uint64_t messages,
                   std::uint64_t words) noexcept;
 
+  /// Records wire-compression volume for one collective routed through the
+  /// wire layer (comm/wire.hpp): `raw_words` is what the payload would have
+  /// been priced untransformed, `sent_words` the encoded words actually
+  /// charged (both follow the same per-collective convention count_comm's
+  /// words do, so wire_sent(c) equals the words(c) contributed by
+  /// wire-routed charges).
+  void count_wire(Cost category, std::uint64_t raw_words,
+                  std::uint64_t sent_words) noexcept;
+
   [[nodiscard]] double time_us(Cost category) const noexcept;
   [[nodiscard]] double total_us() const noexcept;
   [[nodiscard]] std::uint64_t messages(Cost category) const noexcept;
   [[nodiscard]] std::uint64_t words(Cost category) const noexcept;
   [[nodiscard]] std::uint64_t total_messages() const noexcept;
   [[nodiscard]] std::uint64_t total_words() const noexcept;
+  [[nodiscard]] std::uint64_t wire_raw(Cost category) const noexcept;
+  [[nodiscard]] std::uint64_t wire_sent(Cost category) const noexcept;
+  [[nodiscard]] std::uint64_t total_wire_raw() const noexcept;
+  [[nodiscard]] std::uint64_t total_wire_sent() const noexcept;
 
   /// Overwrites one category's raw totals. Checkpoint restore only
   /// (core/checkpoint.hpp): reconstitutes a serialized ledger bit-exactly,
   /// so it deliberately bypasses the charge-monotonicity validation — it is
   /// not a charge.
   void set_raw(Cost category, double us, std::uint64_t messages,
-               std::uint64_t words) noexcept;
+               std::uint64_t words, std::uint64_t wire_raw_words,
+               std::uint64_t wire_sent_words) noexcept;
 
   void reset() noexcept;
 
@@ -67,6 +81,8 @@ class CostLedger {
   std::array<double, kCategories> time_us_{};
   std::array<std::uint64_t, kCategories> messages_{};
   std::array<std::uint64_t, kCategories> words_{};
+  std::array<std::uint64_t, kCategories> wire_raw_{};
+  std::array<std::uint64_t, kCategories> wire_sent_{};
 };
 
 }  // namespace mcm

@@ -111,9 +111,10 @@ std::vector<BreakdownRow> Tracer::breakdown() const {
 std::string Tracer::breakdown_table(const CostLedger& ledger) const {
   const std::vector<BreakdownRow> rows = breakdown();
   std::string out;
-  char line[160];
-  std::snprintf(line, sizeof line, "%-14s %8s %14s %14s %14s\n", "category",
-                "spans", "sim ms", "ledger ms", "host ms");
+  char line[200];
+  std::snprintf(line, sizeof line, "%-14s %8s %14s %14s %14s %12s %12s %6s\n",
+                "category", "spans", "sim ms", "ledger ms", "host ms",
+                "wire raw", "wire sent", "ratio");
   out += line;
   double traced_sim = 0;
   double traced_host = 0;
@@ -122,22 +123,42 @@ std::string Tracer::breakdown_table(const CostLedger& ledger) const {
     traced_sim += row.sim_us;
     traced_host += row.host_us;
     spans += row.spans;
-    std::snprintf(line, sizeof line, "%-14s %8llu %14.3f %14.3f %14.3f\n",
-                  cost_name(row.category),
-                  static_cast<unsigned long long>(row.spans), row.sim_us * 1e-3,
-                  ledger.time_us(row.category) * 1e-3, row.host_us * 1e-3);
+    const std::uint64_t wraw = ledger.wire_raw(row.category);
+    const std::uint64_t wsent = ledger.wire_sent(row.category);
+    if (wraw > 0) {
+      std::snprintf(line, sizeof line,
+                    "%-14s %8llu %14.3f %14.3f %14.3f %12llu %12llu %6.3f\n",
+                    cost_name(row.category),
+                    static_cast<unsigned long long>(row.spans),
+                    row.sim_us * 1e-3, ledger.time_us(row.category) * 1e-3,
+                    row.host_us * 1e-3, static_cast<unsigned long long>(wraw),
+                    static_cast<unsigned long long>(wsent),
+                    static_cast<double>(wsent) / static_cast<double>(wraw));
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-14s %8llu %14.3f %14.3f %14.3f %12s %12s %6s\n",
+                    cost_name(row.category),
+                    static_cast<unsigned long long>(row.spans),
+                    row.sim_us * 1e-3, ledger.time_us(row.category) * 1e-3,
+                    row.host_us * 1e-3, "", "", "");
+    }
     out += line;
   }
   // The residual keeps the simulated column summing to the ledger total even
   // when some charges happened outside any counted span.
   const double untraced = ledger.total_us() - traced_sim;
-  std::snprintf(line, sizeof line, "%-14s %8s %14.3f %14s %14s\n", "(untraced)",
-                "", untraced * 1e-3, "", "");
+  std::snprintf(line, sizeof line, "%-14s %8s %14.3f %14s %14s %12s %12s %6s\n",
+                "(untraced)", "", untraced * 1e-3, "", "", "", "", "");
   out += line;
-  std::snprintf(line, sizeof line, "%-14s %8llu %14.3f %14.3f %14.3f\n",
-                "total", static_cast<unsigned long long>(spans),
-                (traced_sim + untraced) * 1e-3, ledger.total_us() * 1e-3,
-                traced_host * 1e-3);
+  const std::uint64_t wire_raw_total = ledger.total_wire_raw();
+  const std::uint64_t wire_sent_total = ledger.total_wire_sent();
+  std::snprintf(
+      line, sizeof line,
+      "%-14s %8llu %14.3f %14.3f %14.3f %12llu %12llu %6s\n", "total",
+      static_cast<unsigned long long>(spans), (traced_sim + untraced) * 1e-3,
+      ledger.total_us() * 1e-3, traced_host * 1e-3,
+      static_cast<unsigned long long>(wire_raw_total),
+      static_cast<unsigned long long>(wire_sent_total), "");
   out += line;
   return out;
 }

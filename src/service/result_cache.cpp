@@ -24,7 +24,11 @@ std::uint64_t fingerprint_query_options(const SimConfig& sim,
       .mix(static_cast<std::int64_t>(sim.machine.cores_per_node))
       .mix(static_cast<std::int64_t>(sim.machine.cores_per_socket))
       .mix(static_cast<std::int64_t>(sim.cores))
-      .mix(static_cast<std::int64_t>(sim.threads_per_process));
+      .mix(static_cast<std::int64_t>(sim.threads_per_process))
+      // Wire format changes the ledger's word counters (not the matching),
+      // and cached results replay their ledger verbatim — never serve a
+      // raw-priced ledger to an auto-priced query.
+      .mix(static_cast<std::int64_t>(sim.wire));
   // Pipeline: initializer and input labeling.
   fp.mix(static_cast<std::int64_t>(pipeline.initializer))
       .mix(pipeline.random_permute)

@@ -48,6 +48,8 @@ void expect_ledger_identical(const CostLedger& a, const CostLedger& b) {
     EXPECT_EQ(a.time_us(cat), b.time_us(cat)) << cost_name(cat);
     EXPECT_EQ(a.messages(cat), b.messages(cat)) << cost_name(cat);
     EXPECT_EQ(a.words(cat), b.words(cat)) << cost_name(cat);
+    EXPECT_EQ(a.wire_raw(cat), b.wire_raw(cat)) << cost_name(cat);
+    EXPECT_EQ(a.wire_sent(cat), b.wire_sent(cat)) << cost_name(cat);
   }
 }
 
@@ -137,6 +139,119 @@ TEST(BackendEquiv, ServicePerQueryResultsIdenticalAcrossBackends) {
   }
 }
 
+PipelineResult run_wire(const CooMatrix& coo, comm::Backend backend,
+                        int processes, bool mask, WireFormat wire) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.backend = backend;
+  config.wire = wire;
+  PipelineOptions options;
+  options.mcm.use_mask = mask;
+  return run_pipeline(config, coo, options);
+}
+
+constexpr WireFormat kWireFormats[] = {WireFormat::Raw, WireFormat::Varint,
+                                       WireFormat::Bitmap, WireFormat::Auto};
+
+/// Wire-format equivalence (DESIGN.md §5.9): the wire layer reprices
+/// collectives, it never reroutes them. Across the full format x grid x
+/// mask matrix: matchings, stats and per-category message counts match the
+/// raw run exactly (only word counters and their beta time move), both
+/// backends stay bit-identical at every format, and Auto's words never
+/// exceed Raw's in any category.
+TEST(WireEquiv, ResultsIdenticalAcrossFormatsGridsAndBackends) {
+  const CooMatrix coo = test_graph();
+  for (const int processes : {1, 4, 16}) {
+    for (const bool mask : {true, false}) {
+      const PipelineResult raw =
+          run_wire(coo, comm::Backend::Gridsim, processes, mask,
+                   WireFormat::Raw);
+      for (const WireFormat wire : kWireFormats) {
+        SCOPED_TRACE("p=" + std::to_string(processes)
+                     + " mask=" + std::to_string(mask) + " wire="
+                     + wire_name(wire));
+        const PipelineResult gridsim =
+            run_wire(coo, comm::Backend::Gridsim, processes, mask, wire);
+        const PipelineResult threads =
+            run_wire(coo, comm::Backend::Threads, processes, mask, wire);
+
+        // Backends agree bit for bit at every wire format.
+        EXPECT_EQ(gridsim.matching.mate_r, threads.matching.mate_r);
+        EXPECT_EQ(gridsim.matching.mate_c, threads.matching.mate_c);
+        expect_ledger_identical(gridsim.ledger, threads.ledger);
+
+        // Against the raw reference: identical computation, repriced wire.
+        EXPECT_EQ(gridsim.matching.mate_r, raw.matching.mate_r);
+        EXPECT_EQ(gridsim.matching.mate_c, raw.matching.mate_c);
+        EXPECT_EQ(gridsim.init_stats.cardinality, raw.init_stats.cardinality);
+        EXPECT_EQ(gridsim.mcm_stats.phases, raw.mcm_stats.phases);
+        EXPECT_EQ(gridsim.mcm_stats.iterations, raw.mcm_stats.iterations);
+        EXPECT_EQ(gridsim.mcm_stats.augmentations,
+                  raw.mcm_stats.augmentations);
+        EXPECT_EQ(gridsim.mcm_stats.final_cardinality,
+                  raw.mcm_stats.final_cardinality);
+        for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+          const Cost cat = static_cast<Cost>(c);
+          EXPECT_EQ(gridsim.ledger.messages(cat), raw.ledger.messages(cat))
+              << cost_name(cat);
+          // Every wire-routed charge saw the same uncompressed payload.
+          EXPECT_EQ(gridsim.ledger.wire_raw(cat), raw.ledger.wire_raw(cat))
+              << cost_name(cat);
+          if (wire == WireFormat::Auto) {
+            EXPECT_LE(gridsim.ledger.words(cat), raw.ledger.words(cat))
+                << cost_name(cat);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The ISSUE's acceptance fixture: RMAT g500 scale-16, edge factor 8, 4x4
+/// grid. Both of the SpMV category's collectives — the frontier expand
+/// (allgatherv) and the fold (alltoallv) — carry (index, Vertex) entries
+/// whose raw pricing is 3 words apiece; delta varints plus width-narrowed
+/// parent/root columns shrink that well past the required 25%.
+TEST(WireEquiv, AutoCompressesRmatScale16SpmvFoldByAQuarter) {
+  Rng rng(7);
+  RmatParams params = RmatParams::g500(16);
+  params.edge_factor = 8.0;
+  const CooMatrix coo = rmat(params, rng);
+
+  PipelineResult results[2];
+  int i = 0;
+  for (const WireFormat wire : {WireFormat::Raw, WireFormat::Auto}) {
+    results[i++] = run_wire(coo, comm::Backend::Gridsim, 16,
+                            /*mask=*/true, wire);
+  }
+  const PipelineResult& raw = results[0];
+  const PipelineResult& with_auto = results[1];
+
+  // Bit-identical matching and cardinality.
+  EXPECT_EQ(with_auto.matching.mate_r, raw.matching.mate_r);
+  EXPECT_EQ(with_auto.matching.mate_c, raw.matching.mate_c);
+  EXPECT_EQ(with_auto.mcm_stats.final_cardinality,
+            raw.mcm_stats.final_cardinality);
+
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    const Cost cat = static_cast<Cost>(c);
+    EXPECT_LE(with_auto.ledger.words(cat), raw.ledger.words(cat))
+        << cost_name(cat);
+  }
+  // A raw-priced run's wire counters record sent == raw.
+  EXPECT_EQ(raw.ledger.total_wire_sent(), raw.ledger.total_wire_raw());
+
+  // The acceptance bar: >= 25% fewer SpMV-category beta words (expand AND
+  // fold both charge Cost::SpMV, so the bound covers both collectives).
+  const std::uint64_t raw_spmv = raw.ledger.words(Cost::SpMV);
+  const std::uint64_t auto_spmv = with_auto.ledger.words(Cost::SpMV);
+  ASSERT_GT(raw_spmv, 0u);
+  EXPECT_LE(auto_spmv * 4, raw_spmv * 3)
+      << "auto=" << auto_spmv << " raw=" << raw_spmv << " ratio="
+      << static_cast<double>(auto_spmv) / static_cast<double>(raw_spmv);
+}
+
 // Trace sanity: measured spans exist only under the threads backend, and a
 // threads pipeline run yields a calibration table covering the pipeline's
 // comm primitives.
@@ -177,6 +292,26 @@ TEST_F(BackendEquivTraceTest, MeasuredSpansExistOnlyUnderThreads) {
   for (const char* primitive : {"allgatherv", "alltoallv", "allreduce"}) {
     EXPECT_NE(table.find(primitive), std::string::npos) << primitive;
   }
+}
+
+TEST_F(BackendEquivTraceTest, EncodeDecodeRowsAppearOnlyWhenWireCompresses) {
+  // Codec calibration fires where the pricing does: a threads-backend run
+  // with a compressing wire format measures real encode/decode time as
+  // MEASURED.encode / MEASURED.decode rows; a raw-priced run never runs
+  // the codec at all.
+  const CooMatrix coo = test_graph(6);
+  (void)run_wire(coo, comm::Backend::Threads, 16, true, WireFormat::Auto);
+  const std::string table = comm::calibration_table(trace::tracer().events());
+  EXPECT_NE(table.find("encode"), std::string::npos);
+  EXPECT_NE(table.find("decode"), std::string::npos);
+
+  trace::tracer().clear();
+  (void)run_wire(coo, comm::Backend::Threads, 16, true, WireFormat::Raw);
+  const std::string raw_table =
+      comm::calibration_table(trace::tracer().events());
+  ASSERT_FALSE(raw_table.empty());  // the substrate still measures
+  EXPECT_EQ(raw_table.find("encode"), std::string::npos);
+  EXPECT_EQ(raw_table.find("decode"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+/// Round-trip and pricing properties of the wire codec (comm/wire.hpp,
+/// DESIGN.md §5.9). Three families:
+///   - decode(encode(x)) == x for every format over hand-picked edge cases:
+///     empty payload, single element, the 2^48-1 radix-guard boundary index,
+///     fully dense ranges and adversarial alternating-density segments;
+///   - the PayloadSizer prices exactly the buffer wire_encode() produces
+///     (varint/bitmap), and Auto never exceeds the raw accounting;
+///   - a seeded SplitMix64 fuzz loop asserting both properties over random
+///     message shapes.
+
+#include "comm/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mcm {
+namespace {
+
+using wire::PayloadSizer;
+using wire::WireMessage;
+using wire::wire_decode;
+using wire::wire_encode;
+
+/// SplitMix64: tiny, seeded, no dependency on util/rng's stream shape.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+constexpr WireFormat kAllFormats[] = {WireFormat::Raw, WireFormat::Varint,
+                                      WireFormat::Bitmap, WireFormat::Auto};
+
+/// Raw accounting for a message: one word per index plus one per value.
+std::uint64_t raw_words_of(const WireMessage& m) {
+  return static_cast<std::uint64_t>(m.indices.size())
+         * (1 + static_cast<std::uint64_t>(m.value_cols));
+}
+
+PayloadSizer sizer_of(const WireMessage& m) {
+  PayloadSizer sizer(m.range, m.value_cols);
+  for (std::size_t k = 0; k < m.indices.size(); ++k) {
+    if (m.value_cols == 0) {
+      sizer.add(m.indices[k]);
+    } else if (m.value_cols == 1) {
+      sizer.add(m.indices[k], m.values[k]);
+    } else {
+      sizer.add(m.indices[k], m.values[2 * k], m.values[2 * k + 1]);
+    }
+  }
+  return sizer;
+}
+
+void expect_roundtrip_all_formats(const WireMessage& m, const char* what) {
+  for (const WireFormat f : kAllFormats) {
+    const std::vector<std::uint64_t> buf = wire_encode(m, f);
+    const WireMessage back = wire_decode(buf);
+    EXPECT_EQ(back, m) << what << " via " << wire_name(f);
+  }
+}
+
+/// Sizer-vs-encoder agreement plus the Auto <= raw pricing guarantee.
+void expect_priced_exactly(const WireMessage& m, const char* what) {
+  const PayloadSizer sizer = sizer_of(m);
+  const std::uint64_t raw = raw_words_of(m);
+  EXPECT_EQ(sizer.varint_words(),
+            wire_encode(m, WireFormat::Varint).size())
+      << what;
+  if (sizer.bitmap_eligible()) {
+    EXPECT_EQ(sizer.bitmap_words(),
+              wire_encode(m, WireFormat::Bitmap).size())
+        << what;
+  } else {
+    // Ineligible (unsorted, duplicated, or absurd range): explicit Bitmap
+    // must encode the raw-tagged buffer, never the presence bits.
+    EXPECT_EQ(sizer.raw_tagged_words(),
+              wire_encode(m, WireFormat::Bitmap).size())
+        << what;
+  }
+  EXPECT_LE(sizer.words(WireFormat::Auto, raw), raw) << what;
+  EXPECT_EQ(sizer.words(WireFormat::Raw, raw), raw) << what;
+}
+
+TEST(Wire, EmptyPayloadRoundTrips) {
+  WireMessage m;
+  m.range = 1000;
+  m.value_cols = 1;
+  expect_roundtrip_all_formats(m, "empty");
+  expect_priced_exactly(m, "empty");
+}
+
+TEST(Wire, SingleElementRoundTrips) {
+  WireMessage m;
+  m.range = 64;
+  m.value_cols = 2;
+  m.indices = {17};
+  m.values = {kNull, 123456789};
+  expect_roundtrip_all_formats(m, "single");
+  expect_priced_exactly(m, "single");
+}
+
+TEST(Wire, RadixGuardBoundaryIndexRoundTrips) {
+  // Indices live under the 2^48 radix guard; the codec must carry the
+  // largest admissible index without truncation in either index mode.
+  const std::uint64_t top = (1ull << 48) - 1;
+  WireMessage sorted;
+  sorted.range = 1ull << 48;
+  sorted.value_cols = 1;
+  sorted.indices = {0, 1, top - 1, top};
+  sorted.values = {1, 2, 3, kNull};
+  expect_roundtrip_all_formats(sorted, "radix-guard sorted");
+  expect_priced_exactly(sorted, "radix-guard sorted");
+
+  WireMessage unsorted = sorted;
+  unsorted.indices = {top, 0, top - 1, 1};  // absolute-varint path
+  expect_roundtrip_all_formats(unsorted, "radix-guard unsorted");
+  expect_priced_exactly(unsorted, "radix-guard unsorted");
+}
+
+TEST(Wire, FullyDenseRangePicksBitmapUnderAuto) {
+  WireMessage m;
+  m.range = 512;
+  m.value_cols = 0;
+  for (std::uint64_t i = 0; i < 512; ++i) m.indices.push_back(i);
+  expect_roundtrip_all_formats(m, "dense");
+  expect_priced_exactly(m, "dense");
+  const PayloadSizer sizer = sizer_of(m);
+  const std::uint64_t raw = raw_words_of(m);
+  // 512 presence bits = 8 words + header beats 512 raw words and the
+  // 512-byte varint stream alike.
+  EXPECT_EQ(sizer.words(WireFormat::Auto, raw), sizer.bitmap_words());
+  EXPECT_LT(sizer.bitmap_words(), sizer.varint_words());
+}
+
+TEST(Wire, SparseHugeRangePicksVarintUnderAuto) {
+  WireMessage m;
+  m.range = 1ull << 40;
+  m.value_cols = 0;
+  // A cluster of 64 nearby indices parked deep into a 2^40 range: small
+  // deltas after one long jump, so varints clearly beat one word apiece.
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    m.indices.push_back((1ull << 39) + 3 * k);
+  }
+  expect_roundtrip_all_formats(m, "sparse");
+  expect_priced_exactly(m, "sparse");
+  const PayloadSizer sizer = sizer_of(m);
+  const std::uint64_t raw = raw_words_of(m);
+  // A 2^40-bit presence section is absurd: the sizer must declare bitmap
+  // ineligible (so neither pricing nor encoding ever touches it) and the
+  // delta varints win under Auto.
+  EXPECT_TRUE(sizer.strictly_increasing());
+  EXPECT_FALSE(sizer.bitmap_eligible());
+  EXPECT_EQ(sizer.words(WireFormat::Auto, raw), sizer.varint_words());
+  EXPECT_EQ(sizer.words(WireFormat::Bitmap, raw), raw);
+}
+
+TEST(Wire, AlternatingDensitySegmentsRoundTrip) {
+  // Adversarial: dense bursts separated by huge gaps — delta varints see
+  // long runs of tiny deltas punctuated by multi-byte jumps, the bitmap
+  // sees a mostly-empty range.
+  WireMessage m;
+  m.range = 1ull << 20;
+  m.value_cols = 1;
+  std::uint64_t base = 0;
+  for (int burst = 0; burst < 8; ++burst) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      m.indices.push_back(base + i);
+      m.values.push_back(static_cast<std::int64_t>(burst) - 1);  // incl. -1
+    }
+    base += (1ull << 17);  // gap
+  }
+  expect_roundtrip_all_formats(m, "alternating");
+  expect_priced_exactly(m, "alternating");
+}
+
+TEST(Wire, UnsortedIndicesFallBackFromBitmap) {
+  WireMessage m;
+  m.range = 100;
+  m.value_cols = 0;
+  m.indices = {50, 10, 90};
+  expect_roundtrip_all_formats(m, "unsorted");
+  const PayloadSizer sizer = sizer_of(m);
+  EXPECT_FALSE(sizer.nondecreasing());
+  EXPECT_FALSE(sizer.strictly_increasing());
+  // Explicit Bitmap on an ineligible message prices (and encodes) raw.
+  EXPECT_EQ(sizer.words(WireFormat::Bitmap, raw_words_of(m)),
+            raw_words_of(m));
+}
+
+TEST(Wire, DuplicateIndicesAreVarintButNotBitmapEligible) {
+  // COO column streams carry duplicates: nondecreasing but not strict.
+  WireMessage m;
+  m.range = 10;
+  m.value_cols = 1;
+  m.indices = {3, 3, 3, 7};
+  m.values = {1, 2, 3, 4};
+  expect_roundtrip_all_formats(m, "duplicates");
+  expect_priced_exactly(m, "duplicates");
+  const PayloadSizer sizer = sizer_of(m);
+  EXPECT_TRUE(sizer.nondecreasing());
+  EXPECT_FALSE(sizer.strictly_increasing());
+}
+
+TEST(Wire, ExtremeValuesShipUnbiased) {
+  // A value below -1 (or at the bias-overflow guard) forces the full
+  // 64-bit column; round-trip must still be exact.
+  WireMessage m;
+  m.range = 8;
+  m.value_cols = 2;
+  m.indices = {1, 5};
+  m.values = {std::int64_t{-2}, INT64_MAX, INT64_MIN, std::int64_t{7}};
+  expect_roundtrip_all_formats(m, "extreme");
+  expect_priced_exactly(m, "extreme");
+}
+
+TEST(Wire, FormatNamesRoundTrip) {
+  for (const WireFormat f : kAllFormats) {
+    EXPECT_EQ(wire_from_string(wire_name(f)), f);
+  }
+  EXPECT_THROW((void)wire_from_string("gzip"), std::invalid_argument);
+}
+
+TEST(Wire, MalformedBufferThrows) {
+  WireMessage m;
+  m.range = 100;
+  m.value_cols = 1;
+  m.indices = {1, 2, 3};
+  m.values = {10, 20, 30};
+  std::vector<std::uint64_t> buf = wire_encode(m, WireFormat::Varint);
+  std::vector<std::uint64_t> truncated(buf.begin(), buf.end() - 1);
+  EXPECT_THROW((void)wire_decode(truncated), std::invalid_argument);
+  EXPECT_THROW((void)wire_decode({}), std::invalid_argument);
+}
+
+TEST(Wire, FuzzRoundTripAndPricing) {
+  SplitMix64 rng(0xC0FFEEull);
+  for (int iter = 0; iter < 300; ++iter) {
+    WireMessage m;
+    const int shape = static_cast<int>(rng.below(4));
+    m.range = 1 + rng.below(shape == 3 ? (1ull << 44) : 4096);
+    m.value_cols = static_cast<int>(rng.below(3));
+    const std::uint64_t n = rng.below(128);
+    std::uint64_t prev = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      std::uint64_t idx;
+      switch (shape) {
+        case 0:  // sorted strict (clustered)
+          idx = prev + 1 + rng.below(4);
+          break;
+        case 1:  // sorted with duplicates
+          idx = prev + rng.below(3);
+          break;
+        default:  // unsorted / huge-range
+          idx = rng.below(m.range);
+          break;
+      }
+      if (idx >= m.range) break;
+      m.indices.push_back(idx);
+      prev = idx;
+      for (int c = 0; c < m.value_cols; ++c) {
+        // Mix widths and kNull; occasionally go negative past the bias.
+        const std::uint64_t pick = rng.below(6);
+        std::int64_t v;
+        if (pick == 0) {
+          v = kNull;
+        } else if (pick == 1) {
+          v = -static_cast<std::int64_t>(rng.below(1ull << 20)) - 2;
+        } else {
+          v = static_cast<std::int64_t>(rng.below(1ull << (8 * pick)));
+        }
+        m.values.push_back(v);
+      }
+    }
+    expect_roundtrip_all_formats(m, "fuzz");
+    expect_priced_exactly(m, "fuzz");
+    if (HasFailure()) break;  // one shrunk repro beats 300 dumps
+  }
+}
+
+}  // namespace
+}  // namespace mcm

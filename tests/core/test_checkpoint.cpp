@@ -48,6 +48,7 @@ struct RunSpec {
   int processes = 16;
   int host_threads = 1;
   bool mask = true;
+  WireFormat wire = WireFormat::Auto;
   std::string ckpt_dir;
   std::uint64_t every = 2;
   bool resume = false;
@@ -61,6 +62,7 @@ PipelineResult run(const CooMatrix& coo, const RunSpec& spec) {
   config.cores = spec.processes;
   config.threads_per_process = 1;
   config.host_threads = spec.host_threads;
+  config.wire = spec.wire;
   PipelineOptions options;
   options.initializer = MaximalKind::None;  // plenty of supersteps to crash in
   options.permute_seed = spec.permute_seed;
@@ -94,6 +96,8 @@ void expect_ledger_identical(const CostLedger& a, const CostLedger& b) {
     EXPECT_EQ(a.time_us(cat), b.time_us(cat)) << cost_name(cat);
     EXPECT_EQ(a.messages(cat), b.messages(cat)) << cost_name(cat);
     EXPECT_EQ(a.words(cat), b.words(cat)) << cost_name(cat);
+    EXPECT_EQ(a.wire_raw(cat), b.wire_raw(cat)) << cost_name(cat);
+    EXPECT_EQ(a.wire_sent(cat), b.wire_sent(cat)) << cost_name(cat);
   }
 }
 
@@ -136,9 +140,10 @@ Checkpoint sample_checkpoint() {
   ck.machine.beta_word_us = 0.004;
   ck.machine.edge_time_us = 0.001;
   ck.machine.elem_time_us = 0.0005;
-  ck.ledger.set_raw(Cost::SpMV, 123.456, 7, 890);
-  ck.ledger.set_raw(Cost::Invert, 0.125, 3, 44);
-  ck.ledger.set_raw(Cost::Other, 1e-9, 0, 1);
+  ck.header.wire = static_cast<int>(WireFormat::Auto);
+  ck.ledger.set_raw(Cost::SpMV, 123.456, 7, 890, 1200, 890);
+  ck.ledger.set_raw(Cost::Invert, 0.125, 3, 44, 60, 44);
+  ck.ledger.set_raw(Cost::Other, 1e-9, 0, 1, 0, 0);
   ck.init_us = 55.5;
   ck.pre_init_us = 2.75;
   ck.mate_r = {kNull, 2, 0, kNull, 1, 4};
@@ -302,6 +307,12 @@ TEST(CheckpointResume, IncompatibleResumesAreRefusedStructurally) {
   RunSpec wrong_mask = resume;
   wrong_mask.mask = !resume.mask;
   EXPECT_EQ(resume_failure_kind(coo, wrong_mask),
+            CheckpointError::Kind::OptionMismatch);
+
+  // Same options, different wire format: the ledger would not replay.
+  RunSpec wrong_wire = resume;
+  wrong_wire.wire = WireFormat::Raw;
+  EXPECT_EQ(resume_failure_kind(coo, wrong_wire),
             CheckpointError::Kind::OptionMismatch);
 
   // Same options, different input permutation (pipeline fingerprint).

@@ -8,15 +8,18 @@
 namespace mcm {
 namespace {
 
-SimContext make_ctx(int processes) {
+SimContext make_ctx(int processes,
+                    WireFormat wire = WireFormat::Auto) {
   SimConfig config;
   config.cores = processes;
   config.threads_per_process = 1;
+  config.wire = wire;
   return SimContext(config);
 }
 
 TEST(Gather, MatrixRoundTripsThroughRoot) {
-  SimContext ctx = make_ctx(9);
+  // Raw wire: the historical flat accounting of 2 words per edge.
+  SimContext ctx = make_ctx(9, WireFormat::Raw);
   Rng rng(3);
   CooMatrix original = er_bipartite_m(33, 27, 200, rng);
   const DistMatrix dist = DistMatrix::distribute(ctx, original);
@@ -28,6 +31,37 @@ TEST(Gather, MatrixRoundTripsThroughRoot) {
   EXPECT_GT(ctx.ledger().time_us(Cost::GatherScatter), 0);
   EXPECT_EQ(ctx.ledger().words(Cost::GatherScatter),
             2 * static_cast<std::uint64_t>(original.nnz()));
+}
+
+TEST(Gather, AutoWireCompressesGatherBelowRaw) {
+  // The corrected charge prices each block's COO message individually:
+  // under auto the total must stay at or below the raw 2 * nnz words while
+  // the gathered matrix stays bit-identical (satellite regression for the
+  // former flat, uncompressible charge).
+  SimContext raw_ctx = make_ctx(9, WireFormat::Raw);
+  SimContext auto_ctx = make_ctx(9, WireFormat::Auto);
+  Rng rng(3);
+  CooMatrix original = er_bipartite_m(33, 27, 200, rng);
+  const DistMatrix dist_raw = DistMatrix::distribute(raw_ctx, original);
+  const DistMatrix dist_auto = DistMatrix::distribute(auto_ctx, original);
+  CooMatrix from_raw = gather_matrix_to_root(raw_ctx, dist_raw);
+  CooMatrix from_auto = gather_matrix_to_root(auto_ctx, dist_auto);
+  from_raw.sort_dedup();
+  from_auto.sort_dedup();
+  EXPECT_EQ(from_raw.rows, from_auto.rows);
+  EXPECT_EQ(from_raw.cols, from_auto.cols);
+  // Same message count and raw accounting either way...
+  EXPECT_EQ(auto_ctx.ledger().messages(Cost::GatherScatter),
+            raw_ctx.ledger().messages(Cost::GatherScatter));
+  EXPECT_EQ(auto_ctx.ledger().wire_raw(Cost::GatherScatter),
+            raw_ctx.ledger().words(Cost::GatherScatter));
+  EXPECT_EQ(raw_ctx.ledger().words(Cost::GatherScatter),
+            2 * static_cast<std::uint64_t>(original.nnz()));
+  // ...but the encoded payload must shrink on this small-id fixture.
+  EXPECT_LT(auto_ctx.ledger().words(Cost::GatherScatter),
+            raw_ctx.ledger().words(Cost::GatherScatter));
+  EXPECT_EQ(auto_ctx.ledger().wire_sent(Cost::GatherScatter),
+            auto_ctx.ledger().words(Cost::GatherScatter));
 }
 
 TEST(Gather, ScatterMatesDistributesCorrectly) {

@@ -9,6 +9,8 @@ SimContext make_ctx(int processes) {
   SimConfig config;
   config.cores = processes;
   config.threads_per_process = 1;
+  // Word-exact ledger expectations below assume uncompressed payloads.
+  config.wire = WireFormat::Raw;
   return SimContext(config);
 }
 

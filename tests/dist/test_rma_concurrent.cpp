@@ -18,6 +18,8 @@ SimContext make_ctx(int processes, int host_threads) {
   config.cores = processes;
   config.threads_per_process = 1;
   config.host_threads = host_threads;
+  // Word-exact ledger expectations below assume uncompressed payloads.
+  config.wire = WireFormat::Raw;
   return SimContext(config);
 }
 

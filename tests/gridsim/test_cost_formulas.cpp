@@ -67,9 +67,10 @@ TEST(CostFormulas, GathervToRoot) {
 
 TEST(CostFormulas, RmaPerOp) {
   SimContext ctx = make_ctx(16);
-  // ops (a + w b).
-  ctx.charge_rma(Cost::Augment, 7, 2);
-  const double expected = 7 * (kAlpha + 2 * kBeta);
+  // ops a + payload b: every op pays latency, the payload pays bandwidth
+  // once (so wire narrowing shrinks the beta term without touching alpha).
+  ctx.charge_rma(Cost::Augment, 7, 14);
+  const double expected = 7 * kAlpha + 14 * kBeta;
   EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), expected, 1e-9);
 }
 

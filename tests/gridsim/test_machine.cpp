@@ -115,9 +115,9 @@ TEST(SimContext, AlltoallLatencyRoundsMultiply) {
 
 TEST(SimContext, RmaCostLinearInOps) {
   SimContext ctx(SimConfig::auto_config(16, 1));
-  ctx.charge_rma(Cost::Augment, 10, 1);
+  ctx.charge_rma(Cost::Augment, 10, 10);
   const double ten = ctx.ledger().time_us(Cost::Augment);
-  ctx.charge_rma(Cost::Augment, 30, 1);
+  ctx.charge_rma(Cost::Augment, 30, 30);
   EXPECT_NEAR(ctx.ledger().time_us(Cost::Augment), 4 * ten, 1e-9);
 }
 

@@ -17,6 +17,7 @@ inline void fixture_single_literal(SimContext& ctx, std::uint64_t n) {
 inline void fixture_category_param(SimContext& ctx, Cost category,
                                    std::uint64_t n) {
   ctx.charge_edge_ops(category, n);
+  // mcmlint: wire-raw — fixture exercises the category rule only
   ctx.charge_alltoallv(category, ctx.processes(), 1, n);
   ctx.charge_elem_ops(category, n);
 }

@@ -1,0 +1,30 @@
+#pragma once
+// Fixture: wire-boundary, failing cases — direct collective charges in
+// dist/ bypass SimConfig::wire, so the site ships uncompressed words no
+// matter what format the run asked for. Also pins that the category rule
+// sees wire::charge_* calls: a wire-routed primitive splitting categories
+// is still a split.
+
+#include "comm/comm.hpp"
+#include "comm/wire.hpp"
+
+namespace mcm {
+
+inline void fixture_direct_allgatherv(SimContext& ctx, std::uint64_t words) {
+  ctx.charge_allgatherv(Cost::SpMV, ctx.processes(), 1, words);  // mcmlint-expect: wire-boundary
+}
+
+inline void fixture_direct_alltoallv(SimContext& ctx, std::uint64_t words) {
+  ctx.charge_elem_ops(Cost::Invert, words);
+  ctx.charge_alltoallv(Cost::Invert, ctx.processes(), 1, words);  // mcmlint-expect: wire-boundary
+}
+
+// The wire helpers feed the same one-category accounting as direct
+// charges: splitting across them is a charge-category-total violation.
+inline void fixture_wire_split(SimContext& ctx, std::uint64_t raw,
+                               std::uint64_t sent) {
+  wire::charge_allgatherv(ctx, Cost::SpMV, ctx.processes(), 1, raw, sent);
+  wire::charge_alltoallv(ctx, Cost::Augment, ctx.processes(), 1, raw, sent);  // mcmlint-expect: charge-category-total
+}
+
+}  // namespace mcm

@@ -1,0 +1,31 @@
+#pragma once
+// Fixture: wire-boundary, passing cases — dist/ collectives priced through
+// the wire helpers, plus a justified intentional raw charge. Also a pass
+// case for charge-category-total over wire_charge events: several wire
+// helper calls naming one category are fine.
+
+#include "comm/comm.hpp"
+#include "comm/wire.hpp"
+
+namespace mcm {
+
+// The blessed path: raw and encoded word counts through the wire layer.
+inline void fixture_wire_routed(SimContext& ctx, Cost category,
+                                std::uint64_t raw, std::uint64_t sent) {
+  wire::charge_allgatherv(ctx, category, ctx.processes(), 1, raw, sent);
+  wire::charge_alltoallv(ctx, category, ctx.processes(), 1, raw, sent);
+}
+
+// An opaque payload the codec cannot stream: justified raw charge.
+inline void fixture_justified_raw(SimContext& ctx, std::uint64_t words) {
+  // mcmlint: wire-raw — opaque struct payload, nothing for the codec to see
+  ctx.charge_allgatherv(Cost::Other, ctx.processes(), 1, words);
+}
+
+// Non-collective charges never needed the wire layer in the first place.
+inline void fixture_non_collective(SimContext& ctx, std::uint64_t n) {
+  ctx.charge_elem_ops(Cost::SpMV, n);
+  ctx.charge_allreduce(Cost::SpMV, ctx.processes());
+}
+
+}  // namespace mcm

@@ -41,6 +41,7 @@ PASS_FIXTURE_SLUGS = {
     "no-wallclock-in-sim": ("trace", "suppression_file"),
     "charge-category-total": ("charge_pass", "charge_split_outside_dist"),
     "dist-comm-boundary": ("comm_boundary_pass",),
+    "wire-boundary": ("wire_boundary_pass",),
 }
 
 failures = []
