@@ -1,0 +1,186 @@
+/// Dynamic-matching maintenance bench: how fast can the incremental
+/// maintainer (core/dynamic.hpp, DESIGN.md §5.10) absorb a seeded churn
+/// stream, and after how many updates does paying one from-scratch MCM-DIST
+/// recompute become cheaper than maintaining continuously?
+///
+/// For each scale the bench measures, on the same base graph and churn
+/// stream:
+///
+///   incremental   DynamicMatching::apply per update (the honest streaming
+///                 mode) — host wall time per update, plus the simulated
+///                 cost the maintenance charged to the ledger;
+///   scratch       one run_pipeline() on the final mutated graph — the cost
+///                 a non-incremental deployment pays per refresh.
+///
+/// The headline is the crossover: scratch_ms / per_update_ms = the refresh
+/// interval (in updates) above which recomputing beats maintaining. Both
+/// sides run the same simulated pipeline on the same host, so the ratio is
+/// meaningful even though the absolute wall numbers are simulator-bound;
+/// EXPERIMENTS.md spells out the caveat. crossover >= 1 is an intra-file
+/// invariant (a single update must never cost more than a full solve).
+///
+/// Usage: bench_dynamic [--updates N] [--mix F] [--seed S] [--quick]
+/// Output path is fixed: BENCH_dynamic.json in the working directory.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/dynamic.hpp"
+#include "gen/er.hpp"
+#include "gen/workload.hpp"
+
+namespace mcm {
+namespace {
+
+struct ScaleResult {
+  std::string name;
+  Index n_rows = 0;
+  Index n_cols = 0;
+  Index edges = 0;
+  int updates = 0;
+  double incremental_wall_s = 0;
+  double per_update_ms = 0;
+  double updates_per_s = 0;
+  double sim_per_update_us = 0;  ///< ledger time the maintenance charged
+  std::uint64_t solver_runs = 0;
+  std::uint64_t fast_path = 0;
+  std::uint64_t supersteps = 0;
+  double scratch_solve_ms = 0;
+  double scratch_sim_s = 0;
+  double crossover_updates = 0;      ///< host clock
+  double crossover_updates_sim = 0;  ///< simulated clock
+  Index final_cardinality = 0;
+};
+
+ScaleResult run_scale(const std::string& name, Index n, Index edges,
+                      const ChurnConfig& churn, int sim_cores) {
+  Rng rng(churn.seed);
+  const CooMatrix base = er_bipartite_m(n, n, edges, rng);
+  const std::vector<EdgeUpdate> stream = make_churn(base, churn);
+
+  SimConfig config;
+  config.cores = sim_cores;
+  config.threads_per_process = 1;
+
+  ScaleResult r;
+  r.name = name;
+  r.n_rows = base.n_rows;
+  r.n_cols = base.n_cols;
+  r.edges = base.nnz();
+  r.updates = static_cast<int>(stream.size());
+
+  DynamicMatching dyn(config, base);
+  const double sim_before_us = dyn.ledger().total_us();
+  Timer incremental;
+  for (const EdgeUpdate& u : stream) dyn.apply(u);
+  r.incremental_wall_s = incremental.seconds();
+  r.per_update_ms =
+      r.incremental_wall_s * 1e3 / static_cast<double>(stream.size());
+  r.updates_per_s =
+      static_cast<double>(stream.size()) / r.incremental_wall_s;
+  r.sim_per_update_us = (dyn.ledger().total_us() - sim_before_us)
+                        / static_cast<double>(stream.size());
+  r.solver_runs = dyn.stats().solver_runs;
+  r.fast_path = dyn.stats().fast_path_matches;
+  r.supersteps = dyn.stats().solver_supersteps;
+  r.final_cardinality = dyn.cardinality();
+
+  // Scratch: one full pipeline on the mutated graph, same simulated machine.
+  Timer scratch;
+  const PipelineResult full = run_pipeline(config, dyn.graph(), {});
+  r.scratch_solve_ms = scratch.milliseconds();
+  r.scratch_sim_s = full.total_seconds();
+  if (full.matching.cardinality() != r.final_cardinality) {
+    std::fprintf(stderr, "bench_dynamic: %s maintained %lld != scratch %lld\n",
+                 name.c_str(), static_cast<long long>(r.final_cardinality),
+                 static_cast<long long>(full.matching.cardinality()));
+    std::exit(1);
+  }
+  r.crossover_updates = r.scratch_solve_ms / r.per_update_ms;
+  r.crossover_updates_sim =
+      r.scratch_sim_s * 1e6 / r.sim_per_update_us;
+  std::fprintf(stderr,
+               "  [%-10s] %.0f updates/s, scratch %.1f ms, crossover %.1f "
+               "updates (sim %.1f)\n",
+               name.c_str(), r.updates_per_s, r.scratch_solve_ms,
+               r.crossover_updates, r.crossover_updates_sim);
+  return r;
+}
+
+}  // namespace
+}  // namespace mcm
+
+int main(int argc, char** argv) {
+  using namespace mcm;
+  const Options options = Options::parse(argc, argv);
+  const bool quick = options.get_bool("quick", false);
+
+  ChurnConfig churn;
+  churn.updates = static_cast<int>(options.get_int("updates", quick ? 32 : 128));
+  churn.insert_fraction = options.get_double("mix", 0.5);
+  churn.seed = static_cast<std::uint64_t>(options.get_int("seed", 1));
+  const int sim_cores = 16;  // 4x4 grid, matching bench_service
+  const std::string out_path = "BENCH_dynamic.json";
+  const int host_cpus =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::vector<ScaleResult> runs;
+  runs.push_back(run_scale("er-small", 256, 1024, churn, sim_cores));
+  if (!quick) {
+    runs.push_back(run_scale("er-mid", 1024, 4096, churn, sim_cores));
+  }
+
+  Table table("Dynamic maintenance vs from-scratch recompute ("
+              + std::to_string(churn.updates) + " updates, mix "
+              + Table::num(churn.insert_fraction, 2) + ")");
+  table.set_header({"scale", "updates/s", "per-update", "solver runs",
+                    "scratch", "crossover"});
+  for (const ScaleResult& r : runs) {
+    table.add_row({r.name, Table::num(r.updates_per_s, 0),
+                   Table::num(r.per_update_ms, 3) + " ms",
+                   Table::num(static_cast<std::int64_t>(r.solver_runs)),
+                   Table::num(r.scratch_solve_ms, 1) + " ms",
+                   Table::num(r.crossover_updates, 1)});
+  }
+  table.print();
+
+  bench::JsonBuilder json;
+  json.begin_object()
+      .field("bench", "dynamic")
+      .field("host_cpus", host_cpus)
+      .field("updates", churn.updates)
+      .field("insert_fraction", churn.insert_fraction)
+      .field("seed", static_cast<std::int64_t>(churn.seed))
+      .field("sim_cores", sim_cores);
+  json.begin_array("runs");
+  for (const ScaleResult& r : runs) {
+    json.begin_object()
+        .field("name", r.name)
+        .field("n_rows", static_cast<std::int64_t>(r.n_rows))
+        .field("n_cols", static_cast<std::int64_t>(r.n_cols))
+        .field("edges", static_cast<std::int64_t>(r.edges))
+        .field("updates", r.updates)
+        .field("incremental_wall_s", r.incremental_wall_s)
+        .field("per_update_ms", r.per_update_ms)
+        .field("updates_per_s", r.updates_per_s)
+        .field("sim_per_update_us", r.sim_per_update_us)
+        .field("solver_runs", static_cast<std::int64_t>(r.solver_runs))
+        .field("fast_path", static_cast<std::int64_t>(r.fast_path))
+        .field("supersteps", static_cast<std::int64_t>(r.supersteps))
+        .field("scratch_solve_ms", r.scratch_solve_ms)
+        .field("scratch_sim_s", r.scratch_sim_s)
+        .field("crossover_updates", r.crossover_updates)
+        .field("crossover_updates_sim", r.crossover_updates_sim)
+        .field("final_cardinality",
+               static_cast<std::int64_t>(r.final_cardinality))
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  bench::write_text_file(out_path, json.str());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

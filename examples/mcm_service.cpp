@@ -7,7 +7,9 @@
 ///
 ///   $ ./mcm_service --queries 16 --policy smallest-work --workers 4
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,11 @@ void print_usage(std::FILE* out) {
       "  --wire F        wire format every query is priced at: raw | varint\n"
       "                  | bitmap | auto (default auto; results identical,\n"
       "                  only the ledger's word counters change)\n"
+      "  --updates N     after the stream, register the first pool graph as\n"
+      "                  a dynamic graph and interleave N churn updates\n"
+      "                  (batches of 4) with solve-by-handle queries; each\n"
+      "                  UpdateQuery retires cached results for the\n"
+      "                  superseded fingerprint (DESIGN.md §5.10)\n"
       "  --help          print this summary and exit 0\n");
 }
 
@@ -137,6 +144,59 @@ int main(int argc, char** argv) {
                    Table::num(o.latency_s * 1e3, 2) + " ms"});
   }
   table.print();
+
+  const int churn_updates = static_cast<int>(options.get_int("updates", 0));
+  if (churn_updates > 0) {
+    // Dynamic-graph demo: the first pool graph becomes a registered graph;
+    // churn batches interleave with solves by handle. Under FIFO pump mode
+    // each solve sees exactly the updates admitted before it.
+    const std::uint64_t handle = engine.register_graph(*workload.pool[0]);
+    ChurnConfig churn;
+    churn.updates = churn_updates;
+    churn.seed = workload_config.seed;
+    const std::vector<EdgeUpdate> stream =
+        make_churn(*workload.pool[0], churn);
+    std::vector<std::uint64_t> dyn_ids;
+    for (std::size_t k = 0; k < stream.size(); k += 4) {
+      QuerySpec update;
+      update.graph_handle = handle;
+      update.updates = std::make_shared<const std::vector<EdgeUpdate>>(
+          stream.begin() + static_cast<std::ptrdiff_t>(k),
+          stream.begin()
+              + static_cast<std::ptrdiff_t>(std::min(k + 4, stream.size())));
+      dyn_ids.push_back(engine.submit(update));
+      QuerySpec solve;
+      solve.graph_handle = handle;
+      solve.sim.cores = sim_cores;
+      solve.sim.threads_per_process = 1;
+      solve.sim.backend = backend;
+      solve.sim.wire = wire;
+      dyn_ids.push_back(engine.submit(solve));
+    }
+    std::uint64_t applied = 0;
+    std::uint64_t invalidated = 0;
+    Index final_card = 0;
+    for (const std::uint64_t id : dyn_ids) {
+      const QueryOutcome o = engine.wait(id);
+      if (!o.ok()) {
+        std::fprintf(stderr, "dynamic query %llu failed: %s\n",
+                     static_cast<unsigned long long>(o.id), o.error.c_str());
+        return 1;
+      }
+      if (o.update_query) {
+        applied += o.updates_applied;
+        invalidated += o.invalidated;
+      } else {
+        final_card = o.result.matching.cardinality();
+      }
+    }
+    std::printf("dynamic: applied %llu updates in %zu batches, retired %llu "
+                "cached results, final |M| = %lld\n",
+                static_cast<unsigned long long>(applied),
+                (stream.size() + 3) / 4,
+                static_cast<unsigned long long>(invalidated),
+                static_cast<long long>(final_card));
+  }
 
   const CacheStats cache = engine.cache_stats();
   const LaneStats lanes = engine.lane_stats();

@@ -22,6 +22,8 @@ What is compared:
       (kernel, frontier, wire): wall_ms (encode + decode round trip)
     * service runs (BENCH_service.json), keyed by run name: qps must not
       drop and p99_latency_s must not rise beyond the threshold
+    * dynamic runs (BENCH_dynamic.json), keyed by run name:
+      updates_per_s must not drop beyond the threshold
 
 Intra-file invariants checked on the NEW artifact:
     * spmv_ablation: the masked dense-frontier point must be faster than
@@ -33,7 +35,10 @@ Intra-file invariants checked on the NEW artifact:
       candidate encodings, so pricing above raw means the picker broke;
     * service: at every host-thread budget T >= 4 the interleaved FIFO
       run must beat the serial FIFO run on queries/sec — superstep
-      interleaving earning its keep is the service's headline claim.
+      interleaving earning its keep is the service's headline claim;
+    * dynamic: every run's crossover_updates must be >= 1 — one
+      incremental update costing more than a full from-scratch solve
+      means the maintainer lost to the thing it exists to avoid.
 
 Points that are oversubscribed (more host threads than host cpus) in
 EITHER file are skipped: wall time there measures scheduler churn, not
@@ -137,6 +142,21 @@ def check_service_invariant(doc, label):
     return violations
 
 
+def check_dynamic_invariant(doc, label):
+    """Returns violation messages for the crossover >= 1 invariant on
+    dynamic-maintenance runs (empty list = OK)."""
+    violations = []
+    for name, run in service_runs(doc).items():
+        crossover = run.get("crossover_updates")
+        if crossover is None:
+            continue
+        if crossover < 1.0:
+            violations.append(
+                f"{label}: {name}: crossover {crossover:.2f} < 1 — one "
+                "incremental update costs more than a from-scratch solve")
+    return violations
+
+
 def check_masked_invariant(doc, label):
     """Returns violation messages for the masked-faster-than-unmasked
     invariant on dense-frontier ablation points (empty list = OK)."""
@@ -205,6 +225,9 @@ def main():
     if base.get("bench") == "service":
         comparability_keys = ("queries", "mix", "rate_per_s", "seed",
                               "quantum")
+    elif base.get("bench") == "dynamic":
+        comparability_keys = ("updates", "insert_fraction", "seed",
+                              "sim_cores")
     for key in comparability_keys:
         if base.get(key) != new.get(key):
             print(f"compare_bench: {key} differs "
@@ -316,9 +339,31 @@ def main():
                     f"{name}: p99 latency {base_p99 * 1e3:.2f} ms -> "
                     f"{new_p99 * 1e3:.2f} ms ({(ratio - 1.0) * 100:+.1f}%)")
 
+    if base.get("bench") == "dynamic":
+        base_dynamic = service_runs(base)
+        for name, new_run in service_runs(new).items():
+            base_run = base_dynamic.get(name)
+            if base_run is None:
+                continue
+            if any(base_run.get(k) != new_run.get(k)
+                   for k in ("n_rows", "n_cols", "edges", "updates")):
+                skipped += 1  # same name, different instance — not comparable
+                continue
+            base_ups = base_run.get("updates_per_s")
+            new_ups = new_run.get("updates_per_s")
+            if not base_ups or new_ups is None:
+                continue
+            compared += 1
+            ratio = new_ups / base_ups
+            if ratio < 1.0 - args.threshold:
+                regressions.append(
+                    f"{name}: maintenance rate {base_ups:.0f} updates/s -> "
+                    f"{new_ups:.0f} updates/s ({(ratio - 1.0) * 100:+.1f}%)")
+
     regressions.extend(check_masked_invariant(new, args.new))
     regressions.extend(check_wire_invariant(new, args.new))
     regressions.extend(check_service_invariant(new, args.new))
+    regressions.extend(check_dynamic_invariant(new, args.new))
 
     print(f"compare_bench: {compared} point(s) compared, "
           f"{skipped} oversubscribed point(s) skipped, "

@@ -1,0 +1,174 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dist/dist_delta.hpp"
+
+namespace mcm {
+
+DynamicMatching::DynamicMatching(const SimConfig& config, CooMatrix base,
+                                 const DynamicOptions& options)
+    : options_(options), ctx_(config) {
+  if (options_.mcm.checkpoint.enabled()) {
+    throw std::invalid_argument(
+        "DynamicMatching: checkpointing is a batch feature (snapshots pin "
+        "one graph; a maintained graph mutates)");
+  }
+  if (options_.mcm.resume != nullptr) {
+    throw std::invalid_argument(
+        "DynamicMatching: resume is a batch feature; updates always seed "
+        "from the maintained matching");
+  }
+  base.validate();
+  base.sort_dedup();
+  n_rows_ = base.n_rows;
+  n_cols_ = base.n_cols;
+  nnz_ = base.rows.size();
+  rows_by_col_.assign(static_cast<std::size_t>(n_cols_), {});
+  for (std::size_t k = 0; k < base.rows.size(); ++k) {
+    // sort_dedup ordered by (col, row), so each list comes out sorted.
+    rows_by_col_[static_cast<std::size_t>(base.cols[k])].push_back(
+        base.rows[k]);
+  }
+  dist_ = DistMatrix::distribute(ctx_, base);
+  canonical_ = std::move(base);
+  canonical_dirty_ = false;
+
+  DistMaximalStats init_stats;
+  const Matching init =
+      dist_maximal_matching(ctx_, dist_, options_.initializer, &init_stats);
+  solve(init);
+  verify_state();
+}
+
+void DynamicMatching::apply(const EdgeUpdate& update) {
+  apply(std::vector<EdgeUpdate>{update});
+}
+
+void DynamicMatching::apply(const std::vector<EdgeUpdate>& updates) {
+  std::vector<EdgeUpdate> effective;
+  bool matched_delete = false;
+  bool unseeded_insert = false;
+  for (const EdgeUpdate& u : updates) {
+    if (u.row < 0 || u.row >= n_rows_ || u.col < 0 || u.col >= n_cols_) {
+      throw std::out_of_range(
+          std::string("DynamicMatching::apply: ") + update_kind_name(u.kind)
+          + " (" + std::to_string(u.row) + ", " + std::to_string(u.col)
+          + ") outside a " + std::to_string(n_rows_) + " x "
+          + std::to_string(n_cols_) + " graph");
+    }
+    auto& rows = rows_by_col_[static_cast<std::size_t>(u.col)];
+    const auto it = std::lower_bound(rows.begin(), rows.end(), u.row);
+    const bool present = it != rows.end() && *it == u.row;
+    if (u.kind == UpdateKind::Insert) {
+      if (present) {
+        ++stats_.inserts_ignored;
+        continue;
+      }
+      rows.insert(it, u.row);
+      ++nnz_;
+      effective.push_back(u);
+      ++stats_.inserts_applied;
+      if (matching_.mate_r[static_cast<std::size_t>(u.row)] == kNull
+          && matching_.mate_c[static_cast<std::size_t>(u.col)] == kNull) {
+        // Both endpoints exposed: matching the new edge directly lifts |M|
+        // to the new optimum (the optimum grows by at most one per insert).
+        matching_.match(u.row, u.col);
+        ++cardinality_;
+        ++stats_.fast_path_matches;
+      } else {
+        unseeded_insert = true;
+      }
+    } else {
+      if (!present) {
+        ++stats_.deletes_ignored;
+        continue;
+      }
+      rows.erase(it);
+      --nnz_;
+      effective.push_back(u);
+      ++stats_.deletes_applied;
+      if (matching_.mate_r[static_cast<std::size_t>(u.row)] == u.col) {
+        // Expose both endpoints; the solver run below decides whether the
+        // lost unit is recoverable through another path.
+        matching_.mate_r[static_cast<std::size_t>(u.row)] = kNull;
+        matching_.mate_c[static_cast<std::size_t>(u.col)] = kNull;
+        --cardinality_;
+        ++stats_.matched_deletes;
+        matched_delete = true;
+      }
+    }
+  }
+  if (!effective.empty()) {
+    canonical_dirty_ = true;
+    dist_apply_edge_deltas(ctx_, dist_, effective);
+  }
+  bool need_solve = matched_delete || unseeded_insert;
+  if (need_solve && (cardinality_ == n_cols_ || cardinality_ == n_rows_)) {
+    // One side is saturated: |M| meets the min(n_rows, n_cols) bound, so no
+    // augmenting path can exist regardless of what the batch did.
+    need_solve = false;
+  }
+  if (need_solve) {
+    solve(matching_);
+  } else if (!effective.empty()) {
+    ++stats_.skipped_solves;
+  }
+  verify_state();
+}
+
+const CooMatrix& DynamicMatching::graph() const {
+  if (canonical_dirty_) {
+    canonical_ = CooMatrix(n_rows_, n_cols_);
+    canonical_.reserve(static_cast<std::size_t>(nnz_));
+    for (Index c = 0; c < n_cols_; ++c) {
+      for (const Index r : rows_by_col_[static_cast<std::size_t>(c)]) {
+        canonical_.add_edge(r, c);
+      }
+    }
+    canonical_dirty_ = false;
+  }
+  return canonical_;
+}
+
+void DynamicMatching::solve(const Matching& seed) {
+  McmDistStats run_stats;
+  McmDistStepper stepper(ctx_, dist_, seed, options_.mcm, &run_stats);
+  while (stepper.step()) {
+  }
+  matching_ = stepper.take_result();
+  cardinality_ = matching_.cardinality();
+  ++stats_.solver_runs;
+  stats_.solver_supersteps += stepper.supersteps();
+  stats_.augmentations += static_cast<std::uint64_t>(run_stats.augmentations);
+}
+
+void DynamicMatching::verify_state() const {
+  if constexpr (!check::kCompiledIn) return;
+  if (!check::enabled()) return;
+  if (!matching_.consistent()) {
+    throw std::logic_error("DynamicMatching: mate arrays inconsistent");
+  }
+  if (matching_.cardinality() != cardinality_) {
+    throw std::logic_error("DynamicMatching: cached cardinality out of sync");
+  }
+  if (dist_.nnz() != static_cast<Index>(nnz_)) {
+    throw std::logic_error(
+        "DynamicMatching: distributed nnz diverged from the edge view");
+  }
+  for (Index r = 0; r < n_rows_; ++r) {
+    const Index c = matching_.mate_r[static_cast<std::size_t>(r)];
+    if (c == kNull) continue;
+    const auto& rows = rows_by_col_[static_cast<std::size_t>(c)];
+    if (!std::binary_search(rows.begin(), rows.end(), r)) {
+      throw std::logic_error(
+          "DynamicMatching: matched edge (" + std::to_string(r) + ", "
+          + std::to_string(c) + ") is not in the graph");
+    }
+  }
+}
+
+}  // namespace mcm

@@ -1,0 +1,130 @@
+#pragma once
+/// \file dynamic.hpp
+/// Incremental maximum-matching maintenance over edge insert/delete streams
+/// (DESIGN.md §5.10). MCM-DIST as published recomputes from scratch; under
+/// churn the right asymptotic is to keep the previous maximum matching and
+/// repair it, because one update changes the optimum by at most one and any
+/// new augmenting path must pass through the mutated edge.
+///
+/// The update path IS the existing solver loop: after applying a delta to
+/// the distributed blocks (dist/dist_delta.hpp), the maintainer seeds a
+/// McmDistStepper with the surviving mate arrays and runs it to completion —
+/// no reimplementation, so every invariant, charge formula and sanitizer
+/// hook of the static path covers the dynamic path too. Seeded from a
+/// near-maximum matching the stepper typically terminates in one or two
+/// phases (the empty-frontier certificate plus at most one augmentation
+/// wave), which is where the updates/sec vs batch-recompute crossover of
+/// bench_dynamic comes from.
+///
+/// Case analysis (proofs in DESIGN.md §5.10):
+///   insert, edge already present .... no-op
+///   insert, both endpoints exposed .. match directly; maximality preserved
+///   insert, an endpoint matched ..... seeded solver run (the edge can
+///                                     complete an augmenting path even when
+///                                     BOTH endpoints are matched)
+///   delete, edge absent ............. no-op
+///   delete, unmatched edge .......... graph-only change; maximality preserved
+///   delete, matched edge ............ expose both endpoints, seeded solver
+///                                     run (the lost unit may be recoverable)
+/// A solver run is additionally skipped when one side ends the batch
+/// saturated: |M| = min(n_rows, n_cols) is a cardinality certificate no
+/// augmenting path can beat.
+///
+/// The maintainer works in the graph's ORIGINAL labels: the pipeline's
+/// load-balancing permutation is a batch feature (it would have to be
+/// re-derived after every mutation) and is deliberately not applied.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dist_maximal.hpp"
+#include "core/mcm_dist.hpp"
+#include "dist/dist_mat.hpp"
+#include "gridsim/context.hpp"
+#include "matching/matching.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/delta.hpp"
+
+namespace mcm {
+
+struct DynamicOptions {
+  /// Initializer for the construction-time solve only; updates always seed
+  /// from the maintained matching.
+  MaximalKind initializer = MaximalKind::DynMindegree;
+  /// Options for every solver run (initial and per-update). Checkpointing
+  /// and resume are single-run batch features and are refused.
+  McmDistOptions mcm;
+};
+
+struct DynamicStats {
+  std::uint64_t inserts_applied = 0;
+  std::uint64_t deletes_applied = 0;
+  std::uint64_t inserts_ignored = 0;  ///< edge already present
+  std::uint64_t deletes_ignored = 0;  ///< edge absent
+  std::uint64_t matched_deletes = 0;  ///< deletes that broke a matched pair
+  std::uint64_t fast_path_matches = 0;  ///< inserts matched without a solve
+  std::uint64_t solver_runs = 0;       ///< seeded McmDistStepper completions
+  std::uint64_t solver_supersteps = 0;
+  std::uint64_t augmentations = 0;     ///< paths applied across solver runs
+  std::uint64_t skipped_solves = 0;    ///< effective batches proven maximal
+};
+
+/// Maintains a maximum matching of a mutating bipartite graph. All simulated
+/// time (initial solve, delta scatters, seeded re-solves) accrues to one
+/// SimContext ledger, so a stream's total cost is directly comparable to a
+/// from-scratch run on the final graph.
+class DynamicMatching {
+ public:
+  /// Distributes `base`, runs the initial solve (initializer + MCM-DIST to
+  /// optimality) and enters maintenance. Throws std::invalid_argument for
+  /// checkpoint/resume options.
+  DynamicMatching(const SimConfig& config, CooMatrix base,
+                  const DynamicOptions& options = {});
+
+  /// Applies one update and restores maximality before returning — the
+  /// per-update maintenance mode the equivalence contract quantifies over.
+  void apply(const EdgeUpdate& update);
+  /// Applies a batch in stream order with ONE solver run at the end (fast
+  /// paths and no-op filtering still happen per update). Amortizes the
+  /// solve over the batch; the matching is maximum again on return.
+  void apply(const std::vector<EdgeUpdate>& updates);
+
+  [[nodiscard]] Index n_rows() const { return n_rows_; }
+  [[nodiscard]] Index n_cols() const { return n_cols_; }
+  [[nodiscard]] Index nnz() const { return static_cast<Index>(nnz_); }
+  [[nodiscard]] const Matching& matching() const { return matching_; }
+  [[nodiscard]] Index cardinality() const { return cardinality_; }
+  /// The current graph in canonical column-major sorted order — identical
+  /// to apply_edge_updates() replayed over the construction base. Rebuilt
+  /// lazily after mutations; the reference stays valid until the next
+  /// apply().
+  [[nodiscard]] const CooMatrix& graph() const;
+  [[nodiscard]] const DistMatrix& dist() const { return dist_; }
+  [[nodiscard]] const DynamicStats& stats() const { return stats_; }
+  [[nodiscard]] const CostLedger& ledger() const { return ctx_.ledger(); }
+  [[nodiscard]] SimContext& context() { return ctx_; }
+
+ private:
+  void solve(const Matching& seed);
+  /// mcmcheck (DESIGN.md §5.10): mate arrays mutually consistent, every
+  /// matched edge present in the maintained edge set, cached cardinality
+  /// and distributed nnz in sync. Throws std::logic_error on violation.
+  void verify_state() const;
+
+  DynamicOptions options_;
+  SimContext ctx_;
+  Index n_rows_ = 0;
+  Index n_cols_ = 0;
+  std::uint64_t nnz_ = 0;
+  /// Sorted row list per column: the maintainer's replicated edge view
+  /// (has_edge in O(log d), canonical COO rebuild in O(m)).
+  std::vector<std::vector<Index>> rows_by_col_;
+  DistMatrix dist_;
+  Matching matching_;
+  Index cardinality_ = 0;
+  DynamicStats stats_;
+  mutable CooMatrix canonical_;
+  mutable bool canonical_dirty_ = true;
+};
+
+}  // namespace mcm

@@ -1,0 +1,124 @@
+#include "dist/dist_delta.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mcm {
+
+namespace {
+
+struct LocalUpdate {
+  Index col = 0;  ///< block-local column (the wire index stream)
+  Index row = 0;
+  bool insert = false;
+};
+
+[[noreturn]] void desync(const char* what, Index row, Index col) {
+  throw std::logic_error(
+      std::string("dist_apply_edge_deltas: ") + what + " at block-local ("
+      + std::to_string(row) + ", " + std::to_string(col)
+      + ") — the caller must filter no-op updates (DESIGN.md §5.10)");
+}
+
+}  // namespace
+
+DeltaApplyStats dist_apply_edge_deltas(
+    SimContext& ctx, DistMatrix& a, const std::vector<EdgeUpdate>& updates) {
+  DeltaApplyStats stats;
+  if (updates.empty()) return stats;
+  const trace::Span prim(ctx, "DELTA", Cost::GatherScatter,
+                         trace::Kind::Primitive);
+  const ProcGrid& grid = a.grid();
+  const int p = grid.size();
+
+  // Bucket to owner ranks in block-local coordinates. Stream order within a
+  // rank is preserved — an insert and a later delete of the same edge must
+  // land in sequence — so the wire index stream is generally unsorted and
+  // prices with absolute varints (PayloadSizer handles both).
+  std::vector<std::vector<LocalUpdate>> per_rank(static_cast<std::size_t>(p));
+  for (const EdgeUpdate& u : updates) {
+    if (u.row < 0 || u.row >= a.n_rows() || u.col < 0 || u.col >= a.n_cols()) {
+      throw std::out_of_range(
+          "dist_apply_edge_deltas: update (" + std::to_string(u.row) + ", "
+          + std::to_string(u.col) + ") outside the distributed matrix");
+    }
+    const int i = a.row_dist().owner(u.row);
+    const int j = a.col_dist().owner(u.col);
+    const bool insert = u.kind == UpdateKind::Insert;
+    per_rank[static_cast<std::size_t>(grid.rank_of(i, j))].push_back(
+        LocalUpdate{u.col - a.col_dist().offset(j),
+                    u.row - a.row_dist().offset(i), insert});
+    if (insert) {
+      ++stats.inserts;
+    } else {
+      ++stats.deletes;
+    }
+  }
+
+  // Price the root-to-owners scatter: 3 raw words per update (col, row,
+  // kind). The kind column narrows to one byte and the endpoints to the
+  // block-local width, so non-raw formats compress well.
+  const bool narrow = ctx.config().wire != WireFormat::Raw;
+  std::uint64_t raw_total = 0;
+  std::uint64_t sent_total = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto& batch = per_rank[static_cast<std::size_t>(r)];
+    if (batch.empty()) continue;
+    const std::uint64_t raw = 3 * static_cast<std::uint64_t>(batch.size());
+    raw_total += raw;
+    if (narrow) {
+      wire::PayloadSizer sizer(
+          static_cast<std::uint64_t>(a.col_dist().size(grid.col_of(r))),
+          /*value_cols=*/2);
+      for (const LocalUpdate& u : batch) {
+        sizer.add(static_cast<std::uint64_t>(u.col), u.row,
+                  u.insert ? 1 : 0);
+      }
+      sent_total += wire::sent_words(ctx, sizer, raw);
+    } else {
+      sent_total += raw;
+    }
+  }
+  wire::charge_scatterv_root(ctx, Cost::GatherScatter, ctx.processes(),
+                             raw_total, sent_total);
+
+  // Owners rebuild their DCSC block (and its transpose) from the mutated
+  // edge set. Only ranks that received updates touch their block.
+  std::uint64_t received = 0;
+  for (int i = 0; i < grid.pr(); ++i) {
+    for (int j = 0; j < grid.pc(); ++j) {
+      const int rank = grid.rank_of(i, j);
+      const auto& batch = per_rank[static_cast<std::size_t>(rank)];
+      if (batch.empty()) continue;
+      const check::RankScope scope(rank, "DELTA.apply");
+      const CooMatrix old_blk = a.block(i, j).to_coo();
+      std::set<std::pair<Index, Index>> edges;
+      for (std::size_t k = 0; k < old_blk.rows.size(); ++k) {
+        edges.emplace(old_blk.cols[k], old_blk.rows[k]);
+      }
+      for (const LocalUpdate& u : batch) {
+        if (u.insert) {
+          if (!edges.emplace(u.col, u.row).second) {
+            desync("insert of an edge already present", u.row, u.col);
+          }
+        } else if (edges.erase({u.col, u.row}) == 0) {
+          desync("delete of an absent edge", u.row, u.col);
+        }
+      }
+      CooMatrix local(a.row_dist().size(i), a.col_dist().size(j));
+      local.reserve(edges.size());
+      for (const auto& [c, r] : edges) local.add_edge(r, c);
+      a.replace_block(i, j, local);
+      received += batch.size();
+      ++stats.blocks_rebuilt;
+    }
+  }
+  check::verify_conservation("DELTA.apply", "updates",
+                             static_cast<std::uint64_t>(updates.size()),
+                             received);
+  return stats;
+}
+
+}  // namespace mcm

@@ -1,0 +1,46 @@
+#pragma once
+/// \file dist_delta.hpp
+/// Edge-delta scatter for dynamic matching (DESIGN.md §5.10): applies a
+/// batch of already-deduplicated edge updates to the owner blocks of a
+/// DistMatrix, pricing the root-to-owners scatter through the wire layer.
+///
+/// The model mirrors how a real deployment ingests churn: updates arrive at
+/// one ingest rank (the root) and are scattered to the block owners, who
+/// rebuild their DCSC block locally. Unlike the *initial* distribution
+/// (DistMatrix::distribute, deliberately uncharged — the paper assumes a
+/// pre-distributed graph), delta traffic is part of steady-state serving
+/// cost, so it IS charged: one scatterv on Cost::GatherScatter, 3 raw words
+/// per update (col, row, kind), compressible by SimConfig::wire like any
+/// other payload (updates are sorted by owner-local column, so delta
+/// varints apply to the index stream).
+///
+/// Contract with the caller (core/dynamic.hpp): every update must be
+/// effective against the current edge set — inserts of edges already
+/// present or deletes of absent edges must be filtered out upstream. Under
+/// mcmcheck a desynchronized update is a hard error (throw/abort per mode):
+/// it means the maintainer's replicated edge view and the distributed
+/// blocks disagree, which would silently corrupt every later solve.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "dist/dist_mat.hpp"
+#include "matrix/delta.hpp"
+
+namespace mcm {
+
+struct DeltaApplyStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  int blocks_rebuilt = 0;  ///< owner blocks whose DCSC was rebuilt
+};
+
+/// Scatters `updates` (global ids, all effective) to their owner blocks and
+/// rebuilds those blocks. Charges Cost::GatherScatter for the scatterv;
+/// conservation (every update received by exactly one owner) is asserted
+/// under mcmcheck. Throws std::out_of_range for out-of-bounds endpoints.
+DeltaApplyStats dist_apply_edge_deltas(SimContext& ctx, DistMatrix& a,
+                                       const std::vector<EdgeUpdate>& updates);
+
+}  // namespace mcm

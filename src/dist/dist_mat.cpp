@@ -1,6 +1,7 @@
 #include "dist/dist_mat.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mcm {
 
@@ -38,6 +39,21 @@ DistMatrix DistMatrix::distribute(const SimContext& ctx, const CooMatrix& a) {
     m.nnz_ += m.blocks_.back().nnz();
   }
   return m;
+}
+
+void DistMatrix::replace_block(int i, int j, const CooMatrix& local) {
+  check::verify_piece_access(grid_.rank_of(i, j), "DistMatrix::replace_block");
+  if (local.n_rows != row_dist_.size(i) || local.n_cols != col_dist_.size(j)) {
+    throw std::invalid_argument(
+        "DistMatrix::replace_block: block shape does not match the segment");
+  }
+  local.validate();
+  auto& slot = blocks_[static_cast<std::size_t>(grid_.rank_of(i, j))];
+  nnz_ -= slot.nnz();
+  slot = DcscMatrix::from_coo(local);
+  blocks_t_[static_cast<std::size_t>(grid_.rank_of(i, j))] =
+      DcscMatrix::from_coo(local.transposed());
+  nnz_ += slot.nnz();
 }
 
 Index DistMatrix::max_block_nnz() const {

@@ -46,6 +46,14 @@ class DistMatrix {
     return blocks_t_[static_cast<std::size_t>(grid_.rank_of(i, j))];
   }
 
+  /// Replaces block A_ij (and its transpose) with the DCSC form of `local`,
+  /// whose indices are block-local and whose dimensions must match the
+  /// segment sizes. This is the dynamic update path's only mutation hook
+  /// (DESIGN.md §5.10; dist/dist_delta.hpp is the sole caller) — the
+  /// initial distribution stays immutable-after-build for batch pipelines.
+  /// mcmcheck: same owner-only access rule as block().
+  void replace_block(int i, int j, const CooMatrix& local);
+
   [[nodiscard]] Index max_block_nnz() const;
 
  private:

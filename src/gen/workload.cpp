@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "gen/er.hpp"
 #include "gen/rmat.hpp"
@@ -120,6 +122,58 @@ Workload make_workload(const WorkloadConfig& config) {
     w.queries.push_back(std::move(query));
   }
   return w;
+}
+
+std::vector<EdgeUpdate> make_churn(const CooMatrix& base,
+                                   const ChurnConfig& config) {
+  if (base.n_rows < 1 || base.n_cols < 1) {
+    throw std::invalid_argument("make_churn: graph has an empty vertex side");
+  }
+  base.validate();
+  // Present edges as a vector (O(1) uniform pick + swap-remove) with an
+  // index map for membership tests and deletion by value.
+  std::vector<std::pair<Index, Index>> present;
+  std::map<std::pair<Index, Index>, std::size_t> slot;
+  present.reserve(base.rows.size() + static_cast<std::size_t>(config.updates));
+  for (std::size_t k = 0; k < base.rows.size(); ++k) {
+    const std::pair<Index, Index> e{base.rows[k], base.cols[k]};
+    if (slot.emplace(e, present.size()).second) present.push_back(e);
+  }
+  const std::uint64_t cells = static_cast<std::uint64_t>(base.n_rows)
+                              * static_cast<std::uint64_t>(base.n_cols);
+  Rng rng(config.seed);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(std::max(0, config.updates)));
+  for (int k = 0; k < config.updates; ++k) {
+    bool insert = rng.next_bool(config.insert_fraction);
+    if (present.size() >= cells) insert = false;  // complete: must delete
+    if (present.empty()) insert = true;           // empty: must insert
+    if (insert) {
+      // Rejection-sample an absent edge; density stays moderate in every
+      // intended workload, so a handful of draws suffices.
+      for (;;) {
+        const Index r = static_cast<Index>(
+            rng.next_below(static_cast<std::uint64_t>(base.n_rows)));
+        const Index c = static_cast<Index>(
+            rng.next_below(static_cast<std::uint64_t>(base.n_cols)));
+        const std::pair<Index, Index> e{r, c};
+        if (!slot.emplace(e, present.size()).second) continue;
+        present.push_back(e);
+        updates.push_back(EdgeUpdate{UpdateKind::Insert, r, c});
+        break;
+      }
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.next_below(present.size()));
+      const std::pair<Index, Index> e = present[pick];
+      present[pick] = present.back();
+      slot[present[pick]] = pick;
+      present.pop_back();
+      slot.erase(e);
+      updates.push_back(EdgeUpdate{UpdateKind::Delete, e.first, e.second});
+    }
+  }
+  return updates;
 }
 
 }  // namespace mcm

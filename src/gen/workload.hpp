@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "matrix/coo.hpp"
+#include "matrix/delta.hpp"
 
 namespace mcm {
 
@@ -70,5 +71,26 @@ struct Workload {
 /// Builds the pool and the arrival stream deterministically from
 /// `config.seed`. Identical configs yield identical workloads.
 [[nodiscard]] Workload make_workload(const WorkloadConfig& config);
+
+/// Seeded churn stream for dynamic matching (DESIGN.md §5.10): the
+/// `--churn N,MIX,SEED` knob of mcm_tool and the load generator of
+/// bench_dynamic.
+struct ChurnConfig {
+  int updates = 64;
+  /// Probability an update is an insert (the MIX knob). Draws are clamped
+  /// to what the graph permits: a complete graph forces deletes, an empty
+  /// one forces inserts.
+  double insert_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generates `config.updates` edge updates against `base`, tracking the
+/// evolving edge set so every update is effective by construction (inserts
+/// pick a uniformly random absent edge, deletes a uniformly random present
+/// one — the stream never inserts a duplicate or deletes a missing edge).
+/// Deterministic: identical (base, config) yield identical streams. Throws
+/// std::invalid_argument when the graph has no row or column vertices.
+[[nodiscard]] std::vector<EdgeUpdate> make_churn(const CooMatrix& base,
+                                                 const ChurnConfig& config);
 
 }  // namespace mcm

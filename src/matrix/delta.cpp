@@ -1,0 +1,90 @@
+#include "matrix/delta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mcm {
+
+namespace {
+
+void check_bounds(const CooMatrix& base, const EdgeUpdate& u) {
+  if (u.row < 0 || u.row >= base.n_rows || u.col < 0 || u.col >= base.n_cols) {
+    throw std::out_of_range(
+        std::string("apply_edge_updates: ") + update_kind_name(u.kind)
+        + " (" + std::to_string(u.row) + ", " + std::to_string(u.col)
+        + ") outside a " + std::to_string(base.n_rows) + " x "
+        + std::to_string(base.n_cols) + " graph");
+  }
+}
+
+}  // namespace
+
+CooMatrix apply_edge_updates(const CooMatrix& base,
+                             const std::vector<EdgeUpdate>& updates) {
+  // (col, row) keys so the emitted order is the canonical column-major sort.
+  std::set<std::pair<Index, Index>> edges;
+  for (std::size_t k = 0; k < base.rows.size(); ++k) {
+    edges.emplace(base.cols[k], base.rows[k]);
+  }
+  for (const EdgeUpdate& u : updates) {
+    check_bounds(base, u);
+    if (u.kind == UpdateKind::Insert) {
+      edges.emplace(u.col, u.row);
+    } else {
+      edges.erase({u.col, u.row});
+    }
+  }
+  CooMatrix out(base.n_rows, base.n_cols);
+  out.reserve(edges.size());
+  for (const auto& [c, r] : edges) out.add_edge(r, c);
+  return out;
+}
+
+std::vector<EdgeUpdate> read_update_stream(std::istream& in) {
+  std::vector<EdgeUpdate> updates;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '%' || op[0] == '#') continue;
+    long long row = -1;
+    long long col = -1;
+    const bool parsed = static_cast<bool>(fields >> row >> col);
+    std::string trailing;
+    if (!parsed || (op != "+" && op != "-") || row < 0 || col < 0
+        || (fields >> trailing)) {
+      throw std::invalid_argument(
+          "update stream line " + std::to_string(line_no)
+          + ": expected '+ ROW COL' or '- ROW COL', got '" + line + "'");
+    }
+    updates.push_back(EdgeUpdate{
+        op == "+" ? UpdateKind::Insert : UpdateKind::Delete,
+        static_cast<Index>(row), static_cast<Index>(col)});
+  }
+  return updates;
+}
+
+std::vector<EdgeUpdate> read_update_stream_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open update stream: " + path);
+  }
+  return read_update_stream(in);
+}
+
+void write_update_stream(std::ostream& out,
+                         const std::vector<EdgeUpdate>& updates) {
+  for (const EdgeUpdate& u : updates) {
+    out << (u.kind == UpdateKind::Insert ? '+' : '-') << ' ' << u.row << ' '
+        << u.col << '\n';
+  }
+}
+
+}  // namespace mcm

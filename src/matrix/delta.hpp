@@ -1,0 +1,68 @@
+#pragma once
+/// \file delta.hpp
+/// Edge-update streams for dynamic matching (DESIGN.md §5.10): the update
+/// vocabulary (insert / delete of a single edge), a reference batch
+/// application that produces the canonical mutated graph, and the text
+/// stream format `mcm_tool --updates FILE` reads.
+///
+/// The reference apply is deliberately simple (set semantics over the edge
+/// list): it is the specification the distributed delta path
+/// (dist/dist_delta.hpp) and the incremental maintainer (core/dynamic.hpp)
+/// are property-tested against — equivalence means "same graph as
+/// apply_edge_updates, same cardinality as a from-scratch solve on it".
+///
+/// Update semantics are idempotent set operations: inserting an edge that is
+/// already present and deleting an edge that is absent are no-ops, not
+/// errors (a stream replayed against a drifting base must not blow up).
+/// Out-of-range endpoints, however, are hard errors — they indicate a
+/// mismatched stream, not benign drift.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+#include "util/types.hpp"
+
+namespace mcm {
+
+enum class UpdateKind : std::uint8_t {
+  Insert,
+  Delete,
+};
+
+[[nodiscard]] inline const char* update_kind_name(UpdateKind kind) noexcept {
+  return kind == UpdateKind::Insert ? "insert" : "delete";
+}
+
+/// One edge mutation. Row/col are global vertex ids in the graph's original
+/// labeling (the dynamic path never permutes — see DESIGN.md §5.10).
+struct EdgeUpdate {
+  UpdateKind kind = UpdateKind::Insert;
+  Index row = 0;
+  Index col = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// Reference batch application: plays `updates` in order against the edge
+/// set of `base` and returns the mutated graph in canonical column-major
+/// sorted order. No-op updates (duplicate insert, absent delete) are
+/// skipped; out-of-range endpoints throw std::out_of_range. O((m + u) log m).
+[[nodiscard]] CooMatrix apply_edge_updates(const CooMatrix& base,
+                                           const std::vector<EdgeUpdate>& updates);
+
+/// Parses the `--updates` text format: one update per line, `+ ROW COL` to
+/// insert and `- ROW COL` to delete (0-based ids); blank lines and lines
+/// starting with '%' or '#' are comments. Throws std::invalid_argument on a
+/// malformed line (the message carries the 1-based line number).
+[[nodiscard]] std::vector<EdgeUpdate> read_update_stream(std::istream& in);
+[[nodiscard]] std::vector<EdgeUpdate> read_update_stream_file(
+    const std::string& path);
+
+/// Inverse of read_update_stream; writes one `+/- ROW COL` line per update.
+void write_update_stream(std::ostream& out,
+                         const std::vector<EdgeUpdate>& updates);
+
+}  // namespace mcm

@@ -75,8 +75,23 @@ QueryEngine::~QueryEngine() {
 namespace {
 
 void validate_spec(const QuerySpec& spec) {
-  if (!spec.graph) {
+  if (spec.updates) {
+    if (spec.graph_handle == 0) {
+      throw std::invalid_argument(
+          "QueryEngine: update query needs a registered graph handle");
+    }
+    if (spec.graph) {
+      throw std::invalid_argument(
+          "QueryEngine: update query must target its handle, not a graph");
+    }
+    return;  // update queries never run a pipeline
+  }
+  if (!spec.graph && spec.graph_handle == 0) {
     throw std::invalid_argument("QueryEngine: query has no graph");
+  }
+  if (spec.graph && spec.graph_handle != 0) {
+    throw std::invalid_argument(
+        "QueryEngine: query names both a graph and a handle");
   }
   if (spec.pipeline.resume) {
     throw std::invalid_argument(
@@ -252,7 +267,10 @@ QueryEngine::QueryState* QueryEngine::pick_next() {
         // query that has not started yet is bounded by its column count
         // (PipelineRun::frontier_nnz uses the same fallback).
         auto estimate = [](const QueryState& s) {
-          return s.run ? s.run->frontier_nnz() : s.spec.graph->n_cols;
+          if (s.run) return s.run->frontier_nnz();
+          // Handle-based solves resolve their graph at first slice; update
+          // queries are one cheap slice. Both estimate as no pipeline work.
+          return s.spec.graph ? s.spec.graph->n_cols : Index{0};
         };
         if (best == nullptr || estimate(*q) < estimate(*best)) {
           best = q.get();
@@ -264,12 +282,62 @@ QueryEngine::QueryState* QueryEngine::pick_next() {
   return best;
 }
 
+std::uint64_t QueryEngine::register_graph(CooMatrix graph) {
+  graph.validate();
+  const util::MutexLock lock(registry_mutex_);
+  RegisteredGraph entry;
+  entry.graph = std::make_shared<const CooMatrix>(std::move(graph));
+  entry.matrix_fp = fingerprint_matrix(*entry.graph);
+  registry_.push_back(std::move(entry));
+  return registry_.size();  // handles are 1-based; 0 means "no handle"
+}
+
+QueryEngine::GraphSnapshot QueryEngine::graph_snapshot(
+    std::uint64_t handle) const {
+  const util::MutexLock lock(registry_mutex_);
+  if (handle == 0 || handle > registry_.size()) {
+    throw std::invalid_argument("QueryEngine: unknown graph handle "
+                                + std::to_string(handle));
+  }
+  const RegisteredGraph& entry = registry_[handle - 1];
+  return GraphSnapshot{entry.graph, entry.matrix_fp};
+}
+
+void QueryEngine::apply_update(QueryState& q) {
+  const util::MutexLock lock(registry_mutex_);
+  if (q.spec.graph_handle == 0 || q.spec.graph_handle > registry_.size()) {
+    throw std::invalid_argument("QueryEngine: unknown graph handle "
+                                + std::to_string(q.spec.graph_handle));
+  }
+  RegisteredGraph& entry = registry_[q.spec.graph_handle - 1];
+  CooMatrix mutated = apply_edge_updates(*entry.graph, *q.spec.updates);
+  const std::uint64_t old_fp = entry.matrix_fp;
+  entry.graph = std::make_shared<const CooMatrix>(std::move(mutated));
+  entry.matrix_fp = fingerprint_matrix(*entry.graph);
+  q.outcome.update_query = true;
+  q.outcome.updates_applied = q.spec.updates->size();
+  if (entry.matrix_fp != old_fp) {
+    // Results for the superseded fingerprint describe a graph that no
+    // longer exists; retire them instead of letting LRU age them out.
+    q.outcome.invalidated = cache_.invalidate(old_fp);
+  }
+}
+
 void QueryEngine::run_slice(QueryState& q,
                             const std::shared_ptr<HostEngine>& engine) {
   try {
     if (!q.exec_started) {
       q.exec_started = true;
       q.exec_start = std::chrono::steady_clock::now();
+      if (q.spec.updates) {
+        apply_update(q);
+        return;  // completes in this slice: q.run stays null
+      }
+      if (q.spec.graph_handle != 0) {
+        const GraphSnapshot snap = graph_snapshot(q.spec.graph_handle);
+        q.spec.graph = snap.graph;
+        q.key.matrix_fp = snap.matrix_fp;
+      }
       if (q.key.matrix_fp == 0) {
         q.key.matrix_fp = fingerprint_matrix(*q.spec.graph);
       }

@@ -44,6 +44,7 @@
 
 #include "core/driver.hpp"
 #include "gridsim/host_engine.hpp"
+#include "matrix/delta.hpp"
 #include "service/result_cache.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -95,6 +96,16 @@ struct QuerySpec {
   /// execution. Callers submitting one graph many times (or holding large
   /// graphs) should precompute to keep the admission path O(1).
   std::uint64_t matrix_fingerprint = 0;
+  /// Handle from QueryEngine::register_graph (0 = none): the query targets
+  /// a registered dynamic graph instead of `graph`. A solve query resolves
+  /// the registered version — graph AND matrix fingerprint — when its first
+  /// slice runs, so it sees every update admitted before it under FIFO.
+  std::uint64_t graph_handle = 0;
+  /// Non-null marks an UPDATE query (DESIGN.md §5.10): apply this batch to
+  /// the registered graph (graph_handle required, `graph` must be empty)
+  /// and invalidate cached results for the superseded fingerprint. Update
+  /// queries complete in one slice and never run a pipeline.
+  std::shared_ptr<const std::vector<EdgeUpdate>> updates;
 };
 
 struct QueryOutcome {
@@ -106,6 +117,10 @@ struct QueryOutcome {
   double service_s = 0;     ///< host time executing (first slice to done)
   double latency_s = 0;     ///< host time from submit to done
   std::string error;        ///< non-empty if the query failed
+  bool update_query = false;       ///< this outcome is an applied UpdateQuery
+  std::uint64_t updates_applied = 0;  ///< batch size an UpdateQuery applied
+  /// Cache entries retired because the update superseded their fingerprint.
+  std::uint64_t invalidated = 0;
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
@@ -137,6 +152,21 @@ class QueryEngine {
   /// Pump mode only: runs one scheduling slice on the calling thread.
   /// Returns false when no query is runnable. Throws in worker mode.
   bool pump() MCM_EXCLUDES(mutex_);
+
+  /// Registers a graph for dynamic mutation via UpdateQuery specs and
+  /// returns its handle (>= 1). The engine owns the current version; solve
+  /// queries reference it by handle and updates replace it copy-on-write
+  /// (in-flight solves keep their admitted snapshot via shared_ptr).
+  std::uint64_t register_graph(CooMatrix graph) MCM_EXCLUDES(registry_mutex_);
+
+  /// The registered graph's current version and matrix fingerprint. Throws
+  /// std::invalid_argument for an unknown handle.
+  struct GraphSnapshot {
+    std::shared_ptr<const CooMatrix> graph;
+    std::uint64_t matrix_fp = 0;
+  };
+  [[nodiscard]] GraphSnapshot graph_snapshot(std::uint64_t handle) const
+      MCM_EXCLUDES(registry_mutex_);
 
   /// Queries submitted but not yet completed.
   [[nodiscard]] std::size_t pending() const MCM_EXCLUDES(mutex_);
@@ -174,6 +204,10 @@ class QueryEngine {
   /// deliberately unannotated).
   void run_slice(QueryState& q, const std::shared_ptr<HostEngine>& engine)
       MCM_EXCLUDES(mutex_);
+  /// Applies an UpdateQuery's batch to its registered graph (copy-on-write)
+  /// and retires cached results for the superseded fingerprint. Runs inside
+  /// run_slice; the registry mutex serializes concurrent updates.
+  void apply_update(QueryState& q) MCM_EXCLUDES(registry_mutex_);
   /// Re-queues or completes `q` after a slice.
   void after_slice(QueryState& q) MCM_REQUIRES(mutex_);
   /// Runs one slice on the calling thread, releasing the mutex around the
@@ -185,6 +219,16 @@ class QueryEngine {
   const ServiceConfig config_;
   ResultCache cache_;
   std::vector<std::shared_ptr<HostEngine>> engines_;  ///< one per worker
+
+  struct RegisteredGraph {
+    std::shared_ptr<const CooMatrix> graph;
+    std::uint64_t matrix_fp = 0;
+  };
+  /// Dynamic-graph registry; guarded separately from the scheduler mutex so
+  /// updates never stall slice scheduling. Lock order: registry_mutex_ is a
+  /// leaf (the cache's internal mutex nests under it in apply_update).
+  mutable util::Mutex registry_mutex_;
+  std::vector<RegisteredGraph> registry_ MCM_GUARDED_BY(registry_mutex_);
 
   mutable util::Mutex mutex_;
   util::CondVar work_ready_;   ///< workers: a query became Waiting

@@ -79,6 +79,22 @@ void ResultCache::insert(const CacheKey& key, PipelineResult result) {
   }
 }
 
+std::size_t ResultCache::invalidate(std::uint64_t matrix_fp) {
+  const util::MutexLock lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.matrix_fp != matrix_fp) {
+      ++it;
+      continue;
+    }
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++dropped;
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
 CacheStats ResultCache::stats() const {
   const util::MutexLock lock(mutex_);
   return stats_;

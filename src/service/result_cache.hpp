@@ -56,6 +56,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Entries dropped by invalidate() — a mutated graph retiring its stale
+  /// results, distinct from capacity evictions.
+  std::uint64_t invalidations = 0;
 };
 
 class ResultCache {
@@ -73,6 +76,14 @@ class ResultCache {
   /// entries beyond capacity.
   void insert(const CacheKey& key, PipelineResult result)
       MCM_EXCLUDES(mutex_);
+
+  /// Drops every entry whose key's matrix fingerprint is `matrix_fp` —
+  /// called when a graph mutates (DESIGN.md §5.10): results for the old
+  /// fingerprint describe a graph that no longer exists anywhere, so
+  /// leaving them to age out via LRU would serve stale matchings to any
+  /// query that re-fingerprints an unchanged twin graph. Returns the number
+  /// of entries dropped (counted as CacheStats::invalidations).
+  std::size_t invalidate(std::uint64_t matrix_fp) MCM_EXCLUDES(mutex_);
 
   [[nodiscard]] CacheStats stats() const MCM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t size() const MCM_EXCLUDES(mutex_);

@@ -101,7 +101,11 @@ TEST_P(AugmentGrids, EmptyPathSetIsNoOp) {
 
 INSTANTIATE_TEST_SUITE_P(Grids, AugmentGrids, ::testing::Values(1, 4, 9),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "p" + std::to_string(info.param);
+                           // Two-step append dodges a GCC 12 -Wrestrict
+                           // false positive on const char* + string&&.
+                           std::string name = "p";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(Augment, SwitchRuleMatchesPaper) {

@@ -1,0 +1,291 @@
+/// DynamicMatching (core/dynamic.hpp): the incremental maintainer's headline
+/// contract — after ANY prefix of a seeded update stream, the maintained
+/// matching has the same cardinality as a from-scratch solve on the mutated
+/// graph — across p in {1, 4, 16} x mask on/off x both comm backends, plus
+/// the §5.10 case-analysis edge cases (delete of a matched edge, insert
+/// whose endpoints are both matched yet completes an augmenting path through
+/// a previously dead alternating tree) and per-update ledger conservation.
+
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "gen/workload.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/verify.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimConfig make_config(int processes, bool use_mask = true,
+                      comm::Backend backend = comm::Backend::Gridsim) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.backend = backend;
+  (void)use_mask;
+  return config;
+}
+
+DynamicOptions make_options(bool use_mask) {
+  DynamicOptions options;
+  options.mcm.use_mask = use_mask;
+  return options;
+}
+
+Index oracle_cardinality(const CooMatrix& a) {
+  return hopcroft_karp(CscMatrix::from_coo(a)).cardinality();
+}
+
+/// The equivalence property proper: replay `updates` one at a time and
+/// compare the maintained cardinality against a from-scratch solve on the
+/// mutated graph after every prefix.
+void expect_prefix_equivalence(const CooMatrix& base,
+                               const std::vector<EdgeUpdate>& updates,
+                               const SimConfig& config,
+                               const DynamicOptions& options,
+                               const std::string& label) {
+  DynamicMatching dyn(config, base, options);
+  EXPECT_EQ(dyn.cardinality(), oracle_cardinality(base)) << label;
+  CooMatrix mutated = base;
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    dyn.apply(updates[k]);
+    mutated = apply_edge_updates(mutated, {updates[k]});
+    ASSERT_EQ(dyn.cardinality(), oracle_cardinality(mutated))
+        << label << " after update " << k;
+    const VerifyResult valid =
+        verify_valid(CscMatrix::from_coo(mutated), dyn.matching());
+    ASSERT_TRUE(valid.ok) << label << " update " << k << ": " << valid.reason;
+  }
+  // The maintained graph is the canonical mutated graph.
+  EXPECT_EQ(dyn.graph().rows, mutated.rows) << label;
+  EXPECT_EQ(dyn.graph().cols, mutated.cols) << label;
+}
+
+TEST(DynamicEquivalence, PrefixCardinalityMatchesScratchAcrossGrids) {
+  for (const NamedGraph& g : small_corpus()) {
+    if (g.coo.n_rows < 2 || g.coo.n_cols < 2) continue;
+    ChurnConfig churn;
+    churn.updates = 20;
+    churn.insert_fraction = 0.5;
+    churn.seed = 5;
+    const std::vector<EdgeUpdate> updates = make_churn(g.coo, churn);
+    for (const int p : {1, 4, 16}) {
+      expect_prefix_equivalence(g.coo, updates, make_config(p), {},
+                                g.name + " p=" + std::to_string(p));
+    }
+  }
+}
+
+TEST(DynamicEquivalence, MaskOnOffAndBothBackendsAgree) {
+  Rng rng(17);
+  const CooMatrix base = er_bipartite_m(40, 40, 140, rng);
+  ChurnConfig churn;
+  churn.updates = 24;
+  churn.insert_fraction = 0.4;  // delete-heavy: exercises re-augmentation
+  churn.seed = 23;
+  const std::vector<EdgeUpdate> updates = make_churn(base, churn);
+  for (const bool mask : {true, false}) {
+    for (const comm::Backend backend :
+         {comm::Backend::Gridsim, comm::Backend::Threads}) {
+      for (const int p : {1, 4}) {
+        expect_prefix_equivalence(
+            base, updates, make_config(p, mask, backend), make_options(mask),
+            std::string("mask=") + (mask ? "on" : "off") + " backend="
+                + comm::backend_name(backend) + " p=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(DynamicEquivalence, ScratchMcmDistAgreesAtEveryPrefix) {
+  // The oracle above certifies cardinality; this leg runs the literal
+  // contract — a from-scratch MCM-DIST on the mutated graph — on one graph.
+  Rng rng(29);
+  const CooMatrix base = er_bipartite_m(24, 24, 70, rng);
+  ChurnConfig churn;
+  churn.updates = 12;
+  churn.seed = 31;
+  const std::vector<EdgeUpdate> updates = make_churn(base, churn);
+  for (const int p : {1, 4, 16}) {
+    DynamicMatching dyn(make_config(p), base, {});
+    CooMatrix mutated = base;
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      dyn.apply(updates[k]);
+      mutated = apply_edge_updates(mutated, {updates[k]});
+      SimContext scratch_ctx(make_config(p));
+      const DistMatrix scratch = DistMatrix::distribute(scratch_ctx, mutated);
+      const Matching want =
+          mcm_dist(scratch_ctx, scratch,
+                   Matching(mutated.n_rows, mutated.n_cols));
+      ASSERT_EQ(dyn.cardinality(), want.cardinality())
+          << "p=" << p << " update " << k;
+    }
+  }
+}
+
+TEST(DynamicLedger, PerUpdateChargesAreConservedAndMonotonic) {
+  Rng rng(41);
+  const CooMatrix base = er_bipartite_m(30, 30, 90, rng);
+  ChurnConfig churn;
+  churn.updates = 16;
+  churn.seed = 43;
+  const std::vector<EdgeUpdate> updates = make_churn(base, churn);
+  DynamicMatching dyn(make_config(4), base, {});
+  double prev_total = 0;
+  for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+    prev_total += dyn.ledger().time_us(static_cast<Cost>(c));
+  }
+  EXPECT_GT(prev_total, 0.0);  // the initial solve charged
+  for (const EdgeUpdate& u : updates) {
+    dyn.apply(u);
+    double total = 0;
+    for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+      const auto category = static_cast<Cost>(c);
+      total += dyn.ledger().time_us(category);
+      // Wire conservation: the priced payload never exceeds the raw one.
+      EXPECT_LE(dyn.ledger().wire_sent(category),
+                dyn.ledger().wire_raw(category));
+    }
+    EXPECT_GE(total, prev_total);  // simulated time only moves forward
+    prev_total = total;
+  }
+  // Every effective update paid for its delta scatter.
+  const DynamicStats& stats = dyn.stats();
+  EXPECT_EQ(stats.inserts_applied + stats.deletes_applied,
+            static_cast<std::uint64_t>(updates.size()));
+  EXPECT_GT(dyn.ledger().wire_raw(Cost::GatherScatter), 0u);
+}
+
+TEST(DynamicMatchingUnit, FastPathInsertSkipsTheSolver) {
+  // Two isolated vertices on each side: inserting an edge between exposed
+  // endpoints must match directly without a solver run.
+  CooMatrix base(2, 2);
+  base.add_edge(0, 0);
+  DynamicMatching dyn(make_config(1), base, {});
+  const std::uint64_t runs_before = dyn.stats().solver_runs;
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 1, 1});
+  EXPECT_EQ(dyn.cardinality(), 2);
+  EXPECT_EQ(dyn.stats().fast_path_matches, 1u);
+  EXPECT_EQ(dyn.stats().solver_runs, runs_before);  // no extra solve
+}
+
+TEST(DynamicMatchingUnit, NoOpUpdatesAreIgnoredAndFree) {
+  CooMatrix base(3, 3);
+  base.add_edge(0, 0);
+  base.add_edge(1, 1);
+  DynamicMatching dyn(make_config(1), base, {});
+  const std::uint64_t runs_before = dyn.stats().solver_runs;
+  const double time_before = dyn.ledger().time_us(Cost::GatherScatter);
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 0, 0});   // already present
+  dyn.apply(EdgeUpdate{UpdateKind::Delete, 2, 2});   // absent
+  EXPECT_EQ(dyn.stats().inserts_ignored, 1u);
+  EXPECT_EQ(dyn.stats().deletes_ignored, 1u);
+  EXPECT_EQ(dyn.stats().solver_runs, runs_before);
+  EXPECT_EQ(dyn.ledger().time_us(Cost::GatherScatter), time_before);
+  EXPECT_EQ(dyn.cardinality(), 2);
+}
+
+TEST(DynamicMatchingUnit, DeleteOfMatchedEdgeReAugments) {
+  // Planted perfect matching plus noise: deleting a matched edge may cost a
+  // unit, but the optimum of the mutated graph is what matters.
+  Rng rng(53);
+  const CooMatrix base = planted_perfect(12, 30, rng);
+  DynamicMatching dyn(make_config(4), base, {});
+  EXPECT_EQ(dyn.cardinality(), 12);
+  // Delete the matched edge of every column in turn.
+  CooMatrix mutated = base;
+  for (Index c = 0; c < 4; ++c) {
+    const Index r = dyn.matching().mate_c[static_cast<std::size_t>(c)];
+    ASSERT_NE(r, kNull);
+    const EdgeUpdate u{UpdateKind::Delete, r, c};
+    dyn.apply(u);
+    mutated = apply_edge_updates(mutated, {u});
+    EXPECT_EQ(dyn.cardinality(), oracle_cardinality(mutated)) << "col " << c;
+  }
+  EXPECT_GE(dyn.stats().matched_deletes, 4u);
+  EXPECT_GE(dyn.stats().solver_runs, 4u);
+}
+
+TEST(DynamicMatchingUnit, InsertReusingDeadTreeAugmentsWithBothEndpointsMatched) {
+  // Steered §5.10 counter-example to the "only if an endpoint is exposed"
+  // insertion rule. Base {(0,0), (1,2)} forces the unique maximum matching
+  // M = {(0,0), (1,2)}; the two following inserts each trigger a solver run
+  // whose BFS trees are dead (no augmenting path exists), so M survives.
+  CooMatrix base(3, 3);
+  base.add_edge(0, 0);
+  base.add_edge(1, 2);
+  DynamicMatching dyn(make_config(1), base, {});
+  EXPECT_EQ(dyn.cardinality(), 2);
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 0, 1});  // c1 exposed, dead tree
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 2, 2});  // r2 exposed, dead tree
+  EXPECT_EQ(dyn.cardinality(), 2);
+  // Both endpoints of the next insert are matched...
+  ASSERT_EQ(dyn.matching().mate_r[1], 2);
+  ASSERT_EQ(dyn.matching().mate_c[0], 0);
+  // ...yet inserting (1, 0) completes the augmenting path
+  // c1 -> r0 -> c0 -> r1 -> c2 -> r2 through both previously dead trees.
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 1, 0});
+  EXPECT_EQ(dyn.cardinality(), 3);
+  const VerifyResult maximum =
+      verify_maximum(CscMatrix::from_coo(dyn.graph()), dyn.matching());
+  EXPECT_TRUE(maximum.ok) << maximum.reason;
+}
+
+TEST(DynamicMatchingUnit, SaturatedSideSkipsTheSolver) {
+  // Wide graph: once every row is matched, |M| meets the min-side bound and
+  // further inserts cannot augment — the maintainer must prove it cheaply.
+  CooMatrix base(2, 4);
+  base.add_edge(0, 0);
+  base.add_edge(1, 1);
+  DynamicMatching dyn(make_config(1), base, {});
+  EXPECT_EQ(dyn.cardinality(), 2);  // rows saturated
+  const std::uint64_t runs_before = dyn.stats().solver_runs;
+  dyn.apply(EdgeUpdate{UpdateKind::Insert, 0, 2});  // r0 matched, c2 exposed
+  EXPECT_EQ(dyn.stats().solver_runs, runs_before);
+  EXPECT_EQ(dyn.stats().skipped_solves, 1u);
+  EXPECT_EQ(dyn.cardinality(), 2);
+}
+
+TEST(DynamicMatchingUnit, BatchApplyAmortizesOneSolve) {
+  Rng rng(61);
+  const CooMatrix base = er_bipartite_m(20, 20, 50, rng);
+  ChurnConfig churn;
+  churn.updates = 10;
+  churn.seed = 67;
+  const std::vector<EdgeUpdate> updates = make_churn(base, churn);
+  DynamicMatching dyn(make_config(4), base, {});
+  const std::uint64_t runs_before = dyn.stats().solver_runs;
+  dyn.apply(updates);
+  EXPECT_LE(dyn.stats().solver_runs, runs_before + 1);
+  EXPECT_EQ(dyn.cardinality(),
+            oracle_cardinality(apply_edge_updates(base, updates)));
+}
+
+TEST(DynamicMatchingUnit, RejectsBatchFeaturesAndBadUpdates) {
+  CooMatrix base(2, 2);
+  base.add_edge(0, 0);
+  {
+    DynamicOptions options;
+    options.mcm.checkpoint.dir = "/tmp/ckpt";
+    EXPECT_THROW(DynamicMatching(make_config(1), base, options),
+                 std::invalid_argument);
+  }
+  DynamicMatching dyn(make_config(1), base, {});
+  EXPECT_THROW(dyn.apply(EdgeUpdate{UpdateKind::Insert, 2, 0}),
+               std::out_of_range);
+  EXPECT_THROW(dyn.apply(EdgeUpdate{UpdateKind::Delete, 0, 9}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcm

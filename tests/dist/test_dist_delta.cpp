@@ -1,0 +1,134 @@
+/// Distributed edge-delta application (dist/dist_delta.hpp): applying a
+/// delta to the owner blocks must leave the DistMatrix indistinguishable
+/// from a fresh distribution of the mutated graph — same blocks, same nnz —
+/// for every grid size, while charging the scatter on Cost::GatherScatter
+/// through the wire layer (raw >= sent under compressing formats).
+
+#include "dist/dist_delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "gen/workload.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_corpus;
+
+SimContext make_ctx(int processes, WireFormat wire = WireFormat::Auto) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  config.wire = wire;
+  return SimContext(config);
+}
+
+void expect_same_blocks(const DistMatrix& got, const DistMatrix& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.nnz(), want.nnz()) << label;
+  const ProcGrid& grid = got.grid();
+  for (int i = 0; i < grid.pr(); ++i) {
+    for (int j = 0; j < grid.pc(); ++j) {
+      const check::RankScope scope(grid.rank_of(i, j), "test.compare");
+      const CooMatrix a = got.block(i, j).to_coo();
+      const CooMatrix b = want.block(i, j).to_coo();
+      EXPECT_EQ(a.rows, b.rows) << label << " block (" << i << "," << j << ")";
+      EXPECT_EQ(a.cols, b.cols) << label << " block (" << i << "," << j << ")";
+      const CooMatrix at = got.block_t(i, j).to_coo();
+      const CooMatrix bt = want.block_t(i, j).to_coo();
+      EXPECT_EQ(at.rows, bt.rows) << label << " block_t";
+      EXPECT_EQ(at.cols, bt.cols) << label << " block_t";
+    }
+  }
+}
+
+TEST(DistDelta, DeltaEqualsFreshDistributionOfMutatedGraph) {
+  for (const NamedGraph& g : small_corpus()) {
+    if (g.coo.n_rows < 2 || g.coo.n_cols < 2) continue;
+    ChurnConfig churn;
+    churn.updates = 24;
+    churn.seed = 7;
+    const std::vector<EdgeUpdate> updates = make_churn(g.coo, churn);
+    for (const int p : {1, 4, 16}) {
+      SimContext ctx = make_ctx(p);
+      DistMatrix incremental = DistMatrix::distribute(ctx, g.coo);
+      const DeltaApplyStats stats =
+          dist_apply_edge_deltas(ctx, incremental, updates);
+      EXPECT_EQ(stats.inserts + stats.deletes, updates.size());
+
+      const CooMatrix mutated = apply_edge_updates(g.coo, updates);
+      SimContext ref_ctx = make_ctx(p);
+      const DistMatrix fresh = DistMatrix::distribute(ref_ctx, mutated);
+      expect_same_blocks(incremental, fresh,
+                         g.name + " p=" + std::to_string(p));
+    }
+  }
+}
+
+TEST(DistDelta, ChargesGatherScatterThroughTheWireLayer) {
+  Rng rng(11);
+  const CooMatrix base = er_bipartite_m(40, 40, 120, rng);
+  ChurnConfig churn;
+  churn.updates = 32;
+  const std::vector<EdgeUpdate> updates = make_churn(base, churn);
+  for (const WireFormat wire :
+       {WireFormat::Raw, WireFormat::Varint, WireFormat::Auto}) {
+    SimContext ctx = make_ctx(4, wire);
+    DistMatrix a = DistMatrix::distribute(ctx, base);
+    (void)dist_apply_edge_deltas(ctx, a, updates);
+    const CostLedger& ledger = ctx.ledger();
+    // The scatter is the only charge, on GatherScatter: 3 raw words/update.
+    EXPECT_GT(ledger.time_us(Cost::GatherScatter), 0.0) << wire_name(wire);
+    EXPECT_EQ(ledger.wire_raw(Cost::GatherScatter),
+              3 * static_cast<std::uint64_t>(updates.size()))
+        << wire_name(wire);
+    EXPECT_LE(ledger.wire_sent(Cost::GatherScatter),
+              ledger.wire_raw(Cost::GatherScatter))
+        << wire_name(wire);
+    for (int c = 0; c < static_cast<int>(Cost::kCount); ++c) {
+      const auto category = static_cast<Cost>(c);
+      if (category == Cost::GatherScatter) continue;
+      EXPECT_EQ(ledger.time_us(category), 0.0)
+          << wire_name(wire) << " category " << c;
+    }
+  }
+}
+
+TEST(DistDelta, EmptyBatchIsFree) {
+  SimContext ctx = make_ctx(4);
+  DistMatrix a = DistMatrix::distribute(ctx, small_corpus()[3].coo);
+  const Index nnz = a.nnz();
+  const DeltaApplyStats stats = dist_apply_edge_deltas(ctx, a, {});
+  EXPECT_EQ(stats.blocks_rebuilt, 0);
+  EXPECT_EQ(a.nnz(), nnz);
+  EXPECT_EQ(ctx.ledger().time_us(Cost::GatherScatter), 0.0);
+}
+
+TEST(DistDelta, DesyncedUpdateIsAHardError) {
+  Rng rng(3);
+  const CooMatrix base = er_bipartite_m(10, 10, 30, rng);
+  SimContext ctx = make_ctx(4);
+  DistMatrix a = DistMatrix::distribute(ctx, base);
+  // Insert of an edge already present.
+  EXPECT_THROW(dist_apply_edge_deltas(
+                   ctx, a, {{UpdateKind::Insert, base.rows[0], base.cols[0]}}),
+               std::logic_error);
+  // Out-of-range endpoint.
+  EXPECT_THROW(dist_apply_edge_deltas(ctx, a, {{UpdateKind::Insert, 10, 0}}),
+               std::out_of_range);
+}
+
+TEST(DistDelta, ReplaceBlockRejectsWrongShape) {
+  SimContext ctx = make_ctx(4);
+  DistMatrix a = DistMatrix::distribute(ctx, CooMatrix(8, 8));
+  const CooMatrix wrong(3, 3);
+  EXPECT_THROW(a.replace_block(0, 0, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcm

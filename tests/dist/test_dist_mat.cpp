@@ -77,7 +77,11 @@ TEST_P(DistMatGrids, BlockDimensionsMatchDistribution) {
 
 INSTANTIATE_TEST_SUITE_P(Grids, DistMatGrids, ::testing::Values(1, 4, 9, 16),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "p" + std::to_string(info.param);
+                           // Two-step append dodges a GCC 12 -Wrestrict
+                           // false positive on const char* + string&&.
+                           std::string name = "p";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 TEST(DistMat, MaxBlockNnzBoundsTotal) {

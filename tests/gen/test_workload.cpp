@@ -4,6 +4,10 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
+
+#include "gen/er.hpp"
+#include "util/rng.hpp"
 
 namespace mcm {
 namespace {
@@ -131,6 +135,73 @@ TEST(Workload, NamesRoundTrip) {
     EXPECT_EQ(parse_size_mix(size_mix_name(mix)), mix);
   }
   EXPECT_THROW((void)parse_size_mix("giant"), std::invalid_argument);
+}
+
+TEST(Churn, SameSeedReplaysIdentically) {
+  Rng rng(5);
+  const CooMatrix base = er_bipartite_m(20, 24, 60, rng);
+  ChurnConfig config;
+  config.updates = 50;
+  config.seed = 21;
+  const std::vector<EdgeUpdate> first = make_churn(base, config);
+  const std::vector<EdgeUpdate> second = make_churn(base, config);
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 50u);
+
+  config.seed = 22;
+  EXPECT_NE(make_churn(base, config), first);
+}
+
+TEST(Churn, EveryUpdateIsEffective) {
+  // No duplicate inserts, no deletes of absent edges: replay the stream
+  // against a live edge set and require each update to change it.
+  Rng rng(9);
+  const CooMatrix base = er_bipartite_m(15, 15, 40, rng);
+  ChurnConfig config;
+  config.updates = 80;
+  config.insert_fraction = 0.4;
+  std::set<std::pair<Index, Index>> present;
+  for (Index k = 0; k < base.nnz(); ++k) {
+    present.emplace(base.rows[static_cast<std::size_t>(k)],
+                    base.cols[static_cast<std::size_t>(k)]);
+  }
+  for (const EdgeUpdate& u : make_churn(base, config)) {
+    ASSERT_GE(u.row, 0);
+    ASSERT_LT(u.row, base.n_rows);
+    ASSERT_GE(u.col, 0);
+    ASSERT_LT(u.col, base.n_cols);
+    if (u.kind == UpdateKind::Insert) {
+      EXPECT_TRUE(present.emplace(u.row, u.col).second)
+          << "duplicate insert (" << u.row << "," << u.col << ")";
+    } else {
+      EXPECT_EQ(present.erase({u.row, u.col}), 1u)
+          << "delete of absent (" << u.row << "," << u.col << ")";
+    }
+  }
+}
+
+TEST(Churn, MixClampsAtFullAndEmptyGraphs) {
+  // Complete bipartite graph: nothing to insert, so the stream must open
+  // with a delete even at insert_fraction = 1.
+  CooMatrix full(3, 3);
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 3; ++c) full.add_edge(r, c);
+  }
+  ChurnConfig config;
+  config.updates = 4;
+  config.insert_fraction = 1.0;
+  const std::vector<EdgeUpdate> from_full = make_churn(full, config);
+  ASSERT_FALSE(from_full.empty());
+  EXPECT_EQ(from_full.front().kind, UpdateKind::Delete);
+
+  // Empty graph: nothing to delete, so it must open with an insert.
+  config.insert_fraction = 0.0;
+  const std::vector<EdgeUpdate> from_empty =
+      make_churn(CooMatrix(3, 3), config);
+  ASSERT_FALSE(from_empty.empty());
+  EXPECT_EQ(from_empty.front().kind, UpdateKind::Insert);
+
+  EXPECT_THROW(make_churn(CooMatrix(0, 3), config), std::invalid_argument);
 }
 
 TEST(Workload, RejectsBadConfig) {

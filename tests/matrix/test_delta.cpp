@@ -1,0 +1,101 @@
+/// Edge-update vocabulary (matrix/delta.hpp): the reference batch apply is
+/// the specification every dynamic-path component is tested against, so its
+/// own semantics — canonical output order, idempotent no-ops, in-stream
+/// dependencies, hard bounds errors — are pinned here, along with the
+/// `--updates` text round trip.
+
+#include "matrix/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcm {
+namespace {
+
+CooMatrix two_by_two() {
+  CooMatrix a(2, 2);
+  a.add_edge(0, 0);
+  a.add_edge(1, 1);
+  return a;
+}
+
+TEST(ApplyEdgeUpdates, InsertAndDeleteProduceCanonicalOrder) {
+  CooMatrix base(3, 3);
+  base.add_edge(2, 2);
+  base.add_edge(0, 0);
+  const CooMatrix out = apply_edge_updates(
+      base, {{UpdateKind::Insert, 1, 0}, {UpdateKind::Delete, 2, 2}});
+  ASSERT_EQ(out.nnz(), 2);
+  // Column-major (col, row) sorted.
+  EXPECT_EQ(out.cols, (std::vector<Index>{0, 0}));
+  EXPECT_EQ(out.rows, (std::vector<Index>{0, 1}));
+}
+
+TEST(ApplyEdgeUpdates, NoOpUpdatesAreSkipped) {
+  const CooMatrix base = two_by_two();
+  const CooMatrix out = apply_edge_updates(
+      base, {{UpdateKind::Insert, 0, 0},    // already present
+             {UpdateKind::Delete, 0, 1}});  // absent
+  EXPECT_EQ(out.nnz(), base.nnz());
+  EXPECT_EQ(out.rows, (std::vector<Index>{0, 1}));
+  EXPECT_EQ(out.cols, (std::vector<Index>{0, 1}));
+}
+
+TEST(ApplyEdgeUpdates, InStreamDependenciesResolveInOrder) {
+  const CooMatrix base = two_by_two();
+  // Insert then delete the same edge nets out; delete then reinsert stays.
+  const CooMatrix out = apply_edge_updates(
+      base, {{UpdateKind::Insert, 0, 1},
+             {UpdateKind::Delete, 0, 1},
+             {UpdateKind::Delete, 1, 1},
+             {UpdateKind::Insert, 1, 1}});
+  EXPECT_EQ(out.nnz(), 2);
+  EXPECT_EQ(out.rows, (std::vector<Index>{0, 1}));
+  EXPECT_EQ(out.cols, (std::vector<Index>{0, 1}));
+}
+
+TEST(ApplyEdgeUpdates, OutOfRangeEndpointThrows) {
+  const CooMatrix base = two_by_two();
+  EXPECT_THROW(apply_edge_updates(base, {{UpdateKind::Insert, 2, 0}}),
+               std::out_of_range);
+  EXPECT_THROW(apply_edge_updates(base, {{UpdateKind::Delete, 0, 5}}),
+               std::out_of_range);
+}
+
+TEST(UpdateStream, RoundTripsThroughText) {
+  const std::vector<EdgeUpdate> updates{{UpdateKind::Insert, 3, 7},
+                                        {UpdateKind::Delete, 0, 2},
+                                        {UpdateKind::Insert, 11, 0}};
+  std::stringstream buf;
+  write_update_stream(buf, updates);
+  EXPECT_EQ(read_update_stream(buf), updates);
+}
+
+TEST(UpdateStream, SkipsCommentsAndBlankLines) {
+  std::istringstream in("% header comment\n\n+ 1 2\n# another\n- 3 4\n");
+  const std::vector<EdgeUpdate> updates = read_update_stream(in);
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0], (EdgeUpdate{UpdateKind::Insert, 1, 2}));
+  EXPECT_EQ(updates[1], (EdgeUpdate{UpdateKind::Delete, 3, 4}));
+}
+
+TEST(UpdateStream, MalformedLinesThrowWithLineNumber) {
+  for (const char* bad : {"* 1 2\n", "+ 1\n", "+ 1 2 3\n", "+ -1 2\n",
+                          "+ a b\n"}) {
+    std::istringstream in(bad);
+    EXPECT_THROW(read_update_stream(in), std::invalid_argument) << bad;
+  }
+  std::istringstream in("+ 0 0\n- 1\n");
+  try {
+    (void)read_update_stream(in);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

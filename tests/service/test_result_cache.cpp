@@ -167,5 +167,32 @@ TEST(ResultCache, DistinctOptionsFingerprintsDoNotAlias) {
   EXPECT_EQ(cache.lookup(CacheKey{2, 10}), nullptr);
 }
 
+TEST(ResultCache, InvalidateRetiresOnlyTheSupersededFingerprint) {
+  ResultCache cache(8);
+  // Graph 1 cached under two option fingerprints; graph 2 under one.
+  cache.insert(CacheKey{1, 10}, result_tagged(1.0));
+  cache.insert(CacheKey{1, 11}, result_tagged(1.1));
+  cache.insert(CacheKey{2, 10}, result_tagged(2.0));
+
+  EXPECT_EQ(cache.invalidate(1), 2u);  // every options variant of graph 1
+  EXPECT_EQ(cache.lookup(CacheKey{1, 10}), nullptr);
+  EXPECT_EQ(cache.lookup(CacheKey{1, 11}), nullptr);
+  EXPECT_NE(cache.lookup(CacheKey{2, 10}), nullptr);  // other graphs survive
+  EXPECT_EQ(cache.size(), 1u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.evictions, 0u);  // retirement is not LRU aging
+}
+
+TEST(ResultCache, InvalidateUnknownFingerprintIsANoOp) {
+  ResultCache cache(4);
+  cache.insert(CacheKey{1, 0}, result_tagged(1.0));
+  EXPECT_EQ(cache.invalidate(99), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.lookup(CacheKey{1, 0}), nullptr);
+}
+
 }  // namespace
 }  // namespace mcm

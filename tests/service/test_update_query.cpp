@@ -1,0 +1,210 @@
+/// UpdateQuery + graph registry (DESIGN.md §5.10 service layer): update
+/// queries mutate a registered graph copy-on-write, retire cached results
+/// for the superseded fingerprint, and interleave with solve queries under
+/// the ordinary scheduler. Solves by handle resolve the version current at
+/// their first slice, so FIFO pump mode gives exact stream semantics.
+
+#include "service/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "gen/workload.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matrix/csc.hpp"
+
+namespace mcm {
+namespace {
+
+using testing::small_corpus;
+
+SimConfig make_sim(int processes) {
+  SimConfig config;
+  config.cores = processes;
+  config.threads_per_process = 1;
+  return config;
+}
+
+QuerySpec solve_by_handle(std::uint64_t handle) {
+  QuerySpec spec;
+  spec.graph_handle = handle;
+  spec.sim = make_sim(4);
+  return spec;
+}
+
+QuerySpec update_spec(std::uint64_t handle, std::vector<EdgeUpdate> updates) {
+  QuerySpec spec;
+  spec.graph_handle = handle;
+  spec.updates =
+      std::make_shared<const std::vector<EdgeUpdate>>(std::move(updates));
+  return spec;
+}
+
+Index oracle_cardinality(const CooMatrix& a) {
+  return hopcroft_karp(CscMatrix::from_coo(a)).cardinality();
+}
+
+TEST(UpdateQuery, MutatesRegisteredGraphAndInvalidatesCache) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const CooMatrix base = small_corpus()[3].coo;  // er_sparse_30x30
+  const std::uint64_t handle = engine.register_graph(base);
+  ASSERT_GE(handle, 1u);
+
+  // Solve once (miss + insert), solve again (hit).
+  const QueryOutcome first = engine.wait(engine.submit(solve_by_handle(handle)));
+  ASSERT_TRUE(first.ok()) << first.error;
+  const QueryOutcome second =
+      engine.wait(engine.submit(solve_by_handle(handle)));
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+
+  // Mutate: delete the first stored edge, insert a fresh one.
+  const QueryEngine::GraphSnapshot before = engine.graph_snapshot(handle);
+  const QueryOutcome update = engine.wait(engine.submit(update_spec(
+      handle, {{UpdateKind::Delete, base.rows[0], base.cols[0]}})));
+  ASSERT_TRUE(update.ok()) << update.error;
+  EXPECT_TRUE(update.update_query);
+  EXPECT_EQ(update.updates_applied, 1u);
+  EXPECT_EQ(update.invalidated, 1u);  // the cached solve was retired
+  EXPECT_EQ(engine.cache_stats().invalidations, 1u);
+
+  const QueryEngine::GraphSnapshot after = engine.graph_snapshot(handle);
+  EXPECT_NE(after.matrix_fp, before.matrix_fp);
+  EXPECT_EQ(after.graph->nnz(), base.nnz() - 1);
+  // The pre-update snapshot is untouched (copy-on-write).
+  EXPECT_EQ(before.graph->nnz(), base.nnz());
+
+  // A solve after the update misses (its fingerprint is new) and matches
+  // the oracle on the mutated graph.
+  const QueryOutcome third =
+      engine.wait(engine.submit(solve_by_handle(handle)));
+  ASSERT_TRUE(third.ok()) << third.error;
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.result.matching.cardinality(),
+            oracle_cardinality(*after.graph));
+}
+
+TEST(UpdateQuery, InterleavesWithSolvesInStreamOrder) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  Rng rng(7);
+  const CooMatrix base = er_bipartite_m(20, 20, 60, rng);
+  const std::uint64_t handle = engine.register_graph(base);
+
+  ChurnConfig churn;
+  churn.updates = 12;
+  churn.seed = 11;
+  const std::vector<EdgeUpdate> stream = make_churn(base, churn);
+
+  // Alternate update / solve; FIFO pump mode runs them in admission order,
+  // so each solve sees exactly the prefix admitted before it.
+  CooMatrix mutated = base;
+  std::vector<std::uint64_t> solve_ids;
+  std::vector<Index> want;
+  for (std::size_t k = 0; k < stream.size(); k += 3) {
+    std::vector<EdgeUpdate> batch(
+        stream.begin() + static_cast<std::ptrdiff_t>(k),
+        stream.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(k + 3, stream.size())));
+    mutated = apply_edge_updates(mutated, batch);
+    (void)engine.submit(update_spec(handle, std::move(batch)));
+    solve_ids.push_back(engine.submit(solve_by_handle(handle)));
+    want.push_back(oracle_cardinality(mutated));
+  }
+  for (std::size_t k = 0; k < solve_ids.size(); ++k) {
+    const QueryOutcome outcome = engine.wait(solve_ids[k]);
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+    EXPECT_EQ(outcome.result.matching.cardinality(), want[k])
+        << "solve " << k;
+  }
+}
+
+TEST(UpdateQuery, NoOpBatchKeepsFingerprintAndCache) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const CooMatrix base = small_corpus()[4].coo;  // er_dense_20x20
+  const std::uint64_t handle = engine.register_graph(base);
+  (void)engine.wait(engine.submit(solve_by_handle(handle)));
+  const QueryEngine::GraphSnapshot before = engine.graph_snapshot(handle);
+
+  // Deleting an absent edge leaves the canonical graph unchanged, so the
+  // fingerprint survives and cached results stay valid.
+  CooMatrix sorted = base;
+  sorted.sort_dedup();
+  ASSERT_EQ(fingerprint_matrix(sorted), before.matrix_fp);
+  const QueryOutcome update = engine.wait(engine.submit(
+      update_spec(handle, {{UpdateKind::Insert, base.rows[0], base.cols[0]}})));
+  ASSERT_TRUE(update.ok()) << update.error;
+  EXPECT_EQ(update.invalidated, 0u);
+  EXPECT_EQ(engine.graph_snapshot(handle).matrix_fp, before.matrix_fp);
+
+  const QueryOutcome solve = engine.wait(engine.submit(solve_by_handle(handle)));
+  ASSERT_TRUE(solve.ok()) << solve.error;
+  EXPECT_TRUE(solve.cache_hit);
+}
+
+TEST(UpdateQuery, ValidationRejectsMalformedSpecs) {
+  ServiceConfig config;
+  QueryEngine engine(config);
+  const auto graph = std::make_shared<const CooMatrix>(small_corpus()[1].coo);
+
+  QuerySpec no_handle;
+  no_handle.sim = make_sim(1);
+  no_handle.updates = std::make_shared<const std::vector<EdgeUpdate>>();
+  EXPECT_THROW(engine.submit(no_handle), std::invalid_argument);
+
+  QuerySpec both = update_spec(1, {});
+  both.graph = graph;
+  EXPECT_THROW(engine.submit(both), std::invalid_argument);
+
+  QuerySpec ambiguous;
+  ambiguous.sim = make_sim(1);
+  ambiguous.graph = graph;
+  ambiguous.graph_handle = 1;
+  EXPECT_THROW(engine.submit(ambiguous), std::invalid_argument);
+
+  EXPECT_THROW((void)engine.graph_snapshot(99), std::invalid_argument);
+
+  // Unknown handle surfaces as a failed outcome, not a crash: the handle is
+  // only resolved when the slice runs.
+  const QueryOutcome outcome = engine.wait(engine.submit(update_spec(42, {})));
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(UpdateQuery, WorkerModeAppliesUpdatesSafely) {
+  ServiceConfig config;
+  config.workers = 3;
+  config.quantum = 2;
+  QueryEngine engine(config);
+  Rng rng(13);
+  const CooMatrix base = er_bipartite_m(16, 16, 48, rng);
+  const std::uint64_t handle = engine.register_graph(base);
+  ChurnConfig churn;
+  churn.updates = 9;
+  churn.seed = 17;
+  const std::vector<EdgeUpdate> stream = make_churn(base, churn);
+  for (std::size_t k = 0; k < stream.size(); k += 3) {
+    (void)engine.submit(update_spec(
+        handle, {stream.begin() + static_cast<std::ptrdiff_t>(k),
+                 stream.begin() + static_cast<std::ptrdiff_t>(k + 3)}));
+    (void)engine.submit(solve_by_handle(handle));
+  }
+  const std::vector<QueryOutcome> outcomes = engine.drain();
+  for (const QueryOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok()) << o.error;
+  }
+  // After the drain every update has landed; the final registered graph is
+  // the full stream applied.
+  const CooMatrix want = apply_edge_updates(base, stream);
+  const QueryEngine::GraphSnapshot snap = engine.graph_snapshot(handle);
+  EXPECT_EQ(snap.graph->rows, want.rows);
+  EXPECT_EQ(snap.graph->cols, want.cols);
+}
+
+}  // namespace
+}  // namespace mcm
